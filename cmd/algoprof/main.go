@@ -1,0 +1,123 @@
+// Command algoprof runs an MJ program under the algorithmic profiler and
+// prints the repetition tree with algorithm annotations and fitted cost
+// functions (the paper's Figure 3 view), optionally with scatter plots.
+//
+// Usage:
+//
+//	algoprof [-seed N] [-unique] [-eager] [-plot ALGO] prog.mj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"algoprof"
+	"algoprof/internal/focus"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "seed for the rand() builtin")
+	unique := flag.Bool("unique", false, "use the unique-element array size strategy")
+	eager := flag.Bool("eager", false, "disable the deferred-identification optimization")
+	plot := flag.String("plot", "", "also print a scatter plot for the named algorithm (e.g. List.sort/loop1)")
+	jsonOut := flag.Bool("json", false, "emit the profile as JSON instead of text")
+	focusK := flag.Int("focus", 0, "CCT-guided view: show the K hottest methods with their algorithms")
+	strategy := flag.String("strategy", "shared-input", "grouping strategy: shared-input or same-method")
+	criterion := flag.String("criterion", "some-elements", "equivalence criterion: some-elements, all-elements, same-array, same-type")
+	sample := flag.Int("sample", 0, "keep only every k-th invocation record (memory optimization)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: algoprof [flags] prog.mj")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := algoprof.Config{Seed: *seed, EagerIdentify: *eager, SampleEvery: *sample}
+	if *unique {
+		cfg.SizeStrategy = algoprof.UniqueElements
+	}
+	switch *strategy {
+	case "shared-input":
+	case "same-method":
+		cfg.GroupStrategy = algoprof.SameMethod
+	default:
+		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
+	}
+	switch *criterion {
+	case "some-elements":
+	case "all-elements":
+		cfg.Criterion = algoprof.AllElements
+	case "same-array":
+		cfg.Criterion = algoprof.SameArray
+	case "same-type":
+		cfg.Criterion = algoprof.SameType
+	default:
+		fatal(fmt.Errorf("unknown -criterion %q", *criterion))
+	}
+
+	if *focusK > 0 {
+		res, err := focus.Run(string(src), cfg, *focusK)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== Top %d hot methods (CCT) with their algorithms ===\n", *focusK)
+		for _, r := range res.Regions {
+			fmt.Printf("%-28s excl=%-10d calls=%d\n", r.Method, r.ExclusiveCost, r.Calls)
+			for _, alg := range r.Algorithms {
+				fmt.Printf("    %-28s steps=%-10d %s\n", alg.Name, alg.TotalSteps, alg.Description)
+				for _, cf := range alg.CostFunctions {
+					fmt.Printf("        steps ≈ %s over %s (R2=%.3f)\n", cf.Text, cf.InputLabel, cf.R2)
+				}
+			}
+		}
+		return
+	}
+
+	prof, err := algoprof.Run(string(src), cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		data, err := prof.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+
+	fmt.Println("=== Repetition tree (algorithmic profile) ===")
+	fmt.Print(prof.Tree())
+
+	fmt.Println("\n=== Algorithms by total algorithmic steps ===")
+	for _, alg := range prof.Algorithms {
+		fmt.Printf("%-32s steps=%-10d invocations=%-6d %s\n",
+			alg.Name, alg.TotalSteps, alg.Invocations, alg.Description)
+		for _, cf := range alg.CostFunctions {
+			fmt.Printf("    steps ≈ %s over %s (R2=%.3f, %d points)\n",
+				cf.Text, cf.InputLabel, cf.R2, len(cf.Points))
+		}
+	}
+
+	if *plot != "" {
+		fmt.Printf("\n=== Scatter: %s ===\n", *plot)
+		p, err := prof.PlotAlgorithm(*plot, "", 72, 20)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(p)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "algoprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command mjrun compiles and executes an MJ program without profiling.
+//
+// Usage:
+//
+//	mjrun [-seed N] [-input "1,2,3"] [-disasm] [-maxsteps N] prog.mj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"algoprof/internal/mj/bytecode"
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/vm"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "seed for the rand() builtin")
+	input := flag.String("input", "", "comma-separated ints fed to readInput()")
+	disasm := flag.Bool("disasm", false, "print the compiled bytecode instead of running")
+	maxSteps := flag.Uint64("maxsteps", 0, "instruction budget (0 = default)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mjrun [flags] prog.mj")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := compiler.CompileSource(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		fmt.Print(bytecode.DisassembleProgram(prog))
+		return
+	}
+
+	var in []int64
+	if *input != "" {
+		for _, part := range strings.Split(*input, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -input element %q: %w", part, err))
+			}
+			in = append(in, v)
+		}
+	}
+
+	m := vm.New(prog, vm.Config{Seed: *seed, Input: in, MaxSteps: *maxSteps})
+	if err := m.Run(); err != nil {
+		fatal(err)
+	}
+	for _, line := range m.Stdout {
+		fmt.Println(line)
+	}
+	for _, v := range m.Output {
+		fmt.Printf("output: %s\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "executed %d instructions, %d allocations\n", m.InstrCount, m.AllocCount)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mjrun:", err)
+	os.Exit(1)
+}

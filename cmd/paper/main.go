@@ -1,0 +1,267 @@
+// Command paper regenerates every table and figure of the AlgoProf paper
+// (PLDI'12) on the MJ substrate and prints them in paper-style text form.
+//
+// Usage:
+//
+//	paper [fig1|fig2|fig3|table1|fig4|fig5|paradigm|listing3|listing4|listing5|overhead|goldsmith|ablations|crossover|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"algoprof"
+	"algoprof/internal/experiments"
+	"algoprof/internal/workloads"
+)
+
+var sweep = experiments.DefaultSweep
+
+func main() {
+	maxSize := flag.Int("maxsize", sweep.MaxSize, "largest input size in sweeps")
+	step := flag.Int("step", sweep.Step, "size step in sweeps")
+	reps := flag.Int("reps", sweep.Reps, "repetitions per size")
+	seed := flag.Uint64("seed", sweep.Seed, "random seed")
+	flag.Parse()
+	sweep = experiments.Sweep{MaxSize: *maxSize, Step: *step, Reps: *reps, Seed: *seed}
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+	sections := map[string]func() error{
+		"fig1":     fig1,
+		"fig2":     fig2,
+		"fig3":     fig3,
+		"table1":   table1,
+		"fig4":     fig45,
+		"fig5":     fig45,
+		"paradigm": paradigm,
+		"listing3": listing3,
+		"listing4": listing4,
+		"listing5": listing5,
+		"overhead": overhead,
+		"goldsmith": func() error {
+			return goldsmith()
+		},
+		"ablations": ablations,
+		"crossover": crossover,
+	}
+	order := []string{"fig1", "fig2", "fig3", "table1", "fig4", "paradigm",
+		"listing3", "listing4", "listing5", "overhead", "goldsmith", "ablations",
+		"crossover"}
+
+	if what == "all" {
+		for _, name := range order {
+			if err := sections[name](); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	fn, ok := sections[what]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown section %q; options: %v or all\n", what, order)
+		os.Exit(2)
+	}
+	if err := fn(); err != nil {
+		fatal(err)
+	}
+}
+
+func header(s string) { fmt.Printf("\n================ %s ================\n\n", s) }
+
+func fig1() error {
+	header("Figure 1: cost functions of insertion sort")
+	for _, order := range []workloads.Order{workloads.Random, workloads.Sorted, workloads.Reversed} {
+		res, err := experiments.Figure1(order, sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%s input)  steps ≈ %s   [model %s, R2=%.3f, %d runs]\n",
+			res.Order, res.Text, res.Model, res.R2, len(res.Points))
+		fmt.Print(res.Plot)
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig2() error {
+	header("Figure 2: traditional profile (calling context tree)")
+	res, err := experiments.Figure2(sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Tree)
+	fmt.Printf("\nhottest method (exclusive): %s\nmost called: %s\n",
+		res.HottestExclusive, res.MostCalled)
+	return nil
+}
+
+func fig3() error {
+	header("Figure 3: algorithmic profile (repetition tree)")
+	res, err := experiments.Figure3(sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Tree)
+	fmt.Printf("\nloops: %d; sort: %s (steps ≈ %.3g*%s); construct: %s\n",
+		res.LoopCount, res.SortDescription, res.SortCoeff, res.SortModel, res.ConstructDescription)
+	return nil
+}
+
+func table1() error {
+	header("Table 1: data structure examples")
+	outcomes, err := experiments.Table1(24, sweep.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable1(outcomes))
+	return nil
+}
+
+func fig45() error {
+	header("Figures 4 & 5: growing an array-backed list")
+	res, err := experiments.Figure45(sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Repetition tree (naive growth):")
+	fmt.Print(res.NaiveTree)
+	fmt.Printf("\nappend+grow grouped: %v\n", res.Grouped)
+	fmt.Printf("\nnaive (grow by 1):  cost ≈ %.3g*%s\n", res.NaiveCoeff, res.NaiveModel)
+	fmt.Print(res.NaivePlot)
+	fmt.Printf("\nideal (doubling):   cost ≈ %.3g*%s\n", res.IdealCoeff, res.IdealModel)
+	fmt.Print(res.IdealPlot)
+	return nil
+}
+
+func paradigm() error {
+	header("§4.3: paradigm agnosticism (imperative vs functional sort)")
+	res, err := experiments.Paradigm(sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imperative sort:  model %-8s coeff %.3f  total steps %d\n",
+		res.ImperativeModel, res.ImperativeCoeff, res.ImperativeTotalSteps)
+	fmt.Printf("functional insert: model %-8s coeff %.3f  total steps %d\n",
+		res.FunctionalInsertModel, res.FunctionalInsertCoeff, res.FunctionalTotalSteps)
+	fmt.Printf("functional classification: %s\n", res.FunctionalDescription)
+	fmt.Printf("nested repetitions (sort ▷ insert): %v\n", res.NestedRecursions)
+	return nil
+}
+
+func listing3() error {
+	header("Listing 3: combining costs")
+	prof, err := algoprof.Run(workloads.Listing3, algoprof.Config{Seed: sweep.Seed})
+	if err != nil {
+		return err
+	}
+	alg := prof.Find("Main.main/loop1")
+	if alg == nil {
+		return fmt.Errorf("nest algorithm missing")
+	}
+	fmt.Printf("combined algorithmic steps of the nest: %d (3 outer + 0+1+2 inner)\n", alg.TotalSteps)
+	return nil
+}
+
+func listing4() error {
+	header("Listing 4: constructions measured at repetition exit")
+	prof, err := algoprof.Run(workloads.Listing4(15), algoprof.Config{Seed: sweep.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(prof.Tree())
+	return nil
+}
+
+func listing5() error {
+	header("Listing 5: the array-nest grouping limitation")
+	prof, err := algoprof.Run(workloads.Listing5, algoprof.Config{Seed: sweep.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(prof.Tree())
+	outer := prof.Find("Main.main/loop1")
+	fmt.Printf("\nouter loop data-structure-less (not grouped): %v\n", outer != nil && outer.DataStructureLess)
+	return nil
+}
+
+func overhead() error {
+	header("§5: profiling overhead")
+	res, err := experiments.Overhead(sweep, func() int64 { return time.Now().UnixNano() })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plain run:    %12d instructions  %10.2fms\n",
+		res.PlainInstrs, float64(res.PlainNs)/1e6)
+	fmt.Printf("profiled run: %12d instructions  %10.2fms\n",
+		res.ProfiledInstrs, float64(res.ProfiledNs)/1e6)
+	fmt.Printf("slowdown: %.1fx\n", res.Slowdown())
+
+	fmt.Println("\nslowdown by input size (snapshots cost O(size) per invocation):")
+	pts, err := experiments.OverheadSweep([]int{16, 64, 256}, sweep.Seed,
+		func() int64 { return time.Now().UnixNano() })
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("  n=%-5d %6.1fx\n", p.Size, p.Slowdown())
+	}
+	return nil
+}
+
+func goldsmith() error {
+	header("Baseline: Goldsmith et al. basic-block profiling")
+	res, err := experiments.Goldsmith(sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("manual input-size annotations required: %d runs\n", res.ManualRuns)
+	fmt.Printf("steepest location model: %s\n\n", res.TopModel)
+	fmt.Print(res.Report)
+	return nil
+}
+
+func ablations() error {
+	header("Ablations")
+	ss, err := experiments.AblationSizeStrategy()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("array size strategy on Listing 4's 1000-slot array (10 used):\n")
+	fmt.Printf("  capacity strategy: %d   unique-element strategy: %d\n", ss.CapacitySize, ss.UniqueSize)
+
+	id, err := experiments.AblationIdentify(400, func() int64 { return time.Now().UnixNano() })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ninput identification on a 400-node construction:\n")
+	fmt.Printf("  deferred (paper's optimization): %8.2fms\n", float64(id.DeferredNs)/1e6)
+	fmt.Printf("  eager (snapshot per access):     %8.2fms\n", float64(id.EagerNs)/1e6)
+	fmt.Printf("  same results: %v\n", id.SameInputs)
+	return nil
+}
+
+func crossover() error {
+	header("Extension: insertion sort vs merge sort crossover")
+	res, err := experiments.Crossover(sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("insertion sort: steps ≈ %.3g*%s\n", res.InsertionCoeff, res.InsertionModel)
+	fmt.Printf("merge sort:     steps ≈ %.3g*%s\n", res.MergeCoeff, res.MergeModel)
+	fmt.Printf("at n=%d: insertion %.0f vs merge %.0f steps\n",
+		sweep.MaxSize, res.InsertionAtMax, res.MergeAtMax)
+	if res.CrossoverN > 0 {
+		fmt.Printf("crossover: merge sort wins above n ≈ %d\n", res.CrossoverN)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paper:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Freqmap profiles a realistic multi-algorithm application: a frequency
+// counter that reads datasets from external input, builds a chained hash
+// map (bucket array + linked Entry chains), scans for the mode, and writes
+// results out. The profile separates and classifies every algorithm — the
+// Input reader, the hash-map Construction, the Traversal scan, the Output
+// writer — and fits their cost functions, all automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"algoprof"
+	"algoprof/internal/workloads"
+)
+
+func main() {
+	profile, err := algoprof.Run(workloads.FreqMap, algoprof.Config{
+		Input: workloads.FreqMapInput(12, 8),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Program outputs (the mode of each dataset):", profile.Output)
+	fmt.Println()
+	fmt.Println("Algorithmic profile:")
+	fmt.Println(profile.Tree())
+
+	fmt.Println("Algorithms by cost:")
+	for _, alg := range profile.Algorithms {
+		fmt.Printf("  %-34s %8d steps  %s\n", alg.Name, alg.TotalSteps, alg.Description)
+		for _, cf := range alg.CostFunctions {
+			fmt.Printf("        steps ≈ %s over the %s (R2=%.2f)\n", cf.Text, cf.InputLabel, cf.R2)
+		}
+	}
+}

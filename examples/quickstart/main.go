@@ -1,0 +1,68 @@
+// Quickstart: profile a small MJ program and print its algorithmic
+// profile — the repetition tree, the algorithms found, their
+// classifications and fitted cost functions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"algoprof"
+)
+
+const src = `
+class Node { Node next; int v; Node(int v) { this.v = v; } }
+class Main {
+  public static void main() {
+    // A harness: for growing sizes, build a list, then search it linearly.
+    for (int size = 4; size <= 64; size = size + 4) {
+      Node head = build(size);
+      int hits = 0;
+      for (int probe = 0; probe < 10; probe++) {
+        if (contains(head, rand(100))) { hits++; }
+      }
+      writeOutput(hits);
+    }
+  }
+  static Node build(int size) {
+    Node head = null;
+    for (int i = 0; i < size; i++) {
+      Node x = new Node(rand(100));
+      x.next = head;
+      head = x;
+    }
+    return head;
+  }
+  static boolean contains(Node head, int v) {
+    Node cur = head;
+    while (cur != null) {
+      if (cur.v == v) { return true; }
+      cur = cur.next;
+    }
+    return false;
+  }
+}`
+
+func main() {
+	profile, err := algoprof.Run(src, algoprof.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Repetition tree:")
+	fmt.Println(profile.Tree())
+
+	fmt.Println("Algorithms, most expensive first:")
+	for _, alg := range profile.Algorithms {
+		fmt.Printf("  %-28s %8d steps   %s\n", alg.Name, alg.TotalSteps, alg.Description)
+		for _, cf := range alg.CostFunctions {
+			fmt.Printf("      cost ≈ %s over the %s (R2=%.3f)\n", cf.Text, cf.InputLabel, cf.R2)
+		}
+	}
+
+	// The headline: the linear search's cost function.
+	if search := profile.Find("Main.contains/loop1"); search != nil && len(search.CostFunctions) > 0 {
+		fmt.Printf("\nThe linear search costs %s steps in the list size — as expected, O(n).\n",
+			search.CostFunctions[0].Text)
+	}
+}

@@ -1,0 +1,3 @@
+module algoprof
+
+go 1.22

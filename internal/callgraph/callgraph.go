@@ -1,0 +1,230 @@
+// Package callgraph builds a static call graph over compiled MJ programs
+// and detects recursion using Tarjan's strongly-connected-components
+// algorithm. The AlgoProf paper (§3.1) uses this analysis — citing its
+// companion work on separating design from algorithm — to limit method
+// entry/exit instrumentation to methods that can participate in recursive
+// cycles ("recursion headers").
+package callgraph
+
+import (
+	"sort"
+
+	"algoprof/internal/mj/bytecode"
+	"algoprof/internal/mj/types"
+)
+
+// Graph is a static call graph: Callees[m] lists the method ids m may call.
+type Graph struct {
+	Prog    *bytecode.Program
+	Callees [][]int
+
+	// SCCID[m] is the component id of method m; components are numbered in
+	// reverse topological order (callees before callers).
+	SCCID []int
+	// SCCs lists member method ids per component.
+	SCCs [][]int
+
+	// Recursive[m] reports whether m is part of a call cycle (a
+	// non-trivial SCC or a self-loop).
+	Recursive []bool
+	// Header[m] reports whether m is a recursion header: a recursive
+	// method through which its cycle can be entered from outside (or the
+	// program entry). Instrumenting all recursive methods is sound; the
+	// headers are reported for diagnostics and ablations.
+	Header []bool
+}
+
+// Build constructs the call graph of p.
+func Build(p *bytecode.Program) *Graph {
+	n := len(p.Funcs)
+	g := &Graph{Prog: p, Callees: make([][]int, n)}
+
+	// Methods by name, for dynamic (erased-receiver) call edges.
+	byName := map[string][]*types.Method{}
+	for _, m := range p.Sem.Methods() {
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+
+	for _, fn := range p.Funcs {
+		seen := map[int]bool{}
+		add := func(id int) {
+			if !seen[id] {
+				seen[id] = true
+				g.Callees[fn.Method.ID] = append(g.Callees[fn.Method.ID], id)
+			}
+		}
+		for _, in := range fn.Code {
+			switch in.Op {
+			case bytecode.OpCallStatic:
+				add(in.A)
+			case bytecode.OpCallVirt:
+				declared := p.Sem.MethodByID(in.A)
+				if declared.IsConstructor {
+					add(declared.ID)
+					continue
+				}
+				// Conservative: the declared target plus every override in
+				// subclasses of the declaring class.
+				add(declared.ID)
+				for _, cls := range p.Sem.Classes {
+					if cls != declared.Owner && cls.IsSubclassOf(declared.Owner) {
+						if m := cls.LookupMethod(declared.Name); m != nil && m.Owner == cls {
+							add(m.ID)
+						}
+					}
+				}
+			case bytecode.OpCallDyn:
+				// Fully dynamic: any method with this name.
+				for _, m := range byName[in.S] {
+					add(m.ID)
+				}
+			}
+		}
+		sort.Ints(g.Callees[fn.Method.ID])
+	}
+
+	g.computeSCCs()
+	g.classify()
+	return g
+}
+
+// computeSCCs runs Tarjan's algorithm iteratively (explicit stack) so deep
+// call chains cannot overflow the Go stack.
+func (g *Graph) computeSCCs() {
+	n := len(g.Callees)
+	g.SCCID = make([]int, n)
+	for i := range g.SCCID {
+		g.SCCID[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v, ci int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		work := []frame{{v: start}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ci < len(g.Callees[v]) {
+				w := g.Callees[v][f.ci]
+				f.ci++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// All children done: pop.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					g.SCCID[w] = len(g.SCCs)
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				g.SCCs = append(g.SCCs, comp)
+			}
+		}
+	}
+}
+
+func (g *Graph) classify() {
+	n := len(g.Callees)
+	g.Recursive = make([]bool, n)
+	g.Header = make([]bool, n)
+
+	selfLoop := make([]bool, n)
+	for m, cs := range g.Callees {
+		for _, c := range cs {
+			if c == m {
+				selfLoop[m] = true
+			}
+		}
+	}
+	for _, comp := range g.SCCs {
+		cyclic := len(comp) > 1 || (len(comp) == 1 && selfLoop[comp[0]])
+		if !cyclic {
+			continue
+		}
+		for _, m := range comp {
+			g.Recursive[m] = true
+		}
+	}
+
+	// Headers: recursive methods with a caller outside their SCC, or the
+	// program entry itself if recursive.
+	for caller, cs := range g.Callees {
+		for _, callee := range cs {
+			if g.Recursive[callee] && g.SCCID[caller] != g.SCCID[callee] {
+				g.Header[callee] = true
+			}
+		}
+	}
+	if main := g.Prog.MainID; g.Recursive[main] {
+		g.Header[main] = true
+	}
+	// Unreachable cycles: ensure at least one header per cyclic SCC so the
+	// folding logic has an anchor.
+	for _, comp := range g.SCCs {
+		if !g.Recursive[comp[0]] {
+			continue
+		}
+		any := false
+		for _, m := range comp {
+			if g.Header[m] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			g.Header[comp[0]] = true
+		}
+	}
+}
+
+// RecursiveMethodIDs returns all recursive method ids, sorted.
+func (g *Graph) RecursiveMethodIDs() []int {
+	var out []int
+	for m, r := range g.Recursive {
+		if r {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package callgraph
+
+import (
+	"testing"
+
+	"algoprof/internal/mj/bytecode"
+	"algoprof/internal/mj/compiler"
+)
+
+func build(t *testing.T, src string) (*Graph, *bytecode.Program) {
+	t.Helper()
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(prog), prog
+}
+
+func methodID(t *testing.T, p *bytecode.Program, qualified string) int {
+	t.Helper()
+	for _, m := range p.Sem.Methods() {
+		if m.QualifiedName() == qualified {
+			return m.ID
+		}
+	}
+	t.Fatalf("no method %s", qualified)
+	return -1
+}
+
+func TestNoRecursion(t *testing.T) {
+	g, p := build(t, `
+class Main {
+  static void a() { b(); }
+  static void b() { }
+  public static void main() { a(); }
+}`)
+	for _, m := range p.Sem.Methods() {
+		if g.Recursive[m.ID] {
+			t.Errorf("%s wrongly marked recursive", m.QualifiedName())
+		}
+	}
+}
+
+func TestSelfRecursion(t *testing.T) {
+	g, p := build(t, `
+class Main {
+  static int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+  public static void main() { int x = fact(5); }
+}`)
+	fact := methodID(t, p, "Main.fact")
+	if !g.Recursive[fact] {
+		t.Error("fact should be recursive")
+	}
+	if !g.Header[fact] {
+		t.Error("fact should be a header (called from main, outside its SCC)")
+	}
+	if g.Recursive[methodID(t, p, "Main.main")] {
+		t.Error("main is not recursive")
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	g, p := build(t, `
+class Main {
+  static boolean isEven(int n) { if (n == 0) { return true; } return isOdd(n - 1); }
+  static boolean isOdd(int n) { if (n == 0) { return false; } return isEven(n - 1); }
+  public static void main() { boolean b = isEven(10); }
+}`)
+	even := methodID(t, p, "Main.isEven")
+	odd := methodID(t, p, "Main.isOdd")
+	if !g.Recursive[even] || !g.Recursive[odd] {
+		t.Error("both mutually recursive methods must be marked")
+	}
+	if g.SCCID[even] != g.SCCID[odd] {
+		t.Error("mutually recursive methods must share an SCC")
+	}
+	if !g.Header[even] {
+		t.Error("isEven is the entry into the cycle and should be a header")
+	}
+}
+
+func TestVirtualCallEdgesIncludeOverrides(t *testing.T) {
+	g, p := build(t, `
+class Base { void step(Base b) { } }
+class Derived extends Base { void step(Base b) { b.step(b); } }
+class Main {
+  public static void main() {
+    Base x = new Derived();
+    x.step(x);
+  }
+}`)
+	dstep := methodID(t, p, "Derived.step")
+	if !g.Recursive[dstep] {
+		t.Error("Derived.step can call itself through the virtual call; must be recursive")
+	}
+}
+
+func TestDynamicCallEdgesByName(t *testing.T) {
+	g, p := build(t, `
+class Rec<T> {
+  T v;
+  void spin(T x) { x.spin(x); }
+}
+class Main {
+  public static void main() {
+    Rec<Rec> r = new Rec<Rec>();
+  }
+}`)
+	spin := methodID(t, p, "Rec.spin")
+	if !g.Recursive[spin] {
+		t.Error("dynamic call by name 'spin' must create a recursive edge")
+	}
+}
+
+func TestIndirectRecursionThroughThree(t *testing.T) {
+	g, p := build(t, `
+class Main {
+  static void a(int n) { if (n > 0) { b(n); } }
+  static void b(int n) { c(n); }
+  static void c(int n) { a(n - 1); }
+  public static void main() { a(3); }
+}`)
+	for _, name := range []string{"Main.a", "Main.b", "Main.c"} {
+		if !g.Recursive[methodID(t, p, name)] {
+			t.Errorf("%s should be recursive", name)
+		}
+	}
+	a := methodID(t, p, "Main.a")
+	if !g.Header[a] {
+		t.Error("a is entered from main: header")
+	}
+	// b and c are only called from inside the cycle.
+	if g.Header[methodID(t, p, "Main.b")] || g.Header[methodID(t, p, "Main.c")] {
+		t.Error("b/c should not be headers")
+	}
+}
+
+func TestConstructorEdges(t *testing.T) {
+	// A constructor that builds the rest of the list recursively.
+	g, p := build(t, `
+class Node {
+  Node next;
+  Node(int n) { if (n > 0) { next = new Node(n - 1); } }
+}
+class Main { public static void main() { Node n = new Node(5); } }`)
+	ctor := methodID(t, p, "Node.Node")
+	if !g.Recursive[ctor] {
+		t.Error("recursive constructor must be detected")
+	}
+}
+
+func TestSCCTopologicalOrder(t *testing.T) {
+	g, p := build(t, `
+class Main {
+  static void leaf() { }
+  static void mid() { leaf(); }
+  public static void main() { mid(); }
+}`)
+	// Callees' SCC ids must be <= callers' in reverse topological numbering.
+	for caller, cs := range g.Callees {
+		for _, callee := range cs {
+			if g.SCCID[callee] > g.SCCID[caller] {
+				t.Errorf("callee %s has SCC %d > caller %s SCC %d",
+					p.Sem.MethodByID(callee).QualifiedName(), g.SCCID[callee],
+					p.Sem.MethodByID(caller).QualifiedName(), g.SCCID[caller])
+			}
+		}
+	}
+}
+
+func TestEverySCCHasMembers(t *testing.T) {
+	g, _ := build(t, `
+class Main {
+  static int f(int n) { if (n == 0) { return 0; } return g(n - 1); }
+  static int g(int n) { return f(n); }
+  public static void main() { int x = f(4); }
+}`)
+	total := 0
+	for _, comp := range g.SCCs {
+		if len(comp) == 0 {
+			t.Error("empty SCC")
+		}
+		total += len(comp)
+	}
+	if total != len(g.Callees) {
+		t.Errorf("SCC members %d != methods %d", total, len(g.Callees))
+	}
+}
+
+func TestRecursiveMethodIDsSorted(t *testing.T) {
+	g, _ := build(t, `
+class Main {
+  static void x(int n) { if (n > 0) { x(n - 1); } }
+  static void y(int n) { if (n > 0) { y(n - 1); } }
+  public static void main() { x(1); y(1); }
+}`)
+	ids := g.RecursiveMethodIDs()
+	if len(ids) != 2 {
+		t.Fatalf("got %d recursive methods, want 2", len(ids))
+	}
+	if ids[0] >= ids[1] {
+		t.Error("ids must be sorted")
+	}
+}

@@ -1,0 +1,162 @@
+package cct
+
+import (
+	"strings"
+	"testing"
+
+	"algoprof/internal/instrument"
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/vm"
+)
+
+// runCCT executes src under the CCT profiler with a full plan.
+func runCCT(t *testing.T, src string) (*Profiler, *vm.VM, *instrument.Instrumented) {
+	t.Helper()
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := instrument.Instrument(prog, instrument.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *vm.VM
+	p := New(func() uint64 { return m.InstrCount })
+	m = vm.New(ins.Prog, vm.Config{Listener: p, Plan: ins.Plan, Seed: 1})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p.Finish()
+	return p, m, ins
+}
+
+const cctSrc = `
+class Main {
+  static void hot() {
+    int s = 0;
+    for (int i = 0; i < 500; i++) { s = s + i; }
+  }
+  static void cold() { int x = 1; }
+  static void middle() { hot(); cold(); }
+  public static void main() {
+    for (int i = 0; i < 3; i++) { middle(); }
+    cold();
+  }
+}`
+
+func methodID(t *testing.T, ins *instrument.Instrumented, name string) int {
+	t.Helper()
+	for _, m := range ins.Prog.Sem.Methods() {
+		if m.QualifiedName() == name {
+			return m.ID
+		}
+	}
+	t.Fatalf("no method %s", name)
+	return -1
+}
+
+func TestCCTStructure(t *testing.T) {
+	p, _, ins := runCCT(t, cctSrc)
+	root := p.Root()
+	if len(root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1 (main)", len(root.Children))
+	}
+	main := root.Children[0]
+	if main.MethodID != methodID(t, ins, "Main.main") || main.Calls != 1 {
+		t.Errorf("main context: id=%d calls=%d", main.MethodID, main.Calls)
+	}
+	// main has two child contexts: middle and cold (called directly).
+	if len(main.Children) != 2 {
+		t.Fatalf("main children = %d, want 2", len(main.Children))
+	}
+	var middle, coldDirect *Node
+	for _, c := range main.Children {
+		switch c.MethodID {
+		case methodID(t, ins, "Main.middle"):
+			middle = c
+		case methodID(t, ins, "Main.cold"):
+			coldDirect = c
+		}
+	}
+	if middle == nil || coldDirect == nil {
+		t.Fatal("middle/cold contexts missing")
+	}
+	if middle.Calls != 3 {
+		t.Errorf("middle calls = %d, want 3", middle.Calls)
+	}
+	if coldDirect.Calls != 1 {
+		t.Errorf("direct cold calls = %d, want 1", coldDirect.Calls)
+	}
+	// cold appears in two distinct contexts.
+	var coldViaMiddle *Node
+	for _, c := range middle.Children {
+		if c.MethodID == methodID(t, ins, "Main.cold") {
+			coldViaMiddle = c
+		}
+	}
+	if coldViaMiddle == nil || coldViaMiddle.Calls != 3 {
+		t.Fatal("cold via middle context missing or wrong count")
+	}
+}
+
+func TestInclusiveExclusiveCosts(t *testing.T) {
+	p, _, ins := runCCT(t, cctSrc)
+	flat := p.Flat()
+	if len(flat) != 4 {
+		t.Fatalf("flat profile has %d methods, want 4", len(flat))
+	}
+	// hot must dominate the exclusive ranking.
+	if flat[0].MethodID != methodID(t, ins, "Main.hot") {
+		t.Errorf("hottest method id = %d, want Main.hot", flat[0].MethodID)
+	}
+	// Inclusive cost of middle >= inclusive of hot (it contains it).
+	var hotInc, midInc uint64
+	for _, h := range flat {
+		switch h.MethodID {
+		case methodID(t, ins, "Main.hot"):
+			hotInc = h.Inclusive
+		case methodID(t, ins, "Main.middle"):
+			midInc = h.Inclusive
+		}
+	}
+	if midInc < hotInc {
+		t.Errorf("middle inclusive %d < hot inclusive %d", midInc, hotInc)
+	}
+	// Exclusive never exceeds inclusive.
+	for _, h := range flat {
+		if h.Exclusive > h.Inclusive {
+			t.Errorf("method %d: exclusive %d > inclusive %d", h.MethodID, h.Exclusive, h.Inclusive)
+		}
+	}
+}
+
+func TestRecursionInCCTNotFolded(t *testing.T) {
+	// Unlike the repetition tree, a CCT keeps one context per depth-1
+	// recursive unfolding only when contexts differ; direct recursion
+	// appears as a self-chain. Verify calls total correctly.
+	p, _, ins := runCCT(t, `
+class Main {
+  static int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+  public static void main() { int x = fact(5); }
+}`)
+	flat := p.Flat()
+	var factCalls int64
+	for _, h := range flat {
+		if h.MethodID == methodID(t, ins, "Main.fact") {
+			factCalls = h.Calls
+		}
+	}
+	if factCalls != 5 {
+		t.Errorf("fact calls = %d, want 5 (no folding in a CCT)", factCalls)
+	}
+}
+
+func TestRender(t *testing.T) {
+	p, _, ins := runCCT(t, cctSrc)
+	out := Render(p, ins.Prog)
+	for _, want := range []string{"Main.main", "Main.middle", "Main.hot", "calls=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package cfg builds control-flow graphs over MJ bytecode and runs the
+// classic analyses the instrumenter needs: dominator computation and
+// natural-loop detection. Loops found here become the loop nodes of the
+// algorithmic profiler's repetition tree, exactly as AlgoProf detects
+// loops in Java bytecode CFGs.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"algoprof/internal/mj/bytecode"
+)
+
+// Block is a basic block: a maximal straight-line instruction sequence.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Start and End delimit the instruction range [Start, End) in the
+	// function's code.
+	Start, End int
+	// Succs and Preds are edges by block index.
+	Succs []int
+	Preds []int
+}
+
+// Graph is the control-flow graph of one function.
+type Graph struct {
+	Fn     *bytecode.Function
+	Blocks []*Block
+	// blockAt maps an instruction index to its containing block index.
+	blockAt []int
+}
+
+// BlockOf returns the index of the block containing instruction pc.
+func (g *Graph) BlockOf(pc int) int { return g.blockAt[pc] }
+
+// Entry returns the entry block index (always 0).
+func (g *Graph) Entry() int { return 0 }
+
+// Build constructs the CFG of fn.
+func Build(fn *bytecode.Function) *Graph {
+	code := fn.Code
+	n := len(code)
+
+	// 1. Find leaders: instruction 0, jump targets, and instructions
+	// following jumps/terminators.
+	leader := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	for i, in := range code {
+		if in.Op.IsJump() {
+			leader[in.A] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if in.Op.IsTerminator() && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+	// Exception handler entry points start blocks too.
+	for _, h := range fn.Handlers {
+		leader[h.Target] = true
+	}
+
+	// 2. Create blocks.
+	g := &Graph{Fn: fn, blockAt: make([]int, n)}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		b := &Block{Index: len(g.Blocks), Start: i, End: j}
+		g.Blocks = append(g.Blocks, b)
+		for k := i; k < j; k++ {
+			g.blockAt[k] = b.Index
+		}
+		i = j
+	}
+
+	// 3. Add edges.
+	addEdge := func(from, to int) {
+		fb, tb := g.Blocks[from], g.Blocks[to]
+		fb.Succs = append(fb.Succs, tb.Index)
+		tb.Preds = append(tb.Preds, fb.Index)
+	}
+	for _, b := range g.Blocks {
+		last := code[b.End-1]
+		switch {
+		case last.Op == bytecode.OpJmp:
+			addEdge(b.Index, g.blockAt[last.A])
+		case last.Op == bytecode.OpJmpIfFalse || last.Op == bytecode.OpJmpIfTrue:
+			addEdge(b.Index, g.blockAt[last.A])
+			if b.End < n {
+				addEdge(b.Index, g.blockAt[b.End])
+			}
+		case last.Op.IsTerminator():
+			// Ret/RetVal/MissingReturn/Throw: no normal successors.
+		default:
+			if b.End < n {
+				addEdge(b.Index, g.blockAt[b.End])
+			}
+		}
+	}
+	// One factored exception edge per handler, from the start of its
+	// guarded range, so handler code is reachable and loops inside
+	// handlers are detected. (Exceptional exits from loops are not probe
+	// sites; the VM emits LoopExit events during unwinding instead.)
+	for _, h := range fn.Handlers {
+		from, to := g.blockAt[h.From], g.blockAt[h.Target]
+		dup := false
+		for _, s := range g.Blocks[from].Succs {
+			if s == to {
+				dup = true
+			}
+		}
+		if !dup {
+			addEdge(from, to)
+		}
+	}
+	return g
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// using the Cooper–Harvey–Kennedy iterative algorithm. idom[entry] = entry;
+// unreachable blocks have idom -1.
+func Dominators(g *Graph) []int {
+	n := len(g.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		return idom
+	}
+
+	// Reverse postorder over reachable blocks.
+	rpo := ReversePostorder(g)
+	order := make([]int, n) // block -> rpo position
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+
+	idom[g.Entry()] = g.Entry()
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry() {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p] == -1 {
+					continue // not yet processed or unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// ReversePostorder returns reachable block indices in reverse postorder.
+func ReversePostorder(g *Graph) []int {
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(b int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if len(g.Blocks) > 0 {
+		dfs(g.Entry())
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominates reports whether block a dominates block b under idom.
+func Dominates(idom []int, a, b int) bool {
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == idom[b] { // entry
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is a natural loop.
+type Loop struct {
+	// ID is assigned by the caller (unique across a program).
+	ID int
+	// Header is the loop header block.
+	Header int
+	// BackEdges are the (tail, header) edges that define the loop.
+	BackEdges [][2]int
+	// Body is the set of blocks in the loop (including the header),
+	// sorted ascending.
+	Body []int
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+	// Children are the directly nested loops.
+	Children []*Loop
+	// Depth is the nesting depth (outermost = 1).
+	Depth int
+}
+
+// Contains reports whether block b is in the loop body.
+func (l *Loop) Contains(b int) bool {
+	i := sort.SearchInts(l.Body, b)
+	return i < len(l.Body) && l.Body[i] == b
+}
+
+// NaturalLoops finds all natural loops of g: for every back edge t→h where
+// h dominates t, the loop body is h plus all blocks that reach t without
+// passing through h. Back edges sharing a header are merged into one loop,
+// and the loop forest (nesting) is derived from body containment.
+//
+// The result is sorted by header block and loops are assigned ids starting
+// at firstID.
+func NaturalLoops(g *Graph, firstID int) []*Loop {
+	idom := Dominators(g)
+	byHeader := map[int]*Loop{}
+
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if Dominates(idom, s, b.Index) {
+				// b -> s is a back edge with header s.
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s}
+					byHeader[s] = l
+				}
+				l.BackEdges = append(l.BackEdges, [2]int{b.Index, s})
+			}
+		}
+	}
+
+	var loops []*Loop
+	for _, l := range byHeader {
+		body := map[int]bool{l.Header: true}
+		var stack []int
+		for _, be := range l.BackEdges {
+			t := be[0]
+			if !body[t] {
+				body[t] = true
+				stack = append(stack, t)
+			}
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Blocks[x].Preds {
+				if !body[p] {
+					body[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		for b := range body {
+			l.Body = append(l.Body, b)
+		}
+		sort.Ints(l.Body)
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	for i, l := range loops {
+		l.ID = firstID + i
+	}
+
+	// Nesting: parent is the smallest strictly-containing loop.
+	for _, l := range loops {
+		var best *Loop
+		for _, o := range loops {
+			if o == l || len(o.Body) <= len(l.Body) {
+				continue
+			}
+			if !o.Contains(l.Header) {
+				continue
+			}
+			contained := true
+			for _, b := range l.Body {
+				if !o.Contains(b) {
+					contained = false
+					break
+				}
+			}
+			if contained && (best == nil || len(o.Body) < len(best.Body)) {
+				best = o
+			}
+		}
+		if best != nil {
+			l.Parent = best
+			best.Children = append(best.Children, l)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, l := range loops {
+		if l.Parent == nil {
+			setDepth(l, 1)
+		}
+	}
+	return loops
+}
+
+// Dump renders the CFG for debugging.
+func Dump(g *Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s: %d blocks\n", g.Fn.Name(), len(g.Blocks))
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "  B%d [%d,%d) -> %v\n", b.Index, b.Start, b.End, b.Succs)
+	}
+	return sb.String()
+}

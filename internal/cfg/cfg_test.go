@@ -1,0 +1,333 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"algoprof/internal/mj/bytecode"
+	"algoprof/internal/mj/compiler"
+)
+
+// compileFn compiles src and returns the named function.
+func compileFn(t *testing.T, src, qualified string) *bytecode.Function {
+	t.Helper()
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range prog.Funcs {
+		if fn.Name() == qualified {
+			return fn
+		}
+	}
+	t.Fatalf("no function %s", qualified)
+	return nil
+}
+
+func TestStraightLineSingleBlock(t *testing.T) {
+	fn := compileFn(t, `
+class Main { public static void main() { int a = 1; int b = a + 2; print(b); } }`,
+		"Main.main")
+	g := Build(fn)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("%d blocks, want 1\n%s", len(g.Blocks), Dump(g))
+	}
+	if len(g.Blocks[0].Succs) != 0 {
+		t.Error("single block should have no successors")
+	}
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	fn := compileFn(t, `
+class Main { public static void main() { int a = 1; if (a > 0) { a = 2; } else { a = 3; } print(a); } }`,
+		"Main.main")
+	g := Build(fn)
+	// entry, then, else, join
+	if len(g.Blocks) != 4 {
+		t.Fatalf("%d blocks, want 4\n%s", len(g.Blocks), Dump(g))
+	}
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry has %d succs, want 2", len(entry.Succs))
+	}
+	idom := Dominators(g)
+	join := g.BlockOf(len(fn.Code) - 1)
+	if idom[join] != entry.Index {
+		t.Errorf("join idom = B%d, want entry B%d", idom[join], entry.Index)
+	}
+}
+
+func TestWhileLoopDetection(t *testing.T) {
+	fn := compileFn(t, `
+class Main { public static void main() { int i = 0; while (i < 10) { i++; } print(i); } }`,
+		"Main.main")
+	g := Build(fn)
+	loops := NaturalLoops(g, 0)
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1\n%s", len(loops), Dump(g))
+	}
+	l := loops[0]
+	if len(l.BackEdges) != 1 {
+		t.Errorf("%d back edges, want 1", len(l.BackEdges))
+	}
+	if l.Depth != 1 || l.Parent != nil {
+		t.Errorf("depth=%d parent=%v", l.Depth, l.Parent)
+	}
+	// Header must dominate every body block.
+	idom := Dominators(g)
+	for _, b := range l.Body {
+		if !Dominates(idom, l.Header, b) {
+			t.Errorf("header B%d does not dominate body block B%d", l.Header, b)
+		}
+	}
+}
+
+func TestNestedLoopForest(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  public static void main() {
+    for (int o = 0; o < 3; o++) {
+      for (int i = 0; i < o; i++) { print(i); }
+    }
+  }
+}`, "Main.main")
+	g := Build(fn)
+	loops := NaturalLoops(g, 10)
+	if len(loops) != 2 {
+		t.Fatalf("%d loops, want 2\n%s", len(loops), Dump(g))
+	}
+	if loops[0].ID != 10 || loops[1].ID != 11 {
+		t.Errorf("ids: %d %d", loops[0].ID, loops[1].ID)
+	}
+	var outer, inner *Loop
+	for _, l := range loops {
+		if l.Parent == nil {
+			outer = l
+		} else {
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("expected one outer and one inner loop")
+	}
+	if inner.Parent != outer || inner.Depth != 2 || outer.Depth != 1 {
+		t.Errorf("nesting wrong: inner.parent=%v depths %d/%d", inner.Parent, inner.Depth, outer.Depth)
+	}
+	if len(outer.Children) != 1 || outer.Children[0] != inner {
+		t.Error("children wrong")
+	}
+	for _, b := range inner.Body {
+		if !outer.Contains(b) {
+			t.Errorf("inner body block B%d not in outer body", b)
+		}
+	}
+}
+
+func TestTripleNesting(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int a = 0; a < 2; a++) {
+      for (int b = 0; b < 2; b++) {
+        for (int c = 0; c < 2; c++) { s++; }
+      }
+    }
+    print(s);
+  }
+}`, "Main.main")
+	g := Build(fn)
+	loops := NaturalLoops(g, 0)
+	if len(loops) != 3 {
+		t.Fatalf("%d loops, want 3", len(loops))
+	}
+	depths := map[int]int{}
+	for _, l := range loops {
+		depths[l.Depth]++
+	}
+	if depths[1] != 1 || depths[2] != 1 || depths[3] != 1 {
+		t.Errorf("depth histogram %v, want one loop per depth 1..3", depths)
+	}
+}
+
+func TestSequentialLoopsNotNested(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int i = 0; i < 5; i++) { s++; }
+    for (int j = 0; j < 5; j++) { s--; }
+    print(s);
+  }
+}`, "Main.main")
+	g := Build(fn)
+	loops := NaturalLoops(g, 0)
+	if len(loops) != 2 {
+		t.Fatalf("%d loops, want 2", len(loops))
+	}
+	for _, l := range loops {
+		if l.Parent != nil || l.Depth != 1 {
+			t.Errorf("sequential loops must be siblings at depth 1")
+		}
+	}
+}
+
+func TestLoopWithBreakAndContinue(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int i = 0; i < 100; i++) {
+      if (i % 2 == 0) { continue; }
+      if (i > 10) { break; }
+      s = s + i;
+    }
+    print(s);
+  }
+}`, "Main.main")
+	g := Build(fn)
+	loops := NaturalLoops(g, 0)
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1 (continue adds a back-edge path, break an exit)", len(loops))
+	}
+}
+
+func TestWhileTrueLoop(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  public static void main() {
+    int i = 0;
+    while (true) {
+      i++;
+      if (i > 3) { break; }
+    }
+    print(i);
+  }
+}`, "Main.main")
+	g := Build(fn)
+	loops := NaturalLoops(g, 0)
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1", len(loops))
+	}
+}
+
+func TestEveryInstructionInExactlyOneBlock(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  static int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+      if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+      while (s > 100) { s = s / 2; }
+    }
+    return s;
+  }
+  public static void main() { print(f(50)); }
+}`, "Main.f")
+	g := Build(fn)
+	covered := make([]bool, len(fn.Code))
+	for _, b := range g.Blocks {
+		for i := b.Start; i < b.End; i++ {
+			if covered[i] {
+				t.Errorf("instruction %d in two blocks", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Errorf("instruction %d not in any block", i)
+		}
+	}
+}
+
+func TestDominatorBasicProperties(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  static int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+      if (i % 2 == 0) { s++; } else { s--; }
+    }
+    return s;
+  }
+  public static void main() { print(f(5)); }
+}`, "Main.f")
+	g := Build(fn)
+	idom := Dominators(g)
+	if idom[g.Entry()] != g.Entry() {
+		t.Error("entry must be its own idom")
+	}
+	for _, b := range g.Blocks {
+		if idom[b.Index] == -1 {
+			continue // unreachable
+		}
+		if !Dominates(idom, g.Entry(), b.Index) {
+			t.Errorf("entry must dominate reachable block B%d", b.Index)
+		}
+	}
+}
+
+// Property: for randomly shaped (but structured) nests of loops and ifs,
+// the number of detected natural loops equals the number of source loops,
+// and loop bodies are closed under the nesting relation.
+func TestLoopDetectionCountProperty(t *testing.T) {
+	gen := func(shape []bool, depth int) (string, int) {
+		// shape bits choose loop vs if at each step; depth caps nesting.
+		body := "s++;"
+		count := 0
+		for i := len(shape) - 1; i >= 0; i-- {
+			if shape[i] && count+1 <= depth {
+				body = "for (int v" + string(rune('a'+i)) + " = 0; v" + string(rune('a'+i)) + " < 2; v" + string(rune('a'+i)) + "++) { " + body + " }"
+				count++
+			} else {
+				body = "if (s < 1000) { " + body + " }"
+			}
+		}
+		return body, count
+	}
+	f := func(shape []bool) bool {
+		if len(shape) > 6 {
+			shape = shape[:6]
+		}
+		body, want := gen(shape, 6)
+		src := `
+class Main {
+  public static void main() {
+    int s = 0;
+    ` + body + `
+    print(s);
+  }
+}`
+		prog, err := compiler.CompileSource(src)
+		if err != nil {
+			return false
+		}
+		var fn *bytecode.Function
+		for _, fc := range prog.Funcs {
+			if fc.Name() == "Main.main" {
+				fn = fc
+			}
+		}
+		g := Build(fn)
+		loops := NaturalLoops(g, 0)
+		if len(loops) != want {
+			return false
+		}
+		// Bodies of nested loops are subsets of their parents.
+		for _, l := range loops {
+			if l.Parent == nil {
+				continue
+			}
+			for _, b := range l.Body {
+				if !l.Parent.Contains(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

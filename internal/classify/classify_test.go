@@ -1,0 +1,212 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+
+	"algoprof/internal/core"
+	"algoprof/internal/group"
+	"algoprof/internal/testutil"
+)
+
+// classify profiles src and returns the classification of the algorithm
+// containing the named node, plus the profiler for label lookups.
+func classifyAt(t *testing.T, src, node string, seed uint64) (*AlgorithmClass, *core.Profiler, *group.Algorithm) {
+	t.Helper()
+	p := testutil.Profile(t, src, core.Options{}, seed)
+	res := group.Analyze(p)
+	n := testutil.FindNode(p, node)
+	if n == nil {
+		t.Fatalf("no node %s", node)
+	}
+	alg := res.AlgorithmOf[n]
+	classes := Classify(p, res)
+	return classes[alg], p, alg
+}
+
+const listBuildTraverse = `
+class Node { Node next; int v; }
+class Main {
+  public static void main() {
+    Node head = null;
+    for (int i = 0; i < 10; i++) {
+      Node x = new Node();
+      x.next = head;
+      head = x;
+    }
+    int n = 0;
+    Node cur = head;
+    while (cur != null) { n++; cur = cur.next; }
+  }
+}`
+
+func TestConstructionClass(t *testing.T) {
+	ac, p, alg := classifyAt(t, listBuildTraverse, "Main.main/loop1", 1)
+	if len(alg.Inputs) != 1 {
+		t.Fatalf("inputs = %v", alg.Inputs)
+	}
+	if got := ac.PerInput[alg.Inputs[0]]; got != Construction {
+		t.Errorf("builder loop class = %v, want Construction", got)
+	}
+	desc := ac.Describe(func(id int) string { return p.Registry().Input(id).Label() })
+	if !strings.Contains(desc, "Construction of a Node-based recursive structure") {
+		t.Errorf("describe = %q", desc)
+	}
+}
+
+func TestTraversalClass(t *testing.T) {
+	ac, _, alg := classifyAt(t, listBuildTraverse, "Main.main/loop2", 1)
+	if got := ac.PerInput[alg.Inputs[0]]; got != Traversal {
+		t.Errorf("count loop class = %v, want Traversal", got)
+	}
+}
+
+func TestModificationClass(t *testing.T) {
+	// In-place list reversal: writes links but allocates nothing.
+	src := `
+class Node { Node next; int v; }
+class Main {
+  public static void main() {
+    Node head = build(10);
+    Node prev = null;
+    Node cur = head;
+    while (cur != null) {
+      Node nxt = cur.next;
+      cur.next = prev;
+      prev = cur;
+      cur = nxt;
+    }
+  }
+  static Node build(int n) {
+    Node head = null;
+    for (int i = 0; i < n; i++) {
+      Node x = new Node();
+      x.next = head;
+      head = x;
+    }
+    return head;
+  }
+}`
+	ac, _, alg := classifyAt(t, src, "Main.main/loop1", 1)
+	if got := ac.PerInput[alg.Inputs[0]]; got != Modification {
+		t.Errorf("reverse loop class = %v, want Modification", got)
+	}
+}
+
+func TestConstructionBeatsModification(t *testing.T) {
+	// The builder writes links too; allocation wins the priority order.
+	ac, _, alg := classifyAt(t, listBuildTraverse, "Main.main/loop1", 1)
+	if ac.PerInput[alg.Inputs[0]] == Modification {
+		t.Error("builder must be Construction, not Modification")
+	}
+}
+
+func TestDataStructureLess(t *testing.T) {
+	src := `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) { s = s + i; }
+  }
+}`
+	ac, _, _ := classifyAt(t, src, "Main.main/loop1", 1)
+	if !ac.DataStructureLess() {
+		t.Error("arithmetic loop is data-structure-less")
+	}
+	if got := ac.Describe(nil); got != "Data-structure-less algorithm" {
+		t.Errorf("describe = %q", got)
+	}
+}
+
+func TestInputOutputAlgorithm(t *testing.T) {
+	src := `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int i = 0; i < 5; i++) { s = s + readInput(); }
+    for (int i = 0; i < 5; i++) { writeOutput(s + i); }
+  }
+}`
+	acIn, _, _ := classifyAt(t, src, "Main.main/loop1", 1)
+	if !acIn.DoesInput || acIn.DoesOutput {
+		t.Errorf("loop1: DoesInput=%v DoesOutput=%v, want true/false", acIn.DoesInput, acIn.DoesOutput)
+	}
+	acOut, _, _ := classifyAt(t, src, "Main.main/loop2", 1)
+	if acOut.DoesInput || !acOut.DoesOutput {
+		t.Errorf("loop2: DoesInput=%v DoesOutput=%v, want false/true", acOut.DoesInput, acOut.DoesOutput)
+	}
+	if acIn.DataStructureLess() {
+		t.Error("an input algorithm is not data-structure-less")
+	}
+}
+
+func TestArrayTraversalVsModification(t *testing.T) {
+	src := `
+class Main {
+  public static void main() {
+    int[] a = new int[20];
+    for (int i = 0; i < 20; i++) { a[i] = i; }
+    int s = 0;
+    for (int i = 0; i < 20; i++) { s = s + a[i]; }
+  }
+}`
+	acW, _, algW := classifyAt(t, src, "Main.main/loop1", 1)
+	if got := acW.PerInput[algW.Inputs[0]]; got != Modification {
+		t.Errorf("array fill = %v, want Modification (arrays are never constructed element-wise)", got)
+	}
+	acR, _, algR := classifyAt(t, src, "Main.main/loop2", 1)
+	if got := acR.PerInput[algR.Inputs[0]]; got != Traversal {
+		t.Errorf("array sum = %v, want Traversal", got)
+	}
+}
+
+func TestMutuallyExclusivePerStructure(t *testing.T) {
+	// One algorithm traverses one structure and constructs another: both
+	// classes must appear, each tied to its own input (paper §2.8).
+	src := `
+class Src { Src next; int v; }
+class Dst { Dst next; int v; }
+class Main {
+  public static void main() {
+    Src head = build(8);
+    Dst out = null;
+    Src cur = head;
+    while (cur != null) {
+      Dst d = new Dst();
+      d.v = cur.v;
+      d.next = out;
+      out = d;
+      cur = cur.next;
+    }
+  }
+  static Src build(int n) {
+    Src head = null;
+    for (int i = 0; i < n; i++) {
+      Src x = new Src();
+      x.next = head;
+      head = x;
+    }
+    return head;
+  }
+}`
+	ac, p, alg := classifyAt(t, src, "Main.main/loop1", 1)
+	if len(alg.Inputs) != 2 {
+		t.Fatalf("translation loop inputs = %v, want 2", alg.Inputs)
+	}
+	var srcClass, dstClass Class
+	for _, id := range alg.Inputs {
+		label := p.Registry().Input(id).Label()
+		switch {
+		case strings.Contains(label, "Src"):
+			srcClass = ac.PerInput[id]
+		case strings.Contains(label, "Dst"):
+			dstClass = ac.PerInput[id]
+		}
+	}
+	if srcClass != Traversal {
+		t.Errorf("source structure = %v, want Traversal", srcClass)
+	}
+	if dstClass != Construction {
+		t.Errorf("destination structure = %v, want Construction", dstClass)
+	}
+}

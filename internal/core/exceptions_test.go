@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+)
+
+// The paper (§3.2): "AlgoProf correctly handles exceptional control flow,
+// i.e., when exceptions cause control to exit a loop or a method, AlgoProf
+// performs the corresponding Loop exit or Method exit operation." These
+// tests drive the profiler across throwing workloads.
+
+const notFoundSearch = `
+class Error { int code; Error(int code) { this.code = code; } }
+class Node { Node next; int v; Node(int v) { this.v = v; } }
+class Main {
+  public static void main() {
+    for (int size = 4; size <= 24; size = size + 4) {
+      Node head = build(size);
+      int found = 0;
+      for (int probe = 0; probe < 6; probe++) {
+        try {
+          int idx = find(head, rand(size * 2));
+          found++;
+        } catch (Error e) {
+          // not found: thrown from deep inside the scan loop
+        }
+      }
+      check(found >= 0);
+    }
+  }
+  static Node build(int size) {
+    Node head = null;
+    for (int i = 0; i < size; i++) {
+      Node x = new Node(rand(size * 2));
+      x.next = head;
+      head = x;
+    }
+    return head;
+  }
+  static int find(Node head, int v) {
+    int idx = 0;
+    Node cur = head;
+    while (cur != null) {
+      if (cur.v == v) { return idx; }
+      idx++;
+      cur = cur.next;
+    }
+    throw new Error(v);
+  }
+}`
+
+func TestExceptionalExitsKeepTreeConsistent(t *testing.T) {
+	p := profile(t, notFoundSearch, Options{})
+	// The find loop's invocations must balance despite throw-exits.
+	find := findNode(p, "Main.find/loop1")
+	if find == nil {
+		t.Fatal("no find loop node")
+	}
+	// 6 sizes... sizes 4..24 step 4 → 6 sizes × 6 probes = 36 find calls.
+	if got := find.Invocations(); got != 36 {
+		t.Errorf("find loop invocations = %d, want 36", got)
+	}
+	// All invocations completed: nothing left active (Finish found no
+	// dangling nodes, or profile() would have failed on p.Errors()).
+}
+
+func TestThrowingTraversalStillMeasured(t *testing.T) {
+	p := profile(t, notFoundSearch, Options{})
+	find := findNode(p, "Main.find/loop1")
+	// The scan reads links and has per-invocation sizes recorded even for
+	// invocations that ended in a throw.
+	var gets int64
+	for _, inv := range find.History {
+		var invGets int64
+		for k, v := range inv.Costs {
+			if k.Op == OpGet && k.Type == "" {
+				invGets += v
+			}
+		}
+		gets += invGets
+		// Every invocation that touched the structure has a measured
+		// size (a hit at index 0 reads no links and measures nothing).
+		if invGets > 0 && len(inv.Sizes) == 0 {
+			t.Errorf("invocation %d: %d GETs but no sizes", inv.Index, invGets)
+		}
+	}
+	if gets == 0 {
+		t.Error("no GET costs recorded on the throwing scan")
+	}
+}
+
+func TestRecursiveThrowUnwindsFolding(t *testing.T) {
+	p := profile(t, `
+class Error { Error() { } }
+class Main {
+  static int descend(int n) {
+    if (n == 0) { throw new Error(); }
+    return descend(n - 1);
+  }
+  public static void main() {
+    try {
+      int x = descend(7);
+    } catch (Error e) {
+    }
+    try {
+      int y = descend(3);
+    } catch (Error e) {
+    }
+  }
+}`, Options{})
+	rec := findNode(p, "Main.descend/recursion")
+	if rec == nil {
+		t.Fatal("no recursion node")
+	}
+	// Two outermost invocations, both unwound exceptionally through all
+	// folded frames.
+	if rec.Invocations() != 2 {
+		t.Errorf("invocations = %d, want 2", rec.Invocations())
+	}
+	if got := rec.TotalCost(OpStep); got != 7+3 {
+		t.Errorf("steps = %d, want 10", got)
+	}
+}

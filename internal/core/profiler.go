@@ -1,0 +1,664 @@
+// Package core implements the algorithmic profiler itself: it consumes the
+// event stream of an instrumented execution and incrementally builds the
+// repetition tree (the dynamic loop and recursion nesting tree of §2.1),
+// attributing high-level costs (algorithmic steps, structure reads/writes,
+// element creations, input reads, output writes — §2.2) and input sizes
+// (§2.4, §3.4) to each repetition invocation, following the dynamic
+// analysis of §3.2 of the AlgoProf paper.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"algoprof/internal/events"
+	"algoprof/internal/instrument"
+	"algoprof/internal/mj/types"
+	"algoprof/internal/rectype"
+	"algoprof/internal/snapshot"
+)
+
+// CostOp is a primitive operation of the cost model (§2.2).
+type CostOp uint8
+
+// Cost model operations.
+const (
+	OpStep     CostOp = iota // one loop iteration or recursive call
+	OpArrLoad                // array element read
+	OpArrStore               // array element write
+	OpGet                    // recursive-structure reference read
+	OpPut                    // recursive-structure reference write
+	OpNew                    // recursive-type element creation
+	OpIn                     // external input read
+	OpOut                    // external output write
+)
+
+var costOpNames = [...]string{"STEP", "LOAD", "STORE", "GET", "PUT", "NEW", "IN", "OUT"}
+
+// String names the operation like the paper's cost keys.
+func (op CostOp) String() string { return costOpNames[op] }
+
+// NoInput is the CostKey.Input for costs not tied to an identified input.
+const NoInput = -1
+
+// CostKey identifies one counter in a repetition's cost map, mirroring the
+// paper's cost{...} notation: cost{STEP}, cost{input#1, LOAD},
+// cost{input#3, Vertex, PUT}, cost{ListNode, NEW}.
+type CostKey struct {
+	Op    CostOp
+	Input int    // input id, or NoInput
+	Type  string // type qualifier ("" for untyped counters)
+}
+
+// String renders the key like the paper ("cost{input#3, Vertex, PUT}").
+func (k CostKey) String() string {
+	switch {
+	case k.Input == NoInput && k.Type == "":
+		return fmt.Sprintf("cost{%s}", k.Op)
+	case k.Input == NoInput:
+		return fmt.Sprintf("cost{%s, %s}", k.Type, k.Op)
+	case k.Type == "":
+		return fmt.Sprintf("cost{input#%d, %s}", k.Input, k.Op)
+	default:
+		return fmt.Sprintf("cost{input#%d, %s, %s}", k.Input, k.Type, k.Op)
+	}
+}
+
+// NodeKind distinguishes repetition tree nodes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindRoot NodeKind = iota
+	KindLoop
+	KindRecursion
+)
+
+// Invocation is the record of one completed execution of a repetition
+// (one entrance-to-exit of a loop, one outermost call of a recursion).
+// Keeping the full history per node is what allows cost-function inference
+// (§3.3).
+type Invocation struct {
+	// Index is the invocation's ordinal at its node (0-based).
+	Index int
+	// ParentIndex is the index of the parent node's invocation that was
+	// active when this invocation ran; used to combine child costs into
+	// parent invocations (§2.6).
+	ParentIndex int
+	// Costs maps cost keys to counts.
+	Costs map[CostKey]int64
+	// Sizes maps input ids (non-canonical; resolve via the registry) to
+	// the maximum size measured during this invocation.
+	Sizes map[int]int
+}
+
+// Node is a repetition tree node.
+type Node struct {
+	Kind NodeKind
+	// ID is the loop id (KindLoop) or method id (KindRecursion).
+	ID     int
+	Parent *Node
+	// Children in creation order.
+	Children []*Node
+
+	// History holds one record per completed invocation (every k-th when
+	// sampling is enabled).
+	History []Invocation
+	// Totals aggregates costs over ALL invocations, independent of
+	// sampling.
+	Totals map[CostKey]int64
+
+	childIdx       map[childKey]*Node
+	active         []*invocation // stack: same-node invocations can nest under recursion folding
+	recursionDepth int
+	started        int
+}
+
+type childKey struct {
+	kind NodeKind
+	id   int
+}
+
+// invocation is the mutable state of one active invocation.
+type invocation struct {
+	index       int
+	parentIndex int
+
+	costs map[CostKey]int64
+	sizes map[int]int
+
+	// lastRef remembers the most recently accessed entity per input, the
+	// starting point for the exit remeasurement (§3.4).
+	lastRef map[int]events.Entity
+	// measuredEpoch caches the registry write epoch at the last
+	// measurement per input so read-only invocations skip re-traversal.
+	measuredEpoch map[int]uint64
+
+	// Deferred identification of not-yet-known structures (§3.4,
+	// RemeasureInputs): costs are parked and resolved at exit from the
+	// first/last accessed references. Groups are keyed by the accessed
+	// entity's type name so that structures of different kinds built
+	// interleaved in one repetition do not contaminate each other;
+	// multi-class structures split across groups re-merge in the registry
+	// through snapshot overlap.
+	pending map[string]*pendingGroup
+}
+
+// pendingGroup parks costs for one not-yet-identified structure kind.
+type pendingGroup struct {
+	costs map[CostKey]int64
+	first events.Entity
+	last  events.Entity
+}
+
+func (inv *invocation) addCost(k CostKey, n int64) {
+	if inv.costs == nil {
+		inv.costs = map[CostKey]int64{}
+	}
+	inv.costs[k] += n
+}
+
+func (inv *invocation) pendingFor(e events.Entity) *pendingGroup {
+	if inv.pending == nil {
+		inv.pending = map[string]*pendingGroup{}
+	}
+	key := e.TypeName()
+	g := inv.pending[key]
+	if g == nil {
+		g = &pendingGroup{costs: map[CostKey]int64{}, first: e}
+		inv.pending[key] = g
+	}
+	g.last = e
+	return g
+}
+
+func (n *Node) getOrCreateChild(kind NodeKind, id int) *Node {
+	if n.childIdx == nil {
+		n.childIdx = map[childKey]*Node{}
+	}
+	k := childKey{kind, id}
+	if c, ok := n.childIdx[k]; ok {
+		return c
+	}
+	c := &Node{Kind: kind, ID: id, Parent: n}
+	n.childIdx[k] = c
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// cur returns the node's innermost active invocation, or nil.
+func (n *Node) cur() *invocation {
+	if len(n.active) == 0 {
+		return nil
+	}
+	return n.active[len(n.active)-1]
+}
+
+// Invocations returns the number of recorded invocations (all of them,
+// unless sampling dropped some).
+func (n *Node) Invocations() int { return len(n.History) }
+
+// Started returns the number of begun invocations, independent of
+// sampling.
+func (n *Node) Started() int { return n.started }
+
+// TotalCost sums a cost op over all invocations (exact even under
+// sampling). Only untyped keys are summed (every operation is recorded
+// under an untyped key plus optional typed refinements, so this never
+// double counts).
+func (n *Node) TotalCost(op CostOp) int64 {
+	var sum int64
+	for k, v := range n.Totals {
+		if k.Op == op && k.Type == "" {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// IdentifyMode selects when unknown structures are snapshotted (§3.4).
+type IdentifyMode int
+
+// Identification modes.
+const (
+	// DeferredIdentify implements the paper's RemeasureInputs
+	// optimization: accesses to not-yet-identified structures are parked
+	// and resolved by two snapshots (first and last accessed reference)
+	// at repetition exit. Constructions cost O(n) instead of O(n²).
+	DeferredIdentify IdentifyMode = iota
+	// EagerIdentify snapshots at every access of an unknown structure —
+	// the unoptimized variant, kept for the overhead ablation.
+	EagerIdentify
+)
+
+// Options configure a Profiler.
+type Options struct {
+	// Identify selects deferred (default) or eager input identification.
+	Identify IdentifyMode
+	// SizeStrategy selects array size measurement (default Capacity).
+	SizeStrategy snapshot.Strategy
+	// Criterion selects the snapshot equivalence criterion (default
+	// SomeElements, the paper's choice).
+	Criterion snapshot.Criterion
+	// SampleEvery keeps only every k-th invocation record per repetition
+	// node (0 or 1 keeps all). Totals stay exact; cost-function series
+	// thin out proportionally. Implements the paper's §3.3 suggestion for
+	// reducing the profiler's memory footprint.
+	SampleEvery int
+}
+
+// Profiler consumes events and builds the repetition tree. It implements
+// events.Listener.
+type Profiler struct {
+	ins  *instrument.Instrumented // nil for custom (non-MJ) frontends
+	reg  *snapshot.Registry
+	opts Options
+
+	nameFn      func(NodeKind, int) string
+	fieldTypeFn func(int) string
+
+	root  *Node
+	tn    *Node   // current repetition tree node
+	stack []*Node // shadow stack (§3.2)
+
+	// allocatedBy maps entity ids to the repetition node active at their
+	// allocation; the classifier uses it to tell constructions from
+	// modifications.
+	allocatedBy map[uint64]*Node
+
+	errs []error
+}
+
+var _ events.Listener = (*Profiler)(nil)
+
+// NewProfiler creates a profiler for one instrumented MJ execution.
+func NewProfiler(ins *instrument.Instrumented, opts Options) *Profiler {
+	p := newProfiler(ins.RecTypes, opts)
+	p.ins = ins
+	p.nameFn = func(kind NodeKind, id int) string {
+		switch kind {
+		case KindLoop:
+			return ins.LoopByID(id).Name()
+		case KindRecursion:
+			return ins.Prog.Sem.MethodByID(id).QualifiedName() + "/recursion"
+		}
+		return "Program"
+	}
+	p.fieldTypeFn = func(fieldID int) string {
+		f := ins.Prog.Sem.FieldByID(fieldID)
+		t := f.Type
+		for t.Kind == types.KArray {
+			t = t.Elem
+		}
+		return t.String()
+	}
+	return p
+}
+
+// NewCustomProfiler creates a profiler for a non-MJ frontend (e.g. the
+// probe API for natively instrumented Go code). rt drives structure
+// traversal (which field ids are recursive links), nameFn labels
+// repetition nodes, and fieldTypeFn labels field ids for typed cost keys.
+func NewCustomProfiler(rt *rectype.Result,
+	nameFn func(NodeKind, int) string,
+	fieldTypeFn func(int) string,
+	opts Options) *Profiler {
+
+	p := newProfiler(rt, opts)
+	p.nameFn = nameFn
+	p.fieldTypeFn = fieldTypeFn
+	return p
+}
+
+func newProfiler(rt *rectype.Result, opts Options) *Profiler {
+	p := &Profiler{
+		reg:         snapshot.NewRegistryWith(rt, opts.SizeStrategy, opts.Criterion),
+		opts:        opts,
+		root:        &Node{Kind: KindRoot, ID: -1},
+		allocatedBy: map[uint64]*Node{},
+	}
+	p.root.active = []*invocation{{index: 0, parentIndex: 0}}
+	p.root.started = 1
+	p.tn = p.root
+	p.stack = []*Node{p.root}
+	return p
+}
+
+// NodeSourceLine returns the source line of a repetition node's header
+// (loops only; 0 when unknown or for non-MJ frontends).
+func (p *Profiler) NodeSourceLine(n *Node) int {
+	if p.ins == nil || n.Kind != KindLoop {
+		return 0
+	}
+	return p.ins.LoopByID(n.ID).Line
+}
+
+// NodeName renders a human-readable name for a repetition node.
+func (p *Profiler) NodeName(n *Node) string {
+	if n.Kind == KindRoot {
+		return "Program"
+	}
+	if p.nameFn == nil {
+		return fmt.Sprintf("%v#%d", n.Kind, n.ID)
+	}
+	return p.nameFn(n.Kind, n.ID)
+}
+
+// Registry exposes the input registry (for reporting and analysis).
+func (p *Profiler) Registry() *snapshot.Registry { return p.reg }
+
+// Instrumented exposes the static instrumentation metadata.
+func (p *Profiler) Instrumented() *instrument.Instrumented { return p.ins }
+
+// Root returns the repetition tree root.
+func (p *Profiler) Root() *Node { return p.root }
+
+// AllocatedBy returns the repetition node that allocated entity id, or nil.
+func (p *Profiler) AllocatedBy(id uint64) *Node { return p.allocatedBy[id] }
+
+// Allocations returns the full entity-id → allocating-node map.
+func (p *Profiler) Allocations() map[uint64]*Node { return p.allocatedBy }
+
+// Errors returns internal consistency problems detected during profiling.
+func (p *Profiler) Errors() []error { return p.errs }
+
+// Finish finalizes the root invocation. Call once after the program run.
+func (p *Profiler) Finish() {
+	for p.tn != p.root && len(p.stack) > 1 {
+		// Unbalanced events (program aborted mid-run): close out.
+		p.errs = append(p.errs, fmt.Errorf("core: node %v still active at finish", p.tn.Kind))
+		p.exitCurrent()
+	}
+	if inv := p.root.cur(); inv != nil {
+		p.finalize(p.root)
+	}
+}
+
+func (p *Profiler) errorf(format string, args ...any) {
+	if len(p.errs) < 100 {
+		p.errs = append(p.errs, fmt.Errorf("core: "+format, args...))
+	}
+}
+
+// begin starts a new invocation of node under the current parent context.
+func (p *Profiler) begin(node *Node) {
+	parentInv := 0
+	if node.Parent != nil {
+		if pi := node.Parent.cur(); pi != nil {
+			parentInv = pi.index
+		}
+	}
+	node.active = append(node.active, &invocation{
+		index:       node.started,
+		parentIndex: parentInv,
+	})
+	node.started++
+}
+
+// finalize completes the node's innermost invocation: remeasure inputs,
+// resolve pending costs, append to history (§3.3).
+func (p *Profiler) finalize(node *Node) {
+	inv := node.cur()
+	if inv == nil {
+		p.errorf("finalize without active invocation")
+		return
+	}
+	node.active = node.active[:len(node.active)-1]
+	p.remeasure(inv)
+	if node.Totals == nil {
+		node.Totals = map[CostKey]int64{}
+	}
+	for k, v := range inv.costs {
+		node.Totals[k] += v
+	}
+	if k := p.opts.SampleEvery; k > 1 && inv.index%k != 0 {
+		return // sampled out: totals kept, record dropped
+	}
+	node.History = append(node.History, Invocation{
+		Index:       inv.index,
+		ParentIndex: inv.parentIndex,
+		Costs:       inv.costs,
+		Sizes:       inv.sizes,
+	})
+}
+
+// remeasure implements RemeasureInputs (§3.4): at repetition exit, take a
+// final snapshot of each touched input (starting from the last accessed
+// reference) and resolve deferred identifications.
+func (p *Profiler) remeasure(inv *invocation) {
+	for id, ref := range inv.lastRef {
+		if epoch, ok := inv.measuredEpoch[id]; ok && epoch == p.reg.WriteEpoch() {
+			continue // nothing written since the last measurement
+		}
+		obs := p.reg.Observe(ref)
+		p.recordSize(inv, obs)
+	}
+	if len(inv.pending) > 0 {
+		keys := make([]string, 0, len(inv.pending))
+		for k := range inv.pending {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			g := inv.pending[key]
+			if g.first != nil && g.first != g.last {
+				// The first accessed reference may see a different fragment
+				// (Listing 4); observing both lets overlap unification join
+				// them.
+				p.reg.Observe(g.first)
+			}
+			obs := p.reg.Observe(g.last)
+			p.recordSize(inv, obs)
+			for k, v := range g.costs {
+				k.Input = obs.InputID
+				inv.addCost(k, v)
+			}
+		}
+		inv.pending = nil
+	}
+}
+
+func (p *Profiler) recordSize(inv *invocation, obs snapshot.Observation) {
+	if inv.sizes == nil {
+		inv.sizes = map[int]int{}
+	}
+	if obs.Size > inv.sizes[obs.InputID] {
+		inv.sizes[obs.InputID] = obs.Size
+	}
+	if inv.measuredEpoch == nil {
+		inv.measuredEpoch = map[int]uint64{}
+	}
+	inv.measuredEpoch[obs.InputID] = p.reg.WriteEpoch()
+}
+
+// exitCurrent force-exits the current node (used only for error recovery).
+func (p *Profiler) exitCurrent() {
+	p.finalize(p.tn)
+	if len(p.stack) > 1 {
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+	p.tn = p.stack[len(p.stack)-1]
+}
+
+// ---------------------------------------------------------------------------
+// events.Listener: repetition tree construction (§3.2)
+
+// LoopEntry implements events.Listener.
+func (p *Profiler) LoopEntry(loopID int) {
+	node := p.tn.getOrCreateChild(KindLoop, loopID)
+	p.tn = node
+	p.begin(node)
+	p.stack = append(p.stack, node)
+}
+
+// LoopBack implements events.Listener.
+func (p *Profiler) LoopBack(loopID int) {
+	node := p.tn
+	if node.Kind != KindLoop || node.ID != loopID {
+		node = p.findOnStack(KindLoop, loopID)
+		if node == nil {
+			p.errorf("back edge for inactive loop %d", loopID)
+			return
+		}
+	}
+	if inv := node.cur(); inv != nil {
+		inv.addCost(CostKey{Op: OpStep, Input: NoInput}, 1)
+	}
+}
+
+// LoopExit implements events.Listener.
+func (p *Profiler) LoopExit(loopID int) {
+	if p.tn.Kind != KindLoop || p.tn.ID != loopID {
+		p.errorf("loop exit %d while at %v/%d", loopID, p.tn.Kind, p.tn.ID)
+		return
+	}
+	p.finalize(p.tn)
+	p.stack = p.stack[:len(p.stack)-1]
+	p.tn = p.stack[len(p.stack)-1]
+}
+
+// MethodEntry implements events.Listener.
+func (p *Profiler) MethodEntry(methodID int) {
+	if header := p.findOnPathToRoot(methodID); header != nil {
+		// Recursive re-entry: fold into the header node and count one
+		// algorithmic step.
+		p.tn = header
+		if inv := header.cur(); inv != nil {
+			inv.addCost(CostKey{Op: OpStep, Input: NoInput}, 1)
+		}
+	} else {
+		p.tn = p.tn.getOrCreateChild(KindRecursion, methodID)
+	}
+	if p.tn.recursionDepth == 0 {
+		p.begin(p.tn)
+	}
+	p.tn.recursionDepth++
+	p.stack = append(p.stack, p.tn)
+}
+
+// MethodExit implements events.Listener.
+func (p *Profiler) MethodExit(methodID int) {
+	node := p.tn
+	if node.Kind != KindRecursion || node.ID != methodID {
+		p.errorf("method exit %d while at %v/%d", methodID, node.Kind, node.ID)
+		return
+	}
+	node.recursionDepth--
+	if node.recursionDepth == 0 {
+		p.finalize(node)
+	}
+	p.stack = p.stack[:len(p.stack)-1]
+	p.tn = p.stack[len(p.stack)-1]
+}
+
+func (p *Profiler) findOnPathToRoot(methodID int) *Node {
+	for n := p.tn; n != nil; n = n.Parent {
+		if n.Kind == KindRecursion && n.ID == methodID {
+			return n
+		}
+	}
+	return nil
+}
+
+func (p *Profiler) findOnStack(kind NodeKind, id int) *Node {
+	for i := len(p.stack) - 1; i >= 0; i-- {
+		if p.stack[i].Kind == kind && p.stack[i].ID == id {
+			return p.stack[i]
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// events.Listener: cost and input tracking (§3.3, §3.4)
+
+// structureAccess handles a read or write of a recursive structure link.
+func (p *Profiler) structureAccess(obj events.Entity, op CostOp, typeName string) {
+	inv := p.tn.cur()
+	if inv == nil {
+		return
+	}
+	id := p.reg.InputOf(obj)
+	if id < 0 {
+		if p.opts.Identify == EagerIdentify {
+			obs := p.reg.Observe(obj)
+			p.recordSize(inv, obs)
+			id = obs.InputID
+		} else {
+			g := inv.pendingFor(obj)
+			g.costs[CostKey{Op: op, Input: NoInput}]++
+			if typeName != "" {
+				g.costs[CostKey{Op: op, Input: NoInput, Type: typeName}]++
+			}
+			return
+		}
+	}
+	inv.addCost(CostKey{Op: op, Input: id}, 1)
+	if typeName != "" {
+		inv.addCost(CostKey{Op: op, Input: id, Type: typeName}, 1)
+	}
+	if inv.lastRef == nil {
+		inv.lastRef = map[int]events.Entity{}
+	}
+	inv.lastRef[id] = obj
+	if _, measured := inv.measuredEpoch[id]; !measured {
+		// First access of this input in this invocation: snapshot (§3.4).
+		obs := p.reg.Observe(obj)
+		p.recordSize(inv, obs)
+	}
+}
+
+// FieldGet implements events.Listener.
+func (p *Profiler) FieldGet(obj events.Entity, fieldID int) {
+	p.structureAccess(obj, OpGet, p.fieldTypeName(fieldID))
+}
+
+// FieldPut implements events.Listener.
+func (p *Profiler) FieldPut(obj events.Entity, fieldID int, _ events.Entity) {
+	p.reg.NoteWrite()
+	p.structureAccess(obj, OpPut, p.fieldTypeName(fieldID))
+}
+
+// ArrayLoad implements events.Listener.
+func (p *Profiler) ArrayLoad(arr events.Entity) {
+	p.structureAccess(arr, OpArrLoad, arr.TypeName())
+}
+
+// ArrayStore implements events.Listener.
+func (p *Profiler) ArrayStore(arr events.Entity, _ events.Entity) {
+	p.reg.NoteWrite()
+	p.structureAccess(arr, OpArrStore, arr.TypeName())
+}
+
+// Alloc implements events.Listener.
+func (p *Profiler) Alloc(obj events.Entity, classID int) {
+	if inv := p.tn.cur(); inv != nil {
+		inv.addCost(CostKey{Op: OpNew, Input: NoInput}, 1)
+		inv.addCost(CostKey{Op: OpNew, Input: NoInput, Type: obj.TypeName()}, 1)
+	}
+	p.allocatedBy[obj.EntityID()] = p.tn
+}
+
+// InputRead implements events.Listener.
+func (p *Profiler) InputRead() {
+	if inv := p.tn.cur(); inv != nil {
+		inv.addCost(CostKey{Op: OpIn, Input: NoInput}, 1)
+	}
+}
+
+// OutputWrite implements events.Listener.
+func (p *Profiler) OutputWrite() {
+	if inv := p.tn.cur(); inv != nil {
+		inv.addCost(CostKey{Op: OpOut, Input: NoInput}, 1)
+	}
+}
+
+// fieldTypeName returns the base type name of the field's declared type
+// (the paper's "by element type" qualifier, e.g. Vertex for a
+// Vertex/Vertex[] field).
+func (p *Profiler) fieldTypeName(fieldID int) string {
+	if p.fieldTypeFn == nil {
+		return ""
+	}
+	return p.fieldTypeFn(fieldID)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"algoprof/internal/instrument"
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/vm"
+)
+
+// Property: for a randomly shaped nest of counted loops, the profiler's
+// STEP totals agree exactly with the program's own iteration counter.
+// This ties the whole pipeline — compiler, CFG loop detection, probe
+// rewriting, VM, repetition tree — to ground truth semantics.
+func TestStepCountsMatchGroundTruthProperty(t *testing.T) {
+	gen := func(bounds []uint8) (string, bool) {
+		if len(bounds) == 0 {
+			return "", false
+		}
+		if len(bounds) > 4 {
+			bounds = bounds[:4]
+		}
+		// Build a nest: for v0 < b0 { for v1 < b1 { ... s++ } }.
+		body := "s = s + 1;"
+		for i := len(bounds) - 1; i >= 0; i-- {
+			b := int(bounds[i]%5) + 1 // 1..5 iterations per level
+			v := fmt.Sprintf("v%d", i)
+			body = fmt.Sprintf("for (int %s = 0; %s < %d; %s++) { %s }", v, v, b, v, body)
+		}
+		return `
+class Main {
+  public static void main() {
+    int s = 0;
+    ` + body + `
+    writeOutput(s);
+  }
+}`, true
+	}
+
+	f := func(bounds []uint8) bool {
+		src, ok := gen(bounds)
+		if !ok {
+			return true
+		}
+		p, out := profileWithOutput(t, src)
+		if len(out) != 1 {
+			return false
+		}
+		innerIterations := out[0]
+
+		// The innermost loop's STEP total equals the program's counter.
+		var innermost *Node
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if len(n.Children) == 0 && n.Kind == KindLoop {
+				innermost = n
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(p.Root())
+		if innermost == nil {
+			return false
+		}
+		if innermost.TotalCost(OpStep) != innerIterations {
+			return false
+		}
+
+		// Every loop node's STEP total equals the product of the bounds
+		// down to its depth.
+		expected := int64(1)
+		n := p.Root()
+		depth := 0
+		for len(n.Children) == 1 || (len(n.Children) > 0 && depth == 0) {
+			n = n.Children[0]
+			if depth >= len(bounds) || depth >= 4 {
+				break
+			}
+			expected *= int64(bounds[depth]%5) + 1
+			if n.TotalCost(OpStep) != expected {
+				return false
+			}
+			depth++
+			if len(n.Children) == 0 {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// profileWithOutput runs the pipeline and also returns writeOutput values.
+func profileWithOutput(t *testing.T, src string) (*Profiler, []int64) {
+	t.Helper()
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ins, err := instrument.Instrument(prog, instrument.Optimized)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	p := NewProfiler(ins, Options{})
+	m := vm.New(ins.Prog, vm.Config{Listener: p, Plan: ins.Plan, Seed: 1})
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	p.Finish()
+	if errs := p.Errors(); len(errs) != 0 {
+		t.Fatalf("profiler errors: %v", errs)
+	}
+	var out []int64
+	for _, v := range m.Output {
+		out = append(out, v.I)
+	}
+	return p, out
+}
+
+// Property: recursion depth equals STEP count + 1 calls for linear
+// self-recursion of random depth.
+func TestLinearRecursionStepsProperty(t *testing.T) {
+	f := func(depth uint8) bool {
+		d := int(depth%40) + 1
+		src := fmt.Sprintf(`
+class Main {
+  static int down(int n) {
+    if (n == 0) { return 0; }
+    return 1 + down(n - 1);
+  }
+  public static void main() {
+    writeOutput(down(%d));
+  }
+}`, d)
+		p := profile(t, src, Options{})
+		var rec *Node
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if n.Kind == KindRecursion {
+				rec = n
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(p.Root())
+		if rec == nil {
+			return false
+		}
+		// d recursive re-entries (depth d plus the base call).
+		return rec.TotalCost(OpStep) == int64(d) && rec.Invocations() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+)
+
+const samplingSrc = `
+class Main {
+  static void work(int n) {
+    for (int i = 0; i < n; i++) { }
+  }
+  public static void main() {
+    for (int r = 0; r < 40; r++) { work(r); }
+  }
+}`
+
+func TestSamplingKeepsEveryKth(t *testing.T) {
+	full := profile(t, samplingSrc, Options{})
+	sampled := profile(t, samplingSrc, Options{SampleEvery: 4})
+
+	fullLoop := findNode(full, "Main.work/loop1")
+	sampLoop := findNode(sampled, "Main.work/loop1")
+	if fullLoop.Invocations() != 40 {
+		t.Fatalf("full invocations = %d", fullLoop.Invocations())
+	}
+	if sampLoop.Invocations() != 10 {
+		t.Errorf("sampled invocations = %d, want 10 (every 4th of 40)", sampLoop.Invocations())
+	}
+	if sampLoop.Started() != 40 {
+		t.Errorf("Started = %d, want 40 (sampling is record-only)", sampLoop.Started())
+	}
+}
+
+func TestSamplingTotalsExact(t *testing.T) {
+	full := profile(t, samplingSrc, Options{})
+	sampled := profile(t, samplingSrc, Options{SampleEvery: 8})
+
+	fullSteps := findNode(full, "Main.work/loop1").TotalCost(OpStep)
+	sampSteps := findNode(sampled, "Main.work/loop1").TotalCost(OpStep)
+	if fullSteps != sampSteps {
+		t.Errorf("sampled totals %d != exact totals %d", sampSteps, fullSteps)
+	}
+	// Σ i for i in 0..39 = 780.
+	if fullSteps != 780 {
+		t.Errorf("total steps = %d, want 780", fullSteps)
+	}
+}
+
+func TestSamplingPreservesRecordedIndices(t *testing.T) {
+	sampled := profile(t, samplingSrc, Options{SampleEvery: 5})
+	loop := findNode(sampled, "Main.work/loop1")
+	for _, inv := range loop.History {
+		if inv.Index%5 != 0 {
+			t.Errorf("kept invocation index %d not a multiple of 5", inv.Index)
+		}
+	}
+}
+
+func TestSampleEveryOneKeepsAll(t *testing.T) {
+	p := profile(t, samplingSrc, Options{SampleEvery: 1})
+	if got := findNode(p, "Main.work/loop1").Invocations(); got != 40 {
+		t.Errorf("SampleEvery=1 kept %d records, want 40", got)
+	}
+}

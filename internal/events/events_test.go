@@ -1,0 +1,90 @@
+package events
+
+import "testing"
+
+// countingListener counts every event kind.
+type countingListener struct {
+	NopListener
+	loops, methods, fields, arrays, allocs, io int
+}
+
+func (c *countingListener) LoopEntry(int)        { c.loops++ }
+func (c *countingListener) LoopBack(int)         { c.loops++ }
+func (c *countingListener) LoopExit(int)         { c.loops++ }
+func (c *countingListener) MethodEntry(int)      { c.methods++ }
+func (c *countingListener) MethodExit(int)       { c.methods++ }
+func (c *countingListener) FieldGet(Entity, int) { c.fields++ }
+func (c *countingListener) FieldPut(Entity, int, Entity) {
+	c.fields++
+}
+func (c *countingListener) ArrayLoad(Entity)          { c.arrays++ }
+func (c *countingListener) ArrayStore(Entity, Entity) { c.arrays++ }
+func (c *countingListener) Alloc(Entity, int)         { c.allocs++ }
+func (c *countingListener) InputRead()                { c.io++ }
+func (c *countingListener) OutputWrite()              { c.io++ }
+
+func fire(l Listener) {
+	l.LoopEntry(1)
+	l.LoopBack(1)
+	l.LoopExit(1)
+	l.MethodEntry(2)
+	l.MethodExit(2)
+	l.FieldGet(nil, 3)
+	l.FieldPut(nil, 3, nil)
+	l.ArrayLoad(nil)
+	l.ArrayStore(nil, nil)
+	l.Alloc(nil, 4)
+	l.InputRead()
+	l.OutputWrite()
+}
+
+func TestMultiFansOutInOrder(t *testing.T) {
+	a := &countingListener{}
+	b := &countingListener{}
+	fire(Multi{a, b})
+	for i, c := range []*countingListener{a, b} {
+		if c.loops != 3 || c.methods != 2 || c.fields != 2 || c.arrays != 2 || c.allocs != 1 || c.io != 2 {
+			t.Errorf("listener %d counts: %+v", i, *c)
+		}
+	}
+}
+
+func TestNopListenerAcceptsEverything(t *testing.T) {
+	fire(NopListener{}) // must not panic
+}
+
+func TestPlanHelpers(t *testing.T) {
+	full := NewFullPlan(3, 4, 5)
+	for m := 0; m < 3; m++ {
+		if !full.WantsMethod(m) {
+			t.Errorf("full plan method %d", m)
+		}
+	}
+	for f := 0; f < 4; f++ {
+		if !full.WantsField(f) {
+			t.Errorf("full plan field %d", f)
+		}
+	}
+	for c := 0; c < 5; c++ {
+		if !full.WantsAlloc(c) {
+			t.Errorf("full plan class %d", c)
+		}
+	}
+	if !full.Arrays || !full.IO {
+		t.Error("full plan must enable arrays and io")
+	}
+
+	empty := NewEmptyPlan(3, 4, 5)
+	if empty.WantsMethod(0) || empty.WantsField(0) || empty.WantsAlloc(0) {
+		t.Error("empty plan must disable everything")
+	}
+
+	// Out-of-range and nil plans are safe.
+	if full.WantsMethod(-1) || full.WantsMethod(99) {
+		t.Error("out-of-range method ids must be false")
+	}
+	var nilPlan *Plan
+	if nilPlan.WantsMethod(0) || nilPlan.WantsField(0) || nilPlan.WantsAlloc(0) {
+		t.Error("nil plan must be all-false")
+	}
+}

@@ -1,0 +1,225 @@
+// Package fit infers empirical cost functions from (input size, cost)
+// samples — the §2.7 step that the AlgoProf paper delegates to empirical
+// algorithmics and performs by hand; here it is automated with linear
+// least squares over a basis of common complexity shapes and adjusted-R²
+// model selection with a parsimony preference.
+package fit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Model is a candidate cost-function shape.
+type Model int
+
+// Candidate models, ordered from simplest to most complex.
+const (
+	Constant     Model = iota // cost ≈ b
+	Logarithmic               // cost ≈ a·log2(n+1) + b
+	Linear                    // cost ≈ a·n + b
+	Linearithmic              // cost ≈ a·n·log2(n+1) + b
+	Quadratic                 // cost ≈ a·n² + b
+	Cubic                     // cost ≈ a·n³ + b
+)
+
+var modelNames = [...]string{"1", "log n", "n", "n log n", "n^2", "n^3"}
+
+// String names the model's growth term.
+func (m Model) String() string { return modelNames[m] }
+
+// Basis evaluates the model's basis function at n.
+func (m Model) Basis(n float64) float64 {
+	switch m {
+	case Constant:
+		return 1
+	case Logarithmic:
+		return math.Log2(n + 1)
+	case Linear:
+		return n
+	case Linearithmic:
+		return n * math.Log2(n+1)
+	case Quadratic:
+		return n * n
+	case Cubic:
+		return n * n * n
+	}
+	return 0
+}
+
+// Models lists all candidates, simplest first.
+func Models() []Model {
+	return []Model{Constant, Logarithmic, Linear, Linearithmic, Quadratic, Cubic}
+}
+
+// Point is one (size, cost) sample.
+type Point struct {
+	Size float64
+	Cost float64
+}
+
+// Fit is a fitted cost function cost ≈ Coeff·basis(size) + Intercept.
+type Fit struct {
+	Model     Model
+	Coeff     float64
+	Intercept float64
+	// R2 is the coefficient of determination on the fitting data.
+	R2 float64
+	// N is the number of samples used.
+	N int
+}
+
+// Eval evaluates the fitted function at size n.
+func (f *Fit) Eval(n float64) float64 {
+	return f.Coeff*f.Model.Basis(n) + f.Intercept
+}
+
+// String renders the fit like the paper's annotations ("0.25*n^2").
+func (f *Fit) String() string {
+	if f.Model == Constant {
+		return fmt.Sprintf("%.3g", f.Intercept+f.Coeff)
+	}
+	s := fmt.Sprintf("%.3g*%s", f.Coeff, f.Model)
+	if math.Abs(f.Intercept) >= 0.5 {
+		sign := "+"
+		v := f.Intercept
+		if v < 0 {
+			sign = "-"
+			v = -v
+		}
+		s += fmt.Sprintf(" %s %.3g", sign, v)
+	}
+	return s
+}
+
+// FitModel fits one candidate model by ordinary least squares, returning
+// nil when the model is not applicable (degenerate basis variance).
+func FitModel(points []Point, m Model) *Fit {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if m == Constant {
+		mean := 0.0
+		for _, p := range points {
+			mean += p.Cost
+		}
+		mean /= float64(n)
+		ssRes, ssTot := 0.0, 0.0
+		for _, p := range points {
+			d := p.Cost - mean
+			ssRes += d * d
+			ssTot += d * d
+		}
+		r2 := 1.0
+		if ssTot > 0 {
+			r2 = 0 // a constant explains none of the variance
+		}
+		return &Fit{Model: Constant, Intercept: mean, R2: r2, N: n}
+	}
+
+	var sx, sy, sxx, sxy float64
+	for _, p := range points {
+		x := m.Basis(p.Size)
+		sx += x
+		sy += p.Cost
+		sxx += x * x
+		sxy += x * p.Cost
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return nil // no variance in the basis: model not applicable
+	}
+	a := (fn*sxy - sx*sy) / den
+	b := (sy - a*sx) / fn
+
+	meanY := sy / fn
+	ssRes, ssTot := 0.0, 0.0
+	for _, p := range points {
+		x := m.Basis(p.Size)
+		r := p.Cost - (a*x + b)
+		ssRes += r * r
+		d := p.Cost - meanY
+		ssTot += d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return &Fit{Model: m, Coeff: a, Intercept: b, R2: r2, N: n}
+}
+
+// parsimonyMargin is how much R² a more complex model must gain to beat a
+// simpler one. It must stay below ~0.003: that is the gap between a linear
+// fit and the true model on exact n·log n data over typical size ranges.
+const parsimonyMargin = 0.001
+
+// Best fits all candidate models and selects the best by R² with a
+// parsimony preference: a more complex model wins only when it improves R²
+// by more than parsimonyMargin. Returns nil when points is empty.
+func Best(points []Point) *Fit {
+	if len(points) == 0 {
+		return nil
+	}
+	// Degenerate data: a single distinct size fits only a constant.
+	sizes := map[float64]bool{}
+	for _, p := range points {
+		sizes[p.Size] = true
+	}
+	if len(sizes) == 1 {
+		f := FitModel(points, Constant)
+		f.R2 = 1
+		return f
+	}
+
+	var best *Fit
+	for _, m := range Models() {
+		f := FitModel(points, m)
+		if f == nil {
+			continue
+		}
+		// Reject shapes with a (meaningfully) negative growth coefficient:
+		// costs do not shrink with input size in this model family.
+		if m != Constant && f.Coeff < 0 && f.R2 > 0 {
+			continue
+		}
+		if best == nil || f.R2 > best.R2+parsimonyMargin {
+			best = f
+		}
+	}
+	if best == nil {
+		best = FitModel(points, Constant)
+	}
+	return best
+}
+
+// FromCounts converts integer samples to Points.
+func FromCounts(sizes []int, costs []int64) []Point {
+	n := len(sizes)
+	if len(costs) < n {
+		n = len(costs)
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = Point{Size: float64(sizes[i]), Cost: float64(costs[i])}
+	}
+	return pts
+}
+
+// Median returns the median cost per distinct size — handy for summarizing
+// noisy scatter data before display.
+func Median(points []Point) []Point {
+	bySize := map[float64][]float64{}
+	for _, p := range points {
+		bySize[p.Size] = append(bySize[p.Size], p.Cost)
+	}
+	out := make([]Point, 0, len(bySize))
+	for s, cs := range bySize {
+		sort.Float64s(cs)
+		out = append(out, Point{Size: s, Cost: cs[len(cs)/2]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Size < out[j].Size })
+	return out
+}

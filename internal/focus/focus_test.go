@@ -1,0 +1,111 @@
+package focus
+
+import (
+	"strings"
+	"testing"
+
+	"algoprof"
+)
+
+const hotColdSrc = `
+class Node { Node next; int v; }
+class Main {
+  public static void main() {
+    for (int size = 4; size <= 48; size = size + 4) {
+      Node head = build(size);
+      hotScan(head);
+      coldTouch(head);
+    }
+  }
+  static Node build(int size) {
+    Node head = null;
+    for (int i = 0; i < size; i++) {
+      Node x = new Node();
+      x.next = head;
+      head = x;
+    }
+    return head;
+  }
+  static int hotScan(Node head) {
+    // Quadratic pair scan: the hot region.
+    int pairs = 0;
+    Node a = head;
+    while (a != null) {
+      Node b = a.next;
+      while (b != null) {
+        pairs = pairs + 1;
+        b = b.next;
+      }
+      a = a.next;
+    }
+    return pairs;
+  }
+  static int coldTouch(Node head) {
+    if (head == null) { return 0; }
+    return head.v;
+  }
+}`
+
+func TestFocusRanksHotMethodFirst(t *testing.T) {
+	res, err := Run(hotColdSrc, algoprof.Config{Seed: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 3 {
+		t.Fatalf("regions = %d, want 3", len(res.Regions))
+	}
+	// The quadratic scan must rank above the cold accessor; main's sweep
+	// loop lives in Main.main which may rank anywhere, but coldTouch must
+	// not be first.
+	if res.Regions[0].Method == "Main.coldTouch" {
+		t.Errorf("coldTouch ranked hottest")
+	}
+	foundHot := false
+	for i, r := range res.Regions {
+		if r.Method == "Main.hotScan" {
+			foundHot = true
+			if i > 1 {
+				t.Errorf("hotScan ranked %d", i)
+			}
+			if len(r.Algorithms) == 0 {
+				t.Fatal("hotScan region has no algorithms")
+			}
+			alg := r.Algorithms[0]
+			if !strings.Contains(alg.Description, "Traversal") {
+				t.Errorf("hotScan algorithm description = %q", alg.Description)
+			}
+			// The algorithmic profile explains the hotness: quadratic.
+			if len(alg.CostFunctions) == 0 || alg.CostFunctions[0].Model != "n^2" {
+				t.Errorf("hotScan cost functions = %+v, want n^2", alg.CostFunctions)
+			}
+		}
+	}
+	if !foundHot {
+		t.Errorf("hotScan not in top regions: %+v", res.Regions)
+	}
+}
+
+func TestFocusColdRegionHasNoAlgorithms(t *testing.T) {
+	res, err := Run(hotColdSrc, algoprof.Config{Seed: 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Regions {
+		if r.Method == "Main.coldTouch" && len(r.Algorithms) != 0 {
+			t.Errorf("coldTouch has algorithms %v (it contains no repetitions)", r.Algorithms)
+		}
+	}
+}
+
+func TestFocusProfileAvailableForDrillDown(t *testing.T) {
+	res, err := Run(hotColdSrc, algoprof.Config{Seed: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil || len(res.Profile.Algorithms) == 0 {
+		t.Fatal("full profile missing")
+	}
+	if !strings.Contains(res.Profile.Tree(), "Main.hotScan/loop1") {
+		t.Error("tree missing hot scan loops")
+	}
+}

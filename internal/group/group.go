@@ -1,0 +1,379 @@
+// Package group partitions the repetition tree into algorithms (§2.5 of
+// the AlgoProf paper) and combines costs across each algorithm's nodes
+// (§2.6).
+//
+// The default grouping rule is the paper's automatic strategy: a parent
+// repetition and a child repetition belong to the same algorithm when they
+// access at least one common input. The alternative SameMethod strategy
+// (also sketched in §2.5) groups repetitions located in the same method.
+// Repetitions without inputs ("data-structure-less algorithms") are
+// singleton groups. An algorithm is therefore a connected subgraph of the
+// repetition tree with a unique root (its shallowest node).
+//
+// Cost combination: for one invocation of the algorithm's root, the
+// combined cost is the root's own cost plus the costs of all member-node
+// invocations that transitively ran inside that root invocation — e.g. in
+// Listing 3, 3 outer iterations + (0+1+2) inner iterations = 6 steps.
+package group
+
+import (
+	"sort"
+	"strings"
+
+	"algoprof/internal/core"
+)
+
+// Point is one (input size, combined cost) sample for an algorithm: the
+// data behind one dot of the paper's Figure 1.
+type Point struct {
+	// RootInv is the root invocation index the point came from.
+	RootInv int
+	// Size is the maximum size of the input during that invocation.
+	Size int
+	// Steps is the combined algorithmic step count.
+	Steps int64
+	// Costs is the full combined cost map.
+	Costs map[core.CostKey]int64
+}
+
+// Algorithm is one group of repetition nodes.
+type Algorithm struct {
+	// ID is the algorithm's ordinal (stable per run, assigned in tree
+	// preorder of the root node).
+	ID int
+	// Root is the shallowest node of the group.
+	Root *core.Node
+	// Nodes lists all member nodes (root first, preorder).
+	Nodes []*core.Node
+	// Inputs lists the canonical input ids the algorithm accesses, sorted.
+	Inputs []int
+	// Combined holds one combined record per completed root invocation,
+	// ordered by root invocation index.
+	Combined []Point
+	// PointsByInput maps each input id to the (size, steps) series used
+	// for cost-function inference; invocations that never measured the
+	// input are omitted.
+	PointsByInput map[int][]Point
+	// Series groups points by input *label* rather than identity: a
+	// harness that constructs a fresh structure per run produces many
+	// input instances of the same kind, and the paper's Figure-1 plots
+	// chart all of them on one axis. Per root invocation and label, the
+	// size is the maximum over same-labeled inputs.
+	Series map[string][]Point
+}
+
+// DataStructureLess reports whether the algorithm has no inputs.
+func (a *Algorithm) DataStructureLess() bool { return len(a.Inputs) == 0 }
+
+// TotalSteps sums combined steps over all root invocations.
+func (a *Algorithm) TotalSteps() int64 {
+	var sum int64
+	for _, p := range a.Combined {
+		sum += p.Steps
+	}
+	return sum
+}
+
+// Result is the grouping of one profile.
+type Result struct {
+	Algorithms []*Algorithm
+	// AlgorithmOf maps each repetition node to its algorithm.
+	AlgorithmOf map[*core.Node]*Algorithm
+}
+
+// Strategy selects how repetition nodes are grouped into algorithms.
+type Strategy int
+
+// Grouping strategies.
+const (
+	// SharedInput is the paper's automatic strategy: group parent and
+	// child repetitions that access at least one common input.
+	SharedInput Strategy = iota
+	// SameMethod is the alternative §2.5 mentions: group parent and child
+	// repetitions located in the same method. It groups the Listing 5
+	// array nest (which SharedInput cannot) but cannot group repetitions
+	// spanning methods, such as the append/grow pair of Figure 4.
+	SameMethod
+)
+
+// Options configure Analyze.
+type Options struct {
+	Strategy Strategy
+}
+
+// MinAccessesForRelation is the significance threshold implementing the
+// paper's §3.5 heuristic ("exclude inputs … that cause constant cost") at
+// grouping time. A parent and child repetition are grouped on an input
+// only when both work on it non-trivially:
+//
+//   - the parent must itself perform at least this many accesses in some
+//     single invocation (so an O(1) guard read — e.g. sort()'s
+//     `head.next == null` check executing under the harness loop — does
+//     not glue the harness to the algorithm), and
+//   - the child must accumulate at least this many accesses within some
+//     single parent invocation (its own invocations may individually be
+//     tiny, as in a DFS's per-vertex edge loop).
+const MinAccessesForRelation = 3
+
+// accessStats holds per-(node, input) access intensities.
+type accessStats struct {
+	// ownMax[x] is the node's maximum per-invocation access count on x.
+	ownMax map[int]int64
+	// aggMax[x] is the maximum, over parent invocations, of the node's
+	// accesses on x summed across all its invocations under that parent
+	// invocation.
+	aggMax map[int]int64
+}
+
+func (s *accessStats) strong(x int) bool {
+	return s.ownMax[x] >= MinAccessesForRelation || s.aggMax[x] >= MinAccessesForRelation
+}
+
+// Analyze partitions the profile's repetition tree into algorithms with
+// the paper's shared-input strategy and combines their costs.
+func Analyze(p *core.Profiler) *Result {
+	return AnalyzeWith(p, Options{})
+}
+
+// AnalyzeWith is Analyze with an explicit grouping strategy.
+func AnalyzeWith(p *core.Profiler, o Options) *Result {
+	reg := p.Registry()
+
+	stats := map[*core.Node]*accessStats{}
+	var collect func(n *core.Node)
+	collect = func(n *core.Node) {
+		st := &accessStats{ownMax: map[int]int64{}, aggMax: map[int]int64{}}
+		agg := map[int]map[int]int64{} // parent invocation -> input -> sum
+		for _, inv := range n.History {
+			perInput := map[int]int64{}
+			for k, v := range inv.Costs {
+				if k.Input == core.NoInput || k.Type != "" {
+					continue
+				}
+				switch k.Op {
+				case core.OpGet, core.OpPut, core.OpArrLoad, core.OpArrStore:
+					perInput[reg.Find(k.Input)] += v
+				}
+			}
+			for x, count := range perInput {
+				if count > st.ownMax[x] {
+					st.ownMax[x] = count
+				}
+				m := agg[inv.ParentIndex]
+				if m == nil {
+					m = map[int]int64{}
+					agg[inv.ParentIndex] = m
+				}
+				m[x] += count
+			}
+		}
+		for _, m := range agg {
+			for x, sum := range m {
+				if sum > st.aggMax[x] {
+					st.aggMax[x] = sum
+				}
+			}
+		}
+		stats[n] = st
+		for _, c := range n.Children {
+			collect(c)
+		}
+	}
+	collect(p.Root())
+
+	// edgeShared reports whether parent and child belong to the same
+	// algorithm under the selected strategy.
+	methodOf := func(n *core.Node) string {
+		name := p.NodeName(n)
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			return name[:i]
+		}
+		return name
+	}
+	edgeShared := func(parent, child *core.Node) bool {
+		if o.Strategy == SameMethod {
+			return parent.Kind != core.KindRoot && methodOf(parent) == methodOf(child)
+		}
+		ps, cs := stats[parent], stats[child]
+		for x := range ps.ownMax {
+			if ps.ownMax[x] >= MinAccessesForRelation && cs.strong(x) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Partition: preorder walk; a node joins its parent's group when the
+	// edge shares an input, otherwise it roots a new group.
+	res := &Result{AlgorithmOf: map[*core.Node]*Algorithm{}}
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		var alg *Algorithm
+		if n.Parent != nil {
+			if parentAlg := res.AlgorithmOf[n.Parent]; parentAlg != nil && edgeShared(n.Parent, n) {
+				alg = parentAlg
+			}
+		}
+		if alg == nil {
+			alg = &Algorithm{ID: len(res.Algorithms), Root: n}
+			res.Algorithms = append(res.Algorithms, alg)
+		}
+		alg.Nodes = append(alg.Nodes, n)
+		res.AlgorithmOf[n] = alg
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root())
+
+	for _, alg := range res.Algorithms {
+		// Inputs the algorithm meaningfully works on: strong for some
+		// member node.
+		inputSet := map[int]bool{}
+		for _, n := range alg.Nodes {
+			st := stats[n]
+			for x := range st.ownMax {
+				if st.strong(x) {
+					inputSet[x] = true
+				}
+			}
+			for x := range st.aggMax {
+				if st.strong(x) {
+					inputSet[x] = true
+				}
+			}
+		}
+		for id := range inputSet {
+			alg.Inputs = append(alg.Inputs, id)
+		}
+		sort.Ints(alg.Inputs)
+		combine(alg, reg.Find)
+
+		// Label-keyed series for cost-function inference.
+		alg.Series = map[string][]Point{}
+		sizeByInvLabel := map[int]map[string]int{}
+		for id, pts := range alg.PointsByInput {
+			label := reg.Input(id).Label()
+			for _, p := range pts {
+				m := sizeByInvLabel[p.RootInv]
+				if m == nil {
+					m = map[string]int{}
+					sizeByInvLabel[p.RootInv] = m
+				}
+				if p.Size > m[label] {
+					m[label] = p.Size
+				}
+			}
+		}
+		for _, pt := range alg.Combined {
+			for label, size := range sizeByInvLabel[pt.RootInv] {
+				p := pt
+				p.Size = size
+				alg.Series[label] = append(alg.Series[label], p)
+			}
+		}
+	}
+	return res
+}
+
+// combine computes the per-root-invocation combined cost records.
+func combine(alg *Algorithm, find func(int) int) {
+	// rootInvOf[node][invIndex] = root invocation index, derived through
+	// the ParentIndex chain within the group.
+	member := map[*core.Node]bool{}
+	for _, n := range alg.Nodes {
+		member[n] = true
+	}
+
+	rootInvOf := map[*core.Node]map[int]int{}
+	rootInvOf[alg.Root] = map[int]int{}
+	for _, inv := range alg.Root.History {
+		rootInvOf[alg.Root][inv.Index] = inv.Index
+	}
+
+	// Process nodes top-down (alg.Nodes is preorder, so parents precede
+	// children).
+	for _, n := range alg.Nodes {
+		if n == alg.Root {
+			continue
+		}
+		parent := n.Parent
+		if !member[parent] {
+			continue // cannot happen: groups are connected
+		}
+		m := map[int]int{}
+		for _, inv := range n.History {
+			if ri, ok := rootInvOf[parent][inv.ParentIndex]; ok {
+				m[inv.Index] = ri
+			}
+		}
+		rootInvOf[n] = m
+	}
+
+	// Accumulate combined costs and sizes per root invocation.
+	type acc struct {
+		costs map[core.CostKey]int64
+		sizes map[int]int
+	}
+	accs := map[int]*acc{}
+	getAcc := func(ri int) *acc {
+		a := accs[ri]
+		if a == nil {
+			a = &acc{costs: map[core.CostKey]int64{}, sizes: map[int]int{}}
+			accs[ri] = a
+		}
+		return a
+	}
+	for _, n := range alg.Nodes {
+		for _, inv := range n.History {
+			ri, ok := rootInvOf[n][inv.Index]
+			if !ok {
+				continue
+			}
+			a := getAcc(ri)
+			for k, v := range inv.Costs {
+				if k.Input != core.NoInput {
+					k.Input = find(k.Input)
+				}
+				a.costs[k] += v
+			}
+			for id, s := range inv.Sizes {
+				cid := find(id)
+				if s > a.sizes[cid] {
+					a.sizes[cid] = s
+				}
+			}
+		}
+	}
+
+	// Emit points ordered by root invocation index. Points cover every
+	// input the algorithm measured — a harness that feeds fresh input
+	// instances produces strong relations only on large instances, but the
+	// small ones still belong on the scatter plot — provided the
+	// algorithm has at least one meaningful input at all.
+	ris := make([]int, 0, len(accs))
+	for ri := range accs {
+		ris = append(ris, ri)
+	}
+	sort.Ints(ris)
+	alg.PointsByInput = map[int][]Point{}
+	for _, ri := range ris {
+		a := accs[ri]
+		var steps int64
+		for k, v := range a.costs {
+			if k.Op == core.OpStep && k.Type == "" {
+				steps += v
+			}
+		}
+		pt := Point{RootInv: ri, Steps: steps, Costs: a.costs}
+		alg.Combined = append(alg.Combined, pt)
+		if len(alg.Inputs) == 0 {
+			continue
+		}
+		for id, s := range a.sizes {
+			p := pt
+			p.Size = s
+			alg.PointsByInput[id] = append(alg.PointsByInput[id], p)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package group
+
+import (
+	"testing"
+
+	"algoprof/internal/core"
+	"algoprof/internal/testutil"
+)
+
+// algOf returns the algorithm containing the named node.
+func algOf(t *testing.T, p *core.Profiler, res *Result, name string) *Algorithm {
+	t.Helper()
+	n := testutil.FindNode(p, name)
+	if n == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return res.AlgorithmOf[n]
+}
+
+func TestSharedInputGroupsLoops(t *testing.T) {
+	// Insertion-sort shape: both sort loops touch the same list and must
+	// form one algorithm.
+	p := testutil.Profile(t, `
+class Node { Node prev; Node next; int value; Node(int v) { value = v; } }
+class Main {
+  public static void main() {
+    Node head = build(12);
+    sort(head);
+  }
+  static Node build(int n) {
+    Node head = null;
+    for (int i = 0; i < n; i++) {
+      Node x = new Node(rand(100));
+      x.next = head;
+      if (head != null) { head.prev = x; }
+      head = x;
+    }
+    return head;
+  }
+  static void sort(Node head) {
+    Node first = head.next;
+    while (first != null) {
+      Node target = first;
+      Node nu = first.next;
+      while (target.prev != null && target.prev.value > target.value) {
+        int tmp = target.prev.value;
+        // value swap variant keeps links stable
+        target = target.prev;
+        tmp = tmp + 0;
+      }
+      first = nu;
+    }
+  }
+}`, core.Options{}, 5)
+	res := Analyze(p)
+
+	sortOuter := algOf(t, p, res, "Main.sort/loop1")
+	sortInner := algOf(t, p, res, "Main.sort/loop2")
+	if sortOuter != sortInner {
+		t.Error("sort's nested loops share the list input and must group")
+	}
+	buildAlg := algOf(t, p, res, "Main.build/loop1")
+	if buildAlg == sortOuter {
+		t.Error("build and sort are siblings, not parent/child: separate algorithms")
+	}
+}
+
+func TestDataStructureLessSingletons(t *testing.T) {
+	p := testutil.Profile(t, `
+class Main {
+  public static void main() {
+    for (int o = 0; o < 3; o++) {
+      for (int i = 0; i < 3; i++) { int x = o + i; }
+    }
+  }
+}`, core.Options{}, 1)
+	res := Analyze(p)
+	outer := algOf(t, p, res, "Main.main/loop1")
+	inner := algOf(t, p, res, "Main.main/loop2")
+	if outer == inner {
+		t.Error("input-less loops are singleton algorithms (paper §2.8)")
+	}
+	if !outer.DataStructureLess() || !inner.DataStructureLess() {
+		t.Error("both must be data-structure-less")
+	}
+}
+
+func TestCombinedCostListing3(t *testing.T) {
+	// Listing 3 arithmetic on an array-sharing nest: for an outer
+	// invocation with 3 iterations whose inner loop runs 0+1+2 steps, the
+	// combined cost is 6 algorithmic steps.
+	p := testutil.Profile(t, `
+class Main {
+  public static void main() {
+    int[] a = new int[3];
+    for (int o = 0; o < 3; o++) {
+      int x = a[o];
+      for (int i = 0; i < o; i++) { int y = a[i]; }
+    }
+  }
+}`, core.Options{}, 1)
+	res := Analyze(p)
+	outer := algOf(t, p, res, "Main.main/loop1")
+	inner := algOf(t, p, res, "Main.main/loop2")
+	if outer != inner {
+		t.Fatal("nest sharing array `a` must be one algorithm")
+	}
+	if len(outer.Combined) != 1 {
+		t.Fatalf("combined records = %d, want 1", len(outer.Combined))
+	}
+	if got := outer.Combined[0].Steps; got != 6 {
+		t.Errorf("combined steps = %d, want 3 + (0+1+2) = 6", got)
+	}
+}
+
+func TestListing5LimitationNotGrouped(t *testing.T) {
+	// Paper Listing 5: only the innermost loop touches the 2-d array; the
+	// outer loop has no accesses and stays a separate (data-structure-less)
+	// algorithm — the documented limitation for array-based nests.
+	p := testutil.Profile(t, `
+class Main {
+  public static void main() {
+    int[][] array = new int[4][5];
+    for (int i = 0; i < array.length; i++) {
+      for (int j = 0; j < 5; j++) {
+        array[i][j] = i + j;
+      }
+    }
+  }
+}`, core.Options{}, 1)
+	res := Analyze(p)
+	outer := algOf(t, p, res, "Main.main/loop1")
+	inner := algOf(t, p, res, "Main.main/loop2")
+	if outer == inner {
+		t.Error("Listing 5 nest must NOT group (outer loop has no array access)")
+	}
+	if !outer.DataStructureLess() {
+		t.Error("outer loop is data-structure-less")
+	}
+	if inner.DataStructureLess() {
+		t.Error("inner loop accesses the array")
+	}
+}
+
+func TestListing5VariantWithOuterAccessGroups(t *testing.T) {
+	// When the outer loop does access the array (array[i].length), the
+	// nest groups.
+	p := testutil.Profile(t, `
+class Main {
+  public static void main() {
+    int[][] array = new int[4][5];
+    for (int i = 0; i < array.length; i++) {
+      int w = array[i].length;
+      for (int j = 0; j < w; j++) {
+        array[i][j] = i + j;
+      }
+    }
+  }
+}`, core.Options{}, 1)
+	res := Analyze(p)
+	outer := algOf(t, p, res, "Main.main/loop1")
+	inner := algOf(t, p, res, "Main.main/loop2")
+	if outer != inner {
+		t.Error("outer loop reads array[i]: the nest must group")
+	}
+}
+
+func TestHarnessLoopNotGluedToAlgorithm(t *testing.T) {
+	// A harness that builds and consumes a fresh structure per iteration
+	// must not join the structure algorithms, even though guard reads
+	// attribute O(1) accesses to it.
+	p := testutil.Profile(t, `
+class Node { Node next; int v; }
+class Main {
+  public static void main() {
+    for (int size = 2; size < 12; size++) {
+      Node head = build(size);
+      int n = count(head);
+      check(n == size);
+    }
+  }
+  static Node build(int size) {
+    Node head = null;
+    for (int i = 0; i < size; i++) {
+      Node x = new Node();
+      x.next = head;
+      head = x;
+    }
+    return head;
+  }
+  static int count(Node head) {
+    int n = 0;
+    Node cur = head;
+    while (cur != null) { n++; cur = cur.next; }
+    return n;
+  }
+}`, core.Options{}, 3)
+	res := Analyze(p)
+	harness := algOf(t, p, res, "Main.main/loop1")
+	buildAlg := algOf(t, p, res, "Main.build/loop1")
+	countAlg := algOf(t, p, res, "Main.count/loop1")
+	if harness == buildAlg || harness == countAlg {
+		t.Error("harness loop must stay separate from build/count algorithms")
+	}
+	if buildAlg == countAlg {
+		t.Error("build and count are siblings: separate algorithms")
+	}
+}
+
+func TestSeriesAggregatesAcrossInputInstances(t *testing.T) {
+	// Each harness iteration constructs a fresh list; the count loop's
+	// series must contain one point per invocation, keyed by the shared
+	// label, with steps == size.
+	p := testutil.Profile(t, `
+class Node { Node next; int v; }
+class Main {
+  public static void main() {
+    for (int size = 2; size < 10; size++) {
+      Node head = build(size);
+      int n = count(head);
+    }
+  }
+  static Node build(int size) {
+    Node head = null;
+    for (int i = 0; i < size; i++) {
+      Node x = new Node();
+      x.next = head;
+      head = x;
+    }
+    return head;
+  }
+  static int count(Node head) {
+    int n = 0;
+    Node cur = head;
+    while (cur != null) { n++; cur = cur.next; }
+    return n;
+  }
+}`, core.Options{}, 3)
+	res := Analyze(p)
+	countAlg := algOf(t, p, res, "Main.count/loop1")
+	series, ok := countAlg.Series["Node-based recursive structure"]
+	if !ok {
+		t.Fatalf("series keys: %v", keys(countAlg.Series))
+	}
+	if len(series) != 8 {
+		t.Fatalf("series has %d points, want 8 (sizes 2..9)", len(series))
+	}
+	for _, pt := range series {
+		if int64(pt.Size) != pt.Steps {
+			t.Errorf("count of %d nodes took %d steps; want equal", pt.Size, pt.Steps)
+		}
+	}
+	// One input instance per harness iteration, except size 2 which stays
+	// under the significance threshold (MinAccessesForRelation).
+	if len(countAlg.Inputs) != 7 {
+		t.Errorf("strong inputs = %d, want 7 (sizes 3..9)", len(countAlg.Inputs))
+	}
+}
+
+func TestRecursionGroupsWithItsInput(t *testing.T) {
+	// A recursive traversal shares the structure with a loop that feeds
+	// it? Here: recursion alone must get input association and points.
+	p := testutil.Profile(t, `
+class Node { Node next; int v; }
+class Main {
+  public static void main() {
+    Node head = null;
+    for (int i = 0; i < 9; i++) {
+      Node x = new Node();
+      x.next = head;
+      head = x;
+    }
+    int n = len(head);
+    check(n == 9);
+  }
+  static int len(Node n) {
+    if (n == null) { return 0; }
+    return 1 + len(n.next);
+  }
+}`, core.Options{}, 1)
+	res := Analyze(p)
+	rec := algOf(t, p, res, "Main.len/recursion")
+	if rec.DataStructureLess() {
+		t.Fatal("recursive traversal must be tied to the list input")
+	}
+	if len(rec.Combined) != 1 {
+		t.Fatalf("combined = %d", len(rec.Combined))
+	}
+	// 9 recursive re-entries for a 9-node list (plus the null base call).
+	if got := rec.Combined[0].Steps; got != 9 {
+		t.Errorf("steps = %d, want 9", got)
+	}
+	pts := rec.Series["Node-based recursive structure"]
+	if len(pts) != 1 || pts[0].Size != 9 {
+		t.Errorf("series = %+v, want one point of size 9", pts)
+	}
+}
+
+func TestTotalStepsSums(t *testing.T) {
+	p := testutil.Profile(t, `
+class Main {
+  public static void main() {
+    for (int i = 0; i < 4; i++) { }
+    for (int j = 0; j < 6; j++) { }
+  }
+}`, core.Options{}, 1)
+	res := Analyze(p)
+	a1 := algOf(t, p, res, "Main.main/loop1")
+	a2 := algOf(t, p, res, "Main.main/loop2")
+	if a1.TotalSteps() != 4 || a2.TotalSteps() != 6 {
+		t.Errorf("steps %d/%d, want 4/6", a1.TotalSteps(), a2.TotalSteps())
+	}
+}
+
+func TestEveryNodeAssigned(t *testing.T) {
+	p := testutil.Profile(t, `
+class Node { Node next; }
+class Main {
+  public static void main() {
+    Node head = null;
+    for (int i = 0; i < 5; i++) {
+      Node x = new Node();
+      x.next = head;
+      head = x;
+    }
+  }
+}`, core.Options{}, 1)
+	res := Analyze(p)
+	var walk func(n *core.Node)
+	var missing int
+	walk = func(n *core.Node) {
+		if res.AlgorithmOf[n] == nil {
+			missing++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root())
+	if missing != 0 {
+		t.Errorf("%d nodes without algorithm", missing)
+	}
+}
+
+func keys(m map[string][]Point) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

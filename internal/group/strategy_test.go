@@ -1,0 +1,97 @@
+package group
+
+import (
+	"testing"
+
+	"algoprof/internal/core"
+	"algoprof/internal/testutil"
+)
+
+const listing5Shape = `
+class Main {
+  public static void main() {
+    int[][] array = new int[6][6];
+    for (int i = 0; i < array.length; i++) {
+      for (int j = 0; j < 6; j++) {
+        array[i][j] = i * j;
+      }
+    }
+  }
+}`
+
+func TestSameMethodGroupsListing5(t *testing.T) {
+	// The paper's known limitation: SharedInput cannot group the 2-d
+	// array nest; the alternative SameMethod strategy can.
+	p := testutil.Profile(t, listing5Shape, core.Options{}, 1)
+
+	shared := AnalyzeWith(p, Options{Strategy: SharedInput})
+	outerS := shared.AlgorithmOf[testutil.FindNode(p, "Main.main/loop1")]
+	innerS := shared.AlgorithmOf[testutil.FindNode(p, "Main.main/loop2")]
+	if outerS == innerS {
+		t.Fatal("SharedInput must NOT group the Listing 5 nest")
+	}
+
+	same := AnalyzeWith(p, Options{Strategy: SameMethod})
+	outerM := same.AlgorithmOf[testutil.FindNode(p, "Main.main/loop1")]
+	innerM := same.AlgorithmOf[testutil.FindNode(p, "Main.main/loop2")]
+	if outerM != innerM {
+		t.Fatal("SameMethod must group loops of one method")
+	}
+	// Combined steps of the grouped nest: 6 outer + 6*6 inner.
+	if got := outerM.TotalSteps(); got != 42 {
+		t.Errorf("combined steps = %d, want 42", got)
+	}
+}
+
+func TestSameMethodCannotGroupAcrossMethods(t *testing.T) {
+	// Figure 4's append/grow pair spans two methods: SharedInput groups
+	// it; SameMethod cannot — the trade-off the paper's §2.5 hints at.
+	src := `
+class AL {
+  String[] array; int count;
+  AL() { array = new String[1]; count = 0; }
+  void append(String v) {
+    if (count == array.length) { grow(); }
+    array[count] = v;
+    count = count + 1;
+  }
+  void grow() {
+    String[] na = new String[array.length + 1];
+    for (int i = 0; i < array.length; i++) { na[i] = array[i]; }
+    array = na;
+  }
+}
+class Main {
+  public static void main() {
+    AL list = new AL();
+    for (int i = 0; i < 12; i++) { list.append("n" + i); }
+  }
+}`
+	p := testutil.Profile(t, src, core.Options{}, 1)
+	appendLoop := testutil.FindNode(p, "Main.main/loop1")
+	growLoop := testutil.FindNode(p, "AL.grow/loop1")
+
+	shared := AnalyzeWith(p, Options{Strategy: SharedInput})
+	if shared.AlgorithmOf[appendLoop] != shared.AlgorithmOf[growLoop] {
+		t.Error("SharedInput must group append+grow (Figure 4)")
+	}
+	same := AnalyzeWith(p, Options{Strategy: SameMethod})
+	if same.AlgorithmOf[appendLoop] == same.AlgorithmOf[growLoop] {
+		t.Error("SameMethod must not group across methods")
+	}
+}
+
+func TestSameMethodNeverAbsorbsProgramRoot(t *testing.T) {
+	p := testutil.Profile(t, `
+class Main {
+  public static void main() {
+    for (int i = 0; i < 3; i++) { }
+  }
+}`, core.Options{}, 1)
+	res := AnalyzeWith(p, Options{Strategy: SameMethod})
+	rootAlg := res.AlgorithmOf[p.Root()]
+	loopAlg := res.AlgorithmOf[testutil.FindNode(p, "Main.main/loop1")]
+	if rootAlg == loopAlg {
+		t.Error("the synthetic Program root must stay a singleton")
+	}
+}

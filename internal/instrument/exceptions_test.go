@@ -1,0 +1,207 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/vm"
+)
+
+// checkBalanced runs src instrumented and verifies loop entry/exit events
+// balance and nest correctly despite exceptional control flow.
+func checkBalanced(t *testing.T, src string) *recorder {
+	t.Helper()
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := Instrument(prog, Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	m := vm.New(ins.Prog, vm.Config{Listener: rec, Plan: ins.Plan, Seed: 1})
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var stack []string
+	for _, e := range loopEvents(rec.log) {
+		switch e[0] {
+		case 'E':
+			stack = append(stack, e[1:])
+		case 'X':
+			if len(stack) == 0 || stack[len(stack)-1] != e[1:] {
+				t.Fatalf("unbalanced exit %s with stack %v (log %v)", e, stack, rec.log)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("unclosed loops %v (log %v)", stack, rec.log)
+	}
+	return rec
+}
+
+const excClasses = `
+class Error { int code; Error(int code) { this.code = code; } }
+`
+
+func TestThrowOutOfNestedLoopsEmitsExits(t *testing.T) {
+	rec := checkBalanced(t, excClasses+`
+class Main {
+  public static void main() {
+    try {
+      for (int i = 0; i < 10; i++) {
+        for (int j = 0; j < 10; j++) {
+          if (i * 10 + j == 23) { throw new Error(1); }
+        }
+      }
+    } catch (Error e) {
+      print("ok");
+    }
+  }
+}`)
+	// Both loops must have been exited exactly as often as entered.
+	entries, exits := 0, 0
+	for _, e := range loopEvents(rec.log) {
+		switch e[0] {
+		case 'E':
+			entries++
+		case 'X':
+			exits++
+		}
+	}
+	if entries != exits {
+		t.Errorf("entries %d != exits %d", entries, exits)
+	}
+}
+
+func TestThrowCaughtInsideSameLoopKeepsLoopActive(t *testing.T) {
+	// The handler sits inside the loop: the loop must NOT be exited by
+	// the unwind, and iterations continue.
+	rec := checkBalanced(t, excClasses+`
+class Main {
+  public static void main() {
+    int caught = 0;
+    for (int i = 0; i < 6; i++) {
+      try {
+        if (i % 2 == 0) { throw new Error(i); }
+      } catch (Error e) {
+        caught++;
+      }
+    }
+    check(caught == 3);
+  }
+}`)
+	backs := 0
+	for _, e := range loopEvents(rec.log) {
+		if e[0] == 'B' {
+			backs++
+		}
+	}
+	if backs != 6 {
+		t.Errorf("back edges = %d, want 6 (loop survives caught exceptions)", backs)
+	}
+}
+
+func TestThrowAcrossMethodEmitsMethodExit(t *testing.T) {
+	rec := checkBalanced(t, excClasses+`
+class Main {
+  static int boom(int n) {
+    if (n == 0) { throw new Error(5); }
+    return boom(n - 1);
+  }
+  public static void main() {
+    try {
+      int x = boom(3);
+    } catch (Error e) {
+      print("caught");
+    }
+  }
+}`)
+	// Every MethodEntry must be matched by a MethodExit even though all
+	// frames unwound exceptionally.
+	depth := 0
+	for _, e := range rec.log {
+		if len(e) == 0 {
+			continue
+		}
+		switch e[0] {
+		case 'M':
+			depth++
+		case 'm':
+			depth--
+		}
+	}
+	if depth != 0 {
+		t.Errorf("method entry/exit imbalance %d (log %v)", depth, rec.log)
+	}
+}
+
+func TestThrowOutOfLoopInRecursiveMethod(t *testing.T) {
+	checkBalanced(t, excClasses+`
+class Main {
+  static void rec(int n) {
+    if (n == 0) { return; }
+    for (int i = 0; i < n; i++) {
+      if (i == n - 1 && n == 2) { throw new Error(n); }
+    }
+    rec(n - 1);
+  }
+  public static void main() {
+    try {
+      rec(5);
+    } catch (Error e) {
+      print("done");
+    }
+  }
+}`)
+}
+
+func TestHandlerLoopsDetected(t *testing.T) {
+	// Loops inside catch handlers are reachable only via the exception
+	// edge; they still become repetition nodes.
+	prog, err := compiler.CompileSource(excClasses + `
+class Main {
+  public static void main() {
+    try {
+      throw new Error(8);
+    } catch (Error e) {
+      int s = 0;
+      for (int i = 0; i < e.code; i++) { s = s + 1; }
+      check(s == 8);
+    }
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := Instrument(prog, Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range ins.Loops {
+		if strings.Contains(l.Name(), "Main.main") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("catch-handler loop not detected")
+	}
+	rec := &recorder{}
+	m := vm.New(ins.Prog, vm.Config{Listener: rec, Plan: ins.Plan, Seed: 1})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	backs := 0
+	for _, e := range loopEvents(rec.log) {
+		if e[0] == 'B' {
+			backs++
+		}
+	}
+	if backs != 8 {
+		t.Errorf("handler loop back edges = %d, want 8", backs)
+	}
+}

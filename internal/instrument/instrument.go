@@ -1,0 +1,412 @@
+// Package instrument rewrites MJ bytecode with profiling probes and
+// computes instrumentation plans, reproducing §3.1 of the AlgoProf paper:
+//
+//   - Loop entry / loop exit / loop back-edge probes are injected into the
+//     bytecode itself, on the CFG edges that enter, leave, or re-enter each
+//     natural loop (the analog of AlgoProf's dynamic binary rewriting).
+//   - Method entry/exit, reference field access, array access, allocation
+//     and I/O events are gated by a Plan: the optimized plan limits them to
+//     recursion-relevant methods and recursive-type fields/classes found by
+//     static analysis; the full plan enables everything (used by the CCT
+//     baseline and by overhead ablations).
+package instrument
+
+import (
+	"fmt"
+	"sort"
+
+	"algoprof/internal/callgraph"
+	"algoprof/internal/cfg"
+	"algoprof/internal/events"
+	"algoprof/internal/mj/bytecode"
+	"algoprof/internal/mj/types"
+	"algoprof/internal/rectype"
+)
+
+// Mode selects how much to instrument.
+type Mode int
+
+// Instrumentation modes.
+const (
+	// Optimized limits method probes to recursive methods, field probes to
+	// recursive-type links, and allocation probes to recursive-type
+	// classes — the paper's static-analysis-guided plan.
+	Optimized Mode = iota
+	// Full enables every probe (CCT baseline, ablations).
+	Full
+)
+
+// LoopMeta describes one instrumented loop.
+type LoopMeta struct {
+	// ID is the loop's program-wide id (also the probe operand).
+	ID int
+	// Method is the containing method.
+	Method *types.Method
+	// Ordinal is the loop's index within its method (by header order).
+	Ordinal int
+	// Depth is the static nesting depth within the method (outermost 1).
+	Depth int
+	// ParentID is the id of the enclosing loop, or -1.
+	ParentID int
+	// Line is the source line of the loop header (0 if unknown).
+	Line int
+}
+
+// Name renders a stable human-readable loop name like "List.sort/loop1".
+func (l *LoopMeta) Name() string {
+	return fmt.Sprintf("%s/loop%d", l.Method.QualifiedName(), l.Ordinal)
+}
+
+// Instrumented is a rewritten program plus everything the profiler needs
+// to interpret its events.
+type Instrumented struct {
+	// Prog is the rewritten program. The input program is not modified.
+	Prog *bytecode.Program
+	// Loops holds metadata for every loop, indexed by loop id.
+	Loops []*LoopMeta
+	// Plan gates the non-loop events.
+	Plan *events.Plan
+	// CallGraph and RecTypes expose the static analyses.
+	CallGraph *callgraph.Graph
+	// RecTypes is the recursive-data-type analysis.
+	RecTypes *rectype.Result
+}
+
+// LoopByID returns metadata for a loop id.
+func (ins *Instrumented) LoopByID(id int) *LoopMeta { return ins.Loops[id] }
+
+// Instrument analyzes p, injects loop probes into a copy of its bytecode,
+// and computes the event plan for the chosen mode.
+func Instrument(p *bytecode.Program, mode Mode) (*Instrumented, error) {
+	cg := callgraph.Build(p)
+	rt := rectype.Analyze(p.Sem)
+
+	out := &Instrumented{
+		Prog: &bytecode.Program{
+			Sem:      p.Sem,
+			Funcs:    make([]*bytecode.Function, len(p.Funcs)),
+			TypePool: p.TypePool,
+			MainID:   p.MainID,
+		},
+		CallGraph: cg,
+		RecTypes:  rt,
+	}
+
+	nextLoopID := 0
+	for i, fn := range p.Funcs {
+		rew, metas, err := rewriteFunction(fn, nextLoopID)
+		if err != nil {
+			return nil, err
+		}
+		out.Prog.Funcs[i] = rew
+		out.Loops = append(out.Loops, metas...)
+		nextLoopID += len(metas)
+	}
+
+	nm, nf, nc := p.Sem.NumMethods(), p.Sem.NumFields(), len(p.Sem.Classes)
+	switch mode {
+	case Full:
+		out.Plan = events.NewFullPlan(nm, nf, nc)
+	default:
+		plan := events.NewEmptyPlan(nm, nf, nc)
+		plan.Arrays = true
+		plan.IO = true
+		for m := 0; m < nm; m++ {
+			plan.MethodEntryExit[m] = cg.Recursive[m]
+		}
+		for f := 0; f < nf; f++ {
+			plan.FieldAccess[f] = rt.IsRecursiveField(f)
+		}
+		for c := 0; c < nc; c++ {
+			plan.AllocClass[c] = rt.IsRecursiveClass(c)
+		}
+		out.Plan = plan
+	}
+	return out, nil
+}
+
+// MustInstrument panics on error; for known-good workloads.
+func MustInstrument(p *bytecode.Program, mode Mode) *Instrumented {
+	ins, err := Instrument(p, mode)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// edgeProbes are the probe instructions required on one CFG edge.
+type edgeProbes struct {
+	exits  []int // loop ids to exit, innermost first
+	backs  []int // loop ids whose back edge this is
+	enters []int // loop ids to enter, outermost first
+}
+
+func (ep edgeProbes) empty() bool {
+	return len(ep.exits) == 0 && len(ep.backs) == 0 && len(ep.enters) == 0
+}
+
+func (ep edgeProbes) instrs() []bytecode.Instr {
+	var out []bytecode.Instr
+	for _, id := range ep.exits {
+		out = append(out, bytecode.Instr{Op: bytecode.OpLoopExit, A: id})
+	}
+	for _, id := range ep.backs {
+		out = append(out, bytecode.Instr{Op: bytecode.OpLoopBack, A: id})
+	}
+	for _, id := range ep.enters {
+		out = append(out, bytecode.Instr{Op: bytecode.OpLoopEnter, A: id})
+	}
+	return out
+}
+
+// rewriteFunction injects loop probes into fn, assigning loop ids starting
+// at firstLoopID. It returns a new function; fn is unchanged.
+func rewriteFunction(fn *bytecode.Function, firstLoopID int) (*bytecode.Function, []*LoopMeta, error) {
+	g := cfg.Build(fn)
+	loops := cfg.NaturalLoops(g, firstLoopID)
+
+	metas := make([]*LoopMeta, len(loops))
+	for i, l := range loops {
+		parent := -1
+		if l.Parent != nil {
+			parent = l.Parent.ID
+		}
+		metas[i] = &LoopMeta{
+			ID:       l.ID,
+			Method:   fn.Method,
+			Ordinal:  i + 1,
+			Depth:    l.Depth,
+			ParentID: parent,
+			Line:     fn.Code[g.Blocks[l.Header].Start].Line,
+		}
+	}
+	if len(loops) == 0 {
+		// Nothing to rewrite: share the code (it is immutable by convention).
+		out := &bytecode.Function{Method: fn.Method, Code: fn.Code, NumLocals: fn.NumLocals}
+		out.Handlers = append(out.Handlers, fn.Handlers...)
+		return out, nil, nil
+	}
+
+	// loopsIn[b] = ids of loops containing block b, outermost first.
+	loopsIn := make([][]int, len(g.Blocks))
+	for _, l := range loops {
+		for _, b := range l.Body {
+			loopsIn[b] = append(loopsIn[b], l.ID)
+		}
+	}
+
+	// No-return regions (blocks all of whose paths end in a throw) cannot
+	// reach a back edge, so natural-loop bodies exclude them — but
+	// entering one is not a loop exit: the unwind decides dynamically
+	// which loops are abandoned. Extend membership so edges into these
+	// regions carry no exit probes: a no-return block inherits the
+	// intersection of its predecessors' loop sets (fixpoint for chains).
+	noReturn := make([]bool, len(g.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if noReturn[b.Index] {
+				continue
+			}
+			last := fn.Code[b.End-1].Op
+			nr := last == bytecode.OpThrow || last == bytecode.OpMissingReturn
+			if !nr && len(b.Succs) > 0 && last != bytecode.OpRet && last != bytecode.OpRetVal {
+				nr = true
+				for _, s := range b.Succs {
+					if !noReturn[s] {
+						nr = false
+						break
+					}
+				}
+			}
+			if nr {
+				noReturn[b.Index] = true
+				changed = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if !noReturn[b.Index] || len(b.Preds) == 0 {
+				continue
+			}
+			inter := map[int]int{}
+			for _, p := range b.Preds {
+				for _, id := range loopsIn[p] {
+					inter[id]++
+				}
+			}
+			for id, cnt := range inter {
+				if cnt != len(b.Preds) {
+					continue
+				}
+				present := false
+				for _, x := range loopsIn[b.Index] {
+					if x == id {
+						present = true
+					}
+				}
+				if !present {
+					loopsIn[b.Index] = append(loopsIn[b.Index], id)
+					changed = true
+				}
+			}
+		}
+	}
+
+	byID := map[int]*cfg.Loop{}
+	for _, l := range loops {
+		byID[l.ID] = l
+	}
+	for b := range loopsIn {
+		sort.Slice(loopsIn[b], func(i, j int) bool {
+			return byID[loopsIn[b][i]].Depth < byID[loopsIn[b][j]].Depth
+		})
+	}
+
+	contains := func(set []int, id int) bool {
+		for _, x := range set {
+			if x == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	// probesFor computes the probes on edge from block u to block v.
+	probesFor := func(u, v int) edgeProbes {
+		var ep edgeProbes
+		lu, lv := loopsIn[u], loopsIn[v]
+		// exits: in u, not in v; innermost first.
+		for i := len(lu) - 1; i >= 0; i-- {
+			if !contains(lv, lu[i]) {
+				ep.exits = append(ep.exits, lu[i])
+			}
+		}
+		// backs: v is the header and u is in the body.
+		for _, id := range lv {
+			if byID[id].Header == v && contains(lu, id) {
+				ep.backs = append(ep.backs, id)
+			}
+		}
+		// enters: in v, not in u; outermost first.
+		for _, id := range lv {
+			if !contains(lu, id) {
+				ep.enters = append(ep.enters, id)
+			}
+		}
+		return ep
+	}
+
+	// Assemble the new instruction stream. newIndex maps old pc -> new pc.
+	var newCode []bytecode.Instr
+	newIndex := make([]int, len(fn.Code)+1)
+
+	// Virtual entry edge: entering the function may enter loops if the
+	// entry block is inside one (function whose body starts at a header).
+	for _, id := range loopsIn[g.Entry()] {
+		newCode = append(newCode, bytecode.Instr{Op: bytecode.OpLoopEnter, A: id})
+	}
+
+	type splitEdge struct {
+		jumpAt int // new-code index of the jump instruction to retarget
+		target int // old pc the edge goes to
+		probes edgeProbes
+	}
+	var splits []splitEdge
+
+	for pc, in := range fn.Code {
+		b := g.BlockOf(pc)
+		newIndex[pc] = len(newCode)
+
+		// Explicit loop exits before returns inside loops (the VM also
+		// unwinds as a safety net; explicit probes keep the event stream
+		// well nested).
+		if in.Op == bytecode.OpRet || in.Op == bytecode.OpRetVal || in.Op == bytecode.OpMissingReturn {
+			lu := loopsIn[b]
+			for i := len(lu) - 1; i >= 0; i-- {
+				newCode = append(newCode, bytecode.Instr{Op: bytecode.OpLoopExit, A: lu[i]})
+			}
+		}
+
+		isLast := pc == g.Blocks[b].End-1
+		if !isLast {
+			newCode = append(newCode, in)
+			continue
+		}
+
+		// Last instruction of its block: handle outgoing edges.
+		switch in.Op {
+		case bytecode.OpJmp:
+			ep := probesFor(b, g.BlockOf(in.A))
+			if ep.empty() {
+				newCode = append(newCode, in)
+			} else {
+				// Inline the probes before the jump: an unconditional jump
+				// is the edge, so inline placement is exact.
+				newCode = append(newCode, ep.instrs()...)
+				newCode = append(newCode, in)
+			}
+		case bytecode.OpJmpIfFalse, bytecode.OpJmpIfTrue:
+			// Two edges: taken (to in.A) and fallthrough (to pc+1).
+			takenEP := probesFor(b, g.BlockOf(in.A))
+			jumpPos := len(newCode)
+			newCode = append(newCode, in)
+			if !takenEP.empty() {
+				splits = append(splits, splitEdge{jumpAt: jumpPos, target: in.A, probes: takenEP})
+			}
+			if pc+1 < len(fn.Code) {
+				fallEP := probesFor(b, g.BlockOf(pc+1))
+				if !fallEP.empty() {
+					newCode = append(newCode, fallEP.instrs()...)
+				}
+			}
+		default:
+			newCode = append(newCode, in)
+			// Plain fallthrough edge.
+			if !in.Op.IsTerminator() && pc+1 < len(fn.Code) {
+				ep := probesFor(b, g.BlockOf(pc+1))
+				if !ep.empty() {
+					newCode = append(newCode, ep.instrs()...)
+				}
+			}
+		}
+	}
+	newIndex[len(fn.Code)] = len(newCode)
+
+	// Remap jump targets.
+	for i := range newCode {
+		if newCode[i].Op.IsJump() {
+			newCode[i].A = newIndex[newCode[i].A]
+		}
+	}
+
+	// Materialize trampolines for conditional taken-edges that need probes.
+	for _, se := range splits {
+		tramp := len(newCode)
+		newCode = append(newCode, se.probes.instrs()...)
+		newCode = append(newCode, bytecode.Instr{Op: bytecode.OpJmp, A: newIndex[se.target]})
+		newCode[se.jumpAt].A = tramp
+	}
+
+	out := &bytecode.Function{Method: fn.Method, Code: newCode, NumLocals: fn.NumLocals}
+
+	// Remap the exception handler table and record, per handler, which
+	// loops statically enclose its target: the VM emits LoopExit events
+	// for every active loop outside that scope when it unwinds to the
+	// handler (the paper's exceptional-control-flow handling).
+	for _, h := range fn.Handlers {
+		nh := h
+		nh.From = newIndex[h.From]
+		nh.To = newIndex[h.To]
+		nh.Target = newIndex[h.Target]
+		nh.LoopScope = append([]int(nil), loopsIn[g.BlockOf(h.Target)]...)
+		out.Handlers = append(out.Handlers, nh)
+	}
+
+	if err := bytecode.Validate(out); err != nil {
+		return nil, nil, fmt.Errorf("instrument: %w", err)
+	}
+	return out, metas, nil
+}

@@ -1,0 +1,446 @@
+package instrument
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"algoprof/internal/events"
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/vm"
+)
+
+// recorder logs loop and method events as strings like "E0", "B0", "X0",
+// "M3", "m3" and counts the rest.
+type recorder struct {
+	events.NopListener
+	log    []string
+	fields int
+	allocs int
+	arrays int
+}
+
+func (r *recorder) LoopEntry(id int)  { r.log = append(r.log, fmt.Sprintf("E%d", id)) }
+func (r *recorder) LoopBack(id int)   { r.log = append(r.log, fmt.Sprintf("B%d", id)) }
+func (r *recorder) LoopExit(id int)   { r.log = append(r.log, fmt.Sprintf("X%d", id)) }
+func (r *recorder) MethodEntry(m int) { r.log = append(r.log, fmt.Sprintf("M%d", m)) }
+func (r *recorder) MethodExit(m int)  { r.log = append(r.log, fmt.Sprintf("m%d", m)) }
+
+func (r *recorder) FieldGet(events.Entity, int)                { r.fields++ }
+func (r *recorder) FieldPut(events.Entity, int, events.Entity) { r.fields++ }
+func (r *recorder) ArrayLoad(events.Entity)                    { r.arrays++ }
+func (r *recorder) ArrayStore(events.Entity, events.Entity)    { r.arrays++ }
+func (r *recorder) Alloc(events.Entity, int)                   { r.allocs++ }
+
+func runInstrumented(t *testing.T, src string, mode Mode) (*Instrumented, *recorder) {
+	t.Helper()
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := Instrument(prog, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	m := vm.New(ins.Prog, vm.Config{Listener: rec, Plan: ins.Plan, Seed: 1})
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return ins, rec
+}
+
+func loopEvents(log []string) []string {
+	var out []string
+	for _, e := range log {
+		if e[0] == 'E' || e[0] == 'B' || e[0] == 'X' {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestSimpleLoopEventSequence(t *testing.T) {
+	ins, rec := runInstrumented(t, `
+class Main {
+  public static void main() {
+    int i = 0;
+    while (i < 3) { i++; }
+  }
+}`, Optimized)
+	if len(ins.Loops) != 1 {
+		t.Fatalf("%d loops, want 1", len(ins.Loops))
+	}
+	got := strings.Join(loopEvents(rec.log), " ")
+	// Entry, then one back edge per completed iteration, then exit.
+	want := "E0 B0 B0 B0 X0"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestZeroIterationLoop(t *testing.T) {
+	_, rec := runInstrumented(t, `
+class Main {
+  public static void main() {
+    int i = 10;
+    while (i < 3) { i++; }
+  }
+}`, Optimized)
+	got := strings.Join(loopEvents(rec.log), " ")
+	if got != "E0 X0" {
+		t.Errorf("a loop that never iterates still enters and exits: %q", got)
+	}
+}
+
+func TestNestedLoopNesting(t *testing.T) {
+	ins, rec := runInstrumented(t, `
+class Main {
+  public static void main() {
+    for (int o = 0; o < 2; o++) {
+      for (int i = 0; i < 2; i++) { print(i); }
+    }
+  }
+}`, Optimized)
+	if len(ins.Loops) != 2 {
+		t.Fatalf("%d loops, want 2", len(ins.Loops))
+	}
+	// Verify stack discipline: entries and exits are balanced and well
+	// nested; back edges only fire for the top-of-stack loop or an
+	// enclosing active loop.
+	var stack []string
+	for _, e := range loopEvents(rec.log) {
+		switch e[0] {
+		case 'E':
+			stack = append(stack, e[1:])
+		case 'X':
+			if len(stack) == 0 || stack[len(stack)-1] != e[1:] {
+				t.Fatalf("unbalanced exit %s with stack %v (log %v)", e, stack, rec.log)
+			}
+			stack = stack[:len(stack)-1]
+		case 'B':
+			found := false
+			for _, s := range stack {
+				if s == e[1:] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("back edge %s for inactive loop (stack %v)", e, stack)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("unclosed loops at end: %v", stack)
+	}
+
+	// The inner loop enters twice (once per outer iteration).
+	inner := ins.Loops[0]
+	if inner.Depth != 2 {
+		inner = ins.Loops[1]
+	}
+	entries := 0
+	for _, e := range rec.log {
+		if e == fmt.Sprintf("E%d", inner.ID) {
+			entries++
+		}
+	}
+	if entries != 2 {
+		t.Errorf("inner loop entered %d times, want 2", entries)
+	}
+}
+
+func TestBreakEmitsExit(t *testing.T) {
+	_, rec := runInstrumented(t, `
+class Main {
+  public static void main() {
+    for (int i = 0; i < 100; i++) {
+      if (i == 2) { break; }
+    }
+  }
+}`, Optimized)
+	got := strings.Join(loopEvents(rec.log), " ")
+	want := "E0 B0 B0 X0"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestEarlyReturnEmitsExits(t *testing.T) {
+	_, rec := runInstrumented(t, `
+class Main {
+  static int find() {
+    for (int i = 0; i < 10; i++) {
+      for (int j = 0; j < 10; j++) {
+        if (i * 10 + j == 13) { return 13; }
+      }
+    }
+    return -1;
+  }
+  public static void main() { int x = find(); }
+}`, Optimized)
+	evs := loopEvents(rec.log)
+	depth := map[string]int{}
+	for _, e := range evs {
+		switch e[0] {
+		case 'E':
+			depth[e[1:]]++
+		case 'X':
+			depth[e[1:]]--
+		}
+	}
+	for id, d := range depth {
+		if d != 0 {
+			t.Errorf("loop %s entry/exit imbalance %d (log %v)", id, d, evs)
+		}
+	}
+}
+
+func TestContinueCountsAsBackEdge(t *testing.T) {
+	_, rec := runInstrumented(t, `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int i = 0; i < 4; i++) {
+      if (i % 2 == 0) { continue; }
+      s = s + i;
+    }
+  }
+}`, Optimized)
+	backs := 0
+	for _, e := range loopEvents(rec.log) {
+		if e[0] == 'B' {
+			backs++
+		}
+	}
+	if backs != 4 {
+		t.Errorf("4 iterations => 4 back edges, got %d", backs)
+	}
+}
+
+func TestMethodEventsOnlyForRecursiveInOptimized(t *testing.T) {
+	ins, rec := runInstrumented(t, `
+class Main {
+  static int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+  static int plain(int n) { return n + 1; }
+  public static void main() { int x = fact(4); int y = plain(1); }
+}`, Optimized)
+	var factID, plainID int = -1, -1
+	for _, m := range ins.Prog.Sem.Methods() {
+		switch m.QualifiedName() {
+		case "Main.fact":
+			factID = m.ID
+		case "Main.plain":
+			plainID = m.ID
+		}
+	}
+	sawFact, sawPlain := 0, 0
+	for _, e := range rec.log {
+		if e == fmt.Sprintf("M%d", factID) {
+			sawFact++
+		}
+		if e == fmt.Sprintf("M%d", plainID) {
+			sawPlain++
+		}
+	}
+	if sawFact != 4 {
+		t.Errorf("fact(4) should emit 4 method entries, got %d", sawFact)
+	}
+	if sawPlain != 0 {
+		t.Errorf("non-recursive method must not emit entries under the optimized plan, got %d", sawPlain)
+	}
+}
+
+func TestFullPlanEmitsAllMethods(t *testing.T) {
+	_, rec := runInstrumented(t, `
+class Main {
+  static int plain(int n) { return n + 1; }
+  public static void main() { int y = plain(1); }
+}`, Full)
+	entries := 0
+	for _, e := range rec.log {
+		if e[0] == 'M' {
+			entries++
+		}
+	}
+	// main + plain.
+	if entries != 2 {
+		t.Errorf("full plan: %d method entries, want 2", entries)
+	}
+}
+
+func TestFieldProbesLimitedToRecursiveLinks(t *testing.T) {
+	_, rec := runInstrumented(t, `
+class Node { Node next; int v; }
+class Main {
+  public static void main() {
+    Node a = new Node();
+    Node b = new Node();
+    a.next = b;   // recursive link: counted
+    a.v = 5;      // payload: not counted
+    int x = a.v;  // payload: not counted
+    Node c = a.next; // recursive link: counted
+  }
+}`, Optimized)
+	if rec.fields != 2 {
+		t.Errorf("field events = %d, want 2 (only Node.next accesses)", rec.fields)
+	}
+	if rec.allocs != 2 {
+		t.Errorf("alloc events = %d, want 2 (Node is recursive)", rec.allocs)
+	}
+}
+
+func TestNonRecursiveAllocNotCounted(t *testing.T) {
+	_, rec := runInstrumented(t, `
+class Plain { int v; }
+class Main {
+  public static void main() {
+    Plain p = new Plain();
+    p.v = 1;
+  }
+}`, Optimized)
+	if rec.allocs != 0 || rec.fields != 0 {
+		t.Errorf("non-recursive class: allocs=%d fields=%d, want 0/0", rec.allocs, rec.fields)
+	}
+}
+
+func TestArrayProbes(t *testing.T) {
+	_, rec := runInstrumented(t, `
+class Main {
+  public static void main() {
+    int[] a = new int[3];
+    a[0] = 1;       // store
+    a[1] = a[0];    // load + store
+  }
+}`, Optimized)
+	if rec.arrays != 3 {
+		t.Errorf("array events = %d, want 3", rec.arrays)
+	}
+}
+
+func TestLoopMetaNames(t *testing.T) {
+	ins, _ := runInstrumented(t, `
+class Main {
+  static void f() {
+    for (int i = 0; i < 1; i++) { }
+    for (int j = 0; j < 1; j++) { }
+  }
+  public static void main() { f(); }
+}`, Optimized)
+	if len(ins.Loops) != 2 {
+		t.Fatalf("%d loops", len(ins.Loops))
+	}
+	if ins.Loops[0].Name() != "Main.f/loop1" || ins.Loops[1].Name() != "Main.f/loop2" {
+		t.Errorf("names: %s, %s", ins.Loops[0].Name(), ins.Loops[1].Name())
+	}
+	if ins.Loops[0].ParentID != -1 || ins.Loops[1].ParentID != -1 {
+		t.Error("sequential loops have no parent")
+	}
+}
+
+func TestRewriteDoesNotChangeSemantics(t *testing.T) {
+	src := `
+class Main {
+  static int work(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+      if (i % 3 == 0) { continue; }
+      if (s > 50) { break; }
+      int j = 0;
+      while (j < i) { s = s + 1; j++; }
+    }
+    return s;
+  }
+  public static void main() {
+    print(work(0));
+    print(work(5));
+    print(work(30));
+  }
+}`
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := vm.New(prog, vm.Config{Seed: 7})
+	if err := plain.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := Instrument(prog, Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	inst := vm.New(ins.Prog, vm.Config{Listener: rec, Plan: ins.Plan, Seed: 7})
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(plain.Stdout, ",") != strings.Join(inst.Stdout, ",") {
+		t.Errorf("instrumentation changed program output:\nplain: %v\ninst:  %v",
+			plain.Stdout, inst.Stdout)
+	}
+}
+
+// Property: for random structured loop/if nests, (1) instrumentation
+// preserves output, (2) loop entries/exits balance per loop id, and
+// (3) the event stream is well nested.
+func TestInstrumentationInvariantsProperty(t *testing.T) {
+	f := func(shape []bool, seed uint8) bool {
+		if len(shape) > 5 {
+			shape = shape[:5]
+		}
+		body := "s = s + 1;"
+		for i := len(shape) - 1; i >= 0; i-- {
+			v := fmt.Sprintf("v%d", i)
+			if shape[i] {
+				body = fmt.Sprintf("for (int %s = 0; %s < 2; %s++) { %s }", v, v, v, body)
+			} else {
+				body = fmt.Sprintf("if (s < 100 + %d) { %s }", i, body)
+			}
+		}
+		src := `
+class Main {
+  public static void main() {
+    int s = 0;
+    ` + body + `
+    print(s);
+  }
+}`
+		prog, err := compiler.CompileSource(src)
+		if err != nil {
+			return false
+		}
+		plain := vm.New(prog, vm.Config{Seed: uint64(seed)})
+		if err := plain.Run(); err != nil {
+			return false
+		}
+		ins, err := Instrument(prog, Optimized)
+		if err != nil {
+			return false
+		}
+		rec := &recorder{}
+		inst := vm.New(ins.Prog, vm.Config{Listener: rec, Plan: ins.Plan, Seed: uint64(seed)})
+		if err := inst.Run(); err != nil {
+			return false
+		}
+		if strings.Join(plain.Stdout, ",") != strings.Join(inst.Stdout, ",") {
+			return false
+		}
+		var stack []string
+		for _, e := range loopEvents(rec.log) {
+			switch e[0] {
+			case 'E':
+				stack = append(stack, e[1:])
+			case 'X':
+				if len(stack) == 0 || stack[len(stack)-1] != e[1:] {
+					return false
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+		return len(stack) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,394 @@
+// Package ast defines the abstract syntax tree for MJ programs.
+//
+// The tree is deliberately close to the Java subset used by the AlgoProf
+// paper's listings: classes with fields, methods and constructors, single
+// inheritance, erasure generics, arrays, structured control flow, and the
+// usual expression forms.
+package ast
+
+import (
+	"strings"
+
+	"algoprof/internal/mj/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// TypeExpr is a syntactic type: a named base type with optional generic
+// arguments (which MJ erases) and array dimensions.
+type TypeExpr struct {
+	TokPos token.Pos
+	Name   string      // "int", "boolean", "String", "void", class or type-param name
+	Args   []*TypeExpr // generic arguments, erased after parsing
+	Dims   int         // number of array dimensions ([] pairs)
+}
+
+func (t *TypeExpr) Pos() token.Pos { return t.TokPos }
+
+// String renders the type as source-like text.
+func (t *TypeExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Name)
+	if len(t.Args) > 0 {
+		sb.WriteByte('<')
+		for i, a := range t.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(a.String())
+		}
+		sb.WriteByte('>')
+	}
+	for i := 0; i < t.Dims; i++ {
+		sb.WriteString("[]")
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Program is a whole MJ compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl declares a class.
+type ClassDecl struct {
+	TokPos     token.Pos
+	Name       string
+	TypeParams []string  // erasure generics: names only
+	Extends    *TypeExpr // nil if none
+	Fields     []*FieldDecl
+	Methods    []*MethodDecl
+}
+
+func (c *ClassDecl) Pos() token.Pos { return c.TokPos }
+
+// FieldDecl declares an instance field.
+type FieldDecl struct {
+	TokPos token.Pos
+	Name   string
+	Type   *TypeExpr
+}
+
+func (f *FieldDecl) Pos() token.Pos { return f.TokPos }
+
+// Param is a formal method parameter.
+type Param struct {
+	TokPos token.Pos
+	Name   string
+	Type   *TypeExpr
+}
+
+func (p *Param) Pos() token.Pos { return p.TokPos }
+
+// MethodDecl declares a method or constructor. A constructor has
+// IsConstructor set and a nil Ret.
+type MethodDecl struct {
+	TokPos        token.Pos
+	Name          string
+	Static        bool
+	IsConstructor bool
+	Params        []*Param
+	Ret           *TypeExpr // nil means void (or constructor)
+	Body          *Block
+}
+
+func (m *MethodDecl) Pos() token.Pos { return m.TokPos }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a `{ ... }` statement list.
+type Block struct {
+	TokPos token.Pos
+	Stmts  []Stmt
+}
+
+// VarDecl declares a local variable, optionally with an initializer.
+// Type is nil for `var x = init;` declarations (type inferred).
+type VarDecl struct {
+	TokPos token.Pos
+	Name   string
+	Type   *TypeExpr // nil => inferred
+	Init   Expr      // may be nil (defaults to zero value)
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	TokPos token.Pos
+	X      Expr
+}
+
+// AssignStmt assigns Value to the lvalue Target (identifier, field access,
+// or array index).
+type AssignStmt struct {
+	TokPos token.Pos
+	Target Expr
+	Value  Expr
+}
+
+// IncDecStmt is `x++` or `x--` used as a statement.
+type IncDecStmt struct {
+	TokPos token.Pos
+	Target Expr
+	Inc    bool // true for ++, false for --
+}
+
+// If is an if/else statement.
+type If struct {
+	TokPos token.Pos
+	Cond   Expr
+	Then   Stmt
+	Else   Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	TokPos token.Pos
+	Cond   Expr
+	Body   Stmt
+}
+
+// For is a C-style for loop. Init and Post may be nil; Cond may be nil
+// (treated as true).
+type For struct {
+	TokPos token.Pos
+	Init   Stmt // VarDecl, AssignStmt, IncDecStmt or ExprStmt
+	Cond   Expr
+	Post   Stmt
+	Body   Stmt
+}
+
+// Return returns from the enclosing method; Value may be nil.
+type Return struct {
+	TokPos token.Pos
+	Value  Expr
+}
+
+// SuperCall chains to the superclass constructor: `super(args);` as the
+// first statement of a constructor.
+type SuperCall struct {
+	TokPos token.Pos
+	Args   []Expr
+}
+
+// Throw raises an exception object.
+type Throw struct {
+	TokPos token.Pos
+	Value  Expr
+}
+
+// TryCatch guards Body with a single typed handler.
+type TryCatch struct {
+	TokPos    token.Pos
+	Body      *Block
+	CatchType *TypeExpr
+	CatchName string
+	Handler   *Block
+}
+
+// Break exits the innermost loop.
+type Break struct{ TokPos token.Pos }
+
+// Continue jumps to the next iteration of the innermost loop.
+type Continue struct{ TokPos token.Pos }
+
+func (b *Block) Pos() token.Pos      { return b.TokPos }
+func (v *VarDecl) Pos() token.Pos    { return v.TokPos }
+func (e *ExprStmt) Pos() token.Pos   { return e.TokPos }
+func (a *AssignStmt) Pos() token.Pos { return a.TokPos }
+func (i *IncDecStmt) Pos() token.Pos { return i.TokPos }
+func (i *If) Pos() token.Pos         { return i.TokPos }
+func (w *While) Pos() token.Pos      { return w.TokPos }
+func (f *For) Pos() token.Pos        { return f.TokPos }
+func (r *Return) Pos() token.Pos     { return r.TokPos }
+func (s *SuperCall) Pos() token.Pos  { return s.TokPos }
+func (t *Throw) Pos() token.Pos      { return t.TokPos }
+func (t *TryCatch) Pos() token.Pos   { return t.TokPos }
+func (b *Break) Pos() token.Pos      { return b.TokPos }
+func (c *Continue) Pos() token.Pos   { return c.TokPos }
+
+func (*Block) stmt()      {}
+func (*VarDecl) stmt()    {}
+func (*ExprStmt) stmt()   {}
+func (*AssignStmt) stmt() {}
+func (*IncDecStmt) stmt() {}
+func (*If) stmt()         {}
+func (*While) stmt()      {}
+func (*For) stmt()        {}
+func (*Return) stmt()     {}
+func (*SuperCall) stmt()  {}
+func (*Throw) stmt()      {}
+func (*TryCatch) stmt()   {}
+func (*Break) stmt()      {}
+func (*Continue) stmt()   {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	TokPos token.Pos
+	Value  int64
+}
+
+// BoolLit is `true` or `false`.
+type BoolLit struct {
+	TokPos token.Pos
+	Value  bool
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	TokPos token.Pos
+	Value  string
+}
+
+// NullLit is `null`.
+type NullLit struct{ TokPos token.Pos }
+
+// This is `this`.
+type This struct{ TokPos token.Pos }
+
+// Ident names a local variable, parameter, field of `this`, or (as a call
+// receiver) a class.
+type Ident struct {
+	TokPos token.Pos
+	Name   string
+}
+
+// FieldAccess is `X.Name` (including `arr.length`).
+type FieldAccess struct {
+	TokPos token.Pos
+	X      Expr
+	Name   string
+}
+
+// Index is `X[Idx]`.
+type Index struct {
+	TokPos token.Pos
+	X      Expr
+	Idx    Expr
+}
+
+// Call invokes a method. Recv is nil for unqualified calls (current class
+// or builtin); an *Ident receiver may name a class (static call) or a
+// variable (instance call) — the resolver decides.
+type Call struct {
+	TokPos token.Pos
+	Recv   Expr // may be nil
+	Name   string
+	Args   []Expr
+}
+
+// New allocates an object: `new T(args)`.
+type New struct {
+	TokPos token.Pos
+	Type   *TypeExpr
+	Args   []Expr
+}
+
+// NewArray allocates an array: `new T[len0][len1]...[]...`. Lens holds the
+// sized dimensions; ExtraDims counts trailing unsized `[]` pairs.
+type NewArray struct {
+	TokPos    token.Pos
+	Elem      *TypeExpr // element base type (no dims)
+	Lens      []Expr
+	ExtraDims int
+}
+
+// BinOp is a binary operator kind.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+	EqEq
+	NotEq
+	Less
+	Greater
+	LessEq
+	GreaterEq
+	LAnd // short-circuit &&
+	LOr  // short-circuit ||
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "==", "!=", "<", ">", "<=", ">=", "&&", "||"}
+
+// String renders the operator symbol.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Binary applies a binary operator.
+type Binary struct {
+	TokPos token.Pos
+	Op     BinOp
+	L, R   Expr
+}
+
+// UnOp is a unary operator kind.
+type UnOp int
+
+// Unary operators.
+const (
+	Neg  UnOp = iota // -x
+	LNot             // !x
+)
+
+// Unary applies a unary operator.
+type Unary struct {
+	TokPos token.Pos
+	Op     UnOp
+	X      Expr
+}
+
+func (e *IntLit) Pos() token.Pos      { return e.TokPos }
+func (e *BoolLit) Pos() token.Pos     { return e.TokPos }
+func (e *StringLit) Pos() token.Pos   { return e.TokPos }
+func (e *NullLit) Pos() token.Pos     { return e.TokPos }
+func (e *This) Pos() token.Pos        { return e.TokPos }
+func (e *Ident) Pos() token.Pos       { return e.TokPos }
+func (e *FieldAccess) Pos() token.Pos { return e.TokPos }
+func (e *Index) Pos() token.Pos       { return e.TokPos }
+func (e *Call) Pos() token.Pos        { return e.TokPos }
+func (e *New) Pos() token.Pos         { return e.TokPos }
+func (e *NewArray) Pos() token.Pos    { return e.TokPos }
+func (e *Binary) Pos() token.Pos      { return e.TokPos }
+func (e *Unary) Pos() token.Pos       { return e.TokPos }
+
+func (*IntLit) expr()      {}
+func (*BoolLit) expr()     {}
+func (*StringLit) expr()   {}
+func (*NullLit) expr()     {}
+func (*This) expr()        {}
+func (*Ident) expr()       {}
+func (*FieldAccess) expr() {}
+func (*Index) expr()       {}
+func (*Call) expr()        {}
+func (*New) expr()         {}
+func (*NewArray) expr()    {}
+func (*Binary) expr()      {}
+func (*Unary) expr()       {}

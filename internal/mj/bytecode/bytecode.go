@@ -1,0 +1,263 @@
+// Package bytecode defines the instruction set the MJ compiler targets and
+// the interpreter executes. It mirrors the JVM instructions the AlgoProf
+// paper instruments (GETFIELD/PUTFIELD, *ALOAD/*ASTORE, NEW, calls,
+// branches) plus the explicit loop probes the instrumentation rewriter
+// injects (LoopEnter/LoopBack/LoopExit).
+//
+// Instructions are unpacked structs rather than encoded bytes: the
+// interpreter indexes a []Instr slice directly, and the rewriter can insert
+// probes by rebuilding the slice with a target-index remap.
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+
+	"algoprof/internal/mj/types"
+)
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	// Constants and stack.
+	OpConstInt  Op = iota // push A as int
+	OpConstBool           // push A != 0 as boolean
+	OpConstStr            // push S
+	OpConstNull           // push null
+	OpPop                 // drop top
+	OpDup                 // duplicate top
+
+	// Locals.
+	OpLoadLocal  // push locals[A]
+	OpStoreLocal // locals[A] = pop
+
+	// Objects and fields.
+	OpNewObject   // push new instance of class id A
+	OpGetField    // obj = pop; push obj.fields[field A]
+	OpPutField    // val = pop; obj = pop; obj.fields[field A] = val
+	OpGetFieldDyn // dynamic by name S (erased receivers)
+	OpPutFieldDyn // dynamic by name S
+
+	// Arrays. A indexes the program's type pool with the array's full type.
+	OpNewArray      // len = pop; push new array
+	OpNewArrayMulti // lens (B of them) on stack; push nested arrays
+	OpALoad         // idx = pop; arr = pop; push arr[idx]
+	OpAStore        // val = pop; idx = pop; arr = pop; arr[idx] = val
+	OpArrayLen      // arr = pop; push length
+	OpStrLen        // str = pop; push length
+
+	// Arithmetic and logic.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	OpConcat // string +
+	OpNot
+	OpCmpEq // generic equality (ints, bools, refs by identity, strings by value)
+	OpCmpNe
+	OpCmpLt
+	OpCmpGt
+	OpCmpLe
+	OpCmpGe
+
+	// Control flow. A is an instruction index in the same function.
+	OpJmp
+	OpJmpIfFalse
+	OpJmpIfTrue
+
+	// Calls. A is a method id; for OpCallVirt the actual target is resolved
+	// from the receiver's dynamic class (overriding); S is the method name
+	// for dynamic calls. B is the argument count for dynamic calls.
+	OpCallStatic
+	OpCallVirt
+	OpCallDyn
+	OpCallBuiltin // A is the builtin id, B the arg count
+	OpRet         // return void
+	OpRetVal      // return top of stack
+
+	// Exceptions. OpThrow pops an object and unwinds to the innermost
+	// matching handler (in this or a calling frame).
+	OpThrow
+
+	// Traps.
+	OpMissingReturn // reached the end of a value-returning method
+
+	// Profiling probes (inserted by the instrumentation rewriter; the
+	// compiler never emits them). A is the loop id.
+	OpLoopEnter
+	OpLoopBack
+	OpLoopExit
+)
+
+var opNames = [...]string{
+	OpConstInt: "const.int", OpConstBool: "const.bool", OpConstStr: "const.str",
+	OpConstNull: "const.null", OpPop: "pop", OpDup: "dup",
+	OpLoadLocal: "load", OpStoreLocal: "store",
+	OpNewObject: "new", OpGetField: "getfield", OpPutField: "putfield",
+	OpGetFieldDyn: "getfield.dyn", OpPutFieldDyn: "putfield.dyn",
+	OpNewArray: "newarray", OpNewArrayMulti: "newarray.multi",
+	OpALoad: "aload", OpAStore: "astore", OpArrayLen: "arraylen", OpStrLen: "strlen",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg", OpConcat: "concat", OpNot: "not",
+	OpCmpEq: "cmp.eq", OpCmpNe: "cmp.ne", OpCmpLt: "cmp.lt", OpCmpGt: "cmp.gt",
+	OpCmpLe: "cmp.le", OpCmpGe: "cmp.ge",
+	OpJmp: "jmp", OpJmpIfFalse: "jmp.false", OpJmpIfTrue: "jmp.true",
+	OpCallStatic: "call.static", OpCallVirt: "call.virt", OpCallDyn: "call.dyn",
+	OpCallBuiltin: "call.builtin", OpRet: "ret", OpRetVal: "ret.val",
+	OpThrow:         "throw",
+	OpMissingReturn: "trap.noreturn",
+	OpLoopEnter:     "loop.enter", OpLoopBack: "loop.back", OpLoopExit: "loop.exit",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsJump reports whether the instruction transfers control to operand A.
+func (o Op) IsJump() bool {
+	return o == OpJmp || o == OpJmpIfFalse || o == OpJmpIfTrue
+}
+
+// IsTerminator reports whether control never falls through this opcode.
+func (o Op) IsTerminator() bool {
+	return o == OpJmp || o == OpRet || o == OpRetVal || o == OpMissingReturn || o == OpThrow
+}
+
+// IsProbe reports whether the instruction is a profiling probe.
+func (o Op) IsProbe() bool {
+	return o == OpLoopEnter || o == OpLoopBack || o == OpLoopExit
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op Op
+	A  int    // primary operand: constant, slot, id, jump target, type-pool index
+	B  int    // secondary operand: arg/dim count
+	S  string // string operand: literal or dynamic member name
+	// Line is the 1-based source line the instruction was compiled from
+	// (0 when synthetic).
+	Line int
+}
+
+// String renders the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpConstStr, OpGetFieldDyn, OpPutFieldDyn:
+		return fmt.Sprintf("%-14s %q", in.Op, in.S)
+	case OpCallDyn:
+		return fmt.Sprintf("%-14s %q argc=%d", in.Op, in.S, in.B)
+	case OpConstInt, OpConstBool, OpLoadLocal, OpStoreLocal, OpNewObject,
+		OpGetField, OpPutField, OpNewArray, OpJmp, OpJmpIfFalse, OpJmpIfTrue,
+		OpCallStatic, OpCallVirt, OpLoopEnter, OpLoopBack, OpLoopExit:
+		return fmt.Sprintf("%-14s %d", in.Op, in.A)
+	case OpNewArrayMulti, OpCallBuiltin:
+		return fmt.Sprintf("%-14s %d argc=%d", in.Op, in.A, in.B)
+	}
+	return in.Op.String()
+}
+
+// Handler is one entry of a function's exception handler table: an
+// exception of class ClassID (or a subclass) thrown while pc is in
+// [From, To) transfers control to Target, with the exception object
+// stored into local Slot. Handlers are searched in order; the compiler
+// records inner handlers before outer ones.
+type Handler struct {
+	From, To int
+	Target   int
+	ClassID  int
+	Slot     int
+	// LoopScope lists the ids of loops statically enclosing Target
+	// (outermost first); filled by the instrumenter so the VM can emit
+	// LoopExit events for loops abandoned by the unwind.
+	LoopScope []int
+}
+
+// Function is the compiled body of one MJ method.
+type Function struct {
+	Method    *types.Method
+	Code      []Instr
+	NumLocals int
+	Handlers  []Handler
+}
+
+// Name returns the qualified method name.
+func (f *Function) Name() string { return f.Method.QualifiedName() }
+
+// Program is a compiled MJ program.
+type Program struct {
+	Sem      *types.Program
+	Funcs    []*Function   // indexed by method id
+	TypePool []*types.Type // referenced by array instructions
+	MainID   int
+}
+
+// FuncByID returns the function for a method id.
+func (p *Program) FuncByID(id int) *Function { return p.Funcs[id] }
+
+// Main returns the entry function.
+func (p *Program) Main() *Function { return p.Funcs[p.MainID] }
+
+// InternType adds t to the type pool (deduplicated by string form) and
+// returns its index.
+func (p *Program) InternType(t *types.Type) int {
+	s := t.String()
+	for i, u := range p.TypePool {
+		if u.String() == s {
+			return i
+		}
+	}
+	p.TypePool = append(p.TypePool, t)
+	return len(p.TypePool) - 1
+}
+
+// Disassemble renders fn as text for debugging and golden tests.
+func Disassemble(fn *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (locals=%d)\n", fn.Name(), fn.NumLocals)
+	for i, in := range fn.Code {
+		fmt.Fprintf(&sb, "  %4d: %s\n", i, in)
+	}
+	return sb.String()
+}
+
+// DisassembleProgram renders every function.
+func DisassembleProgram(p *Program) string {
+	var sb strings.Builder
+	for _, fn := range p.Funcs {
+		sb.WriteString(Disassemble(fn))
+	}
+	return sb.String()
+}
+
+// Validate performs basic structural checks: jump targets in range and code
+// non-empty with a terminator at the end. The compiler and the rewriter both
+// run it in tests.
+func Validate(fn *Function) error {
+	n := len(fn.Code)
+	if n == 0 {
+		return fmt.Errorf("%s: empty code", fn.Name())
+	}
+	for i, in := range fn.Code {
+		if in.Op.IsJump() && (in.A < 0 || in.A >= n) {
+			return fmt.Errorf("%s: instr %d jumps out of range (%d)", fn.Name(), i, in.A)
+		}
+	}
+	last := fn.Code[n-1].Op
+	if !last.IsTerminator() {
+		return fmt.Errorf("%s: function does not end in terminator (%s)", fn.Name(), last)
+	}
+	for i, h := range fn.Handlers {
+		if h.From < 0 || h.To > n || h.From >= h.To || h.Target < 0 || h.Target >= n {
+			return fmt.Errorf("%s: handler %d has bad range [%d,%d)->%d", fn.Name(), i, h.From, h.To, h.Target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"algoprof/internal/mj/parser"
+	"algoprof/internal/mj/types"
+)
+
+func fn(code []Instr, handlers ...Handler) *Function {
+	sem := types.MustCheck(parser.MustParse(
+		`class Main { public static void main() { } }`))
+	return &Function{
+		Method:   sem.Main,
+		Code:     code,
+		Handlers: handlers,
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	f := fn([]Instr{
+		{Op: OpConstInt, A: 1},
+		{Op: OpJmpIfTrue, A: 0},
+		{Op: OpRet},
+	})
+	if err := Validate(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	if err := Validate(fn(nil)); err == nil {
+		t.Fatal("want error for empty code")
+	}
+}
+
+func TestValidateRejectsMissingTerminator(t *testing.T) {
+	f := fn([]Instr{{Op: OpConstInt, A: 1}})
+	if err := Validate(f); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfRangeJump(t *testing.T) {
+	f := fn([]Instr{
+		{Op: OpJmp, A: 99},
+		{Op: OpRet},
+	})
+	if err := Validate(f); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestValidateRejectsBadHandler(t *testing.T) {
+	code := []Instr{{Op: OpConstInt}, {Op: OpRet}}
+	bad := []Handler{
+		{From: 1, To: 1, Target: 0},  // empty range
+		{From: 0, To: 5, Target: 0},  // To out of range
+		{From: 0, To: 1, Target: 9},  // target out of range
+		{From: -1, To: 1, Target: 0}, // negative
+	}
+	for i, h := range bad {
+		if err := Validate(fn(code, h)); err == nil {
+			t.Errorf("handler %d accepted: %+v", i, h)
+		}
+	}
+	good := Handler{From: 0, To: 1, Target: 1}
+	if err := Validate(fn(code, good)); err != nil {
+		t.Errorf("good handler rejected: %v", err)
+	}
+}
+
+func TestTerminatorsAndJumps(t *testing.T) {
+	for _, op := range []Op{OpJmp, OpRet, OpRetVal, OpMissingReturn, OpThrow} {
+		if !op.IsTerminator() {
+			t.Errorf("%s should be a terminator", op)
+		}
+	}
+	for _, op := range []Op{OpJmp, OpJmpIfFalse, OpJmpIfTrue} {
+		if !op.IsJump() {
+			t.Errorf("%s should be a jump", op)
+		}
+	}
+	if OpAdd.IsTerminator() || OpAdd.IsJump() || OpAdd.IsProbe() {
+		t.Error("OpAdd misclassified")
+	}
+	for _, op := range []Op{OpLoopEnter, OpLoopBack, OpLoopExit} {
+		if !op.IsProbe() {
+			t.Errorf("%s should be a probe", op)
+		}
+	}
+}
+
+func TestDisassembleFormats(t *testing.T) {
+	f := fn([]Instr{
+		{Op: OpConstStr, S: "hi"},
+		{Op: OpCallDyn, S: "meth", B: 2},
+		{Op: OpLoadLocal, A: 3},
+		{Op: OpNewArrayMulti, A: 0, B: 2},
+		{Op: OpAdd},
+		{Op: OpRet},
+	})
+	out := Disassemble(f)
+	for _, want := range []string{`const.str      "hi"`, `call.dyn       "meth" argc=2`,
+		"load           3", "newarray.multi 0 argc=2", "add", "func Main.main"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInternTypeDeduplicates(t *testing.T) {
+	p := &Program{}
+	i1 := p.InternType(types.ArrayOf(types.Int))
+	i2 := p.InternType(types.ArrayOf(types.Int))
+	i3 := p.InternType(types.ArrayOf(types.Bool))
+	if i1 != i2 {
+		t.Error("identical types must intern to the same index")
+	}
+	if i1 == i3 {
+		t.Error("distinct types must not collide")
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op string = %q", got)
+	}
+}

@@ -1,0 +1,547 @@
+// Package compiler lowers checked MJ ASTs to bytecode.
+//
+// The compiler is deliberately simple and direct: it performs no
+// optimization, because the profiler's cost model counts source-level
+// repetitions and structure accesses, and any transformation that moved or
+// removed loops or field accesses would distort the algorithmic profile.
+package compiler
+
+import (
+	"fmt"
+
+	"algoprof/internal/mj/ast"
+	"algoprof/internal/mj/bytecode"
+	"algoprof/internal/mj/parser"
+	"algoprof/internal/mj/types"
+)
+
+// Compile lowers a checked program to bytecode.
+func Compile(sem *types.Program) (*bytecode.Program, error) {
+	p := &bytecode.Program{Sem: sem, MainID: sem.Main.ID}
+	p.Funcs = make([]*bytecode.Function, sem.NumMethods())
+	for _, m := range sem.Methods() {
+		fc := &funcCompiler{prog: p, sem: sem, method: m}
+		fn, err := fc.compile()
+		if err != nil {
+			return nil, err
+		}
+		p.Funcs[m.ID] = fn
+	}
+	return p, nil
+}
+
+// CompileSource parses, checks and compiles MJ source in one step.
+func CompileSource(src string) (*bytecode.Program, error) {
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sem, err := types.Check(astProg)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(sem)
+}
+
+// MustCompileSource panics on error; for known-good embedded workloads.
+func MustCompileSource(src string) *bytecode.Program {
+	p, err := CompileSource(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type loopCtx struct {
+	continueTarget int // patched later if < 0
+	breakPatches   *[]int
+	contPatches    *[]int
+}
+
+type funcCompiler struct {
+	prog     *bytecode.Program
+	sem      *types.Program
+	method   *types.Method
+	code     []bytecode.Instr
+	loops    []*loopCtx
+	handlers []bytecode.Handler
+	curLine  int
+	err      error
+}
+
+func (fc *funcCompiler) errorf(n ast.Node, format string, args ...any) {
+	if fc.err == nil {
+		fc.err = fmt.Errorf("compile %s: %s: %s", fc.method.QualifiedName(), n.Pos(), fmt.Sprintf(format, args...))
+	}
+}
+
+func (fc *funcCompiler) emit(in bytecode.Instr) int {
+	in.Line = fc.curLine
+	fc.code = append(fc.code, in)
+	return len(fc.code) - 1
+}
+
+func (fc *funcCompiler) op(o bytecode.Op) int         { return fc.emit(bytecode.Instr{Op: o}) }
+func (fc *funcCompiler) opA(o bytecode.Op, a int) int { return fc.emit(bytecode.Instr{Op: o, A: a}) }
+func (fc *funcCompiler) here() int                    { return len(fc.code) }
+func (fc *funcCompiler) patch(at, target int)         { fc.code[at].A = target }
+
+func (fc *funcCompiler) compile() (*bytecode.Function, error) {
+	fc.compileBlock(fc.method.Decl.Body)
+	// Fallthrough handling.
+	if fc.method.Ret.Kind == types.KVoid || fc.method.IsConstructor {
+		fc.op(bytecode.OpRet)
+	} else {
+		fc.op(bytecode.OpMissingReturn)
+	}
+	if fc.err != nil {
+		return nil, fc.err
+	}
+	fn := &bytecode.Function{
+		Method:    fc.method,
+		Code:      fc.code,
+		NumLocals: fc.method.NumLocals,
+		Handlers:  fc.handlers,
+	}
+	if err := bytecode.Validate(fn); err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (fc *funcCompiler) compileBlock(b *ast.Block) {
+	for _, s := range b.Stmts {
+		fc.compileStmt(s)
+	}
+}
+
+func (fc *funcCompiler) compileStmt(s ast.Stmt) {
+	fc.curLine = s.Pos().Line
+	switch s := s.(type) {
+	case *ast.Block:
+		fc.compileBlock(s)
+	case *ast.VarDecl:
+		slot, ok := fc.sem.Info.LocalSlots[s]
+		if !ok {
+			fc.errorf(s, "unresolved local %s", s.Name)
+			return
+		}
+		if s.Init != nil {
+			fc.compileExpr(s.Init)
+		} else {
+			fc.emitZero(fc.declType(s))
+		}
+		fc.opA(bytecode.OpStoreLocal, slot)
+	case *ast.ExprStmt:
+		t := fc.compileExpr(s.X)
+		if t != nil && t.Kind != types.KVoid {
+			fc.op(bytecode.OpPop)
+		}
+	case *ast.AssignStmt:
+		fc.compileAssign(s.Target, func() { fc.compileExpr(s.Value) })
+	case *ast.IncDecStmt:
+		delta := bytecode.OpAdd
+		if !s.Inc {
+			delta = bytecode.OpSub
+		}
+		fc.compileAssign(s.Target, func() {
+			fc.compileExpr(s.Target)
+			fc.opA(bytecode.OpConstInt, 1)
+			fc.op(delta)
+		})
+	case *ast.If:
+		fc.compileExpr(s.Cond)
+		jElse := fc.opA(bytecode.OpJmpIfFalse, -1)
+		fc.compileStmt(s.Then)
+		if s.Else != nil {
+			jEnd := fc.opA(bytecode.OpJmp, -1)
+			fc.patch(jElse, fc.here())
+			fc.compileStmt(s.Else)
+			fc.patch(jEnd, fc.here())
+		} else {
+			fc.patch(jElse, fc.here())
+		}
+	case *ast.While:
+		cond := fc.here()
+		fc.compileExpr(s.Cond)
+		jEnd := fc.opA(bytecode.OpJmpIfFalse, -1)
+		var breaks, conts []int
+		fc.loops = append(fc.loops, &loopCtx{continueTarget: cond, breakPatches: &breaks, contPatches: &conts})
+		fc.compileStmt(s.Body)
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		fc.opA(bytecode.OpJmp, cond) // back edge
+		end := fc.here()
+		fc.patch(jEnd, end)
+		for _, b := range breaks {
+			fc.patch(b, end)
+		}
+		for _, c := range conts {
+			fc.patch(c, cond)
+		}
+	case *ast.For:
+		if s.Init != nil {
+			fc.compileStmt(s.Init)
+		}
+		cond := fc.here()
+		var jEnd = -1
+		if s.Cond != nil {
+			fc.compileExpr(s.Cond)
+			jEnd = fc.opA(bytecode.OpJmpIfFalse, -1)
+		}
+		var breaks, conts []int
+		fc.loops = append(fc.loops, &loopCtx{continueTarget: -1, breakPatches: &breaks, contPatches: &conts})
+		fc.compileStmt(s.Body)
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		post := fc.here()
+		if s.Post != nil {
+			fc.compileStmt(s.Post)
+		}
+		fc.opA(bytecode.OpJmp, cond) // back edge
+		end := fc.here()
+		if jEnd >= 0 {
+			fc.patch(jEnd, end)
+		}
+		for _, b := range breaks {
+			fc.patch(b, end)
+		}
+		for _, c := range conts {
+			fc.patch(c, post)
+		}
+	case *ast.Return:
+		if s.Value != nil {
+			fc.compileExpr(s.Value)
+			fc.op(bytecode.OpRetVal)
+		} else {
+			fc.op(bytecode.OpRet)
+		}
+	case *ast.SuperCall:
+		ctor := fc.sem.Info.SuperCalls[s]
+		if ctor == nil {
+			fc.errorf(s, "unresolved super call")
+			return
+		}
+		fc.opA(bytecode.OpLoadLocal, 0) // this
+		for _, a := range s.Args {
+			fc.compileExpr(a)
+		}
+		fc.opA(bytecode.OpCallVirt, ctor.ID)
+	case *ast.Throw:
+		fc.compileExpr(s.Value)
+		fc.op(bytecode.OpThrow)
+	case *ast.TryCatch:
+		cls := fc.sem.Info.CatchClasses[s]
+		slot, ok := fc.sem.Info.CatchSlots[s]
+		if cls == nil || !ok {
+			fc.errorf(s, "unresolved catch clause")
+			return
+		}
+		from := fc.here()
+		fc.compileBlock(s.Body)
+		jEnd := fc.opA(bytecode.OpJmp, -1)
+		to := fc.here() // range [from, to) covers the body and its jump
+		target := fc.here()
+		fc.compileBlock(s.Handler)
+		fc.patch(jEnd, fc.here())
+		// Inner handlers were appended while compiling the body, so they
+		// precede this (outer) one: search order is innermost first.
+		fc.handlers = append(fc.handlers, bytecode.Handler{
+			From: from, To: to, Target: target, ClassID: cls.ID, Slot: slot,
+		})
+	case *ast.Break:
+		if len(fc.loops) == 0 {
+			fc.errorf(s, "break outside loop")
+			return
+		}
+		l := fc.loops[len(fc.loops)-1]
+		*l.breakPatches = append(*l.breakPatches, fc.opA(bytecode.OpJmp, -1))
+	case *ast.Continue:
+		if len(fc.loops) == 0 {
+			fc.errorf(s, "continue outside loop")
+			return
+		}
+		l := fc.loops[len(fc.loops)-1]
+		*l.contPatches = append(*l.contPatches, fc.opA(bytecode.OpJmp, -1))
+	default:
+		fc.errorf(s, "unhandled statement %T", s)
+	}
+}
+
+func (fc *funcCompiler) declType(s *ast.VarDecl) *types.Type {
+	if s.Type == nil {
+		return types.Object
+	}
+	// The checker already resolved and recorded the variable's type via the
+	// initializer path; for uninitialized declarations resolve the syntax
+	// again using the kind of zero we must push.
+	switch s.Type.Name {
+	case "int":
+		if s.Type.Dims == 0 {
+			return types.Int
+		}
+	case "boolean":
+		if s.Type.Dims == 0 {
+			return types.Bool
+		}
+	}
+	return types.Object
+}
+
+func (fc *funcCompiler) emitZero(t *types.Type) {
+	switch t.Kind {
+	case types.KInt:
+		fc.opA(bytecode.OpConstInt, 0)
+	case types.KBool:
+		fc.opA(bytecode.OpConstBool, 0)
+	default:
+		fc.op(bytecode.OpConstNull)
+	}
+}
+
+// compileAssign evaluates the assignment target's address parts, calls
+// value() to push the right-hand side, and stores.
+//
+// Note: for `a[i]++` the array and index expressions are evaluated twice;
+// MJ assignment targets are restricted to side-effect-free component
+// expressions by construction (no embedded calls produce lvalues).
+func (fc *funcCompiler) compileAssign(target ast.Expr, value func()) {
+	switch t := target.(type) {
+	case *ast.Ident:
+		sym := fc.sem.Info.Idents[t]
+		if sym == nil {
+			fc.errorf(t, "unresolved identifier %s", t.Name)
+			return
+		}
+		switch sym.Kind {
+		case types.SymLocal:
+			value()
+			fc.opA(bytecode.OpStoreLocal, sym.Slot)
+		case types.SymField:
+			fc.opA(bytecode.OpLoadLocal, 0) // this
+			value()
+			fc.opA(bytecode.OpPutField, sym.Field.ID)
+		default:
+			fc.errorf(t, "cannot assign to class name %s", t.Name)
+		}
+	case *ast.FieldAccess:
+		ref := fc.sem.Info.FieldAccess[t]
+		if ref == nil {
+			fc.errorf(t, "unresolved field access %s", t.Name)
+			return
+		}
+		fc.compileExpr(t.X)
+		value()
+		switch {
+		case ref.Field != nil:
+			fc.opA(bytecode.OpPutField, ref.Field.ID)
+		case ref.Dynamic:
+			fc.emit(bytecode.Instr{Op: bytecode.OpPutFieldDyn, S: ref.Name})
+		default:
+			fc.errorf(t, "cannot assign to %s", t.Name)
+		}
+	case *ast.Index:
+		fc.compileExpr(t.X)
+		fc.compileExpr(t.Idx)
+		value()
+		fc.op(bytecode.OpAStore)
+	default:
+		fc.errorf(target, "invalid assignment target %T", target)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// compileExpr pushes the expression's value and returns its static type.
+func (fc *funcCompiler) compileExpr(e ast.Expr) *types.Type {
+	t := fc.sem.Info.Types[e]
+	switch e := e.(type) {
+	case *ast.IntLit:
+		fc.opA(bytecode.OpConstInt, int(e.Value))
+	case *ast.BoolLit:
+		v := 0
+		if e.Value {
+			v = 1
+		}
+		fc.opA(bytecode.OpConstBool, v)
+	case *ast.StringLit:
+		fc.emit(bytecode.Instr{Op: bytecode.OpConstStr, S: e.Value})
+	case *ast.NullLit:
+		fc.op(bytecode.OpConstNull)
+	case *ast.This:
+		fc.opA(bytecode.OpLoadLocal, 0)
+	case *ast.Ident:
+		sym := fc.sem.Info.Idents[e]
+		if sym == nil {
+			fc.errorf(e, "unresolved identifier %s", e.Name)
+			return t
+		}
+		switch sym.Kind {
+		case types.SymLocal:
+			fc.opA(bytecode.OpLoadLocal, sym.Slot)
+		case types.SymField:
+			fc.opA(bytecode.OpLoadLocal, 0)
+			fc.opA(bytecode.OpGetField, sym.Field.ID)
+		default:
+			fc.errorf(e, "class name %s used as value", e.Name)
+		}
+	case *ast.FieldAccess:
+		ref := fc.sem.Info.FieldAccess[e]
+		if ref == nil {
+			fc.errorf(e, "unresolved field access %s", e.Name)
+			return t
+		}
+		fc.compileExpr(e.X)
+		switch {
+		case ref.ArrayLen:
+			fc.op(bytecode.OpArrayLen)
+		case ref.StringLen:
+			fc.op(bytecode.OpStrLen)
+		case ref.Field != nil:
+			fc.opA(bytecode.OpGetField, ref.Field.ID)
+		case ref.Dynamic:
+			fc.emit(bytecode.Instr{Op: bytecode.OpGetFieldDyn, S: ref.Name})
+		}
+	case *ast.Index:
+		fc.compileExpr(e.X)
+		fc.compileExpr(e.Idx)
+		fc.op(bytecode.OpALoad)
+	case *ast.Call:
+		fc.compileCall(e)
+	case *ast.New:
+		cls := fc.sem.Info.NewClasses[e]
+		if cls == nil {
+			fc.errorf(e, "unresolved class for new")
+			return t
+		}
+		fc.opA(bytecode.OpNewObject, cls.ID)
+		if cls.Ctor != nil {
+			fc.op(bytecode.OpDup)
+			for _, a := range e.Args {
+				fc.compileExpr(a)
+			}
+			fc.opA(bytecode.OpCallVirt, cls.Ctor.ID)
+		}
+	case *ast.NewArray:
+		full := fc.sem.Info.ArrayElems[e]
+		idx := fc.prog.InternType(full)
+		for _, l := range e.Lens {
+			fc.compileExpr(l)
+		}
+		if len(e.Lens) == 1 {
+			fc.opA(bytecode.OpNewArray, idx)
+		} else {
+			fc.emit(bytecode.Instr{Op: bytecode.OpNewArrayMulti, A: idx, B: len(e.Lens)})
+		}
+	case *ast.Binary:
+		fc.compileBinary(e, t)
+	case *ast.Unary:
+		fc.compileExpr(e.X)
+		if e.Op == ast.Neg {
+			fc.op(bytecode.OpNeg)
+		} else {
+			fc.op(bytecode.OpNot)
+		}
+	default:
+		fc.errorf(e, "unhandled expression %T", e)
+	}
+	return t
+}
+
+func (fc *funcCompiler) compileCall(e *ast.Call) {
+	tgt := fc.sem.Info.Calls[e]
+	if tgt == nil {
+		fc.errorf(e, "unresolved call %s", e.Name)
+		return
+	}
+	switch {
+	case tgt.Builtin != types.BuiltinNone:
+		for _, a := range e.Args {
+			fc.compileExpr(a)
+		}
+		fc.emit(bytecode.Instr{Op: bytecode.OpCallBuiltin, A: int(tgt.Builtin), B: len(e.Args)})
+	case tgt.Dynamic:
+		fc.compileExpr(e.Recv)
+		for _, a := range e.Args {
+			fc.compileExpr(a)
+		}
+		fc.emit(bytecode.Instr{Op: bytecode.OpCallDyn, S: tgt.Name, B: len(e.Args)})
+	case tgt.Method != nil && tgt.Method.Static:
+		for _, a := range e.Args {
+			fc.compileExpr(a)
+		}
+		fc.opA(bytecode.OpCallStatic, tgt.Method.ID)
+	case tgt.Method != nil:
+		// Instance call: receiver is explicit or implicit this.
+		if e.Recv != nil {
+			fc.compileExpr(e.Recv)
+		} else {
+			fc.opA(bytecode.OpLoadLocal, 0)
+		}
+		for _, a := range e.Args {
+			fc.compileExpr(a)
+		}
+		fc.opA(bytecode.OpCallVirt, tgt.Method.ID)
+	default:
+		fc.errorf(e, "call %s has no target", e.Name)
+	}
+}
+
+func (fc *funcCompiler) compileBinary(e *ast.Binary, t *types.Type) {
+	switch e.Op {
+	case ast.LAnd:
+		// L && R: if !L push false else push R.
+		fc.compileExpr(e.L)
+		jFalse := fc.opA(bytecode.OpJmpIfFalse, -1)
+		fc.compileExpr(e.R)
+		jEnd := fc.opA(bytecode.OpJmp, -1)
+		fc.patch(jFalse, fc.here())
+		fc.opA(bytecode.OpConstBool, 0)
+		fc.patch(jEnd, fc.here())
+		return
+	case ast.LOr:
+		fc.compileExpr(e.L)
+		jTrue := fc.opA(bytecode.OpJmpIfTrue, -1)
+		fc.compileExpr(e.R)
+		jEnd := fc.opA(bytecode.OpJmp, -1)
+		fc.patch(jTrue, fc.here())
+		fc.opA(bytecode.OpConstBool, 1)
+		fc.patch(jEnd, fc.here())
+		return
+	}
+
+	fc.compileExpr(e.L)
+	fc.compileExpr(e.R)
+	switch e.Op {
+	case ast.Add:
+		if t != nil && t.Kind == types.KString {
+			fc.op(bytecode.OpConcat)
+		} else {
+			fc.op(bytecode.OpAdd)
+		}
+	case ast.Sub:
+		fc.op(bytecode.OpSub)
+	case ast.Mul:
+		fc.op(bytecode.OpMul)
+	case ast.Div:
+		fc.op(bytecode.OpDiv)
+	case ast.Mod:
+		fc.op(bytecode.OpMod)
+	case ast.EqEq:
+		fc.op(bytecode.OpCmpEq)
+	case ast.NotEq:
+		fc.op(bytecode.OpCmpNe)
+	case ast.Less:
+		fc.op(bytecode.OpCmpLt)
+	case ast.Greater:
+		fc.op(bytecode.OpCmpGt)
+	case ast.LessEq:
+		fc.op(bytecode.OpCmpLe)
+	case ast.GreaterEq:
+		fc.op(bytecode.OpCmpGe)
+	default:
+		fc.errorf(e, "unhandled binary op %s", e.Op)
+	}
+}

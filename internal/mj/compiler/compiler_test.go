@@ -1,0 +1,248 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"algoprof/internal/mj/bytecode"
+)
+
+func compileFn(t *testing.T, src, qualified string) *bytecode.Function {
+	t.Helper()
+	prog, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range prog.Funcs {
+		if fn.Name() == qualified {
+			return fn
+		}
+	}
+	t.Fatalf("no function %s", qualified)
+	return nil
+}
+
+func ops(fn *bytecode.Function) []bytecode.Op {
+	out := make([]bytecode.Op, len(fn.Code))
+	for i, in := range fn.Code {
+		out[i] = in.Op
+	}
+	return out
+}
+
+func count(fn *bytecode.Function, op bytecode.Op) int {
+	n := 0
+	for _, in := range fn.Code {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEveryFunctionValidates(t *testing.T) {
+	prog, err := CompileSource(`
+class Error { int code; Error(int c) { code = c; } }
+class Node { Node next; int v; Node(int v) { this.v = v; } }
+class Main {
+  static int work(Node head, int[] a) {
+    int s = 0;
+    for (int i = 0; i < a.length; i++) {
+      s = s + a[i];
+      if (s > 100) { break; }
+      if (s < 0) { continue; }
+    }
+    Node cur = head;
+    while (cur != null) {
+      try {
+        if (cur.v == 13) { throw new Error(13); }
+      } catch (Error e) {
+        s = s - e.code;
+      }
+      cur = cur.next;
+    }
+    return s;
+  }
+  public static void main() {
+    int[] a = new int[4];
+    Node h = new Node(1);
+    print(work(h, a));
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range prog.Funcs {
+		if err := bytecode.Validate(fn); err != nil {
+			t.Errorf("%s: %v", fn.Name(), err)
+		}
+	}
+}
+
+func TestVoidMethodEndsInRet(t *testing.T) {
+	fn := compileFn(t, `class Main { public static void main() { int x = 1; } }`, "Main.main")
+	if fn.Code[len(fn.Code)-1].Op != bytecode.OpRet {
+		t.Errorf("last op %s", fn.Code[len(fn.Code)-1].Op)
+	}
+}
+
+func TestValueMethodFallthroughTraps(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  static int f(int n) { if (n > 0) { return 1; } }
+  public static void main() { int x = f(1); }
+}`, "Main.f")
+	if fn.Code[len(fn.Code)-1].Op != bytecode.OpMissingReturn {
+		t.Errorf("last op %s, want trap.noreturn", fn.Code[len(fn.Code)-1].Op)
+	}
+}
+
+func TestShortCircuitCompilesToJumps(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  static boolean f(boolean a, boolean b) { return a && b; }
+  public static void main() { boolean x = f(true, false); }
+}`, "Main.f")
+	if count(fn, bytecode.OpJmpIfFalse) < 1 {
+		t.Errorf("&& must compile to a conditional jump:\n%s", bytecode.Disassemble(fn))
+	}
+	// No And/Or opcode exists; the result is materialized via ConstBool.
+	if count(fn, bytecode.OpConstBool) < 1 {
+		t.Errorf("short-circuit false arm missing:\n%s", bytecode.Disassemble(fn))
+	}
+}
+
+func TestConstructorCallShape(t *testing.T) {
+	fn := compileFn(t, `
+class P { int v; P(int v) { this.v = v; } }
+class Main { public static void main() { P p = new P(3); } }`, "Main.main")
+	got := ops(fn)
+	// new, dup, const arg, ctor call, store, ret.
+	want := []bytecode.Op{bytecode.OpNewObject, bytecode.OpDup, bytecode.OpConstInt,
+		bytecode.OpCallVirt, bytecode.OpStoreLocal, bytecode.OpRet}
+	if len(got) != len(want) {
+		t.Fatalf("ops %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStringConcatUsesConcat(t *testing.T) {
+	fn := compileFn(t, `
+class Main { public static void main() { String s = "n" + 1; int x = 1 + 2; } }`, "Main.main")
+	if count(fn, bytecode.OpConcat) != 1 {
+		t.Errorf("want exactly one concat:\n%s", bytecode.Disassemble(fn))
+	}
+	if count(fn, bytecode.OpAdd) != 1 {
+		t.Errorf("want exactly one add:\n%s", bytecode.Disassemble(fn))
+	}
+}
+
+func TestExprStatementPopsValue(t *testing.T) {
+	fn := compileFn(t, `
+class Main {
+  static int g() { return 1; }
+  public static void main() { g(); }
+}`, "Main.main")
+	if count(fn, bytecode.OpPop) != 1 {
+		t.Errorf("non-void call statement must pop:\n%s", bytecode.Disassemble(fn))
+	}
+}
+
+func TestDynamicAccessOnErasedReceiver(t *testing.T) {
+	fn := compileFn(t, `
+class Box<T> { T v; }
+class Main {
+  public static void main() {
+    Box<Box> b = new Box<Box>();
+    var inner = b.v;
+    var deep = inner.v;
+  }
+}`, "Main.main")
+	if count(fn, bytecode.OpGetFieldDyn) != 1 {
+		t.Errorf("access through erased Object must be dynamic:\n%s", bytecode.Disassemble(fn))
+	}
+	if count(fn, bytecode.OpGetField) != 1 {
+		t.Errorf("statically typed access must stay static:\n%s", bytecode.Disassemble(fn))
+	}
+}
+
+func TestLinesRecorded(t *testing.T) {
+	fn := compileFn(t, `class Main {
+  public static void main() {
+    int a = 1;
+    int b = 2;
+  }
+}`, "Main.main")
+	// First statement on line 3, second on line 4.
+	if fn.Code[0].Line != 3 {
+		t.Errorf("first instr line = %d, want 3", fn.Code[0].Line)
+	}
+	sawLine4 := false
+	for _, in := range fn.Code {
+		if in.Line == 4 {
+			sawLine4 = true
+		}
+	}
+	if !sawLine4 {
+		t.Error("no instruction recorded for line 4")
+	}
+}
+
+func TestTryCatchHandlerTable(t *testing.T) {
+	fn := compileFn(t, `
+class E { }
+class Main {
+  public static void main() {
+    try {
+      throw new E();
+    } catch (E e) {
+      print("caught");
+    }
+  }
+}`, "Main.main")
+	if len(fn.Handlers) != 1 {
+		t.Fatalf("handlers = %d, want 1", len(fn.Handlers))
+	}
+	h := fn.Handlers[0]
+	if h.From >= h.To || h.Target < h.To {
+		t.Errorf("handler layout: %+v", h)
+	}
+	if count(fn, bytecode.OpThrow) != 1 {
+		t.Error("throw opcode missing")
+	}
+}
+
+func TestNestedHandlersInnerFirst(t *testing.T) {
+	fn := compileFn(t, `
+class E { }
+class Main {
+  public static void main() {
+    try {
+      try {
+        throw new E();
+      } catch (E a) { }
+    } catch (E b) { }
+  }
+}`, "Main.main")
+	if len(fn.Handlers) != 2 {
+		t.Fatalf("handlers = %d, want 2", len(fn.Handlers))
+	}
+	inner, outer := fn.Handlers[0], fn.Handlers[1]
+	if !(inner.From >= outer.From && inner.To <= outer.To) {
+		t.Errorf("inner handler %+v not nested in outer %+v", inner, outer)
+	}
+}
+
+func TestCompileErrorMessageMentionsMethod(t *testing.T) {
+	_, err := CompileSource(`
+class Main {
+  public static void main() { break; }
+}`)
+	if err == nil || !strings.Contains(err.Error(), "break") {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package lexer turns MJ source text into a token stream.
+//
+// The lexer is a straightforward hand-written scanner: it tracks line/column
+// positions, skips line and block comments, and reports unknown characters
+// as ILLEGAL tokens rather than failing, so the parser can produce good
+// error messages.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"algoprof/internal/mj/token"
+)
+
+// Lexer scans MJ source code.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns all lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+// ScanAll tokenizes the entire input, appending a final EOF token.
+func ScanAll(src string) ([]token.Token, []error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.errs
+		}
+	}
+}
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+w >= len(l.src) {
+		return 0
+	}
+	r2, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
+	return r2
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipWhitespaceAndComments() {
+	for {
+		switch r := l.peek(); {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.peek() != 0 {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipWhitespaceAndComments()
+	pos := l.pos()
+	r := l.peek()
+	if r == 0 {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+
+	switch {
+	case isIdentStart(r):
+		var sb strings.Builder
+		for isIdentCont(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		text := sb.String()
+		if kw, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: kw, Text: text, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		for unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		return token.Token{Kind: token.INT, Text: sb.String(), Pos: pos}
+
+	case r == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			c := l.peek()
+			if c == 0 || c == '\n' {
+				l.errorf(pos, "unterminated string literal")
+				return token.Token{Kind: token.ILLEGAL, Text: sb.String(), Pos: pos}
+			}
+			if c == '"' {
+				l.advance()
+				break
+			}
+			if c == '\\' {
+				l.advance()
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				default:
+					l.errorf(pos, "unknown escape sequence \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteRune(l.advance())
+		}
+		return token.Token{Kind: token.STRING, Text: sb.String(), Pos: pos}
+	}
+
+	// Operators and delimiters.
+	l.advance()
+	two := func(second rune, pair, single token.Kind) token.Token {
+		if l.peek() == second {
+			l.advance()
+			return token.Token{Kind: pair, Text: pair.String(), Pos: pos}
+		}
+		return token.Token{Kind: single, Text: single.String(), Pos: pos}
+	}
+
+	switch r {
+	case '+':
+		return two('+', token.PlusPlus, token.Plus)
+	case '-':
+		return two('-', token.MinusMinus, token.Minus)
+	case '*':
+		return token.Token{Kind: token.Star, Text: "*", Pos: pos}
+	case '/':
+		return token.Token{Kind: token.Slash, Text: "/", Pos: pos}
+	case '%':
+		return token.Token{Kind: token.Percent, Text: "%", Pos: pos}
+	case '=':
+		return two('=', token.Eq, token.Assign)
+	case '!':
+		return two('=', token.Neq, token.Not)
+	case '<':
+		return two('=', token.Le, token.Lt)
+	case '>':
+		return two('=', token.Ge, token.Gt)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.AndAnd, Text: "&&", Pos: pos}
+		}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.OrOr, Text: "||", Pos: pos}
+		}
+	case '(':
+		return token.Token{Kind: token.LParen, Text: "(", Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RParen, Text: ")", Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBrace, Text: "{", Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBrace, Text: "}", Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBracket, Text: "[", Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBracket, Text: "]", Pos: pos}
+	case ',':
+		return token.Token{Kind: token.Comma, Text: ",", Pos: pos}
+	case ';':
+		return token.Token{Kind: token.Semi, Text: ";", Pos: pos}
+	case '.':
+		return token.Token{Kind: token.Dot, Text: ".", Pos: pos}
+	case '?':
+		return token.Token{Kind: token.Question, Text: "?", Pos: pos}
+	case ':':
+		return token.Token{Kind: token.Colon, Text: ":", Pos: pos}
+	}
+
+	l.errorf(pos, "unexpected character %q", r)
+	return token.Token{Kind: token.ILLEGAL, Text: string(r), Pos: pos}
+}

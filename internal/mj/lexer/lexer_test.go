@@ -1,0 +1,207 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"algoprof/internal/mj/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	ks := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestScanSimpleTokens(t *testing.T) {
+	toks, errs := ScanAll("class Foo { int x; }")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.KwClass, token.IDENT, token.LBrace,
+		token.KwInt, token.IDENT, token.Semi,
+		token.RBrace, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"+": token.Plus, "-": token.Minus, "*": token.Star, "/": token.Slash,
+		"%": token.Percent, "=": token.Assign, "==": token.Eq, "!=": token.Neq,
+		"<": token.Lt, ">": token.Gt, "<=": token.Le, ">=": token.Ge,
+		"&&": token.AndAnd, "||": token.OrOr, "!": token.Not,
+		"++": token.PlusPlus, "--": token.MinusMinus,
+		"(": token.LParen, ")": token.RParen, "{": token.LBrace, "}": token.RBrace,
+		"[": token.LBracket, "]": token.RBracket, ",": token.Comma, ";": token.Semi,
+		".": token.Dot,
+	}
+	for src, want := range cases {
+		toks, errs := ScanAll(src)
+		if len(errs) != 0 {
+			t.Errorf("%q: unexpected errors %v", src, errs)
+			continue
+		}
+		if len(toks) != 2 || toks[0].Kind != want {
+			t.Errorf("%q: got %v, want [%v EOF]", src, kinds(toks), want)
+		}
+	}
+}
+
+func TestScanKeywordsVsIdents(t *testing.T) {
+	toks, _ := ScanAll("while whiles forx for")
+	want := []token.Kind{token.KwWhile, token.IDENT, token.IDENT, token.KwFor, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanIntLiteral(t *testing.T) {
+	toks, _ := ScanAll("12345 0 007")
+	if toks[0].Text != "12345" || toks[1].Text != "0" || toks[2].Text != "007" {
+		t.Errorf("unexpected literal texts: %v", toks)
+	}
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != token.INT {
+			t.Errorf("token %d is %v, want INT", i, toks[i].Kind)
+		}
+	}
+}
+
+func TestScanStringLiteral(t *testing.T) {
+	toks, errs := ScanAll(`"hello" "a\nb" "q\"q"`)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[0].Text != "hello" {
+		t.Errorf("got %q", toks[0].Text)
+	}
+	if toks[1].Text != "a\nb" {
+		t.Errorf("got %q", toks[1].Text)
+	}
+	if toks[2].Text != `q"q` {
+		t.Errorf("got %q", toks[2].Text)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	_, errs := ScanAll(`"oops`)
+	if len(errs) == 0 {
+		t.Fatal("want error for unterminated string")
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+class /* block
+comment */ A { }
+`
+	toks, errs := ScanAll(src)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{token.KwClass, token.IDENT, token.LBrace, token.RBrace, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := ScanAll("/* never ends")
+	if len(errs) == 0 {
+		t.Fatal("want error for unterminated block comment")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := ScanAll("a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	toks, errs := ScanAll("a # b")
+	if len(errs) == 0 {
+		t.Fatal("want error for illegal character")
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no ILLEGAL token emitted")
+	}
+}
+
+// Property: scanning any sequence of valid identifiers separated by spaces
+// yields exactly that many IDENT/keyword tokens plus EOF, and never errors.
+func TestScanIdentsProperty(t *testing.T) {
+	f := func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			var sb strings.Builder
+			for _, r := range w {
+				if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+					sb.WriteRune(r)
+				}
+			}
+			if sb.Len() > 0 {
+				clean = append(clean, sb.String())
+			}
+		}
+		src := strings.Join(clean, " ")
+		toks, errs := ScanAll(src)
+		if len(errs) != 0 {
+			return false
+		}
+		return len(toks) == len(clean)+1 && toks[len(toks)-1].Kind == token.EOF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: token positions are monotonically non-decreasing.
+func TestPositionsMonotonicProperty(t *testing.T) {
+	f := func(src string) bool {
+		toks, _ := ScanAll(src)
+		prev := token.Pos{Line: 0, Col: 0}
+		for _, tk := range toks {
+			if tk.Kind == token.EOF {
+				break
+			}
+			if tk.Pos.Line < prev.Line ||
+				(tk.Pos.Line == prev.Line && tk.Pos.Col < prev.Col) {
+				return false
+			}
+			prev = tk.Pos
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

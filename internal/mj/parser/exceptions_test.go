@@ -1,0 +1,96 @@
+package parser
+
+import (
+	"testing"
+
+	"algoprof/internal/mj/ast"
+)
+
+func TestParseThrow(t *testing.T) {
+	prog, err := Parse(`
+class Error { }
+class Main {
+  public static void main() {
+    throw new Error();
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := prog.Classes[1].Methods[0].Body.Stmts[0]
+	th, ok := stmt.(*ast.Throw)
+	if !ok {
+		t.Fatalf("stmt is %T", stmt)
+	}
+	if _, ok := th.Value.(*ast.New); !ok {
+		t.Errorf("throw value is %T", th.Value)
+	}
+}
+
+func TestParseTryCatch(t *testing.T) {
+	prog, err := Parse(`
+class Error { }
+class Main {
+  public static void main() {
+    try {
+      int x = 1;
+    } catch (Error e) {
+      int y = 2;
+    }
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := prog.Classes[1].Methods[0].Body.Stmts[0]
+	tc, ok := stmt.(*ast.TryCatch)
+	if !ok {
+		t.Fatalf("stmt is %T", stmt)
+	}
+	if tc.CatchType.Name != "Error" || tc.CatchName != "e" {
+		t.Errorf("catch clause: %s %s", tc.CatchType.Name, tc.CatchName)
+	}
+	if len(tc.Body.Stmts) != 1 || len(tc.Handler.Stmts) != 1 {
+		t.Errorf("body/handler stmt counts: %d/%d", len(tc.Body.Stmts), len(tc.Handler.Stmts))
+	}
+}
+
+func TestParseNestedTry(t *testing.T) {
+	prog, err := Parse(`
+class E1 { }
+class E2 { }
+class Main {
+  public static void main() {
+    try {
+      try {
+        throw new E1();
+      } catch (E1 a) {
+        throw new E2();
+      }
+    } catch (E2 b) {
+    }
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Classes[2].Methods[0].Body.Stmts[0].(*ast.TryCatch)
+	if _, ok := outer.Body.Stmts[0].(*ast.TryCatch); !ok {
+		t.Error("inner try not nested")
+	}
+}
+
+func TestParseTryErrors(t *testing.T) {
+	cases := []string{
+		`class Main { public static void main() { try { } } }`,               // missing catch
+		`class Main { public static void main() { try { } catch { } } }`,     // missing clause
+		`class Main { public static void main() { throw; } }`,                // missing value
+		`class Main { public static void main() { try { } catch (E) { } } }`, // missing name
+		`class Main { public static void main() { catch (E e) { } } }`,       // stray catch
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("want parse error for %q", src)
+		}
+	}
+}

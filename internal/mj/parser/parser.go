@@ -1,0 +1,692 @@
+// Package parser builds MJ abstract syntax trees from source text.
+//
+// The parser is recursive descent over the full token slice, which makes
+// the one ambiguous corner of the grammar (a statement beginning with
+// `Name<...>` that may be either a generic variable declaration or a
+// comparison expression) cheap to resolve by speculative parsing with
+// backtracking.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"algoprof/internal/mj/ast"
+	"algoprof/internal/mj/lexer"
+	"algoprof/internal/mj/token"
+)
+
+// Parser parses a token stream into an AST.
+type Parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+// Parse parses a whole MJ program from source.
+func Parse(src string) (*ast.Program, error) {
+	toks, lexErrs := lexer.ScanAll(src)
+	p := &Parser{toks: toks}
+	for _, e := range lexErrs {
+		p.errs = append(p.errs, e)
+	}
+	prog := p.parseProgram()
+	if len(p.errs) > 0 {
+		return prog, fmt.Errorf("parse: %d error(s), first: %w", len(p.errs), p.errs[0])
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; intended for embedding known-good
+// workload sources in tests and benchmarks.
+func MustParse(src string) *ast.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Errors returns all accumulated parse errors.
+func (p *Parser) Errors() []error { return p.errs }
+
+func (p *Parser) cur() token.Token { return p.toks[p.pos] }
+func (p *Parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) advance() token.Token {
+	t := p.cur()
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.advance()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	err := fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+	p.errs = append(p.errs, err)
+	// Error recovery: skip one token so we cannot loop forever.
+	if !p.at(token.EOF) {
+		p.advance()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *Parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for !p.at(token.EOF) {
+		if p.at(token.KwClass) {
+			prog.Classes = append(prog.Classes, p.parseClass())
+		} else {
+			p.errorf("expected class declaration, found %s", p.cur())
+		}
+	}
+	return prog
+}
+
+func (p *Parser) parseClass() *ast.ClassDecl {
+	cls := &ast.ClassDecl{TokPos: p.cur().Pos}
+	p.expect(token.KwClass)
+	cls.Name = p.expect(token.IDENT).Text
+	if p.accept(token.Lt) {
+		for {
+			cls.TypeParams = append(cls.TypeParams, p.expect(token.IDENT).Text)
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.Gt)
+	}
+	if p.accept(token.KwExtends) {
+		cls.Extends = p.parseType()
+	}
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		p.parseMember(cls)
+	}
+	p.expect(token.RBrace)
+	return cls
+}
+
+func (p *Parser) parseModifiers() (static bool) {
+	for {
+		switch p.cur().Kind {
+		case token.KwPublic, token.KwPrivate, token.KwFinal:
+			p.advance()
+		case token.KwStatic:
+			static = true
+			p.advance()
+		default:
+			return static
+		}
+	}
+}
+
+func (p *Parser) parseMember(cls *ast.ClassDecl) {
+	pos := p.cur().Pos
+	static := p.parseModifiers()
+
+	// Constructor: ClassName '(' ...
+	if p.at(token.IDENT) && p.cur().Text == cls.Name && p.peek().Kind == token.LParen {
+		m := &ast.MethodDecl{TokPos: pos, Name: cls.Name, IsConstructor: true}
+		p.advance()
+		m.Params = p.parseParams()
+		m.Body = p.parseBlock()
+		cls.Methods = append(cls.Methods, m)
+		return
+	}
+
+	// void method.
+	if p.accept(token.KwVoid) {
+		m := &ast.MethodDecl{TokPos: pos, Static: static}
+		m.Name = p.expect(token.IDENT).Text
+		m.Params = p.parseParams()
+		m.Body = p.parseBlock()
+		cls.Methods = append(cls.Methods, m)
+		return
+	}
+
+	// Typed method or field.
+	typ := p.parseType()
+	name := p.expect(token.IDENT).Text
+	if p.at(token.LParen) {
+		m := &ast.MethodDecl{TokPos: pos, Static: static, Name: name, Ret: typ}
+		m.Params = p.parseParams()
+		m.Body = p.parseBlock()
+		cls.Methods = append(cls.Methods, m)
+		return
+	}
+	cls.Fields = append(cls.Fields, &ast.FieldDecl{TokPos: pos, Name: name, Type: typ})
+	// Support `Node head, tail;` style multi-declarators.
+	for p.accept(token.Comma) {
+		n2 := p.expect(token.IDENT).Text
+		cls.Fields = append(cls.Fields, &ast.FieldDecl{TokPos: pos, Name: n2, Type: typ})
+	}
+	p.expect(token.Semi)
+}
+
+func (p *Parser) parseParams() []*ast.Param {
+	p.expect(token.LParen)
+	var params []*ast.Param
+	for !p.at(token.RParen) && !p.at(token.EOF) {
+		if len(params) > 0 {
+			p.expect(token.Comma)
+		}
+		pos := p.cur().Pos
+		p.accept(token.KwFinal)
+		typ := p.parseType()
+		name := p.expect(token.IDENT).Text
+		params = append(params, &ast.Param{TokPos: pos, Name: name, Type: typ})
+	}
+	p.expect(token.RParen)
+	return params
+}
+
+// parseType parses a type expression: base name, optional generic args,
+// trailing [] pairs.
+func (p *Parser) parseType() *ast.TypeExpr {
+	pos := p.cur().Pos
+	var name string
+	switch p.cur().Kind {
+	case token.KwInt:
+		name = "int"
+		p.advance()
+	case token.KwBoolean:
+		name = "boolean"
+		p.advance()
+	case token.KwString:
+		name = "String"
+		p.advance()
+	case token.IDENT:
+		name = p.advance().Text
+	default:
+		p.errorf("expected type, found %s", p.cur())
+		return &ast.TypeExpr{TokPos: pos, Name: "int"}
+	}
+	t := &ast.TypeExpr{TokPos: pos, Name: name}
+	if p.at(token.Lt) {
+		p.advance()
+		for {
+			t.Args = append(t.Args, p.parseType())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.Gt)
+	}
+	for p.at(token.LBracket) && p.peek().Kind == token.RBracket {
+		p.advance()
+		p.advance()
+		t.Dims++
+	}
+	return t
+}
+
+// tryParseType speculatively parses a type; on failure it restores the
+// position and returns nil. Used to disambiguate declarations from
+// expressions at statement start.
+func (p *Parser) tryParseType() *ast.TypeExpr {
+	save := p.pos
+	saveErrs := len(p.errs)
+	t := p.parseType()
+	if len(p.errs) > saveErrs {
+		p.pos = save
+		p.errs = p.errs[:saveErrs]
+		return nil
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *Parser) parseBlock() *ast.Block {
+	b := &ast.Block{TokPos: p.cur().Pos}
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwReturn:
+		p.advance()
+		r := &ast.Return{TokPos: pos}
+		if !p.at(token.Semi) {
+			r.Value = p.parseExpr()
+		}
+		p.expect(token.Semi)
+		return r
+	case token.KwSuper:
+		p.advance()
+		args := p.parseArgs()
+		p.expect(token.Semi)
+		return &ast.SuperCall{TokPos: pos, Args: args}
+	case token.KwThrow:
+		p.advance()
+		v := p.parseExpr()
+		p.expect(token.Semi)
+		return &ast.Throw{TokPos: pos, Value: v}
+	case token.KwTry:
+		p.advance()
+		body := p.parseBlock()
+		p.expect(token.KwCatch)
+		p.expect(token.LParen)
+		ct := p.parseType()
+		cn := p.expect(token.IDENT).Text
+		p.expect(token.RParen)
+		handler := p.parseBlock()
+		return &ast.TryCatch{TokPos: pos, Body: body, CatchType: ct, CatchName: cn, Handler: handler}
+	case token.KwBreak:
+		p.advance()
+		p.expect(token.Semi)
+		return &ast.Break{TokPos: pos}
+	case token.KwContinue:
+		p.advance()
+		p.expect(token.Semi)
+		return &ast.Continue{TokPos: pos}
+	case token.KwVar:
+		p.advance()
+		name := p.expect(token.IDENT).Text
+		p.expect(token.Assign)
+		init := p.parseExpr()
+		p.expect(token.Semi)
+		return &ast.VarDecl{TokPos: pos, Name: name, Init: init}
+	}
+	s := p.parseSimpleStmt()
+	p.expect(token.Semi)
+	return s
+}
+
+// parseSimpleStmt parses a declaration, assignment, inc/dec or expression
+// statement without consuming the trailing semicolon (so `for` headers can
+// reuse it).
+func (p *Parser) parseSimpleStmt() ast.Stmt {
+	pos := p.cur().Pos
+
+	p.accept(token.KwFinal) // `final Node n = ...;`
+
+	// `var x = e` inside for-init.
+	if p.at(token.KwVar) {
+		p.advance()
+		name := p.expect(token.IDENT).Text
+		p.expect(token.Assign)
+		return &ast.VarDecl{TokPos: pos, Name: name, Init: p.parseExpr()}
+	}
+
+	if decl := p.tryParseVarDecl(pos); decl != nil {
+		return decl
+	}
+
+	x := p.parseExpr()
+	switch p.cur().Kind {
+	case token.Assign:
+		p.advance()
+		if !isLValue(x) {
+			p.errs = append(p.errs, fmt.Errorf("%s: cannot assign to this expression", pos))
+		}
+		return &ast.AssignStmt{TokPos: pos, Target: x, Value: p.parseExpr()}
+	case token.PlusPlus:
+		p.advance()
+		return &ast.IncDecStmt{TokPos: pos, Target: x, Inc: true}
+	case token.MinusMinus:
+		p.advance()
+		return &ast.IncDecStmt{TokPos: pos, Target: x, Inc: false}
+	}
+	return &ast.ExprStmt{TokPos: pos, X: x}
+}
+
+// tryParseVarDecl recognizes `Type name [= init]` at statement start,
+// backtracking if the lookahead is not a declaration.
+func (p *Parser) tryParseVarDecl(pos token.Pos) ast.Stmt {
+	switch p.cur().Kind {
+	case token.KwInt, token.KwBoolean, token.KwString:
+		// Unambiguous: primitive type keyword begins a declaration.
+	case token.IDENT:
+		// Ambiguous: need `Type name` shape after a speculative type parse.
+		save := p.pos
+		t := p.tryParseType()
+		if t == nil || !p.at(token.IDENT) {
+			p.pos = save
+			return nil
+		}
+		p.pos = save
+	default:
+		return nil
+	}
+	typ := p.parseType()
+	name := p.expect(token.IDENT).Text
+	d := &ast.VarDecl{TokPos: pos, Name: name, Type: typ}
+	if p.accept(token.Assign) {
+		d.Init = p.parseExpr()
+	}
+	return d
+}
+
+func isLValue(x ast.Expr) bool {
+	switch x.(type) {
+	case *ast.Ident, *ast.FieldAccess, *ast.Index:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.KwIf)
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	then := p.parseStmt()
+	var els ast.Stmt
+	if p.accept(token.KwElse) {
+		els = p.parseStmt()
+	}
+	return &ast.If{TokPos: pos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.KwWhile)
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	body := p.parseStmt()
+	return &ast.While{TokPos: pos, Cond: cond, Body: body}
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.KwFor)
+	p.expect(token.LParen)
+	f := &ast.For{TokPos: pos}
+	if !p.at(token.Semi) {
+		f.Init = p.parseSimpleStmt()
+	}
+	p.expect(token.Semi)
+	if !p.at(token.Semi) {
+		f.Cond = p.parseExpr()
+	}
+	p.expect(token.Semi)
+	if !p.at(token.RParen) {
+		f.Post = p.parseSimpleStmt()
+	}
+	p.expect(token.RParen)
+	f.Body = p.parseStmt()
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *Parser) parseExpr() ast.Expr { return p.parseOr() }
+
+func (p *Parser) parseOr() ast.Expr {
+	x := p.parseAnd()
+	for p.at(token.OrOr) {
+		pos := p.advance().Pos
+		x = &ast.Binary{TokPos: pos, Op: ast.LOr, L: x, R: p.parseAnd()}
+	}
+	return x
+}
+
+func (p *Parser) parseAnd() ast.Expr {
+	x := p.parseEquality()
+	for p.at(token.AndAnd) {
+		pos := p.advance().Pos
+		x = &ast.Binary{TokPos: pos, Op: ast.LAnd, L: x, R: p.parseEquality()}
+	}
+	return x
+}
+
+func (p *Parser) parseEquality() ast.Expr {
+	x := p.parseRelational()
+	for p.at(token.Eq) || p.at(token.Neq) {
+		op := ast.EqEq
+		if p.at(token.Neq) {
+			op = ast.NotEq
+		}
+		pos := p.advance().Pos
+		x = &ast.Binary{TokPos: pos, Op: op, L: x, R: p.parseRelational()}
+	}
+	return x
+}
+
+func (p *Parser) parseRelational() ast.Expr {
+	x := p.parseAdditive()
+	for {
+		var op ast.BinOp
+		switch p.cur().Kind {
+		case token.Lt:
+			op = ast.Less
+		case token.Gt:
+			op = ast.Greater
+		case token.Le:
+			op = ast.LessEq
+		case token.Ge:
+			op = ast.GreaterEq
+		default:
+			return x
+		}
+		pos := p.advance().Pos
+		x = &ast.Binary{TokPos: pos, Op: op, L: x, R: p.parseAdditive()}
+	}
+}
+
+func (p *Parser) parseAdditive() ast.Expr {
+	x := p.parseMultiplicative()
+	for p.at(token.Plus) || p.at(token.Minus) {
+		op := ast.Add
+		if p.at(token.Minus) {
+			op = ast.Sub
+		}
+		pos := p.advance().Pos
+		x = &ast.Binary{TokPos: pos, Op: op, L: x, R: p.parseMultiplicative()}
+	}
+	return x
+}
+
+func (p *Parser) parseMultiplicative() ast.Expr {
+	x := p.parseUnary()
+	for {
+		var op ast.BinOp
+		switch p.cur().Kind {
+		case token.Star:
+			op = ast.Mul
+		case token.Slash:
+			op = ast.Div
+		case token.Percent:
+			op = ast.Mod
+		default:
+			return x
+		}
+		pos := p.advance().Pos
+		x = &ast.Binary{TokPos: pos, Op: op, L: x, R: p.parseUnary()}
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.Minus:
+		p.advance()
+		return &ast.Unary{TokPos: pos, Op: ast.Neg, X: p.parseUnary()}
+	case token.Not:
+		p.advance()
+		return &ast.Unary{TokPos: pos, Op: ast.LNot, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case token.Dot:
+			p.advance()
+			pos := p.cur().Pos
+			name := p.expect(token.IDENT).Text
+			if p.at(token.LParen) {
+				args := p.parseArgs()
+				x = &ast.Call{TokPos: pos, Recv: x, Name: name, Args: args}
+			} else {
+				x = &ast.FieldAccess{TokPos: pos, X: x, Name: name}
+			}
+		case token.LBracket:
+			pos := p.advance().Pos
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			x = &ast.Index{TokPos: pos, X: x, Idx: idx}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseArgs() []ast.Expr {
+	p.expect(token.LParen)
+	var args []ast.Expr
+	for !p.at(token.RParen) && !p.at(token.EOF) {
+		if len(args) > 0 {
+			p.expect(token.Comma)
+		}
+		args = append(args, p.parseExpr())
+	}
+	p.expect(token.RParen)
+	return args
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.INT:
+		t := p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.errs = append(p.errs, fmt.Errorf("%s: bad integer literal %q", pos, t.Text))
+		}
+		return &ast.IntLit{TokPos: pos, Value: v}
+	case token.STRING:
+		return &ast.StringLit{TokPos: pos, Value: p.advance().Text}
+	case token.KwTrue:
+		p.advance()
+		return &ast.BoolLit{TokPos: pos, Value: true}
+	case token.KwFalse:
+		p.advance()
+		return &ast.BoolLit{TokPos: pos, Value: false}
+	case token.KwNull:
+		p.advance()
+		return &ast.NullLit{TokPos: pos}
+	case token.KwThis:
+		p.advance()
+		return &ast.This{TokPos: pos}
+	case token.LParen:
+		p.advance()
+		x := p.parseExpr()
+		p.expect(token.RParen)
+		return x
+	case token.KwNew:
+		return p.parseNew()
+	case token.IDENT:
+		name := p.advance().Text
+		if p.at(token.LParen) {
+			return &ast.Call{TokPos: pos, Name: name, Args: p.parseArgs()}
+		}
+		return &ast.Ident{TokPos: pos, Name: name}
+	}
+	p.errorf("expected expression, found %s", p.cur())
+	return &ast.IntLit{TokPos: pos}
+}
+
+func (p *Parser) parseNew() ast.Expr {
+	pos := p.cur().Pos
+	p.expect(token.KwNew)
+
+	// Parse the base type name and optional generic args, but NOT trailing
+	// [] pairs: `new T[n]` must not consume `[` as part of the type.
+	var name string
+	switch p.cur().Kind {
+	case token.KwInt:
+		name = "int"
+		p.advance()
+	case token.KwBoolean:
+		name = "boolean"
+		p.advance()
+	case token.KwString:
+		name = "String"
+		p.advance()
+	case token.IDENT:
+		name = p.advance().Text
+	default:
+		p.errorf("expected type after new, found %s", p.cur())
+		name = "int"
+	}
+	base := &ast.TypeExpr{TokPos: pos, Name: name}
+	if p.at(token.Lt) {
+		p.advance()
+		for {
+			base.Args = append(base.Args, p.parseType())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.Gt)
+	}
+
+	if p.at(token.LBracket) {
+		na := &ast.NewArray{TokPos: pos, Elem: base}
+		for p.at(token.LBracket) && p.peek().Kind != token.RBracket {
+			p.advance()
+			na.Lens = append(na.Lens, p.parseExpr())
+			p.expect(token.RBracket)
+		}
+		for p.at(token.LBracket) && p.peek().Kind == token.RBracket {
+			p.advance()
+			p.advance()
+			na.ExtraDims++
+		}
+		if len(na.Lens) == 0 {
+			p.errs = append(p.errs, fmt.Errorf("%s: array creation needs at least one sized dimension", pos))
+		}
+		return na
+	}
+
+	args := p.parseArgs()
+	return &ast.New{TokPos: pos, Type: base, Args: args}
+}

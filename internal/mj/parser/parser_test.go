@@ -1,0 +1,420 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"algoprof/internal/mj/ast"
+)
+
+func TestParseEmptyClass(t *testing.T) {
+	prog, err := Parse("class A { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Classes) != 1 || prog.Classes[0].Name != "A" {
+		t.Fatalf("got %+v", prog.Classes)
+	}
+}
+
+func TestParseFieldsAndMethods(t *testing.T) {
+	src := `
+class Node {
+  public Node prev;
+  public Node next;
+  public final int value;
+  public Node(int value) { this.value = value; }
+}
+class List {
+  private Node head, tail;
+  public void append(int value) {
+    final Node node = new Node(value);
+    if (tail == null) { tail = node; head = tail; }
+    else { tail.next = node; node.prev = tail; tail = tail.next; }
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := prog.Classes[0]
+	if len(node.Fields) != 3 {
+		t.Errorf("Node has %d fields, want 3", len(node.Fields))
+	}
+	if len(node.Methods) != 1 || !node.Methods[0].IsConstructor {
+		t.Errorf("Node constructor not parsed: %+v", node.Methods)
+	}
+	list := prog.Classes[1]
+	if len(list.Fields) != 2 {
+		t.Errorf("List has %d fields (multi-declarator), want 2", len(list.Fields))
+	}
+	if list.Fields[0].Name != "head" || list.Fields[1].Name != "tail" {
+		t.Errorf("multi-declarator names wrong: %v %v", list.Fields[0].Name, list.Fields[1].Name)
+	}
+}
+
+func TestParseStaticMethod(t *testing.T) {
+	src := `class Main { public static void main() { run(); } static int run() { return 1; } }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := prog.Classes[0].Methods
+	if !ms[0].Static || !ms[1].Static {
+		t.Error("static modifier lost")
+	}
+	if ms[0].Ret != nil {
+		t.Error("void method should have nil Ret")
+	}
+	if ms[1].Ret == nil || ms[1].Ret.Name != "int" {
+		t.Error("int return type lost")
+	}
+}
+
+func TestParseGenerics(t *testing.T) {
+	src := `
+class Node<T> { Node<T> next; T value; }
+class List<T> {
+  Node<T> head;
+  void add(T v) { Node<T> n = new Node<T>(); n.value = v; n.next = head; head = n; }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Classes[0].TypeParams; len(got) != 1 || got[0] != "T" {
+		t.Errorf("type params: %v", got)
+	}
+	add := prog.Classes[1].Methods[0]
+	decl, ok := add.Body.Stmts[0].(*ast.VarDecl)
+	if !ok {
+		t.Fatalf("first stmt is %T, want VarDecl", add.Body.Stmts[0])
+	}
+	if decl.Type.Name != "Node" || len(decl.Type.Args) != 1 {
+		t.Errorf("generic local decl type: %v", decl.Type)
+	}
+}
+
+func TestParseGenericDeclVsComparison(t *testing.T) {
+	src := `
+class A {
+  int f(int a, int b, int c) {
+    boolean x = a < b;
+    if (a < b) { return c; }
+    return a;
+  }
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+class A {
+  int sum(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+      if (i % 2 == 0) { continue; }
+      if (i > 100) { break; }
+      s = s + i;
+    }
+    while (s > 10) { s = s - 1; }
+    return s;
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Classes[0].Methods[0].Body
+	if _, ok := body.Stmts[1].(*ast.For); !ok {
+		t.Errorf("stmt 1 is %T, want For", body.Stmts[1])
+	}
+	if _, ok := body.Stmts[2].(*ast.While); !ok {
+		t.Errorf("stmt 2 is %T, want While", body.Stmts[2])
+	}
+}
+
+func TestParseArrays(t *testing.T) {
+	src := `
+class A {
+  void f() {
+    int[] a = new int[10];
+    int[][] m = new int[3][4];
+    Object[] half = new Object[5][];
+    a[0] = a.length;
+    m[1][2] = m[0][0] + 1;
+  }
+}
+class Object { }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Classes[0].Methods[0].Body
+	d0 := body.Stmts[0].(*ast.VarDecl)
+	if d0.Type.Dims != 1 {
+		t.Errorf("int[] dims=%d", d0.Type.Dims)
+	}
+	na := d0.Init.(*ast.NewArray)
+	if len(na.Lens) != 1 || na.ExtraDims != 0 {
+		t.Errorf("new int[10]: %+v", na)
+	}
+	d2 := body.Stmts[2].(*ast.VarDecl)
+	na2 := d2.Init.(*ast.NewArray)
+	if len(na2.Lens) != 1 || na2.ExtraDims != 1 {
+		t.Errorf("new Object[5][]: lens=%d extra=%d", len(na2.Lens), na2.ExtraDims)
+	}
+	as := body.Stmts[3].(*ast.AssignStmt)
+	if _, ok := as.Target.(*ast.Index); !ok {
+		t.Errorf("a[0] target is %T", as.Target)
+	}
+	fa, ok := as.Value.(*ast.FieldAccess)
+	if !ok || fa.Name != "length" {
+		t.Errorf("a.length parsed as %T", as.Value)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `class A { int f(int a, int b, int c) { return a + b * c; } }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Classes[0].Methods[0].Body.Stmts[0].(*ast.Return)
+	bin := ret.Value.(*ast.Binary)
+	if bin.Op != ast.Add {
+		t.Fatalf("top op %v, want +", bin.Op)
+	}
+	if r, ok := bin.R.(*ast.Binary); !ok || r.Op != ast.Mul {
+		t.Errorf("right operand should be b*c, got %T", bin.R)
+	}
+}
+
+func TestParseShortCircuit(t *testing.T) {
+	src := `class A { boolean f(boolean a, boolean b, boolean c) { return a && b || !c; } }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Classes[0].Methods[0].Body.Stmts[0].(*ast.Return)
+	or := ret.Value.(*ast.Binary)
+	if or.Op != ast.LOr {
+		t.Fatalf("top op %v, want ||", or.Op)
+	}
+	if l, ok := or.L.(*ast.Binary); !ok || l.Op != ast.LAnd {
+		t.Error("left should be a && b")
+	}
+	if r, ok := or.R.(*ast.Unary); !ok || r.Op != ast.LNot {
+		t.Error("right should be !c")
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	src := `
+class A {
+  void f(A other) {
+    g();
+    this.g();
+    other.g();
+    B.stat();
+    other.g().g();
+  }
+  A g() { return this; }
+}
+class B { static void stat() { } }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := prog.Classes[0].Methods[0].Body.Stmts
+	c0 := stmts[0].(*ast.ExprStmt).X.(*ast.Call)
+	if c0.Recv != nil || c0.Name != "g" {
+		t.Errorf("unqualified call: %+v", c0)
+	}
+	c3 := stmts[3].(*ast.ExprStmt).X.(*ast.Call)
+	if id, ok := c3.Recv.(*ast.Ident); !ok || id.Name != "B" {
+		t.Errorf("static call receiver: %+v", c3.Recv)
+	}
+	c4 := stmts[4].(*ast.ExprStmt).X.(*ast.Call)
+	if _, ok := c4.Recv.(*ast.Call); !ok {
+		t.Errorf("chained call receiver is %T", c4.Recv)
+	}
+}
+
+func TestParseInheritance(t *testing.T) {
+	src := `
+class Base { int x; }
+class Derived extends Base { int y; }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Classes[1]
+	if d.Extends == nil || d.Extends.Name != "Base" {
+		t.Errorf("extends: %+v", d.Extends)
+	}
+}
+
+func TestParseIncDecStatements(t *testing.T) {
+	src := `class A { void f() { int i = 0; i++; i--; } }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := prog.Classes[0].Methods[0].Body.Stmts
+	inc := stmts[1].(*ast.IncDecStmt)
+	dec := stmts[2].(*ast.IncDecStmt)
+	if !inc.Inc || dec.Inc {
+		t.Error("inc/dec flags wrong")
+	}
+}
+
+func TestParseVarInference(t *testing.T) {
+	src := `class A { void f() { var x = 1 + 2; } }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Classes[0].Methods[0].Body.Stmts[0].(*ast.VarDecl)
+	if d.Type != nil || d.Init == nil {
+		t.Errorf("var decl: %+v", d)
+	}
+}
+
+func TestParseErrorMissingSemi(t *testing.T) {
+	_, err := Parse(`class A { void f() { int x = 1 } }`)
+	if err == nil {
+		t.Fatal("want parse error for missing semicolon")
+	}
+}
+
+func TestParseErrorGarbage(t *testing.T) {
+	_, err := Parse(`garbage tokens here`)
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestParseErrorRecoveryTerminates(t *testing.T) {
+	// A pathological input must not hang the parser.
+	bad := strings.Repeat("} ) ; ", 100)
+	_, err := Parse("class A { void f() { " + bad)
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestParseRunningExample(t *testing.T) {
+	// The paper's Listing 1+2 shape (abridged) must parse cleanly.
+	src := `
+class List {
+  private Node head, tail;
+  public void sort() {
+    if (head == null || head.next == null) { return; }
+    Node firstUnsorted = head.next;
+    while (firstUnsorted != null) {
+      Node target = firstUnsorted;
+      Node nextUnsorted = firstUnsorted.next;
+      while (target.prev != null && target.prev.value > target.value) {
+        final Node candidate = target.prev;
+        final Node pred = candidate.prev;
+        final Node succ = target.next;
+        if (pred != null) { pred.next = target; } else { head = target; }
+        target.prev = pred;
+        if (succ != null) { succ.prev = candidate; } else { tail = candidate; }
+        candidate.next = succ;
+        target.next = candidate;
+        candidate.prev = target;
+      }
+      firstUnsorted = nextUnsorted;
+    }
+  }
+  public void append(int value) {
+    final Node node = new Node(value);
+    if (tail == null) { tail = node; head = tail; }
+    else { tail.next = node; node.prev = tail; tail = tail.next; }
+  }
+}
+class Node {
+  public Node prev;
+  public Node next;
+  public final int value;
+  public Node(int value) { this.value = value; }
+}
+class Main {
+  public static void main() {
+    for (int size = 0; size < 100; size++) {
+      List list = new List();
+      constructRandom(list, size);
+      list.sort();
+    }
+  }
+  private static void constructRandom(List list, int size) {
+    for (int i = 0; i < size; i++) { list.append(rand(size)); }
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Classes) != 3 {
+		t.Fatalf("got %d classes", len(prog.Classes))
+	}
+}
+
+// Property: the parser never panics and never hangs on arbitrary input —
+// it either produces a tree or returns an error.
+func TestParserTotalOnRandomInput(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mutations of a valid program (random byte splices) never panic
+// the parser; this hits recovery paths plain random strings rarely reach.
+func TestParserTotalOnMutatedProgram(t *testing.T) {
+	base := `
+class Node { Node next; int v; Node(int v) { this.v = v; } }
+class Main {
+  public static void main() {
+    try {
+      for (int i = 0; i < 3; i++) { Node n = new Node(i); }
+    } catch (Node e) { }
+  }
+}`
+	f := func(pos uint16, repl byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		b := []byte(base)
+		p := int(pos) % len(b)
+		b[p] = repl
+		_, _ = Parse(string(b))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

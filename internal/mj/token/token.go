@@ -1,0 +1,213 @@
+// Package token defines the lexical tokens of the MJ language, the small
+// Java-like language used as the instrumentation substrate for the
+// algorithmic profiler. MJ supports classes with single inheritance,
+// erasure-style generics, arrays, loops, recursion and a handful of
+// builtins, which is exactly the surface the PLDI'12 AlgoProf paper
+// exercises.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The order groups literals, identifiers, keywords,
+// operators and delimiters.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123
+	STRING // "abc"
+
+	// Keywords.
+	KwClass
+	KwExtends
+	KwPublic
+	KwPrivate
+	KwStatic
+	KwFinal
+	KwVoid
+	KwInt
+	KwBoolean
+	KwString
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwNew
+	KwNull
+	KwTrue
+	KwFalse
+	KwThis
+	KwBreak
+	KwContinue
+	KwVar
+	KwThrow
+	KwTry
+	KwCatch
+	KwSuper
+
+	// Operators.
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	Assign  // =
+	Eq      // ==
+	Neq     // !=
+	Lt      // <
+	Gt      // >
+	Le      // <=
+	Ge      // >=
+	AndAnd  // &&
+	OrOr    // ||
+	Not     // !
+	PlusPlus
+	MinusMinus
+
+	// Delimiters.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	Dot      // .
+	Question // ? (reserved, unused)
+	Colon    // : (reserved, unused)
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "EOF",
+	ILLEGAL:    "ILLEGAL",
+	IDENT:      "identifier",
+	INT:        "int literal",
+	STRING:     "string literal",
+	KwClass:    "class",
+	KwExtends:  "extends",
+	KwPublic:   "public",
+	KwPrivate:  "private",
+	KwStatic:   "static",
+	KwFinal:    "final",
+	KwVoid:     "void",
+	KwInt:      "int",
+	KwBoolean:  "boolean",
+	KwString:   "String",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwReturn:   "return",
+	KwNew:      "new",
+	KwNull:     "null",
+	KwTrue:     "true",
+	KwFalse:    "false",
+	KwThis:     "this",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwVar:      "var",
+	KwThrow:    "throw",
+	KwTry:      "try",
+	KwCatch:    "catch",
+	KwSuper:    "super",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Assign:     "=",
+	Eq:         "==",
+	Neq:        "!=",
+	Lt:         "<",
+	Gt:         ">",
+	Le:         "<=",
+	Ge:         ">=",
+	AndAnd:     "&&",
+	OrOr:       "||",
+	Not:        "!",
+	PlusPlus:   "++",
+	MinusMinus: "--",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBracket:   "[",
+	RBracket:   "]",
+	Comma:      ",",
+	Semi:       ";",
+	Dot:        ".",
+	Question:   "?",
+	Colon:      ":",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"class":    KwClass,
+	"extends":  KwExtends,
+	"public":   KwPublic,
+	"private":  KwPrivate,
+	"static":   KwStatic,
+	"final":    KwFinal,
+	"void":     KwVoid,
+	"int":      KwInt,
+	"boolean":  KwBoolean,
+	"String":   KwString,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"return":   KwReturn,
+	"new":      KwNew,
+	"null":     KwNull,
+	"true":     KwTrue,
+	"false":    KwFalse,
+	"this":     KwThis,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"var":      KwVar,
+	"throw":    KwThrow,
+	"try":      KwTry,
+	"catch":    KwCatch,
+	"super":    KwSuper,
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

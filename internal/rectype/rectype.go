@@ -1,0 +1,229 @@
+// Package rectype detects recursive data types in MJ programs: classes
+// that participate in a reference cycle of their field types (Node.next :
+// Node; Vertex ↔ Edge; Node with a Node[] children array). The AlgoProf
+// paper (§3.1, citing the authors' "essence of structural models" work)
+// uses this analysis to limit field-access and allocation instrumentation
+// to recursive structure links — Node.next and Node.prev, but not
+// Node.payload — and the same field set defines which links structure
+// snapshots traverse.
+package rectype
+
+import (
+	"sort"
+
+	"algoprof/internal/mj/types"
+)
+
+// Result holds the recursive-type analysis of one program.
+type Result struct {
+	// RecursiveClass[c] reports whether class id c participates in a
+	// reference cycle.
+	RecursiveClass []bool
+	// RecursiveField[f] reports whether field id f is a recursive link:
+	// its owner and its target class are in the same cycle.
+	RecursiveField []bool
+
+	// sccID[c] is the component of class c in the type reference graph.
+	sccID []int
+}
+
+// Analyze runs the analysis on a checked program.
+func Analyze(sem *types.Program) *Result {
+	n := len(sem.Classes)
+	// Type reference graph: edge c -> d when c has a field whose declared
+	// type can reference instances of d. A field of declared class S can
+	// hold any subclass of S, so edges go to S and all its subclasses.
+	// Array-typed fields contribute their element class. Erased Object
+	// fields contribute nothing (that is exactly the paper's payload
+	// exclusion). Inherited fields are edges from the declaring class;
+	// subclasses additionally inherit their superclass's edges via an
+	// explicit subclass -> superclass edge, because an instance of the
+	// subclass carries the superclass's recursive links.
+	adj := make([][]int, n)
+	addEdge := func(from, to int) {
+		adj[from] = append(adj[from], to)
+	}
+
+	subclasses := make([][]int, n)
+	for _, c := range sem.Classes {
+		for s := c.Super; s != nil; s = s.Super {
+			subclasses[s.ID] = append(subclasses[s.ID], c.ID)
+		}
+	}
+
+	targetsOf := func(t *types.Type) []int {
+		for t.Kind == types.KArray {
+			t = t.Elem
+		}
+		if t.Kind != types.KClass {
+			return nil
+		}
+		out := []int{t.Class.ID}
+		out = append(out, subclasses[t.Class.ID]...)
+		return out
+	}
+
+	for _, c := range sem.Classes {
+		for _, f := range c.Fields {
+			if f.Owner != c {
+				continue // declared edges only once, at the owner
+			}
+			for _, d := range targetsOf(f.Type) {
+				addEdge(c.ID, d)
+			}
+		}
+		if c.Super != nil {
+			addEdge(c.ID, c.Super.ID)
+		}
+	}
+
+	sccID, sccs := tarjan(adj)
+
+	selfLoop := make([]bool, n)
+	for c, ds := range adj {
+		for _, d := range ds {
+			if d == c {
+				selfLoop[c] = true
+			}
+		}
+	}
+
+	res := &Result{
+		RecursiveClass: make([]bool, n),
+		RecursiveField: make([]bool, sem.NumFields()),
+		sccID:          sccID,
+	}
+	for _, comp := range sccs {
+		cyclic := len(comp) > 1 || (len(comp) == 1 && selfLoop[comp[0]])
+		if !cyclic {
+			continue
+		}
+		for _, c := range comp {
+			res.RecursiveClass[c] = true
+		}
+	}
+
+	// Recursive fields: owner class cyclic and some declared target in the
+	// same SCC.
+	for _, f := range sem.FieldsAll() {
+		owner := f.Owner.ID
+		if !res.RecursiveClass[owner] {
+			continue
+		}
+		for _, d := range targetsOf(f.Type) {
+			if sccID[d] == sccID[owner] {
+				res.RecursiveField[f.ID] = true
+				break
+			}
+		}
+	}
+	return res
+}
+
+// IsRecursiveClass reports whether class id c is part of a recursive type.
+func (r *Result) IsRecursiveClass(c int) bool {
+	return c >= 0 && c < len(r.RecursiveClass) && r.RecursiveClass[c]
+}
+
+// IsRecursiveField reports whether field id f is a recursive link.
+func (r *Result) IsRecursiveField(f int) bool {
+	return f >= 0 && f < len(r.RecursiveField) && r.RecursiveField[f]
+}
+
+// SameCycle reports whether two classes are in the same recursive cycle.
+func (r *Result) SameCycle(c1, c2 int) bool {
+	return r.IsRecursiveClass(c1) && r.IsRecursiveClass(c2) && r.sccID[c1] == r.sccID[c2]
+}
+
+// RecursiveClassIDs returns the ids of all recursive classes, sorted.
+func (r *Result) RecursiveClassIDs() []int {
+	var out []int
+	for c, ok := range r.RecursiveClass {
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RecursiveFieldIDs returns the ids of all recursive fields, sorted.
+func (r *Result) RecursiveFieldIDs() []int {
+	var out []int
+	for f, ok := range r.RecursiveField {
+		if ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// tarjan computes SCCs of adj iteratively; components are numbered in
+// reverse topological order and member lists are sorted.
+func tarjan(adj [][]int) (sccID []int, sccs [][]int) {
+	n := len(adj)
+	sccID = make([]int, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+		sccID[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	type frame struct{ v, ci int }
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		work := []frame{{v: start}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ci < len(adj[v]) {
+				w := adj[v][f.ci]
+				f.ci++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					sccID[w] = len(sccs)
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccID, sccs
+}

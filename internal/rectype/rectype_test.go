@@ -1,0 +1,183 @@
+package rectype
+
+import (
+	"testing"
+
+	"algoprof/internal/mj/parser"
+	"algoprof/internal/mj/types"
+)
+
+func analyze(t *testing.T, src string) (*Result, *types.Program) {
+	t.Helper()
+	sem, err := types.Check(parser.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(sem), sem
+}
+
+func fieldID(t *testing.T, sem *types.Program, qualified string) int {
+	t.Helper()
+	for _, f := range sem.FieldsAll() {
+		if f.QualifiedName() == qualified {
+			return f.ID
+		}
+	}
+	t.Fatalf("no field %s", qualified)
+	return -1
+}
+
+const mainStub = ` class Main { public static void main() { } }`
+
+func TestLinkedListNode(t *testing.T) {
+	r, sem := analyze(t, `
+class Node { Node prev; Node next; int value; }
+class List { Node head; Node tail; }
+`+mainStub)
+	if !r.IsRecursiveClass(sem.Class("Node").ID) {
+		t.Error("Node must be recursive")
+	}
+	if r.IsRecursiveClass(sem.Class("List").ID) {
+		t.Error("List points into the structure but is not itself recursive")
+	}
+	if !r.IsRecursiveField(fieldID(t, sem, "Node.prev")) ||
+		!r.IsRecursiveField(fieldID(t, sem, "Node.next")) {
+		t.Error("Node.prev/next are the recursive links")
+	}
+	if r.IsRecursiveField(fieldID(t, sem, "List.head")) {
+		t.Error("List.head is not a recursive link (List is outside the cycle)")
+	}
+}
+
+func TestPayloadExcluded(t *testing.T) {
+	r, sem := analyze(t, `
+class Payload { int data; }
+class Node { Node next; Payload payload; }
+`+mainStub)
+	if r.IsRecursiveField(fieldID(t, sem, "Node.payload")) {
+		t.Error("payload field must not be a recursive link")
+	}
+	if r.IsRecursiveClass(sem.Class("Payload").ID) {
+		t.Error("Payload is not recursive")
+	}
+}
+
+func TestVertexEdgeGraphCycle(t *testing.T) {
+	r, sem := analyze(t, `
+class Vertex { Edge firstEdge; int id; }
+class Edge { Vertex from; Vertex to; Edge nextEdge; }
+`+mainStub)
+	if !r.IsRecursiveClass(sem.Class("Vertex").ID) || !r.IsRecursiveClass(sem.Class("Edge").ID) {
+		t.Error("Vertex and Edge form a recursive cycle")
+	}
+	if !r.SameCycle(sem.Class("Vertex").ID, sem.Class("Edge").ID) {
+		t.Error("Vertex and Edge must share a cycle")
+	}
+	for _, f := range []string{"Vertex.firstEdge", "Edge.from", "Edge.to", "Edge.nextEdge"} {
+		if !r.IsRecursiveField(fieldID(t, sem, f)) {
+			t.Errorf("%s must be a recursive link", f)
+		}
+	}
+}
+
+func TestArrayFieldCycle(t *testing.T) {
+	// N-ary tree: Node has a Node[] children field.
+	r, sem := analyze(t, `
+class Node { Node[] children; int v; }
+`+mainStub)
+	if !r.IsRecursiveClass(sem.Class("Node").ID) {
+		t.Error("Node with Node[] children is recursive")
+	}
+	if !r.IsRecursiveField(fieldID(t, sem, "Node.children")) {
+		t.Error("children array field is the recursive link")
+	}
+}
+
+func TestErasedGenericsStillRecursive(t *testing.T) {
+	r, sem := analyze(t, `
+class Node<T> { Node<T> next; T value; }
+`+mainStub)
+	if !r.IsRecursiveClass(sem.Class("Node").ID) {
+		t.Error("generic Node<T> erases to a recursive Node")
+	}
+	if !r.IsRecursiveField(fieldID(t, sem, "Node.next")) {
+		t.Error("Node.next recursive after erasure")
+	}
+	if r.IsRecursiveField(fieldID(t, sem, "Node.value")) {
+		t.Error("erased Object payload is not a recursive link")
+	}
+}
+
+func TestInheritanceLink(t *testing.T) {
+	// The link is declared in the superclass; payload in the subclass.
+	r, sem := analyze(t, `
+class Cell { Cell next; }
+class IntCell extends Cell { int v; }
+`+mainStub)
+	if !r.IsRecursiveClass(sem.Class("Cell").ID) {
+		t.Error("Cell is recursive")
+	}
+	if !r.IsRecursiveField(fieldID(t, sem, "Cell.next")) {
+		t.Error("Cell.next is the recursive link")
+	}
+	if r.IsRecursiveField(fieldID(t, sem, "IntCell.v")) {
+		t.Error("IntCell.v is payload")
+	}
+}
+
+func TestSubtypeFieldCycle(t *testing.T) {
+	// The field is typed with the superclass but only the subclass closes
+	// the cycle: Super has no links, Sub extends Super, Holder.item: Super,
+	// Sub.holder: Holder. Cycle: Holder -> Super(+Sub) -> Holder.
+	r, sem := analyze(t, `
+class Holder { Super item; }
+class Super { int x; }
+class Sub extends Super { Holder holder; }
+`+mainStub)
+	if !r.IsRecursiveClass(sem.Class("Holder").ID) {
+		t.Error("Holder is in a cycle through the Sub subclass")
+	}
+	if !r.IsRecursiveClass(sem.Class("Sub").ID) {
+		t.Error("Sub is in the cycle")
+	}
+}
+
+func TestNonRecursiveProgram(t *testing.T) {
+	r, sem := analyze(t, `
+class A { B b; }
+class B { int x; }
+`+mainStub)
+	if r.IsRecursiveClass(sem.Class("A").ID) || r.IsRecursiveClass(sem.Class("B").ID) {
+		t.Error("A -> B with no back edge is not recursive")
+	}
+	if ids := r.RecursiveFieldIDs(); len(ids) != 0 {
+		t.Errorf("no recursive fields expected, got %v", ids)
+	}
+}
+
+func TestTwoIndependentCyclesNotMerged(t *testing.T) {
+	r, sem := analyze(t, `
+class L1 { L1 next; }
+class L2 { L2 next; }
+`+mainStub)
+	if !r.IsRecursiveClass(sem.Class("L1").ID) || !r.IsRecursiveClass(sem.Class("L2").ID) {
+		t.Error("both are recursive")
+	}
+	if r.SameCycle(sem.Class("L1").ID, sem.Class("L2").ID) {
+		t.Error("independent cycles must not be merged")
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	r, sem := analyze(t, `
+class TreeNode { TreeNode left; TreeNode right; TreeNode parent; int key; }
+`+mainStub)
+	for _, f := range []string{"TreeNode.left", "TreeNode.right", "TreeNode.parent"} {
+		if !r.IsRecursiveField(fieldID(t, sem, f)) {
+			t.Errorf("%s recursive", f)
+		}
+	}
+	if got := len(r.RecursiveFieldIDs()); got != 3 {
+		t.Errorf("3 recursive fields, got %d", got)
+	}
+}

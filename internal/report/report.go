@@ -1,0 +1,190 @@
+// Package report renders algorithmic profiles as text: the repetition
+// tree with algorithm annotations (the paper's Figure 3 and 4), ASCII
+// scatter plots of cost versus input size with fitted curves (Figures 1
+// and 5), and aligned tables (Table 1).
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"algoprof/internal/classify"
+	"algoprof/internal/core"
+	"algoprof/internal/fit"
+	"algoprof/internal/group"
+)
+
+// TreeOptions configure RenderTree.
+type TreeOptions struct {
+	// Fits supplies the fitted cost function per series label for an
+	// algorithm (may be nil).
+	Fits func(alg *group.Algorithm) map[string]*fit.Fit
+}
+
+// RenderTree renders the repetition tree with per-node invocation/step
+// counts and, on each algorithm's root, the algorithm annotation
+// (classification and fitted cost functions) like the paper's Figure 3.
+func RenderTree(p *core.Profiler, res *group.Result,
+	classes map[*group.Algorithm]*classify.AlgorithmClass, opts TreeOptions) string {
+
+	reg := p.Registry()
+	var sb strings.Builder
+	var walk func(n *core.Node, depth int)
+	walk = func(n *core.Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		name := p.NodeName(n)
+		if line := p.NodeSourceLine(n); line > 0 {
+			name = fmt.Sprintf("%s (line %d)", name, line)
+		}
+		fmt.Fprintf(&sb, "%s%s  [invocations=%d steps=%d]\n",
+			indent, name, n.Invocations(), n.TotalCost(core.OpStep))
+
+		alg := res.AlgorithmOf[n]
+		if alg != nil && alg.Root == n && n.Kind != core.KindRoot {
+			ac := classes[alg]
+			if ac != nil {
+				desc := ac.Describe(func(id int) string { return reg.Input(id).Label() })
+				fmt.Fprintf(&sb, "%s  == algorithm #%d: %s\n", indent, alg.ID, desc)
+			}
+			if opts.Fits != nil {
+				fits := opts.Fits(alg)
+				labels := make([]string, 0, len(fits))
+				for l := range fits {
+					labels = append(labels, l)
+				}
+				sort.Strings(labels)
+				for _, l := range labels {
+					if f := fits[l]; f != nil {
+						fmt.Fprintf(&sb, "%s     steps ≈ %s  (size = %s, R2=%.3f, n=%d)\n",
+							indent, f, l, f.R2, f.N)
+					}
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Root(), 0)
+	return sb.String()
+}
+
+// FitSeries fits every series of an algorithm (steps versus size per input
+// label), skipping series with fewer than three distinct sizes.
+func FitSeries(alg *group.Algorithm) map[string]*fit.Fit {
+	out := map[string]*fit.Fit{}
+	for label, pts := range alg.Series {
+		fpts := make([]fit.Point, len(pts))
+		distinct := map[int]bool{}
+		for i, p := range pts {
+			fpts[i] = fit.Point{Size: float64(p.Size), Cost: float64(p.Steps)}
+			distinct[p.Size] = true
+		}
+		if len(distinct) < 3 {
+			continue
+		}
+		if f := fit.Best(fpts); f != nil {
+			out[label] = f
+		}
+	}
+	return out
+}
+
+// Scatter renders an ASCII scatter plot of the points ('·') with the
+// fitted curve overlaid ('*'); axes are linear and auto-scaled.
+func Scatter(points []fit.Point, f *fit.Fit, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	maxX, maxY := 1.0, 1.0
+	for _, p := range points {
+		maxX = math.Max(maxX, p.Size)
+		maxY = math.Max(maxY, p.Cost)
+	}
+	if f != nil {
+		maxY = math.Max(maxY, f.Eval(maxX))
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, ch byte) {
+		cx := int(x / maxX * float64(width-1))
+		cy := int(y / maxY * float64(height-1))
+		if cx < 0 || cx >= width || cy < 0 || cy >= height {
+			return
+		}
+		row := height - 1 - cy
+		if grid[row][cx] == ' ' || ch == '*' {
+			grid[row][cx] = ch
+		}
+	}
+	for _, p := range points {
+		put(p.Size, p.Cost, '.')
+	}
+	if f != nil {
+		for cx := 0; cx < width*2; cx++ {
+			x := float64(cx) / float64(width*2-1) * maxX
+			y := f.Eval(x)
+			if y >= 0 {
+				put(x, y, '*')
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%10.0f ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&sb, "%10s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&sb, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&sb, "%10s 0%*s\n", "", width, fmt.Sprintf("%.0f", maxX))
+	if f != nil {
+		fmt.Fprintf(&sb, "%10s fit: %s (R2=%.3f)\n", "", f, f.R2)
+	}
+	return sb.String()
+}
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"algoprof/internal/classify"
+	"algoprof/internal/core"
+	"algoprof/internal/fit"
+	"algoprof/internal/group"
+	"algoprof/internal/testutil"
+)
+
+func TestRenderTreeShowsAnnotations(t *testing.T) {
+	p := testutil.Profile(t, `
+class Node { Node next; }
+class Main {
+  public static void main() {
+    Node head = null;
+    for (int i = 0; i < 9; i++) {
+      Node x = new Node();
+      x.next = head;
+      head = x;
+    }
+  }
+}`, core.Options{}, 1)
+	res := group.Analyze(p)
+	classes := classify.Classify(p, res)
+	out := RenderTree(p, res, classes, TreeOptions{Fits: FitSeries})
+	for _, want := range []string{
+		"Program",
+		"Main.main/loop1",
+		"invocations=1",
+		"steps=9",
+		"algorithm #",
+		"Construction of a Node-based recursive structure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFitSeriesSkipsShortSeries(t *testing.T) {
+	alg := &group.Algorithm{
+		Series: map[string][]group.Point{
+			"two-sizes": {{Size: 1, Steps: 1}, {Size: 2, Steps: 2}},
+			"enough":    {{Size: 1, Steps: 2}, {Size: 2, Steps: 4}, {Size: 3, Steps: 6}, {Size: 4, Steps: 8}},
+		},
+	}
+	fits := FitSeries(alg)
+	if _, ok := fits["two-sizes"]; ok {
+		t.Error("series with <3 distinct sizes must be skipped")
+	}
+	f, ok := fits["enough"]
+	if !ok {
+		t.Fatal("series with 4 sizes must be fitted")
+	}
+	if f.Model != fit.Linear {
+		t.Errorf("model = %v, want linear", f.Model)
+	}
+}
+
+func TestScatterPlotShape(t *testing.T) {
+	pts := []fit.Point{{Size: 1, Cost: 1}, {Size: 50, Cost: 2500}, {Size: 100, Cost: 10000}}
+	f := &fit.Fit{Model: fit.Quadratic, Coeff: 1}
+	out := Scatter(pts, f, 40, 10)
+	if !strings.Contains(out, ".") {
+		t.Error("plot missing data points")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("plot missing fitted curve")
+	}
+	if !strings.Contains(out, "fit: 1*n^2") {
+		t.Errorf("plot missing fit caption:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 1 header + 10 rows + axis + labels + fit line.
+	if len(lines) != 14 {
+		t.Errorf("plot has %d lines, want 14:\n%s", len(lines), out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	if got := Scatter(nil, nil, 40, 10); got != "(no data)\n" {
+		t.Errorf("empty scatter = %q", got)
+	}
+}
+
+func TestScatterClampsTinyDimensions(t *testing.T) {
+	out := Scatter([]fit.Point{{Size: 1, Cost: 1}}, nil, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"A", "LongHeader"}, [][]string{
+		{"xxxxx", "y"},
+		{"z", "wwwwwwwwwwww"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4", len(lines))
+	}
+	// All lines equal width.
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(strings.TrimRight(l, " ")) > w+2 {
+			t.Errorf("line %d wider than header line: %q", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("missing separator row")
+	}
+}

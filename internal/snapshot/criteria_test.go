@@ -1,0 +1,116 @@
+package snapshot
+
+import (
+	"testing"
+
+	"algoprof/internal/events"
+)
+
+// growList appends a node to the tail of the fake list and returns the
+// new tail.
+func appendNode(tail *fakeObj, id uint64) *fakeObj {
+	n := &fakeObj{id: id, typ: "Node"}
+	tail.refs = append(tail.refs, ref{field: 0, target: n})
+	return n
+}
+
+func TestAllElementsFragmentsGrowingStructure(t *testing.T) {
+	r := NewRegistryWith(rt(1, 0), Capacity, AllElements)
+	head := &fakeObj{id: 1, typ: "Node"}
+	tail := head
+
+	o1 := r.Observe(head)
+	tail = appendNode(tail, 2)
+	o2 := r.Observe(head)
+	tail = appendNode(tail, 3)
+	o3 := r.Observe(head)
+
+	if r.Find(o1.InputID) == r.Find(o2.InputID) || r.Find(o2.InputID) == r.Find(o3.InputID) {
+		t.Error("AllElements must treat each extent as a new input")
+	}
+	if got := len(r.CanonicalIDs()); got != 3 {
+		t.Errorf("inputs = %d, want 3 (one per extent)", got)
+	}
+}
+
+func TestAllElementsStableStructureUnifies(t *testing.T) {
+	r := NewRegistryWith(rt(1, 0), Capacity, AllElements)
+	head, _ := list(1, 4)
+	o1 := r.Observe(head)
+	o2 := r.Observe(head)
+	if r.Find(o1.InputID) != r.Find(o2.InputID) {
+		t.Error("identical snapshots must unify under AllElements")
+	}
+}
+
+func TestSameArraySeparatesReallocation(t *testing.T) {
+	// The Listing 6 case that SomeElements handles: under SameArray the
+	// grown backing array is a NEW input even though it shares elements.
+	old := &fakeArr{id: 1, typ: "String[]", cap: 4,
+		keys: []events.ElemKey{"n0", "n1", "n2", "n3"}}
+	grown := &fakeArr{id: 2, typ: "String[]", cap: 8,
+		keys: []events.ElemKey{"n0", "n1", "n2", "n3", "n4"}}
+	r := NewRegistryWith(rt(0), Capacity, SameArray)
+	a := r.Observe(old)
+	b := r.Observe(grown)
+	if r.Find(a.InputID) == r.Find(b.InputID) {
+		t.Error("SameArray must not unify reallocated arrays")
+	}
+	// Re-observing the same array object still unifies.
+	c := r.Observe(grown)
+	if r.Find(b.InputID) != r.Find(c.InputID) {
+		t.Error("same array object must stay the same input")
+	}
+}
+
+func TestSameArrayStructuresStillOverlap(t *testing.T) {
+	r := NewRegistryWith(rt(1, 0), Capacity, SameArray)
+	head, nodes := list(1, 3)
+	o1 := r.Observe(head)
+	o2 := r.Observe(nodes[1])
+	if r.Find(o1.InputID) != r.Find(o2.InputID) {
+		t.Error("structures unify by overlap even under SameArray")
+	}
+}
+
+func TestSameTypeUnifiesDisjointStructures(t *testing.T) {
+	r := NewRegistryWith(rt(1, 0), Capacity, SameType)
+	h1, _ := list(1, 3)
+	h2, _ := list(100, 5)
+	o1 := r.Observe(h1)
+	o2 := r.Observe(h2)
+	if r.Find(o1.InputID) != r.Find(o2.InputID) {
+		t.Error("SameType must unify disjoint Node structures")
+	}
+	if got := r.Input(o1.InputID).MaxSize; got != 5 {
+		t.Errorf("merged MaxSize = %d, want 5", got)
+	}
+}
+
+func TestSameTypeSeparatesDifferentTypes(t *testing.T) {
+	r := NewRegistryWith(rt(1, 0), Capacity, SameType)
+	n := &fakeObj{id: 1, typ: "Node"}
+	v := &fakeObj{id: 2, typ: "Vertex"}
+	o1 := r.Observe(n)
+	o2 := r.Observe(v)
+	if r.Find(o1.InputID) == r.Find(o2.InputID) {
+		t.Error("different element types are different inputs under SameType")
+	}
+}
+
+func TestCriterionStrings(t *testing.T) {
+	want := map[Criterion]string{
+		SomeElements: "some-elements",
+		AllElements:  "all-elements",
+		SameArray:    "same-array",
+		SameType:     "same-type",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if NewRegistry(rt(0), Capacity).Criterion() != SomeElements {
+		t.Error("default criterion must be SomeElements")
+	}
+}

@@ -1,0 +1,530 @@
+// Package snapshot implements input identification and size measurement
+// for the algorithmic profiler (§2.3, §2.4, §3.4 of the AlgoProf paper).
+//
+// A snapshot of a structure is the set of heap entities reachable from an
+// accessed reference via recursive links (recursive-type fields, plus
+// arrays embedded in structures). Snapshots taken at different times are
+// unified into *inputs* using the paper's "Some Elements Equivalent"
+// criterion: two snapshots denote the same input when they share at least
+// one element. For arrays, elements may be values (strings) rather than
+// heap entities, so array snapshots also carry element identity keys; this
+// is what lets a reallocated, grown backing array be recognized as the
+// same input as its predecessor (the resizable-array case of Listing 6).
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"algoprof/internal/events"
+	"algoprof/internal/rectype"
+)
+
+// Strategy selects how array sizes are measured (§3.4).
+type Strategy int
+
+// Array size strategies.
+const (
+	// Capacity counts element slots (recursively for multi-dimensional
+	// arrays: top-level slots plus all lower-level slots).
+	Capacity Strategy = iota
+	// UniqueElements counts the set of unique elements (all non-null
+	// elements of reference arrays, all values of primitive arrays);
+	// approximates the used fraction of over-allocated arrays.
+	UniqueElements
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == UniqueElements {
+		return "unique"
+	}
+	return "capacity"
+}
+
+// Criterion selects the snapshot equivalence criterion (§2.4): how the
+// registry decides whether two snapshots represent the same input.
+type Criterion int
+
+// Equivalence criteria.
+const (
+	// SomeElements unifies snapshots that share at least one element —
+	// the paper's default: robust to structure evolution, partial
+	// traversals of weakly connected structures, and array reallocation.
+	SomeElements Criterion = iota
+	// AllElements unifies snapshots only when their element sets are
+	// identical; an evolving structure fragments into one input per
+	// distinct extent.
+	AllElements
+	// SameArray unifies arrays only by object identity (element overlap
+	// ignored); structures still unify by element overlap. A reallocated
+	// backing array becomes a new input.
+	SameArray
+	// SameType unifies any two snapshots whose element type signature
+	// matches: all Node-lists in a program become one input.
+	SameType
+)
+
+// String names the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case AllElements:
+		return "all-elements"
+	case SameArray:
+		return "same-array"
+	case SameType:
+		return "same-type"
+	}
+	return "some-elements"
+}
+
+// Kind distinguishes input categories.
+type Kind int
+
+// Input kinds.
+const (
+	KindStructure Kind = iota
+	KindArray
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == KindArray {
+		return "array"
+	}
+	return "structure"
+}
+
+// Snap is one structure snapshot.
+type Snap struct {
+	// Entities are the ids of all reached heap entities (objects and
+	// arrays, including the root).
+	Entities map[uint64]bool
+	// Objects is the number of objects reached (arrays excluded): the
+	// size of a recursive structure.
+	Objects int
+	// ArrayRefs counts non-null references traversed inside arrays that
+	// are part of the structure.
+	ArrayRefs int
+	// TypeCounts counts objects per class name.
+	TypeCounts map[string]int
+	// OverlapKeys are element identity keys usable for input unification
+	// (reference keys and strings; raw primitive values are excluded
+	// because equal values do not imply identity).
+	OverlapKeys map[events.ElemKey]bool
+	// UniqueKeys are all element keys, for the unique-elements size
+	// strategy.
+	UniqueKeys map[events.ElemKey]bool
+	// CapacitySlots counts array slots recursively.
+	CapacitySlots int
+	// RootIsArray records what the snapshot was rooted at.
+	RootIsArray bool
+}
+
+// Size returns the snapshot's size under the given strategy: object count
+// for structures; capacity or unique-element count for arrays.
+func (s *Snap) Size(strat Strategy) int {
+	if !s.RootIsArray {
+		return s.Objects
+	}
+	if strat == UniqueElements {
+		return len(s.UniqueKeys)
+	}
+	return s.CapacitySlots
+}
+
+// Take computes the snapshot reachable from root. For object roots it
+// follows recursive-type fields (per rt) and traverses arrays embedded in
+// the structure; for array roots it records the array's elements and
+// recurses into sub-arrays (multi-dimensional arrays), but does not expand
+// element objects — objects are measured through structure snapshots.
+func Take(root events.Entity, rt *rectype.Result) *Snap {
+	s := &Snap{
+		Entities:    map[uint64]bool{},
+		TypeCounts:  map[string]int{},
+		OverlapKeys: map[events.ElemKey]bool{},
+		UniqueKeys:  map[events.ElemKey]bool{},
+		RootIsArray: root.IsArray(),
+	}
+	if s.RootIsArray {
+		s.takeArray(root)
+	} else {
+		s.takeStructure(root, rt)
+	}
+	return s
+}
+
+func (s *Snap) takeStructure(root events.Entity, rt *rectype.Result) {
+	var stack []events.Entity
+	visit := func(e events.Entity) {
+		if e == nil || s.Entities[e.EntityID()] {
+			return
+		}
+		s.Entities[e.EntityID()] = true
+		stack = append(stack, e)
+	}
+	visit(root)
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.IsArray() {
+			// Arrays inside a structure: count non-null refs, continue into
+			// elements (objects or nested arrays).
+			e.ForEachRef(func(_ int, target events.Entity) {
+				s.ArrayRefs++
+				visit(target)
+			})
+			continue
+		}
+		s.Objects++
+		s.TypeCounts[e.TypeName()]++
+		s.OverlapKeys[events.RefKey(e.EntityID())] = true
+		e.ForEachRef(func(fieldID int, target events.Entity) {
+			if target.IsArray() {
+				// Follow arrays only through recursive links.
+				if rt.IsRecursiveField(fieldID) {
+					visit(target)
+				}
+				return
+			}
+			if rt.IsRecursiveField(fieldID) {
+				visit(target)
+			}
+		})
+	}
+}
+
+func (s *Snap) takeArray(root events.Entity) {
+	var walk func(e events.Entity)
+	walk = func(e events.Entity) {
+		if e == nil || s.Entities[e.EntityID()] {
+			return
+		}
+		s.Entities[e.EntityID()] = true
+		s.CapacitySlots += e.Capacity()
+		e.ForEachElemKey(func(key events.ElemKey) {
+			s.UniqueKeys[key] = true
+			switch k := key.(type) {
+			case events.RefKey:
+				s.OverlapKeys[k] = true
+			case string:
+				if k != "" {
+					s.OverlapKeys[k] = true
+				}
+			}
+		})
+		// Recurse into sub-arrays (multi-dimensional arrays); element
+		// objects are recorded by id (via RefKey above) but not expanded.
+		e.ForEachRef(func(_ int, target events.Entity) {
+			if target.IsArray() {
+				walk(target)
+			} else {
+				s.Entities[target.EntityID()] = true
+			}
+		})
+	}
+	walk(root)
+}
+
+// ---------------------------------------------------------------------------
+// Input registry
+
+// Input is one identified algorithm input: the union of all snapshots that
+// were found equivalent over the program run.
+type Input struct {
+	// ID is the input's original id; after merges, Registry.Find maps any
+	// id to its canonical representative.
+	ID   int
+	Kind Kind
+	// MaxSize is the maximum size observed across all snapshots (§2.4:
+	// the size of a changing structure is its maximum size).
+	MaxSize int
+	// MaxTypeCounts tracks the maximum per-type object counts observed.
+	MaxTypeCounts map[string]int
+	// MaxArrayRefs is the maximum array-reference count observed.
+	MaxArrayRefs int
+	// Observations counts snapshots unified into this input.
+	Observations int
+
+	// lastElems is the most recent snapshot's element set, kept only
+	// under the AllElements criterion.
+	lastElems map[uint64]bool
+}
+
+// Label renders a short description like "Node-based recursive structure"
+// or "String[] array".
+func (in *Input) Label() string {
+	if in.Kind == KindArray {
+		return "array input"
+	}
+	names := make([]string, 0, len(in.MaxTypeCounts))
+	for n := range in.MaxTypeCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return "recursive structure"
+	}
+	return fmt.Sprintf("%s-based recursive structure", strings.Join(names, "/"))
+}
+
+// Observation is the result of registering one snapshot.
+type Observation struct {
+	// InputID is the canonical input the snapshot was unified into.
+	InputID int
+	// Size is the size of this snapshot under the registry's strategy.
+	Size int
+}
+
+// Registry identifies inputs across snapshots ("Some Elements Equivalent")
+// and tracks their sizes.
+type Registry struct {
+	rt    *rectype.Result
+	strat Strategy
+	crit  Criterion
+
+	inputs []*Input
+	parent []int // union-find over input ids
+
+	entityOwner map[uint64]int         // entity id -> input id (not canonical)
+	keyOwner    map[events.ElemKey]int // overlap key -> input id
+	typeOwner   map[string]int         // SameType: signature -> input id
+	writeEpoch  uint64
+}
+
+// NewRegistry creates an input registry with the paper's default
+// criterion (Some Elements Equivalent).
+func NewRegistry(rt *rectype.Result, strat Strategy) *Registry {
+	return NewRegistryWith(rt, strat, SomeElements)
+}
+
+// NewRegistryWith creates an input registry with an explicit equivalence
+// criterion (§2.4).
+func NewRegistryWith(rt *rectype.Result, strat Strategy, crit Criterion) *Registry {
+	return &Registry{
+		rt:          rt,
+		strat:       strat,
+		crit:        crit,
+		entityOwner: map[uint64]int{},
+		keyOwner:    map[events.ElemKey]int{},
+		typeOwner:   map[string]int{},
+	}
+}
+
+// Criterion returns the registry's equivalence criterion.
+func (r *Registry) Criterion() Criterion { return r.crit }
+
+// Strategy returns the registry's array size strategy.
+func (r *Registry) Strategy() Strategy { return r.strat }
+
+// NoteWrite bumps the write epoch; cached sizes are invalid after a write.
+func (r *Registry) NoteWrite() { r.writeEpoch++ }
+
+// WriteEpoch returns the current write epoch.
+func (r *Registry) WriteEpoch() uint64 { return r.writeEpoch }
+
+// Find returns the canonical input id for id.
+func (r *Registry) Find(id int) int {
+	for r.parent[id] != id {
+		r.parent[id] = r.parent[r.parent[id]]
+		id = r.parent[id]
+	}
+	return id
+}
+
+// Input returns the canonical input for id.
+func (r *Registry) Input(id int) *Input { return r.inputs[r.Find(id)] }
+
+// CanonicalIDs returns the sorted ids of all canonical inputs.
+func (r *Registry) CanonicalIDs() []int {
+	var out []int
+	for i := range r.inputs {
+		if r.Find(i) == i {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// InputOf returns the canonical input id currently associated with entity
+// e, or -1 when e has not been seen in any snapshot.
+func (r *Registry) InputOf(e events.Entity) int {
+	return r.InputOfID(e.EntityID())
+}
+
+// InputOfID is InputOf by raw entity id.
+func (r *Registry) InputOfID(id uint64) int {
+	if owner, ok := r.entityOwner[id]; ok {
+		return r.Find(owner)
+	}
+	return -1
+}
+
+// Observe snapshots the structure rooted at e, unifies it with known
+// inputs, and records its size. Overlapping inputs are merged.
+func (r *Registry) Observe(e events.Entity) Observation {
+	snap := Take(e, r.rt)
+	size := snap.Size(r.strat)
+
+	target := r.identify(e, snap)
+
+	in := r.inputs[target]
+	in.Observations++
+	if size > in.MaxSize {
+		in.MaxSize = size
+	}
+	for tn, c := range snap.TypeCounts {
+		if c > in.MaxTypeCounts[tn] {
+			in.MaxTypeCounts[tn] = c
+		}
+	}
+	if snap.ArrayRefs > in.MaxArrayRefs {
+		in.MaxArrayRefs = snap.ArrayRefs
+	}
+	if r.crit == AllElements {
+		in.lastElems = snap.Entities
+	}
+
+	// Claim the snapshot's elements and keys.
+	for id := range snap.Entities {
+		r.entityOwner[id] = target
+	}
+	for key := range snap.OverlapKeys {
+		r.keyOwner[key] = target
+	}
+	return Observation{InputID: target, Size: size}
+}
+
+// identify applies the equivalence criterion and returns the input the
+// snapshot belongs to, creating or merging inputs as needed.
+func (r *Registry) identify(root events.Entity, snap *Snap) int {
+	switch r.crit {
+	case SameType:
+		sig := snap.typeSignature()
+		if id, ok := r.typeOwner[sig]; ok {
+			return r.Find(id)
+		}
+		id := r.newInput(snap)
+		r.typeOwner[sig] = id
+		return id
+
+	case AllElements:
+		// Unify only with an input whose last snapshot has exactly the
+		// same element set.
+		for _, c := range r.overlapCandidates(snap, false) {
+			last := r.inputs[c].lastElems
+			if len(last) != len(snap.Entities) {
+				continue
+			}
+			equal := true
+			for id := range snap.Entities {
+				if !last[id] {
+					equal = false
+					break
+				}
+			}
+			if equal {
+				return c
+			}
+		}
+		return r.newInput(snap)
+
+	case SameArray:
+		if snap.RootIsArray {
+			// Identity only: the root array's own id decides.
+			if owner, ok := r.entityOwner[root.EntityID()]; ok {
+				if r.inputs[r.Find(owner)].Kind == KindArray {
+					return r.Find(owner)
+				}
+			}
+			return r.newInput(snap)
+		}
+		fallthrough
+
+	default: // SomeElements
+		cands := r.overlapCandidates(snap, r.crit != SameArray)
+		if len(cands) == 0 {
+			return r.newInput(snap)
+		}
+		target := cands[0]
+		for _, other := range cands[1:] {
+			r.merge(target, other)
+		}
+		return target
+	}
+}
+
+// overlapCandidates returns the canonical ids of all inputs sharing an
+// element (or, when useKeys is set, an element identity key) with snap,
+// sorted ascending.
+func (r *Registry) overlapCandidates(snap *Snap, useKeys bool) []int {
+	set := map[int]bool{}
+	for id := range snap.Entities {
+		if owner, ok := r.entityOwner[id]; ok {
+			set[r.Find(owner)] = true
+		}
+	}
+	if useKeys {
+		for key := range snap.OverlapKeys {
+			if owner, ok := r.keyOwner[key]; ok {
+				set[r.Find(owner)] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// typeSignature renders the snapshot's element type set, the SameType key.
+func (s *Snap) typeSignature() string {
+	if s.RootIsArray {
+		return "array" // arrays carry no object type counts
+	}
+	names := make([]string, 0, len(s.TypeCounts))
+	for n := range s.TypeCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return "struct:" + strings.Join(names, "/")
+}
+
+func (r *Registry) newInput(snap *Snap) int {
+	id := len(r.inputs)
+	kind := KindStructure
+	if snap.RootIsArray {
+		kind = KindArray
+	}
+	r.inputs = append(r.inputs, &Input{
+		ID:            id,
+		Kind:          kind,
+		MaxTypeCounts: map[string]int{},
+	})
+	r.parent = append(r.parent, id)
+	return id
+}
+
+// merge unifies input b into input a (both canonical).
+func (r *Registry) merge(a, b int) {
+	if a == b {
+		return
+	}
+	ia, ib := r.inputs[a], r.inputs[b]
+	if ib.MaxSize > ia.MaxSize {
+		ia.MaxSize = ib.MaxSize
+	}
+	for tn, c := range ib.MaxTypeCounts {
+		if c > ia.MaxTypeCounts[tn] {
+			ia.MaxTypeCounts[tn] = c
+		}
+	}
+	if ib.MaxArrayRefs > ia.MaxArrayRefs {
+		ia.MaxArrayRefs = ib.MaxArrayRefs
+	}
+	ia.Observations += ib.Observations
+	r.parent[b] = a
+}

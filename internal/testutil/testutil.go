@@ -1,0 +1,73 @@
+// Package testutil provides shared helpers for integration-style tests
+// that compile, instrument and profile MJ programs.
+package testutil
+
+import (
+	"testing"
+
+	"algoprof/internal/core"
+	"algoprof/internal/instrument"
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/vm"
+)
+
+// Profile compiles src, instruments it (optimized plan), runs it under the
+// algorithmic profiler with the given seed, and returns the finished
+// profiler.
+func Profile(t testing.TB, src string, opts core.Options, seed uint64) *core.Profiler {
+	t.Helper()
+	p, _ := ProfileVM(t, src, opts, seed)
+	return p
+}
+
+// ProfileVM is Profile but also returns the VM (for output inspection).
+func ProfileVM(t testing.TB, src string, opts core.Options, seed uint64) (*core.Profiler, *vm.VM) {
+	t.Helper()
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ins, err := instrument.Instrument(prog, instrument.Optimized)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	p := core.NewProfiler(ins, opts)
+	m := vm.New(ins.Prog, vm.Config{Listener: p, Plan: ins.Plan, Seed: seed})
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	p.Finish()
+	if errs := p.Errors(); len(errs) != 0 {
+		t.Fatalf("profiler errors: %v", errs)
+	}
+	return p, m
+}
+
+// FindNode returns the repetition node with the given NodeName, or nil.
+func FindNode(p *core.Profiler, name string) *core.Node {
+	var found *core.Node
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if found != nil {
+			return
+		}
+		if p.NodeName(n) == name {
+			found = n
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root())
+	return found
+}
+
+// CountNodes returns the size of the repetition tree rooted at n.
+func CountNodes(n *core.Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += CountNodes(c)
+	}
+	return total
+}

@@ -1,0 +1,299 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"algoprof/internal/mj/compiler"
+)
+
+const errorClasses = `
+class Error { int code; Error(int code) { this.code = code; } }
+class NotFound extends Error { NotFound(int code) { this.code = code; } }
+`
+
+func TestThrowCatch(t *testing.T) {
+	m := run(t, errorClasses+`
+class Main {
+  public static void main() {
+    try {
+      print("before");
+      throw new Error(42);
+    } catch (Error e) {
+      print("caught " + e.code);
+    }
+    print("after");
+  }
+}`)
+	want := []string{"before", "caught 42", "after"}
+	for i, w := range want {
+		if m.Stdout[i] != w {
+			t.Errorf("line %d: got %q, want %q", i, m.Stdout[i], w)
+		}
+	}
+}
+
+func TestCatchSubclass(t *testing.T) {
+	m := run(t, errorClasses+`
+class Main {
+  public static void main() {
+    try {
+      throw new NotFound(7);
+    } catch (Error e) {
+      print("caught subclass " + e.code);
+    }
+  }
+}`)
+	if m.Stdout[0] != "caught subclass 7" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestCatchDoesNotMatchSuperclassThrow(t *testing.T) {
+	// Throwing the base class must NOT be caught by a subclass handler.
+	err := runErr(t, errorClasses+`
+class Main {
+  public static void main() {
+    try {
+      throw new Error(1);
+    } catch (NotFound e) {
+      print("wrong");
+    }
+  }
+}`)
+	if !strings.Contains(err.Error(), "uncaught exception Error") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestExceptionPropagatesThroughCalls(t *testing.T) {
+	m := run(t, errorClasses+`
+class Main {
+  static void deep(int n) {
+    if (n == 0) { throw new Error(99); }
+    deep(n - 1);
+  }
+  public static void main() {
+    try {
+      deep(5);
+    } catch (Error e) {
+      print("from depth: " + e.code);
+    }
+  }
+}`)
+	if m.Stdout[0] != "from depth: 99" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestUncaughtExceptionReachesRun(t *testing.T) {
+	err := runErr(t, errorClasses+`
+class Main {
+  public static void main() {
+    throw new Error(13);
+  }
+}`)
+	th, ok := err.(*Thrown)
+	if !ok {
+		t.Fatalf("error type %T, want *Thrown", err)
+	}
+	if th.Obj.Class.Name != "Error" {
+		t.Errorf("thrown class %s", th.Obj.Class.Name)
+	}
+}
+
+func TestNestedTryInnermostWins(t *testing.T) {
+	m := run(t, errorClasses+`
+class Main {
+  public static void main() {
+    try {
+      try {
+        throw new Error(1);
+      } catch (Error inner) {
+        print("inner");
+        throw new Error(2);
+      }
+    } catch (Error outer) {
+      print("outer " + outer.code);
+    }
+  }
+}`)
+	if m.Stdout[0] != "inner" || m.Stdout[1] != "outer 2" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestThrowFromLoopBreaksOut(t *testing.T) {
+	m := run(t, errorClasses+`
+class Main {
+  public static void main() {
+    int i = 0;
+    try {
+      while (true) {
+        i++;
+        if (i == 5) { throw new Error(i); }
+      }
+    } catch (Error e) {
+      print("escaped at " + e.code);
+    }
+    print("i=" + i);
+  }
+}`)
+	if m.Stdout[0] != "escaped at 5" || m.Stdout[1] != "i=5" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestRethrowPropagates(t *testing.T) {
+	m := run(t, errorClasses+`
+class Main {
+  static void work() {
+    try {
+      throw new NotFound(3);
+    } catch (NotFound e) {
+      print("log");
+      throw e;
+    }
+  }
+  public static void main() {
+    try {
+      work();
+    } catch (Error e) {
+      print("final " + e.code);
+    }
+  }
+}`)
+	if m.Stdout[0] != "log" || m.Stdout[1] != "final 3" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestCatchVariableScoping(t *testing.T) {
+	m := run(t, errorClasses+`
+class Main {
+  public static void main() {
+    int e = 10;
+    try {
+      throw new Error(1);
+    } catch (Error ex) {
+      print(ex.code + e);
+    }
+    print(e);
+  }
+}`)
+	if m.Stdout[0] != "11" || m.Stdout[1] != "10" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestLoopInCatchHandler(t *testing.T) {
+	m := run(t, errorClasses+`
+class Main {
+  public static void main() {
+    try {
+      throw new Error(4);
+    } catch (Error e) {
+      int s = 0;
+      for (int i = 0; i < e.code; i++) { s = s + i; }
+      print(s);
+    }
+  }
+}`)
+	if m.Stdout[0] != "6" {
+		t.Errorf("got %v, want 6", m.Stdout)
+	}
+}
+
+func TestTryWithNoThrowRunsBodyOnly(t *testing.T) {
+	m := run(t, errorClasses+`
+class Main {
+  public static void main() {
+    try {
+      print("ok");
+    } catch (Error e) {
+      print("never");
+    }
+    print("done");
+  }
+}`)
+	if len(m.Stdout) != 2 || m.Stdout[0] != "ok" || m.Stdout[1] != "done" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		// Throwing a primitive.
+		errorClasses + `class Main { public static void main() { throw 5; } }`,
+		// Catching a non-class type.
+		errorClasses + `class Main { public static void main() { try { } catch (int e) { } } }`,
+	}
+	for _, src := range cases {
+		if _, err := compiler.CompileSource(src); err == nil {
+			t.Errorf("want compile error for %q", src[:60])
+		}
+	}
+}
+
+func TestDynamicDispatchErrors(t *testing.T) {
+	// Dynamic (erased-receiver) accesses resolve member names at runtime;
+	// missing members, argument-count mismatches, and null receivers all
+	// surface as runtime errors with a clear message. The Box stores a
+	// Plain object so the receiver is non-null but lacks the member.
+	cases := []struct {
+		name, body, want string
+	}{
+		{"missing-dyn-field", `var o = b.get(); var x = o.nothere;`, "no field"},
+		{"missing-dyn-method", `var o = b.get(); o.nothere();`, "no method"},
+		{"dyn-arg-mismatch", `var o = b.get(); o.poke(1, 2);`, "args, want"},
+		{"dyn-on-null", `Box<Plain> empty = new Box<Plain>(); var o = empty.get(); o.poke(1);`, "null"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := `
+class Plain { int w; void poke(int n) { w = n; } }
+class Box<T> {
+  T v;
+  void set(T x) { v = x; }
+  T get() { return v; }
+}
+class Main {
+  public static void main() {
+    Box<Plain> b = new Box<Plain>();
+    b.set(new Plain());
+    ` + tc.body + `
+  }
+}`
+			prog, err := compiler.CompileSource(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := New(prog, Config{MaxSteps: 100000})
+			err = m.Run()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestThrowNonObjectCaughtStatically(t *testing.T) {
+	// `throw 5` is a type error (tested in types); `throw` of an erased
+	// Object holding a non-object is a runtime error.
+	prog, err := compiler.CompileSource(`
+class Box<T> { T v; void set(T x) { v = x; } T get() { return v; } }
+class Main {
+  public static void main() {
+    Box<Box> b = new Box<Box>();
+    var o = b.get();
+    throw o;
+  }
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := New(prog, Config{MaxSteps: 100000})
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "non-object") {
+		t.Fatalf("got %v, want non-object throw error", err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package vm implements the MJ bytecode interpreter: a stack machine with
+// an identity-carrying heap, deterministic builtins, and hooks that emit
+// profiling events to an events.Listener according to an instrumentation
+// plan. It plays the role of the instrumented JVM in the AlgoProf paper.
+package vm
+
+import (
+	"fmt"
+	"strconv"
+
+	"algoprof/internal/events"
+	"algoprof/internal/mj/types"
+)
+
+// ValKind discriminates runtime values.
+type ValKind uint8
+
+// Runtime value kinds.
+const (
+	ValNull ValKind = iota
+	ValInt
+	ValBool
+	ValStr
+	ValObj
+	ValArr
+)
+
+// Value is a runtime value.
+type Value struct {
+	K ValKind
+	I int64 // int value, or 0/1 for bool
+	S string
+	O *Object
+	A *Array
+}
+
+// Convenience constructors.
+func intVal(i int64) Value { return Value{K: ValInt, I: i} }
+func boolVal(b bool) Value {
+	v := Value{K: ValBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+func strVal(s string) Value  { return Value{K: ValStr, S: s} }
+func objVal(o *Object) Value { return Value{K: ValObj, O: o} }
+func arrVal(a *Array) Value  { return Value{K: ValArr, A: a} }
+
+var nullVal = Value{K: ValNull}
+
+// IsNull reports whether v is the null reference.
+func (v Value) IsNull() bool { return v.K == ValNull }
+
+// Entity returns the heap entity behind v, or nil for non-references.
+func (v Value) Entity() events.Entity {
+	switch v.K {
+	case ValObj:
+		return v.O
+	case ValArr:
+		return v.A
+	}
+	return nil
+}
+
+// String renders the value for debug printing and writeOutput.
+func (v Value) String() string {
+	switch v.K {
+	case ValNull:
+		return "null"
+	case ValInt:
+		return strconv.FormatInt(v.I, 10)
+	case ValBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case ValStr:
+		return v.S
+	case ValObj:
+		return fmt.Sprintf("%s@%d", v.O.Class.Name, v.O.ID)
+	case ValArr:
+		return fmt.Sprintf("%s@%d(len=%d)", v.A.Type.String(), v.A.ID, len(v.A.Elems))
+	}
+	return "?"
+}
+
+// equal implements MJ == semantics: ints and bools by value, strings by
+// content, references by identity, null equal only to null.
+func equal(a, b Value) bool {
+	if a.K == ValNull || b.K == ValNull {
+		return a.K == b.K
+	}
+	if a.K != b.K {
+		return false
+	}
+	switch a.K {
+	case ValInt, ValBool:
+		return a.I == b.I
+	case ValStr:
+		return a.S == b.S
+	case ValObj:
+		return a.O == b.O
+	case ValArr:
+		return a.A == b.A
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Heap entities
+
+// Object is a heap-allocated class instance.
+type Object struct {
+	ID     uint64
+	Class  *types.Class
+	Fields []Value // indexed by field slot
+}
+
+// EntityID implements events.Entity.
+func (o *Object) EntityID() uint64 { return o.ID }
+
+// TypeName implements events.Entity.
+func (o *Object) TypeName() string { return o.Class.Name }
+
+// ClassID implements events.Entity.
+func (o *Object) ClassID() int { return o.Class.ID }
+
+// IsArray implements events.Entity.
+func (o *Object) IsArray() bool { return false }
+
+// Capacity implements events.Entity.
+func (o *Object) Capacity() int { return 0 }
+
+// ForEachRef implements events.Entity: visits non-nil object/array fields.
+func (o *Object) ForEachRef(visit func(fieldID int, target events.Entity)) {
+	for _, f := range o.Class.Fields {
+		if !f.Type.IsRef() {
+			continue
+		}
+		v := o.Fields[f.Slot]
+		switch v.K {
+		case ValObj:
+			visit(f.ID, v.O)
+		case ValArr:
+			visit(f.ID, v.A)
+		}
+	}
+}
+
+// ForEachElemKey implements events.Entity (no elements on objects).
+func (o *Object) ForEachElemKey(func(events.ElemKey)) {}
+
+// Array is a heap-allocated array. Type is the full array type, so the
+// element type is Type.Elem.
+type Array struct {
+	ID    uint64
+	Type  *types.Type
+	Elems []Value
+}
+
+// EntityID implements events.Entity.
+func (a *Array) EntityID() uint64 { return a.ID }
+
+// TypeName implements events.Entity.
+func (a *Array) TypeName() string { return a.Type.String() }
+
+// ClassID implements events.Entity.
+func (a *Array) ClassID() int { return -1 }
+
+// IsArray implements events.Entity.
+func (a *Array) IsArray() bool { return true }
+
+// Capacity implements events.Entity.
+func (a *Array) Capacity() int { return len(a.Elems) }
+
+// ForEachRef implements events.Entity: visits non-nil reference elements.
+func (a *Array) ForEachRef(visit func(fieldID int, target events.Entity)) {
+	if !a.Type.Elem.IsRef() {
+		return
+	}
+	for _, v := range a.Elems {
+		switch v.K {
+		case ValObj:
+			visit(-1, v.O)
+		case ValArr:
+			visit(-1, v.A)
+		}
+	}
+}
+
+// ForEachElemKey implements events.Entity.
+func (a *Array) ForEachElemKey(visit func(events.ElemKey)) {
+	if a.Type.Elem.IsRef() {
+		for _, v := range a.Elems {
+			switch v.K {
+			case ValObj:
+				visit(events.RefKey(v.O.ID))
+			case ValArr:
+				visit(events.RefKey(v.A.ID))
+			case ValStr:
+				visit(v.S)
+			}
+		}
+		return
+	}
+	for _, v := range a.Elems {
+		switch v.K {
+		case ValStr:
+			visit(v.S)
+		default:
+			visit(v.I)
+		}
+	}
+}

@@ -1,0 +1,708 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"algoprof/internal/events"
+	"algoprof/internal/mj/bytecode"
+	"algoprof/internal/mj/types"
+)
+
+// Config controls one VM execution.
+type Config struct {
+	// Listener receives profiling events; nil disables all events.
+	Listener events.Listener
+	// Plan gates method/field/alloc/io events; nil disables them (loop
+	// probes in rewritten bytecode still fire when Listener is set).
+	Plan *events.Plan
+	// InstrHook, if non-nil, is called before every executed instruction
+	// with the method id and pc. Used by the basic-block baseline profiler.
+	InstrHook func(methodID, pc int)
+	// Seed seeds the deterministic rand() builtin.
+	Seed uint64
+	// Input feeds the readInput() builtin; when exhausted, readInput
+	// returns 0.
+	Input []int64
+	// MaxSteps bounds the number of executed instructions (0 = 1e9).
+	MaxSteps uint64
+	// MaxDepth bounds the call stack depth (0 = 10000).
+	MaxDepth int
+}
+
+// Thrown is an in-flight MJ exception: a thrown object that no handler
+// caught (yet). It propagates as an error through call frames; if it
+// reaches Run, the exception was uncaught.
+type Thrown struct {
+	Obj *Object
+}
+
+// Error implements error.
+func (t *Thrown) Error() string {
+	return fmt.Sprintf("mj: uncaught exception %s@%d", t.Obj.Class.Name, t.Obj.ID)
+}
+
+// RuntimeError is an MJ execution failure (null dereference, bounds,
+// division by zero, failed check, budget exhaustion, ...).
+type RuntimeError struct {
+	Msg    string
+	Method string
+	PC     int
+}
+
+// Error implements error.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("mj runtime error: %s (at %s pc=%d)", e.Msg, e.Method, e.PC)
+}
+
+type frame struct {
+	fn        *bytecode.Function
+	pc        int
+	locals    []Value
+	stack     []Value
+	loopStack []int // loop ids currently active in this frame
+	emittedME bool  // whether MethodEntry was emitted for this frame
+}
+
+// VM executes one compiled MJ program.
+type VM struct {
+	prog *bytecode.Program
+	cfg  Config
+
+	frames []*frame
+	nextID uint64
+	rng    uint64
+	inPos  int
+
+	// InstrCount is the number of executed bytecode instructions — the
+	// deterministic stand-in for wall-clock time in the CCT baseline.
+	InstrCount uint64
+	// AllocCount is the number of heap allocations (objects + arrays).
+	AllocCount uint64
+	// Stdout collects print() output.
+	Stdout []string
+	// Output collects writeOutput() values.
+	Output []Value
+
+	vtable map[vtKey]*bytecode.Function
+	byName map[nmKey]*types.Method
+}
+
+type vtKey struct {
+	classID  int
+	methodID int
+}
+
+type nmKey struct {
+	classID int
+	name    string
+}
+
+// New creates a VM for prog.
+func New(prog *bytecode.Program, cfg Config) *VM {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 1_000_000_000
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 10_000
+	}
+	return &VM{
+		prog:   prog,
+		cfg:    cfg,
+		rng:    cfg.Seed*2862933555777941757 + 3037000493,
+		vtable: map[vtKey]*bytecode.Function{},
+		byName: map[nmKey]*types.Method{},
+	}
+}
+
+// Run executes the program's main method.
+func (m *VM) Run() error {
+	return m.call(m.prog.Main(), nil)
+}
+
+// CallStatic runs an arbitrary static niladic method; used by harnesses.
+func (m *VM) CallStatic(qualified string) error {
+	for _, fn := range m.prog.Funcs {
+		if fn.Method.QualifiedName() == qualified && fn.Method.Static && len(fn.Method.Params) == 0 {
+			return m.call(fn, nil)
+		}
+	}
+	return fmt.Errorf("vm: no static niladic method %q", qualified)
+}
+
+func (m *VM) fail(f *frame, format string, args ...any) error {
+	return &RuntimeError{
+		Msg:    fmt.Sprintf(format, args...),
+		Method: f.fn.Name(),
+		PC:     f.pc,
+	}
+}
+
+func (m *VM) newObject(cls *types.Class) *Object {
+	m.nextID++
+	m.AllocCount++
+	o := &Object{ID: m.nextID, Class: cls, Fields: make([]Value, len(cls.Fields))}
+	for i, f := range cls.Fields {
+		switch f.Type.Kind {
+		case types.KInt:
+			o.Fields[i] = intVal(0)
+		case types.KBool:
+			o.Fields[i] = boolVal(false)
+		case types.KString:
+			o.Fields[i] = nullVal
+		default:
+			o.Fields[i] = nullVal
+		}
+	}
+	return o
+}
+
+func (m *VM) newArray(t *types.Type, n int) *Array {
+	m.nextID++
+	m.AllocCount++
+	a := &Array{ID: m.nextID, Type: t, Elems: make([]Value, n)}
+	var zero Value
+	switch t.Elem.Kind {
+	case types.KInt:
+		zero = intVal(0)
+	case types.KBool:
+		zero = boolVal(false)
+	default:
+		zero = nullVal
+	}
+	for i := range a.Elems {
+		a.Elems[i] = zero
+	}
+	return a
+}
+
+// resolveVirtual finds the actual target of a virtual call: the method with
+// the declared method's name in the receiver's class chain. Constructors
+// dispatch exactly.
+func (m *VM) resolveVirtual(recv *Object, declared *types.Method) *bytecode.Function {
+	if declared.IsConstructor {
+		return m.prog.FuncByID(declared.ID)
+	}
+	key := vtKey{classID: recv.Class.ID, methodID: declared.ID}
+	if fn, ok := m.vtable[key]; ok {
+		return fn
+	}
+	target := recv.Class.LookupMethod(declared.Name)
+	if target == nil {
+		target = declared
+	}
+	fn := m.prog.FuncByID(target.ID)
+	m.vtable[key] = fn
+	return fn
+}
+
+func (m *VM) rand(n int64) int64 {
+	// xorshift64*, deterministic per seed.
+	m.rng ^= m.rng >> 12
+	m.rng ^= m.rng << 25
+	m.rng ^= m.rng >> 27
+	r := m.rng * 2685821657736338717
+	if n <= 0 {
+		return 0
+	}
+	return int64(r % uint64(n))
+}
+
+// call pushes a frame for fn with the given arguments (receiver first for
+// instance methods) and interprets it to completion. The return value, if
+// any, is pushed onto the caller's operand stack.
+func (m *VM) call(fn *bytecode.Function, args []Value) error {
+	if len(m.frames) >= m.cfg.MaxDepth {
+		if len(m.frames) > 0 {
+			return m.fail(m.frames[len(m.frames)-1], "stack overflow (depth %d)", m.cfg.MaxDepth)
+		}
+		return &RuntimeError{Msg: "stack overflow"}
+	}
+	f := &frame{
+		fn:     fn,
+		locals: make([]Value, fn.NumLocals),
+	}
+	copy(f.locals, args)
+	m.frames = append(m.frames, f)
+
+	emitEvents := m.cfg.Listener != nil
+	if emitEvents && m.cfg.Plan.WantsMethod(fn.Method.ID) {
+		f.emittedME = true
+		m.cfg.Listener.MethodEntry(fn.Method.ID)
+	}
+
+	err := m.interpret(f)
+
+	// Unwind loop probes that are still active (early return out of loops),
+	// mirroring AlgoProf's handling of exceptional exits.
+	if emitEvents {
+		for i := len(f.loopStack) - 1; i >= 0; i-- {
+			m.cfg.Listener.LoopExit(f.loopStack[i])
+		}
+	}
+	if f.emittedME {
+		m.cfg.Listener.MethodExit(fn.Method.ID)
+	}
+	m.frames = m.frames[:len(m.frames)-1]
+	return err
+}
+
+func (m *VM) push(f *frame, v Value) { f.stack = append(f.stack, v) }
+
+func (m *VM) pop(f *frame) Value {
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+// interpret runs one frame to completion. On normal return, the returned
+// value (if any) has been pushed to the caller's stack.
+func (m *VM) interpret(f *frame) error {
+	code := f.fn.Code
+	listener := m.cfg.Listener
+	plan := m.cfg.Plan
+	var caller *frame
+	if len(m.frames) >= 2 {
+		caller = m.frames[len(m.frames)-2]
+	}
+
+	for {
+		if f.pc < 0 || f.pc >= len(code) {
+			return m.fail(f, "pc out of range")
+		}
+		if m.InstrCount >= m.cfg.MaxSteps {
+			return m.fail(f, "instruction budget exhausted (%d)", m.cfg.MaxSteps)
+		}
+		m.InstrCount++
+		if m.cfg.InstrHook != nil {
+			m.cfg.InstrHook(f.fn.Method.ID, f.pc)
+		}
+		in := code[f.pc]
+		f.pc++
+
+		switch in.Op {
+		case bytecode.OpConstInt:
+			m.push(f, intVal(int64(in.A)))
+		case bytecode.OpConstBool:
+			m.push(f, boolVal(in.A != 0))
+		case bytecode.OpConstStr:
+			m.push(f, strVal(in.S))
+		case bytecode.OpConstNull:
+			m.push(f, nullVal)
+		case bytecode.OpPop:
+			m.pop(f)
+		case bytecode.OpDup:
+			m.push(f, f.stack[len(f.stack)-1])
+
+		case bytecode.OpLoadLocal:
+			m.push(f, f.locals[in.A])
+		case bytecode.OpStoreLocal:
+			f.locals[in.A] = m.pop(f)
+
+		case bytecode.OpNewObject:
+			cls := m.prog.Sem.Classes[in.A]
+			o := m.newObject(cls)
+			if listener != nil && plan.WantsAlloc(cls.ID) {
+				listener.Alloc(o, cls.ID)
+			}
+			m.push(f, objVal(o))
+
+		case bytecode.OpGetField:
+			fld := m.prog.Sem.FieldByID(in.A)
+			recv := m.pop(f)
+			if recv.K != ValObj {
+				return m.fail(f, "null dereference reading %s", fld.QualifiedName())
+			}
+			if listener != nil && plan.WantsField(fld.ID) {
+				listener.FieldGet(recv.O, fld.ID)
+			}
+			m.push(f, recv.O.Fields[fld.Slot])
+
+		case bytecode.OpPutField:
+			fld := m.prog.Sem.FieldByID(in.A)
+			val := m.pop(f)
+			recv := m.pop(f)
+			if recv.K != ValObj {
+				return m.fail(f, "null dereference writing %s", fld.QualifiedName())
+			}
+			recv.O.Fields[fld.Slot] = val
+			if listener != nil && plan.WantsField(fld.ID) {
+				listener.FieldPut(recv.O, fld.ID, val.Entity())
+			}
+
+		case bytecode.OpGetFieldDyn:
+			recv := m.pop(f)
+			if recv.K != ValObj {
+				return m.fail(f, "null or non-object dereference reading .%s", in.S)
+			}
+			fld := recv.O.Class.LookupField(in.S)
+			if fld == nil {
+				return m.fail(f, "class %s has no field %s", recv.O.Class.Name, in.S)
+			}
+			if listener != nil && plan.WantsField(fld.ID) {
+				listener.FieldGet(recv.O, fld.ID)
+			}
+			m.push(f, recv.O.Fields[fld.Slot])
+
+		case bytecode.OpPutFieldDyn:
+			val := m.pop(f)
+			recv := m.pop(f)
+			if recv.K != ValObj {
+				return m.fail(f, "null or non-object dereference writing .%s", in.S)
+			}
+			fld := recv.O.Class.LookupField(in.S)
+			if fld == nil {
+				return m.fail(f, "class %s has no field %s", recv.O.Class.Name, in.S)
+			}
+			recv.O.Fields[fld.Slot] = val
+			if listener != nil && plan.WantsField(fld.ID) {
+				listener.FieldPut(recv.O, fld.ID, val.Entity())
+			}
+
+		case bytecode.OpNewArray:
+			t := m.prog.TypePool[in.A]
+			n := m.pop(f)
+			if n.I < 0 {
+				return m.fail(f, "negative array size %d", n.I)
+			}
+			m.push(f, arrVal(m.newArray(t, int(n.I))))
+
+		case bytecode.OpNewArrayMulti:
+			t := m.prog.TypePool[in.A]
+			dims := make([]int, in.B)
+			for i := in.B - 1; i >= 0; i-- {
+				v := m.pop(f)
+				if v.I < 0 {
+					return m.fail(f, "negative array size %d", v.I)
+				}
+				dims[i] = int(v.I)
+			}
+			arr := m.newArrayMulti(t, dims)
+			m.push(f, arrVal(arr))
+
+		case bytecode.OpALoad:
+			idx := m.pop(f)
+			av := m.pop(f)
+			if av.K != ValArr {
+				return m.fail(f, "null dereference indexing array")
+			}
+			if idx.I < 0 || int(idx.I) >= len(av.A.Elems) {
+				return m.fail(f, "array index %d out of bounds (len %d)", idx.I, len(av.A.Elems))
+			}
+			if listener != nil && plan != nil && plan.Arrays {
+				listener.ArrayLoad(av.A)
+			}
+			m.push(f, av.A.Elems[idx.I])
+
+		case bytecode.OpAStore:
+			val := m.pop(f)
+			idx := m.pop(f)
+			av := m.pop(f)
+			if av.K != ValArr {
+				return m.fail(f, "null dereference storing into array")
+			}
+			if idx.I < 0 || int(idx.I) >= len(av.A.Elems) {
+				return m.fail(f, "array index %d out of bounds (len %d)", idx.I, len(av.A.Elems))
+			}
+			av.A.Elems[idx.I] = val
+			if listener != nil && plan != nil && plan.Arrays {
+				listener.ArrayStore(av.A, val.Entity())
+			}
+
+		case bytecode.OpArrayLen:
+			av := m.pop(f)
+			if av.K != ValArr {
+				return m.fail(f, "null dereference reading array length")
+			}
+			m.push(f, intVal(int64(len(av.A.Elems))))
+
+		case bytecode.OpStrLen:
+			sv := m.pop(f)
+			if sv.K != ValStr {
+				return m.fail(f, "null dereference reading string length")
+			}
+			m.push(f, intVal(int64(len(sv.S))))
+
+		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod:
+			b := m.pop(f)
+			a := m.pop(f)
+			var r int64
+			switch in.Op {
+			case bytecode.OpAdd:
+				r = a.I + b.I
+			case bytecode.OpSub:
+				r = a.I - b.I
+			case bytecode.OpMul:
+				r = a.I * b.I
+			case bytecode.OpDiv:
+				if b.I == 0 {
+					return m.fail(f, "division by zero")
+				}
+				r = a.I / b.I
+			case bytecode.OpMod:
+				if b.I == 0 {
+					return m.fail(f, "division by zero")
+				}
+				r = a.I % b.I
+			}
+			m.push(f, intVal(r))
+
+		case bytecode.OpNeg:
+			a := m.pop(f)
+			m.push(f, intVal(-a.I))
+
+		case bytecode.OpConcat:
+			b := m.pop(f)
+			a := m.pop(f)
+			m.push(f, strVal(a.String()+b.String()))
+
+		case bytecode.OpNot:
+			a := m.pop(f)
+			m.push(f, boolVal(a.I == 0))
+
+		case bytecode.OpCmpEq:
+			b := m.pop(f)
+			a := m.pop(f)
+			m.push(f, boolVal(equal(a, b)))
+		case bytecode.OpCmpNe:
+			b := m.pop(f)
+			a := m.pop(f)
+			m.push(f, boolVal(!equal(a, b)))
+		case bytecode.OpCmpLt:
+			b := m.pop(f)
+			a := m.pop(f)
+			m.push(f, boolVal(a.I < b.I))
+		case bytecode.OpCmpGt:
+			b := m.pop(f)
+			a := m.pop(f)
+			m.push(f, boolVal(a.I > b.I))
+		case bytecode.OpCmpLe:
+			b := m.pop(f)
+			a := m.pop(f)
+			m.push(f, boolVal(a.I <= b.I))
+		case bytecode.OpCmpGe:
+			b := m.pop(f)
+			a := m.pop(f)
+			m.push(f, boolVal(a.I >= b.I))
+
+		case bytecode.OpJmp:
+			f.pc = in.A
+		case bytecode.OpJmpIfFalse:
+			if m.pop(f).I == 0 {
+				f.pc = in.A
+			}
+		case bytecode.OpJmpIfTrue:
+			if m.pop(f).I != 0 {
+				f.pc = in.A
+			}
+
+		case bytecode.OpCallStatic:
+			target := m.prog.FuncByID(in.A)
+			nargs := len(target.Method.Params)
+			args := make([]Value, nargs)
+			for i := nargs - 1; i >= 0; i-- {
+				args[i] = m.pop(f)
+			}
+			if err := m.call(target, args); err != nil {
+				if th, ok := err.(*Thrown); ok && m.deliver(f, th, f.pc-1) {
+					break
+				}
+				return err
+			}
+
+		case bytecode.OpCallVirt:
+			declared := m.prog.Sem.MethodByID(in.A)
+			nargs := len(declared.Params)
+			args := make([]Value, nargs+1)
+			for i := nargs; i >= 1; i-- {
+				args[i] = m.pop(f)
+			}
+			recvVal := m.pop(f)
+			if recvVal.K != ValObj {
+				return m.fail(f, "null dereference calling %s", declared.QualifiedName())
+			}
+			args[0] = recvVal
+			target := m.resolveVirtual(recvVal.O, declared)
+			if err := m.call(target, args); err != nil {
+				if th, ok := err.(*Thrown); ok && m.deliver(f, th, f.pc-1) {
+					break
+				}
+				return err
+			}
+
+		case bytecode.OpCallDyn:
+			nargs := in.B
+			args := make([]Value, nargs+1)
+			for i := nargs; i >= 1; i-- {
+				args[i] = m.pop(f)
+			}
+			recvVal := m.pop(f)
+			if recvVal.K != ValObj {
+				return m.fail(f, "null or non-object dereference calling .%s", in.S)
+			}
+			args[0] = recvVal
+			mth := m.lookupByName(recvVal.O.Class, in.S)
+			if mth == nil {
+				return m.fail(f, "class %s has no method %s", recvVal.O.Class.Name, in.S)
+			}
+			if len(mth.Params) != nargs {
+				return m.fail(f, "dynamic call %s.%s: %d args, want %d",
+					recvVal.O.Class.Name, in.S, nargs, len(mth.Params))
+			}
+			if err := m.call(m.prog.FuncByID(mth.ID), args); err != nil {
+				if th, ok := err.(*Thrown); ok && m.deliver(f, th, f.pc-1) {
+					break
+				}
+				return err
+			}
+
+		case bytecode.OpCallBuiltin:
+			if err := m.callBuiltin(f, types.Builtin(in.A), in.B); err != nil {
+				return err
+			}
+
+		case bytecode.OpThrow:
+			v := m.pop(f)
+			if v.K != ValObj {
+				return m.fail(f, "throw of non-object value %s", v)
+			}
+			th := &Thrown{Obj: v.O}
+			if m.deliver(f, th, f.pc-1) {
+				break
+			}
+			return th
+
+		case bytecode.OpRet:
+			return nil
+
+		case bytecode.OpRetVal:
+			v := m.pop(f)
+			if caller != nil {
+				m.push(caller, v)
+			}
+			return nil
+
+		case bytecode.OpMissingReturn:
+			return m.fail(f, "method %s fell off the end without returning a value", f.fn.Name())
+
+		case bytecode.OpLoopEnter:
+			f.loopStack = append(f.loopStack, in.A)
+			if listener != nil {
+				listener.LoopEntry(in.A)
+			}
+		case bytecode.OpLoopBack:
+			if listener != nil {
+				listener.LoopBack(in.A)
+			}
+		case bytecode.OpLoopExit:
+			// Pop the matching loop; probes are inserted so exits match the
+			// innermost active loop, but be robust to nested multi-exits.
+			for i := len(f.loopStack) - 1; i >= 0; i-- {
+				if f.loopStack[i] == in.A {
+					f.loopStack = append(f.loopStack[:i], f.loopStack[i+1:]...)
+					break
+				}
+			}
+			if listener != nil {
+				listener.LoopExit(in.A)
+			}
+
+		default:
+			return m.fail(f, "unknown opcode %s", in.Op)
+		}
+	}
+}
+
+// deliver transfers control to the innermost exception handler of f that
+// covers atPC and matches the thrown object's class, unwinding active
+// loops abandoned by the jump (emitting LoopExit events). It reports
+// whether a handler was found.
+func (m *VM) deliver(f *frame, th *Thrown, atPC int) bool {
+	for _, h := range f.fn.Handlers {
+		if atPC < h.From || atPC >= h.To {
+			continue
+		}
+		hcls := m.prog.Sem.Classes[h.ClassID]
+		if !th.Obj.Class.IsSubclassOf(hcls) {
+			continue
+		}
+		// Pop loops the unwind abandons: everything above the handler's
+		// static loop scope.
+		inScope := map[int]bool{}
+		for _, id := range h.LoopScope {
+			inScope[id] = true
+		}
+		for len(f.loopStack) > 0 && !inScope[f.loopStack[len(f.loopStack)-1]] {
+			id := f.loopStack[len(f.loopStack)-1]
+			f.loopStack = f.loopStack[:len(f.loopStack)-1]
+			if m.cfg.Listener != nil {
+				m.cfg.Listener.LoopExit(id)
+			}
+		}
+		f.stack = f.stack[:0]
+		f.locals[h.Slot] = objVal(th.Obj)
+		f.pc = h.Target
+		return true
+	}
+	return false
+}
+
+func (m *VM) newArrayMulti(t *types.Type, dims []int) *Array {
+	a := m.newArray(t, dims[0])
+	if len(dims) > 1 {
+		for i := range a.Elems {
+			a.Elems[i] = arrVal(m.newArrayMulti(t.Elem, dims[1:]))
+		}
+	}
+	return a
+}
+
+func (m *VM) lookupByName(cls *types.Class, name string) *types.Method {
+	key := nmKey{classID: cls.ID, name: name}
+	if mth, ok := m.byName[key]; ok {
+		return mth
+	}
+	mth := cls.LookupMethod(name)
+	m.byName[key] = mth
+	return mth
+}
+
+func (m *VM) callBuiltin(f *frame, b types.Builtin, nargs int) error {
+	args := make([]Value, nargs)
+	for i := nargs - 1; i >= 0; i-- {
+		args[i] = m.pop(f)
+	}
+	listener := m.cfg.Listener
+	plan := m.cfg.Plan
+	switch b {
+	case types.BuiltinRand:
+		m.push(f, intVal(m.rand(args[0].I)))
+	case types.BuiltinReadInput:
+		var v int64
+		if m.inPos < len(m.cfg.Input) {
+			v = m.cfg.Input[m.inPos]
+			m.inPos++
+		}
+		if listener != nil && plan != nil && plan.IO {
+			listener.InputRead()
+		}
+		m.push(f, intVal(v))
+	case types.BuiltinWriteOutput:
+		m.Output = append(m.Output, args[0])
+		if listener != nil && plan != nil && plan.IO {
+			listener.OutputWrite()
+		}
+	case types.BuiltinPrint:
+		m.Stdout = append(m.Stdout, args[0].String())
+	case types.BuiltinCheck:
+		if args[0].I == 0 {
+			return m.fail(f, "check failed")
+		}
+	default:
+		return m.fail(f, "unknown builtin %d", int(b))
+	}
+	return nil
+}
+
+// StdoutText returns everything print()ed, newline-joined.
+func (m *VM) StdoutText() string { return strings.Join(m.Stdout, "\n") }

@@ -1,0 +1,659 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"algoprof/internal/mj/compiler"
+)
+
+// run compiles and executes src, returning the VM for output inspection.
+func run(t *testing.T, src string) *VM {
+	t.Helper()
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := New(prog, Config{Seed: 1})
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+// runErr compiles and executes src expecting a runtime error.
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := New(prog, Config{Seed: 1, MaxSteps: 1_000_000})
+	err = m.Run()
+	if err == nil {
+		t.Fatal("want runtime error, got none")
+	}
+	return err
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    print(1 + 2 * 3);
+    print(10 / 3);
+    print(10 % 3);
+    print(-(5 - 9));
+    print((2 + 3) * 4);
+  }
+}`)
+	want := []string{"7", "3", "1", "4", "20"}
+	for i, w := range want {
+		if m.Stdout[i] != w {
+			t.Errorf("line %d: got %s, want %s", i, m.Stdout[i], w)
+		}
+	}
+}
+
+func TestBooleansAndComparisons(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    print(1 < 2);
+    print(2 <= 1);
+    print(3 == 3);
+    print(3 != 3);
+    print(!(1 > 0));
+    print(true && false);
+    print(true || false);
+  }
+}`)
+	want := []string{"true", "false", "true", "false", "false", "false", "true"}
+	for i, w := range want {
+		if m.Stdout[i] != w {
+			t.Errorf("line %d: got %s, want %s", i, m.Stdout[i], w)
+		}
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// The right side of && must not run when the left is false: calling
+	// boom() would trap via check(false).
+	run(t, `
+class Main {
+  static boolean boom() { check(false); return true; }
+  public static void main() {
+    boolean a = false && boom();
+    boolean b = true || boom();
+    print(a);
+    print(b);
+  }
+}`)
+}
+
+func TestWhileAndForLoops(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int i = 0; i < 5; i++) { s = s + i; }
+    print(s);
+    int n = 0;
+    while (n < 10) { n = n + 3; }
+    print(n);
+  }
+}`)
+	if m.Stdout[0] != "10" || m.Stdout[1] != "12" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int i = 0; i < 100; i++) {
+      if (i % 2 == 0) { continue; }
+      if (i > 8) { break; }
+      s = s + i;
+    }
+    print(s);
+  }
+}`)
+	// 1+3+5+7 = 16
+	if m.Stdout[0] != "16" {
+		t.Errorf("got %v, want 16", m.Stdout[0])
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    int c = 0;
+    for (int o = 0; o < 3; o++) {
+      for (int i = 0; i < o; i++) { c++; }
+    }
+    print(c);
+  }
+}`)
+	if m.Stdout[0] != "3" {
+		t.Errorf("triangle count = %v, want 3", m.Stdout[0])
+	}
+}
+
+func TestObjectsAndFields(t *testing.T) {
+	m := run(t, `
+class Point {
+  int x; int y;
+  Point(int x, int y) { this.x = x; this.y = y; }
+  int sum() { return x + y; }
+}
+class Main {
+  public static void main() {
+    Point p = new Point(3, 4);
+    print(p.sum());
+    p.x = 10;
+    print(p.sum());
+  }
+}`)
+	if m.Stdout[0] != "7" || m.Stdout[1] != "14" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestLinkedListAndNullChecks(t *testing.T) {
+	m := run(t, `
+class Node { Node next; int v; Node(int v) { this.v = v; } }
+class Main {
+  public static void main() {
+    Node head = null;
+    for (int i = 0; i < 5; i++) {
+      Node n = new Node(i);
+      n.next = head;
+      head = n;
+    }
+    int s = 0;
+    Node cur = head;
+    while (cur != null) { s = s + cur.v; cur = cur.next; }
+    print(s);
+  }
+}`)
+	if m.Stdout[0] != "10" {
+		t.Errorf("list sum = %v, want 10", m.Stdout[0])
+	}
+}
+
+func TestVirtualDispatchOverride(t *testing.T) {
+	m := run(t, `
+class Base { int get() { return 1; } int callGet() { return get(); } }
+class Derived extends Base { int get() { return 2; } }
+class Main {
+  public static void main() {
+    Base b = new Base();
+    Base d = new Derived();
+    print(b.get());
+    print(d.get());
+    print(d.callGet());
+  }
+}`)
+	want := []string{"1", "2", "2"}
+	for i, w := range want {
+		if m.Stdout[i] != w {
+			t.Errorf("line %d: got %s, want %s", i, m.Stdout[i], w)
+		}
+	}
+}
+
+func TestInheritedFields(t *testing.T) {
+	m := run(t, `
+class Base { int a; }
+class Derived extends Base { int b; }
+class Main {
+  public static void main() {
+    Derived d = new Derived();
+    d.a = 5; d.b = 7;
+    print(d.a + d.b);
+  }
+}`)
+	if m.Stdout[0] != "12" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestGenericsErasedDispatch(t *testing.T) {
+	m := run(t, `
+class Box<T> {
+  T v;
+  void set(T x) { v = x; }
+  T get() { return v; }
+}
+class Item { int n; Item(int n) { this.n = n; } int n2() { return n * 2; } }
+class Main {
+  public static void main() {
+    Box<Item> b = new Box<Item>();
+    b.set(new Item(21));
+    var it = b.get();
+    print(it.n2());
+  }
+}`)
+	if m.Stdout[0] != "42" {
+		t.Errorf("got %v, want 42", m.Stdout)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	m := run(t, `
+class Main {
+  static int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+  }
+  public static void main() { print(fib(15)); }
+}`)
+	if m.Stdout[0] != "610" {
+		t.Errorf("fib(15) = %v, want 610", m.Stdout[0])
+	}
+}
+
+func TestArrays(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    int[] a = new int[5];
+    for (int i = 0; i < a.length; i++) { a[i] = i * i; }
+    int s = 0;
+    for (int i = 0; i < a.length; i++) { s = s + a[i]; }
+    print(s);
+  }
+}`)
+	if m.Stdout[0] != "30" {
+		t.Errorf("got %v, want 30", m.Stdout[0])
+	}
+}
+
+func TestMultiDimArrays(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    int[][] g = new int[3][4];
+    for (int i = 0; i < 3; i++) {
+      for (int j = 0; j < 4; j++) { g[i][j] = i * 4 + j; }
+    }
+    print(g[2][3]);
+    print(g.length);
+    print(g[0].length);
+  }
+}`)
+	want := []string{"11", "3", "4"}
+	for i, w := range want {
+		if m.Stdout[i] != w {
+			t.Errorf("line %d: got %s, want %s", i, m.Stdout[i], w)
+		}
+	}
+}
+
+func TestJaggedArrayOfArrays(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    int[][] tri = new int[3][];
+    for (int i = 0; i < 3; i++) { tri[i] = new int[i]; }
+    int total = 0;
+    for (int i = 0; i < 3; i++) { total = total + tri[i].length; }
+    print(total);
+  }
+}`)
+	if m.Stdout[0] != "3" {
+		t.Errorf("got %v, want 3", m.Stdout[0])
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    String s = "n" + 1;
+    print(s);
+    print(s + true);
+    print("len:" + s.length);
+  }
+}`)
+	want := []string{"n1", "n1true", "len:2"}
+	for i, w := range want {
+		if m.Stdout[i] != w {
+			t.Errorf("line %d: got %q, want %q", i, m.Stdout[i], w)
+		}
+	}
+}
+
+func TestStringEqualityByValue(t *testing.T) {
+	m := run(t, `
+class Main {
+  public static void main() {
+    String a = "x" + 1;
+    String b = "x1";
+    print(a == b);
+  }
+}`)
+	if m.Stdout[0] != "true" {
+		t.Error("MJ strings compare by value")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	src := `
+class Main {
+  public static void main() {
+    for (int i = 0; i < 5; i++) { print(rand(100)); }
+  }
+}`
+	m1 := run(t, src)
+	prog, _ := compiler.CompileSource(src)
+	m2 := New(prog, Config{Seed: 1})
+	if err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(m1.Stdout, ",") != strings.Join(m2.Stdout, ",") {
+		t.Error("same seed must give same rand sequence")
+	}
+	m3 := New(prog, Config{Seed: 2})
+	if err := m3.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(m1.Stdout, ",") == strings.Join(m3.Stdout, ",") {
+		t.Error("different seeds should give different rand sequences")
+	}
+	for _, s := range m1.Stdout {
+		if len(s) > 2 { // >= 100
+			t.Errorf("rand(100) out of range: %s", s)
+		}
+	}
+}
+
+func TestReadInputAndWriteOutput(t *testing.T) {
+	prog, err := compiler.CompileSource(`
+class Main {
+  public static void main() {
+    int a = readInput();
+    int b = readInput();
+    writeOutput(a + b);
+    writeOutput(readInput());
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, Config{Input: []int64{20, 22}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Output) != 2 || m.Output[0].I != 42 || m.Output[1].I != 0 {
+		t.Errorf("output = %v", m.Output)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"null-field", `Node n = null; int v = n.v;`, "null"},
+		{"null-call", `Node n = null; n.get();`, "null"},
+		{"div-zero", `int z = 0; int x = 1 / z;`, "division by zero"},
+		{"mod-zero", `int z = 0; int x = 1 % z;`, "division by zero"},
+		{"oob", `int[] a = new int[2]; a[5] = 1;`, "out of bounds"},
+		{"oob-neg", `int[] a = new int[2]; int x = a[-1];`, "out of bounds"},
+		{"neg-size", `int n = -3; int[] a = new int[n];`, "negative array size"},
+		{"check-fail", `check(1 == 2);`, "check failed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := `
+class Node { int v; int get() { return v; } }
+class Main { public static void main() { ` + tc.body + ` } }`
+			err := runErr(t, src)
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMissingReturnTrap(t *testing.T) {
+	err := runErr(t, `
+class Main {
+  static int f(int n) { if (n > 0) { return 1; } }
+  public static void main() { int x = f(-1); }
+}`)
+	if !strings.Contains(err.Error(), "without returning") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestInfiniteLoopBudget(t *testing.T) {
+	err := runErr(t, `
+class Main { public static void main() { while (true) { } } }`)
+	if !strings.Contains(err.Error(), "budget") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	err := runErr(t, `
+class Main {
+  static int down(int n) { return down(n + 1); }
+  public static void main() { int x = down(0); }
+}`)
+	if !strings.Contains(err.Error(), "stack overflow") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestInstrCountGrowsWithWork(t *testing.T) {
+	prog, err := compiler.CompileSource(`
+class Main {
+  static void work(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s = s + i; }
+  }
+  public static void main() { work(10); work(1000); }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, Config{})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.InstrCount < 1000 {
+		t.Errorf("InstrCount = %d, suspiciously low", m.InstrCount)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// Property: the VM's integer arithmetic agrees with Go's on random operand
+// pairs, exercising the whole pipeline (lexer, parser, checker, compiler,
+// interpreter) per pair.
+func TestArithmeticAgreesWithGoProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := int64(a), int64(b)
+		src := `
+class Main {
+  public static void main() {
+    int a = ` + formatI(x) + `;
+    int b = ` + formatI(y) + `;
+    print(a + b);
+    print(a - b);
+    print(a * b);
+    if (b != 0) { print(a / b); print(a % b); }
+    print(a < b);
+    print(a == b);
+  }
+}`
+		prog, err := compiler.CompileSource(src)
+		if err != nil {
+			return false
+		}
+		m := New(prog, Config{})
+		if err := m.Run(); err != nil {
+			return false
+		}
+		want := []string{itoa64(x + y), itoa64(x - y), itoa64(x * y)}
+		if y != 0 {
+			want = append(want, itoa64(x/y), itoa64(x%y))
+		}
+		want = append(want, boolStr(x < y), boolStr(x == y))
+		if len(m.Stdout) != len(want) {
+			return false
+		}
+		for i := range want {
+			if m.Stdout[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func formatI(x int64) string {
+	if x < 0 {
+		return "0 - " + itoa64(-x)
+	}
+	return itoa64(x)
+}
+
+func itoa64(x int64) string {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	s := itoa(int(x))
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+func TestAllocCount(t *testing.T) {
+	m := run(t, `
+class Node { }
+class Main {
+  public static void main() {
+    for (int i = 0; i < 7; i++) { Node n = new Node(); }
+    int[] a = new int[3];
+  }
+}`)
+	if m.AllocCount != 8 {
+		t.Errorf("AllocCount = %d, want 8", m.AllocCount)
+	}
+}
+
+func TestEarlyReturnInsideLoop(t *testing.T) {
+	m := run(t, `
+class Main {
+  static int find(int[] a, int x) {
+    for (int i = 0; i < a.length; i++) {
+      if (a[i] == x) { return i; }
+    }
+    return -1;
+  }
+  public static void main() {
+    int[] a = new int[4];
+    a[0] = 7; a[1] = 8; a[2] = 9; a[3] = 10;
+    print(find(a, 9));
+    print(find(a, 99));
+  }
+}`)
+	if m.Stdout[0] != "2" || m.Stdout[1] != "-1" {
+		t.Errorf("got %v", m.Stdout)
+	}
+}
+
+func TestSuperConstructorChaining(t *testing.T) {
+	m := run(t, `
+class Base {
+  int a;
+  Base(int a) { this.a = a; }
+}
+class Derived extends Base {
+  int b;
+  Derived(int a, int b) {
+    super(a);
+    this.b = b;
+  }
+}
+class Main {
+  public static void main() {
+    Derived d = new Derived(40, 2);
+    print(d.a + d.b);
+  }
+}`)
+	if m.Stdout[0] != "42" {
+		t.Errorf("got %v, want 42", m.Stdout)
+	}
+}
+
+func TestSuperChainThreeDeep(t *testing.T) {
+	m := run(t, `
+class A { int x; A(int x) { this.x = x; } }
+class B extends A { int y; B(int x, int y) { super(x); this.y = y; } }
+class C extends B { int z; C(int x, int y, int z) { super(x, y); this.z = z; } }
+class Main {
+  public static void main() {
+    C c = new C(1, 2, 3);
+    print(c.x + c.y + c.z);
+  }
+}`)
+	if m.Stdout[0] != "6" {
+		t.Errorf("got %v, want 6", m.Stdout)
+	}
+}
+
+func TestSuperErrors(t *testing.T) {
+	cases := []string{
+		// super outside a constructor
+		`class A { int v; A(int v) { this.v = v; } }
+		 class B extends A { B() { super(1); } void f() { super(1); } }
+		 class Main { public static void main() { } }`,
+		// no superclass
+		`class A { A() { super(); } }
+		 class Main { public static void main() { } }`,
+		// wrong arg count
+		`class A { int v; A(int v) { this.v = v; } }
+		 class B extends A { B() { super(); } }
+		 class Main { public static void main() { } }`,
+		// wrong arg type
+		`class A { int v; A(int v) { this.v = v; } }
+		 class B extends A { B() { super(true); } }
+		 class Main { public static void main() { } }`,
+	}
+	for i, src := range cases {
+		if _, err := compiler.CompileSource(src); err == nil {
+			t.Errorf("case %d: want compile error", i)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"algoprof"
+)
+
+// RowResult is the evaluated I/S/G verdict of one Table 1 row, mirroring
+// the paper's columns.
+type RowResult struct {
+	// InputsOK: every expected input label was detected (column I).
+	InputsOK      bool
+	MissingLabels []string
+	// SizeOK: the largest matching input measured the expected size
+	// (column S).
+	SizeOK   bool
+	WantSize int
+	GotSize  int
+	// GroupOK: every expected pair grouped and every expected non-pair
+	// stayed separate.
+	GroupOK     bool
+	GroupDetail string
+	// G is the resulting Table 1 verdict: the paper's verdict when the
+	// grouping expectation holds, "?" otherwise.
+	G string
+}
+
+// OK reports whether all three columns check out.
+func (r RowResult) OK() bool { return r.InputsOK && r.SizeOK && r.GroupOK }
+
+// EvaluateRow profiles one Table 1 program at the given structure size and
+// checks the paper's I/S/G expectations.
+func EvaluateRow(row Row, size int, seed uint64) (RowResult, error) {
+	res := RowResult{G: "?"}
+	prof, err := algoprof.Run(row.Source(size), algoprof.Config{Seed: seed})
+	if err != nil {
+		return res, fmt.Errorf("%s: %w", row.Name(), err)
+	}
+
+	p, _ := prof.Raw()
+	reg := p.Registry()
+
+	// Column I: expected labels detected.
+	labels := map[string]bool{}
+	maxMatching := 0
+	for _, id := range reg.CanonicalIDs() {
+		in := reg.Input(id)
+		labels[in.Label()] = true
+		for _, want := range row.WantLabels {
+			if strings.Contains(in.Label(), want) && in.MaxSize > maxMatching {
+				maxMatching = in.MaxSize
+			}
+		}
+	}
+	res.InputsOK = true
+	for _, want := range row.WantLabels {
+		found := false
+		for l := range labels {
+			if strings.Contains(l, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.InputsOK = false
+			res.MissingLabels = append(res.MissingLabels, want)
+		}
+	}
+
+	// Column S: size of the largest matching input.
+	res.WantSize = row.WantMaxSize(size)
+	res.GotSize = maxMatching
+	res.SizeOK = res.GotSize == res.WantSize
+
+	// Column G: grouping expectations.
+	grouped := func(a, b string) bool {
+		for _, alg := range prof.Algorithms {
+			hasA, hasB := false, false
+			for _, n := range alg.Nodes {
+				if n == a {
+					hasA = true
+				}
+				if n == b {
+					hasB = true
+				}
+			}
+			if hasA && hasB {
+				return true
+			}
+			if hasA || hasB {
+				return false
+			}
+		}
+		return false
+	}
+	res.GroupOK = true
+	for _, pair := range row.GroupPairs {
+		if !grouped(pair[0], pair[1]) {
+			res.GroupOK = false
+			res.GroupDetail += fmt.Sprintf("want %s + %s grouped; ", pair[0], pair[1])
+		}
+	}
+	for _, pair := range row.SeparatePairs {
+		if grouped(pair[0], pair[1]) {
+			res.GroupOK = false
+			res.GroupDetail += fmt.Sprintf("want %s / %s separate; ", pair[0], pair[1])
+		}
+	}
+	if res.GroupOK {
+		res.G = row.PaperG
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package workloads
+
+// FreqMap is a small but realistic multi-algorithm application: it reads
+// datasets from external input, counts value frequencies in a chained hash
+// map (a bucket array of linked Entry chains — a mixed array + recursive
+// structure input), finds the most frequent value with a linear scan, and
+// writes results to external output. Its algorithmic profile contains an
+// Input algorithm, a Construction/Modification of the Entry structure,
+// array traffic on the bucket array, a Traversal for the scan, and an
+// Output algorithm.
+//
+// The input stream layout is: R (number of rounds), then per round
+// N followed by N values. Generate it with FreqMapInput.
+const FreqMap = `
+class Entry {
+  Entry next;
+  int key;
+  int count;
+  Entry(int key) { this.key = key; count = 1; }
+}
+class FreqTable {
+  Entry[] buckets;
+  int nbuckets;
+  FreqTable(int nbuckets) {
+    this.nbuckets = nbuckets;
+    buckets = new Entry[nbuckets];
+  }
+  void add(int key) {
+    int h = hash(key);
+    Entry e = buckets[h];
+    while (e != null) {
+      if (e.key == key) {
+        e.count = e.count + 1;
+        return;
+      }
+      e = e.next;
+    }
+    Entry fresh = new Entry(key);
+    fresh.next = buckets[h];
+    buckets[h] = fresh;
+  }
+  int hash(int key) {
+    int h = key % nbuckets;
+    if (h < 0) { h = h + nbuckets; }
+    return h;
+  }
+  int mostFrequent() {
+    int best = 0;
+    int bestCount = 0;
+    for (int b = 0; b < buckets.length; b++) {
+      Entry e = buckets[b];
+      while (e != null) {
+        if (e.count > bestCount) {
+          bestCount = e.count;
+          best = e.key;
+        }
+        e = e.next;
+      }
+    }
+    return best;
+  }
+}
+class Main {
+  public static void main() {
+    int rounds = readInput();
+    for (int r = 0; r < rounds; r++) {
+      int n = readInput();
+      FreqTable table = new FreqTable(17);
+      for (int i = 0; i < n; i++) {
+        table.add(readInput());
+      }
+      writeOutput(table.mostFrequent());
+    }
+  }
+}`
+
+// FreqMapInput generates an input stream for FreqMap: `rounds` datasets of
+// sizes step, 2·step, ..., rounds·step, with values drawn from a skewed
+// deterministic sequence so each round has a clear mode.
+func FreqMapInput(rounds, step int) []int64 {
+	var in []int64
+	in = append(in, int64(rounds))
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(bound int) int64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int64(state % uint64(bound))
+	}
+	for r := 1; r <= rounds; r++ {
+		n := r * step
+		in = append(in, int64(n))
+		for i := 0; i < n; i++ {
+			if i%3 == 0 {
+				in = append(in, 7) // the mode
+			} else {
+				in = append(in, next(50))
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,287 @@
+// Package workloads holds the paper's example programs ported to MJ: the
+// insertion-sort running example (Listings 1 and 2) with the three input
+// distributions of Figure 1, the functional/recursive/immutable insertion
+// sort of §4.3, the growing array-backed list of Listing 6 (Figures 4 and
+// 5), the cost-combination and construction snippets of Listings 3 and 4,
+// the ungrouped array nest of Listing 5, and the eighteen data-structure
+// programs of Table 1.
+package workloads
+
+import "fmt"
+
+// Order is the input distribution for the running example (Figure 1).
+type Order int
+
+// Input distributions.
+const (
+	Random   Order = iota // Figure 1(a): random values
+	Sorted                // Figure 1(b): already sorted
+	Reversed              // Figure 1(c): sorted in reverse
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case Sorted:
+		return "sorted"
+	case Reversed:
+		return "reversed"
+	}
+	return "random"
+}
+
+// listClasses is the paper's Listing 1: a doubly linked list with an
+// imperative, in-place insertion sort, plus the Node class of Listing 2.
+const listClasses = `
+class List {
+  Node head; Node tail;
+  public void sort() {
+    if (head == null || head.next == null) { return; }
+    Node firstUnsorted = head.next;
+    while (firstUnsorted != null) {
+      Node target = firstUnsorted;
+      Node nextUnsorted = firstUnsorted.next;
+      while (target.prev != null && target.prev.value > target.value) {
+        Node candidate = target.prev;
+        Node pred = candidate.prev;
+        Node succ = target.next;
+        if (pred != null) { pred.next = target; } else { head = target; }
+        target.prev = pred;
+        if (succ != null) { succ.prev = candidate; } else { tail = candidate; }
+        candidate.next = succ;
+        target.next = candidate;
+        candidate.prev = target;
+      }
+      firstUnsorted = nextUnsorted;
+    }
+  }
+  public void append(int value) {
+    Node node = new Node(value);
+    if (tail == null) { tail = node; head = tail; }
+    else { tail.next = node; node.prev = tail; tail = tail.next; }
+  }
+  public boolean isSorted() {
+    Node cur = head;
+    while (cur != null && cur.next != null) {
+      if (cur.value > cur.next.value) { return false; }
+      cur = cur.next;
+    }
+    return true;
+  }
+}
+class Node {
+  Node prev; Node next; int value;
+  Node(int value) { this.value = value; }
+}
+`
+
+// RunningExample generates the paper's Listing 2 harness: sort lists of
+// length 0..maxSize-1 (step sizeStep), reps times each, with values drawn
+// per the order. The repetition tree of this program is the paper's
+// Figure 3: five loops.
+func RunningExample(order Order, maxSize, sizeStep, reps int) string {
+	return runningExample(order, maxSize, sizeStep, reps, "")
+}
+
+// RunningExampleChecked is RunningExample plus a per-run sortedness
+// assertion. The isSorted scan adds a sixth loop to the repetition tree,
+// so figure reproductions use the unchecked variant.
+func RunningExampleChecked(order Order, maxSize, sizeStep, reps int) string {
+	return runningExample(order, maxSize, sizeStep, reps, "check(list.isSorted());")
+}
+
+func runningExample(order Order, maxSize, sizeStep, reps int, post string) string {
+	var construct string
+	switch order {
+	case Sorted:
+		construct = `list.append(i);`
+	case Reversed:
+		construct = `list.append(size - i);`
+	default:
+		construct = `list.append(rand(size + 1));`
+	}
+	return listClasses + fmt.Sprintf(`
+class Main {
+  public static void main() {
+    measure();
+  }
+  static void measure() {
+    for (int size = 0; size < %d; size = size + %d) {
+      for (int i = 0; i < %d; i++) {
+        List list = new List();
+        construct(list, size);
+        sortIt(list);
+        %s
+      }
+    }
+  }
+  static void construct(List list, int size) {
+    for (int i = 0; i < size; i++) {
+      %s
+    }
+  }
+  static void sortIt(List list) {
+    list.sort();
+  }
+}`, maxSize, sizeStep, reps, post, construct)
+}
+
+// FunctionalSort is §4.3's paradigm-agnosticism experiment: an insertion
+// sort that is functional, recursive, and works on an immutable list —
+// every insertion allocates fresh nodes. The algorithmic profile should
+// show the same repetition structure (two nested repetitions over the
+// same Node structure) and the same complexity as the imperative variant.
+func FunctionalSort(order Order, maxSize, sizeStep, reps int) string {
+	var construct string
+	switch order {
+	case Sorted:
+		// Prepending, so descending j yields an ascending list.
+		construct = `list = new FNode(size - 1 - j, list);`
+	case Reversed:
+		construct = `list = new FNode(j, list);`
+	default:
+		construct = `list = new FNode(rand(size + 1), list);`
+	}
+	return fmt.Sprintf(`
+class FNode {
+  FNode next; int value;
+  FNode(int value, FNode next) { this.value = value; this.next = next; }
+}
+class FSort {
+  static FNode sort(FNode list) {
+    if (list == null) { return null; }
+    return insert(list.value, sort(list.next));
+  }
+  static FNode insert(int v, FNode sorted) {
+    if (sorted == null) { return new FNode(v, null); }
+    if (v <= sorted.value) { return new FNode(v, sorted); }
+    return new FNode(sorted.value, insert(v, sorted.next));
+  }
+  static boolean isSorted(FNode l) {
+    if (l == null || l.next == null) { return true; }
+    if (l.value > l.next.value) { return false; }
+    return isSorted(l.next);
+  }
+}
+class Main {
+  public static void main() {
+    for (int size = 0; size < %d; size = size + %d) {
+      for (int i = 0; i < %d; i++) {
+        FNode list = null;
+        for (int j = 0; j < size; j++) {
+          %s
+        }
+        FNode sorted = FSort.sort(list);
+        check(FSort.isSorted(sorted));
+      }
+    }
+  }
+}`, maxSize, sizeStep, reps, construct)
+}
+
+// ArrayListGrow is the paper's Listing 6 (Figures 4 and 5): an
+// array-backed list that either grows its backing array by one element
+// (naive, quadratic total cost) or doubles it (ideal, linear total cost).
+// The harness appends `size` string elements for each size in the sweep.
+func ArrayListGrow(naive bool, maxSize, sizeStep, reps int) string {
+	growth := "array.length * 2"
+	if naive {
+		growth = "array.length + 1"
+	}
+	return fmt.Sprintf(`
+class ArrayList {
+  String[] array; int count;
+  ArrayList() { array = new String[1]; count = 0; }
+  public void append(String value) {
+    growIfFull();
+    array[count] = value;
+    count = count + 1;
+  }
+  private void growIfFull() {
+    if (count == array.length) {
+      String[] newArray = new String[%s];
+      for (int i = 0; i < array.length; i++) { newArray[i] = array[i]; }
+      array = newArray;
+    }
+  }
+}
+class Main {
+  public static void main() {
+    for (int size = 1; size <= %d; size = size + %d) {
+      for (int r = 0; r < %d; r++) { testForSize(size); }
+    }
+  }
+  static void testForSize(int size) {
+    ArrayList list = new ArrayList();
+    for (int i = 0; i < size; i++) {
+      list.append("n" + i);
+    }
+  }
+}`, growth, maxSize, sizeStep, reps)
+}
+
+// Listing3 is the paper's cost-combination example extended with array
+// accesses so the nest forms one algorithm: combined cost of the single
+// outer invocation is 3 + (0+1+2) = 6 algorithmic steps.
+const Listing3 = `
+class Main {
+  public static void main() {
+    int[] a = new int[3];
+    for (int o = 0; o < 3; o++) {
+      int x = a[o];
+      for (int i = 0; i < o; i++) { int y = a[i]; }
+    }
+  }
+}`
+
+// Listing4 holds the paper's three construction snippets whose first
+// access cannot see the whole structure; the deferred exit measurement
+// must still size them fully.
+func Listing4(size int) string {
+	return fmt.Sprintf(`
+class Node { Node next; }
+class Main {
+  public static void main() {
+    Node a = constructListWithLoop(%[1]d);
+    Node b = constructListWithRecursion(%[1]d);
+    constructPartiallyUsedArray();
+  }
+  static Node constructListWithLoop(int size) {
+    Node list = null;
+    for (int i = 0; i < size; i++) {
+      Node head = new Node();
+      head.next = list;
+      list = head;
+    }
+    return list;
+  }
+  static Node constructListWithRecursion(int size) {
+    if (size == 0) { return null; }
+    Node list = constructListWithRecursion(size - 1);
+    Node head = new Node();
+    head.next = list;
+    return head;
+  }
+  static void constructPartiallyUsedArray() {
+    int[] values = new int[1000];
+    for (int i = 0; i < 10; i++) {
+      values[i] = i * 2;
+    }
+  }
+}`, size)
+}
+
+// Listing5 is the paper's known grouping limitation: only the innermost
+// loop of the 2-d array nest accesses the array, so the loops are not
+// grouped into one algorithm.
+const Listing5 = `
+class Main {
+  public static void main() {
+    int[][] array = new int[8][8];
+    for (int i = 0; i < array.length; i++) {
+      for (int j = 0; j < 8; j++) {
+        array[i][j] = i * j;
+      }
+    }
+  }
+}`

@@ -1,0 +1,65 @@
+package workloads
+
+import "fmt"
+
+// MergeVsInsertion generates a program that, for each size in the sweep,
+// builds two random lists with identical statistics and sorts one with
+// the paper's quadratic insertion sort and the other with a linked-list
+// merge sort. The two sort algorithms produce separate repetition-tree
+// algorithms whose fitted cost functions expose the classic crossover:
+// insertion sort wins below a few dozen elements, merge sort beyond.
+func MergeVsInsertion(maxSize, sizeStep, reps int) string {
+	return listClasses + fmt.Sprintf(`
+class MNode { MNode next; int v; MNode(int v) { this.v = v; } }
+class MSort {
+  static MNode sort(MNode h) {
+    if (h == null || h.next == null) { return h; }
+    MNode slow = h;
+    MNode fast = h.next;
+    while (fast != null && fast.next != null) {
+      slow = slow.next;
+      fast = fast.next.next;
+    }
+    MNode mid = slow.next;
+    slow.next = null;
+    MNode left = sort(h);
+    MNode right = sort(mid);
+    return merge(left, right);
+  }
+  static MNode merge(MNode a, MNode b) {
+    if (a == null) { return b; }
+    if (b == null) { return a; }
+    if (a.v <= b.v) {
+      a.next = merge(a.next, b);
+      return a;
+    }
+    b.next = merge(a, b.next);
+    return b;
+  }
+  static boolean isSorted(MNode h) {
+    if (h == null || h.next == null) { return true; }
+    if (h.v > h.next.v) { return false; }
+    return isSorted(h.next);
+  }
+}
+class Main {
+  public static void main() {
+    for (int size = 2; size <= %d; size = size + %d) {
+      for (int r = 0; r < %d; r++) {
+        List ilist = new List();
+        MNode mlist = null;
+        for (int i = 0; i < size; i++) {
+          ilist.append(rand(size + 1));
+          MNode x = new MNode(rand(size + 1));
+          x.next = mlist;
+          mlist = x;
+        }
+        ilist.sort();
+        check(ilist.isSorted());
+        MNode sorted = MSort.sort(mlist);
+        check(MSort.isSorted(sorted));
+      }
+    }
+  }
+}`, maxSize, sizeStep, reps)
+}

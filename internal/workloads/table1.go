@@ -1,0 +1,835 @@
+package workloads
+
+import "fmt"
+
+// Row is one Table 1 example program plus the paper's expectations:
+// whether inputs are detected (I), sizes measured correctly (S), and the
+// intended loops grouped into one algorithm (G: "x" grouped, "*" grouped
+// but fragile to small implementation changes, "-" not grouped — the
+// documented array-nest limitation).
+type Row struct {
+	// Table 1 columns.
+	Struct  string // array | list | tree | graph
+	Impl    string // array | linked
+	Linkage string // NA | directed | bidi | undirected
+	T       string // B (baked-in payload) | G (generics) | I (inheritance)
+	Rem     string // 1d, 2d, double, grow by 1, binary, n-ary
+
+	// Source generates the MJ program for a structure of ~size elements.
+	Source func(size int) string
+
+	// WantLabels are substrings that must appear among detected input
+	// labels (column I).
+	WantLabels []string
+	// WantMaxSize is the expected maximum input size for a build
+	// parameter of n (column S). Compared against the largest detected
+	// input.
+	WantMaxSize func(n int) int
+	// GroupPairs are node-name pairs that must share an algorithm;
+	// SeparatePairs must not (column G).
+	GroupPairs    [][2]string
+	SeparatePairs [][2]string
+	// PaperG is the paper's G verdict for this row.
+	PaperG string
+}
+
+// Name renders a stable identifier like "list/linked/directed/B".
+func (r Row) Name() string {
+	s := r.Struct + "/" + r.Impl + "/" + r.Linkage + "/" + r.T
+	if r.Rem != "" {
+		s += "/" + r.Rem
+	}
+	return s
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// Table1 returns the eighteen example programs of the paper's Table 1.
+func Table1() []Row {
+	return []Row{
+		{
+			Struct: "array", Impl: "array", Linkage: "NA", T: "B", Rem: "1d",
+			Source:      array1d,
+			WantLabels:  []string{"array input"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.main/loop3", "Main.main/loop4"}},
+			PaperG:      "*",
+		},
+		{
+			Struct: "array", Impl: "array", Linkage: "NA", T: "B", Rem: "2d",
+			Source:        array2d,
+			WantLabels:    []string{"array input"},
+			WantMaxSize:   func(n int) int { return n + n*n },
+			SeparatePairs: [][2]string{{"Main.main/loop1", "Main.main/loop2"}, {"Main.main/loop3", "Main.main/loop4"}},
+			PaperG:        "-",
+		},
+		{
+			Struct: "list", Impl: "array", Linkage: "NA", T: "B", Rem: "double",
+			Source:      listArrayDouble,
+			WantLabels:  []string{"array input"},
+			WantMaxSize: func(n int) int { return nextPow2(n) },
+			GroupPairs: [][2]string{
+				{"Main.main/loop1", "ArrayListB.grow/loop1"},
+				{"Main.main/loop3", "Main.main/loop4"},
+			},
+			PaperG: "*",
+		},
+		{
+			Struct: "list", Impl: "array", Linkage: "NA", T: "B", Rem: "grow by 1",
+			Source:      listArrayGrow1B,
+			WantLabels:  []string{"array input"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs: [][2]string{
+				{"Main.main/loop1", "ArrayListB.grow/loop1"},
+				{"Main.main/loop3", "Main.main/loop4"},
+			},
+			PaperG: "*",
+		},
+		{
+			Struct: "list", Impl: "array", Linkage: "NA", T: "G", Rem: "grow by 1",
+			Source:      listArrayGrow1G,
+			WantLabels:  []string{"array input"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs: [][2]string{
+				{"Main.main/loop1", "ArrayListG.grow/loop1"},
+				{"Main.main/loop3", "Main.main/loop4"},
+			},
+			PaperG: "*",
+		},
+		{
+			Struct: "list", Impl: "array", Linkage: "NA", T: "I", Rem: "grow by 1",
+			Source:      listArrayGrow1I,
+			WantLabels:  []string{"array input"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs: [][2]string{
+				{"Main.main/loop1", "ArrayListI.grow/loop1"},
+				{"Main.main/loop3", "Main.main/loop4"},
+			},
+			PaperG: "*",
+		},
+		{
+			Struct: "list", Impl: "linked", Linkage: "directed", T: "B",
+			Source:      listLinkedB,
+			WantLabels:  []string{"LNode-based recursive structure"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.main/loop3", "Main.main/loop4"}},
+			PaperG:      "x",
+		},
+		{
+			Struct: "list", Impl: "linked", Linkage: "directed", T: "G",
+			Source:      listLinkedG,
+			WantLabels:  []string{"GNode-based recursive structure"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.main/loop3", "Main.main/loop4"}},
+			PaperG:      "x",
+		},
+		{
+			Struct: "list", Impl: "linked", Linkage: "directed", T: "I",
+			Source:      listLinkedI,
+			WantLabels:  []string{"IntCell-based recursive structure"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.main/loop3", "Main.main/loop4"}},
+			PaperG:      "x",
+		},
+		{
+			Struct: "tree", Impl: "array", Linkage: "NA", T: "B", Rem: "binary",
+			Source:      treeArrayBinary,
+			WantLabels:  []string{"array input"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.main/loop2", "Main.main/loop3"}},
+			PaperG:      "*",
+		},
+		{
+			Struct: "tree", Impl: "linked", Linkage: "directed", T: "B", Rem: "binary",
+			Source:      treeLinkedBinary,
+			WantLabels:  []string{"TNode-based recursive structure"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.sum/recursion", "Main.sum/loop1"}},
+			PaperG:      "x",
+		},
+		{
+			Struct: "tree", Impl: "linked", Linkage: "bidi", T: "B", Rem: "binary",
+			Source:      treeLinkedBidiBinary,
+			WantLabels:  []string{"PNode-based recursive structure"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.sum/recursion", "Main.sum/loop1"}},
+			PaperG:      "x",
+		},
+		{
+			Struct: "tree", Impl: "linked", Linkage: "directed", T: "B", Rem: "n-ary",
+			Source:      treeNary,
+			WantLabels:  []string{"KNode-based recursive structure"},
+			WantMaxSize: naryCount,
+			GroupPairs:  [][2]string{{"Main.sum/recursion", "Main.sum/loop1"}},
+			PaperG:      "x",
+		},
+		{
+			Struct: "tree", Impl: "linked", Linkage: "bidi", T: "B", Rem: "n-ary",
+			Source:      treeNaryBidi,
+			WantLabels:  []string{"PKNode-based recursive structure"},
+			WantMaxSize: naryCount,
+			GroupPairs:  [][2]string{{"Main.sum/recursion", "Main.sum/loop1"}},
+			PaperG:      "x",
+		},
+		{
+			Struct: "graph", Impl: "array", Linkage: "directed", T: "B", Rem: "2d",
+			Source:        graphArray2d,
+			WantLabels:    []string{"array input"},
+			WantMaxSize:   func(n int) int { return n + n*n },
+			SeparatePairs: [][2]string{{"Main.main/loop2", "Main.main/loop3"}},
+			PaperG:        "-",
+		},
+		{
+			Struct: "graph", Impl: "linked", Linkage: "directed", T: "B",
+			Source:      graphLinked("Vertex", "directedEdges"),
+			WantLabels:  []string{"Vertex-based recursive structure"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.visit/recursion", "Main.visit/loop1"}},
+			PaperG:      "x",
+		},
+		{
+			Struct: "graph", Impl: "linked", Linkage: "bidi", T: "B",
+			Source:      graphLinkedBidi,
+			WantLabels:  []string{"BVertex-based recursive structure"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.visit/recursion", "Main.visit/loop1"}},
+			PaperG:      "x",
+		},
+		{
+			Struct: "graph", Impl: "linked", Linkage: "undirected", T: "B",
+			Source:      graphLinked("UVertex", "undirectedEdges"),
+			WantLabels:  []string{"UVertex-based recursive structure"},
+			WantMaxSize: func(n int) int { return n },
+			GroupPairs:  [][2]string{{"Main.visit/recursion", "Main.visit/loop1"}},
+			PaperG:      "x",
+		},
+	}
+}
+
+// naryCount is the node count of the 3-ary tree built for parameter n:
+// treeNary converts n to a depth d = floor(log3(2n)) and builds a full
+// 3-ary tree of that depth.
+func naryCount(n int) int {
+	d := naryDepth(n)
+	count := 0
+	pow := 1
+	for i := 0; i <= d; i++ {
+		count += pow
+		pow *= 3
+	}
+	return count
+}
+
+func naryDepth(n int) int {
+	d := 0
+	count := 1
+	pow := 1
+	for count < n {
+		pow *= 3
+		count += pow
+		d++
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+
+func array1d(n int) string {
+	return fmt.Sprintf(`
+class Main {
+  public static void main() {
+    int n = %d;
+    int[] a = new int[n];
+    for (int i = 0; i < n; i++) { a[i] = rand(n); }
+    int s = 0;
+    for (int i = 0; i < n; i++) { s = s + a[i]; }
+    int dup = 0;
+    for (int i = 0; i < n; i++) {
+      int ai = a[i];
+      for (int j = i + 1; j < n; j++) {
+        if (ai == a[j]) { dup = dup + 1; }
+      }
+    }
+    check(s >= 0);
+    check(dup >= 0);
+  }
+}`, n)
+}
+
+func array2d(n int) string {
+	return fmt.Sprintf(`
+class Main {
+  public static void main() {
+    int n = %d;
+    int[][] m = new int[n][n];
+    for (int i = 0; i < n; i++) {
+      for (int j = 0; j < n; j++) { m[i][j] = rand(n); }
+    }
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+      for (int j = 0; j < n; j++) { s = s + m[i][j]; }
+    }
+    check(s >= 0);
+  }
+}`, n)
+}
+
+func arrayListBody(cls, elem, growth string) string {
+	return fmt.Sprintf(`
+class %[1]s {
+  %[2]s[] array; int count;
+  %[1]s() { array = new %[2]s[1]; count = 0; }
+  void append(%[2]s v) {
+    if (count == array.length) { grow(); }
+    array[count] = v;
+    count = count + 1;
+  }
+  void grow() {
+    %[2]s[] na = new %[2]s[%[3]s];
+    for (int i = 0; i < array.length; i++) { na[i] = array[i]; }
+    array = na;
+  }
+  %[2]s get(int i) { return array[i]; }
+}`, cls, elem, growth)
+}
+
+// listArrayMain appends n strings (the paper's Listing 6 payload, whose
+// shared elements let reallocated backing arrays unify), then sums lengths
+// and scans for duplicates.
+func listArrayMain(n int) string {
+	return fmt.Sprintf(`
+class Main {
+  public static void main() {
+    int n = %d;
+    ArrayListB list = new ArrayListB();
+    for (int i = 0; i < n; i++) { list.append("n" + rand(n)); }
+    int s = 0;
+    for (int i = 0; i < n; i++) { s = s + list.get(i).length; }
+    int dup = 0;
+    for (int i = 0; i < n; i++) {
+      String ai = list.get(i);
+      for (int j = i + 1; j < n; j++) {
+        if (ai == list.get(j)) { dup = dup + 1; }
+      }
+    }
+    check(s >= n);
+    check(dup >= 0);
+  }
+}`, n)
+}
+
+func listArrayDouble(n int) string {
+	return arrayListBody("ArrayListB", "String", "array.length * 2") + listArrayMain(n)
+}
+
+func listArrayGrow1B(n int) string {
+	return arrayListBody("ArrayListB", "String", "array.length + 1") + listArrayMain(n)
+}
+
+func listArrayGrow1G(n int) string {
+	return fmt.Sprintf(`
+class Item { int v; Item(int v) { this.v = v; } int val() { return v; } }
+class ArrayListG<T> {
+  Object[] array; int count;
+  ArrayListG() { array = new Object[1]; count = 0; }
+  void append(T v) {
+    if (count == array.length) { grow(); }
+    array[count] = v;
+    count = count + 1;
+  }
+  void grow() {
+    Object[] na = new Object[array.length + 1];
+    for (int i = 0; i < array.length; i++) { na[i] = array[i]; }
+    array = na;
+  }
+  T get(int i) { return array[i]; }
+}
+class Main {
+  public static void main() {
+    int n = %d;
+    ArrayListG<Item> list = new ArrayListG<Item>();
+    for (int i = 0; i < n; i++) { list.append(new Item(rand(n))); }
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+      Item it = list.get(i);
+      s = s + it.val();
+    }
+    int dup = 0;
+    for (int i = 0; i < n; i++) {
+      Item a = list.get(i);
+      int av = a.val();
+      for (int j = i + 1; j < n; j++) {
+        Item b = list.get(j);
+        if (av == b.val()) { dup = dup + 1; }
+      }
+    }
+    check(s >= 0);
+    check(dup >= 0);
+  }
+}`, n)
+}
+
+func listArrayGrow1I(n int) string {
+	return fmt.Sprintf(`
+class Payload { int val() { return 0; } }
+class IntPayload extends Payload {
+  int v;
+  IntPayload(int v) { this.v = v; }
+  int val() { return v; }
+}
+class ArrayListI {
+  Payload[] array; int count;
+  ArrayListI() { array = new Payload[1]; count = 0; }
+  void append(Payload v) {
+    if (count == array.length) { grow(); }
+    array[count] = v;
+    count = count + 1;
+  }
+  void grow() {
+    Payload[] na = new Payload[array.length + 1];
+    for (int i = 0; i < array.length; i++) { na[i] = array[i]; }
+    array = na;
+  }
+  Payload get(int i) { return array[i]; }
+}
+class Main {
+  public static void main() {
+    int n = %d;
+    ArrayListI list = new ArrayListI();
+    for (int i = 0; i < n; i++) { list.append(new IntPayload(rand(n))); }
+    int s = 0;
+    for (int i = 0; i < n; i++) { s = s + list.get(i).val(); }
+    int dup = 0;
+    for (int i = 0; i < n; i++) {
+      int av = list.get(i).val();
+      for (int j = i + 1; j < n; j++) {
+        if (av == list.get(j).val()) { dup = dup + 1; }
+      }
+    }
+    check(s >= 0);
+    check(dup >= 0);
+  }
+}`, n)
+}
+
+func listLinkedB(n int) string {
+	return fmt.Sprintf(`
+class LNode { LNode next; int v; LNode(int v) { this.v = v; } }
+class LList {
+  LNode head; LNode tail;
+  void append(int v) {
+    LNode x = new LNode(v);
+    if (head == null) { head = x; tail = x; }
+    else { tail.next = x; tail = x; }
+  }
+}
+class Main {
+  public static void main() {
+    int n = %d;
+    LList list = new LList();
+    for (int i = 0; i < n; i++) { list.append(rand(n)); }
+    int count = 0;
+    LNode c = list.head;
+    while (c != null) { count = count + 1; c = c.next; }
+    check(count == n);
+    int s = sum(list.head);
+    check(s >= 0);
+    int dup = 0;
+    LNode a = list.head;
+    while (a != null) {
+      LNode b = a.next;
+      while (b != null) {
+        if (a.v == b.v) { dup = dup + 1; }
+        b = b.next;
+      }
+      a = a.next;
+    }
+    check(dup >= 0);
+  }
+  static int sum(LNode x) {
+    if (x == null) { return 0; }
+    return x.v + sum(x.next);
+  }
+}`, n)
+}
+
+func listLinkedG(n int) string {
+	return fmt.Sprintf(`
+class Item { int v; Item(int v) { this.v = v; } int val() { return v; } }
+class GNode<T> { GNode<T> next; T value; GNode(T value) { this.value = value; } }
+class GList<T> {
+  GNode<T> head; GNode<T> tail;
+  void append(T v) {
+    GNode<T> x = new GNode<T>(v);
+    if (head == null) { head = x; tail = x; }
+    else { tail.next = x; tail = x; }
+  }
+}
+class Main {
+  public static void main() {
+    int n = %d;
+    GList<Item> list = new GList<Item>();
+    for (int i = 0; i < n; i++) { list.append(new Item(rand(n))); }
+    int count = 0;
+    GNode<Item> c = list.head;
+    while (c != null) { count = count + 1; c = c.next; }
+    check(count == n);
+    int dup = 0;
+    GNode<Item> a = list.head;
+    while (a != null) {
+      var av = a.value;
+      GNode<Item> b = a.next;
+      while (b != null) {
+        var bv = b.value;
+        if (av.val() == bv.val()) { dup = dup + 1; }
+        b = b.next;
+      }
+      a = a.next;
+    }
+    check(dup >= 0);
+  }
+}`, n)
+}
+
+func listLinkedI(n int) string {
+	return fmt.Sprintf(`
+class Cell { Cell next; int val() { return 0; } }
+class IntCell extends Cell {
+  int v;
+  IntCell(int v) { this.v = v; }
+  int val() { return v; }
+}
+class IList {
+  Cell head; Cell tail;
+  void append(Cell x) {
+    if (head == null) { head = x; tail = x; }
+    else { tail.next = x; tail = x; }
+  }
+}
+class Main {
+  public static void main() {
+    int n = %d;
+    IList list = new IList();
+    for (int i = 0; i < n; i++) { list.append(new IntCell(rand(n))); }
+    int count = 0;
+    Cell c = list.head;
+    while (c != null) { count = count + 1; c = c.next; }
+    check(count == n);
+    int dup = 0;
+    Cell a = list.head;
+    while (a != null) {
+      int av = a.val();
+      Cell b = a.next;
+      while (b != null) {
+        if (av == b.val()) { dup = dup + 1; }
+        b = b.next;
+      }
+      a = a.next;
+    }
+    check(dup >= 0);
+  }
+}`, n)
+}
+
+func treeArrayBinary(n int) string {
+	return fmt.Sprintf(`
+class Main {
+  public static void main() {
+    int n = %d;
+    int[] heap = new int[n];
+    for (int i = 0; i < n; i++) { heap[i] = rand(n); }
+    int total = sum(heap, 0);
+    check(total >= 0);
+    int dup = 0;
+    for (int i = 0; i < n; i++) {
+      int hi = heap[i];
+      for (int j = i + 1; j < n; j++) {
+        if (hi == heap[j]) { dup = dup + 1; }
+      }
+    }
+    check(dup >= 0);
+  }
+  static int sum(int[] h, int i) {
+    if (i >= h.length) { return 0; }
+    return h[i] + sum(h, 2 * i + 1) + sum(h, 2 * i + 2);
+  }
+}`, n)
+}
+
+func treeLinkedBinary(n int) string {
+	return fmt.Sprintf(`
+class TNode { TNode left; TNode right; int key; TNode(int k) { key = k; } }
+class Main {
+  public static void main() {
+    int n = %d;
+    TNode root = null;
+    for (int i = 0; i < n; i++) { root = insert(root, rand(n * 4)); }
+    int total = sum(root);
+    check(total >= 0);
+    check(countNodes(root) == n);
+  }
+  static TNode insert(TNode t, int k) {
+    if (t == null) { return new TNode(k); }
+    if (k <= t.key) { t.left = insert(t.left, k); }
+    else { t.right = insert(t.right, k); }
+    return t;
+  }
+  static int sum(TNode t) {
+    if (t == null) { return 0; }
+    if (t.left == null && t.right == null) { return t.key; }
+    int s = 0;
+    TNode cur = t;
+    while (cur != null) {
+      s = s + cur.key + sum(cur.right);
+      cur = cur.left;
+    }
+    return s;
+  }
+  static int countNodes(TNode t) {
+    if (t == null) { return 0; }
+    return 1 + countNodes(t.left) + countNodes(t.right);
+  }
+}`, n)
+}
+
+func treeLinkedBidiBinary(n int) string {
+	return fmt.Sprintf(`
+class PNode {
+  PNode left; PNode right; PNode parent; int key;
+  PNode(int k) { key = k; }
+}
+class Main {
+  public static void main() {
+    int n = %d;
+    PNode root = null;
+    for (int i = 0; i < n; i++) { root = insert(root, null, rand(n * 4)); }
+    int total = sum(root);
+    check(total >= 0);
+    check(countNodes(root) == n);
+  }
+  static PNode insert(PNode t, PNode p, int k) {
+    if (t == null) {
+      PNode x = new PNode(k);
+      x.parent = p;
+      return x;
+    }
+    if (k <= t.key) { t.left = insert(t.left, t, k); }
+    else { t.right = insert(t.right, t, k); }
+    return t;
+  }
+  static int sum(PNode t) {
+    if (t == null) { return 0; }
+    if (t.left == null && t.right == null) { return t.key; }
+    int s = 0;
+    PNode cur = t;
+    while (cur != null) {
+      if (cur.left != null) { check(cur.left.parent == cur); }
+      s = s + cur.key + sum(cur.right);
+      cur = cur.left;
+    }
+    return s;
+  }
+  static int countNodes(PNode t) {
+    if (t == null) { return 0; }
+    return 1 + countNodes(t.left) + countNodes(t.right);
+  }
+}`, n)
+}
+
+func treeNary(n int) string {
+	return fmt.Sprintf(`
+class KNode {
+  KNode[] children; int nkids; int v;
+  KNode(int v, int k) { this.v = v; children = new KNode[k]; nkids = 0; }
+}
+class Main {
+  public static void main() {
+    int depth = %d;
+    KNode root = build(depth);
+    int total = sum(root);
+    check(total >= 0);
+  }
+  static KNode build(int depth) {
+    KNode x = new KNode(rand(100), 3);
+    if (depth > 0) {
+      for (int i = 0; i < 3; i++) {
+        KNode c = build(depth - 1);
+        x.children[x.nkids] = c;
+        x.nkids = x.nkids + 1;
+      }
+    }
+    return x;
+  }
+  static int sum(KNode t) {
+    KNode[] kids = t.children;
+    int s = t.v;
+    for (int i = 0; i < t.nkids; i++) {
+      s = s + sum(kids[i]);
+    }
+    return s;
+  }
+}`, naryDepth(n))
+}
+
+func treeNaryBidi(n int) string {
+	return fmt.Sprintf(`
+class PKNode {
+  PKNode[] children; PKNode parent; int nkids; int v;
+  PKNode(int v, int k) { this.v = v; children = new PKNode[k]; nkids = 0; }
+}
+class Main {
+  public static void main() {
+    int depth = %d;
+    PKNode root = build(depth, null);
+    int total = sum(root);
+    check(total >= 0);
+  }
+  static PKNode build(int depth, PKNode parent) {
+    PKNode x = new PKNode(rand(100), 3);
+    x.parent = parent;
+    if (depth > 0) {
+      for (int i = 0; i < 3; i++) {
+        PKNode c = build(depth - 1, x);
+        x.children[x.nkids] = c;
+        x.nkids = x.nkids + 1;
+      }
+    }
+    return x;
+  }
+  static int sum(PKNode t) {
+    PKNode[] kids = t.children;
+    int s = t.v;
+    for (int i = 0; i < t.nkids; i++) {
+      PKNode c = kids[i];
+      check(c.parent == t);
+      s = s + sum(c);
+    }
+    return s;
+  }
+}`, naryDepth(n))
+}
+
+func graphArray2d(n int) string {
+	return fmt.Sprintf(`
+class Main {
+  public static void main() {
+    int n = %d;
+    boolean[][] adj = new boolean[n][n];
+    for (int i = 0; i < n; i++) {
+      adj[i][(i + 1) %% n] = true;
+      adj[i][(i * i + 1) %% n] = true;
+    }
+    int edges = 0;
+    for (int i = 0; i < n; i++) {
+      for (int j = 0; j < n; j++) {
+        if (adj[i][j]) { edges = edges + 1; }
+      }
+    }
+    check(edges >= n);
+  }
+}`, n)
+}
+
+// graphLinked generates a directed or undirected ring-with-chords graph
+// over vertices of the given class name.
+func graphLinked(cls, mode string) func(int) string {
+	undirected := mode == "undirectedEdges"
+	deg := 2
+	addBack := ""
+	if undirected {
+		deg = 4
+		addBack = `w.out[w.nout] = v; w.nout = w.nout + 1;`
+	}
+	return func(n int) string {
+		return fmt.Sprintf(`
+class %[1]s {
+  %[1]s[] out; int nout; int id; int mark;
+  %[1]s(int id) { this.id = id; out = new %[1]s[%[2]d]; nout = 0; mark = 0; }
+}
+class Main {
+  public static void main() {
+    int n = %[3]d;
+    %[1]s first = new %[1]s(0);
+    %[1]s prev = first;
+    for (int i = 1; i <= n; i++) {
+      if (i == n) { connect(prev, first); }
+      else {
+        %[1]s v = new %[1]s(i);
+        connect(prev, v);
+        prev = v;
+      }
+    }
+    int reached = visit(first);
+    check(reached == n);
+  }
+  static void connect(%[1]s v, %[1]s w) {
+    v.out[v.nout] = w;
+    v.nout = v.nout + 1;
+    %[4]s
+  }
+  static int visit(%[1]s v) {
+    if (v.mark == 1) { return 0; }
+    v.mark = 1;
+    %[1]s[] edges = v.out;
+    int c = 1;
+    for (int i = 0; i < v.nout; i++) {
+      c = c + visit(edges[i]);
+    }
+    return c;
+  }
+}`, cls, deg, n, addBack)
+	}
+}
+
+func graphLinkedBidi(n int) string {
+	return fmt.Sprintf(`
+class BVertex {
+  BVertex[] out; BVertex[] in; int nout; int nin; int id; int mark;
+  BVertex(int id) {
+    this.id = id;
+    out = new BVertex[2];
+    in = new BVertex[2];
+    nout = 0; nin = 0; mark = 0;
+  }
+}
+class Main {
+  public static void main() {
+    int n = %d;
+    BVertex first = new BVertex(0);
+    BVertex prev = first;
+    for (int i = 1; i <= n; i++) {
+      if (i == n) { connect(prev, first); }
+      else {
+        BVertex v = new BVertex(i);
+        connect(prev, v);
+        prev = v;
+      }
+    }
+    int reached = visit(first);
+    check(reached == n);
+  }
+  static void connect(BVertex v, BVertex w) {
+    v.out[v.nout] = w;
+    v.nout = v.nout + 1;
+    w.in[w.nin] = v;
+    w.nin = w.nin + 1;
+  }
+  static int visit(BVertex v) {
+    if (v.mark == 1) { return 0; }
+    v.mark = 1;
+    BVertex[] edges = v.out;
+    int c = 1;
+    for (int i = 0; i < v.nout; i++) {
+      c = c + visit(edges[i]);
+    }
+    return c;
+  }
+}`, n)
+}

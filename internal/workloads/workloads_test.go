@@ -1,0 +1,297 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"algoprof"
+)
+
+func TestTable1AllRows(t *testing.T) {
+	for _, row := range Table1() {
+		row := row
+		t.Run(row.Name(), func(t *testing.T) {
+			res, err := EvaluateRow(row, 24, 7)
+			if err != nil {
+				t.Fatalf("evaluate: %v", err)
+			}
+			if !res.InputsOK {
+				t.Errorf("I: missing input labels %v", res.MissingLabels)
+			}
+			if !res.SizeOK {
+				t.Errorf("S: size = %d, want %d", res.GotSize, res.WantSize)
+			}
+			if !res.GroupOK {
+				t.Errorf("G: %s", res.GroupDetail)
+			}
+			if res.OK() && res.G != row.PaperG {
+				t.Errorf("verdict %q, want paper's %q", res.G, row.PaperG)
+			}
+		})
+	}
+}
+
+func TestTable1HasEighteenRows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 18 {
+		t.Fatalf("Table 1 has %d rows, want 18", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r.Name()] {
+			t.Errorf("duplicate row %s", r.Name())
+		}
+		seen[r.Name()] = true
+	}
+	// Paper's distribution of G verdicts: 10 x, 6 *, 2 -.
+	hist := map[string]int{}
+	for _, r := range rows {
+		hist[r.PaperG]++
+	}
+	if hist["x"] != 10 || hist["*"] != 6 || hist["-"] != 2 {
+		t.Errorf("G verdict histogram %v, want 10/6/2", hist)
+	}
+}
+
+func TestRunningExampleVariantsRun(t *testing.T) {
+	for _, order := range []Order{Random, Sorted, Reversed} {
+		t.Run(order.String(), func(t *testing.T) {
+			prof, err := algoprof.Run(RunningExample(order, 20, 4, 1), algoprof.Config{Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The sort algorithm must exist. On random and reversed inputs
+			// it swaps links (Modification); on pre-sorted inputs it never
+			// writes, so it is dynamically a Traversal.
+			sortAlg := prof.Find("List.sort/loop1")
+			if sortAlg == nil {
+				t.Fatal("no algorithm rooted at List.sort/loop1")
+			}
+			wantClass := "Modification of a Node-based recursive structure"
+			if order == Sorted {
+				wantClass = "Traversal of a Node-based recursive structure"
+			}
+			if !strings.Contains(sortAlg.Description, wantClass) {
+				t.Errorf("sort classified as %q, want %q", sortAlg.Description, wantClass)
+			}
+			if len(sortAlg.Nodes) != 2 {
+				t.Errorf("sort algorithm spans %v, want both sort loops", sortAlg.Nodes)
+			}
+		})
+	}
+}
+
+func TestRunningExampleConstructClassification(t *testing.T) {
+	prof, err := algoprof.Run(RunningExample(Random, 16, 3, 1), algoprof.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constructAlg := prof.Find("Main.construct/loop1")
+	if constructAlg == nil {
+		t.Fatal("no construct algorithm")
+	}
+	if !strings.Contains(constructAlg.Description, "Construction of a Node-based recursive structure") {
+		t.Errorf("construct classified as %q", constructAlg.Description)
+	}
+	// The harness loops are data-structure-less (Figure 3).
+	for _, name := range []string{"Main.measure/loop1", "Main.measure/loop2"} {
+		alg := prof.Find(name)
+		if alg == nil {
+			t.Fatalf("no algorithm %s", name)
+		}
+		if !alg.DataStructureLess {
+			t.Errorf("%s should be data-structure-less, got %q", name, alg.Description)
+		}
+	}
+}
+
+func TestFunctionalSortRuns(t *testing.T) {
+	prof, err := algoprof.Run(FunctionalSort(Random, 16, 3, 1), algoprof.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortAlg := prof.Find("FSort.sort/recursion")
+	if sortAlg == nil {
+		names := []string{}
+		for _, a := range prof.Algorithms {
+			names = append(names, a.Name)
+		}
+		t.Fatalf("no FSort.sort recursion algorithm; have %v", names)
+	}
+	// The functional sort allocates fresh nodes: Construction.
+	if !strings.Contains(sortAlg.Description, "FNode-based recursive structure") {
+		t.Errorf("description %q", sortAlg.Description)
+	}
+}
+
+func TestArrayListGrowRuns(t *testing.T) {
+	for _, naive := range []bool{true, false} {
+		prof, err := algoprof.Run(ArrayListGrow(naive, 24, 4, 1), algoprof.Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Figure 4's lower algorithm: the append loop grouped with the
+		// grow loop.
+		appendAlg := prof.Find("Main.testForSize/loop1")
+		if appendAlg == nil {
+			t.Fatal("no append algorithm")
+		}
+		hasGrow := false
+		for _, n := range appendAlg.Nodes {
+			if n == "ArrayList.growIfFull/loop1" {
+				hasGrow = true
+			}
+		}
+		if !hasGrow {
+			t.Errorf("naive=%v: append and grow loops not grouped: %v", naive, appendAlg.Nodes)
+		}
+		// Figure 4's top algorithm: the harness, separate.
+		harness := prof.Find("Main.main/loop1")
+		if harness == nil {
+			t.Fatal("no harness algorithm")
+		}
+		for _, n := range harness.Nodes {
+			if n == "Main.testForSize/loop1" {
+				t.Error("harness must not absorb the append loop")
+			}
+		}
+	}
+}
+
+func TestListing3CombinedCost(t *testing.T) {
+	prof, err := algoprof.Run(Listing3, algoprof.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := prof.Find("Main.main/loop1")
+	if alg == nil {
+		t.Fatal("no nest algorithm")
+	}
+	if alg.TotalSteps != 6 {
+		t.Errorf("combined steps = %d, want 6", alg.TotalSteps)
+	}
+}
+
+func TestListing4SizesMeasuredAtExit(t *testing.T) {
+	prof, err := algoprof.Run(Listing4(15), algoprof.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := prof.Raw()
+	reg := p.Registry()
+	var structureSizes []int
+	for _, id := range reg.CanonicalIDs() {
+		in := reg.Input(id)
+		if strings.Contains(in.Label(), "Node") {
+			structureSizes = append(structureSizes, in.MaxSize)
+		}
+	}
+	if len(structureSizes) != 2 {
+		t.Fatalf("want 2 Node structures (loop + recursion), got %v", structureSizes)
+	}
+	for _, s := range structureSizes {
+		if s != 15 {
+			t.Errorf("constructed list size = %d, want 15", s)
+		}
+	}
+}
+
+func TestListing5NotGrouped(t *testing.T) {
+	prof, err := algoprof.Run(Listing5, algoprof.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prof.Find("Main.main/loop1")
+	if outer == nil {
+		t.Fatal("no outer loop algorithm")
+	}
+	if !outer.DataStructureLess {
+		t.Error("Listing 5's outer loop must be data-structure-less")
+	}
+	for _, n := range outer.Nodes {
+		if n == "Main.main/loop2" {
+			t.Error("Listing 5's nest must not group")
+		}
+	}
+}
+
+func TestFreqMapApplication(t *testing.T) {
+	prof, err := algoprof.Run(FreqMap, algoprof.Config{Input: FreqMapInput(8, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expected answers: value 7 is the mode of every round.
+	if len(prof.Output) != 8 {
+		t.Fatalf("outputs = %v", prof.Output)
+	}
+	for _, o := range prof.Output {
+		if o != "7" {
+			t.Errorf("mode = %s, want 7", o)
+		}
+	}
+
+	// The reader loop consumes external input.
+	fill := prof.Find("Main.main/loop2")
+	if fill == nil {
+		t.Fatal("no fill loop algorithm")
+	}
+	if !strings.Contains(fill.Description, "Input algorithm") {
+		t.Errorf("fill loop: %q (want Input algorithm)", fill.Description)
+	}
+	// It also builds Entry chains and stores into the bucket array.
+	if !strings.Contains(fill.Description, "Entry-based recursive structure") {
+		t.Errorf("fill loop should construct the Entry structure: %q", fill.Description)
+	}
+
+	// The scan traverses buckets and chains without writing.
+	scan := prof.Find("FreqTable.mostFrequent/loop1")
+	if scan == nil {
+		t.Fatal("no scan algorithm")
+	}
+	if !strings.Contains(scan.Description, "Traversal") {
+		t.Errorf("scan: %q", scan.Description)
+	}
+
+	// The harness loop produces external output.
+	harness := prof.Find("Main.main/loop1")
+	if harness == nil {
+		t.Fatal("no harness algorithm")
+	}
+	if !strings.Contains(harness.Description, "Output algorithm") {
+		t.Errorf("harness: %q", harness.Description)
+	}
+}
+
+func TestFunctionalSortAllOrders(t *testing.T) {
+	for _, order := range []Order{Random, Sorted, Reversed} {
+		t.Run(order.String(), func(t *testing.T) {
+			// The check(isSorted(...)) inside the workload validates the
+			// sort; profiling must complete without errors.
+			if _, err := algoprof.Run(FunctionalSort(order, 14, 3, 1), algoprof.Config{Seed: 2}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunningExampleCheckedValidatesSort(t *testing.T) {
+	prof, err := algoprof.Run(RunningExampleChecked(Random, 18, 3, 2), algoprof.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checked variant adds the isSorted loop: six loops total.
+	p, _ := prof.Raw()
+	loops := 0
+	var walk func(n interface{ Children() []interface{} })
+	_ = walk
+	tree := prof.Tree()
+	for _, line := range strings.Split(tree, "\n") {
+		if strings.Contains(line, "/loop") && strings.Contains(line, "[invocations") {
+			loops++
+		}
+	}
+	if loops != 6 {
+		t.Errorf("checked variant has %d loops, want 6 (5 + isSorted)\n%s", loops, tree)
+	}
+	_ = p
+}

@@ -1,0 +1,268 @@
+package probe
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildList constructs a singly linked list of n nodes inside a named
+// loop, returning the head.
+func buildList(s *Session, loop string, n int) *Object {
+	s.LoopEnter(loop)
+	var head *Object
+	for i := 0; i < n; i++ {
+		s.LoopIterate(loop)
+		node := s.NewObject("Node")
+		node.SetLink("next", head)
+		head = node
+	}
+	s.LoopExit(loop)
+	return head
+}
+
+// countList traverses the list inside a named loop.
+func countList(s *Session, loop string, head *Object) int {
+	s.LoopEnter(loop)
+	n := 0
+	for cur := head; cur != nil; {
+		s.LoopIterate(loop)
+		n++
+		cur = cur.Link("next")
+	}
+	s.LoopExit(loop)
+	return n
+}
+
+func TestNativeGoListProfile(t *testing.T) {
+	s := NewSession()
+	head := buildList(s, "build", 20)
+	if got := countList(s, "count", head); got != 20 {
+		t.Fatalf("count = %d", got)
+	}
+	prof := s.Profile()
+	if errs := s.Errors(); len(errs) != 0 {
+		t.Fatalf("session errors: %v", errs)
+	}
+
+	build := prof.Find("build")
+	if build == nil {
+		t.Fatal("no build algorithm")
+	}
+	if !strings.Contains(build.Description, "Construction of a Node-based recursive structure") {
+		t.Errorf("build description = %q", build.Description)
+	}
+	if build.TotalSteps != 20 {
+		t.Errorf("build steps = %d, want 20", build.TotalSteps)
+	}
+
+	count := prof.Find("count")
+	if count == nil {
+		t.Fatal("no count algorithm")
+	}
+	if !strings.Contains(count.Description, "Traversal") {
+		t.Errorf("count description = %q", count.Description)
+	}
+}
+
+func TestNativeGoCostFunction(t *testing.T) {
+	s := NewSession()
+	// A sweep: for each size, build a fresh list and traverse it.
+	s.LoopEnter("harness")
+	for size := 4; size <= 40; size += 4 {
+		s.LoopIterate("harness")
+		head := buildList(s, "build", size)
+		countList(s, "count", head)
+	}
+	s.LoopExit("harness")
+	prof := s.Profile()
+
+	count := prof.Find("count")
+	if count == nil {
+		t.Fatal("no count algorithm")
+	}
+	if len(count.CostFunctions) == 0 {
+		t.Fatal("no fitted cost function")
+	}
+	cf := count.CostFunctions[0]
+	if cf.Model != "n" {
+		t.Errorf("traversal model = %s, want n", cf.Model)
+	}
+	// The harness must not absorb the structure algorithms.
+	harness := prof.Find("harness")
+	if harness == nil {
+		t.Fatal("no harness algorithm")
+	}
+	if !harness.DataStructureLess {
+		t.Errorf("harness description = %q, want data-structure-less", harness.Description)
+	}
+}
+
+func TestRecursionFoldingNative(t *testing.T) {
+	s := NewSession()
+	head := buildList(s, "build", 12)
+
+	var sum func(o *Object) int
+	sum = func(o *Object) int {
+		s.RecursionEnter("sumList")
+		defer s.RecursionExit("sumList")
+		if o == nil {
+			return 0
+		}
+		return 1 + sum(o.Link("next"))
+	}
+	if got := sum(head); got != 12 {
+		t.Fatalf("sum = %d", got)
+	}
+	prof := s.Profile()
+	rec := prof.Find("sumList/recursion")
+	if rec == nil {
+		names := []string{}
+		for _, a := range prof.Algorithms {
+			names = append(names, a.Name)
+		}
+		t.Fatalf("no recursion algorithm; have %v", names)
+	}
+	if rec.Invocations != 1 {
+		t.Errorf("recursion invocations = %d, want 1 (folded)", rec.Invocations)
+	}
+	// 12 nodes + the nil base case = 12 recursive re-entries.
+	if rec.TotalSteps != 12 {
+		t.Errorf("recursion steps = %d, want 12", rec.TotalSteps)
+	}
+}
+
+func TestSliceMirror(t *testing.T) {
+	s := NewSession()
+	s.LoopEnter("fill")
+	sl := s.NewSlice("int[]", 100)
+	for i := 0; i < 10; i++ {
+		s.LoopIterate("fill")
+		sl.Store(i, i*2)
+	}
+	s.LoopExit("fill")
+	prof := s.Profile()
+	fill := prof.Find("fill")
+	if fill == nil {
+		t.Fatal("no fill algorithm")
+	}
+	if !strings.Contains(fill.Description, "Modification") &&
+		!strings.Contains(fill.Description, "Construction") {
+		t.Errorf("fill description = %q", fill.Description)
+	}
+	// Capacity strategy: input size 100.
+	p, _ := prof.Raw()
+	reg := p.Registry()
+	found := false
+	for _, id := range reg.CanonicalIDs() {
+		if reg.Input(id).MaxSize == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("array input of capacity 100 not measured")
+	}
+}
+
+func TestUniqueElementsOption(t *testing.T) {
+	s := NewSessionWith(Options{UniqueElements: true})
+	s.LoopEnter("fill")
+	sl := s.NewSlice("int[]", 100)
+	for i := 0; i < 10; i++ {
+		s.LoopIterate("fill")
+		sl.Store(i, i*2)
+	}
+	s.LoopExit("fill")
+	prof := s.Profile()
+	p, _ := prof.Raw()
+	reg := p.Registry()
+	found := false
+	for _, id := range reg.CanonicalIDs() {
+		if reg.Input(id).MaxSize == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unique-element strategy should measure 10 used slots")
+	}
+}
+
+func TestIOEvents(t *testing.T) {
+	s := NewSession()
+	s.LoopEnter("pump")
+	for i := 0; i < 5; i++ {
+		s.LoopIterate("pump")
+		s.ReadInput()
+		s.WriteOutput()
+	}
+	s.LoopExit("pump")
+	prof := s.Profile()
+	pump := prof.Find("pump")
+	if pump == nil {
+		t.Fatal("no pump algorithm")
+	}
+	if !strings.Contains(pump.Description, "Input algorithm") ||
+		!strings.Contains(pump.Description, "Output algorithm") {
+		t.Errorf("pump description = %q", pump.Description)
+	}
+}
+
+func TestPerGoroutineSessions(t *testing.T) {
+	// The paper produces one repetition tree per thread; sessions are
+	// independent, so concurrent goroutines each profile their own work.
+	var wg sync.WaitGroup
+	results := make([]*Session, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := NewSession()
+			head := buildList(s, "build", 5+g)
+			countList(s, "count", head)
+			results[g] = s
+		}(g)
+	}
+	wg.Wait()
+	for g, s := range results {
+		prof := s.Profile()
+		build := prof.Find("build")
+		if build == nil || build.TotalSteps != int64(5+g) {
+			t.Errorf("goroutine %d: build steps wrong", g)
+		}
+	}
+}
+
+func TestSharedStructureAcrossLoops(t *testing.T) {
+	// A nested scan over one list groups into one algorithm, exactly like
+	// the MJ frontend.
+	s := NewSession()
+	head := buildList(s, "build", 10)
+	s.LoopEnter("outer")
+	for a := head; a != nil; a = a.Link("next") {
+		s.LoopIterate("outer")
+		s.LoopEnter("inner")
+		for b := a.Link("next"); b != nil; b = b.Link("next") {
+			s.LoopIterate("inner")
+		}
+		s.LoopExit("inner")
+	}
+	s.LoopExit("outer")
+	prof := s.Profile()
+	outer := prof.Find("outer")
+	if outer == nil {
+		t.Fatal("no outer algorithm")
+	}
+	hasInner := false
+	for _, n := range outer.Nodes {
+		if n == "inner" {
+			hasInner = true
+		}
+	}
+	if !hasInner {
+		t.Errorf("outer/inner scan must group: %v", outer.Nodes)
+	}
+	// 10 outer iterations + 9+8+...+0 inner = 10 + 45.
+	if outer.TotalSteps != 55 {
+		t.Errorf("combined steps = %d, want 55", outer.TotalSteps)
+	}
+}
