@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build test vet race bench paper
+
+# The tier-1 gate plus the concurrency-sensitive packages under the race
+# detector. Run before committing.
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package hosts the parallel sweep runner; the snapshot
+# registry and core profiler run inside its worker pool.
+race:
+	$(GO) test -race ./internal/experiments/...
+
+# Regenerate the machine-readable overhead baseline (use -j 1 timings).
+bench:
+	$(GO) run ./cmd/paper -j 1 bench -out BENCH_overhead.json
+
+# Regenerate every table and figure of the paper.
+paper:
+	$(GO) run ./cmd/paper all

@@ -93,6 +93,10 @@ type Config struct {
 	// EagerIdentify disables the paper's deferred-identification
 	// optimization (ablation; slower on constructions).
 	EagerIdentify bool
+	// DisableMemo disables the incremental snapshot memo (ablation: every
+	// observation re-traverses its O(size) structure — the paper's
+	// measured behaviour, which §5 calls to optimize).
+	DisableMemo bool
 	// SampleEvery keeps every k-th invocation record (0/1 = all); totals
 	// stay exact, series thin out — the paper's §3.3 memory optimization.
 	SampleEvery int
@@ -258,6 +262,7 @@ func RunProgram(prog *bytecode.Program, cfg Config) (*Profile, error) {
 	opts := core.Options{
 		Criterion:   snapshot.Criterion(cfg.Criterion),
 		SampleEvery: cfg.SampleEvery,
+		DisableMemo: cfg.DisableMemo,
 	}
 	if cfg.EagerIdentify {
 		opts.Identify = core.EagerIdentify

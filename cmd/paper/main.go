@@ -3,13 +3,24 @@
 //
 // Usage:
 //
-//	paper [fig1|fig2|fig3|table1|fig4|fig5|paradigm|listing3|listing4|listing5|overhead|goldsmith|ablations|crossover|all]
+//	paper [-j N] [fig1|fig2|fig3|table1|fig4|fig5|paradigm|listing3|listing4|listing5|overhead|goldsmith|ablations|crossover|all]
+//	paper bench [-out BENCH_overhead.json]
+//
+// -j bounds the worker pool used for sweep points and, under "all", for
+// whole sections; output ordering is deterministic for every -j. The
+// bench subcommand writes machine-readable overhead/sweep timings
+// (including the snapshot-memoization ablation) for perf tracking.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"algoprof"
@@ -24,28 +35,34 @@ func main() {
 	step := flag.Int("step", sweep.Step, "size step in sweeps")
 	reps := flag.Int("reps", sweep.Reps, "repetitions per size")
 	seed := flag.Uint64("seed", sweep.Seed, "random seed")
+	jobs := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	flag.Parse()
 	sweep = experiments.Sweep{MaxSize: *maxSize, Step: *step, Reps: *reps, Seed: *seed}
+	experiments.SetParallelism(*jobs)
 
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
-	sections := map[string]func() error{
-		"fig1":     fig1,
-		"fig2":     fig2,
-		"fig3":     fig3,
-		"table1":   table1,
-		"fig4":     fig45,
-		"fig5":     fig45,
-		"paradigm": paradigm,
-		"listing3": listing3,
-		"listing4": listing4,
-		"listing5": listing5,
-		"overhead": overhead,
-		"goldsmith": func() error {
-			return goldsmith()
-		},
+	if what == "bench" {
+		if err := bench(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	sections := map[string]func(io.Writer) error{
+		"fig1":      fig1,
+		"fig2":      fig2,
+		"fig3":      fig3,
+		"table1":    table1,
+		"fig4":      fig45,
+		"fig5":      fig45,
+		"paradigm":  paradigm,
+		"listing3":  listing3,
+		"listing4":  listing4,
+		"listing5":  listing5,
+		"overhead":  overhead,
+		"goldsmith": goldsmith,
 		"ablations": ablations,
 		"crossover": crossover,
 	}
@@ -54,107 +71,134 @@ func main() {
 		"crossover"}
 
 	if what == "all" {
-		for _, name := range order {
-			if err := sections[name](); err != nil {
-				fatal(err)
-			}
+		if err := runAll(order, sections); err != nil {
+			fatal(err)
 		}
 		return
 	}
 	fn, ok := sections[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown section %q; options: %v or all\n", what, order)
+		fmt.Fprintf(os.Stderr, "unknown section %q; options: %v, bench, or all\n", what, order)
 		os.Exit(2)
 	}
-	if err := fn(); err != nil {
+	if err := fn(os.Stdout); err != nil {
 		fatal(err)
 	}
 }
 
-func header(s string) { fmt.Printf("\n================ %s ================\n\n", s) }
-
-func fig1() error {
-	header("Figure 1: cost functions of insertion sort")
-	for _, order := range []workloads.Order{workloads.Random, workloads.Sorted, workloads.Reversed} {
-		res, err := experiments.Figure1(order, sweep)
-		if err != nil {
-			return err
+// runAll executes every section concurrently (bounded by the worker-pool
+// parallelism), buffering each section's output so the printed order is
+// the paper's order regardless of completion order.
+func runAll(order []string, sections map[string]func(io.Writer) error) error {
+	bufs := make([]bytes.Buffer, len(order))
+	errs := make([]error, len(order))
+	sem := make(chan struct{}, experiments.Parallelism())
+	var wg sync.WaitGroup
+	for i, name := range order {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = sections[name](&bufs[i])
+		}()
+	}
+	wg.Wait()
+	for i := range order {
+		if errs[i] != nil {
+			return errs[i]
 		}
-		fmt.Printf("(%s input)  steps ≈ %s   [model %s, R2=%.3f, %d runs]\n",
-			res.Order, res.Text, res.Model, res.R2, len(res.Points))
-		fmt.Print(res.Plot)
-		fmt.Println()
+		os.Stdout.Write(bufs[i].Bytes())
 	}
 	return nil
 }
 
-func fig2() error {
-	header("Figure 2: traditional profile (calling context tree)")
+func header(w io.Writer, s string) {
+	fmt.Fprintf(w, "\n================ %s ================\n\n", s)
+}
+
+func fig1(w io.Writer) error {
+	header(w, "Figure 1: cost functions of insertion sort")
+	results, err := experiments.Figure1All(sweep)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		fmt.Fprintf(w, "(%s input)  steps ≈ %s   [model %s, R2=%.3f, %d runs]\n",
+			res.Order, res.Text, res.Model, res.R2, len(res.Points))
+		fmt.Fprint(w, res.Plot)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func fig2(w io.Writer) error {
+	header(w, "Figure 2: traditional profile (calling context tree)")
 	res, err := experiments.Figure2(sweep)
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Tree)
-	fmt.Printf("\nhottest method (exclusive): %s\nmost called: %s\n",
+	fmt.Fprint(w, res.Tree)
+	fmt.Fprintf(w, "\nhottest method (exclusive): %s\nmost called: %s\n",
 		res.HottestExclusive, res.MostCalled)
 	return nil
 }
 
-func fig3() error {
-	header("Figure 3: algorithmic profile (repetition tree)")
+func fig3(w io.Writer) error {
+	header(w, "Figure 3: algorithmic profile (repetition tree)")
 	res, err := experiments.Figure3(sweep)
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Tree)
-	fmt.Printf("\nloops: %d; sort: %s (steps ≈ %.3g*%s); construct: %s\n",
+	fmt.Fprint(w, res.Tree)
+	fmt.Fprintf(w, "\nloops: %d; sort: %s (steps ≈ %.3g*%s); construct: %s\n",
 		res.LoopCount, res.SortDescription, res.SortCoeff, res.SortModel, res.ConstructDescription)
 	return nil
 }
 
-func table1() error {
-	header("Table 1: data structure examples")
+func table1(w io.Writer) error {
+	header(w, "Table 1: data structure examples")
 	outcomes, err := experiments.Table1(24, sweep.Seed)
 	if err != nil {
 		return err
 	}
-	fmt.Print(experiments.RenderTable1(outcomes))
+	fmt.Fprint(w, experiments.RenderTable1(outcomes))
 	return nil
 }
 
-func fig45() error {
-	header("Figures 4 & 5: growing an array-backed list")
+func fig45(w io.Writer) error {
+	header(w, "Figures 4 & 5: growing an array-backed list")
 	res, err := experiments.Figure45(sweep)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Repetition tree (naive growth):")
-	fmt.Print(res.NaiveTree)
-	fmt.Printf("\nappend+grow grouped: %v\n", res.Grouped)
-	fmt.Printf("\nnaive (grow by 1):  cost ≈ %.3g*%s\n", res.NaiveCoeff, res.NaiveModel)
-	fmt.Print(res.NaivePlot)
-	fmt.Printf("\nideal (doubling):   cost ≈ %.3g*%s\n", res.IdealCoeff, res.IdealModel)
-	fmt.Print(res.IdealPlot)
+	fmt.Fprintln(w, "Repetition tree (naive growth):")
+	fmt.Fprint(w, res.NaiveTree)
+	fmt.Fprintf(w, "\nappend+grow grouped: %v\n", res.Grouped)
+	fmt.Fprintf(w, "\nnaive (grow by 1):  cost ≈ %.3g*%s\n", res.NaiveCoeff, res.NaiveModel)
+	fmt.Fprint(w, res.NaivePlot)
+	fmt.Fprintf(w, "\nideal (doubling):   cost ≈ %.3g*%s\n", res.IdealCoeff, res.IdealModel)
+	fmt.Fprint(w, res.IdealPlot)
 	return nil
 }
 
-func paradigm() error {
-	header("§4.3: paradigm agnosticism (imperative vs functional sort)")
+func paradigm(w io.Writer) error {
+	header(w, "§4.3: paradigm agnosticism (imperative vs functional sort)")
 	res, err := experiments.Paradigm(sweep)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("imperative sort:  model %-8s coeff %.3f  total steps %d\n",
+	fmt.Fprintf(w, "imperative sort:  model %-8s coeff %.3f  total steps %d\n",
 		res.ImperativeModel, res.ImperativeCoeff, res.ImperativeTotalSteps)
-	fmt.Printf("functional insert: model %-8s coeff %.3f  total steps %d\n",
+	fmt.Fprintf(w, "functional insert: model %-8s coeff %.3f  total steps %d\n",
 		res.FunctionalInsertModel, res.FunctionalInsertCoeff, res.FunctionalTotalSteps)
-	fmt.Printf("functional classification: %s\n", res.FunctionalDescription)
-	fmt.Printf("nested repetitions (sort ▷ insert): %v\n", res.NestedRecursions)
+	fmt.Fprintf(w, "functional classification: %s\n", res.FunctionalDescription)
+	fmt.Fprintf(w, "nested repetitions (sort ▷ insert): %v\n", res.NestedRecursions)
 	return nil
 }
 
-func listing3() error {
-	header("Listing 3: combining costs")
+func listing3(w io.Writer) error {
+	header(w, "Listing 3: combining costs")
 	prof, err := algoprof.Run(workloads.Listing3, algoprof.Config{Seed: sweep.Seed})
 	if err != nil {
 		return err
@@ -163,101 +207,198 @@ func listing3() error {
 	if alg == nil {
 		return fmt.Errorf("nest algorithm missing")
 	}
-	fmt.Printf("combined algorithmic steps of the nest: %d (3 outer + 0+1+2 inner)\n", alg.TotalSteps)
+	fmt.Fprintf(w, "combined algorithmic steps of the nest: %d (3 outer + 0+1+2 inner)\n", alg.TotalSteps)
 	return nil
 }
 
-func listing4() error {
-	header("Listing 4: constructions measured at repetition exit")
+func listing4(w io.Writer) error {
+	header(w, "Listing 4: constructions measured at repetition exit")
 	prof, err := algoprof.Run(workloads.Listing4(15), algoprof.Config{Seed: sweep.Seed})
 	if err != nil {
 		return err
 	}
-	fmt.Print(prof.Tree())
+	fmt.Fprint(w, prof.Tree())
 	return nil
 }
 
-func listing5() error {
-	header("Listing 5: the array-nest grouping limitation")
+func listing5(w io.Writer) error {
+	header(w, "Listing 5: the array-nest grouping limitation")
 	prof, err := algoprof.Run(workloads.Listing5, algoprof.Config{Seed: sweep.Seed})
 	if err != nil {
 		return err
 	}
-	fmt.Print(prof.Tree())
+	fmt.Fprint(w, prof.Tree())
 	outer := prof.Find("Main.main/loop1")
-	fmt.Printf("\nouter loop data-structure-less (not grouped): %v\n", outer != nil && outer.DataStructureLess)
+	fmt.Fprintf(w, "\nouter loop data-structure-less (not grouped): %v\n", outer != nil && outer.DataStructureLess)
 	return nil
 }
 
-func overhead() error {
-	header("§5: profiling overhead")
+func overhead(w io.Writer) error {
+	header(w, "§5: profiling overhead")
 	res, err := experiments.Overhead(sweep, func() int64 { return time.Now().UnixNano() })
 	if err != nil {
 		return err
 	}
-	fmt.Printf("plain run:    %12d instructions  %10.2fms\n",
+	fmt.Fprintf(w, "plain run:    %12d instructions  %10.2fms\n",
 		res.PlainInstrs, float64(res.PlainNs)/1e6)
-	fmt.Printf("profiled run: %12d instructions  %10.2fms\n",
+	fmt.Fprintf(w, "profiled run: %12d instructions  %10.2fms\n",
 		res.ProfiledInstrs, float64(res.ProfiledNs)/1e6)
-	fmt.Printf("slowdown: %.1fx\n", res.Slowdown())
+	fmt.Fprintf(w, "slowdown: %.1fx\n", res.Slowdown())
 
-	fmt.Println("\nslowdown by input size (snapshots cost O(size) per invocation):")
+	fmt.Fprintln(w, "\nslowdown by input size (without memoization, snapshots cost O(size) per invocation):")
 	pts, err := experiments.OverheadSweep([]int{16, 64, 256}, sweep.Seed,
 		func() int64 { return time.Now().UnixNano() })
 	if err != nil {
 		return err
 	}
+	fmt.Fprintln(w, "         memoized   no-memo")
 	for _, p := range pts {
-		fmt.Printf("  n=%-5d %6.1fx\n", p.Size, p.Slowdown())
+		fmt.Fprintf(w, "  n=%-5d %6.1fx  %6.1fx\n", p.Size, p.Slowdown(), p.NoMemoSlowdown())
 	}
 	return nil
 }
 
-func goldsmith() error {
-	header("Baseline: Goldsmith et al. basic-block profiling")
+func goldsmith(w io.Writer) error {
+	header(w, "Baseline: Goldsmith et al. basic-block profiling")
 	res, err := experiments.Goldsmith(sweep)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("manual input-size annotations required: %d runs\n", res.ManualRuns)
-	fmt.Printf("steepest location model: %s\n\n", res.TopModel)
-	fmt.Print(res.Report)
+	fmt.Fprintf(w, "manual input-size annotations required: %d runs\n", res.ManualRuns)
+	fmt.Fprintf(w, "steepest location model: %s\n\n", res.TopModel)
+	fmt.Fprint(w, res.Report)
 	return nil
 }
 
-func ablations() error {
-	header("Ablations")
+func ablations(w io.Writer) error {
+	header(w, "Ablations")
 	ss, err := experiments.AblationSizeStrategy()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("array size strategy on Listing 4's 1000-slot array (10 used):\n")
-	fmt.Printf("  capacity strategy: %d   unique-element strategy: %d\n", ss.CapacitySize, ss.UniqueSize)
+	fmt.Fprintf(w, "array size strategy on Listing 4's 1000-slot array (10 used):\n")
+	fmt.Fprintf(w, "  capacity strategy: %d   unique-element strategy: %d\n", ss.CapacitySize, ss.UniqueSize)
 
 	id, err := experiments.AblationIdentify(400, func() int64 { return time.Now().UnixNano() })
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\ninput identification on a 400-node construction:\n")
-	fmt.Printf("  deferred (paper's optimization): %8.2fms\n", float64(id.DeferredNs)/1e6)
-	fmt.Printf("  eager (snapshot per access):     %8.2fms\n", float64(id.EagerNs)/1e6)
-	fmt.Printf("  same results: %v\n", id.SameInputs)
+	fmt.Fprintf(w, "\ninput identification on a 400-node construction:\n")
+	fmt.Fprintf(w, "  deferred (paper's optimization): %8.2fms\n", float64(id.DeferredNs)/1e6)
+	fmt.Fprintf(w, "  eager (snapshot per access):     %8.2fms\n", float64(id.EagerNs)/1e6)
+	fmt.Fprintf(w, "  same results: %v\n", id.SameInputs)
 	return nil
 }
 
-func crossover() error {
-	header("Extension: insertion sort vs merge sort crossover")
+func crossover(w io.Writer) error {
+	header(w, "Extension: insertion sort vs merge sort crossover")
 	res, err := experiments.Crossover(sweep)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("insertion sort: steps ≈ %.3g*%s\n", res.InsertionCoeff, res.InsertionModel)
-	fmt.Printf("merge sort:     steps ≈ %.3g*%s\n", res.MergeCoeff, res.MergeModel)
-	fmt.Printf("at n=%d: insertion %.0f vs merge %.0f steps\n",
+	fmt.Fprintf(w, "insertion sort: steps ≈ %.3g*%s\n", res.InsertionCoeff, res.InsertionModel)
+	fmt.Fprintf(w, "merge sort:     steps ≈ %.3g*%s\n", res.MergeCoeff, res.MergeModel)
+	fmt.Fprintf(w, "at n=%d: insertion %.0f vs merge %.0f steps\n",
 		sweep.MaxSize, res.InsertionAtMax, res.MergeAtMax)
 	if res.CrossoverN > 0 {
-		fmt.Printf("crossover: merge sort wins above n ≈ %d\n", res.CrossoverN)
+		fmt.Fprintf(w, "crossover: merge sort wins above n ≈ %d\n", res.CrossoverN)
 	}
+	return nil
+}
+
+// benchReport is the machine-readable perf baseline written by the bench
+// subcommand — the trajectory file future changes compare against.
+type benchReport struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoMaxProcs    int    `json:"go_maxprocs"`
+	Parallelism   int    `json:"parallelism"`
+	Sweep         struct {
+		MaxSize int    `json:"max_size"`
+		Step    int    `json:"step"`
+		Reps    int    `json:"reps"`
+		Seed    uint64 `json:"seed"`
+	} `json:"sweep"`
+	Overhead struct {
+		PlainInstrs    uint64  `json:"plain_instrs"`
+		ProfiledInstrs uint64  `json:"profiled_instrs"`
+		PlainNs        int64   `json:"plain_ns"`
+		ProfiledNs     int64   `json:"profiled_ns"`
+		Slowdown       float64 `json:"slowdown"`
+	} `json:"overhead"`
+	Points []benchPoint `json:"overhead_sweep"`
+}
+
+type benchPoint struct {
+	Size           int     `json:"size"`
+	PlainNs        int64   `json:"plain_ns"`
+	ProfiledNs     int64   `json:"profiled_ns"`
+	NoMemoNs       int64   `json:"no_memo_ns"`
+	Slowdown       float64 `json:"slowdown"`
+	NoMemoSlowdown float64 `json:"no_memo_slowdown"`
+	MemoSpeedup    float64 `json:"memo_speedup"`
+}
+
+// bench measures overhead and the memoization ablation and writes the
+// results as JSON (the BENCH_overhead.json perf baseline).
+func bench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_overhead.json", "output file (\"-\" = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	now := func() int64 { return time.Now().UnixNano() }
+	var rep benchReport
+	rep.GeneratedUnix = time.Now().Unix()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Parallelism = experiments.Parallelism()
+	rep.Sweep.MaxSize = sweep.MaxSize
+	rep.Sweep.Step = sweep.Step
+	rep.Sweep.Reps = sweep.Reps
+	rep.Sweep.Seed = sweep.Seed
+
+	ov, err := experiments.Overhead(sweep, now)
+	if err != nil {
+		return err
+	}
+	rep.Overhead.PlainInstrs = ov.PlainInstrs
+	rep.Overhead.ProfiledInstrs = ov.ProfiledInstrs
+	rep.Overhead.PlainNs = ov.PlainNs
+	rep.Overhead.ProfiledNs = ov.ProfiledNs
+	rep.Overhead.Slowdown = ov.Slowdown()
+
+	pts, err := experiments.OverheadSweep([]int{16, 64, 256, 512}, sweep.Seed, now)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		bp := benchPoint{
+			Size:           p.Size,
+			PlainNs:        p.PlainNs,
+			ProfiledNs:     p.ProfiledNs,
+			NoMemoNs:       p.NoMemoNs,
+			Slowdown:       p.Slowdown(),
+			NoMemoSlowdown: p.NoMemoSlowdown(),
+		}
+		if p.ProfiledNs > 0 {
+			bp.MemoSpeedup = float64(p.NoMemoNs) / float64(p.ProfiledNs)
+		}
+		rep.Points = append(rep.Points, bp)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d sweep points)\n", *out, len(rep.Points))
 	return nil
 }
 

@@ -130,8 +130,9 @@ type invocation struct {
 	// lastRef remembers the most recently accessed entity per input, the
 	// starting point for the exit remeasurement (§3.4).
 	lastRef map[int]events.Entity
-	// measuredEpoch caches the registry write epoch at the last
-	// measurement per input so read-only invocations skip re-traversal.
+	// measuredEpoch caches each input's write epoch at its last
+	// measurement so invocations that did not write into the input skip
+	// the exit re-traversal (writes to other inputs do not invalidate).
 	measuredEpoch map[int]uint64
 
 	// Deferred identification of not-yet-known structures (§3.4,
@@ -245,6 +246,10 @@ type Options struct {
 	// thin out proportionally. Implements the paper's §3.3 suggestion for
 	// reducing the profiler's memory footprint.
 	SampleEvery int
+	// DisableMemo turns off the registry's incremental snapshot memo
+	// (ablation: every observation re-traverses its structure, the
+	// paper's measured behaviour).
+	DisableMemo bool
 }
 
 // Profiler consumes events and builds the repetition tree. It implements
@@ -311,8 +316,12 @@ func NewCustomProfiler(rt *rectype.Result,
 }
 
 func newProfiler(rt *rectype.Result, opts Options) *Profiler {
+	reg := snapshot.NewRegistryWith(rt, opts.SizeStrategy, opts.Criterion)
+	if opts.DisableMemo {
+		reg.SetMemoization(false)
+	}
 	p := &Profiler{
-		reg:         snapshot.NewRegistryWith(rt, opts.SizeStrategy, opts.Criterion),
+		reg:         reg,
 		opts:        opts,
 		root:        &Node{Kind: KindRoot, ID: -1},
 		allocatedBy: map[uint64]*Node{},
@@ -427,8 +436,8 @@ func (p *Profiler) finalize(node *Node) {
 // reference) and resolve deferred identifications.
 func (p *Profiler) remeasure(inv *invocation) {
 	for id, ref := range inv.lastRef {
-		if epoch, ok := inv.measuredEpoch[id]; ok && epoch == p.reg.WriteEpoch() {
-			continue // nothing written since the last measurement
+		if epoch, ok := inv.measuredEpoch[id]; ok && epoch == p.reg.InputEpoch(id) {
+			continue // nothing written into this input since the last measurement
 		}
 		obs := p.reg.Observe(ref)
 		p.recordSize(inv, obs)
@@ -468,7 +477,7 @@ func (p *Profiler) recordSize(inv *invocation, obs snapshot.Observation) {
 	if inv.measuredEpoch == nil {
 		inv.measuredEpoch = map[int]uint64{}
 	}
-	inv.measuredEpoch[obs.InputID] = p.reg.WriteEpoch()
+	inv.measuredEpoch[obs.InputID] = p.reg.InputEpoch(obs.InputID)
 }
 
 // exitCurrent force-exits the current node (used only for error recovery).
@@ -615,7 +624,7 @@ func (p *Profiler) FieldGet(obj events.Entity, fieldID int) {
 
 // FieldPut implements events.Listener.
 func (p *Profiler) FieldPut(obj events.Entity, fieldID int, _ events.Entity) {
-	p.reg.NoteWrite()
+	p.reg.NoteWriteTo(obj)
 	p.structureAccess(obj, OpPut, p.fieldTypeName(fieldID))
 }
 
@@ -626,7 +635,7 @@ func (p *Profiler) ArrayLoad(arr events.Entity) {
 
 // ArrayStore implements events.Listener.
 func (p *Profiler) ArrayStore(arr events.Entity, _ events.Entity) {
-	p.reg.NoteWrite()
+	p.reg.NoteWriteTo(arr)
 	p.structureAccess(arr, OpArrStore, arr.TypeName())
 }
 

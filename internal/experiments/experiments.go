@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"algoprof"
 	"algoprof/internal/bbprof"
@@ -85,6 +86,19 @@ func Figure1(order workloads.Order, sw Sweep) (*Figure1Result, error) {
 		Text:      cf.Text,
 		Plot:      plot,
 	}, nil
+}
+
+// Figure1All regenerates all three Figure 1 panels (random, sorted,
+// reversed input), running the independent panels on the worker pool.
+func Figure1All(sw Sweep) ([]*Figure1Result, error) {
+	orders := []workloads.Order{workloads.Random, workloads.Sorted, workloads.Reversed}
+	out := make([]*Figure1Result, len(orders))
+	err := forEachIndex(len(orders), func(i int) error {
+		res, err := Figure1(orders[i], sw)
+		out[i] = res
+		return err
+	})
+	return out, err
 }
 
 // ---------------------------------------------------------------------------
@@ -190,15 +204,22 @@ type Table1Outcome struct {
 	Result workloads.RowResult
 }
 
-// Table1 evaluates all 18 rows at the given structure size.
+// Table1 evaluates all 18 rows at the given structure size. The rows are
+// independent profiling runs and execute on the worker pool; the outcome
+// order matches the paper's row order regardless of the worker count.
 func Table1(size int, seed uint64) ([]Table1Outcome, error) {
-	var out []Table1Outcome
-	for _, row := range workloads.Table1() {
-		res, err := workloads.EvaluateRow(row, size, seed)
+	rows := workloads.Table1()
+	out := make([]Table1Outcome, len(rows))
+	err := forEachIndex(len(rows), func(i int) error {
+		res, err := workloads.EvaluateRow(rows[i], size, seed)
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", row.Name(), err)
+			return fmt.Errorf("table1 %s: %w", rows[i].Name(), err)
 		}
-		out = append(out, Table1Outcome{Row: row, Result: res})
+		out[i] = Table1Outcome{Row: rows[i], Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -240,18 +261,22 @@ type Figure45Result struct {
 	Grouped bool
 }
 
-// Figure45 profiles Listing 6 under both growth strategies.
+// Figure45 profiles Listing 6 under both growth strategies; the two
+// independent strategy runs execute on the worker pool.
 func Figure45(sw Sweep) (*Figure45Result, error) {
 	res := &Figure45Result{Grouped: true}
-	for _, naive := range []bool{true, false} {
+	var mu sync.Mutex
+	strategies := []bool{true, false}
+	err := forEachIndex(len(strategies), func(i int) error {
+		naive := strategies[i]
 		prof, err := algoprof.Run(workloads.ArrayListGrow(naive, sw.MaxSize, sw.Step, sw.Reps),
 			algoprof.Config{Seed: sw.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		alg := prof.Find("Main.testForSize/loop1")
 		if alg == nil {
-			return nil, fmt.Errorf("figure45(naive=%v): append algorithm not found", naive)
+			return fmt.Errorf("figure45(naive=%v): append algorithm not found", naive)
 		}
 		hasGrow := false
 		for _, n := range alg.Nodes {
@@ -259,16 +284,18 @@ func Figure45(sw Sweep) (*Figure45Result, error) {
 				hasGrow = true
 			}
 		}
-		if !hasGrow {
-			res.Grouped = false
-		}
 		if len(alg.CostFunctions) == 0 {
-			return nil, fmt.Errorf("figure45(naive=%v): no cost function", naive)
+			return fmt.Errorf("figure45(naive=%v): no cost function", naive)
 		}
 		cf := alg.CostFunctions[0]
 		plot, err := prof.PlotAlgorithm("Main.testForSize/loop1", cf.InputLabel, 64, 14)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if !hasGrow {
+			res.Grouped = false
 		}
 		if naive {
 			res.NaiveModel, res.NaiveCoeff, res.NaivePlot = cf.Model, cf.Coeff, plot
@@ -276,6 +303,10 @@ func Figure45(sw Sweep) (*Figure45Result, error) {
 		} else {
 			res.IdealModel, res.IdealCoeff, res.IdealPlot = cf.Model, cf.Coeff, plot
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -318,9 +349,21 @@ type ParadigmResult struct {
 }
 
 // Paradigm profiles both implementations on random inputs and compares
-// their algorithmic profiles.
+// their algorithmic profiles. The imperative and functional runs are
+// independent and execute on the worker pool.
 func Paradigm(sw Sweep) (*ParadigmResult, error) {
-	imp, err := Figure1(workloads.Random, sw)
+	var imp *Figure1Result
+	var prof *algoprof.Profile
+	err := forEachIndex(2, func(i int) error {
+		var err error
+		if i == 0 {
+			imp, err = Figure1(workloads.Random, sw)
+		} else {
+			prof, err = algoprof.Run(workloads.FunctionalSort(workloads.Random, sw.MaxSize, sw.Step, sw.Reps),
+				algoprof.Config{Seed: sw.Seed})
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -332,11 +375,6 @@ func Paradigm(sw Sweep) (*ParadigmResult, error) {
 		res.ImperativeTotalSteps += p.Steps
 	}
 
-	prof, err := algoprof.Run(workloads.FunctionalSort(workloads.Random, sw.MaxSize, sw.Step, sw.Reps),
-		algoprof.Config{Seed: sw.Seed})
-	if err != nil {
-		return nil, err
-	}
 	insertAlg := prof.Find("FSort.insert/recursion")
 	if insertAlg == nil {
 		return nil, fmt.Errorf("paradigm: functional insert algorithm not found")
@@ -443,21 +481,30 @@ type GoldsmithResult struct {
 
 // Goldsmith runs the basic-block baseline over a size sweep of single-sort
 // programs, supplying the input sizes manually as the FSE'07 approach
-// requires.
+// requires. The sweep points are independent runs on the worker pool.
 func Goldsmith(sw Sweep) (*GoldsmithResult, error) {
-	var runs []bbprof.Run
+	var sizes []int
 	for size := 4; size < sw.MaxSize; size += sw.Step {
-		src := workloads.RunningExample(workloads.Random, size+1, maxInt(size, 1), 1)
+		sizes = append(sizes, size)
+	}
+	runs := make([]bbprof.Run, len(sizes))
+	err := forEachIndex(len(sizes), func(i int) error {
+		size := sizes[i]
+		src := workloads.RunningExample(workloads.Random, size+1, max(size, 1), 1)
 		prog, err := compiler.CompileSource(src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := bbprof.New(prog)
 		machine := vm.New(prog, vm.Config{InstrHook: p.Hook, Seed: sw.Seed})
 		if err := machine.Run(); err != nil {
-			return nil, err
+			return err
 		}
-		runs = append(runs, p.Snapshot(size))
+		runs[i] = p.Snapshot(size)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(runs) < 3 {
 		return nil, fmt.Errorf("goldsmith: need at least 3 runs")
@@ -477,13 +524,6 @@ func Goldsmith(sw Sweep) (*GoldsmithResult, error) {
 		Report:     bbprof.Render(prog, fits, 5),
 		ManualRuns: len(runs),
 	}, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ---------------------------------------------------------------------------
@@ -661,14 +701,19 @@ func Crossover(sw Sweep) (*CrossoverResult, error) {
 // ---------------------------------------------------------------------------
 // Overhead scaling.
 
-// OverheadPoint is the profiling slowdown at one input size.
+// OverheadPoint is the profiling slowdown at one input size, measured
+// both with the incremental snapshot memo (the default) and without it
+// (the paper's measured behaviour, which §5 calls to optimize).
 type OverheadPoint struct {
 	Size       int
 	PlainNs    int64
 	ProfiledNs int64
+	// NoMemoNs is the profiled wall time with snapshot memoization
+	// disabled: every observation re-traverses its O(size) structure.
+	NoMemoNs int64
 }
 
-// Slowdown is the wall-clock ratio at this size.
+// Slowdown is the wall-clock ratio at this size (memoized profiler).
 func (p OverheadPoint) Slowdown() float64 {
 	if p.PlainNs == 0 {
 		return 0
@@ -676,29 +721,68 @@ func (p OverheadPoint) Slowdown() float64 {
 	return float64(p.ProfiledNs) / float64(p.PlainNs)
 }
 
+// NoMemoSlowdown is the wall-clock ratio with memoization disabled.
+func (p OverheadPoint) NoMemoSlowdown() float64 {
+	if p.PlainNs == 0 {
+		return 0
+	}
+	return float64(p.NoMemoNs) / float64(p.PlainNs)
+}
+
 // OverheadSweep measures the profiling slowdown at increasing input sizes:
-// snapshots cost O(structure size) per repetition invocation, so the
-// relative overhead grows with input size — quantifying why the paper
-// calls for incremental snapshot optimizations (§5).
+// without memoization, snapshots cost O(structure size) per repetition
+// invocation, so the relative overhead grows with input size — the
+// incremental-snapshot ablation quantifies what the memo buys. The
+// workload is the running example in its sort-once-query-many form
+// (RunningExampleScanned) on sorted input: sorted input keeps the sort's
+// write-heavy phase linear (a written structure must be re-traversed in
+// both modes), so the repeated read-only scans — the regime incremental
+// snapshots target — carry the snapshot cost. The sweep points are
+// independent and run on the worker pool; each point's
+// plain/profiled/no-memo runs stay sequential so its ratios compare like
+// with like. Each leg is timed best-of-3 to damp scheduler noise at the
+// microsecond-scale small sizes.
 func OverheadSweep(sizes []int, seed uint64, now func() int64) ([]OverheadPoint, error) {
-	var out []OverheadPoint
-	for _, size := range sizes {
-		src := workloads.RunningExample(workloads.Random, size+1, maxInt(size, 1), 2)
+	const rounds = 3
+	out := make([]OverheadPoint, len(sizes))
+	err := forEachIndex(len(sizes), func(i int) error {
+		size := sizes[i]
+		src := workloads.RunningExampleScanned(workloads.Sorted, size+1, max(size, 1), 2, 4*size)
 		prog, err := compiler.CompileSource(src)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t0 := now()
-		plain := vm.New(prog, vm.Config{Seed: seed})
-		if err := plain.Run(); err != nil {
-			return nil, err
+		best := func(prev, d int64) int64 {
+			if prev == 0 || d < prev {
+				return d
+			}
+			return prev
 		}
-		t1 := now()
-		if _, err := algoprof.RunProgram(prog, algoprof.Config{Seed: seed}); err != nil {
-			return nil, err
+		pt := OverheadPoint{Size: size}
+		for round := 0; round < rounds; round++ {
+			t0 := now()
+			plain := vm.New(prog, vm.Config{Seed: seed})
+			if err := plain.Run(); err != nil {
+				return err
+			}
+			t1 := now()
+			if _, err := algoprof.RunProgram(prog, algoprof.Config{Seed: seed}); err != nil {
+				return err
+			}
+			t2 := now()
+			if _, err := algoprof.RunProgram(prog, algoprof.Config{Seed: seed, DisableMemo: true}); err != nil {
+				return err
+			}
+			t3 := now()
+			pt.PlainNs = best(pt.PlainNs, t1-t0)
+			pt.ProfiledNs = best(pt.ProfiledNs, t2-t1)
+			pt.NoMemoNs = best(pt.NoMemoNs, t3-t2)
 		}
-		t2 := now()
-		out = append(out, OverheadPoint{Size: size, PlainNs: t1 - t0, ProfiledNs: t2 - t1})
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,74 @@
+// Worker-pool sweep runner. Every figure/table sweep in this package is a
+// loop over independent, deterministic VM runs (each point compiles,
+// instruments and executes its own program in fully isolated state), so
+// the points can execute concurrently — the multithreaded-profiling
+// observation of Coppa et al.: input-sensitive profiles compose across
+// independent execution units. Results are written by index, keeping the
+// output ordering deterministic regardless of the worker count.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the worker-pool bound; 0 means GOMAXPROCS.
+var parallelism atomic.Int64
+
+// SetParallelism bounds the number of concurrent sweep points (n < 1
+// resets to the default, GOMAXPROCS). cmd/paper wires this to its -j flag.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism returns the current worker-pool bound.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndex runs fn(0) … fn(n-1) across at most Parallelism() workers
+// and waits for all of them. fn must deposit its result at its own index
+// in a pre-sized slice; ordering of results is then independent of
+// scheduling. When several points fail, the lowest-index error is
+// returned, so error reporting is deterministic too.
+func forEachIndex(n int, fn func(i int) error) error {
+	workers := min(Parallelism(), n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package snapshot
+
+import "testing"
+
+// The snapshot memo (Registry.Observe) may only serve a cached observation
+// when doing so is indistinguishable from a fresh traversal: the tests
+// here pin down the invalidation rules (writes, merges), the per-root
+// granularity, the criterion bypasses, and the ablation switch.
+
+func TestMemoHitOnUnwrittenStructure(t *testing.T) {
+	head, _ := list(1, 4)
+	r := NewRegistry(rt(1, 0), Capacity)
+	o1 := r.Observe(head)
+	o2 := r.Observe(head)
+	if o1 != o2 {
+		t.Errorf("repeat observation differs: %v vs %v", o1, o2)
+	}
+	if hits, misses := r.MemoStats(); hits != 1 || misses != 1 {
+		t.Errorf("MemoStats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if r.Input(o1.InputID).Observations != 2 {
+		t.Errorf("Observations = %d, want 2 (hits still count)", r.Input(o1.InputID).Observations)
+	}
+}
+
+func TestMemoInvalidatedByWrite(t *testing.T) {
+	head, nodes := list(1, 3)
+	r := NewRegistry(rt(1, 0), Capacity)
+	r.Observe(head)
+
+	// Grow the list through its tail, reporting the write as FieldPut does.
+	extra := &fakeObj{id: 50, typ: "Node"}
+	nodes[2].refs = append(nodes[2].refs, ref{0, extra})
+	r.NoteWriteTo(nodes[2])
+
+	o := r.Observe(head)
+	if o.Size != 4 {
+		t.Errorf("size after write = %d, want 4 (stale memo served?)", o.Size)
+	}
+	if hits, _ := r.MemoStats(); hits != 0 {
+		t.Errorf("hits = %d, want 0: a write must invalidate the memo", hits)
+	}
+}
+
+func TestMemoCrossInputIsolation(t *testing.T) {
+	h1, _ := list(1, 3)
+	h2, n2 := list(100, 3)
+	r := NewRegistry(rt(1, 0), Capacity)
+	r.Observe(h1)
+	r.Observe(h2)
+
+	// A write into list 2 must not evict list 1's memo.
+	r.NoteWriteTo(n2[1])
+	r.Observe(h1)
+	if hits, _ := r.MemoStats(); hits != 1 {
+		t.Errorf("hits = %d, want 1: writes to other inputs must not invalidate", hits)
+	}
+	// List 2 itself must re-traverse.
+	o := r.Observe(h2)
+	if hits, _ := r.MemoStats(); hits != 1 {
+		t.Errorf("hits = %d, want still 1: written input must miss", hits)
+	}
+	if o.Size != 3 {
+		t.Errorf("size = %d, want 3", o.Size)
+	}
+}
+
+func TestMemoPerRootEntries(t *testing.T) {
+	// A snapshot from a mid-list node of a singly linked list sees only the
+	// tail fragment, so cached sizes must be kept per root.
+	head, nodes := list(1, 5)
+	r := NewRegistry(rt(1, 0), Capacity)
+	if o := r.Observe(head); o.Size != 5 {
+		t.Fatalf("head size = %d, want 5", o.Size)
+	}
+	if o := r.Observe(nodes[3]); o.Size != 2 {
+		t.Fatalf("mid size = %d, want 2", o.Size)
+	}
+	// Second pass over both roots: hits, each with its own fragment size.
+	if o := r.Observe(head); o.Size != 5 {
+		t.Errorf("memoized head size = %d, want 5", o.Size)
+	}
+	if o := r.Observe(nodes[3]); o.Size != 2 {
+		t.Errorf("memoized mid size = %d, want 2", o.Size)
+	}
+	if hits, misses := r.MemoStats(); hits != 2 || misses != 2 {
+		t.Errorf("MemoStats = %d/%d, want 2 hits / 2 misses", hits, misses)
+	}
+}
+
+func TestMemoInvalidatedByMerge(t *testing.T) {
+	h1, n1 := list(1, 3)
+	h2, _ := list(100, 3)
+	r := NewRegistry(rt(1, 0), Capacity)
+	r.Observe(h1)
+	r.Observe(h2)
+	// Connect the two lists; the memoized per-list sizes are stale for the
+	// union even though only list 1 was written.
+	n1[2].refs = append(n1[2].refs, ref{0, h2})
+	r.NoteWriteTo(n1[2])
+	if o := r.Observe(h1); o.Size != 6 {
+		t.Errorf("merged size from h1 = %d, want 6", o.Size)
+	}
+	if o := r.Observe(h2); o.Size != 3 {
+		t.Errorf("size from h2 = %d, want 3 (tail fragment)", o.Size)
+	}
+}
+
+func TestMemoBypassedUnderAllElements(t *testing.T) {
+	head, _ := list(1, 4)
+	r := NewRegistryWith(rt(1, 0), Capacity, AllElements)
+	r.Observe(head)
+	r.Observe(head)
+	if hits, misses := r.MemoStats(); hits != 0 || misses != 2 {
+		t.Errorf("MemoStats = %d/%d, want 0 hits: AllElements compares exact element sets", hits, misses)
+	}
+}
+
+func TestMemoDisabled(t *testing.T) {
+	head, _ := list(1, 4)
+	r := NewRegistry(rt(1, 0), Capacity)
+	r.SetMemoization(false)
+	o1 := r.Observe(head)
+	o2 := r.Observe(head)
+	if o1 != o2 {
+		t.Errorf("observations differ with memo off: %v vs %v", o1, o2)
+	}
+	if hits, misses := r.MemoStats(); hits != 0 || misses != 2 {
+		t.Errorf("MemoStats = %d/%d, want 0 hits when disabled", hits, misses)
+	}
+}
+
+func TestMemoConservativeNoteWrite(t *testing.T) {
+	// The coarse NoteWrite (no written entity known) must dirty every
+	// input, so no memo survives it.
+	h1, _ := list(1, 3)
+	h2, _ := list(100, 3)
+	r := NewRegistry(rt(1, 0), Capacity)
+	r.Observe(h1)
+	r.Observe(h2)
+	r.NoteWrite()
+	r.Observe(h1)
+	r.Observe(h2)
+	if hits, _ := r.MemoStats(); hits != 0 {
+		t.Errorf("hits = %d, want 0 after a global write note", hits)
+	}
+}
+
+func TestMemoWriteToUnknownEntityIsNoop(t *testing.T) {
+	// Writes to entities no snapshot has claimed need no invalidation: an
+	// unclaimed entity was unreachable from every cached snapshot.
+	head, _ := list(1, 3)
+	stray := &fakeObj{id: 999, typ: "Node"}
+	r := NewRegistry(rt(1, 0), Capacity)
+	r.Observe(head)
+	r.NoteWriteTo(stray)
+	r.Observe(head)
+	if hits, _ := r.MemoStats(); hits != 1 {
+		t.Errorf("hits = %d, want 1: unknown-entity write must not invalidate", hits)
+	}
+}
+
+func TestMemoSameArrayFreshInputNotShortCircuited(t *testing.T) {
+	// Under SameArray, an array claimed by a structure input still becomes
+	// a fresh array input when observed directly; the memo must not return
+	// the structure input instead.
+	kids := &fakeArr{id: 10, typ: "Node[]", cap: 2}
+	root := &fakeObj{id: 1, typ: "Node", refs: []ref{{0, kids}}}
+	r := NewRegistryWith(rt(1, 0), Capacity, SameArray)
+	o1 := r.Observe(root) // claims the embedded array for the structure input
+	o2 := r.Observe(kids)
+	if r.Find(o1.InputID) == r.Find(o2.InputID) {
+		t.Fatal("SameArray: direct array observation must create a fresh input")
+	}
+	if r.Input(o2.InputID).Kind != KindArray {
+		t.Errorf("array observation resolved to %v input", r.Input(o2.InputID).Kind)
+	}
+}

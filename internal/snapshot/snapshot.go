@@ -250,6 +250,26 @@ type Input struct {
 	// lastElems is the most recent snapshot's element set, kept only
 	// under the AllElements criterion.
 	lastElems map[uint64]bool
+
+	// lastWrite is the registry write epoch of the most recent write into
+	// this input (0 = never written). Maintained on canonical inputs only;
+	// folded on merge.
+	lastWrite uint64
+	// memo caches full snapshots of this input by root entity, so repeated
+	// observations of an unchanged structure skip the O(size) traversal.
+	// Keyed by root because a snapshot from a different root of the same
+	// input may reach a different fragment (e.g. the tail of a singly
+	// linked list); per-root entries let a traversal loop, whose
+	// invocations observe successive nodes, hit from its second pass on.
+	memo map[uint64]memoEntry
+}
+
+// memoEntry is one cached snapshot observation (see Registry.Observe).
+type memoEntry struct {
+	// epoch is the input's lastWrite at caching time; any later write to
+	// the input invalidates the entry (checked lazily on lookup).
+	epoch uint64
+	size  int
 }
 
 // Label renders a short description like "Node-based recursive structure"
@@ -291,6 +311,17 @@ type Registry struct {
 	keyOwner    map[events.ElemKey]int // overlap key -> input id
 	typeOwner   map[string]int         // SameType: signature -> input id
 	writeEpoch  uint64
+
+	// memoOff disables the incremental snapshot memo (ablation: every
+	// Observe re-traverses, the paper's measured behaviour).
+	memoOff    bool
+	memoHits   uint64
+	memoMisses uint64
+
+	// candSet and candList are scratch buffers reused across
+	// overlapCandidates calls to avoid per-Observe allocations.
+	candSet  map[int]bool
+	candList []int
 }
 
 // NewRegistry creates an input registry with the paper's default
@@ -318,11 +349,53 @@ func (r *Registry) Criterion() Criterion { return r.crit }
 // Strategy returns the registry's array size strategy.
 func (r *Registry) Strategy() Strategy { return r.strat }
 
-// NoteWrite bumps the write epoch; cached sizes are invalid after a write.
-func (r *Registry) NoteWrite() { r.writeEpoch++ }
+// NoteWrite bumps the write epoch and conservatively marks every input
+// dirty: all cached sizes are invalid after the write. Prefer NoteWriteTo,
+// which invalidates only the written structure's cache.
+func (r *Registry) NoteWrite() {
+	r.writeEpoch++
+	for i, in := range r.inputs {
+		if r.parent[i] == i {
+			in.lastWrite = r.writeEpoch
+		}
+	}
+}
 
-// WriteEpoch returns the current write epoch.
+// NoteWriteTo records a write into entity e, marking only the input owning
+// e dirty. A write to an entity not claimed by any input needs no
+// invalidation: an unclaimed entity was unreachable from every cached
+// snapshot (snapshots claim everything they reach), and attaching it to a
+// known structure requires a further write to one of that structure's own
+// (claimed) entities.
+func (r *Registry) NoteWriteTo(e events.Entity) {
+	r.writeEpoch++
+	if owner, ok := r.entityOwner[e.EntityID()]; ok {
+		r.inputs[r.Find(owner)].lastWrite = r.writeEpoch
+	}
+}
+
+// WriteEpoch returns the current global write epoch.
 func (r *Registry) WriteEpoch() uint64 { return r.writeEpoch }
+
+// InputEpoch returns the write epoch of the last write into input id
+// (any id unified into the input; 0 when the input was never written).
+func (r *Registry) InputEpoch(id int) uint64 {
+	if id < 0 || id >= len(r.inputs) {
+		return 0
+	}
+	return r.inputs[r.Find(id)].lastWrite
+}
+
+// SetMemoization toggles the incremental snapshot memo (enabled by
+// default). Disabling it restores the paper's measured behaviour: a full
+// O(size) traversal on every observation.
+func (r *Registry) SetMemoization(on bool) { r.memoOff = !on }
+
+// MemoStats reports how many observations were served from the snapshot
+// memo versus by full traversal.
+func (r *Registry) MemoStats() (hits, misses uint64) {
+	return r.memoHits, r.memoMisses
+}
 
 // Find returns the canonical input id for id.
 func (r *Registry) Find(id int) int {
@@ -363,7 +436,17 @@ func (r *Registry) InputOfID(id uint64) int {
 
 // Observe snapshots the structure rooted at e, unifies it with known
 // inputs, and records its size. Overlapping inputs are merged.
+//
+// When the root's owning input has not been written since its last full
+// snapshot from the same root, the memoized observation is returned
+// without re-traversing the structure (incremental snapshots, §5). The
+// memo is bypassed under the AllElements criterion, which must compare
+// exact element sets on every observation.
 func (r *Registry) Observe(e events.Entity) Observation {
+	if obs, ok := r.memoLookup(e); ok {
+		return obs
+	}
+	r.memoMisses++
 	snap := Take(e, r.rt)
 	size := snap.Size(r.strat)
 
@@ -393,7 +476,46 @@ func (r *Registry) Observe(e events.Entity) Observation {
 	for key := range snap.OverlapKeys {
 		r.keyOwner[key] = target
 	}
+	if r.memoUsable() {
+		if in.memo == nil {
+			in.memo = map[uint64]memoEntry{}
+		}
+		in.memo[e.EntityID()] = memoEntry{epoch: in.lastWrite, size: size}
+	}
 	return Observation{InputID: target, Size: size}
+}
+
+// memoUsable reports whether the snapshot memo applies under the current
+// configuration.
+func (r *Registry) memoUsable() bool {
+	return !r.memoOff && r.crit != AllElements
+}
+
+// memoLookup serves an observation from the memo when the root entity
+// belongs to a known input whose cached snapshot was rooted at the same
+// entity and no write has hit the input since.
+func (r *Registry) memoLookup(e events.Entity) (Observation, bool) {
+	if !r.memoUsable() {
+		return Observation{}, false
+	}
+	owner, ok := r.entityOwner[e.EntityID()]
+	if !ok {
+		return Observation{}, false
+	}
+	target := r.Find(owner)
+	in := r.inputs[target]
+	ent, found := in.memo[e.EntityID()]
+	if !found || ent.epoch != in.lastWrite {
+		return Observation{}, false
+	}
+	if r.crit == SameArray && e.IsArray() && in.Kind != KindArray {
+		// SameArray creates a fresh input for an array claimed by a
+		// structure input; the memo must not short-circuit that.
+		return Observation{}, false
+	}
+	r.memoHits++
+	in.Observations++
+	return Observation{InputID: target, Size: ent.size}, true
 }
 
 // identify applies the equivalence criterion and returns the input the
@@ -457,9 +579,14 @@ func (r *Registry) identify(root events.Entity, snap *Snap) int {
 
 // overlapCandidates returns the canonical ids of all inputs sharing an
 // element (or, when useKeys is set, an element identity key) with snap,
-// sorted ascending.
+// sorted ascending. The returned slice is a scratch buffer owned by the
+// registry, valid only until the next call.
 func (r *Registry) overlapCandidates(snap *Snap, useKeys bool) []int {
-	set := map[int]bool{}
+	if r.candSet == nil {
+		r.candSet = map[int]bool{}
+	}
+	clear(r.candSet)
+	set := r.candSet
 	for id := range snap.Entities {
 		if owner, ok := r.entityOwner[id]; ok {
 			set[r.Find(owner)] = true
@@ -472,11 +599,12 @@ func (r *Registry) overlapCandidates(snap *Snap, useKeys bool) []int {
 			}
 		}
 	}
-	out := make([]int, 0, len(set))
+	out := r.candList[:0]
 	for id := range set {
 		out = append(out, id)
 	}
 	sort.Ints(out)
+	r.candList = out
 	return out
 }
 
@@ -526,5 +654,11 @@ func (r *Registry) merge(a, b int) {
 		ia.MaxArrayRefs = ib.MaxArrayRefs
 	}
 	ia.Observations += ib.Observations
+	if ib.lastWrite > ia.lastWrite {
+		ia.lastWrite = ib.lastWrite
+	}
+	// The union's extent may differ from either cached snapshot.
+	ia.memo = nil
+	ib.memo = nil
 	r.parent[b] = a
 }

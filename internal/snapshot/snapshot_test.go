@@ -204,8 +204,10 @@ func TestRegistryMergesWhenStructuresConnect(t *testing.T) {
 	r := NewRegistry(rt(1, 0), Capacity)
 	a := r.Observe(h1)
 	b := r.Observe(h2)
-	// Link the tail of list 1 to the head of list 2, then re-observe.
+	// Link the tail of list 1 to the head of list 2 (reporting the write,
+	// as FieldPut would), then re-observe.
 	n1[2].refs = append(n1[2].refs, ref{0, h2})
+	r.NoteWriteTo(n1[2])
 	c := r.Observe(h1)
 	if r.Find(a.InputID) != r.Find(b.InputID) || r.Find(c.InputID) != r.Find(a.InputID) {
 		t.Error("connected structures must merge into one input")
@@ -225,7 +227,9 @@ func TestRegistryGrowingStructureMaxSize(t *testing.T) {
 	o := r.Observe(head)
 	for i := 1; i < 6; i++ {
 		n := &fakeObj{id: uint64(i + 1), typ: "Node"}
-		nodes[len(nodes)-1].refs = append(nodes[len(nodes)-1].refs, ref{0, n})
+		tail := nodes[len(nodes)-1]
+		tail.refs = append(tail.refs, ref{0, n})
+		r.NoteWriteTo(tail)
 		nodes = append(nodes, n)
 		o = r.Observe(head)
 	}

@@ -90,6 +90,16 @@ func RunningExampleChecked(order Order, maxSize, sizeStep, reps int) string {
 	return runningExample(order, maxSize, sizeStep, reps, "check(list.isSorted());")
 }
 
+// RunningExampleScanned is RunningExample plus `passes` read-only
+// sortedness scans per constructed list — the sort-once-query-many shape.
+// It is the memo-ablation workload of the §5 overhead sweep: the scans
+// repeatedly traverse an unchanging structure, so without incremental
+// snapshots every scan invocation pays a fresh O(size) traversal.
+func RunningExampleScanned(order Order, maxSize, sizeStep, reps, passes int) string {
+	return runningExample(order, maxSize, sizeStep, reps,
+		fmt.Sprintf(`for (int p = 0; p < %d; p++) { check(list.isSorted()); }`, passes))
+}
+
 func runningExample(order Order, maxSize, sizeStep, reps int, post string) string {
 	var construct string
 	switch order {
