@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench paper
+.PHONY: check build test vet race bench bench-smoke paper
 
 # The tier-1 gate plus the concurrency-sensitive packages under the race
 # detector. Run before committing.
@@ -15,14 +15,23 @@ vet:
 test:
 	$(GO) test ./...
 
-# The experiments package hosts the parallel sweep runner; the snapshot
-# registry and core profiler run inside its worker pool.
+# Concurrency-sensitive packages under the race detector: the event
+# transport (ring buffer, work-stealing barrier), the core profiler and
+# probe consuming it, and the experiments worker pool that the snapshot
+# registry runs inside.
 race:
-	$(GO) test -race ./internal/experiments/...
+	$(GO) test -race ./internal/events/... ./internal/core ./internal/experiments/... ./probe
 
-# Regenerate the machine-readable overhead baseline (use -j 1 timings).
+# Regenerate the machine-readable perf baselines (use -j 1 timings):
+# BENCH_overhead.json (instrumentation overhead + memo ablation) and
+# BENCH_pipeline.json (event-transport configurations).
 bench:
-	$(GO) run ./cmd/paper -j 1 bench -out BENCH_overhead.json
+	$(GO) run ./cmd/paper -j 1 bench -out BENCH_overhead.json -pipeline-out BENCH_pipeline.json
+
+# One-iteration pass over every Go micro-benchmark — a fast compile-and-run
+# sanity check that the benchmarks themselves still work.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # Regenerate every table and figure of the paper.
 paper:

@@ -27,6 +27,7 @@ import (
 
 	"algoprof/internal/classify"
 	"algoprof/internal/core"
+	"algoprof/internal/events/pipeline"
 	"algoprof/internal/fit"
 	"algoprof/internal/group"
 	"algoprof/internal/instrument"
@@ -102,6 +103,12 @@ type Config struct {
 	SampleEvery int
 	// MaxSteps bounds execution (0 = default of 1e9 instructions).
 	MaxSteps uint64
+	// Pipelined routes events through the batched ring-buffer transport
+	// (internal/events/pipeline): the VM produces records and the profiler
+	// core consumes them on its own goroutine, with heap-write barriers
+	// keeping size measurement deterministic. Profiles are byte-identical
+	// to synchronous runs.
+	Pipelined bool
 	// KeepRaw retains access to the underlying profiler state via Raw().
 	// It is always retained currently; the flag is reserved.
 	KeepRaw bool
@@ -276,15 +283,34 @@ func RunProgram(prog *bytecode.Program, cfg Config) (*Profile, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	machine := vm.New(ins.Prog, vm.Config{
+	vmCfg := vm.Config{
 		Listener: prof,
 		Plan:     ins.Plan,
 		Seed:     seed,
 		Input:    cfg.Input,
 		MaxSteps: cfg.MaxSteps,
-	})
-	if err := machine.Run(); err != nil {
-		return nil, err
+	}
+	var tp *pipeline.Transport
+	if cfg.Pipelined {
+		tp = pipeline.New(pipeline.Config{})
+		tp.Add("core", prof, pipeline.ConsumerOptions{HeapReader: true})
+		pr := tp.Producer()
+		vmCfg.Listener = pr
+		vmCfg.PreWrite = pr.Barrier
+	}
+	machine := vm.New(ins.Prog, vmCfg)
+	if tp != nil {
+		tp.Producer().BindClock(&machine.InstrCount)
+		tp.Start()
+	}
+	runErr := machine.Run()
+	if tp != nil {
+		if cerr := tp.Close(); cerr != nil && runErr == nil {
+			runErr = cerr
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	prof.Finish()
 	if errs := prof.Errors(); len(errs) > 0 {

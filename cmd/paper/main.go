@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	paper [-j N] [fig1|fig2|fig3|table1|fig4|fig5|paradigm|listing3|listing4|listing5|overhead|goldsmith|ablations|crossover|all]
-//	paper bench [-out BENCH_overhead.json]
+//	paper [-j N] [fig1|fig2|fig3|table1|fig4|fig5|paradigm|listing3|listing4|listing5|overhead|goldsmith|ablations|crossover|compare|all]
+//	paper bench [-out BENCH_overhead.json] [-pipeline-out BENCH_pipeline.json]
 //
 // -j bounds the worker pool used for sweep points and, under "all", for
 // whole sections; output ordering is deterministic for every -j. The
 // bench subcommand writes machine-readable overhead/sweep timings
-// (including the snapshot-memoization ablation) for perf tracking.
+// (including the snapshot-memoization ablation) for perf tracking, plus
+// the event-transport benchmark (synchronous vs pipelined dispatch,
+// single- vs multi-listener, across workload sizes).
 package main
 
 import (
@@ -65,10 +67,11 @@ func main() {
 		"goldsmith": goldsmith,
 		"ablations": ablations,
 		"crossover": crossover,
+		"compare":   compare,
 	}
 	order := []string{"fig1", "fig2", "fig3", "table1", "fig4", "paradigm",
 		"listing3", "listing4", "listing5", "overhead", "goldsmith", "ablations",
-		"crossover"}
+		"crossover", "compare"}
 
 	if what == "all" {
 		if err := runAll(order, sections); err != nil {
@@ -306,6 +309,20 @@ func crossover(w io.Writer) error {
 	return nil
 }
 
+func compare(w io.Writer) error {
+	header(w, "Single-pass backend comparison (pipelined event transport)")
+	res, err := experiments.Compare(sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "workload executions needed: %d (was 3 before the pipelined transport)\n", res.Passes)
+	fmt.Fprintf(w, "algorithmic profile: sort steps ≈ %.3g*%s\n", res.SortCoeff, res.SortModel)
+	fmt.Fprintf(w, "CCT baseline:        hottest method (exclusive) %s\n", res.HottestExclusive)
+	fmt.Fprintf(w, "basic-block baseline: hottest block %s\n", res.TopBlock)
+	fmt.Fprintf(w, "pipelined == synchronous (byte-identical): %v\n", res.Identical)
+	return nil
+}
+
 // benchReport is the machine-readable perf baseline written by the bench
 // subcommand — the trajectory file future changes compare against.
 type benchReport struct {
@@ -338,16 +355,47 @@ type benchPoint struct {
 	MemoSpeedup    float64 `json:"memo_speedup"`
 }
 
+// pipelineReport is the machine-readable transport benchmark written to
+// BENCH_pipeline.json: synchronous vs pipelined wall time, single- vs
+// multi-listener, across workload sizes.
+type pipelineReport struct {
+	GeneratedUnix int64           `json:"generated_unix"`
+	GoMaxProcs    int             `json:"go_maxprocs"`
+	Seed          uint64          `json:"seed"`
+	Points        []pipelinePoint `json:"points"`
+}
+
+type pipelinePoint struct {
+	Size            int     `json:"size"`
+	Passes          int     `json:"scan_passes"`
+	ThreePassNs     int64   `json:"three_pass_ns"`
+	SyncFanoutNs    int64   `json:"sync_fanout_ns"`
+	PipelinedNs     int64   `json:"pipelined_ns"`
+	SoloSyncNs      int64   `json:"solo_sync_ns"`
+	SoloPipelinedNs int64   `json:"solo_pipelined_ns"`
+	Speedup         float64 `json:"speedup_vs_three_pass"`
+	Identical       bool    `json:"identical"`
+}
+
 // bench measures overhead and the memoization ablation and writes the
-// results as JSON (the BENCH_overhead.json perf baseline).
+// results as JSON (the BENCH_overhead.json perf baseline), plus the event
+// transport benchmark (BENCH_pipeline.json).
 func bench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_overhead.json", "output file (\"-\" = stdout)")
+	out := fs.String("out", "BENCH_overhead.json", "output file (\"-\" = stdout, \"\" = skip)")
+	pipeOut := fs.String("pipeline-out", "BENCH_pipeline.json",
+		"pipeline benchmark output file (\"-\" = stdout, \"\" = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	now := func() int64 { return time.Now().UnixNano() }
+	if *out == "" {
+		if *pipeOut == "" {
+			return nil
+		}
+		return benchPipeline(*pipeOut, now)
+	}
 	var rep benchReport
 	rep.GeneratedUnix = time.Now().Unix()
 	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -392,13 +440,61 @@ func bench(args []string) error {
 	}
 	data = append(data, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d sweep points)\n", *out, len(rep.Points))
+	}
+
+	if *pipeOut == "" {
+		return nil
+	}
+	return benchPipeline(*pipeOut, now)
+}
+
+// benchPipeline runs the event-transport benchmark and writes
+// BENCH_pipeline.json.
+func benchPipeline(out string, now func() int64) error {
+	var rep pipelineReport
+	rep.GeneratedUnix = time.Now().Unix()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Seed = sweep.Seed
+
+	pts, err := experiments.PipelineBench([]int{16, 64, 128, 256}, sweep.Seed, now)
+	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	for _, p := range pts {
+		rep.Points = append(rep.Points, pipelinePoint{
+			Size:            p.Size,
+			Passes:          p.Passes,
+			ThreePassNs:     p.ThreePassNs,
+			SyncFanoutNs:    p.SyncFanoutNs,
+			PipelinedNs:     p.PipelinedNs,
+			SoloSyncNs:      p.SoloSyncNs,
+			SoloPipelinedNs: p.SoloPipelinedNs,
+			Speedup:         p.Speedup(),
+			Identical:       p.Identical,
+		})
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d sweep points)\n", *out, len(rep.Points))
+	data = append(data, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d sizes)\n", out, len(rep.Points))
 	return nil
 }
 

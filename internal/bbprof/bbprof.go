@@ -33,51 +33,66 @@ type Run struct {
 }
 
 // Profiler counts basic-block executions for one run. Wire its Hook into
-// the VM's InstrHook.
+// the VM's InstrHook. Both the pc→block lookup and the counters are dense
+// per-method slices, so the per-instruction hot path never hashes; the
+// map-shaped Run view is materialized only by Snapshot.
 type Profiler struct {
-	prog   *bytecode.Program
-	blocks []map[int]int // per method: pc of block start -> block index
-	counts map[Location]int64
+	prog *bytecode.Program
+	// blockOf[m][pc] is the block index + 1 of a block starting at pc in
+	// method m, or 0 when pc is not a block start.
+	blockOf [][]int32
+	// counts[m][b] is the execution count of method m's block b.
+	counts [][]int64
 }
 
 // New builds a profiler for prog (computing each function's CFG once).
 func New(prog *bytecode.Program) *Profiler {
 	p := &Profiler{
-		prog:   prog,
-		blocks: make([]map[int]int, len(prog.Funcs)),
-		counts: map[Location]int64{},
+		prog:    prog,
+		blockOf: make([][]int32, len(prog.Funcs)),
+		counts:  make([][]int64, len(prog.Funcs)),
 	}
 	for i, fn := range prog.Funcs {
 		g := cfg.Build(fn)
-		starts := make(map[int]int, len(g.Blocks))
+		starts := make([]int32, len(fn.Code))
 		for _, b := range g.Blocks {
-			starts[b.Start] = b.Index
+			starts[b.Start] = int32(b.Index) + 1
 		}
-		p.blocks[i] = starts
+		p.blockOf[i] = starts
+		p.counts[i] = make([]int64, len(g.Blocks))
 	}
 	return p
 }
 
 // Hook is the VM instruction hook: it counts block entries.
 func (p *Profiler) Hook(methodID, pc int) {
-	if b, ok := p.blocks[methodID][pc]; ok {
-		p.counts[Location{MethodID: methodID, Block: b}]++
+	row := p.blockOf[methodID]
+	if pc < len(row) {
+		if b := row[pc]; b != 0 {
+			p.counts[methodID][b-1]++
+		}
 	}
 }
 
 // Snapshot returns the counts accumulated so far (copied) as a Run with
-// the given declared size.
+// the given declared size. Blocks never executed are omitted.
 func (p *Profiler) Snapshot(size int) Run {
-	out := make(map[Location]int64, len(p.counts))
-	for l, c := range p.counts {
-		out[l] = c
+	out := map[Location]int64{}
+	for m, row := range p.counts {
+		for b, c := range row {
+			if c != 0 {
+				out[Location{MethodID: m, Block: b}] = c
+			}
+		}
 	}
 	return Run{Size: size, Counts: out}
 }
 
 // Reset clears the counters for the next run.
 func (p *Profiler) Reset() {
-	p.counts = map[Location]int64{}
+	for _, row := range p.counts {
+		clear(row)
+	}
 }
 
 // LocationFit is the fitted cost function of one basic block across runs.

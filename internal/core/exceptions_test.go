@@ -72,7 +72,7 @@ func TestThrowingTraversalStillMeasured(t *testing.T) {
 	var gets int64
 	for _, inv := range find.History {
 		var invGets int64
-		for k, v := range inv.Costs {
+		for k, v := range inv.Costs() {
 			if k.Op == OpGet && k.Type == "" {
 				invGets += v
 			}

@@ -85,12 +85,47 @@ type Invocation struct {
 	// active when this invocation ran; used to combine child costs into
 	// parent invocations (§2.6).
 	ParentIndex int
-	// Costs maps cost keys to counts.
-	Costs map[CostKey]int64
 	// Sizes maps input ids (non-canonical; resolve via the registry) to
 	// the maximum size measured during this invocation.
 	Sizes map[int]int
+
+	// costs holds the counters as a dense interned-id vector; the map view
+	// is materialized only on demand (Costs).
+	costs costVec
+	keys  *costInterner
 }
+
+// Costs materializes the invocation's cost counters as a map. Counters
+// live in a dense interned-id vector during profiling; call this only at
+// report time.
+func (inv Invocation) Costs() map[CostKey]int64 {
+	if inv.keys == nil {
+		return map[CostKey]int64{}
+	}
+	return inv.costs.materialize(inv.keys)
+}
+
+// Cost returns one counter without materializing the map.
+func (inv Invocation) Cost(k CostKey) int64 {
+	if inv.keys == nil {
+		return 0
+	}
+	id, ok := inv.keys.lookup(k)
+	if !ok {
+		return 0
+	}
+	return inv.costs.get(id)
+}
+
+// EachCost visits every counter in first-recorded order.
+func (inv Invocation) EachCost(f func(CostKey, int64)) {
+	for _, c := range inv.costs.cells {
+		f(inv.keys.keys[c.id], c.n)
+	}
+}
+
+// NumCosts returns the number of distinct cost keys recorded.
+func (inv Invocation) NumCosts() int { return len(inv.costs.cells) }
 
 // Node is a repetition tree node.
 type Node struct {
@@ -104,9 +139,11 @@ type Node struct {
 	// History holds one record per completed invocation (every k-th when
 	// sampling is enabled).
 	History []Invocation
-	// Totals aggregates costs over ALL invocations, independent of
-	// sampling.
-	Totals map[CostKey]int64
+
+	// totals aggregates costs over ALL invocations, independent of
+	// sampling (interned; see Totals and TotalCost).
+	totals costVec
+	keys   *costInterner
 
 	childIdx       map[childKey]*Node
 	active         []*invocation // stack: same-node invocations can nest under recursion folding
@@ -124,16 +161,17 @@ type invocation struct {
 	index       int
 	parentIndex int
 
-	costs map[CostKey]int64
+	costs costVec
 	sizes map[int]int
 
-	// lastRef remembers the most recently accessed entity per input, the
-	// starting point for the exit remeasurement (§3.4).
-	lastRef map[int]events.Entity
-	// measuredEpoch caches each input's write epoch at its last
-	// measurement so invocations that did not write into the input skip
-	// the exit re-traversal (writes to other inputs do not invalidate).
-	measuredEpoch map[int]uint64
+	// touched tracks, per input accessed in this invocation and in
+	// first-access order, the most recently accessed entity (the starting
+	// point for the exit remeasurement, §3.4) and the input's write epoch
+	// at its last measurement (so invocations whose inputs were not
+	// written skip the exit re-traversal). An invocation touches a
+	// handful of inputs at most, so an insertion-ordered association list
+	// replaces two maps — and makes the remeasurement order deterministic.
+	touched []touchedInput
 
 	// Deferred identification of not-yet-known structures (§3.4,
 	// RemeasureInputs): costs are parked and resolved at exit from the
@@ -145,28 +183,43 @@ type invocation struct {
 	pending map[string]*pendingGroup
 }
 
+// touchedInput is one input's per-invocation measurement state.
+type touchedInput struct {
+	id       int
+	ref      events.Entity // last accessed entity; nil if only measured
+	epoch    uint64        // input epoch at last measurement
+	measured bool
+}
+
+// touch returns the invocation's entry for input id, appending one.
+func (inv *invocation) touch(id int) *touchedInput {
+	for i := range inv.touched {
+		if inv.touched[i].id == id {
+			return &inv.touched[i]
+		}
+	}
+	inv.touched = append(inv.touched, touchedInput{id: id})
+	return &inv.touched[len(inv.touched)-1]
+}
+
 // pendingGroup parks costs for one not-yet-identified structure kind.
+// Costs are interned with Input == NoInput; resolution rewrites them to
+// the identified input id.
 type pendingGroup struct {
-	costs map[CostKey]int64
+	costs costVec
 	first events.Entity
 	last  events.Entity
 }
 
-func (inv *invocation) addCost(k CostKey, n int64) {
-	if inv.costs == nil {
-		inv.costs = map[CostKey]int64{}
-	}
-	inv.costs[k] += n
-}
-
-func (inv *invocation) pendingFor(e events.Entity) *pendingGroup {
+func (p *Profiler) pendingFor(inv *invocation, e events.Entity) *pendingGroup {
 	if inv.pending == nil {
 		inv.pending = map[string]*pendingGroup{}
 	}
 	key := e.TypeName()
 	g := inv.pending[key]
 	if g == nil {
-		g = &pendingGroup{costs: map[CostKey]int64{}, first: e}
+		g = p.newPendingGroup()
+		g.first = e
 		inv.pending[key] = g
 	}
 	g.last = e
@@ -203,15 +256,25 @@ func (n *Node) Invocations() int { return len(n.History) }
 // sampling.
 func (n *Node) Started() int { return n.started }
 
+// Totals materializes the node's aggregate cost counters (over ALL
+// invocations, independent of sampling) as a map.
+func (n *Node) Totals() map[CostKey]int64 {
+	if n.keys == nil {
+		return map[CostKey]int64{}
+	}
+	return n.totals.materialize(n.keys)
+}
+
 // TotalCost sums a cost op over all invocations (exact even under
 // sampling). Only untyped keys are summed (every operation is recorded
 // under an untyped key plus optional typed refinements, so this never
 // double counts).
 func (n *Node) TotalCost(op CostOp) int64 {
 	var sum int64
-	for k, v := range n.Totals {
+	for _, c := range n.totals.cells {
+		k := n.keys.keys[c.id]
 		if k.Op == op && k.Type == "" {
-			sum += v
+			sum += c.n
 		}
 	}
 	return sum
@@ -271,6 +334,25 @@ type Profiler struct {
 	// modifications.
 	allocatedBy map[uint64]*Node
 
+	// keys interns CostKeys; stepID is the pre-interned id of cost{STEP},
+	// the single hottest counter.
+	keys   *costInterner
+	stepID int32
+
+	// invFree / pgFree recycle invocation and pending-group storage.
+	invFree []*invocation
+	pgFree  []*pendingGroup
+
+	// ftTIDs caches interned type ids of fieldTypeFn results by field id
+	// (ftKnown marks resolved entries; -1 means untyped).
+	ftTIDs  []int32
+	ftKnown []bool
+
+	// etTIDs caches interned type ids per entity id in a dense base-offset
+	// table (0 = unknown, else tid + 2).
+	etBase uint64
+	etTIDs []int32
+
 	errs []error
 }
 
@@ -325,7 +407,9 @@ func newProfiler(rt *rectype.Result, opts Options) *Profiler {
 		opts:        opts,
 		root:        &Node{Kind: KindRoot, ID: -1},
 		allocatedBy: map[uint64]*Node{},
+		keys:        newCostInterner(),
 	}
+	p.stepID = p.keys.id(CostKey{Op: OpStep, Input: NoInput})
 	p.root.active = []*invocation{{index: 0, parentIndex: 0}}
 	p.root.started = 1
 	p.tn = p.root
@@ -397,10 +481,7 @@ func (p *Profiler) begin(node *Node) {
 			parentInv = pi.index
 		}
 	}
-	node.active = append(node.active, &invocation{
-		index:       node.started,
-		parentIndex: parentInv,
-	})
+	node.active = append(node.active, p.newInvocation(node.started, parentInv))
 	node.started++
 }
 
@@ -414,32 +495,38 @@ func (p *Profiler) finalize(node *Node) {
 	}
 	node.active = node.active[:len(node.active)-1]
 	p.remeasure(inv)
-	if node.Totals == nil {
-		node.Totals = map[CostKey]int64{}
-	}
-	for k, v := range inv.costs {
-		node.Totals[k] += v
+	node.keys = p.keys
+	for _, c := range inv.costs.cells {
+		node.totals.add(c.id, c.n)
 	}
 	if k := p.opts.SampleEvery; k > 1 && inv.index%k != 0 {
-		return // sampled out: totals kept, record dropped
+		// Sampled out: totals kept, record dropped, storage recycled.
+		p.recycle(inv, false)
+		return
 	}
 	node.History = append(node.History, Invocation{
 		Index:       inv.index,
 		ParentIndex: inv.parentIndex,
-		Costs:       inv.costs,
 		Sizes:       inv.sizes,
+		costs:       inv.costs,
+		keys:        p.keys,
 	})
+	p.recycle(inv, true)
 }
 
 // remeasure implements RemeasureInputs (§3.4): at repetition exit, take a
 // final snapshot of each touched input (starting from the last accessed
 // reference) and resolve deferred identifications.
 func (p *Profiler) remeasure(inv *invocation) {
-	for id, ref := range inv.lastRef {
-		if epoch, ok := inv.measuredEpoch[id]; ok && epoch == p.reg.InputEpoch(id) {
+	for i := range inv.touched {
+		t := &inv.touched[i]
+		if t.ref == nil {
+			continue // measured through another input's snapshot; no own root
+		}
+		if t.measured && t.epoch == p.reg.InputEpoch(t.id) {
 			continue // nothing written into this input since the last measurement
 		}
-		obs := p.reg.Observe(ref)
+		obs := p.reg.Observe(t.ref)
 		p.recordSize(inv, obs)
 	}
 	if len(inv.pending) > 0 {
@@ -458,12 +545,16 @@ func (p *Profiler) remeasure(inv *invocation) {
 			}
 			obs := p.reg.Observe(g.last)
 			p.recordSize(inv, obs)
-			for k, v := range g.costs {
+			for _, c := range g.costs.cells {
+				k := p.keys.keys[c.id]
 				k.Input = obs.InputID
-				inv.addCost(k, v)
+				inv.costs.add(p.keys.id(k), c.n)
 			}
+			g.costs.reset()
+			g.first, g.last = nil, nil
+			p.pgFree = append(p.pgFree, g)
 		}
-		inv.pending = nil
+		clear(inv.pending)
 	}
 }
 
@@ -474,10 +565,9 @@ func (p *Profiler) recordSize(inv *invocation, obs snapshot.Observation) {
 	if obs.Size > inv.sizes[obs.InputID] {
 		inv.sizes[obs.InputID] = obs.Size
 	}
-	if inv.measuredEpoch == nil {
-		inv.measuredEpoch = map[int]uint64{}
-	}
-	inv.measuredEpoch[obs.InputID] = p.reg.InputEpoch(obs.InputID)
+	t := inv.touch(obs.InputID)
+	t.measured = true
+	t.epoch = p.reg.InputEpoch(obs.InputID)
 }
 
 // exitCurrent force-exits the current node (used only for error recovery).
@@ -511,7 +601,7 @@ func (p *Profiler) LoopBack(loopID int) {
 		}
 	}
 	if inv := node.cur(); inv != nil {
-		inv.addCost(CostKey{Op: OpStep, Input: NoInput}, 1)
+		inv.costs.add(p.stepID, 1)
 	}
 }
 
@@ -533,7 +623,7 @@ func (p *Profiler) MethodEntry(methodID int) {
 		// algorithmic step.
 		p.tn = header
 		if inv := header.cur(); inv != nil {
-			inv.addCost(CostKey{Op: OpStep, Input: NoInput}, 1)
+			inv.costs.add(p.stepID, 1)
 		}
 	} else {
 		p.tn = p.tn.getOrCreateChild(KindRecursion, methodID)
@@ -582,7 +672,9 @@ func (p *Profiler) findOnStack(kind NodeKind, id int) *Node {
 // events.Listener: cost and input tracking (§3.3, §3.4)
 
 // structureAccess handles a read or write of a recursive structure link.
-func (p *Profiler) structureAccess(obj events.Entity, op CostOp, typeName string) {
+// tid is the interned type id qualifying the typed counter (< 0: untyped
+// only).
+func (p *Profiler) structureAccess(obj events.Entity, op CostOp, tid int32) {
 	inv := p.tn.cur()
 	if inv == nil {
 		return
@@ -594,23 +686,21 @@ func (p *Profiler) structureAccess(obj events.Entity, op CostOp, typeName string
 			p.recordSize(inv, obs)
 			id = obs.InputID
 		} else {
-			g := inv.pendingFor(obj)
-			g.costs[CostKey{Op: op, Input: NoInput}]++
-			if typeName != "" {
-				g.costs[CostKey{Op: op, Input: NoInput, Type: typeName}]++
+			g := p.pendingFor(inv, obj)
+			g.costs.add(p.keys.id(CostKey{Op: op, Input: NoInput}), 1)
+			if tid >= 0 {
+				g.costs.add(p.keys.typedID(op, NoInput, tid), 1)
 			}
 			return
 		}
 	}
-	inv.addCost(CostKey{Op: op, Input: id}, 1)
-	if typeName != "" {
-		inv.addCost(CostKey{Op: op, Input: id, Type: typeName}, 1)
+	inv.costs.add(p.keys.id(CostKey{Op: op, Input: id}), 1)
+	if tid >= 0 {
+		inv.costs.add(p.keys.typedID(op, id, tid), 1)
 	}
-	if inv.lastRef == nil {
-		inv.lastRef = map[int]events.Entity{}
-	}
-	inv.lastRef[id] = obj
-	if _, measured := inv.measuredEpoch[id]; !measured {
+	t := inv.touch(id)
+	t.ref = obj
+	if !t.measured {
 		// First access of this input in this invocation: snapshot (§3.4).
 		obs := p.reg.Observe(obj)
 		p.recordSize(inv, obs)
@@ -619,31 +709,33 @@ func (p *Profiler) structureAccess(obj events.Entity, op CostOp, typeName string
 
 // FieldGet implements events.Listener.
 func (p *Profiler) FieldGet(obj events.Entity, fieldID int) {
-	p.structureAccess(obj, OpGet, p.fieldTypeName(fieldID))
+	p.structureAccess(obj, OpGet, p.fieldTypeID(fieldID))
 }
 
 // FieldPut implements events.Listener.
 func (p *Profiler) FieldPut(obj events.Entity, fieldID int, _ events.Entity) {
 	p.reg.NoteWriteTo(obj)
-	p.structureAccess(obj, OpPut, p.fieldTypeName(fieldID))
+	p.structureAccess(obj, OpPut, p.fieldTypeID(fieldID))
 }
 
 // ArrayLoad implements events.Listener.
 func (p *Profiler) ArrayLoad(arr events.Entity) {
-	p.structureAccess(arr, OpArrLoad, arr.TypeName())
+	p.structureAccess(arr, OpArrLoad, p.entityTypeID(arr))
 }
 
 // ArrayStore implements events.Listener.
 func (p *Profiler) ArrayStore(arr events.Entity, _ events.Entity) {
 	p.reg.NoteWriteTo(arr)
-	p.structureAccess(arr, OpArrStore, arr.TypeName())
+	p.structureAccess(arr, OpArrStore, p.entityTypeID(arr))
 }
 
 // Alloc implements events.Listener.
 func (p *Profiler) Alloc(obj events.Entity, classID int) {
 	if inv := p.tn.cur(); inv != nil {
-		inv.addCost(CostKey{Op: OpNew, Input: NoInput}, 1)
-		inv.addCost(CostKey{Op: OpNew, Input: NoInput, Type: obj.TypeName()}, 1)
+		inv.costs.add(p.keys.id(CostKey{Op: OpNew, Input: NoInput}), 1)
+		if tid := p.entityTypeID(obj); tid >= 0 {
+			inv.costs.add(p.keys.typedID(OpNew, NoInput, tid), 1)
+		}
 	}
 	p.allocatedBy[obj.EntityID()] = p.tn
 }
@@ -651,23 +743,69 @@ func (p *Profiler) Alloc(obj events.Entity, classID int) {
 // InputRead implements events.Listener.
 func (p *Profiler) InputRead() {
 	if inv := p.tn.cur(); inv != nil {
-		inv.addCost(CostKey{Op: OpIn, Input: NoInput}, 1)
+		inv.costs.add(p.keys.id(CostKey{Op: OpIn, Input: NoInput}), 1)
 	}
 }
 
 // OutputWrite implements events.Listener.
 func (p *Profiler) OutputWrite() {
 	if inv := p.tn.cur(); inv != nil {
-		inv.addCost(CostKey{Op: OpOut, Input: NoInput}, 1)
+		inv.costs.add(p.keys.id(CostKey{Op: OpOut, Input: NoInput}), 1)
 	}
 }
 
-// fieldTypeName returns the base type name of the field's declared type
-// (the paper's "by element type" qualifier, e.g. Vertex for a
-// Vertex/Vertex[] field).
-func (p *Profiler) fieldTypeName(fieldID int) string {
+// fieldTypeID returns the interned type id of the base type of the
+// field's declared type (the paper's "by element type" qualifier, e.g.
+// Vertex for a Vertex/Vertex[] field), or -1 for untyped. Results are
+// cached per field id so the event hot path never re-renders or re-hashes
+// type names.
+func (p *Profiler) fieldTypeID(fieldID int) int32 {
 	if p.fieldTypeFn == nil {
-		return ""
+		return -1
 	}
-	return p.fieldTypeFn(fieldID)
+	if fieldID >= 0 && fieldID < len(p.ftKnown) && p.ftKnown[fieldID] {
+		return p.ftTIDs[fieldID]
+	}
+	tid := int32(-1)
+	if name := p.fieldTypeFn(fieldID); name != "" {
+		tid = p.keys.typeID(name)
+	}
+	if fieldID >= 0 {
+		for len(p.ftKnown) <= fieldID {
+			p.ftKnown = append(p.ftKnown, false)
+			p.ftTIDs = append(p.ftTIDs, -1)
+		}
+		p.ftKnown[fieldID] = true
+		p.ftTIDs[fieldID] = tid
+	}
+	return tid
+}
+
+// entityTypeID returns the interned type id of the entity's type name, or
+// -1 for untyped. Cached in a dense table by entity id (ids come from
+// monotonic counters), so repeated accesses of the same array resolve
+// their typed counters without hashing the type string.
+func (p *Profiler) entityTypeID(e events.Entity) int32 {
+	id := e.EntityID()
+	if p.etTIDs == nil {
+		p.etBase = id
+	} else if id < p.etBase {
+		shift := p.etBase - id
+		grown := make([]int32, uint64(len(p.etTIDs))+shift)
+		copy(grown[shift:], p.etTIDs)
+		p.etTIDs, p.etBase = grown, id
+	}
+	off := id - p.etBase
+	if off >= uint64(len(p.etTIDs)) {
+		p.etTIDs = append(p.etTIDs, make([]int32, off+1-uint64(len(p.etTIDs)))...)
+	}
+	if v := p.etTIDs[off]; v != 0 {
+		return v - 2
+	}
+	tid := int32(-1)
+	if name := e.TypeName(); name != "" {
+		tid = p.keys.typeID(name)
+	}
+	p.etTIDs[off] = tid + 2 // offset so 0 keeps meaning "unknown"
+	return tid
 }

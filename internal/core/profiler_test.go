@@ -159,11 +159,11 @@ class Main {
 		t.Errorf("fact invocations = %d, want 2 (two outermost calls)", rec.Invocations())
 	}
 	// fact(5): 4 recursive re-entries; fact(3): 2.
-	if rec.History[0].Costs[CostKey{Op: OpStep, Input: NoInput}] != 4 {
-		t.Errorf("fact(5) steps = %d, want 4", rec.History[0].Costs[CostKey{Op: OpStep, Input: NoInput}])
+	if rec.History[0].Cost(CostKey{Op: OpStep, Input: NoInput}) != 4 {
+		t.Errorf("fact(5) steps = %d, want 4", rec.History[0].Cost(CostKey{Op: OpStep, Input: NoInput}))
 	}
-	if rec.History[1].Costs[CostKey{Op: OpStep, Input: NoInput}] != 2 {
-		t.Errorf("fact(3) steps = %d, want 2", rec.History[1].Costs[CostKey{Op: OpStep, Input: NoInput}])
+	if rec.History[1].Cost(CostKey{Op: OpStep, Input: NoInput}) != 2 {
+		t.Errorf("fact(3) steps = %d, want 2", rec.History[1].Cost(CostKey{Op: OpStep, Input: NoInput}))
 	}
 	// Folding: the recursion node has no recursion-node child for itself.
 	for _, c := range rec.Children {
@@ -270,7 +270,7 @@ class Main {
 		t.Errorf("traversal invocation size = %d, want 8 (sizes=%v)", foundSize, inv.Sizes)
 	}
 	var gets int64
-	for k, v := range inv.Costs {
+	for k, v := range inv.Costs() {
 		if k.Op == OpGet && k.Type == "" {
 			gets += v
 		}
@@ -307,7 +307,7 @@ class Main {
 	loop := p.Root().Children[0]
 	inv := loop.History[0]
 	var puts int64
-	for k, v := range inv.Costs {
+	for k, v := range inv.Costs() {
 		if k.Op == OpPut && k.Type == "" && k.Input != NoInput {
 			puts += v
 		}
@@ -564,7 +564,7 @@ func TestInsertionSortQuadraticSteps(t *testing.T) {
 	// sum steps per sort call.
 	stepsPerSort := map[int]int64{}
 	for _, inv := range sortInner.History {
-		stepsPerSort[inv.ParentIndex] += inv.Costs[CostKey{Op: OpStep, Input: NoInput}]
+		stepsPerSort[inv.ParentIndex] += inv.Cost(CostKey{Op: OpStep, Input: NoInput})
 	}
 	// The largest sort (n=29) must do more inner steps than a linear bound
 	// would allow for random input, and fewer than the worst case.

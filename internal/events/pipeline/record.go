@@ -1,0 +1,97 @@
+// Package pipeline decouples profiling-event production from consumption:
+// the VM (or the probe API) publishes compact fixed-size event records into
+// a bounded single-producer ring buffer, and a fan-out stage feeds N
+// listeners from that one stream, each on its own goroutine with its own
+// cursor into the shared buffer. One execution pass can therefore drive the
+// algorithmic profiler core, the CCT baseline, and the basic-block baseline
+// concurrently — where comparing backends previously re-ran the workload
+// once per listener.
+//
+// Determinism: every consumer walks the same records in publication order,
+// so each listener observes exactly the event sequence it would have seen
+// inline. Two details make the pipelined profiles byte-identical to
+// synchronous ones:
+//
+//   - Clocks are pre-resolved. Each record carries the producer's
+//     instruction counter at publication time; clock-dependent consumers
+//     (the CCT baseline) read the record clock via Consumer.Clock instead
+//     of sampling the live VM counter from another goroutine.
+//
+//   - Heap reads are fenced. Listeners that traverse the live heap (the
+//     profiler core measures input sizes by walking data structures) would
+//     otherwise observe mutations that happen after the event they are
+//     processing. The producer therefore calls Barrier before every heap
+//     write, which publishes pending records and waits until all
+//     heap-reading consumers have drained. Consumers that never touch the
+//     heap (CCT, bbprof) are not waited on and run freely ahead.
+//
+// A Synchronous mode flag keeps inline dispatch — same records, same
+// per-consumer filtering, no goroutines — as the ablation baseline.
+package pipeline
+
+import "algoprof/internal/events"
+
+// Op tags a Record with the event kind it encodes.
+type Op uint8
+
+// Record op tags. OpNone marks an unused slot; it is never published.
+const (
+	OpNone Op = iota
+	OpLoopEntry
+	OpLoopBack
+	OpLoopExit
+	OpMethodEntry
+	OpMethodExit
+	OpFieldGet
+	OpFieldPut
+	OpArrayLoad
+	OpArrayStore
+	OpAlloc
+	OpInputRead
+	OpOutputWrite
+	// OpInstr is a per-executed-instruction tick (method id + pc) for the
+	// basic-block baseline; it is published only when the producer's Instr
+	// method is wired as the VM's InstrHook.
+	OpInstr
+)
+
+// Record is one profiling event in fixed-size binary form: an op tag plus
+// up to three integer payloads. Entity-bearing events additionally carry
+// the entity references a listener needs pre-resolved, so consumers never
+// chase VM internals.
+type Record struct {
+	// Op is the event kind.
+	Op Op
+	// ID is the loop/method/field/class id, or the method id for OpInstr.
+	ID int32
+	// Ent is the EntityID of the accessed entity (0 = none), or the pc for
+	// OpInstr.
+	Ent int64
+	// Aux is the EntityID of the newly stored target for put/store events
+	// (0 = none).
+	Aux int64
+	// Clock is the producer's instruction counter at publication time.
+	Clock uint64
+	// E1 is the accessed entity for field/array/alloc events.
+	E1 events.Entity
+	// E2 is the newly stored target for field-put/array-store events.
+	E2 events.Entity
+}
+
+// InstrListener is optionally implemented by consumers that want
+// per-instruction ticks (OpInstr records). Consumers that do not implement
+// it skip those records.
+type InstrListener interface {
+	Instr(methodID, pc int)
+}
+
+// InstrTap adapts a per-instruction hook (like bbprof's Hook) into a
+// consumer that ignores every listener event and receives only OpInstr
+// ticks.
+type InstrTap struct {
+	events.NopListener
+	Fn func(methodID, pc int)
+}
+
+// Instr implements InstrListener.
+func (t InstrTap) Instr(methodID, pc int) { t.Fn(methodID, pc) }

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"algoprof"
+	"algoprof/internal/events/pipeline"
+	"algoprof/internal/workloads"
+)
+
+// corpus is the workload set the equivalence suite runs: every program the
+// repo's experiments exercise, small enough to keep the suite fast.
+func corpus() map[string]string {
+	c := map[string]string{
+		"running":    workloads.RunningExample(workloads.Random, 48, 6, 2),
+		"functional": workloads.FunctionalSort(workloads.Random, 32, 8, 2),
+		"arraylist":  workloads.ArrayListGrow(true, 32, 8, 2),
+		"listing3":   workloads.Listing3,
+		"listing4":   workloads.Listing4(24),
+		"listing5":   workloads.Listing5,
+		"mergevsins": workloads.MergeVsInsertion(32, 8, 2),
+		"freqmap":    workloads.RunningExampleScanned(workloads.Sorted, 32, 8, 2, 2),
+	}
+	for _, row := range workloads.Table1() {
+		c["table1/"+row.Name()] = row.Source(12)
+	}
+	return c
+}
+
+func profileFingerprint(t *testing.T, p *algoprof.Profile) string {
+	t.Helper()
+	js, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Tree() + "\n---\n" + string(js)
+}
+
+// TestPipelinedProfileByteIdentical asserts the headline determinism claim:
+// for every corpus workload, routing events through the ring-buffer
+// transport yields a byte-identical report to inline dispatch.
+func TestPipelinedProfileByteIdentical(t *testing.T) {
+	for name, src := range corpus() {
+		t.Run(name, func(t *testing.T) {
+			sync, err := algoprof.Run(src, algoprof.Config{Seed: 42})
+			if err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+			piped, err := algoprof.Run(src, algoprof.Config{Seed: 42, Pipelined: true})
+			if err != nil {
+				t.Fatalf("pipelined: %v", err)
+			}
+			a, b := profileFingerprint(t, sync), profileFingerprint(t, piped)
+			if a != b {
+				t.Errorf("pipelined profile differs from synchronous:\n--- sync ---\n%s\n--- pipelined ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestMultiListenerEquivalence runs the full three-backend fan-out
+// (core + cct + bbprof off one event stream) against the inline dispatch
+// path across buffer sizes — including tiny forced-wraparound buffers —
+// and asserts identical fingerprints everywhere.
+func TestMultiListenerEquivalence(t *testing.T) {
+	src := workloads.RunningExample(workloads.Random, 48, 6, 2)
+	base, err := runBackends(src, 42, pipeline.Config{Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bufSize := range []int{8, 64, 1024} {
+		t.Run(fmt.Sprintf("buf%d", bufSize), func(t *testing.T) {
+			got, err := runBackends(src, 42, pipeline.Config{BufferSize: bufSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !BackendsIdentical(base, got) {
+				t.Errorf("buf=%d fan-out differs from inline:\n--- inline ---\n%s\n--- pipelined ---\n%s",
+					bufSize, BackendsFingerprint(base), BackendsFingerprint(got))
+			}
+		})
+	}
+}
+
+// TestCombinedRunMatchesDedicatedRun validates per-consumer plan filtering:
+// the core profile extracted from the shared full-instrumentation event
+// stream must equal the profile of a dedicated optimized-plan run.
+func TestCombinedRunMatchesDedicatedRun(t *testing.T) {
+	src := workloads.RunningExample(workloads.Random, 48, 6, 2)
+	combined, err := RunBackends(src, 42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedicated, err := algoprof.Run(src, algoprof.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := profileFingerprint(t, combined.Profile)
+	b := profileFingerprint(t, dedicated)
+	if a != b {
+		t.Errorf("plan-filtered core profile differs from dedicated run:\n--- combined ---\n%s\n--- dedicated ---\n%s", a, b)
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	res, err := Compare(smallSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Error("Compare: pipelined fan-out not identical to inline fan-out")
+	}
+	if res.SortModel == "" || res.HottestExclusive == "" || res.TopBlock == "" {
+		t.Errorf("Compare returned empty fields: %+v", res)
+	}
+}
+
+func TestPipelineBenchIdentity(t *testing.T) {
+	var tick int64
+	pts, err := PipelineBench([]int{24}, 42, func() int64 { tick++; return tick })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	p := pts[0]
+	if !p.Identical {
+		t.Error("bench legs produced non-identical results")
+	}
+	for _, d := range []int64{p.ThreePassNs, p.SyncFanoutNs, p.PipelinedNs, p.SoloSyncNs, p.SoloPipelinedNs} {
+		if d <= 0 {
+			t.Errorf("non-positive timing in %+v", p)
+		}
+	}
+}

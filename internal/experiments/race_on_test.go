@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation distorts relative timings; timing-based assertions
+// skip themselves when it is set.
+const raceEnabled = true

@@ -146,15 +146,15 @@ func AnalyzeWith(p *core.Profiler, o Options) *Result {
 		agg := map[int]map[int]int64{} // parent invocation -> input -> sum
 		for _, inv := range n.History {
 			perInput := map[int]int64{}
-			for k, v := range inv.Costs {
+			inv.EachCost(func(k core.CostKey, v int64) {
 				if k.Input == core.NoInput || k.Type != "" {
-					continue
+					return
 				}
 				switch k.Op {
 				case core.OpGet, core.OpPut, core.OpArrLoad, core.OpArrStore:
 					perInput[reg.Find(k.Input)] += v
 				}
-			}
+			})
 			for x, count := range perInput {
 				if count > st.ownMax[x] {
 					st.ownMax[x] = count
@@ -331,12 +331,12 @@ func combine(alg *Algorithm, find func(int) int) {
 				continue
 			}
 			a := getAcc(ri)
-			for k, v := range inv.Costs {
+			inv.EachCost(func(k core.CostKey, v int64) {
 				if k.Input != core.NoInput {
 					k.Input = find(k.Input)
 				}
 				a.costs[k] += v
-			}
+			})
 			for id, s := range inv.Sizes {
 				cid := find(id)
 				if s > a.sizes[cid] {

@@ -136,7 +136,16 @@ type Class struct {
 	fieldsByName  map[string]*Field
 	methodsByName map[string]*Method
 	typeParams    map[string]bool
+
+	// refFields caches the reference-typed entries of Fields, precomputed
+	// at resolution time for heap-graph walkers (snapshot traversal visits
+	// every object's ref fields; scanning past value fields there is
+	// measurable).
+	refFields []*Field
 }
+
+// RefFields returns the class's reference-typed fields in slot order.
+func (c *Class) RefFields() []*Field { return c.refFields }
 
 // IsSubclassOf reports whether c equals or transitively extends s.
 func (c *Class) IsSubclassOf(s *Class) bool {
@@ -502,6 +511,13 @@ func (c *checker) resolveMembers() {
 	}
 	for _, cls := range c.prog.Classes {
 		resolve(cls)
+	}
+	for _, cls := range c.prog.Classes {
+		for _, f := range cls.Fields {
+			if f.Type != nil && f.Type.IsRef() {
+				cls.refFields = append(cls.refFields, f)
+			}
+		}
 	}
 	c.curClass = nil
 }

@@ -10,6 +10,12 @@
 // heap entities, so array snapshots also carry element identity keys; this
 // is what lets a reallocated, grown backing array be recognized as the
 // same input as its predecessor (the resizable-array case of Listing 6).
+//
+// Entity ids are issued by monotonic counters, so the live id space is a
+// near-contiguous range. The registry exploits that: ownership, the
+// snapshot memo, and traversal de-duplication are base-offset slice tables
+// indexed by entity id rather than hash maps, which keeps the per-node
+// cost of the observation path to a handful of array operations.
 package snapshot
 
 import (
@@ -96,30 +102,117 @@ func (k Kind) String() string {
 	return "structure"
 }
 
+// ---------------------------------------------------------------------------
+// Dense id-indexed tables
+
+// table is a base-offset array keyed by entity id. Ids come from monotonic
+// allocation counters, so the live range [base, base+len) stays compact;
+// indexing replaces a map lookup with a bounds check and an array access.
+type table[T any] struct {
+	base  uint64
+	slots []T
+}
+
+// idx returns the slot index for id, growing the table to cover id.
+func (t *table[T]) idx(id uint64) int {
+	if t.slots == nil {
+		t.base = id
+		t.slots = make([]T, 1, 64)
+		return 0
+	}
+	if id < t.base {
+		shift := t.base - id
+		grown := make([]T, uint64(len(t.slots))+shift)
+		copy(grown[shift:], t.slots)
+		t.slots, t.base = grown, id
+		return 0
+	}
+	off := id - t.base
+	if off >= uint64(len(t.slots)) {
+		t.slots = append(t.slots, make([]T, off+1-uint64(len(t.slots)))...)
+	}
+	return int(off)
+}
+
+// peek returns a pointer to id's slot, or nil when id is outside the table.
+func (t *table[T]) peek(id uint64) *T {
+	if t.slots == nil || id < t.base {
+		return nil
+	}
+	off := id - t.base
+	if off >= uint64(len(t.slots)) {
+		return nil
+	}
+	return &t.slots[off]
+}
+
+// visitSet is a generation-stamped membership set over entity ids, reused
+// across traversals without clearing: begin() bumps the generation, making
+// every previous mark stale in O(1).
+type visitSet struct {
+	marks table[uint32]
+	gen   uint32
+}
+
+func (v *visitSet) begin() {
+	v.gen++
+	if v.gen == 0 { // generation wrapped: marks are ambiguous, reset them
+		clear(v.marks.slots)
+		v.gen = 1
+	}
+}
+
+// add marks id as visited, reporting whether it was previously unvisited.
+func (v *visitSet) add(id uint64) bool {
+	i := v.marks.idx(id)
+	if v.marks.slots[i] == v.gen {
+		return false
+	}
+	v.marks.slots[i] = v.gen
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+// typeCount is one per-class object tally. Snapshots touch a handful of
+// classes at most, so an association list beats a map: the string compare
+// hits the pointer-equality fast path because class names are interned by
+// the runtime that issues them.
+type typeCount struct {
+	name string
+	n    int
+}
+
 // Snap is one structure snapshot.
 type Snap struct {
-	// Entities are the ids of all reached heap entities (objects and
-	// arrays, including the root).
-	Entities map[uint64]bool
+	// IDs are the ids of all reached heap entities (objects and arrays,
+	// including the root), in visit order, without duplicates.
+	IDs []uint64
 	// Objects is the number of objects reached (arrays excluded): the
 	// size of a recursive structure.
 	Objects int
 	// ArrayRefs counts non-null references traversed inside arrays that
 	// are part of the structure.
 	ArrayRefs int
-	// TypeCounts counts objects per class name.
-	TypeCounts map[string]int
-	// OverlapKeys are element identity keys usable for input unification
-	// (reference keys and strings; raw primitive values are excluded
-	// because equal values do not imply identity).
-	OverlapKeys map[events.ElemKey]bool
-	// UniqueKeys are all element keys, for the unique-elements size
-	// strategy.
-	UniqueKeys map[events.ElemKey]bool
+	// typeCounts tallies objects per class name.
+	typeCounts []typeCount
+	// StrKeys are the string element identity keys usable for input
+	// unification, deduplicated. Reference keys need no separate record:
+	// every referenced element also appears in IDs and is claimed there.
+	// Raw primitive values are excluded because equal values do not imply
+	// identity.
+	StrKeys []string
+	// uniq is the set of all element keys, for the unique-elements size
+	// strategy (array roots only).
+	uniq map[events.ElemKey]bool
 	// CapacitySlots counts array slots recursively.
 	CapacitySlots int
 	// RootIsArray records what the snapshot was rooted at.
 	RootIsArray bool
+
+	vs    *visitSet       // traversal de-duplication
+	stack []events.Entity // traversal scratch
 }
 
 // Size returns the snapshot's size under the given strategy: object count
@@ -129,9 +222,32 @@ func (s *Snap) Size(strat Strategy) int {
 		return s.Objects
 	}
 	if strat == UniqueElements {
-		return len(s.UniqueKeys)
+		return len(s.uniq)
 	}
 	return s.CapacitySlots
+}
+
+// NumEntities returns the number of distinct entities reached.
+func (s *Snap) NumEntities() int { return len(s.IDs) }
+
+// Has reports whether entity id was reached by the snapshot.
+func (s *Snap) Has(id uint64) bool {
+	for _, v := range s.IDs {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeCount returns the number of objects of class name that were reached.
+func (s *Snap) TypeCount(name string) int {
+	for _, tc := range s.typeCounts {
+		if tc.name == name {
+			return tc.n
+		}
+	}
+	return 0
 }
 
 // Take computes the snapshot reachable from root. For object roots it
@@ -140,28 +256,49 @@ func (s *Snap) Size(strat Strategy) int {
 // recurses into sub-arrays (multi-dimensional arrays), but does not expand
 // element objects — objects are measured through structure snapshots.
 func Take(root events.Entity, rt *rectype.Result) *Snap {
-	s := &Snap{
-		Entities:    map[uint64]bool{},
-		TypeCounts:  map[string]int{},
-		OverlapKeys: map[events.ElemKey]bool{},
-		UniqueKeys:  map[events.ElemKey]bool{},
-		RootIsArray: root.IsArray(),
-	}
+	s := &Snap{vs: &visitSet{}}
+	s.take(root, rt)
+	return s
+}
+
+// take (re)fills s from root; s must be reset and own a visitSet.
+func (s *Snap) take(root events.Entity, rt *rectype.Result) {
+	s.vs.begin()
+	s.RootIsArray = root.IsArray()
 	if s.RootIsArray {
 		s.takeArray(root)
 	} else {
 		s.takeStructure(root, rt)
 	}
-	return s
+}
+
+// reset clears s for reuse, retaining its backing storage.
+func (s *Snap) reset() {
+	s.IDs = s.IDs[:0]
+	s.Objects, s.ArrayRefs, s.CapacitySlots = 0, 0, 0
+	s.typeCounts = s.typeCounts[:0]
+	s.StrKeys = s.StrKeys[:0]
+	clear(s.uniq)
+	s.RootIsArray = false
+}
+
+func (s *Snap) bumpType(name string) {
+	for i := range s.typeCounts {
+		if s.typeCounts[i].name == name {
+			s.typeCounts[i].n++
+			return
+		}
+	}
+	s.typeCounts = append(s.typeCounts, typeCount{name, 1})
 }
 
 func (s *Snap) takeStructure(root events.Entity, rt *rectype.Result) {
-	var stack []events.Entity
+	stack := s.stack[:0]
 	visit := func(e events.Entity) {
-		if e == nil || s.Entities[e.EntityID()] {
+		if e == nil || !s.vs.add(e.EntityID()) {
 			return
 		}
-		s.Entities[e.EntityID()] = true
+		s.IDs = append(s.IDs, e.EntityID())
 		stack = append(stack, e)
 	}
 	visit(root)
@@ -178,49 +315,44 @@ func (s *Snap) takeStructure(root events.Entity, rt *rectype.Result) {
 			continue
 		}
 		s.Objects++
-		s.TypeCounts[e.TypeName()]++
-		s.OverlapKeys[events.RefKey(e.EntityID())] = true
+		s.bumpType(e.TypeName())
 		e.ForEachRef(func(fieldID int, target events.Entity) {
-			if target.IsArray() {
-				// Follow arrays only through recursive links.
-				if rt.IsRecursiveField(fieldID) {
-					visit(target)
-				}
-				return
-			}
+			// Follow fields (and arrays) only through recursive links.
 			if rt.IsRecursiveField(fieldID) {
 				visit(target)
 			}
 		})
 	}
+	s.stack = stack[:0]
 }
 
 func (s *Snap) takeArray(root events.Entity) {
+	if s.uniq == nil {
+		s.uniq = map[events.ElemKey]bool{}
+	}
 	var walk func(e events.Entity)
 	walk = func(e events.Entity) {
-		if e == nil || s.Entities[e.EntityID()] {
+		if e == nil || !s.vs.add(e.EntityID()) {
 			return
 		}
-		s.Entities[e.EntityID()] = true
+		s.IDs = append(s.IDs, e.EntityID())
 		s.CapacitySlots += e.Capacity()
 		e.ForEachElemKey(func(key events.ElemKey) {
-			s.UniqueKeys[key] = true
-			switch k := key.(type) {
-			case events.RefKey:
-				s.OverlapKeys[k] = true
-			case string:
-				if k != "" {
-					s.OverlapKeys[k] = true
-				}
+			if s.uniq[key] {
+				return
+			}
+			s.uniq[key] = true
+			if str, ok := key.(string); ok && str != "" {
+				s.StrKeys = append(s.StrKeys, str)
 			}
 		})
 		// Recurse into sub-arrays (multi-dimensional arrays); element
-		// objects are recorded by id (via RefKey above) but not expanded.
+		// objects are recorded by id but not expanded.
 		e.ForEachRef(func(_ int, target events.Entity) {
 			if target.IsArray() {
 				walk(target)
-			} else {
-				s.Entities[target.EntityID()] = true
+			} else if s.vs.add(target.EntityID()) {
+				s.IDs = append(s.IDs, target.EntityID())
 			}
 		})
 	}
@@ -255,21 +387,10 @@ type Input struct {
 	// this input (0 = never written). Maintained on canonical inputs only;
 	// folded on merge.
 	lastWrite uint64
-	// memo caches full snapshots of this input by root entity, so repeated
-	// observations of an unchanged structure skip the O(size) traversal.
-	// Keyed by root because a snapshot from a different root of the same
-	// input may reach a different fragment (e.g. the tail of a singly
-	// linked list); per-root entries let a traversal loop, whose
-	// invocations observe successive nodes, hit from its second pass on.
-	memo map[uint64]memoEntry
-}
-
-// memoEntry is one cached snapshot observation (see Registry.Observe).
-type memoEntry struct {
-	// epoch is the input's lastWrite at caching time; any later write to
-	// the input invalidates the entry (checked lazily on lookup).
-	epoch uint64
-	size  int
+	// memoFloor invalidates this input's snapshot-memo entries wholesale:
+	// memo slots stamped before the floor are stale. Raised on merge,
+	// because the union's extent may differ from either cached snapshot.
+	memoFloor uint64
 }
 
 // Label renders a short description like "Node-based recursive structure"
@@ -297,6 +418,27 @@ type Observation struct {
 	Size int
 }
 
+// memoSlot is one cached snapshot observation, indexed by root entity id.
+// Keyed by root because a snapshot from a different root of the same input
+// may reach a different fragment (e.g. the tail of a singly linked list);
+// per-root entries let a traversal loop, whose invocations observe
+// successive nodes, hit from its second pass on.
+type memoSlot struct {
+	// epoch is the owning input's lastWrite at caching time; any later
+	// write to the input invalidates the slot (checked lazily on lookup).
+	epoch uint64
+	// stamp is the registry's merge stamp at caching time; a slot stamped
+	// before its input's memoFloor predates a merge and is stale. The
+	// stamp is globally monotonic, so stale slots can never alias a later
+	// valid state of any input.
+	stamp uint64
+	size  int32
+	// owner is the canonical input id + 1 at caching time (0 = empty); a
+	// root whose ownership moved without a merge (SameArray re-rooting)
+	// must miss.
+	owner int32
+}
+
 // Registry identifies inputs across snapshots ("Some Elements Equivalent")
 // and tracks their sizes.
 type Registry struct {
@@ -307,10 +449,12 @@ type Registry struct {
 	inputs []*Input
 	parent []int // union-find over input ids
 
-	entityOwner map[uint64]int         // entity id -> input id (not canonical)
-	keyOwner    map[events.ElemKey]int // overlap key -> input id
-	typeOwner   map[string]int         // SameType: signature -> input id
+	entityOwner table[int32]    // entity id -> input id + 1 (not canonical)
+	memo        table[memoSlot] // root entity id -> cached observation
+	keyOwner    map[string]int  // string element key -> input id
+	typeOwner   map[string]int  // SameType: signature -> input id
 	writeEpoch  uint64
+	mergeStamp  uint64 // bumped per merge; see memoSlot.stamp
 
 	// memoOff disables the incremental snapshot memo (ablation: every
 	// Observe re-traverses, the paper's measured behaviour).
@@ -318,9 +462,11 @@ type Registry struct {
 	memoHits   uint64
 	memoMisses uint64
 
-	// candSet and candList are scratch buffers reused across
-	// overlapCandidates calls to avoid per-Observe allocations.
-	candSet  map[int]bool
+	// snap and vs are scratch reused across Observe calls so the hot path
+	// allocates nothing.
+	snap Snap
+	vs   visitSet
+	// candList is scratch reused across overlapCandidates calls.
 	candList []int
 }
 
@@ -333,14 +479,15 @@ func NewRegistry(rt *rectype.Result, strat Strategy) *Registry {
 // NewRegistryWith creates an input registry with an explicit equivalence
 // criterion (§2.4).
 func NewRegistryWith(rt *rectype.Result, strat Strategy, crit Criterion) *Registry {
-	return &Registry{
-		rt:          rt,
-		strat:       strat,
-		crit:        crit,
-		entityOwner: map[uint64]int{},
-		keyOwner:    map[events.ElemKey]int{},
-		typeOwner:   map[string]int{},
+	r := &Registry{
+		rt:        rt,
+		strat:     strat,
+		crit:      crit,
+		keyOwner:  map[string]int{},
+		typeOwner: map[string]int{},
 	}
+	r.snap.vs = &r.vs
+	return r
 }
 
 // Criterion returns the registry's equivalence criterion.
@@ -369,8 +516,8 @@ func (r *Registry) NoteWrite() {
 // (claimed) entities.
 func (r *Registry) NoteWriteTo(e events.Entity) {
 	r.writeEpoch++
-	if owner, ok := r.entityOwner[e.EntityID()]; ok {
-		r.inputs[r.Find(owner)].lastWrite = r.writeEpoch
+	if p := r.entityOwner.peek(e.EntityID()); p != nil && *p != 0 {
+		r.inputs[r.Find(int(*p-1))].lastWrite = r.writeEpoch
 	}
 }
 
@@ -428,8 +575,8 @@ func (r *Registry) InputOf(e events.Entity) int {
 
 // InputOfID is InputOf by raw entity id.
 func (r *Registry) InputOfID(id uint64) int {
-	if owner, ok := r.entityOwner[id]; ok {
-		return r.Find(owner)
+	if p := r.entityOwner.peek(id); p != nil && *p != 0 {
+		return r.Find(int(*p - 1))
 	}
 	return -1
 }
@@ -447,7 +594,9 @@ func (r *Registry) Observe(e events.Entity) Observation {
 		return obs
 	}
 	r.memoMisses++
-	snap := Take(e, r.rt)
+	snap := &r.snap
+	snap.reset()
+	snap.take(e, r.rt)
 	size := snap.Size(r.strat)
 
 	target := r.identify(e, snap)
@@ -457,30 +606,36 @@ func (r *Registry) Observe(e events.Entity) Observation {
 	if size > in.MaxSize {
 		in.MaxSize = size
 	}
-	for tn, c := range snap.TypeCounts {
-		if c > in.MaxTypeCounts[tn] {
-			in.MaxTypeCounts[tn] = c
+	for _, tc := range snap.typeCounts {
+		if tc.n > in.MaxTypeCounts[tc.name] {
+			in.MaxTypeCounts[tc.name] = tc.n
 		}
 	}
 	if snap.ArrayRefs > in.MaxArrayRefs {
 		in.MaxArrayRefs = snap.ArrayRefs
 	}
 	if r.crit == AllElements {
-		in.lastElems = snap.Entities
+		last := make(map[uint64]bool, len(snap.IDs))
+		for _, id := range snap.IDs {
+			last[id] = true
+		}
+		in.lastElems = last
 	}
 
 	// Claim the snapshot's elements and keys.
-	for id := range snap.Entities {
-		r.entityOwner[id] = target
+	for _, id := range snap.IDs {
+		r.entityOwner.slots[r.entityOwner.idx(id)] = int32(target) + 1
 	}
-	for key := range snap.OverlapKeys {
+	for _, key := range snap.StrKeys {
 		r.keyOwner[key] = target
 	}
 	if r.memoUsable() {
-		if in.memo == nil {
-			in.memo = map[uint64]memoEntry{}
+		r.memo.slots[r.memo.idx(e.EntityID())] = memoSlot{
+			epoch: in.lastWrite,
+			stamp: r.mergeStamp,
+			size:  int32(size),
+			owner: int32(target) + 1,
 		}
-		in.memo[e.EntityID()] = memoEntry{epoch: in.lastWrite, size: size}
 	}
 	return Observation{InputID: target, Size: size}
 }
@@ -493,19 +648,22 @@ func (r *Registry) memoUsable() bool {
 
 // memoLookup serves an observation from the memo when the root entity
 // belongs to a known input whose cached snapshot was rooted at the same
-// entity and no write has hit the input since.
+// entity and no write or merge has hit the input since.
 func (r *Registry) memoLookup(e events.Entity) (Observation, bool) {
 	if !r.memoUsable() {
 		return Observation{}, false
 	}
-	owner, ok := r.entityOwner[e.EntityID()]
-	if !ok {
+	p := r.entityOwner.peek(e.EntityID())
+	if p == nil || *p == 0 {
 		return Observation{}, false
 	}
-	target := r.Find(owner)
+	target := r.Find(int(*p - 1))
 	in := r.inputs[target]
-	ent, found := in.memo[e.EntityID()]
-	if !found || ent.epoch != in.lastWrite {
+	slot := r.memo.peek(e.EntityID())
+	if slot == nil || slot.owner == 0 ||
+		r.Find(int(slot.owner-1)) != target ||
+		slot.stamp < in.memoFloor ||
+		slot.epoch != in.lastWrite {
 		return Observation{}, false
 	}
 	if r.crit == SameArray && e.IsArray() && in.Kind != KindArray {
@@ -515,7 +673,7 @@ func (r *Registry) memoLookup(e events.Entity) (Observation, bool) {
 	}
 	r.memoHits++
 	in.Observations++
-	return Observation{InputID: target, Size: ent.size}, true
+	return Observation{InputID: target, Size: int(slot.size)}, true
 }
 
 // identify applies the equivalence criterion and returns the input the
@@ -536,11 +694,11 @@ func (r *Registry) identify(root events.Entity, snap *Snap) int {
 		// same element set.
 		for _, c := range r.overlapCandidates(snap, false) {
 			last := r.inputs[c].lastElems
-			if len(last) != len(snap.Entities) {
+			if len(last) != len(snap.IDs) {
 				continue
 			}
 			equal := true
-			for id := range snap.Entities {
+			for _, id := range snap.IDs {
 				if !last[id] {
 					equal = false
 					break
@@ -555,9 +713,9 @@ func (r *Registry) identify(root events.Entity, snap *Snap) int {
 	case SameArray:
 		if snap.RootIsArray {
 			// Identity only: the root array's own id decides.
-			if owner, ok := r.entityOwner[root.EntityID()]; ok {
-				if r.inputs[r.Find(owner)].Kind == KindArray {
-					return r.Find(owner)
+			if owner := r.InputOfID(root.EntityID()); owner >= 0 {
+				if r.inputs[owner].Kind == KindArray {
+					return owner
 				}
 			}
 			return r.newInput(snap)
@@ -580,28 +738,31 @@ func (r *Registry) identify(root events.Entity, snap *Snap) int {
 // overlapCandidates returns the canonical ids of all inputs sharing an
 // element (or, when useKeys is set, an element identity key) with snap,
 // sorted ascending. The returned slice is a scratch buffer owned by the
-// registry, valid only until the next call.
+// registry, valid only until the next call. Candidate sets are tiny (a
+// snapshot rarely touches more than one or two known inputs), so linear
+// de-duplication beats a set.
 func (r *Registry) overlapCandidates(snap *Snap, useKeys bool) []int {
-	if r.candSet == nil {
-		r.candSet = map[int]bool{}
+	out := r.candList[:0]
+	add := func(owner int) {
+		c := r.Find(owner)
+		for _, v := range out {
+			if v == c {
+				return
+			}
+		}
+		out = append(out, c)
 	}
-	clear(r.candSet)
-	set := r.candSet
-	for id := range snap.Entities {
-		if owner, ok := r.entityOwner[id]; ok {
-			set[r.Find(owner)] = true
+	for _, id := range snap.IDs {
+		if p := r.entityOwner.peek(id); p != nil && *p != 0 {
+			add(int(*p - 1))
 		}
 	}
 	if useKeys {
-		for key := range snap.OverlapKeys {
+		for _, key := range snap.StrKeys {
 			if owner, ok := r.keyOwner[key]; ok {
-				set[r.Find(owner)] = true
+				add(owner)
 			}
 		}
-	}
-	out := r.candList[:0]
-	for id := range set {
-		out = append(out, id)
 	}
 	sort.Ints(out)
 	r.candList = out
@@ -613,9 +774,9 @@ func (s *Snap) typeSignature() string {
 	if s.RootIsArray {
 		return "array" // arrays carry no object type counts
 	}
-	names := make([]string, 0, len(s.TypeCounts))
-	for n := range s.TypeCounts {
-		names = append(names, n)
+	names := make([]string, 0, len(s.typeCounts))
+	for _, tc := range s.typeCounts {
+		names = append(names, tc.name)
 	}
 	sort.Strings(names)
 	return "struct:" + strings.Join(names, "/")
@@ -658,7 +819,8 @@ func (r *Registry) merge(a, b int) {
 		ia.lastWrite = ib.lastWrite
 	}
 	// The union's extent may differ from either cached snapshot.
-	ia.memo = nil
-	ib.memo = nil
+	r.mergeStamp++
+	ia.memoFloor = r.mergeStamp
+	ib.memoFloor = r.mergeStamp
 	r.parent[b] = a
 }

@@ -89,8 +89,8 @@ func TestStructureSnapshotCountsObjects(t *testing.T) {
 	if s.Size(Capacity) != 5 || s.Size(UniqueElements) != 5 {
 		t.Errorf("structure size must be object count under either strategy")
 	}
-	if s.TypeCounts["Node"] != 5 {
-		t.Errorf("TypeCounts = %v", s.TypeCounts)
+	if s.TypeCount("Node") != 5 {
+		t.Errorf("TypeCount(Node) = %d", s.TypeCount("Node"))
 	}
 }
 
@@ -103,7 +103,7 @@ func TestStructureSnapshotStopsAtNonRecursiveFields(t *testing.T) {
 	if s.Objects != 2 {
 		t.Errorf("Objects = %d, want 2 (payload not traversed)", s.Objects)
 	}
-	if s.Entities[100] {
+	if s.Has(100) {
 		t.Error("payload must not be in the snapshot")
 	}
 }
@@ -134,7 +134,7 @@ func TestStructureWithEmbeddedArray(t *testing.T) {
 	if s.ArrayRefs != 2 {
 		t.Errorf("ArrayRefs = %d, want 2", s.ArrayRefs)
 	}
-	if !s.Entities[10] {
+	if !s.Has(10) {
 		t.Error("embedded array must be in the entity set")
 	}
 }
@@ -317,8 +317,8 @@ func TestVertexEdgeTypeCounts(t *testing.T) {
 	v1.refs = []ref{{0, e1}}
 	e1.refs = []ref{{1, v2}}
 	s := Take(v1, rt(2, 0, 1))
-	if s.TypeCounts["Vertex"] != 2 || s.TypeCounts["Edge"] != 1 {
-		t.Errorf("TypeCounts = %v", s.TypeCounts)
+	if s.TypeCount("Vertex") != 2 || s.TypeCount("Edge") != 1 {
+		t.Errorf("TypeCounts = Vertex:%d Edge:%d", s.TypeCount("Vertex"), s.TypeCount("Edge"))
 	}
 	if s.Objects != 3 {
 		t.Errorf("Objects = %d, want 3", s.Objects)
@@ -371,7 +371,7 @@ func TestSnapshotReachabilityProperty(t *testing.T) {
 			return false
 		}
 		for id := range want {
-			if !s.Entities[id] {
+			if !s.Has(id) {
 				return false
 			}
 		}

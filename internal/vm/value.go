@@ -134,10 +134,7 @@ func (o *Object) Capacity() int { return 0 }
 
 // ForEachRef implements events.Entity: visits non-nil object/array fields.
 func (o *Object) ForEachRef(visit func(fieldID int, target events.Entity)) {
-	for _, f := range o.Class.Fields {
-		if !f.Type.IsRef() {
-			continue
-		}
+	for _, f := range o.Class.RefFields() {
 		v := o.Fields[f.Slot]
 		switch v.K {
 		case ValObj:

@@ -19,6 +19,13 @@ type Config struct {
 	// InstrHook, if non-nil, is called before every executed instruction
 	// with the method id and pc. Used by the basic-block baseline profiler.
 	InstrHook func(methodID, pc int)
+	// PreWrite, if non-nil, is called immediately before each heap
+	// mutation (field put, array element store). A pipelined event
+	// transport uses it as a barrier: asynchronous listeners that traverse
+	// the live heap must drain already-published events before the heap
+	// changes underneath them. Fresh allocations need no barrier — no
+	// published event can reach a not-yet-allocated entity.
+	PreWrite func()
 	// Seed seeds the deterministic rand() builtin.
 	Seed uint64
 	// Input feeds the readInput() builtin; when exhausted, readInput
@@ -84,8 +91,46 @@ type VM struct {
 	// Output collects writeOutput() values.
 	Output []Value
 
+	gate   gate
 	vtable map[vtKey]*bytecode.Function
 	byName map[nmKey]*types.Method
+}
+
+// gate caches the listener/plan decision for every probe class as direct
+// boolean loads, so a disabled probe on the interpreter hot path costs one
+// slice index instead of an interface method call through the Plan.
+type gate struct {
+	loops  bool // listener present: loop probes and method unwind fire
+	arrays bool
+	io     bool
+	method []bool
+	field  []bool
+	alloc  []bool
+}
+
+func buildGate(prog *bytecode.Program, cfg Config) gate {
+	g := gate{
+		method: make([]bool, prog.Sem.NumMethods()),
+		field:  make([]bool, prog.Sem.NumFields()),
+		alloc:  make([]bool, len(prog.Sem.Classes)),
+	}
+	if cfg.Listener == nil {
+		return g
+	}
+	g.loops = true
+	p := cfg.Plan
+	g.arrays = p != nil && p.Arrays
+	g.io = p != nil && p.IO
+	for i := range g.method {
+		g.method[i] = p.WantsMethod(i)
+	}
+	for i := range g.field {
+		g.field[i] = p.WantsField(i)
+	}
+	for i := range g.alloc {
+		g.alloc[i] = p.WantsAlloc(i)
+	}
+	return g
 }
 
 type vtKey struct {
@@ -110,6 +155,7 @@ func New(prog *bytecode.Program, cfg Config) *VM {
 		prog:   prog,
 		cfg:    cfg,
 		rng:    cfg.Seed*2862933555777941757 + 3037000493,
+		gate:   buildGate(prog, cfg),
 		vtable: map[vtKey]*bytecode.Function{},
 		byName: map[nmKey]*types.Method{},
 	}
@@ -225,8 +271,7 @@ func (m *VM) call(fn *bytecode.Function, args []Value) error {
 	copy(f.locals, args)
 	m.frames = append(m.frames, f)
 
-	emitEvents := m.cfg.Listener != nil
-	if emitEvents && m.cfg.Plan.WantsMethod(fn.Method.ID) {
+	if m.gate.method[fn.Method.ID] {
 		f.emittedME = true
 		m.cfg.Listener.MethodEntry(fn.Method.ID)
 	}
@@ -235,7 +280,7 @@ func (m *VM) call(fn *bytecode.Function, args []Value) error {
 
 	// Unwind loop probes that are still active (early return out of loops),
 	// mirroring AlgoProf's handling of exceptional exits.
-	if emitEvents {
+	if m.gate.loops {
 		for i := len(f.loopStack) - 1; i >= 0; i-- {
 			m.cfg.Listener.LoopExit(f.loopStack[i])
 		}
@@ -260,7 +305,8 @@ func (m *VM) pop(f *frame) Value {
 func (m *VM) interpret(f *frame) error {
 	code := f.fn.Code
 	listener := m.cfg.Listener
-	plan := m.cfg.Plan
+	g := &m.gate
+	preWrite := m.cfg.PreWrite
 	var caller *frame
 	if len(m.frames) >= 2 {
 		caller = m.frames[len(m.frames)-2]
@@ -302,7 +348,7 @@ func (m *VM) interpret(f *frame) error {
 		case bytecode.OpNewObject:
 			cls := m.prog.Sem.Classes[in.A]
 			o := m.newObject(cls)
-			if listener != nil && plan.WantsAlloc(cls.ID) {
+			if g.alloc[cls.ID] {
 				listener.Alloc(o, cls.ID)
 			}
 			m.push(f, objVal(o))
@@ -313,7 +359,7 @@ func (m *VM) interpret(f *frame) error {
 			if recv.K != ValObj {
 				return m.fail(f, "null dereference reading %s", fld.QualifiedName())
 			}
-			if listener != nil && plan.WantsField(fld.ID) {
+			if g.field[fld.ID] {
 				listener.FieldGet(recv.O, fld.ID)
 			}
 			m.push(f, recv.O.Fields[fld.Slot])
@@ -325,8 +371,11 @@ func (m *VM) interpret(f *frame) error {
 			if recv.K != ValObj {
 				return m.fail(f, "null dereference writing %s", fld.QualifiedName())
 			}
+			if preWrite != nil {
+				preWrite()
+			}
 			recv.O.Fields[fld.Slot] = val
-			if listener != nil && plan.WantsField(fld.ID) {
+			if g.field[fld.ID] {
 				listener.FieldPut(recv.O, fld.ID, val.Entity())
 			}
 
@@ -339,7 +388,7 @@ func (m *VM) interpret(f *frame) error {
 			if fld == nil {
 				return m.fail(f, "class %s has no field %s", recv.O.Class.Name, in.S)
 			}
-			if listener != nil && plan.WantsField(fld.ID) {
+			if g.field[fld.ID] {
 				listener.FieldGet(recv.O, fld.ID)
 			}
 			m.push(f, recv.O.Fields[fld.Slot])
@@ -354,8 +403,11 @@ func (m *VM) interpret(f *frame) error {
 			if fld == nil {
 				return m.fail(f, "class %s has no field %s", recv.O.Class.Name, in.S)
 			}
+			if preWrite != nil {
+				preWrite()
+			}
 			recv.O.Fields[fld.Slot] = val
-			if listener != nil && plan.WantsField(fld.ID) {
+			if g.field[fld.ID] {
 				listener.FieldPut(recv.O, fld.ID, val.Entity())
 			}
 
@@ -389,7 +441,7 @@ func (m *VM) interpret(f *frame) error {
 			if idx.I < 0 || int(idx.I) >= len(av.A.Elems) {
 				return m.fail(f, "array index %d out of bounds (len %d)", idx.I, len(av.A.Elems))
 			}
-			if listener != nil && plan != nil && plan.Arrays {
+			if g.arrays {
 				listener.ArrayLoad(av.A)
 			}
 			m.push(f, av.A.Elems[idx.I])
@@ -404,8 +456,11 @@ func (m *VM) interpret(f *frame) error {
 			if idx.I < 0 || int(idx.I) >= len(av.A.Elems) {
 				return m.fail(f, "array index %d out of bounds (len %d)", idx.I, len(av.A.Elems))
 			}
+			if preWrite != nil {
+				preWrite()
+			}
 			av.A.Elems[idx.I] = val
-			if listener != nil && plan != nil && plan.Arrays {
+			if g.arrays {
 				listener.ArrayStore(av.A, val.Entity())
 			}
 
@@ -587,11 +642,11 @@ func (m *VM) interpret(f *frame) error {
 
 		case bytecode.OpLoopEnter:
 			f.loopStack = append(f.loopStack, in.A)
-			if listener != nil {
+			if g.loops {
 				listener.LoopEntry(in.A)
 			}
 		case bytecode.OpLoopBack:
-			if listener != nil {
+			if g.loops {
 				listener.LoopBack(in.A)
 			}
 		case bytecode.OpLoopExit:
@@ -603,7 +658,7 @@ func (m *VM) interpret(f *frame) error {
 					break
 				}
 			}
-			if listener != nil {
+			if g.loops {
 				listener.LoopExit(in.A)
 			}
 
@@ -673,7 +728,6 @@ func (m *VM) callBuiltin(f *frame, b types.Builtin, nargs int) error {
 		args[i] = m.pop(f)
 	}
 	listener := m.cfg.Listener
-	plan := m.cfg.Plan
 	switch b {
 	case types.BuiltinRand:
 		m.push(f, intVal(m.rand(args[0].I)))
@@ -683,13 +737,13 @@ func (m *VM) callBuiltin(f *frame, b types.Builtin, nargs int) error {
 			v = m.cfg.Input[m.inPos]
 			m.inPos++
 		}
-		if listener != nil && plan != nil && plan.IO {
+		if m.gate.io {
 			listener.InputRead()
 		}
 		m.push(f, intVal(v))
 	case types.BuiltinWriteOutput:
 		m.Output = append(m.Output, args[0])
-		if listener != nil && plan != nil && plan.IO {
+		if m.gate.io {
 			listener.OutputWrite()
 		}
 	case types.BuiltinPrint:

@@ -1,0 +1,70 @@
+package probe
+
+import (
+	"testing"
+)
+
+// exerciseSession drives one session through every probe surface that the
+// pipelined transport must fence: linked-structure construction and
+// traversal (SetLink barriers), slice mirrors (Store barriers), and a
+// size sweep that forces remeasurement of live inputs.
+func exerciseSession(s *Session) {
+	s.LoopEnter("harness")
+	for size := 4; size <= 32; size += 4 {
+		s.LoopIterate("harness")
+		head := buildList(s, "build", size)
+		countList(s, "count", head)
+		sl := s.NewSlice("int[]", size*2)
+		s.LoopEnter("fill")
+		for i := 0; i < size; i++ {
+			s.LoopIterate("fill")
+			sl.Store(i, i*2)
+		}
+		s.LoopExit("fill")
+	}
+	s.LoopExit("harness")
+}
+
+func sessionFingerprint(t *testing.T, s *Session) string {
+	t.Helper()
+	prof := s.Profile()
+	if errs := s.Errors(); len(errs) != 0 {
+		t.Fatalf("session errors: %v", errs)
+	}
+	js, err := prof.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof.Tree() + "\n---\n" + string(js)
+}
+
+// TestPipelinedSessionByteIdentical asserts that a pipelined session — with
+// the profiler consuming on its own goroutine behind the ring buffer —
+// produces a byte-identical profile to a synchronous session.
+func TestPipelinedSessionByteIdentical(t *testing.T) {
+	sync := NewSession()
+	exerciseSession(sync)
+	piped := NewSessionWith(Options{Pipelined: true})
+	exerciseSession(piped)
+	a, b := sessionFingerprint(t, sync), sessionFingerprint(t, piped)
+	if a != b {
+		t.Errorf("pipelined session profile differs from synchronous:\n--- sync ---\n%s\n--- pipelined ---\n%s", a, b)
+	}
+}
+
+// TestPipelinedSessionFindsAlgorithms sanity-checks a pipelined session
+// end-to-end on its own (not just against the sync baseline).
+func TestPipelinedSessionFindsAlgorithms(t *testing.T) {
+	s := NewSessionWith(Options{Pipelined: true})
+	head := buildList(s, "build", 20)
+	if got := countList(s, "count", head); got != 20 {
+		t.Fatalf("count = %d", got)
+	}
+	prof := s.Profile()
+	if errs := s.Errors(); len(errs) != 0 {
+		t.Fatalf("session errors: %v", errs)
+	}
+	if prof.Find("build") == nil || prof.Find("count") == nil {
+		t.Fatal("pipelined session missed build/count algorithms")
+	}
+}
