@@ -17,10 +17,11 @@ test:
 
 # Concurrency-sensitive packages under the race detector: the event
 # transport (ring buffer, work-stealing barrier), the core profiler and
-# probe consuming it, and the experiments worker pool that the snapshot
-# registry runs inside.
+# probe consuming it, the experiments worker pool that the snapshot
+# registry runs inside, and the trace subsystem (its writer runs on a
+# consumer goroutine).
 race:
-	$(GO) test -race ./internal/events/... ./internal/core ./internal/experiments/... ./probe
+	$(GO) test -race ./internal/events/... ./internal/core ./internal/experiments/... ./internal/trace/... ./probe
 
 # Regenerate the machine-readable perf baselines (use -j 1 timings):
 # BENCH_overhead.json (instrumentation overhead + memo ablation) and

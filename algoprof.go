@@ -34,7 +34,6 @@ import (
 	"algoprof/internal/mj/bytecode"
 	"algoprof/internal/mj/compiler"
 	"algoprof/internal/report"
-	"algoprof/internal/snapshot"
 	"algoprof/internal/vm"
 )
 
@@ -266,27 +265,12 @@ func RunProgram(prog *bytecode.Program, cfg Config) (*Profile, error) {
 		return nil, err
 	}
 
-	opts := core.Options{
-		Criterion:   snapshot.Criterion(cfg.Criterion),
-		SampleEvery: cfg.SampleEvery,
-		DisableMemo: cfg.DisableMemo,
-	}
-	if cfg.EagerIdentify {
-		opts.Identify = core.EagerIdentify
-	}
-	if cfg.SizeStrategy == UniqueElements {
-		opts.SizeStrategy = snapshot.UniqueElements
-	}
-	prof := core.NewProfiler(ins, opts)
+	prof := core.NewProfiler(ins, coreOptions(cfg))
 
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	vmCfg := vm.Config{
 		Listener: prof,
 		Plan:     ins.Plan,
-		Seed:     seed,
+		Seed:     seedOf(cfg),
 		Input:    cfg.Input,
 		MaxSteps: cfg.MaxSteps,
 	}
@@ -312,19 +296,7 @@ func RunProgram(prog *bytecode.Program, cfg Config) (*Profile, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
-	prof.Finish()
-	if errs := prof.Errors(); len(errs) > 0 {
-		return nil, fmt.Errorf("algoprof: internal profiling error: %w", errs[0])
-	}
-
-	p := FromProfilerWith(prof, cfg.GroupStrategy)
-	p.Stdout = machine.Stdout
-	p.Instructions = machine.InstrCount
-	p.raw.machine = machine
-	for _, v := range machine.Output {
-		p.Output = append(p.Output, v.String())
-	}
-	return p, nil
+	return finishProfile(prof, cfg, machine)
 }
 
 // FromProfiler assembles a Profile from a finished core profiler — used by

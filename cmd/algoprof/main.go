@@ -5,51 +5,87 @@
 // Usage:
 //
 //	algoprof [-seed N] [-unique] [-eager] [-plot ALGO] prog.mj
+//	algoprof record [-store DIR] [-name NAME] [-workload LABEL] [profiling flags] prog.mj
+//	algoprof replay [-store DIR] [-json] NAME
+//	algoprof diff   [-store DIR] OLD NEW
+//	algoprof runs   [-store DIR]
+//
+// record captures the run's full event stream to a trace store; replay
+// rebuilds the identical profile offline from the stored trace (no VM
+// execution); diff compares two stored runs' fitted cost functions and
+// exits non-zero when an algorithm's complexity class regressed (e.g.
+// n·log n → n²), as opposed to mere constant-factor drift.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"algoprof"
 	"algoprof/internal/focus"
+	"algoprof/internal/trace"
+	"algoprof/internal/trace/store"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "seed for the rand() builtin")
-	unique := flag.Bool("unique", false, "use the unique-element array size strategy")
-	eager := flag.Bool("eager", false, "disable the deferred-identification optimization")
-	plot := flag.String("plot", "", "also print a scatter plot for the named algorithm (e.g. List.sort/loop1)")
-	jsonOut := flag.Bool("json", false, "emit the profile as JSON instead of text")
-	focusK := flag.Int("focus", 0, "CCT-guided view: show the K hottest methods with their algorithms")
-	strategy := flag.String("strategy", "shared-input", "grouping strategy: shared-input or same-method")
-	criterion := flag.String("criterion", "some-elements", "equivalence criterion: some-elements, all-elements, same-array, same-type")
-	sample := flag.Int("sample", 0, "keep only every k-th invocation record (memory optimization)")
-	flag.Parse()
-
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: algoprof [flags] prog.mj")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "record":
+			cmdRecord(os.Args[2:])
+			return
+		case "replay":
+			cmdReplay(os.Args[2:])
+			return
+		case "diff":
+			cmdDiff(os.Args[2:])
+			return
+		case "runs":
+			cmdRuns(os.Args[2:])
+			return
+		}
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
+	cmdRun(os.Args[1:])
+}
 
-	cfg := algoprof.Config{Seed: *seed, EagerIdentify: *eager, SampleEvery: *sample}
-	if *unique {
+// profFlags registers the profiling-configuration flags shared by the
+// default run mode and the record subcommand.
+type profFlags struct {
+	seed      *uint64
+	unique    *bool
+	eager     *bool
+	strategy  *string
+	criterion *string
+	sample    *int
+}
+
+func addProfFlags(fs *flag.FlagSet) *profFlags {
+	return &profFlags{
+		seed:      fs.Uint64("seed", 1, "seed for the rand() builtin"),
+		unique:    fs.Bool("unique", false, "use the unique-element array size strategy"),
+		eager:     fs.Bool("eager", false, "disable the deferred-identification optimization"),
+		strategy:  fs.String("strategy", "shared-input", "grouping strategy: shared-input or same-method"),
+		criterion: fs.String("criterion", "some-elements", "equivalence criterion: some-elements, all-elements, same-array, same-type"),
+		sample:    fs.Int("sample", 0, "keep only every k-th invocation record (memory optimization)"),
+	}
+}
+
+func (pf *profFlags) config() algoprof.Config {
+	cfg := algoprof.Config{Seed: *pf.seed, EagerIdentify: *pf.eager, SampleEvery: *pf.sample}
+	if *pf.unique {
 		cfg.SizeStrategy = algoprof.UniqueElements
 	}
-	switch *strategy {
+	switch *pf.strategy {
 	case "shared-input":
 	case "same-method":
 		cfg.GroupStrategy = algoprof.SameMethod
 	default:
-		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
+		fatal(fmt.Errorf("unknown -strategy %q", *pf.strategy))
 	}
-	switch *criterion {
+	switch *pf.criterion {
 	case "some-elements":
 	case "all-elements":
 		cfg.Criterion = algoprof.AllElements
@@ -58,8 +94,30 @@ func main() {
 	case "same-type":
 		cfg.Criterion = algoprof.SameType
 	default:
-		fatal(fmt.Errorf("unknown -criterion %q", *criterion))
+		fatal(fmt.Errorf("unknown -criterion %q", *pf.criterion))
 	}
+	return cfg
+}
+
+// cmdRun is the classic mode: profile a program live and print the report.
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("algoprof", flag.ExitOnError)
+	pf := addProfFlags(fs)
+	plot := fs.String("plot", "", "also print a scatter plot for the named algorithm (e.g. List.sort/loop1)")
+	jsonOut := fs.Bool("json", false, "emit the profile as JSON instead of text")
+	focusK := fs.Int("focus", 0, "CCT-guided view: show the K hottest methods with their algorithms")
+	fs.Parse(args)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: algoprof [flags] prog.mj  (or: algoprof record|replay|diff|runs)")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pf.config()
 
 	if *focusK > 0 {
 		res, err := focus.Run(string(src), cfg, *focusK)
@@ -83,8 +141,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	printProfile(prof, *jsonOut, *plot)
+}
 
-	if *jsonOut {
+// printProfile renders a profile the same way for live runs, recordings,
+// and replays — byte-identical output is the replay correctness contract.
+func printProfile(prof *algoprof.Profile, jsonOut bool, plot string) {
+	if jsonOut {
 		data, err := prof.JSON()
 		if err != nil {
 			fatal(err)
@@ -107,13 +170,136 @@ func main() {
 		}
 	}
 
-	if *plot != "" {
-		fmt.Printf("\n=== Scatter: %s ===\n", *plot)
-		p, err := prof.PlotAlgorithm(*plot, "", 72, 20)
+	if plot != "" {
+		fmt.Printf("\n=== Scatter: %s ===\n", plot)
+		p, err := prof.PlotAlgorithm(plot, "", 72, 20)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(p)
+	}
+}
+
+// cmdRecord profiles a program and persists the run — source, event trace,
+// and manifest with fitted cost functions — into the trace store.
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("algoprof record", flag.ExitOnError)
+	pf := addProfFlags(fs)
+	dir := fs.String("store", "traces", "trace store directory")
+	name := fs.String("name", "", "run name (default: program basename + timestamp)")
+	workload := fs.String("workload", "", "workload label stored in the manifest")
+	compress := fs.Bool("compress", true, "DEFLATE-compress trace frames")
+	jsonOut := fs.Bool("json", false, "emit the profile as JSON instead of text")
+	fs.Parse(args)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: algoprof record [flags] prog.mj")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *name == "" {
+		base := strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
+		*name = fmt.Sprintf("%s-%d", base, time.Now().Unix())
+	}
+
+	s, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	run, err := s.Record(*name, string(src), *workload, pf.config(),
+		trace.WriterOptions{Compress: *compress})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "recorded run %q in %s\n", run.Name, run.Dir)
+	printProfile(run.Profile, *jsonOut, "")
+}
+
+// cmdReplay rebuilds a stored run's profile offline from its trace and
+// prints the same report the live run printed.
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("algoprof replay", flag.ExitOnError)
+	dir := fs.String("store", "traces", "trace store directory")
+	jsonOut := fs.Bool("json", false, "emit the profile as JSON instead of text")
+	fs.Parse(args)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: algoprof replay [-store DIR] NAME")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	s, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	run, err := s.Replay(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	printProfile(run.Profile, *jsonOut, "")
+}
+
+// cmdDiff compares two stored runs' fitted cost functions and exits with
+// status 1 when a complexity-class regression is flagged, so it slots into
+// CI as an algorithmic-regression gate.
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("algoprof diff", flag.ExitOnError)
+	dir := fs.String("store", "traces", "trace store directory")
+	fs.Parse(args)
+
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: algoprof diff [-store DIR] OLD NEW")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	s, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	oldRun, err := s.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRun, err := s.Load(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	d := store.DiffRuns(&oldRun.Manifest, &newRun.Manifest)
+	fmt.Printf("diff %s -> %s\n", oldRun.Name, newRun.Name)
+	fmt.Print(d.Render())
+	if d.HasComplexityRegression() {
+		fmt.Fprintln(os.Stderr, "algoprof: complexity regression detected")
+		os.Exit(1)
+	}
+}
+
+// cmdRuns lists the stored runs with their manifests' key facts.
+func cmdRuns(args []string) {
+	fs := flag.NewFlagSet("algoprof runs", flag.ExitOnError)
+	dir := fs.String("store", "traces", "trace store directory")
+	fs.Parse(args)
+
+	s, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	names, err := s.List()
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		run, err := s.Load(name)
+		if err != nil {
+			fatal(err)
+		}
+		created := time.Unix(run.Manifest.CreatedUnix, 0).UTC().Format(time.RFC3339)
+		fmt.Printf("%-24s %s  workload=%-20q algorithms=%d  instrs=%d\n",
+			name, created, run.Manifest.Workload, len(run.Manifest.Algorithms),
+			run.Manifest.Instructions)
 	}
 }
 

@@ -27,10 +27,15 @@ import (
 
 	"algoprof"
 	"algoprof/internal/experiments"
+	"algoprof/internal/trace"
 	"algoprof/internal/workloads"
 )
 
 var sweep = experiments.DefaultSweep
+
+// traceOut, when set, makes the compare section also capture its combined
+// three-backend pass as a persistent trace file (see internal/trace).
+var traceOut string
 
 func main() {
 	maxSize := flag.Int("maxsize", sweep.MaxSize, "largest input size in sweeps")
@@ -38,6 +43,8 @@ func main() {
 	reps := flag.Int("reps", sweep.Reps, "repetitions per size")
 	seed := flag.Uint64("seed", sweep.Seed, "random seed")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	flag.StringVar(&traceOut, "trace-out", "",
+		"capture the compare section's combined pass as a trace file for offline replay")
 	flag.Parse()
 	sweep = experiments.Sweep{MaxSize: *maxSize, Step: *step, Reps: *reps, Seed: *seed}
 	experiments.SetParallelism(*jobs)
@@ -320,6 +327,46 @@ func compare(w io.Writer) error {
 	fmt.Fprintf(w, "CCT baseline:        hottest method (exclusive) %s\n", res.HottestExclusive)
 	fmt.Fprintf(w, "basic-block baseline: hottest block %s\n", res.TopBlock)
 	fmt.Fprintf(w, "pipelined == synchronous (byte-identical): %v\n", res.Identical)
+	if traceOut != "" {
+		return captureTrace(w)
+	}
+	return nil
+}
+
+// captureTrace records the running example's combined three-backend pass
+// to -trace-out, verifies the trace replays to the identical result, and
+// reports the file's stats.
+func captureTrace(w io.Writer) error {
+	src := workloads.RunningExample(workloads.Random, sweep.MaxSize, sweep.Step, sweep.Reps)
+	f, err := os.Create(traceOut)
+	if err != nil {
+		return err
+	}
+	live, err := experiments.RecordBackends(src, sweep.Seed, f, trace.WriterOptions{Compress: true})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	r, err := trace.Open(traceOut)
+	if err != nil {
+		return err
+	}
+	replayed, err := experiments.ReplayBackends(src, r)
+	if err != nil {
+		return err
+	}
+	st := r.Stats()
+	fi, err := os.Stat(traceOut)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ntrace captured: %s (%d bytes, %d frames, %d records, %d instructions)\n",
+		traceOut, fi.Size(), st.Frames, st.Records, st.Instructions)
+	fmt.Fprintf(w, "offline replay == live recording (byte-identical): %v\n",
+		experiments.BackendsFingerprint(replayed) == experiments.BackendsFingerprint(live))
 	return nil
 }
 

@@ -455,6 +455,13 @@ func (p *Profiler) Allocations() map[uint64]*Node { return p.allocatedBy }
 // Errors returns internal consistency problems detected during profiling.
 func (p *Profiler) Errors() []error { return p.errs }
 
+// CostKeys returns a copy of the interned cost-key table in dense-id
+// order: every distinct counter the run touched. Run manifests persist it
+// so stored profiles expose their cost vocabulary without replaying.
+func (p *Profiler) CostKeys() []CostKey {
+	return append([]CostKey(nil), p.keys.keys...)
+}
+
 // Finish finalizes the root invocation. Call once after the program run.
 func (p *Profiler) Finish() {
 	for p.tn != p.root && len(p.stack) > 1 {

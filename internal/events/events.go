@@ -145,6 +145,46 @@ func (p *Plan) WantsAlloc(c int) bool {
 	return p != nil && c >= 0 && c < len(p.AllocClass) && p.AllocClass[c]
 }
 
+// ElemMode describes how an array's element slots map to ForEachElemKey
+// visits, so a replayed shadow of the array can reproduce the live
+// entity's key sequence exactly. Frontends report it at allocation time
+// (see Journal); it matters only for trace capture and offline replay.
+type ElemMode uint8
+
+// Element modes.
+const (
+	// ElemModeAuto visits whatever a slot holds — references as RefKey,
+	// strings as content, integers as value — and skips never-written
+	// slots. This is the probe API's mirror-slice behaviour and the
+	// default for entities first seen without an allocation journal.
+	ElemModeAuto ElemMode = iota
+	// ElemModeRef is a reference-element array (including String[]):
+	// reference slots visit as RefKey, string slots as content, and null
+	// (or never-written) slots are skipped.
+	ElemModeRef
+	// ElemModeVal is a primitive-element array (int[], boolean[]): every
+	// slot visits its numeric value, with never-written slots visiting 0.
+	ElemModeVal
+)
+
+// Journal receives heap-shape operations that the Listener vocabulary does
+// not carry: every entity birth (including arrays, which have no Alloc
+// event under any plan) and array element stores with their index and
+// stored value. The trace recorder needs both to maintain an exact shadow
+// heap for offline replay; frontends call journal methods unconditionally
+// (they are not plan-gated) and only when a journal is configured, so
+// non-recording runs pay nothing.
+type Journal interface {
+	// AllocEntity reports a fresh heap entity. mode describes array
+	// element-key semantics (ignored for objects).
+	AllocEntity(e Entity, mode ElemMode)
+	// ArrayStoreAt reports one array element store: key is the stored
+	// value's element identity (int64, string, or nil when a reference or
+	// null was stored) and newTarget is the stored entity (nil for
+	// primitives, strings, and null).
+	ArrayStoreAt(arr Entity, idx int, key ElemKey, newTarget Entity)
+}
+
 // NopListener is a Listener that ignores every event. Embed it to
 // implement only the events a profiler cares about.
 type NopListener struct{}

@@ -125,6 +125,36 @@ func (p *Producer) Instr(methodID, pc int) {
 	p.emit(Record{Op: OpInstr, ID: int32(methodID), Ent: int64(pc)})
 }
 
+// AllocEntity implements events.Journal: it publishes an entity-birth
+// record carrying the layout a trace writer needs (type name, class id,
+// capacity, element mode). Wire the producer as the frontend's Journal
+// only when a RecordTap consumer is attached — no one else reads these.
+func (p *Producer) AllocEntity(e events.Entity, mode events.ElemMode) {
+	p.emit(Record{
+		Op:  OpJrnlAlloc,
+		ID:  int32(e.ClassID()),
+		Ent: entID(e),
+		Aux: int64(e.Capacity()),
+		E1:  e,
+		Kx:  uint8(mode),
+		KS:  e.TypeName(),
+	})
+}
+
+// ArrayStoreAt implements events.Journal: it publishes one indexed array
+// element store with the stored value, so a replayed shadow heap can apply
+// the exact mutation the live heap saw.
+func (p *Producer) ArrayStoreAt(arr events.Entity, idx int, key events.ElemKey, newTarget events.Entity) {
+	r := Record{Op: OpJrnlStore, ID: int32(idx), Ent: entID(arr), Aux: entID(newTarget), E1: arr, E2: newTarget}
+	switch k := key.(type) {
+	case int64:
+		r.Kx, r.KI = KeyInt, k
+	case string:
+		r.Kx, r.KS = KeyStr, k
+	}
+	p.emit(r)
+}
+
 // LoopEntry implements events.Listener.
 func (p *Producer) LoopEntry(id int) { p.emit(Record{Op: OpLoopEntry, ID: int32(id)}) }
 
@@ -170,6 +200,8 @@ func (p *Producer) InputRead() { p.emit(Record{Op: OpInputRead}) }
 
 // OutputWrite implements events.Listener.
 func (p *Producer) OutputWrite() { p.emit(Record{Op: OpOutputWrite}) }
+
+var _ events.Journal = (*Producer)(nil)
 
 func entID(e events.Entity) int64 {
 	if e == nil {

@@ -53,6 +53,13 @@ const (
 	// basic-block baseline; it is published only when the producer's Instr
 	// method is wired as the VM's InstrHook.
 	OpInstr
+	// OpJrnlAlloc and OpJrnlStore are heap-journal records (entity births
+	// and indexed array stores), published only when the producer is wired
+	// as the frontend's events.Journal. Regular listeners never see them:
+	// dispatch delivers them only to raw record taps (the trace writer),
+	// which need them to maintain an exact shadow heap for offline replay.
+	OpJrnlAlloc
+	OpJrnlStore
 )
 
 // Record is one profiling event in fixed-size binary form: an op tag plus
@@ -76,7 +83,28 @@ type Record struct {
 	E1 events.Entity
 	// E2 is the newly stored target for field-put/array-store events.
 	E2 events.Entity
+
+	// The remaining fields carry heap-journal payloads and are zero on
+	// every other op.
+	//
+	// Kx is the events.ElemMode for OpJrnlAlloc, or the stored-key kind
+	// for OpJrnlStore (see KeyNone and friends). For OpJrnlStore, ID
+	// holds the element index, KI the integer key, and KS the string key;
+	// for OpJrnlAlloc, Aux holds the capacity and KS the type name.
+	Kx uint8
+	KI int64
+	KS string
 }
+
+// Stored-key kinds for OpJrnlStore records (Record.Kx).
+const (
+	// KeyNone marks a reference or null store: Aux/E2 carry the target.
+	KeyNone uint8 = iota
+	// KeyInt marks a primitive store; KI holds the value.
+	KeyInt
+	// KeyStr marks a string store; KS holds the content.
+	KeyStr
+)
 
 // InstrListener is optionally implemented by consumers that want
 // per-instruction ticks (OpInstr records). Consumers that do not implement
@@ -95,3 +123,13 @@ type InstrTap struct {
 
 // Instr implements InstrListener.
 func (t InstrTap) Instr(methodID, pc int) { t.Fn(methodID, pc) }
+
+// RecordTap is optionally implemented by consumers that want every record
+// verbatim instead of decoded listener calls — the trace writer serializes
+// the raw stream (including journal records, which decoded listeners never
+// see). A RecordTap consumer receives no Listener callbacks.
+type RecordTap interface {
+	// Record is called once per published record, in publication order.
+	// The record is only valid for the duration of the call.
+	Record(r *Record)
+}

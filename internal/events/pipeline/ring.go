@@ -66,6 +66,7 @@ type Consumer struct {
 	name       string
 	listener   events.Listener
 	instr      InstrListener // non-nil iff listener wants OpInstr ticks
+	raw        RecordTap     // non-nil: listener takes raw records instead
 	plan       *events.Plan
 	heapReader bool
 	clock      uint64
@@ -126,6 +127,9 @@ func (t *Transport) Add(name string, l events.Listener, opt ConsumerOptions) *Co
 	if il, ok := l.(InstrListener); ok {
 		c.instr = il
 	}
+	if rt, ok := l.(RecordTap); ok {
+		c.raw = rt
+	}
 	t.consumers = append(t.consumers, c)
 	return c
 }
@@ -173,6 +177,17 @@ func (t *Transport) Close() error {
 		}
 	}
 	return nil
+}
+
+// Dispatch delivers one record to every consumer inline, applying the same
+// per-consumer filtering as live dispatch. It is the replay entry point: a
+// trace reader constructs a Synchronous transport, attaches the offline
+// backends, and feeds decoded records here in recorded order. Must not be
+// mixed with a live Producer.
+func (t *Transport) Dispatch(r *Record) {
+	for _, c := range t.consumers {
+		c.dispatch(r)
+	}
 }
 
 // Clock returns the publication-time instruction counter of the record the
@@ -279,6 +294,10 @@ func (c *Consumer) dispatchRange(from, to int64) (ok bool) {
 // both modes see identical filtering.
 func (c *Consumer) dispatch(r *Record) {
 	c.clock = r.Clock
+	if c.raw != nil {
+		c.raw.Record(r)
+		return
+	}
 	p := c.plan
 	switch r.Op {
 	case OpInstr:

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"algoprof"
+	"algoprof/internal/bbprof"
+	"algoprof/internal/cct"
+	"algoprof/internal/core"
+	"algoprof/internal/events"
+	"algoprof/internal/events/pipeline"
+	"algoprof/internal/instrument"
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/trace"
+	"algoprof/internal/vm"
+)
+
+// backendSetup is the static half of a combined three-backend pass: the
+// compiled program under both instrumentation levels, the consumers'
+// union plan, and a synchronous transport with the core, CCT, and
+// basic-block consumers attached.
+type backendSetup struct {
+	insFull, insOpt *instrument.Instrumented
+	union           *events.Plan
+	tp              *pipeline.Transport
+	coreProf        *core.Profiler
+	cctProf         *cct.Profiler
+	bb              *bbprof.Profiler
+}
+
+func newBackendSetup(src string) (*backendSetup, error) {
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	insFull, err := instrument.Instrument(prog, instrument.Full)
+	if err != nil {
+		return nil, err
+	}
+	insOpt, err := instrument.Instrument(prog, instrument.Optimized)
+	if err != nil {
+		return nil, err
+	}
+	union := events.NewEmptyPlan(len(insFull.Plan.MethodEntryExit),
+		len(insFull.Plan.FieldAccess), len(insFull.Plan.AllocClass))
+	for m := range union.MethodEntryExit {
+		union.MethodEntryExit[m] = true
+	}
+	copy(union.FieldAccess, insOpt.Plan.FieldAccess)
+	copy(union.AllocClass, insOpt.Plan.AllocClass)
+	union.Arrays = insOpt.Plan.Arrays
+	union.IO = insOpt.Plan.IO
+
+	s := &backendSetup{insFull: insFull, insOpt: insOpt, union: union}
+	s.tp = pipeline.New(pipeline.Config{Synchronous: true})
+	s.coreProf = core.NewProfiler(insOpt, core.Options{})
+	s.tp.Add("core", s.coreProf, pipeline.ConsumerOptions{HeapReader: true, Plan: insOpt.Plan})
+	var cctCons *pipeline.Consumer
+	s.cctProf = cct.New(func() uint64 { return cctCons.Clock() })
+	cctCons = s.tp.Add("cct", s.cctProf, pipeline.ConsumerOptions{})
+	// Unlike the live RunBackends path, the basic-block counter consumes
+	// instruction ticks from the stream rather than hooking the VM
+	// directly: the ticks must be in the stream anyway for offline replay,
+	// and the counts are identical either way.
+	s.bb = bbprof.New(insFull.Prog)
+	s.tp.Add("bb", pipeline.InstrTap{Fn: s.bb.Hook}, pipeline.ConsumerOptions{})
+	return s, nil
+}
+
+// finish closes out the backends and assembles the result.
+func (s *backendSetup) finish(instructions uint64) (*Backends, error) {
+	s.coreProf.Finish()
+	s.cctProf.Finish()
+	if errs := s.coreProf.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("backends: internal profiling error: %w", errs[0])
+	}
+	profile := algoprof.FromProfiler(s.coreProf)
+	profile.Instructions = instructions
+	return &Backends{
+		Profile:      profile,
+		CCT:          s.cctProf,
+		BBRun:        s.bb.Snapshot(0),
+		Instructions: instructions,
+		ins:          s.insFull,
+	}, nil
+}
+
+// RecordBackends executes src once, feeding all three backends from the
+// stream like RunBackends, while capturing the full record stream —
+// instruction ticks and heap journal included — to w as a trace file. The
+// returned Backends is the live result; replaying the trace with
+// ReplayBackends reproduces it byte for byte.
+func RecordBackends(src string, seed uint64, w io.Writer, topts trace.WriterOptions) (*Backends, error) {
+	s, err := newBackendSetup(src)
+	if err != nil {
+		return nil, err
+	}
+	tw := trace.NewWriter(w, topts)
+	s.tp.Add("trace", tw, pipeline.ConsumerOptions{})
+	pr := s.tp.Producer()
+	machine := vm.New(s.insFull.Prog, vm.Config{
+		Listener:  pr,
+		Plan:      s.union,
+		InstrHook: pr.Instr,
+		Journal:   pr,
+		PreWrite:  pr.Barrier,
+		Seed:      seed,
+	})
+	pr.BindClock(&machine.InstrCount)
+	s.tp.Start()
+	runErr := machine.Run()
+	if cerr := s.tp.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	tw.SetInstructions(machine.InstrCount)
+	if werr := tw.Close(); werr != nil && runErr == nil {
+		runErr = werr
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return s.finish(machine.InstrCount)
+}
+
+// ReplayBackends runs all three backends offline on a recorded trace of
+// src, with no VM involved: the reader reconstructs each record — heap
+// entities included — and dispatches it through the same consumer fan-out
+// a live run uses.
+func ReplayBackends(src string, r *trace.Reader) (*Backends, error) {
+	s, err := newBackendSetup(src)
+	if err != nil {
+		return nil, err
+	}
+	s.tp.Start()
+	if err := r.Replay(s.tp.Dispatch); err != nil {
+		return nil, err
+	}
+	return s.finish(r.Stats().Instructions)
+}

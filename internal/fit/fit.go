@@ -53,6 +53,19 @@ func Models() []Model {
 	return []Model{Constant, Logarithmic, Linear, Linearithmic, Quadratic, Cubic}
 }
 
+// ParseModel maps a growth-term name ("n log n") back to its Model — the
+// inverse of String, used when fitted cost functions round-trip through a
+// serialized run manifest. The second result reports whether the name is a
+// known model.
+func ParseModel(s string) (Model, bool) {
+	for i, name := range modelNames {
+		if s == name {
+			return Model(i), true
+		}
+	}
+	return Constant, false
+}
+
 // Point is one (size, cost) sample.
 type Point struct {
 	Size float64

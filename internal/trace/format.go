@@ -1,0 +1,116 @@
+// Package trace persists the pipeline's event stream to disk and replays
+// it offline. A Writer subscribes to an events/pipeline Transport as a raw
+// record tap and streams every record — including the heap-journal records
+// regular listeners never see — into self-delimiting, CRC-protected,
+// optionally compressed frames. A Reader decodes a trace and dispatches the
+// records back through a Transport, reconstructing the heap as a shadow of
+// interned entities, so the algorithmic profiler, CCT, and bbprof backends
+// run on a recorded stream and produce byte-identical reports to the live
+// run.
+//
+// The on-disk layout is specified in docs/TRACE.md. In short:
+//
+//	header  = magic "ALGTRACE" + u32 version + u32 flags
+//	frames  = uvarint payloadLen + u32 CRC32(payload) + payload
+//	payload = tagged events (tag 0xF0 interns the next string id)
+//	index   = one uncompressed frame of frame offsets + totals
+//	trailer = u64 index offset + magic "ALGTRIDX"
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// File layout constants.
+const (
+	// Magic opens every trace file.
+	Magic = "ALGTRACE"
+	// TrailerMagic closes every complete trace file.
+	TrailerMagic = "ALGTRIDX"
+	// Version is the current format version. Readers reject other versions.
+	Version = 1
+
+	headerSize  = 8 + 4 + 4
+	trailerSize = 8 + 8
+)
+
+// Header flag bits.
+const (
+	// FlagCompress marks data-frame payloads as DEFLATE-compressed. The
+	// index frame is always stored raw.
+	FlagCompress uint32 = 1 << 0
+)
+
+// tagStrDef interns a string: the bytes that follow define the next
+// sequential string id of the current frame. Event tags are the raw
+// pipeline.Op values, which stay well below 0xF0.
+const tagStrDef = 0xF0
+
+// Decoder bounds. Real traces stay far under these; they exist so a
+// corrupted or adversarial file fails with an error instead of exhausting
+// memory.
+const (
+	// maxFramePayload bounds one frame's decoded payload size.
+	maxFramePayload = 1 << 24
+	// maxCapacity bounds a journaled entity capacity.
+	maxCapacity = 1 << 20
+)
+
+// ErrCorrupt wraps every decoding failure, so callers can distinguish a
+// damaged trace from an I/O error.
+var ErrCorrupt = errors.New("trace: corrupt")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------------
+// Varint helpers over byte slices. All reads are bounds-checked and return
+// an error instead of panicking, so the decoder survives arbitrary input
+// (the fuzz target's contract).
+
+func putUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func putVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func readUvarint(b []byte, pos int) (uint64, int, error) {
+	v, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return 0, pos, corruptf("bad uvarint at %d", pos)
+	}
+	return v, pos + n, nil
+}
+
+func readVarint(b []byte, pos int) (int64, int, error) {
+	v, n := binary.Varint(b[pos:])
+	if n <= 0 {
+		return 0, pos, corruptf("bad varint at %d", pos)
+	}
+	return v, pos + n, nil
+}
+
+func readByte(b []byte, pos int) (byte, int, error) {
+	if pos >= len(b) {
+		return 0, pos, corruptf("unexpected end at %d", pos)
+	}
+	return b[pos], pos + 1, nil
+}
+
+// readUint reads a uvarint and checks it fits a non-negative int below
+// limit.
+func readUint(b []byte, pos int, limit uint64, what string) (int, int, error) {
+	v, pos, err := readUvarint(b, pos)
+	if err != nil {
+		return 0, pos, err
+	}
+	if v >= limit {
+		return 0, pos, corruptf("%s %d out of range", what, v)
+	}
+	return int(v), pos, nil
+}

@@ -1,0 +1,351 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"algoprof/internal/events"
+	"algoprof/internal/events/pipeline"
+)
+
+// Stats summarizes a trace file from its header and index, without
+// decoding the event stream.
+type Stats struct {
+	Version      uint32
+	Compressed   bool
+	Frames       int
+	Records      uint64
+	FinalClock   uint64
+	Instructions uint64
+}
+
+// Reader decodes one trace file. Open validates the header, trailer, and
+// index eagerly; Replay then streams the records through a dispatch
+// function in recorded order.
+type Reader struct {
+	data     []byte // full file contents
+	flags    uint32
+	dataEnd  int64 // offset of the index frame (end of data frames)
+	stats    Stats
+	frameOff []int64
+}
+
+// Open reads and validates a trace file.
+func Open(path string) (*Reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(data)
+}
+
+// NewReader validates an in-memory trace image.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < headerSize+trailerSize {
+		return nil, corruptf("file too short (%d bytes)", len(data))
+	}
+	if string(data[:8]) != Magic {
+		return nil, corruptf("bad magic")
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version != Version {
+		return nil, corruptf("unsupported version %d (want %d)", version, Version)
+	}
+	flags := binary.LittleEndian.Uint32(data[12:16])
+	trailer := data[len(data)-trailerSize:]
+	if string(trailer[8:]) != TrailerMagic {
+		return nil, corruptf("bad trailer magic")
+	}
+	indexOff := binary.LittleEndian.Uint64(trailer[:8])
+	if indexOff < headerSize || indexOff > uint64(len(data)-trailerSize) {
+		return nil, corruptf("index offset %d out of range", indexOff)
+	}
+	r := &Reader{data: data, flags: flags, dataEnd: int64(indexOff)}
+	r.stats.Version = version
+	r.stats.Compressed = flags&FlagCompress != 0
+	idx, _, err := readFrame(data, int64(indexOff), false)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.parseIndex(idx); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) parseIndex(idx []byte) error {
+	nFrames, pos, err := readUint(idx, 0, 1<<32, "frame count")
+	if err != nil {
+		return err
+	}
+	r.frameOff = make([]int64, 0, nFrames)
+	for i := 0; i < nFrames; i++ {
+		var off uint64
+		off, pos, err = readUvarint(idx, pos)
+		if err != nil {
+			return err
+		}
+		if off < headerSize || int64(off) >= r.dataEnd {
+			return corruptf("frame %d offset %d out of range", i, off)
+		}
+		r.frameOff = append(r.frameOff, int64(off))
+		if _, pos, err = readUvarint(idx, pos); err != nil { // record count
+			return err
+		}
+	}
+	if r.stats.Records, pos, err = readUvarint(idx, pos); err != nil {
+		return err
+	}
+	if r.stats.FinalClock, pos, err = readUvarint(idx, pos); err != nil {
+		return err
+	}
+	if r.stats.Instructions, _, err = readUvarint(idx, pos); err != nil {
+		return err
+	}
+	r.stats.Frames = nFrames
+	return nil
+}
+
+// Stats returns the trace summary from the index.
+func (r *Reader) Stats() Stats { return r.stats }
+
+// readFrame decodes the frame envelope at off: payload length, CRC check,
+// optional decompression. It returns the payload and the offset just past
+// the frame.
+func readFrame(data []byte, off int64, compressed bool) ([]byte, int64, error) {
+	if off < 0 || off >= int64(len(data)) {
+		return nil, off, corruptf("frame offset %d out of range", off)
+	}
+	plen, n := binary.Uvarint(data[off:])
+	if n <= 0 || plen > maxFramePayload {
+		return nil, off, corruptf("bad frame length at %d", off)
+	}
+	pos := off + int64(n)
+	if pos+4 > int64(len(data)) {
+		return nil, off, corruptf("truncated frame header at %d", off)
+	}
+	sum := binary.LittleEndian.Uint32(data[pos:])
+	pos += 4
+	if pos+int64(plen) > int64(len(data)) {
+		return nil, off, corruptf("truncated frame payload at %d", off)
+	}
+	payload := data[pos : pos+int64(plen)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, off, corruptf("frame CRC mismatch at %d", off)
+	}
+	end := pos + int64(plen)
+	if compressed {
+		fr := flate.NewReader(bytes.NewReader(payload))
+		raw, err := io.ReadAll(io.LimitReader(fr, maxFramePayload+1))
+		if err != nil {
+			return nil, off, corruptf("frame inflate at %d: %v", off, err)
+		}
+		if len(raw) > maxFramePayload {
+			return nil, off, corruptf("inflated frame at %d exceeds limit", off)
+		}
+		payload = raw
+	}
+	return payload, end, nil
+}
+
+// Replay decodes every data frame in order and hands each reconstructed
+// record to dispatch — typically a Synchronous pipeline Transport's
+// Dispatch method with the offline backends attached. Heap-journal records
+// mutate the shadow heap before being dispatched, so a listener processing
+// record k observes exactly the heap state the live listener saw at
+// record k (the pipeline Barrier invariant).
+func (r *Reader) Replay(dispatch func(*pipeline.Record)) error {
+	heap := shadowHeap{}
+	compressed := r.flags&FlagCompress != 0
+	off := int64(headerSize)
+	for off < r.dataEnd {
+		payload, next, err := readFrame(r.data, off, compressed)
+		if err != nil {
+			return err
+		}
+		if err := replayFrame(payload, heap, dispatch); err != nil {
+			return err
+		}
+		off = next
+	}
+	return nil
+}
+
+// replayFrame decodes one frame payload. The string table and clock base
+// are frame-local, so every frame decodes independently.
+func replayFrame(b []byte, heap shadowHeap, dispatch func(*pipeline.Record)) error {
+	var strs []string
+	var clock uint64
+	pos := 0
+	for pos < len(b) {
+		tag, pos2, err := readByte(b, pos)
+		if err != nil {
+			return err
+		}
+		pos = pos2
+		if tag == tagStrDef {
+			n, pos2, err := readUint(b, pos, maxFramePayload, "string length")
+			if err != nil {
+				return err
+			}
+			pos = pos2
+			if pos+n > len(b) {
+				return corruptf("truncated string at %d", pos)
+			}
+			strs = append(strs, string(b[pos:pos+n]))
+			pos += n
+			continue
+		}
+		op := pipeline.Op(tag)
+		if op == pipeline.OpNone || op > pipeline.OpJrnlStore {
+			return corruptf("unknown event tag %#x at %d", tag, pos-1)
+		}
+		delta, pos2, err := readUvarint(b, pos)
+		if err != nil {
+			return err
+		}
+		pos = pos2
+		clock += delta
+		rec := pipeline.Record{Op: op, Clock: clock}
+		if pos, err = decodeBody(b, pos, &rec, heap, strs); err != nil {
+			return err
+		}
+		dispatch(&rec)
+	}
+	return nil
+}
+
+// decodeBody reads the op-specific fields of one event, resolving entity
+// ids against (and mutating) the shadow heap.
+func decodeBody(b []byte, pos int, rec *pipeline.Record, heap shadowHeap, strs []string) (int, error) {
+	var err error
+	readID := func() {
+		var v int
+		if err == nil {
+			v, pos, err = readUint(b, pos, 1<<31, "id")
+			rec.ID = int32(v)
+		}
+	}
+	readEnt := func(dst *int64) *shadowEntity {
+		if err != nil {
+			return nil
+		}
+		var v uint64
+		if v, pos, err = readUvarint(b, pos); err != nil {
+			return nil
+		}
+		*dst = int64(v)
+		return heap.get(*dst)
+	}
+	switch rec.Op {
+	case pipeline.OpLoopEntry, pipeline.OpLoopBack, pipeline.OpLoopExit,
+		pipeline.OpMethodEntry, pipeline.OpMethodExit:
+		readID()
+	case pipeline.OpFieldGet:
+		readID()
+		rec.E1 = ent(readEnt(&rec.Ent))
+	case pipeline.OpFieldPut:
+		readID()
+		obj := readEnt(&rec.Ent)
+		tgt := readEnt(&rec.Aux)
+		if err == nil && obj != nil {
+			obj.setLink(int(rec.ID), tgt)
+		}
+		rec.E1, rec.E2 = ent(obj), ent(tgt)
+	case pipeline.OpArrayLoad:
+		rec.E1 = ent(readEnt(&rec.Ent))
+	case pipeline.OpArrayStore:
+		rec.E1 = ent(readEnt(&rec.Ent))
+		rec.E2 = ent(readEnt(&rec.Aux))
+	case pipeline.OpAlloc, pipeline.OpInstr:
+		readID()
+		if rec.Op == pipeline.OpAlloc {
+			rec.E1 = ent(readEnt(&rec.Ent))
+		} else if err == nil {
+			var v uint64
+			if v, pos, err = readUvarint(b, pos); err == nil {
+				rec.Ent = int64(v)
+			}
+		}
+	case pipeline.OpInputRead, pipeline.OpOutputWrite:
+		// No fields.
+	case pipeline.OpJrnlAlloc:
+		var id uint64
+		if id, pos, err = readUvarint(b, pos); err != nil {
+			return pos, err
+		}
+		rec.Ent = int64(id)
+		var classID int64
+		if classID, pos, err = readVarint(b, pos); err != nil {
+			return pos, err
+		}
+		rec.ID = int32(classID)
+		var capacity int
+		if capacity, pos, err = readUint(b, pos, maxCapacity+1, "capacity"); err != nil {
+			return pos, err
+		}
+		rec.Aux = int64(capacity)
+		if rec.Kx, pos, err = readByte(b, pos); err != nil {
+			return pos, err
+		}
+		if rec.Kx > uint8(events.ElemModeVal) {
+			return pos, corruptf("bad element mode %d", rec.Kx)
+		}
+		var sid int
+		if sid, pos, err = readUint(b, pos, uint64(len(strs)), "string id"); err != nil {
+			return pos, err
+		}
+		rec.KS = strs[sid]
+		e, aerr := heap.alloc(rec.Ent, int(classID), capacity, events.ElemMode(rec.Kx), rec.KS)
+		if aerr != nil {
+			return pos, aerr
+		}
+		rec.E1 = e
+	case pipeline.OpJrnlStore:
+		arr := readEnt(&rec.Ent)
+		readID()
+		if err == nil {
+			rec.Kx, pos, err = readByte(b, pos)
+		}
+		if err != nil {
+			return pos, err
+		}
+		slot := shadowSlot{}
+		switch rec.Kx {
+		case pipeline.KeyInt:
+			if rec.KI, pos, err = readVarint(b, pos); err != nil {
+				return pos, err
+			}
+			slot = shadowSlot{kind: slotInt, i: rec.KI}
+		case pipeline.KeyStr:
+			var sid int
+			if sid, pos, err = readUint(b, pos, uint64(len(strs)), "string id"); err != nil {
+				return pos, err
+			}
+			rec.KS = strs[sid]
+			slot = shadowSlot{kind: slotStr, s: rec.KS}
+		case pipeline.KeyNone:
+			tgt := readEnt(&rec.Aux)
+			if err != nil {
+				return pos, err
+			}
+			if tgt != nil {
+				slot = shadowSlot{kind: slotRef, ref: tgt}
+			}
+			rec.E2 = ent(tgt)
+		default:
+			return pos, corruptf("bad store key kind %d", rec.Kx)
+		}
+		if arr != nil {
+			if serr := arr.setSlot(int(rec.ID), slot); serr != nil {
+				return pos, serr
+			}
+		}
+		rec.E1 = ent(arr)
+	}
+	return pos, err
+}

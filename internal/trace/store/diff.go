@@ -1,0 +1,215 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"algoprof"
+	"algoprof/internal/fit"
+)
+
+// DiffKind classifies one cost-function comparison between two runs.
+type DiffKind int
+
+// Diff kinds, ordered least to most severe.
+const (
+	// Unchanged: same model class, coefficient within tolerance.
+	Unchanged DiffKind = iota
+	// ConstantFactor: same model class, coefficient drifted beyond
+	// tolerance — a slowdown or speedup, not an algorithmic change.
+	ConstantFactor
+	// ComplexityImprovement: the fitted model class got simpler
+	// (e.g. n² → n·log n).
+	ComplexityImprovement
+	// ComplexityRegression: the fitted model class got more complex
+	// (e.g. n·log n → n²) — the paper's headline detectable event.
+	ComplexityRegression
+	// Added / Removed: the algorithm or input series exists in only one
+	// run.
+	Added
+	Removed
+)
+
+func (k DiffKind) String() string {
+	switch k {
+	case Unchanged:
+		return "unchanged"
+	case ConstantFactor:
+		return "constant-factor"
+	case ComplexityImprovement:
+		return "complexity-improvement"
+	case ComplexityRegression:
+		return "COMPLEXITY REGRESSION"
+	case Added:
+		return "added"
+	case Removed:
+		return "removed"
+	}
+	return "?"
+}
+
+// Entry is one (algorithm, input) comparison.
+type Entry struct {
+	Algorithm  string
+	InputLabel string
+	Kind       DiffKind
+	OldModel   string
+	NewModel   string
+	OldCoeff   float64
+	NewCoeff   float64
+	// Ratio is NewCoeff/OldCoeff for same-model entries (0 otherwise).
+	Ratio float64
+}
+
+// Diff compares two runs' fitted cost functions.
+type Diff struct {
+	Entries []Entry
+}
+
+// coeffTolerance is the relative coefficient drift under which two
+// same-model fits count as unchanged. Fitted coefficients jitter a few
+// percent run to run from sampling noise; a real constant-factor change
+// (an extra pass, say) moves them far more.
+const coeffTolerance = 0.15
+
+// DiffRuns compares the fitted cost functions of two manifests, old to
+// new, matching series by (algorithm name, input label).
+func DiffRuns(old, new *Manifest) *Diff {
+	type key struct{ alg, input string }
+	index := func(m *Manifest) map[key]algoprof.CostFunction {
+		out := map[key]algoprof.CostFunction{}
+		for _, a := range m.Algorithms {
+			for _, cf := range a.CostFunctions {
+				out[key{a.Name, cf.InputLabel}] = cf
+			}
+		}
+		return out
+	}
+	oldCF, newCF := index(old), index(new)
+	keys := make([]key, 0, len(oldCF)+len(newCF))
+	for k := range oldCF {
+		keys = append(keys, k)
+	}
+	for k := range newCF {
+		if _, ok := oldCF[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].alg != keys[j].alg {
+			return keys[i].alg < keys[j].alg
+		}
+		return keys[i].input < keys[j].input
+	})
+
+	d := &Diff{}
+	for _, k := range keys {
+		o, hasOld := oldCF[k]
+		n, hasNew := newCF[k]
+		e := Entry{Algorithm: k.alg, InputLabel: k.input}
+		switch {
+		case !hasOld:
+			e.Kind = Added
+			e.NewModel, e.NewCoeff = n.Model, effectiveCoeff(n)
+		case !hasNew:
+			e.Kind = Removed
+			e.OldModel, e.OldCoeff = o.Model, effectiveCoeff(o)
+		default:
+			e.OldModel, e.NewModel = o.Model, n.Model
+			e.OldCoeff, e.NewCoeff = effectiveCoeff(o), effectiveCoeff(n)
+			e.Kind = classify(o, n, &e)
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	return d
+}
+
+// effectiveCoeff is the growth coefficient to compare: for constant fits
+// the level itself (coeff + intercept), otherwise the model coefficient.
+func effectiveCoeff(cf algoprof.CostFunction) float64 {
+	if m, ok := fit.ParseModel(cf.Model); ok && m == fit.Constant {
+		return cf.Coeff + cf.Intercept
+	}
+	return cf.Coeff
+}
+
+func classify(o, n algoprof.CostFunction, e *Entry) DiffKind {
+	om, okO := fit.ParseModel(o.Model)
+	nm, okN := fit.ParseModel(n.Model)
+	if okO && okN && om != nm {
+		if nm > om {
+			return ComplexityRegression
+		}
+		return ComplexityImprovement
+	}
+	if o.Model != n.Model {
+		// Unknown model names that differ: treat as a regression — the
+		// shape changed and we cannot rank it.
+		return ComplexityRegression
+	}
+	if e.OldCoeff != 0 {
+		e.Ratio = e.NewCoeff / e.OldCoeff
+	}
+	if e.Ratio > 0 && math.Abs(e.Ratio-1) <= coeffTolerance {
+		return Unchanged
+	}
+	if e.OldCoeff == e.NewCoeff {
+		return Unchanged
+	}
+	return ConstantFactor
+}
+
+// HasComplexityRegression reports whether any entry's model class got more
+// complex.
+func (d *Diff) HasComplexityRegression() bool {
+	for _, e := range d.Entries {
+		if e.Kind == ComplexityRegression {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats the diff as an aligned text report, most severe entries
+// first.
+func (d *Diff) Render() string {
+	entries := append([]Entry(nil), d.Entries...)
+	sort.SliceStable(entries, func(i, j int) bool { return severity(entries[i].Kind) > severity(entries[j].Kind) })
+	var sb strings.Builder
+	for _, e := range entries {
+		name := e.Algorithm
+		if e.InputLabel != "" {
+			name += " [" + e.InputLabel + "]"
+		}
+		switch e.Kind {
+		case Added:
+			fmt.Fprintf(&sb, "%-22s %-52s -> %s (%.3g)\n", e.Kind, name, e.NewModel, e.NewCoeff)
+		case Removed:
+			fmt.Fprintf(&sb, "%-22s %-52s %s (%.3g) ->\n", e.Kind, name, e.OldModel, e.OldCoeff)
+		case Unchanged:
+			fmt.Fprintf(&sb, "%-22s %-52s %s (%.3g)\n", e.Kind, name, e.NewModel, e.NewCoeff)
+		case ConstantFactor:
+			fmt.Fprintf(&sb, "%-22s %-52s %s: %.3g -> %.3g (x%.2f)\n",
+				e.Kind, name, e.NewModel, e.OldCoeff, e.NewCoeff, e.Ratio)
+		default:
+			fmt.Fprintf(&sb, "%-22s %-52s %s -> %s\n", e.Kind, name, e.OldModel, e.NewModel)
+		}
+	}
+	return sb.String()
+}
+
+func severity(k DiffKind) int {
+	switch k {
+	case ComplexityRegression:
+		return 5
+	case ComplexityImprovement:
+		return 4
+	case ConstantFactor:
+		return 3
+	case Added, Removed:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,218 @@
+// Package store keeps a directory of recorded profiling runs. Each run is
+// one subdirectory holding the program source, the event trace, and a
+// manifest with the run's identity (program hash, workload, timestamp,
+// configuration) plus its fitted cost functions — the portable artifact the
+// paper's cost-function view produces. Stored runs replay offline through
+// internal/trace, and pairs of runs diff into algorithmic regressions (see
+// diff.go).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"algoprof"
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/trace"
+)
+
+// File names inside a run directory.
+const (
+	manifestFile = "manifest.json"
+	programFile  = "program.mj"
+	traceFile    = "trace.bin"
+)
+
+// Manifest describes one stored run.
+type Manifest struct {
+	// FormatVersion is the trace format version the run was written with.
+	FormatVersion int `json:"format_version"`
+	// CreatedUnix is the recording time (Unix seconds).
+	CreatedUnix int64 `json:"created_unix"`
+	// ProgramSHA256 hashes the profiled MJ source.
+	ProgramSHA256 string `json:"program_sha256"`
+	// Workload is a caller-supplied label for what the program ran.
+	Workload string `json:"workload,omitempty"`
+	// Config is the profiling configuration; replay reuses it so the
+	// offline profile matches the recorded one.
+	Config algoprof.Config `json:"config"`
+	// Stdout and Output are the program's results; they are not part of
+	// the event stream, so the manifest carries them across replays.
+	Stdout []string `json:"stdout,omitempty"`
+	Output []string `json:"output,omitempty"`
+	// Instructions is the executed bytecode instruction count.
+	Instructions uint64 `json:"instructions"`
+	// CostKeys is the run's interned cost-counter vocabulary, in dense-id
+	// order.
+	CostKeys []string `json:"cost_keys,omitempty"`
+	// Algorithms are the profile's fitted results — the diffable artifact.
+	Algorithms []algoprof.Algorithm `json:"algorithms"`
+}
+
+// Run is one stored run: its manifest plus, when freshly recorded or
+// replayed, the full profile.
+type Run struct {
+	Name     string
+	Dir      string
+	Manifest Manifest
+	// Profile is non-nil after Record or Replay; Load leaves it nil.
+	Profile *algoprof.Profile
+}
+
+// Store is a directory of runs.
+type Store struct {
+	dir string
+}
+
+// Open creates the store directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) runDir(name string) (string, error) {
+	if name == "" || name != filepath.Base(name) {
+		return "", fmt.Errorf("store: invalid run name %q", name)
+	}
+	return filepath.Join(s.dir, name), nil
+}
+
+// List names the stored runs, sorted.
+func (s *Store) List() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			if _, err := os.Stat(filepath.Join(s.dir, e.Name(), manifestFile)); err == nil {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Record profiles src under cfg, capturing the event trace, and stores the
+// run as name. The run directory holds the source, the trace, and the
+// manifest with the fitted cost functions.
+func (s *Store) Record(name, src, workload string, cfg algoprof.Config, topts trace.WriterOptions) (*Run, error) {
+	dir, err := s.runDir(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	tf, err := os.Create(filepath.Join(dir, traceFile))
+	if err != nil {
+		return nil, err
+	}
+	prof, runErr := algoprof.Record(src, cfg, tf, topts)
+	if cerr := tf.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		os.Remove(filepath.Join(dir, traceFile))
+		return nil, runErr
+	}
+	if err := os.WriteFile(filepath.Join(dir, programFile), []byte(src), 0o644); err != nil {
+		return nil, err
+	}
+
+	sum := sha256.Sum256([]byte(src))
+	m := Manifest{
+		FormatVersion: trace.Version,
+		CreatedUnix:   time.Now().Unix(),
+		ProgramSHA256: hex.EncodeToString(sum[:]),
+		Workload:      workload,
+		Config:        cfg,
+		Stdout:        prof.Stdout,
+		Output:        prof.Output,
+		Instructions:  prof.Instructions,
+		Algorithms:    prof.Algorithms,
+	}
+	if coreProf, _ := prof.Raw(); coreProf != nil {
+		for _, k := range coreProf.CostKeys() {
+			m.CostKeys = append(m.CostKeys, k.String())
+		}
+	}
+	if err := writeManifest(dir, &m); err != nil {
+		return nil, err
+	}
+	return &Run{Name: name, Dir: dir, Manifest: m, Profile: prof}, nil
+}
+
+func writeManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestFile), append(data, '\n'), 0o644)
+}
+
+// Load reads a stored run's manifest without replaying its trace.
+func (s *Store) Load(name string) (*Run, error) {
+	dir, err := s.runDir(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{Name: name, Dir: dir}
+	if err := json.Unmarshal(data, &r.Manifest); err != nil {
+		return nil, fmt.Errorf("store: run %s: %w", name, err)
+	}
+	return r, nil
+}
+
+// Replay loads a stored run and re-runs the profiler offline on its
+// recorded trace, under the manifest's configuration. The replayed profile
+// is byte-identical to the recorded one; program outputs come from the
+// manifest.
+func (s *Store) Replay(name string) (*Run, error) {
+	r, err := s.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	src, err := os.ReadFile(filepath.Join(r.Dir, programFile))
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(src)
+	if got := hex.EncodeToString(sum[:]); got != r.Manifest.ProgramSHA256 {
+		return nil, fmt.Errorf("store: run %s: program hash mismatch (manifest %s, file %s)",
+			name, r.Manifest.ProgramSHA256, got)
+	}
+	prog, err := compiler.CompileSource(string(src))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Open(filepath.Join(r.Dir, traceFile))
+	if err != nil {
+		return nil, err
+	}
+	prof, err := algoprof.ReplayProgram(prog, r.Manifest.Config, tr)
+	if err != nil {
+		return nil, err
+	}
+	prof.Stdout = r.Manifest.Stdout
+	prof.Output = r.Manifest.Output
+	r.Profile = prof
+	return r, nil
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"algoprof"
+	"algoprof/internal/trace"
+	"algoprof/internal/workloads"
+)
+
+// TestStoreRecordReplayRoundTrip records a run, replays it offline, and
+// checks the replayed profile matches the recorded one byte for byte
+// (JSON form, which covers algorithms, cost functions, outputs, and the
+// instruction count).
+func TestStoreRecordReplayRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := workloads.RunningExample(workloads.Random, 24, 8, 2)
+	rec, err := s.Record("base", src, "running-example", algoprof.Config{Seed: 1}, trace.WriterOptions{Compress: true})
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if rec.Manifest.ProgramSHA256 == "" || rec.Manifest.Instructions == 0 {
+		t.Errorf("manifest incomplete: %+v", rec.Manifest)
+	}
+	if len(rec.Manifest.CostKeys) == 0 {
+		t.Errorf("manifest carries no interned cost keys")
+	}
+
+	names, err := s.List()
+	if err != nil || len(names) != 1 || names[0] != "base" {
+		t.Fatalf("List = %v, %v; want [base]", names, err)
+	}
+
+	rep, err := s.Replay("base")
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	liveJSON, err := rec.Profile.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayJSON, err := rep.Profile.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveJSON, replayJSON) {
+		t.Errorf("replayed profile differs from recorded profile\nlive:\n%s\nreplayed:\n%s", liveJSON, replayJSON)
+	}
+	if rec.Profile.Tree() != rep.Profile.Tree() {
+		t.Errorf("replayed tree differs from recorded tree")
+	}
+}
+
+// TestDiffFlagsComplexityRegression is the subsystem's acceptance check:
+// the same program point (the running example's insertion sort) recorded
+// on sorted input fits a linear cost function, on reversed input a
+// quadratic one, and the differ must flag that n → n² model-class change
+// as a complexity regression — distinct from mere constant-factor drift.
+func TestDiffFlagsComplexityRegression(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := s.Record("fast", workloads.RunningExample(workloads.Sorted, 49, 6, 2),
+		"sorted-input", algoprof.Config{Seed: 1}, trace.WriterOptions{})
+	if err != nil {
+		t.Fatalf("Record fast: %v", err)
+	}
+	slow, err := s.Record("slow", workloads.RunningExample(workloads.Reversed, 49, 6, 2),
+		"reversed-input", algoprof.Config{Seed: 1}, trace.WriterOptions{})
+	if err != nil {
+		t.Fatalf("Record slow: %v", err)
+	}
+
+	d := DiffRuns(&fast.Manifest, &slow.Manifest)
+	if !d.HasComplexityRegression() {
+		t.Fatalf("diff did not flag a complexity regression:\n%s", d.Render())
+	}
+	var found bool
+	for _, e := range d.Entries {
+		if e.Algorithm == "List.sort/loop1" && e.Kind == ComplexityRegression {
+			found = true
+			if e.NewModel != "n^2" {
+				t.Errorf("sort regression new model = %q, want n^2", e.NewModel)
+			}
+		}
+		if e.Algorithm == "List.sort/loop1" && e.Kind == ConstantFactor {
+			t.Errorf("sort model change misclassified as constant-factor drift")
+		}
+	}
+	if !found {
+		t.Errorf("no complexity regression reported for List.sort/loop1:\n%s", d.Render())
+	}
+	if !strings.Contains(d.Render(), "COMPLEXITY REGRESSION") {
+		t.Errorf("rendered diff does not highlight the regression:\n%s", d.Render())
+	}
+
+	// The reverse direction is an improvement, not a regression.
+	back := DiffRuns(&slow.Manifest, &fast.Manifest)
+	if back.HasComplexityRegression() {
+		t.Errorf("reverse diff should not flag a regression:\n%s", back.Render())
+	}
+}
+
+// TestDiffConstantFactor checks that a pure workload-scale change under the
+// same model is reported as constant-factor drift, not a model change.
+func TestDiffConstantFactor(t *testing.T) {
+	mkManifest := func(coeff float64) *Manifest {
+		return &Manifest{Algorithms: []algoprof.Algorithm{{
+			Name: "A.f/loop1",
+			CostFunctions: []algoprof.CostFunction{{
+				InputLabel: "in", Model: "n", Coeff: coeff,
+			}},
+		}}}
+	}
+	d := DiffRuns(mkManifest(1.0), mkManifest(2.0))
+	if len(d.Entries) != 1 || d.Entries[0].Kind != ConstantFactor {
+		t.Fatalf("diff = %+v, want one constant-factor entry", d.Entries)
+	}
+	if d.HasComplexityRegression() {
+		t.Errorf("constant-factor drift flagged as complexity regression")
+	}
+	same := DiffRuns(mkManifest(1.0), mkManifest(1.05))
+	if same.Entries[0].Kind != Unchanged {
+		t.Errorf("5%% drift = %v, want unchanged", same.Entries[0].Kind)
+	}
+}

@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"algoprof/internal/events"
+	"algoprof/internal/events/pipeline"
+)
+
+// sampleRecords exercises every op's encoding: frame-local string interning
+// (the array type name and string element repeat), signed class ids,
+// every journal store key kind, and clock deltas.
+func sampleRecords() []pipeline.Record {
+	return []pipeline.Record{
+		{Op: pipeline.OpMethodEntry, Clock: 1, ID: 2},
+		{Op: pipeline.OpJrnlAlloc, Clock: 3, ID: -1, Ent: 1, Aux: 4,
+			Kx: uint8(events.ElemModeAuto), KS: "Object[]"},
+		{Op: pipeline.OpJrnlAlloc, Clock: 4, ID: 7, Ent: 2, Aux: 3,
+			Kx: uint8(events.ElemModeAuto), KS: "Node"},
+		{Op: pipeline.OpJrnlStore, Clock: 5, Ent: 1, ID: 0, Kx: pipeline.KeyInt, KI: -7},
+		{Op: pipeline.OpJrnlStore, Clock: 6, Ent: 1, ID: 1, Kx: pipeline.KeyStr, KS: "hello"},
+		{Op: pipeline.OpJrnlStore, Clock: 7, Ent: 1, ID: 2, Kx: pipeline.KeyNone, Aux: 2},
+		{Op: pipeline.OpArrayStore, Clock: 8, Ent: 1, Aux: 2},
+		{Op: pipeline.OpArrayLoad, Clock: 9, Ent: 1},
+		{Op: pipeline.OpFieldPut, Clock: 10, ID: 3, Ent: 2, Aux: 1},
+		{Op: pipeline.OpFieldGet, Clock: 11, ID: 3, Ent: 2},
+		{Op: pipeline.OpAlloc, Clock: 12, ID: 7, Ent: 2},
+		{Op: pipeline.OpInstr, Clock: 13, ID: 5, Ent: 42},
+		{Op: pipeline.OpInputRead, Clock: 14},
+		{Op: pipeline.OpOutputWrite, Clock: 15},
+		{Op: pipeline.OpLoopEntry, Clock: 16, ID: 4},
+		{Op: pipeline.OpLoopBack, Clock: 17, ID: 4},
+		{Op: pipeline.OpLoopExit, Clock: 18, ID: 4},
+		{Op: pipeline.OpJrnlStore, Clock: 19, Ent: 1, ID: 0, Kx: pipeline.KeyStr, KS: "hello"},
+		{Op: pipeline.OpMethodExit, Clock: 20, ID: 2},
+	}
+}
+
+// buildTrace encodes recs into a complete trace image.
+func buildTrace(tb testing.TB, opts WriterOptions, recs []pipeline.Record) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	tw := NewWriter(&buf, opts)
+	for i := range recs {
+		tw.Record(&recs[i])
+	}
+	tw.SetInstructions(20)
+	if err := tw.Close(); err != nil {
+		tb.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTrip writes every record shape and reads the stream back,
+// checking fields survive unchanged. A tiny frame size forces many frame
+// cuts so the frame-local string table and clock base reset repeatedly.
+func TestRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	for _, opts := range []WriterOptions{
+		{},
+		{Compress: true},
+		{FrameSize: 8},
+		{FrameSize: 8, Compress: true},
+	} {
+		data := buildTrace(t, opts, recs)
+		r, err := NewReader(data)
+		if err != nil {
+			t.Fatalf("opts=%+v: NewReader: %v", opts, err)
+		}
+		st := r.Stats()
+		if st.Records != uint64(len(recs)) || st.FinalClock != 20 || st.Instructions != 20 {
+			t.Errorf("opts=%+v: stats = %+v", opts, st)
+		}
+		var got []pipeline.Record
+		err = r.Replay(func(rec *pipeline.Record) {
+			c := *rec
+			c.E1, c.E2 = nil, nil // pointer identity is per-replay
+			got = append(got, c)
+		})
+		if err != nil {
+			t.Fatalf("opts=%+v: Replay: %v", opts, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("opts=%+v: replayed %d records, want %d", opts, len(got), len(recs))
+		}
+		for i, want := range recs {
+			g := got[i]
+			if g.Op != want.Op || g.Clock != want.Clock || g.ID != want.ID ||
+				g.Ent != want.Ent || g.Aux != want.Aux || g.Kx != want.Kx ||
+				g.KI != want.KI || g.KS != want.KS {
+				t.Errorf("opts=%+v: record %d = %+v, want %+v", opts, i, g, want)
+			}
+		}
+	}
+}
+
+// TestReplayRebuildsEntities checks the shadow heap: journaled allocations
+// surface as live entities on subsequent events, with the recorded type
+// name, class, and element contents.
+func TestReplayRebuildsEntities(t *testing.T) {
+	data := buildTrace(t, WriterOptions{}, sampleRecords())
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr, node events.Entity
+	err = r.Replay(func(rec *pipeline.Record) {
+		switch {
+		case rec.Op == pipeline.OpArrayLoad:
+			arr = rec.E1
+		case rec.Op == pipeline.OpAlloc:
+			node = rec.E1
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr == nil || node == nil {
+		t.Fatalf("entities not resolved: arr=%v node=%v", arr, node)
+	}
+	if arr.TypeName() != "Object[]" || !arr.IsArray() || arr.Capacity() != 4 {
+		t.Errorf("array = %s capacity %d (array=%v)", arr.TypeName(), arr.Capacity(), arr.IsArray())
+	}
+	if node.TypeName() != "Node" || node.ClassID() != 7 {
+		t.Errorf("node = %s class %d", node.TypeName(), node.ClassID())
+	}
+	// Element contents: slot 0 was first an int and later overwritten with
+	// "hello" (string key), slot 1 holds "hello", slot 2 a ref; the
+	// untouched fourth slot is skipped in auto mode.
+	var keys []events.ElemKey
+	arr.ForEachElemKey(func(k events.ElemKey) { keys = append(keys, k) })
+	if len(keys) != 3 {
+		t.Fatalf("ForEachElemKey visited %d slots, want 3: %v", len(keys), keys)
+	}
+	if s, ok := keys[0].(string); !ok || s != "hello" {
+		t.Errorf("slot 0 = %v, want \"hello\"", keys[0])
+	}
+	var refs int
+	arr.ForEachRef(func(int, events.Entity) { refs++ })
+	if refs != 1 {
+		t.Errorf("array holds %d refs, want 1", refs)
+	}
+}
+
+// TestTruncated chops a valid trace at every length and requires a clean
+// error — never a panic — from open or replay.
+func TestTruncated(t *testing.T) {
+	data := buildTrace(t, WriterOptions{FrameSize: 8}, sampleRecords())
+	for n := 0; n < len(data); n++ {
+		r, err := NewReader(data[:n])
+		if err != nil {
+			continue
+		}
+		// A truncation that leaves header, index, and trailer intact is
+		// impossible (the trailer comes last), so open must have failed.
+		_ = r
+		t.Fatalf("NewReader accepted %d/%d-byte truncation", n, len(data))
+	}
+}
+
+// TestCorruptCRC flips one payload byte in each frame and requires the
+// frame CRC to reject it with ErrCorrupt.
+func TestCorruptCRC(t *testing.T) {
+	data := buildTrace(t, WriterOptions{FrameSize: 8}, sampleRecords())
+	// Flip a byte a few positions into the first frame's payload.
+	corrupted := append([]byte(nil), data...)
+	corrupted[headerSize+6] ^= 0xFF
+	r, err := NewReader(corrupted)
+	if err == nil {
+		err = r.Replay(func(*pipeline.Record) {})
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted payload: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestBadHeader rejects wrong magic, wrong version, and wrong trailer.
+func TestBadHeader(t *testing.T) {
+	data := buildTrace(t, WriterOptions{}, sampleRecords())
+
+	wrongMagic := append([]byte(nil), data...)
+	wrongMagic[0] = 'X'
+	if _, err := NewReader(wrongMagic); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+
+	wrongVersion := append([]byte(nil), data...)
+	wrongVersion[8] = 99
+	if _, err := NewReader(wrongVersion); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad version: err = %v, want ErrCorrupt", err)
+	}
+
+	wrongTrailer := append([]byte(nil), data...)
+	wrongTrailer[len(wrongTrailer)-1] = '?'
+	if _, err := NewReader(wrongTrailer); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad trailer: err = %v, want ErrCorrupt", err)
+	}
+
+	if _, err := NewReader(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty input: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreBeyondCapacity rejects a journaled element store past the
+// entity's recorded capacity instead of growing without bound.
+func TestStoreBeyondCapacity(t *testing.T) {
+	recs := []pipeline.Record{
+		{Op: pipeline.OpJrnlAlloc, Clock: 1, ID: -1, Ent: 1, Aux: 2,
+			Kx: uint8(events.ElemModeVal), KS: "int[]"},
+		{Op: pipeline.OpJrnlStore, Clock: 2, Ent: 1, ID: 5, Kx: pipeline.KeyInt, KI: 1},
+	}
+	data := buildTrace(t, WriterOptions{}, recs)
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.Replay(func(*pipeline.Record) {})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("out-of-capacity store: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzReplay is the decoder's no-panic contract: arbitrary bytes must
+// produce either a decoded stream or an error, never a crash or unbounded
+// allocation. The seed corpus (testdata/fuzz/FuzzReplay) covers a valid
+// trace, a truncated one, and a CRC-corrupted one.
+func FuzzReplay(f *testing.F) {
+	valid := buildTrace(f, WriterOptions{FrameSize: 8}, sampleRecords())
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	corrupted := append([]byte(nil), valid...)
+	corrupted[headerSize+6] ^= 0xFF
+	f.Add(corrupted)
+	f.Add(buildTrace(f, WriterOptions{Compress: true}, sampleRecords()))
+	f.Add([]byte(Magic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(data)
+		if err != nil {
+			return
+		}
+		var n int
+		_ = r.Replay(func(*pipeline.Record) { n++ })
+	})
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"hash/crc32"
+	"io"
+
+	"algoprof/internal/events"
+	"algoprof/internal/events/pipeline"
+)
+
+// WriterOptions configures trace capture.
+type WriterOptions struct {
+	// Compress DEFLATE-compresses data-frame payloads (FlagCompress).
+	Compress bool
+	// FrameSize is the payload byte count at which a frame is cut
+	// (0 = 64 KiB).
+	FrameSize int
+}
+
+// Writer streams pipeline records to a trace file. It implements both
+// events.Listener (as a no-op, so it can be added to a Transport) and
+// pipeline.RecordTap, which is how it actually receives the stream: every
+// record verbatim, including heap-journal records.
+//
+// Writer methods are called from a consumer goroutine; errors are latched
+// and reported by Close, since the record callback cannot fail.
+type Writer struct {
+	events.NopListener
+	w    io.Writer
+	opts WriterOptions
+	err  error
+
+	off    int64  // bytes written to w so far
+	buf    []byte // current frame payload under construction
+	strs   map[string]int
+	prevClock uint64
+
+	frames       []frameInfo
+	frameRecords uint64
+	totalRecords uint64
+	finalClock   uint64
+	instructions uint64
+	closed       bool
+}
+
+type frameInfo struct {
+	off     int64
+	records uint64
+}
+
+// NewWriter writes the file header and returns a Writer ready to receive
+// records. The caller owns w and closes it after Close.
+func NewWriter(w io.Writer, opts WriterOptions) *Writer {
+	if opts.FrameSize <= 0 {
+		opts.FrameSize = 64 << 10
+	}
+	tw := &Writer{w: w, opts: opts, strs: map[string]int{}}
+	var flags uint32
+	if opts.Compress {
+		flags |= FlagCompress
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, Magic...)
+	hdr = le32(hdr, Version)
+	hdr = le32(hdr, flags)
+	tw.write(hdr)
+	return tw
+}
+
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le64(b []byte, v uint64) []byte {
+	b = le32(b, uint32(v))
+	return le32(b, uint32(v>>32))
+}
+
+func (tw *Writer) write(p []byte) {
+	if tw.err != nil {
+		return
+	}
+	n, err := tw.w.Write(p)
+	tw.off += int64(n)
+	tw.err = err
+}
+
+// Record implements pipeline.RecordTap: it appends one record to the
+// current frame, cutting a new frame when the payload is full.
+func (tw *Writer) Record(r *pipeline.Record) {
+	if tw.err != nil || tw.closed {
+		return
+	}
+	tw.encode(r)
+	tw.frameRecords++
+	tw.totalRecords++
+	tw.finalClock = r.Clock
+	if len(tw.buf) >= tw.opts.FrameSize {
+		tw.flushFrame()
+	}
+}
+
+// sid interns s in the current frame's string table, emitting a definition
+// on first use, and returns its frame-local id.
+func (tw *Writer) sid(s string) int {
+	if id, ok := tw.strs[s]; ok {
+		return id
+	}
+	id := len(tw.strs)
+	tw.strs[s] = id
+	tw.buf = append(tw.buf, tagStrDef)
+	tw.buf = putUvarint(tw.buf, uint64(len(s)))
+	tw.buf = append(tw.buf, s...)
+	return id
+}
+
+func (tw *Writer) encode(r *pipeline.Record) {
+	// Intern strings first: a definition must precede the event that
+	// references it in the stream.
+	sid := -1
+	switch {
+	case r.Op == pipeline.OpJrnlAlloc:
+		sid = tw.sid(r.KS)
+	case r.Op == pipeline.OpJrnlStore && r.Kx == pipeline.KeyStr:
+		sid = tw.sid(r.KS)
+	}
+	b := append(tw.buf, byte(r.Op))
+	b = putUvarint(b, r.Clock-tw.prevClock)
+	tw.prevClock = r.Clock
+	switch r.Op {
+	case pipeline.OpLoopEntry, pipeline.OpLoopBack, pipeline.OpLoopExit,
+		pipeline.OpMethodEntry, pipeline.OpMethodExit:
+		b = putUvarint(b, uint64(r.ID))
+	case pipeline.OpFieldGet:
+		b = putUvarint(b, uint64(r.ID))
+		b = putUvarint(b, uint64(r.Ent))
+	case pipeline.OpFieldPut:
+		b = putUvarint(b, uint64(r.ID))
+		b = putUvarint(b, uint64(r.Ent))
+		b = putUvarint(b, uint64(r.Aux))
+	case pipeline.OpArrayLoad:
+		b = putUvarint(b, uint64(r.Ent))
+	case pipeline.OpArrayStore:
+		b = putUvarint(b, uint64(r.Ent))
+		b = putUvarint(b, uint64(r.Aux))
+	case pipeline.OpAlloc, pipeline.OpInstr:
+		b = putUvarint(b, uint64(r.ID))
+		b = putUvarint(b, uint64(r.Ent))
+	case pipeline.OpInputRead, pipeline.OpOutputWrite:
+		// Tag and clock only.
+	case pipeline.OpJrnlAlloc:
+		b = putUvarint(b, uint64(r.Ent))
+		b = putVarint(b, int64(r.ID))
+		b = putUvarint(b, uint64(r.Aux))
+		b = append(b, r.Kx)
+		b = putUvarint(b, uint64(sid))
+	case pipeline.OpJrnlStore:
+		b = putUvarint(b, uint64(r.Ent))
+		b = putUvarint(b, uint64(r.ID))
+		b = append(b, r.Kx)
+		switch r.Kx {
+		case pipeline.KeyInt:
+			b = putVarint(b, r.KI)
+		case pipeline.KeyStr:
+			b = putUvarint(b, uint64(sid))
+		default:
+			b = putUvarint(b, uint64(r.Aux))
+		}
+	}
+	tw.buf = b
+}
+
+// flushFrame writes the current payload as one frame and resets the
+// frame-local state (string table, clock base).
+func (tw *Writer) flushFrame() {
+	if tw.frameRecords == 0 {
+		return
+	}
+	payload := tw.buf
+	if tw.opts.Compress {
+		var z bytes.Buffer
+		fw, _ := flate.NewWriter(&z, flate.DefaultCompression)
+		fw.Write(payload)
+		if err := fw.Close(); err != nil && tw.err == nil {
+			tw.err = err
+			return
+		}
+		payload = z.Bytes()
+	}
+	tw.frames = append(tw.frames, frameInfo{off: tw.off, records: tw.frameRecords})
+	env := putUvarint(nil, uint64(len(payload)))
+	env = le32(env, crc32.ChecksumIEEE(payload))
+	tw.write(env)
+	tw.write(payload)
+	tw.buf = tw.buf[:0]
+	tw.strs = map[string]int{}
+	tw.prevClock = 0
+	tw.frameRecords = 0
+}
+
+// SetInstructions records the frontend's final executed-instruction count
+// in the trace index, so offline replay can report it without a VM.
+func (tw *Writer) SetInstructions(n uint64) { tw.instructions = n }
+
+// Close flushes the last frame, writes the index frame and trailer, and
+// returns the first write error, if any. The underlying writer is not
+// closed.
+func (tw *Writer) Close() error {
+	if tw.closed {
+		return tw.err
+	}
+	tw.closed = true
+	tw.flushFrame()
+	idx := putUvarint(nil, uint64(len(tw.frames)))
+	for _, f := range tw.frames {
+		idx = putUvarint(idx, uint64(f.off))
+		idx = putUvarint(idx, f.records)
+	}
+	idx = putUvarint(idx, tw.totalRecords)
+	idx = putUvarint(idx, tw.finalClock)
+	idx = putUvarint(idx, tw.instructions)
+	indexOff := tw.off
+	env := putUvarint(nil, uint64(len(idx)))
+	env = le32(env, crc32.ChecksumIEEE(idx))
+	tw.write(env)
+	tw.write(idx)
+	trailer := le64(nil, uint64(indexOff))
+	trailer = append(trailer, TrailerMagic...)
+	tw.write(trailer)
+	return tw.err
+}
+
+var _ pipeline.RecordTap = (*Writer)(nil)
+var _ events.Listener = (*Writer)(nil)

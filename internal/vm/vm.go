@@ -26,6 +26,11 @@ type Config struct {
 	// changes underneath them. Fresh allocations need no barrier — no
 	// published event can reach a not-yet-allocated entity.
 	PreWrite func()
+	// Journal, if non-nil, receives every entity birth and indexed array
+	// element store regardless of Plan. The trace recorder uses it to
+	// rebuild an exact shadow heap offline; non-recording runs leave it
+	// nil and pay nothing.
+	Journal events.Journal
 	// Seed seeds the deterministic rand() builtin.
 	Seed uint64
 	// Input feeds the readInput() builtin; when exhausted, readInput
@@ -200,6 +205,9 @@ func (m *VM) newObject(cls *types.Class) *Object {
 			o.Fields[i] = nullVal
 		}
 	}
+	if m.cfg.Journal != nil {
+		m.cfg.Journal.AllocEntity(o, events.ElemModeAuto)
+	}
 	return o
 }
 
@@ -218,6 +226,13 @@ func (m *VM) newArray(t *types.Type, n int) *Array {
 	}
 	for i := range a.Elems {
 		a.Elems[i] = zero
+	}
+	if m.cfg.Journal != nil {
+		mode := events.ElemModeVal
+		if t.Elem.IsRef() {
+			mode = events.ElemModeRef
+		}
+		m.cfg.Journal.AllocEntity(a, mode)
 	}
 	return a
 }
@@ -307,6 +322,7 @@ func (m *VM) interpret(f *frame) error {
 	listener := m.cfg.Listener
 	g := &m.gate
 	preWrite := m.cfg.PreWrite
+	journal := m.cfg.Journal
 	var caller *frame
 	if len(m.frames) >= 2 {
 		caller = m.frames[len(m.frames)-2]
@@ -460,6 +476,10 @@ func (m *VM) interpret(f *frame) error {
 				preWrite()
 			}
 			av.A.Elems[idx.I] = val
+			if journal != nil {
+				key, tgt := jrnlKey(val)
+				journal.ArrayStoreAt(av.A, int(idx.I), key, tgt)
+			}
 			if g.arrays {
 				listener.ArrayStore(av.A, val.Entity())
 			}
@@ -706,10 +726,31 @@ func (m *VM) newArrayMulti(t *types.Type, dims []int) *Array {
 	a := m.newArray(t, dims[0])
 	if len(dims) > 1 {
 		for i := range a.Elems {
-			a.Elems[i] = arrVal(m.newArrayMulti(t.Elem, dims[1:]))
+			sub := m.newArrayMulti(t.Elem, dims[1:])
+			a.Elems[i] = arrVal(sub)
+			if m.cfg.Journal != nil {
+				m.cfg.Journal.ArrayStoreAt(a, i, nil, sub)
+			}
 		}
 	}
 	return a
+}
+
+// jrnlKey maps a stored value to its journal element key and target entity:
+// primitives carry their numeric value, strings their content, references
+// the stored entity, and null neither.
+func jrnlKey(v Value) (events.ElemKey, events.Entity) {
+	switch v.K {
+	case ValInt, ValBool:
+		return v.I, nil
+	case ValStr:
+		return v.S, nil
+	case ValObj:
+		return nil, v.O
+	case ValArr:
+		return nil, v.A
+	}
+	return nil, nil
 }
 
 func (m *VM) lookupByName(cls *types.Class, name string) *types.Method {

@@ -1,0 +1,138 @@
+package algoprof
+
+import (
+	"fmt"
+	"io"
+
+	"algoprof/internal/core"
+	"algoprof/internal/events/pipeline"
+	"algoprof/internal/instrument"
+	"algoprof/internal/mj/bytecode"
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/snapshot"
+	"algoprof/internal/trace"
+	"algoprof/internal/vm"
+)
+
+// Record profiles src exactly like Run while streaming the full event
+// stream — including the heap journal offline replay needs — to w as a
+// trace file. The returned profile is identical to a plain Run with the
+// same Config.
+func Record(src string, cfg Config, w io.Writer, topts trace.WriterOptions) (*Profile, error) {
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return RecordProgram(prog, cfg, w, topts)
+}
+
+// RecordProgram is Record for an already compiled program.
+func RecordProgram(prog *bytecode.Program, cfg Config, w io.Writer, topts trace.WriterOptions) (*Profile, error) {
+	ins, err := instrument.Instrument(prog, instrument.Optimized)
+	if err != nil {
+		return nil, err
+	}
+	prof := core.NewProfiler(ins, coreOptions(cfg))
+
+	// Recording routes events through a synchronous transport so the trace
+	// writer taps the same stream the profiler consumes; the VM's journal
+	// hook adds the entity births and element stores that replay needs to
+	// rebuild the heap.
+	tp := pipeline.New(pipeline.Config{Synchronous: true})
+	tp.Add("core", prof, pipeline.ConsumerOptions{HeapReader: true, Plan: ins.Plan})
+	tw := trace.NewWriter(w, topts)
+	tp.Add("trace", tw, pipeline.ConsumerOptions{})
+	pr := tp.Producer()
+
+	vmCfg := vm.Config{
+		Listener: pr,
+		Plan:     ins.Plan,
+		Journal:  pr,
+		PreWrite: pr.Barrier,
+		Seed:     seedOf(cfg),
+		Input:    cfg.Input,
+		MaxSteps: cfg.MaxSteps,
+	}
+	machine := vm.New(ins.Prog, vmCfg)
+	pr.BindClock(&machine.InstrCount)
+	tp.Start()
+	runErr := machine.Run()
+	if cerr := tp.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	tw.SetInstructions(machine.InstrCount)
+	if werr := tw.Close(); werr != nil && runErr == nil {
+		runErr = werr
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return finishProfile(prof, cfg, machine)
+}
+
+// ReplayProgram rebuilds a profile offline from a recorded trace: the
+// reader's records drive the same profiler core the live run used, over a
+// shadow heap reconstructed from the stream. With the Config the trace was
+// recorded under, the resulting profile is byte-identical to the live one
+// (program output and stdout are not part of the event stream; the run
+// store carries those in its manifest).
+func ReplayProgram(prog *bytecode.Program, cfg Config, r *trace.Reader) (*Profile, error) {
+	ins, err := instrument.Instrument(prog, instrument.Optimized)
+	if err != nil {
+		return nil, err
+	}
+	prof := core.NewProfiler(ins, coreOptions(cfg))
+	tp := pipeline.New(pipeline.Config{Synchronous: true})
+	tp.Add("core", prof, pipeline.ConsumerOptions{HeapReader: true, Plan: ins.Plan})
+	tp.Start()
+	if err := r.Replay(tp.Dispatch); err != nil {
+		return nil, err
+	}
+	prof.Finish()
+	if errs := prof.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("algoprof: internal profiling error: %w", errs[0])
+	}
+	p := FromProfilerWith(prof, cfg.GroupStrategy)
+	p.Instructions = r.Stats().Instructions
+	return p, nil
+}
+
+// coreOptions maps the public Config to profiler-core options.
+func coreOptions(cfg Config) core.Options {
+	opts := core.Options{
+		Criterion:   snapshot.Criterion(cfg.Criterion),
+		SampleEvery: cfg.SampleEvery,
+		DisableMemo: cfg.DisableMemo,
+	}
+	if cfg.EagerIdentify {
+		opts.Identify = core.EagerIdentify
+	}
+	if cfg.SizeStrategy == UniqueElements {
+		opts.SizeStrategy = snapshot.UniqueElements
+	}
+	return opts
+}
+
+func seedOf(cfg Config) uint64 {
+	if cfg.Seed == 0 {
+		return 1
+	}
+	return cfg.Seed
+}
+
+// finishProfile finalizes the core profiler and assembles the public
+// profile with the machine's outputs attached.
+func finishProfile(prof *core.Profiler, cfg Config, machine *vm.VM) (*Profile, error) {
+	prof.Finish()
+	if errs := prof.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("algoprof: internal profiling error: %w", errs[0])
+	}
+	p := FromProfilerWith(prof, cfg.GroupStrategy)
+	p.Stdout = machine.Stdout
+	p.Instructions = machine.InstrCount
+	p.raw.machine = machine
+	for _, v := range machine.Output {
+		p.Output = append(p.Output, v.String())
+	}
+	return p, nil
+}
