@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-smoke paper
+.PHONY: check build test vet race bench bench-smoke fuzz-smoke paper
 
 # The tier-1 gate plus the concurrency-sensitive packages under the race
 # detector. Run before committing.
@@ -33,6 +33,12 @@ bench:
 # sanity check that the benchmarks themselves still work.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# A short live-fuzz leg over the trace decoder's no-panic contract: the
+# reader must recover-or-refuse arbitrary bytes, never crash. The seed
+# corpus also runs as plain fixtures in `make test` (TestFuzzCorpusRecovery).
+fuzz-smoke:
+	$(GO) test -run Fuzz -fuzz=FuzzReplay -fuzztime=10s ./internal/trace
 
 # Regenerate every table and figure of the paper.
 paper:

@@ -21,9 +21,11 @@
 package algoprof
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"algoprof/internal/classify"
 	"algoprof/internal/core"
@@ -111,6 +113,10 @@ type Config struct {
 	// KeepRaw retains access to the underlying profiler state via Raw().
 	// It is always retained currently; the flag is reserved.
 	KeepRaw bool
+	// Limits bounds the run's events, memory, trace size, and wall-clock
+	// time. The zero value imposes none; see Limits for the degradation
+	// semantics (limits degrade the profile, they do not fail the run).
+	Limits Limits
 }
 
 // Point is one (input size, algorithmic steps) sample.
@@ -174,6 +180,16 @@ type Profile struct {
 	// Instructions is the number of bytecode instructions executed.
 	Instructions uint64
 
+	// Degraded reports that a resource limit cut the run's fidelity: the
+	// profile was built from deterministically sampled invocations, a
+	// halted prefix of the run, or a truncated trace. Totals are exact
+	// over what executed; series are thinner but still fittable.
+	Degraded bool
+	// DegradedReasons lists what tripped, in order ("max-events",
+	// "max-live-bytes", "deadline", "max-trace-bytes", "truncated-trace",
+	// "interrupted").
+	DegradedReasons []string
+
 	raw rawProfile
 }
 
@@ -231,11 +247,13 @@ func (p *Profile) PlotAlgorithm(name, inputLabel string, width, height int) (str
 // outputs) for consumption by external tooling.
 func (p *Profile) JSON() ([]byte, error) {
 	return json.MarshalIndent(struct {
-		Algorithms   []Algorithm `json:"algorithms"`
-		Stdout       []string    `json:"stdout,omitempty"`
-		Output       []string    `json:"output,omitempty"`
-		Instructions uint64      `json:"instructions"`
-	}{p.Algorithms, p.Stdout, p.Output, p.Instructions}, "", "  ")
+		Algorithms      []Algorithm `json:"algorithms"`
+		Stdout          []string    `json:"stdout,omitempty"`
+		Output          []string    `json:"output,omitempty"`
+		Instructions    uint64      `json:"instructions"`
+		Degraded        bool        `json:"degraded,omitempty"`
+		DegradedReasons []string    `json:"degraded_reasons,omitempty"`
+	}{p.Algorithms, p.Stdout, p.Output, p.Instructions, p.Degraded, p.DegradedReasons}, "", "  ")
 }
 
 // Find returns the algorithm rooted at the named repetition.
@@ -251,15 +269,29 @@ func (p *Profile) Find(name string) *Algorithm {
 // Run compiles MJ source, instruments it, executes it, and assembles the
 // algorithmic profile.
 func Run(src string, cfg Config) (*Profile, error) {
+	return RunContext(context.Background(), src, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the VM polls ctx and
+// halts within a few thousand instructions of it being done. Cancellation
+// returns a *PartialError carrying the best-effort partial profile, unlike
+// cfg.Limits, which degrade the profile without failing the run.
+func RunContext(ctx context.Context, src string, cfg Config) (*Profile, error) {
 	prog, err := compiler.CompileSource(src)
 	if err != nil {
 		return nil, err
 	}
-	return RunProgram(prog, cfg)
+	return RunProgramContext(ctx, prog, cfg)
 }
 
 // RunProgram profiles an already compiled program.
 func RunProgram(prog *bytecode.Program, cfg Config) (*Profile, error) {
+	return RunProgramContext(context.Background(), prog, cfg)
+}
+
+// RunProgramContext is RunProgram with cooperative cancellation (see
+// RunContext).
+func RunProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config) (*Profile, error) {
 	ins, err := instrument.Instrument(prog, instrument.Optimized)
 	if err != nil {
 		return nil, err
@@ -273,6 +305,7 @@ func RunProgram(prog *bytecode.Program, cfg Config) (*Profile, error) {
 		Seed:     seedOf(cfg),
 		Input:    cfg.Input,
 		MaxSteps: cfg.MaxSteps,
+		Watchdog: watchdogFor(ctx, cfg.Limits, time.Now()),
 	}
 	var tp *pipeline.Transport
 	if cfg.Pipelined {
@@ -287,16 +320,26 @@ func RunProgram(prog *bytecode.Program, cfg Config) (*Profile, error) {
 		tp.Producer().BindClock(&machine.InstrCount)
 		tp.Start()
 	}
-	runErr := machine.Run()
+	extra, runErr := triageRunError(machine.Run())
 	if tp != nil {
-		if cerr := tp.Close(); cerr != nil && runErr == nil {
+		if runErr != nil && interrupted(runErr) {
+			// The run is being abandoned: drop the buffered tail instead
+			// of waiting for the profiler to chew through it.
+			tp.Abort()
+		} else if cerr := tp.Close(); cerr != nil && runErr == nil {
 			runErr = cerr
 		}
 	}
 	if runErr != nil {
+		if interrupted(runErr) {
+			return nil, salvage(func() *Profile {
+				p, _ := finishProfile(prof, cfg, machine, true)
+				return p
+			}, runErr)
+		}
 		return nil, runErr
 	}
-	return finishProfile(prof, cfg, machine)
+	return finishProfile(prof, cfg, machine, false, extra...)
 }
 
 // FromProfiler assembles a Profile from a finished core profiler — used by

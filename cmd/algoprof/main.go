@@ -60,6 +60,9 @@ type profFlags struct {
 	strategy  *string
 	criterion *string
 	sample    *int
+	maxEvents *uint64
+	maxLive   *int64
+	deadline  *time.Duration
 }
 
 func addProfFlags(fs *flag.FlagSet) *profFlags {
@@ -70,11 +73,19 @@ func addProfFlags(fs *flag.FlagSet) *profFlags {
 		strategy:  fs.String("strategy", "shared-input", "grouping strategy: shared-input or same-method"),
 		criterion: fs.String("criterion", "some-elements", "equivalence criterion: some-elements, all-elements, same-array, same-type"),
 		sample:    fs.Int("sample", 0, "keep only every k-th invocation record (memory optimization)"),
+		maxEvents: fs.Uint64("max-events", 0, "degrade to invocation sampling after this many profiling events (0 = unlimited)"),
+		maxLive:   fs.Int64("max-live-bytes", 0, "degrade when profiler live memory exceeds this estimate (0 = unlimited)"),
+		deadline:  fs.Duration("deadline", 0, "halt the run cleanly after this wall-clock budget and report the degraded partial profile (0 = unlimited)"),
 	}
 }
 
 func (pf *profFlags) config() algoprof.Config {
 	cfg := algoprof.Config{Seed: *pf.seed, EagerIdentify: *pf.eager, SampleEvery: *pf.sample}
+	cfg.Limits = algoprof.Limits{
+		MaxEvents:    *pf.maxEvents,
+		MaxLiveBytes: *pf.maxLive,
+		Deadline:     *pf.deadline,
+	}
 	if *pf.unique {
 		cfg.SizeStrategy = algoprof.UniqueElements
 	}
@@ -146,7 +157,13 @@ func cmdRun(args []string) {
 
 // printProfile renders a profile the same way for live runs, recordings,
 // and replays — byte-identical output is the replay correctness contract.
+// The degraded notice goes to stderr so that contract holds on stdout even
+// when live and replayed runs degrade for different reasons.
 func printProfile(prof *algoprof.Profile, jsonOut bool, plot string) {
+	if prof.Degraded {
+		fmt.Fprintf(os.Stderr, "algoprof: degraded run (%s); totals exact, series sampled\n",
+			strings.Join(prof.DegradedReasons, ", "))
+	}
 	if jsonOut {
 		data, err := prof.JSON()
 		if err != nil {
@@ -189,6 +206,7 @@ func cmdRecord(args []string) {
 	name := fs.String("name", "", "run name (default: program basename + timestamp)")
 	workload := fs.String("workload", "", "workload label stored in the manifest")
 	compress := fs.Bool("compress", true, "DEFLATE-compress trace frames")
+	maxTrace := fs.Int64("max-trace-bytes", 0, "stop capturing trace frames past this file size; the trace stays replayable (0 = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit the profile as JSON instead of text")
 	fs.Parse(args)
 
@@ -210,7 +228,9 @@ func cmdRecord(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	run, err := s.Record(*name, string(src), *workload, pf.config(),
+	cfg := pf.config()
+	cfg.Limits.MaxTraceBytes = *maxTrace
+	run, err := s.Record(*name, string(src), *workload, cfg,
 		trace.WriterOptions{Compress: *compress})
 	if err != nil {
 		fatal(err)
@@ -297,9 +317,13 @@ func cmdRuns(args []string) {
 			fatal(err)
 		}
 		created := time.Unix(run.Manifest.CreatedUnix, 0).UTC().Format(time.RFC3339)
-		fmt.Printf("%-24s %s  workload=%-20q algorithms=%d  instrs=%d\n",
+		note := ""
+		if run.Manifest.Degraded {
+			note = "  DEGRADED(" + strings.Join(run.Manifest.DegradedReasons, ",") + ")"
+		}
+		fmt.Printf("%-24s %s  workload=%-20q algorithms=%d  instrs=%d%s\n",
 			name, created, run.Manifest.Workload, len(run.Manifest.Algorithms),
-			run.Manifest.Instructions)
+			run.Manifest.Instructions, note)
 	}
 }
 

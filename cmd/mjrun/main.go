@@ -6,11 +6,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"algoprof/internal/mj/bytecode"
 	"algoprof/internal/mj/compiler"
@@ -22,6 +24,7 @@ func main() {
 	input := flag.String("input", "", "comma-separated ints fed to readInput()")
 	disasm := flag.Bool("disasm", false, "print the compiled bytecode instead of running")
 	maxSteps := flag.Uint64("maxsteps", 0, "instruction budget (0 = default)")
+	deadline := flag.Duration("deadline", 0, "halt execution cleanly after this wall-clock budget and print the partial output (0 = unlimited)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -53,9 +56,24 @@ func main() {
 		}
 	}
 
-	m := vm.New(prog, vm.Config{Seed: *seed, Input: in, MaxSteps: *maxSteps})
+	cfg := vm.Config{Seed: *seed, Input: in, MaxSteps: *maxSteps}
+	if *deadline > 0 {
+		end := time.Now().Add(*deadline)
+		cfg.Watchdog = func() error {
+			if time.Now().After(end) {
+				return &vm.Halt{Reason: "deadline"}
+			}
+			return nil
+		}
+	}
+	m := vm.New(prog, cfg)
 	if err := m.Run(); err != nil {
-		fatal(err)
+		var halt *vm.Halt
+		if errors.As(err, &halt) {
+			fmt.Fprintf(os.Stderr, "mjrun: halted (%s); partial output follows\n", halt.Reason)
+		} else {
+			fatal(err)
+		}
 	}
 	for _, line := range m.Stdout {
 		fmt.Println(line)

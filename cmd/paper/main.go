@@ -16,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,11 +44,17 @@ func main() {
 	reps := flag.Int("reps", sweep.Reps, "repetitions per size")
 	seed := flag.Uint64("seed", sweep.Seed, "random seed")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 0, "stop sweeps after this wall-clock budget; finished sections still print (0 = unlimited)")
 	flag.StringVar(&traceOut, "trace-out", "",
 		"capture the compare section's combined pass as a trace file for offline replay")
 	flag.Parse()
 	sweep = experiments.Sweep{MaxSize: *maxSize, Step: *step, Reps: *reps, Seed: *seed}
 	experiments.SetParallelism(*jobs)
+	if *deadline > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+		defer cancel()
+		experiments.SetContext(ctx)
+	}
 
 	what := "all"
 	if flag.NArg() > 0 {

@@ -313,6 +313,19 @@ type Options struct {
 	// (ablation: every observation re-traverses its structure, the
 	// paper's measured behaviour).
 	DisableMemo bool
+	// MaxEvents degrades the profiler after this many consumed events
+	// (0 = unlimited): recording switches to deterministic invocation
+	// sampling so retained history stops growing with run length, while
+	// per-node totals stay exact. The tripped limit is reported by
+	// DegradedReasons.
+	MaxEvents uint64
+	// MaxLiveBytes bounds the profiler's approximate live memory —
+	// recorded invocation history plus the input registry (0 =
+	// unlimited). Each time the estimate exceeds the bound the dynamic
+	// sampling interval doubles and already-recorded history is shed
+	// deterministically (records with Index % interval != 0 drop), so a
+	// run of any length converges to a bounded, still-fittable profile.
+	MaxLiveBytes int64
 }
 
 // Profiler consumes events and builds the repetition tree. It implements
@@ -352,6 +365,18 @@ type Profiler struct {
 	// table (0 = unknown, else tid + 2).
 	etBase uint64
 	etTIDs []int32
+
+	// events counts consumed listener events; liveBytes estimates the
+	// retained history footprint (maintained only under MaxLiveBytes).
+	// dynSample is the dynamic invocation sampling interval installed
+	// when a limit trips (0 = full fidelity); degraded lists the tripped
+	// limits in trip order. histNodes tracks nodes with recorded history
+	// so shedHistory can revisit them without walking the whole tree.
+	events    uint64
+	liveBytes int64
+	dynSample int
+	degraded  []string
+	histNodes []*Node
 
 	errs []error
 }
@@ -480,6 +505,110 @@ func (p *Profiler) errorf(format string, args ...any) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Resource limits and graceful degradation
+
+// initialDynSample is the sampling interval installed when a limit first
+// trips. Deliberately small: degradation should be gentle, doubling only
+// under continued memory pressure.
+const initialDynSample = 16
+
+// EventCount returns the number of listener events consumed so far.
+func (p *Profiler) EventCount() uint64 { return p.events }
+
+// LiveBytes returns the approximate retained bytes of recorded invocation
+// history (excluding the registry). Maintained only when MaxLiveBytes is
+// set; 0 otherwise.
+func (p *Profiler) LiveBytes() int64 { return p.liveBytes }
+
+// SampleInterval returns the effective invocation sampling interval:
+// the configured SampleEvery or the dynamic interval installed by a
+// tripped limit, whichever is coarser (≤ 1 means every invocation).
+func (p *Profiler) SampleInterval() int {
+	if p.dynSample > p.opts.SampleEvery {
+		return p.dynSample
+	}
+	return p.opts.SampleEvery
+}
+
+// DegradedReasons returns the limits that tripped during the run, in trip
+// order and without duplicates; empty for a full-fidelity run.
+func (p *Profiler) DegradedReasons() []string {
+	return append([]string(nil), p.degraded...)
+}
+
+// Degraded reports whether any limit tripped.
+func (p *Profiler) Degraded() bool { return len(p.degraded) > 0 }
+
+// tick counts one consumed event and trips the event limit exactly once.
+// Every events.Listener method calls it first.
+func (p *Profiler) tick() {
+	p.events++
+	if m := p.opts.MaxEvents; m > 0 && p.events == m+1 {
+		p.degrade("max-events")
+	}
+}
+
+// degrade records a tripped limit and coarsens the dynamic sampling
+// interval: installed at initialDynSample on the first trip, doubled on
+// every further one. Already-recorded history is re-thinned to the new
+// interval so memory actually shrinks, not just stops growing.
+func (p *Profiler) degrade(reason string) {
+	seen := false
+	for _, r := range p.degraded {
+		if r == reason {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		p.degraded = append(p.degraded, reason)
+	}
+	if p.dynSample == 0 {
+		p.dynSample = initialDynSample
+	} else if p.dynSample < 1<<30 {
+		p.dynSample *= 2
+	}
+	p.shedHistory()
+}
+
+// shedHistory drops recorded invocations whose Index is not a multiple of
+// the dynamic sampling interval. The rule is deterministic (a function of
+// the index alone), so a degraded recording and its replay shed the same
+// records; index 0 always survives, so no node loses its history
+// entirely. liveBytes is recomputed from what remains.
+func (p *Profiler) shedHistory() {
+	if p.dynSample <= 1 {
+		return
+	}
+	var total int64
+	for _, n := range p.histNodes {
+		kept := n.History[:0]
+		for _, inv := range n.History {
+			if inv.Index%p.dynSample != 0 {
+				continue
+			}
+			kept = append(kept, inv)
+			if p.opts.MaxLiveBytes > 0 {
+				total += invBytes(inv.costs, inv.Sizes)
+			}
+		}
+		for i := len(kept); i < len(n.History); i++ {
+			n.History[i] = Invocation{} // release shed records' storage
+		}
+		n.History = kept
+	}
+	p.liveBytes = total
+}
+
+// invBytes estimates the retained footprint of one recorded invocation:
+// struct and map headers plus per-entry costs of the cost vector and size
+// map. Coarse by design — the limit check needs proportionality, not
+// accounting.
+func invBytes(costs costVec, sizes map[int]int) int64 {
+	return 96 + int64(len(costs.cells))*16 + int64(len(sizes))*56
+}
+
 // begin starts a new invocation of node under the current parent context.
 func (p *Profiler) begin(node *Node) {
 	parentInv := 0
@@ -506,10 +635,15 @@ func (p *Profiler) finalize(node *Node) {
 	for _, c := range inv.costs.cells {
 		node.totals.add(c.id, c.n)
 	}
-	if k := p.opts.SampleEvery; k > 1 && inv.index%k != 0 {
+	if k := p.SampleInterval(); k > 1 && inv.index%k != 0 {
 		// Sampled out: totals kept, record dropped, storage recycled.
 		p.recycle(inv, false)
 		return
+	}
+	if len(node.History) == 0 {
+		// Index 0 always passes the sampling rule and shedHistory never
+		// drops it, so each node registers here exactly once.
+		p.histNodes = append(p.histNodes, node)
 	}
 	node.History = append(node.History, Invocation{
 		Index:       inv.index,
@@ -518,6 +652,12 @@ func (p *Profiler) finalize(node *Node) {
 		costs:       inv.costs,
 		keys:        p.keys,
 	})
+	if p.opts.MaxLiveBytes > 0 {
+		p.liveBytes += invBytes(inv.costs, inv.sizes)
+		if p.liveBytes+p.reg.ApproxBytes() > p.opts.MaxLiveBytes {
+			p.degrade("max-live-bytes")
+		}
+	}
 	p.recycle(inv, true)
 }
 
@@ -591,6 +731,7 @@ func (p *Profiler) exitCurrent() {
 
 // LoopEntry implements events.Listener.
 func (p *Profiler) LoopEntry(loopID int) {
+	p.tick()
 	node := p.tn.getOrCreateChild(KindLoop, loopID)
 	p.tn = node
 	p.begin(node)
@@ -599,6 +740,7 @@ func (p *Profiler) LoopEntry(loopID int) {
 
 // LoopBack implements events.Listener.
 func (p *Profiler) LoopBack(loopID int) {
+	p.tick()
 	node := p.tn
 	if node.Kind != KindLoop || node.ID != loopID {
 		node = p.findOnStack(KindLoop, loopID)
@@ -614,6 +756,7 @@ func (p *Profiler) LoopBack(loopID int) {
 
 // LoopExit implements events.Listener.
 func (p *Profiler) LoopExit(loopID int) {
+	p.tick()
 	if p.tn.Kind != KindLoop || p.tn.ID != loopID {
 		p.errorf("loop exit %d while at %v/%d", loopID, p.tn.Kind, p.tn.ID)
 		return
@@ -625,6 +768,7 @@ func (p *Profiler) LoopExit(loopID int) {
 
 // MethodEntry implements events.Listener.
 func (p *Profiler) MethodEntry(methodID int) {
+	p.tick()
 	if header := p.findOnPathToRoot(methodID); header != nil {
 		// Recursive re-entry: fold into the header node and count one
 		// algorithmic step.
@@ -644,6 +788,7 @@ func (p *Profiler) MethodEntry(methodID int) {
 
 // MethodExit implements events.Listener.
 func (p *Profiler) MethodExit(methodID int) {
+	p.tick()
 	node := p.tn
 	if node.Kind != KindRecursion || node.ID != methodID {
 		p.errorf("method exit %d while at %v/%d", methodID, node.Kind, node.ID)
@@ -716,28 +861,33 @@ func (p *Profiler) structureAccess(obj events.Entity, op CostOp, tid int32) {
 
 // FieldGet implements events.Listener.
 func (p *Profiler) FieldGet(obj events.Entity, fieldID int) {
+	p.tick()
 	p.structureAccess(obj, OpGet, p.fieldTypeID(fieldID))
 }
 
 // FieldPut implements events.Listener.
 func (p *Profiler) FieldPut(obj events.Entity, fieldID int, _ events.Entity) {
+	p.tick()
 	p.reg.NoteWriteTo(obj)
 	p.structureAccess(obj, OpPut, p.fieldTypeID(fieldID))
 }
 
 // ArrayLoad implements events.Listener.
 func (p *Profiler) ArrayLoad(arr events.Entity) {
+	p.tick()
 	p.structureAccess(arr, OpArrLoad, p.entityTypeID(arr))
 }
 
 // ArrayStore implements events.Listener.
 func (p *Profiler) ArrayStore(arr events.Entity, _ events.Entity) {
+	p.tick()
 	p.reg.NoteWriteTo(arr)
 	p.structureAccess(arr, OpArrStore, p.entityTypeID(arr))
 }
 
 // Alloc implements events.Listener.
 func (p *Profiler) Alloc(obj events.Entity, classID int) {
+	p.tick()
 	if inv := p.tn.cur(); inv != nil {
 		inv.costs.add(p.keys.id(CostKey{Op: OpNew, Input: NoInput}), 1)
 		if tid := p.entityTypeID(obj); tid >= 0 {
@@ -749,6 +899,7 @@ func (p *Profiler) Alloc(obj events.Entity, classID int) {
 
 // InputRead implements events.Listener.
 func (p *Profiler) InputRead() {
+	p.tick()
 	if inv := p.tn.cur(); inv != nil {
 		inv.costs.add(p.keys.id(CostKey{Op: OpIn, Input: NoInput}), 1)
 	}
@@ -756,6 +907,7 @@ func (p *Profiler) InputRead() {
 
 // OutputWrite implements events.Listener.
 func (p *Profiler) OutputWrite() {
+	p.tick()
 	if inv := p.tn.cur(); inv != nil {
 		inv.costs.add(p.keys.id(CostKey{Op: OpOut, Input: NoInput}), 1)
 	}

@@ -70,6 +70,11 @@ func (p *Producer) waitSpace(seq int64) {
 		if seq-min < int64(len(p.t.buf)) {
 			return
 		}
+		if p.t.aborted.Load() {
+			// Consumers are fast-forwarding without reading; overwriting
+			// unconsumed slots is fine — nothing will dispatch them.
+			return
+		}
 		idle(spins)
 	}
 }

@@ -38,6 +38,9 @@ type Transport struct {
 	// in flush releases the buffered records written before it.
 	published atomic.Int64
 	closed    atomic.Bool
+	// aborted marks a cancelled run: consumers stop dispatching to their
+	// listeners and fast-forward past whatever is still buffered.
+	aborted atomic.Bool
 
 	consumers []*Consumer
 	prod      Producer
@@ -179,6 +182,17 @@ func (t *Transport) Close() error {
 	return nil
 }
 
+// Abort discards undelivered records and shuts the transport down: every
+// consumer stops dispatching to its listener, fast-forwards past whatever
+// is still buffered, and exits. This is the cancellation path — the caller
+// is abandoning or finalizing a partial run, so delivering the buffered
+// tail would only add latency. Like Close, it must be called from the
+// producing goroutine; calling Close afterwards is a no-op.
+func (t *Transport) Abort() error {
+	t.aborted.Store(true)
+	return t.Close()
+}
+
 // Dispatch delivers one record to every consumer inline, applying the same
 // per-consumer filtering as live dispatch. It is the replay entry point: a
 // trace reader constructs a Synchronous transport, attaches the offline
@@ -227,7 +241,7 @@ func (c *Consumer) run() {
 	defer c.t.wg.Done()
 	spins := 0
 	for {
-		if c.dead.Load() {
+		if c.dead.Load() || c.t.aborted.Load() {
 			c.fastForward()
 			return
 		}

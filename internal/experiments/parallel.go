@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,30 @@ import (
 
 // parallelism is the worker-pool bound; 0 means GOMAXPROCS.
 var parallelism atomic.Int64
+
+// sweepCtx is the context consulted between sweep points; nil value means
+// context.Background(). Stored atomically so SetContext is safe while a
+// sweep is running.
+var sweepCtx atomic.Value // context.Context
+
+// SetContext installs a context that bounds subsequent sweeps: it is
+// checked between points, so cancellation or deadline expiry stops a sweep
+// after the in-flight points finish and the sweep returns ctx.Err().
+// cmd/paper wires this to its -deadline flag. A nil ctx resets to
+// context.Background().
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sweepCtx.Store(ctx)
+}
+
+func currentContext() context.Context {
+	if ctx, ok := sweepCtx.Load().(context.Context); ok {
+		return ctx
+	}
+	return context.Background()
+}
 
 // SetParallelism bounds the number of concurrent sweep points (n < 1
 // resets to the default, GOMAXPROCS). cmd/paper wires this to its -j flag.
@@ -39,9 +64,13 @@ func Parallelism() int {
 // scheduling. When several points fail, the lowest-index error is
 // returned, so error reporting is deterministic too.
 func forEachIndex(n int, fn func(i int) error) error {
+	ctx := currentContext()
 	workers := min(Parallelism(), n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -55,7 +84,7 @@ func forEachIndex(n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -65,6 +94,9 @@ func forEachIndex(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

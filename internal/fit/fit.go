@@ -119,12 +119,15 @@ func FitModel(points []Point, m Model) *Fit {
 			mean += p.Cost
 		}
 		mean /= float64(n)
-		ssRes, ssTot := 0.0, 0.0
+		ssTot := 0.0
 		for _, p := range points {
 			d := p.Cost - mean
-			ssRes += d * d
 			ssTot += d * d
 		}
+		// For the constant model the residual and total sums of squares
+		// coincide, so R² is 1 on zero-variance data and 0 otherwise. Best's
+		// degenerate single-size path goes through here too, so the two
+		// agree by construction.
 		r2 := 1.0
 		if ssTot > 0 {
 			r2 = 0 // a constant explains none of the variance
@@ -171,20 +174,15 @@ const parsimonyMargin = 0.001
 
 // Best fits all candidate models and selects the best by R² with a
 // parsimony preference: a more complex model wins only when it improves R²
-// by more than parsimonyMargin. Returns nil when points is empty.
+// by more than parsimonyMargin. Degenerate samples (non-finite cost or
+// size, negative size — possible only through corrupt manifests or partial
+// traces) are dropped before fitting; a single distinct size degenerates to
+// the Constant model through the normal path, since every other basis has
+// zero variance there. Returns nil when no valid points remain.
 func Best(points []Point) *Fit {
+	points = validPoints(points)
 	if len(points) == 0 {
 		return nil
-	}
-	// Degenerate data: a single distinct size fits only a constant.
-	sizes := map[float64]bool{}
-	for _, p := range points {
-		sizes[p.Size] = true
-	}
-	if len(sizes) == 1 {
-		f := FitModel(points, Constant)
-		f.R2 = 1
-		return f
 	}
 
 	var best *Fit
@@ -208,17 +206,43 @@ func Best(points []Point) *Fit {
 	return best
 }
 
-// FromCounts converts integer samples to Points.
-func FromCounts(sizes []int, costs []int64) []Point {
-	n := len(sizes)
-	if len(costs) < n {
-		n = len(costs)
+// validPoints returns the samples that can participate in a least-squares
+// fit, dropping non-finite costs/sizes and negative sizes (log-family bases
+// are undefined there). The input slice is returned unchanged when every
+// point is valid — the overwhelmingly common case.
+func validPoints(points []Point) []Point {
+	for i, p := range points {
+		if !pointValid(p) {
+			out := make([]Point, i, len(points))
+			copy(out, points[:i])
+			for _, q := range points[i+1:] {
+				if pointValid(q) {
+					out = append(out, q)
+				}
+			}
+			return out
+		}
 	}
-	pts := make([]Point, n)
-	for i := 0; i < n; i++ {
+	return points
+}
+
+func pointValid(p Point) bool {
+	return !math.IsNaN(p.Size) && !math.IsInf(p.Size, 0) && p.Size >= 0 &&
+		!math.IsNaN(p.Cost) && !math.IsInf(p.Cost, 0)
+}
+
+// FromCounts converts integer samples to Points. The slices must be the
+// same length: a mismatch means the caller paired sizes with the wrong
+// cost series, which silent truncation used to mask.
+func FromCounts(sizes []int, costs []int64) ([]Point, error) {
+	if len(sizes) != len(costs) {
+		return nil, fmt.Errorf("fit: FromCounts: %d sizes but %d costs", len(sizes), len(costs))
+	}
+	pts := make([]Point, len(sizes))
+	for i := range sizes {
 		pts[i] = Point{Size: float64(sizes[i]), Cost: float64(costs[i])}
 	}
-	return pts
+	return pts, nil
 }
 
 // Median returns the median cost per distinct size — handy for summarizing

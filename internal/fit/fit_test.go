@@ -135,9 +135,101 @@ func TestMedianCollapsesRepeats(t *testing.T) {
 }
 
 func TestFromCounts(t *testing.T) {
-	pts := FromCounts([]int{1, 2, 3}, []int64{10, 20, 30})
+	pts, err := FromCounts([]int{1, 2, 3}, []int64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 3 || pts[2].Cost != 30 {
 		t.Errorf("FromCounts = %v", pts)
+	}
+}
+
+func TestFromCountsMismatchedLengths(t *testing.T) {
+	if _, err := FromCounts([]int{1, 2, 3}, []int64{10, 20}); err == nil {
+		t.Error("mismatched slices must error, not truncate")
+	}
+	if _, err := FromCounts(nil, []int64{1}); err == nil {
+		t.Error("nil sizes with costs must error")
+	}
+}
+
+// The Constant model's R² must be the same whether it is reached through
+// FitModel directly or through Best's degenerate single-distinct-size
+// path: 1 on zero-variance data, 0 when cost varies.
+func TestConstantR2Consistency(t *testing.T) {
+	noisy := []Point{{Size: 10, Cost: 4}, {Size: 10, Cost: 6}}
+	fm := FitModel(noisy, Constant)
+	best := Best(noisy)
+	if best.Model != Constant {
+		t.Fatalf("single-size best model = %v", best.Model)
+	}
+	if fm.R2 != 0 || best.R2 != 0 {
+		t.Errorf("noisy constant R2: FitModel=%v Best=%v, want 0 and 0", fm.R2, best.R2)
+	}
+	flat := []Point{{Size: 10, Cost: 5}, {Size: 10, Cost: 5}, {Size: 20, Cost: 5}}
+	if f := FitModel(flat, Constant); f.R2 != 1 {
+		t.Errorf("zero-variance constant R2 = %v, want 1", f.R2)
+	}
+	if f := Best(flat); f.Model != Constant || f.R2 != 1 {
+		t.Errorf("zero-variance best = %v R2=%v, want Constant R2=1", f.Model, f.R2)
+	}
+}
+
+func TestBestDropsNonFinitePoints(t *testing.T) {
+	pts := gen(30, func(x float64) float64 { return 3 * x })
+	pts = append(pts,
+		Point{Size: 5, Cost: math.NaN()},
+		Point{Size: math.Inf(1), Cost: 10},
+		Point{Size: math.NaN(), Cost: 10},
+		Point{Size: 7, Cost: math.Inf(-1)},
+		Point{Size: -3, Cost: 12},
+	)
+	f := Best(pts)
+	if f == nil {
+		t.Fatal("nil fit")
+	}
+	if f.Model != Linear {
+		t.Errorf("model = %v, want Linear despite degenerate points", f.Model)
+	}
+	if math.IsNaN(f.Coeff) || math.IsNaN(f.Intercept) || math.IsNaN(f.R2) {
+		t.Errorf("fit carries NaN: %+v", f)
+	}
+	if f.N != 30 {
+		t.Errorf("N = %d, want 30 (degenerate points dropped)", f.N)
+	}
+}
+
+func TestBestAllInvalidPoints(t *testing.T) {
+	pts := []Point{{Size: math.NaN(), Cost: 1}, {Size: 1, Cost: math.Inf(1)}}
+	if f := Best(pts); f != nil {
+		t.Errorf("all-invalid input must yield nil, got %+v", f)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	f := Best([]Point{{Size: 8, Cost: 42}})
+	if f == nil || f.Model != Constant {
+		t.Fatalf("n=1 fit = %+v, want Constant", f)
+	}
+	if f.R2 != 1 || f.Eval(8) != 42 {
+		t.Errorf("n=1: R2=%v Eval=%v, want 1 and 42", f.R2, f.Eval(8))
+	}
+}
+
+func TestDuplicateSizes(t *testing.T) {
+	// Two samples per size of exact linear data: the duplicate sizes must
+	// not confuse model selection.
+	var pts []Point
+	for i := 1; i <= 20; i++ {
+		x := float64(i * 4)
+		pts = append(pts, Point{Size: x, Cost: 2 * x}, Point{Size: x, Cost: 2 * x})
+	}
+	f := Best(pts)
+	if f == nil || f.Model != Linear {
+		t.Fatalf("duplicate-size fit = %+v, want Linear", f)
+	}
+	if math.Abs(f.Coeff-2) > 1e-9 {
+		t.Errorf("coeff = %v, want 2", f.Coeff)
 	}
 }
 

@@ -65,11 +65,14 @@ type Algorithm struct {
 // DataStructureLess reports whether the algorithm has no inputs.
 func (a *Algorithm) DataStructureLess() bool { return len(a.Inputs) == 0 }
 
-// TotalSteps sums combined steps over all root invocations.
+// TotalSteps sums the member nodes' algorithmic step totals. Node totals
+// aggregate over ALL invocations, so the sum stays exact even when
+// invocation sampling (a -sample flag or a tripped resource limit) thins
+// the Combined series the points come from.
 func (a *Algorithm) TotalSteps() int64 {
 	var sum int64
-	for _, p := range a.Combined {
-		sum += p.Steps
+	for _, n := range a.Nodes {
+		sum += n.TotalCost(core.OpStep)
 	}
 	return sum
 }

@@ -493,6 +493,28 @@ func NewRegistryWith(rt *rectype.Result, strat Strategy, crit Criterion) *Regist
 // Criterion returns the registry's equivalence criterion.
 func (r *Registry) Criterion() Criterion { return r.crit }
 
+// ApproxBytes estimates the registry's live heap footprint. It is an
+// O(#inputs) pass over table lengths and map sizes — cheap enough for the
+// profiler's memory-limit check to poll — and deliberately coarse: the
+// constants approximate Go's per-entry overheads rather than measure them.
+func (r *Registry) ApproxBytes() int64 {
+	const (
+		memoSlotBytes = 24 // two uint64 epochs + two int32s
+		mapEntryBytes = 56 // rough per-entry cost of a small-key Go map
+		inputBytes    = 176
+	)
+	b := int64(len(r.entityOwner.slots))*4 +
+		int64(len(r.memo.slots))*memoSlotBytes +
+		int64(len(r.vs.marks.slots))*4 +
+		int64(len(r.parent))*8 +
+		int64(len(r.keyOwner)+len(r.typeOwner))*mapEntryBytes
+	for _, in := range r.inputs {
+		b += inputBytes
+		b += int64(len(in.MaxTypeCounts)+len(in.lastElems)) * mapEntryBytes
+	}
+	return b
+}
+
 // Strategy returns the registry's array size strategy.
 func (r *Registry) Strategy() Strategy { return r.strat }
 

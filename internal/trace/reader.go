@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"hash/crc32"
 	"io"
@@ -21,6 +22,12 @@ type Stats struct {
 	Records      uint64
 	FinalClock   uint64
 	Instructions uint64
+	// Truncated marks a trace opened through the recovery path: the file
+	// has no (or an unreachable) index/trailer — a crashed or aborted
+	// recording — and was reconstructed by scanning whole CRC-valid
+	// frames. Records/FinalClock/Instructions are zero unless the index
+	// itself survived; Replay stops silently at the damage point.
+	Truncated bool
 }
 
 // Reader decodes one trace file. Open validates the header, trailer, and
@@ -43,19 +50,31 @@ func Open(path string) (*Reader, error) {
 	return NewReader(data)
 }
 
-// NewReader validates an in-memory trace image.
+// NewReader validates an in-memory trace image. A structurally complete
+// trace (header, index, trailer) opens strictly; a file with a valid
+// header but a missing or unreachable index/trailer — the footprint of a
+// crashed or aborted recording — falls back to frame-scan recovery, and
+// the result is marked Stats().Truncated. Only a file whose header is
+// itself invalid is refused.
 func NewReader(data []byte) (*Reader, error) {
+	r, err := newStrictReader(data)
+	if err == nil {
+		return r, nil
+	}
+	if rec, rerr := recoverReader(data); rerr == nil {
+		return rec, nil
+	}
+	return nil, err
+}
+
+func newStrictReader(data []byte) (*Reader, error) {
+	flags, err := checkHeader(data)
+	if err != nil {
+		return nil, err
+	}
 	if len(data) < headerSize+trailerSize {
 		return nil, corruptf("file too short (%d bytes)", len(data))
 	}
-	if string(data[:8]) != Magic {
-		return nil, corruptf("bad magic")
-	}
-	version := binary.LittleEndian.Uint32(data[8:12])
-	if version != Version {
-		return nil, corruptf("unsupported version %d (want %d)", version, Version)
-	}
-	flags := binary.LittleEndian.Uint32(data[12:16])
 	trailer := data[len(data)-trailerSize:]
 	if string(trailer[8:]) != TrailerMagic {
 		return nil, corruptf("bad trailer magic")
@@ -65,7 +84,7 @@ func NewReader(data []byte) (*Reader, error) {
 		return nil, corruptf("index offset %d out of range", indexOff)
 	}
 	r := &Reader{data: data, flags: flags, dataEnd: int64(indexOff)}
-	r.stats.Version = version
+	r.stats.Version = Version
 	r.stats.Compressed = flags&FlagCompress != 0
 	idx, _, err := readFrame(data, int64(indexOff), false)
 	if err != nil {
@@ -75,6 +94,76 @@ func NewReader(data []byte) (*Reader, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// checkHeader validates the fixed-size file header and returns the flags.
+func checkHeader(data []byte) (uint32, error) {
+	if len(data) < headerSize {
+		return 0, corruptf("file too short (%d bytes)", len(data))
+	}
+	if string(data[:8]) != Magic {
+		return 0, corruptf("bad magic")
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version != Version {
+		return 0, corruptf("unsupported version %d (want %d)", version, Version)
+	}
+	return binary.LittleEndian.Uint32(data[12:16]), nil
+}
+
+// recoverReader reconstructs a Reader from a trace without a usable
+// index/trailer by scanning whole frames from the header forward: each
+// frame is accepted only if its envelope parses and its CRC verifies, so
+// the scan stops exactly at the torn tail a crash left behind. If the last
+// scanned frame turns out to be the index (a complete file missing only
+// its trailer), the index's stats are restored; otherwise the frame list
+// itself is the recovered extent and the stream totals are unknown.
+func recoverReader(data []byte) (*Reader, error) {
+	flags, err := checkHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	var offs []int64
+	off := int64(headerSize)
+	for off < int64(len(data)) {
+		// Envelope scan only (compressed=false skips inflation): CRC
+		// validity is what certifies the frame boundary.
+		_, next, err := readFrame(data, off, false)
+		if err != nil {
+			break
+		}
+		offs = append(offs, off)
+		off = next
+	}
+	r := &Reader{data: data, flags: flags, dataEnd: off}
+	r.stats.Version = Version
+	r.stats.Compressed = flags&FlagCompress != 0
+	r.stats.Truncated = true
+	if n := len(offs); n > 0 {
+		// A trace that died between index and trailer: the last frame
+		// parses as an index consistent with the frames before it.
+		if idx, _, err := readFrame(data, offs[n-1], false); err == nil {
+			probe := &Reader{data: data, flags: flags, dataEnd: offs[n-1]}
+			probe.stats = r.stats
+			if probe.parseIndex(idx) == nil && sameOffsets(probe.frameOff, offs[:n-1]) {
+				return probe, nil
+			}
+		}
+	}
+	r.stats.Frames = len(offs)
+	return r, nil
+}
+
+func sameOffsets(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (r *Reader) parseIndex(idx []byte) error {
@@ -159,18 +248,56 @@ func readFrame(data []byte, off int64, compressed bool) ([]byte, int64, error) {
 // record k observes exactly the heap state the live listener saw at
 // record k (the pipeline Barrier invariant).
 func (r *Reader) Replay(dispatch func(*pipeline.Record)) error {
+	return r.ReplayContext(context.Background(), dispatch)
+}
+
+// ReplayContext is Replay with cooperative cancellation: ctx is checked
+// between frames, so a deadline or cancel stops a long replay within one
+// frame's worth of work. On a recovered (Stats().Truncated) trace, decode
+// damage ends the replay silently instead of failing it: frames are
+// dispatched atomically — a frame that does not decode in full is not
+// dispatched at all — so listeners always observe a whole-frame prefix of
+// the recorded stream.
+func (r *Reader) ReplayContext(ctx context.Context, dispatch func(*pipeline.Record)) error {
 	heap := shadowHeap{}
 	compressed := r.flags&FlagCompress != 0
 	off := int64(headerSize)
 	for off < r.dataEnd {
-		payload, next, err := readFrame(r.data, off, compressed)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := replayFrame(payload, heap, dispatch); err != nil {
+		payload, next, err := readFrame(r.data, off, compressed)
+		if err != nil {
+			if r.stats.Truncated {
+				return nil
+			}
+			return err
+		}
+		if r.stats.Truncated {
+			if replayFrameAtomic(payload, heap, dispatch) != nil {
+				return nil
+			}
+		} else if err := replayFrame(payload, heap, dispatch); err != nil {
 			return err
 		}
 		off = next
+	}
+	return nil
+}
+
+// replayFrameAtomic decodes a whole frame before dispatching any of it.
+// The shadow heap still mutates during the failed decode of a torn frame,
+// but no record of that frame reaches the listeners — and the caller stops
+// the replay there, so the inconsistency is never observed.
+func replayFrameAtomic(b []byte, heap shadowHeap, dispatch func(*pipeline.Record)) error {
+	var recs []pipeline.Record
+	if err := replayFrame(b, heap, func(r *pipeline.Record) {
+		recs = append(recs, *r)
+	}); err != nil {
+		return err
+	}
+	for i := range recs {
+		dispatch(&recs[i])
 	}
 	return nil
 }

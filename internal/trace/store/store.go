@@ -8,9 +8,11 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -53,6 +55,14 @@ type Manifest struct {
 	CostKeys []string `json:"cost_keys,omitempty"`
 	// Algorithms are the profile's fitted results — the diffable artifact.
 	Algorithms []algoprof.Algorithm `json:"algorithms"`
+	// Degraded marks a run whose fidelity was cut — a resource limit
+	// tripped, or the recording was interrupted. DegradedReasons says
+	// why. A run directory carries a provisional degraded manifest
+	// ("recording-interrupted") from the moment recording starts until it
+	// completes, so a crash at any point leaves a run that lists and
+	// partially replays instead of a corrupt directory.
+	Degraded        bool     `json:"degraded,omitempty"`
+	DegradedReasons []string `json:"degraded_reasons,omitempty"`
 }
 
 // Run is one stored run: its manifest plus, when freshly recorded or
@@ -106,10 +116,27 @@ func (s *Store) List() ([]string, error) {
 	return names, nil
 }
 
+// interruptedReason marks a run whose recording did not finish: it is
+// written into the provisional manifest before the VM starts and replaced
+// only when recording completes, so it survives any crash in between.
+const interruptedReason = "recording-interrupted"
+
 // Record profiles src under cfg, capturing the event trace, and stores the
 // run as name. The run directory holds the source, the trace, and the
 // manifest with the fitted cost functions.
 func (s *Store) Record(name, src, workload string, cfg algoprof.Config, topts trace.WriterOptions) (*Run, error) {
+	return s.RecordContext(context.Background(), name, src, workload, cfg, topts)
+}
+
+// RecordContext is Record with cooperative cancellation. Crash safety: the
+// program source and a provisional manifest (marked degraded with reason
+// "recording-interrupted") are persisted atomically before the profiled run
+// starts, so a crash or kill at any point — including mid-trace-write —
+// leaves a directory that List still names and Replay partially recovers.
+// On cancellation or a contained panic the partial trace and provisional
+// manifest are kept and the *algoprof.PartialError is returned; only
+// outright setup failures remove the run directory again.
+func (s *Store) RecordContext(ctx context.Context, name, src, workload string, cfg algoprof.Config, topts trace.WriterOptions) (*Run, error) {
 	dir, err := s.runDir(name)
 	if err != nil {
 		return nil, err
@@ -117,43 +144,73 @@ func (s *Store) Record(name, src, workload string, cfg algoprof.Config, topts tr
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	if err := writeFileAtomic(filepath.Join(dir, programFile), []byte(src), 0o644); err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256([]byte(src))
+	m := Manifest{
+		FormatVersion:   trace.Version,
+		CreatedUnix:     time.Now().Unix(),
+		ProgramSHA256:   hex.EncodeToString(sum[:]),
+		Workload:        workload,
+		Config:          cfg,
+		Degraded:        true,
+		DegradedReasons: []string{interruptedReason},
+	}
+	if err := writeManifest(dir, &m); err != nil {
+		return nil, err
+	}
 	tf, err := os.Create(filepath.Join(dir, traceFile))
 	if err != nil {
 		return nil, err
 	}
-	prof, runErr := algoprof.Record(src, cfg, tf, topts)
+	prof, runErr := algoprof.RecordContext(ctx, src, cfg, tf, topts)
 	if cerr := tf.Close(); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
 	if runErr != nil {
+		var pe *algoprof.PartialError
+		if errors.As(runErr, &pe) {
+			// Interrupted, not failed: keep the partial trace and fold the
+			// salvaged profile (if any) into the still-degraded manifest so
+			// the stored run is honest about what it holds.
+			if pe.Profile != nil {
+				fillManifest(&m, pe.Profile)
+				m.Degraded = true
+				m.DegradedReasons = append([]string{interruptedReason}, pe.Profile.DegradedReasons...)
+				writeManifest(dir, &m)
+			}
+			return nil, runErr
+		}
+		// A genuine failure (compile error, internal error) stores nothing:
+		// drop the provisional files so the run does not list.
 		os.Remove(filepath.Join(dir, traceFile))
+		os.Remove(filepath.Join(dir, manifestFile))
+		os.Remove(filepath.Join(dir, programFile))
 		return nil, runErr
 	}
-	if err := os.WriteFile(filepath.Join(dir, programFile), []byte(src), 0o644); err != nil {
+
+	fillManifest(&m, prof)
+	m.Degraded = prof.Degraded
+	m.DegradedReasons = prof.DegradedReasons
+	if err := writeManifest(dir, &m); err != nil {
 		return nil, err
 	}
+	return &Run{Name: name, Dir: dir, Manifest: m, Profile: prof}, nil
+}
 
-	sum := sha256.Sum256([]byte(src))
-	m := Manifest{
-		FormatVersion: trace.Version,
-		CreatedUnix:   time.Now().Unix(),
-		ProgramSHA256: hex.EncodeToString(sum[:]),
-		Workload:      workload,
-		Config:        cfg,
-		Stdout:        prof.Stdout,
-		Output:        prof.Output,
-		Instructions:  prof.Instructions,
-		Algorithms:    prof.Algorithms,
-	}
+// fillManifest copies a (possibly partial) profile's results into m.
+func fillManifest(m *Manifest, prof *algoprof.Profile) {
+	m.Stdout = prof.Stdout
+	m.Output = prof.Output
+	m.Instructions = prof.Instructions
+	m.Algorithms = prof.Algorithms
+	m.CostKeys = nil
 	if coreProf, _ := prof.Raw(); coreProf != nil {
 		for _, k := range coreProf.CostKeys() {
 			m.CostKeys = append(m.CostKeys, k.String())
 		}
 	}
-	if err := writeManifest(dir, &m); err != nil {
-		return nil, err
-	}
-	return &Run{Name: name, Dir: dir, Manifest: m, Profile: prof}, nil
 }
 
 func writeManifest(dir string, m *Manifest) error {
@@ -161,7 +218,35 @@ func writeManifest(dir string, m *Manifest) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, manifestFile), append(data, '\n'), 0o644)
+	return writeFileAtomic(filepath.Join(dir, manifestFile), append(data, '\n'), 0o644)
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so readers never observe a torn or empty file —
+// they see either the old content or the new, even across a crash.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err = f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp, perm)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
 }
 
 // Load reads a stored run's manifest without replaying its trace.
@@ -186,6 +271,14 @@ func (s *Store) Load(name string) (*Run, error) {
 // is byte-identical to the recorded one; program outputs come from the
 // manifest.
 func (s *Store) Replay(name string) (*Run, error) {
+	return s.ReplayContext(context.Background(), name)
+}
+
+// ReplayContext is Replay with cooperative cancellation, checked at every
+// trace frame. Runs whose recording was interrupted (crash-shaped traces
+// with no index or trailer) replay through the reader's recovery path and
+// come back as degraded profiles covering the captured prefix.
+func (s *Store) ReplayContext(ctx context.Context, name string) (*Run, error) {
 	r, err := s.Load(name)
 	if err != nil {
 		return nil, err
@@ -207,7 +300,7 @@ func (s *Store) Replay(name string) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	prof, err := algoprof.ReplayProgram(prog, r.Manifest.Config, tr)
+	prof, err := algoprof.ReplayProgramContext(ctx, prog, r.Manifest.Config, tr)
 	if err != nil {
 		return nil, err
 	}

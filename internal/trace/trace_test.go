@@ -144,19 +144,52 @@ func TestReplayRebuildsEntities(t *testing.T) {
 	}
 }
 
-// TestTruncated chops a valid trace at every length and requires a clean
-// error — never a panic — from open or replay.
+// TestTruncated chops a valid trace at every length. Prefixes shorter than
+// the header must fail cleanly; anything longer must open through recovery,
+// be marked Truncated, and replay a whole-frame prefix of the original
+// stream — monotonically growing with the cut point, never a panic.
 func TestTruncated(t *testing.T) {
 	data := buildTrace(t, WriterOptions{FrameSize: 8}, sampleRecords())
+	full, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []pipeline.Record
+	if err := full.Replay(func(r *pipeline.Record) { want = append(want, *r) }); err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
 	for n := 0; n < len(data); n++ {
 		r, err := NewReader(data[:n])
-		if err != nil {
+		if n < headerSize {
+			if err == nil {
+				t.Fatalf("NewReader accepted %d-byte prefix (shorter than the header)", n)
+			}
 			continue
 		}
-		// A truncation that leaves header, index, and trailer intact is
-		// impossible (the trailer comes last), so open must have failed.
-		_ = r
-		t.Fatalf("NewReader accepted %d/%d-byte truncation", n, len(data))
+		if err != nil {
+			t.Fatalf("prefix %d/%d: open = %v, want recovery", n, len(data), err)
+		}
+		if !r.Stats().Truncated {
+			t.Fatalf("prefix %d/%d: recovered reader not marked Truncated", n, len(data))
+		}
+		var got []pipeline.Record
+		if err := r.Replay(func(rec *pipeline.Record) { got = append(got, *rec) }); err != nil {
+			t.Fatalf("prefix %d/%d: replay = %v, want clean partial stop", n, len(data), err)
+		}
+		if len(got) > len(want) || len(got) < prev {
+			t.Fatalf("prefix %d/%d: %d records (full %d, shorter prefix had %d)",
+				n, len(data), len(got), len(want), prev)
+		}
+		prev = len(got)
+		for i := range got {
+			g, w := got[i], want[i]
+			if g.Op != w.Op || g.Clock != w.Clock || g.ID != w.ID ||
+				g.Ent != w.Ent || g.Aux != w.Aux || g.Kx != w.Kx ||
+				g.KI != w.KI || g.KS != w.KS {
+				t.Fatalf("prefix %d/%d: record %d = %+v, want %+v", n, len(data), i, g, w)
+			}
+		}
 	}
 }
 
@@ -192,10 +225,24 @@ func TestBadHeader(t *testing.T) {
 		t.Errorf("bad version: err = %v, want ErrCorrupt", err)
 	}
 
+	// A damaged trailer is no longer fatal: the frames and index are
+	// intact, so the reader recovers the full stream and flags it.
 	wrongTrailer := append([]byte(nil), data...)
 	wrongTrailer[len(wrongTrailer)-1] = '?'
-	if _, err := NewReader(wrongTrailer); !errors.Is(err, ErrCorrupt) {
-		t.Errorf("bad trailer: err = %v, want ErrCorrupt", err)
+	r, err := NewReader(wrongTrailer)
+	if err != nil {
+		t.Fatalf("bad trailer: err = %v, want recovery", err)
+	}
+	if !r.Stats().Truncated {
+		t.Error("bad trailer: recovered reader not marked Truncated")
+	}
+	intact, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := intact.Stats().Records; r.Stats().Records != want {
+		t.Errorf("bad trailer: recovered records = %d, want %d (index survived)",
+			r.Stats().Records, want)
 	}
 
 	if _, err := NewReader(nil); !errors.Is(err, ErrCorrupt) {

@@ -17,6 +17,12 @@ type WriterOptions struct {
 	// FrameSize is the payload byte count at which a frame is cut
 	// (0 = 64 KiB).
 	FrameSize int
+	// MaxBytes stops capture once the file reaches this size (0 =
+	// unlimited; checked at frame boundaries, so the file can overshoot
+	// by up to one frame). Later records are counted but not written;
+	// Close still writes the index and trailer, so the truncated trace
+	// is a complete, replayable file covering the run's prefix.
+	MaxBytes int64
 }
 
 // Writer streams pipeline records to a trace file. It implements both
@@ -43,6 +49,8 @@ type Writer struct {
 	finalClock   uint64
 	instructions uint64
 	closed       bool
+	truncated    bool
+	dropped      uint64
 }
 
 type frameInfo struct {
@@ -93,12 +101,19 @@ func (tw *Writer) Record(r *pipeline.Record) {
 	if tw.err != nil || tw.closed {
 		return
 	}
+	if tw.truncated {
+		tw.dropped++
+		return
+	}
 	tw.encode(r)
 	tw.frameRecords++
 	tw.totalRecords++
 	tw.finalClock = r.Clock
 	if len(tw.buf) >= tw.opts.FrameSize {
 		tw.flushFrame()
+		if m := tw.opts.MaxBytes; m > 0 && tw.off >= m {
+			tw.truncated = true
+		}
 	}
 }
 
@@ -203,6 +218,28 @@ func (tw *Writer) flushFrame() {
 // SetInstructions records the frontend's final executed-instruction count
 // in the trace index, so offline replay can report it without a VM.
 func (tw *Writer) SetInstructions(n uint64) { tw.instructions = n }
+
+// Truncated reports whether the size limit stopped capture early.
+func (tw *Writer) Truncated() bool { return tw.truncated }
+
+// DroppedRecords returns how many records arrived after capture stopped.
+func (tw *Writer) DroppedRecords() uint64 { return tw.dropped }
+
+// Abort flushes the current frame and latches the writer closed WITHOUT
+// writing the index or trailer. The result is a recognizable partial
+// trace — a valid header followed by whole CRC-framed records, exactly
+// the shape a crash mid-recording leaves behind — which readers accept
+// through the truncated-trace recovery path. Use it when a cancelled run
+// should keep its partial trace cheaply instead of finishing a file that
+// claims completeness.
+func (tw *Writer) Abort() error {
+	if tw.closed {
+		return tw.err
+	}
+	tw.closed = true
+	tw.flushFrame()
+	return tw.err
+}
 
 // Close flushes the last frame, writes the index frame and trailer, and
 // returns the first write error, if any. The underlying writer is not

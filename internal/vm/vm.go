@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strings"
 
 	"algoprof/internal/events"
@@ -40,7 +41,44 @@ type Config struct {
 	MaxSteps uint64
 	// MaxDepth bounds the call stack depth (0 = 10000).
 	MaxDepth int
+	// Watchdog, if non-nil, is polled every watchdogInterval instructions.
+	// A non-nil return stops execution with that error; returning *Halt
+	// marks the stop as a clean, caller-requested cancellation (deadline,
+	// context cancel) rather than a program failure. The halt propagates
+	// through every active frame like any error, so loop and method exit
+	// events still fire and profiling listeners observe a balanced stream.
+	Watchdog func() error
 }
+
+// watchdogInterval is how many instructions run between Watchdog polls —
+// frequent enough that a deadline overshoots by microseconds, rare enough
+// that the poll does not show up in interpreter profiles.
+const watchdogInterval = 4096
+
+// Halt is the error a Watchdog returns to stop execution cleanly. It is
+// not an MJ-level failure: the run was cut short on purpose and its
+// partial results are valid as far as they go.
+type Halt struct {
+	// Reason names what tripped ("deadline", "canceled", ...).
+	Reason string
+}
+
+// Error implements error.
+func (h *Halt) Error() string { return "vm: halted: " + h.Reason }
+
+// PanicError is a Go panic recovered inside the interpreter or one of its
+// listeners — a VM, instrumentation, or listener bug. Containing it lets
+// the caller keep the outputs and profiling state accumulated so far and
+// assemble a partial report instead of crashing the process.
+type PanicError struct {
+	// Val is the recovered panic value.
+	Val any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("vm: panic: %v", e.Val) }
 
 // Thrown is an in-flight MJ exception: a thrown object that no handler
 // caught (yet). It propagates as an error through call frames; if it
@@ -85,6 +123,7 @@ type VM struct {
 	nextID uint64
 	rng    uint64
 	inPos  int
+	wdLeft int // instructions until the next Watchdog poll
 
 	// InstrCount is the number of executed bytecode instructions — the
 	// deterministic stand-in for wall-clock time in the CCT baseline.
@@ -157,28 +196,44 @@ func New(prog *bytecode.Program, cfg Config) *VM {
 		cfg.MaxDepth = 10_000
 	}
 	return &VM{
-		prog:   prog,
-		cfg:    cfg,
-		rng:    cfg.Seed*2862933555777941757 + 3037000493,
+		prog: prog,
+		cfg:  cfg,
+		rng:  cfg.Seed*2862933555777941757 + 3037000493,
+		// A full interval before the first poll: even an already-expired
+		// deadline lets the program execute a prefix, so the halted run
+		// still carries events and a nonzero instruction count.
+		wdLeft: watchdogInterval,
 		gate:   buildGate(prog, cfg),
 		vtable: map[vtKey]*bytecode.Function{},
 		byName: map[nmKey]*types.Method{},
 	}
 }
 
-// Run executes the program's main method.
-func (m *VM) Run() error {
+// Run executes the program's main method. Go panics raised inside the
+// interpreter or its listeners are contained and returned as *PanicError,
+// so a buggy listener cannot take the whole process down.
+func (m *VM) Run() (err error) {
+	defer containPanic(&err)
 	return m.call(m.prog.Main(), nil)
 }
 
 // CallStatic runs an arbitrary static niladic method; used by harnesses.
-func (m *VM) CallStatic(qualified string) error {
+// Panics are contained like Run's.
+func (m *VM) CallStatic(qualified string) (err error) {
+	defer containPanic(&err)
 	for _, fn := range m.prog.Funcs {
 		if fn.Method.QualifiedName() == qualified && fn.Method.Static && len(fn.Method.Params) == 0 {
 			return m.call(fn, nil)
 		}
 	}
 	return fmt.Errorf("vm: no static niladic method %q", qualified)
+}
+
+// containPanic converts an in-flight panic into a *PanicError on *err.
+func containPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = &PanicError{Val: r, Stack: debug.Stack()}
+	}
 }
 
 func (m *VM) fail(f *frame, format string, args ...any) error {
@@ -334,6 +389,14 @@ func (m *VM) interpret(f *frame) error {
 		}
 		if m.InstrCount >= m.cfg.MaxSteps {
 			return m.fail(f, "instruction budget exhausted (%d)", m.cfg.MaxSteps)
+		}
+		if m.cfg.Watchdog != nil {
+			if m.wdLeft--; m.wdLeft < 0 {
+				m.wdLeft = watchdogInterval
+				if err := m.cfg.Watchdog(); err != nil {
+					return err
+				}
+			}
 		}
 		m.InstrCount++
 		if m.cfg.InstrHook != nil {

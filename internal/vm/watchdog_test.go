@@ -1,0 +1,91 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"algoprof/internal/mj/compiler"
+)
+
+// watchdogSrc runs far more than one watchdog interval of instructions.
+const watchdogSrc = `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int i = 0; i < 100000; i++) { s = s + 1; }
+    check(s == 100000);
+  }
+}`
+
+func compileWatchdogSrc(t *testing.T) *VM {
+	t.Helper()
+	prog, err := compiler.CompileSource(watchdogSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return New(prog, Config{Seed: 1})
+}
+
+// TestWatchdogHalt: a watchdog returning *Halt stops the run with that
+// error after a bounded amount of further execution, and the machine
+// keeps the instruction count of the executed prefix.
+func TestWatchdogHalt(t *testing.T) {
+	m := compileWatchdogSrc(t)
+	polls := 0
+	m.cfg.Watchdog = func() error {
+		polls++
+		if polls >= 2 {
+			return &Halt{Reason: "test-budget"}
+		}
+		return nil
+	}
+	err := m.Run()
+	var halt *Halt
+	if !errors.As(err, &halt) {
+		t.Fatalf("Run = %v, want *Halt", err)
+	}
+	if halt.Reason != "test-budget" {
+		t.Errorf("halt reason = %q", halt.Reason)
+	}
+	if m.InstrCount == 0 {
+		t.Error("halted run lost its instruction count")
+	}
+	if m.InstrCount > 3*watchdogInterval {
+		t.Errorf("ran %d instructions past a 2-poll watchdog; poll spacing broken", m.InstrCount)
+	}
+}
+
+// TestWatchdogPollsAfterFullInterval: the first poll comes only after a
+// full interval of instructions, so even an immediately-firing watchdog
+// leaves a nonempty executed prefix.
+func TestWatchdogPollsAfterFullInterval(t *testing.T) {
+	m := compileWatchdogSrc(t)
+	m.cfg.Watchdog = func() error { return &Halt{Reason: "immediate"} }
+	err := m.Run()
+	var halt *Halt
+	if !errors.As(err, &halt) {
+		t.Fatalf("Run = %v, want *Halt", err)
+	}
+	if m.InstrCount < watchdogInterval {
+		t.Errorf("halted after %d instructions, want at least one full interval (%d)",
+			m.InstrCount, watchdogInterval)
+	}
+}
+
+// TestPanicContained: a panic escaping a VM hook surfaces as a
+// *PanicError with the panic value and stack, never as a process crash.
+func TestPanicContained(t *testing.T) {
+	m := compileWatchdogSrc(t)
+	m.cfg.Watchdog = func() error { panic("hook exploded") }
+	err := m.Run()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Val != "hook exploded" {
+		t.Errorf("panic value = %v", pe.Val)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+}

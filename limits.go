@@ -1,0 +1,130 @@
+package algoprof
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"algoprof/internal/vm"
+)
+
+// Limits bounds a profiling run. The zero value imposes no limits. Limits
+// degrade rather than abort: when one trips, the profiler switches to
+// deterministic invocation sampling (or, for the deadline, halts the VM
+// cleanly), the run completes with exit status success, and the resulting
+// Profile is marked Degraded with the tripped limits listed — its series
+// stay fittable. Only explicit context cancellation turns into an error
+// (a *PartialError carrying whatever profile could be salvaged).
+type Limits struct {
+	// MaxEvents starts degrading after this many profiling events (0 =
+	// unlimited). Totals stay exact; invocation series thin out
+	// deterministically. Deterministic limits apply identically when the
+	// run is replayed from a trace, so degraded runs stay replayable.
+	MaxEvents uint64
+	// MaxLiveBytes bounds the profiler's approximate live memory for
+	// recorded history plus the input registry (0 = unlimited). The
+	// sampling interval doubles each time the estimate exceeds the
+	// bound, shedding already-recorded history.
+	MaxLiveBytes int64
+	// MaxTraceBytes caps the trace file size during Record (0 =
+	// unlimited; checked at frame boundaries). Capture stops at the cap;
+	// the trace stays complete and replayable over the captured prefix.
+	MaxTraceBytes int64
+	// Deadline bounds the run's wall-clock time (0 = unlimited). On
+	// expiry the VM halts cleanly — exit events still fire for every
+	// open loop and method — and the partial profile is returned as
+	// degraded, not as an error.
+	Deadline time.Duration
+}
+
+// active reports whether any limit or the context can interrupt the run.
+func (l Limits) active(ctx context.Context) bool {
+	return ctx.Done() != nil || l.Deadline > 0
+}
+
+// PartialError reports a run that stopped before completion — the context
+// was cancelled or the VM/workload panicked — together with whatever
+// profile could be salvaged from the events consumed so far.
+type PartialError struct {
+	// Profile is the best-effort partial profile; nil when salvage
+	// itself failed. Its Degraded flag is set and its numbers cover only
+	// the executed prefix of the run.
+	Profile *Profile
+	// Err is the cause: context.Canceled, context.DeadlineExceeded, or a
+	// *vm.PanicError.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("algoprof: run stopped early: %v", e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// watchdogFor builds the VM watchdog enforcing ctx and the wall-clock
+// deadline. Returns nil when neither can fire, keeping the interpreter's
+// hot loop free of the poll.
+func watchdogFor(ctx context.Context, lim Limits, start time.Time) func() error {
+	if !lim.active(ctx) {
+		return nil
+	}
+	var deadline time.Time
+	if lim.Deadline > 0 {
+		deadline = start.Add(lim.Deadline)
+	}
+	return func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return &vm.Halt{Reason: "deadline"}
+		}
+		return nil
+	}
+}
+
+// triageRunError splits a VM run error into graceful degradation and real
+// failure: a watchdog *vm.Halt means the run was cut short on purpose and
+// its balanced partial stream should finish as a degraded profile (the
+// halt reason becomes a degraded-reason); anything else still stops the
+// run.
+func triageRunError(runErr error) (reasons []string, err error) {
+	if runErr == nil {
+		return nil, nil
+	}
+	var halt *vm.Halt
+	if errors.As(runErr, &halt) {
+		return []string{halt.Reason}, nil
+	}
+	return nil, runErr
+}
+
+// interrupted reports whether err is a cancellation or contained panic —
+// the causes that salvage a partial profile instead of failing outright.
+func interrupted(err error) bool {
+	var pe *vm.PanicError
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.As(err, &pe)
+}
+
+// salvage wraps cause in a *PartialError carrying build's best-effort
+// partial profile. Finalizing a half-built repetition tree is inherently
+// risky — the event stream may be unbalanced or a listener may have
+// panicked mid-update — so a panic during salvage yields a nil Profile
+// rather than masking cause.
+func salvage(build func() *Profile, cause error) error {
+	pe := &PartialError{Err: cause}
+	func() {
+		defer func() { recover() }()
+		if p := build(); p != nil {
+			p.Degraded = true
+			p.DegradedReasons = append(p.DegradedReasons, "interrupted")
+			pe.Profile = p
+		}
+	}()
+	return pe
+}

@@ -1,8 +1,10 @@
 package algoprof
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"algoprof/internal/core"
 	"algoprof/internal/events/pipeline"
@@ -19,15 +21,29 @@ import (
 // trace file. The returned profile is identical to a plain Run with the
 // same Config.
 func Record(src string, cfg Config, w io.Writer, topts trace.WriterOptions) (*Profile, error) {
+	return RecordContext(context.Background(), src, cfg, w, topts)
+}
+
+// RecordContext is Record with cooperative cancellation (see RunContext).
+// On cancellation the trace writer aborts, leaving a recognizable partial
+// trace — a valid header and whole CRC-framed records, no index — that
+// readers recover through the truncated-trace path.
+func RecordContext(ctx context.Context, src string, cfg Config, w io.Writer, topts trace.WriterOptions) (*Profile, error) {
 	prog, err := compiler.CompileSource(src)
 	if err != nil {
 		return nil, err
 	}
-	return RecordProgram(prog, cfg, w, topts)
+	return RecordProgramContext(ctx, prog, cfg, w, topts)
 }
 
 // RecordProgram is Record for an already compiled program.
 func RecordProgram(prog *bytecode.Program, cfg Config, w io.Writer, topts trace.WriterOptions) (*Profile, error) {
+	return RecordProgramContext(context.Background(), prog, cfg, w, topts)
+}
+
+// RecordProgramContext is RecordProgram with cooperative cancellation (see
+// RecordContext).
+func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config, w io.Writer, topts trace.WriterOptions) (*Profile, error) {
 	ins, err := instrument.Instrument(prog, instrument.Optimized)
 	if err != nil {
 		return nil, err
@@ -40,6 +56,9 @@ func RecordProgram(prog *bytecode.Program, cfg Config, w io.Writer, topts trace.
 	// rebuild the heap.
 	tp := pipeline.New(pipeline.Config{Synchronous: true})
 	tp.Add("core", prof, pipeline.ConsumerOptions{HeapReader: true, Plan: ins.Plan})
+	if topts.MaxBytes == 0 {
+		topts.MaxBytes = cfg.Limits.MaxTraceBytes
+	}
 	tw := trace.NewWriter(w, topts)
 	tp.Add("trace", tw, pipeline.ConsumerOptions{})
 	pr := tp.Producer()
@@ -52,13 +71,25 @@ func RecordProgram(prog *bytecode.Program, cfg Config, w io.Writer, topts trace.
 		Seed:     seedOf(cfg),
 		Input:    cfg.Input,
 		MaxSteps: cfg.MaxSteps,
+		Watchdog: watchdogFor(ctx, cfg.Limits, time.Now()),
 	}
 	machine := vm.New(ins.Prog, vmCfg)
 	pr.BindClock(&machine.InstrCount)
 	tp.Start()
-	runErr := machine.Run()
+	extra, runErr := triageRunError(machine.Run())
 	if cerr := tp.Close(); cerr != nil && runErr == nil {
 		runErr = cerr
+	}
+	if runErr != nil && interrupted(runErr) {
+		// Leave the partial trace on disk in its crash shape; the caller
+		// keeps what replays and learns the run was cut short.
+		if aerr := tw.Abort(); aerr != nil {
+			runErr = fmt.Errorf("%w (trace abort: %v)", runErr, aerr)
+		}
+		return nil, salvage(func() *Profile {
+			p, _ := finishProfile(prof, cfg, machine, true)
+			return p
+		}, runErr)
 	}
 	tw.SetInstructions(machine.InstrCount)
 	if werr := tw.Close(); werr != nil && runErr == nil {
@@ -67,7 +98,10 @@ func RecordProgram(prog *bytecode.Program, cfg Config, w io.Writer, topts trace.
 	if runErr != nil {
 		return nil, runErr
 	}
-	return finishProfile(prof, cfg, machine)
+	if tw.Truncated() {
+		extra = append(extra, "max-trace-bytes")
+	}
+	return finishProfile(prof, cfg, machine, false, extra...)
 }
 
 // ReplayProgram rebuilds a profile offline from a recorded trace: the
@@ -77,6 +111,17 @@ func RecordProgram(prog *bytecode.Program, cfg Config, w io.Writer, topts trace.
 // (program output and stdout are not part of the event stream; the run
 // store carries those in its manifest).
 func ReplayProgram(prog *bytecode.Program, cfg Config, r *trace.Reader) (*Profile, error) {
+	return ReplayProgramContext(context.Background(), prog, cfg, r)
+}
+
+// ReplayProgramContext is ReplayProgram with cooperative cancellation: ctx
+// is checked at every frame boundary. A recovered (truncated) trace
+// replays tolerantly — the profiler force-closes whatever repetitions the
+// torn tail left open and the profile is marked degraded — so a crashed
+// recording still yields its prefix's profile. Deterministic limits
+// (MaxEvents, MaxLiveBytes) apply during replay exactly as they did live,
+// which keeps replay-equality for degraded runs.
+func ReplayProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config, r *trace.Reader) (*Profile, error) {
 	ins, err := instrument.Instrument(prog, instrument.Optimized)
 	if err != nil {
 		return nil, err
@@ -85,24 +130,32 @@ func ReplayProgram(prog *bytecode.Program, cfg Config, r *trace.Reader) (*Profil
 	tp := pipeline.New(pipeline.Config{Synchronous: true})
 	tp.Add("core", prof, pipeline.ConsumerOptions{HeapReader: true, Plan: ins.Plan})
 	tp.Start()
-	if err := r.Replay(tp.Dispatch); err != nil {
+	truncated := r.Stats().Truncated
+	if err := r.ReplayContext(ctx, tp.Dispatch); err != nil {
 		return nil, err
 	}
 	prof.Finish()
-	if errs := prof.Errors(); len(errs) > 0 {
+	if errs := prof.Errors(); len(errs) > 0 && !truncated {
 		return nil, fmt.Errorf("algoprof: internal profiling error: %w", errs[0])
 	}
 	p := FromProfilerWith(prof, cfg.GroupStrategy)
 	p.Instructions = r.Stats().Instructions
+	p.DegradedReasons = prof.DegradedReasons()
+	if truncated {
+		p.DegradedReasons = append(p.DegradedReasons, "truncated-trace")
+	}
+	p.Degraded = len(p.DegradedReasons) > 0
 	return p, nil
 }
 
 // coreOptions maps the public Config to profiler-core options.
 func coreOptions(cfg Config) core.Options {
 	opts := core.Options{
-		Criterion:   snapshot.Criterion(cfg.Criterion),
-		SampleEvery: cfg.SampleEvery,
-		DisableMemo: cfg.DisableMemo,
+		Criterion:    snapshot.Criterion(cfg.Criterion),
+		SampleEvery:  cfg.SampleEvery,
+		DisableMemo:  cfg.DisableMemo,
+		MaxEvents:    cfg.Limits.MaxEvents,
+		MaxLiveBytes: cfg.Limits.MaxLiveBytes,
 	}
 	if cfg.EagerIdentify {
 		opts.Identify = core.EagerIdentify
@@ -121,10 +174,13 @@ func seedOf(cfg Config) uint64 {
 }
 
 // finishProfile finalizes the core profiler and assembles the public
-// profile with the machine's outputs attached.
-func finishProfile(prof *core.Profiler, cfg Config, machine *vm.VM) (*Profile, error) {
+// profile with the machine's outputs attached. tolerant skips the
+// internal-error check — used when salvaging an interrupted run, whose
+// stream is unbalanced by construction. extra degraded-reasons (deadline,
+// trace truncation) are appended after the profiler's own.
+func finishProfile(prof *core.Profiler, cfg Config, machine *vm.VM, tolerant bool, extra ...string) (*Profile, error) {
 	prof.Finish()
-	if errs := prof.Errors(); len(errs) > 0 {
+	if errs := prof.Errors(); len(errs) > 0 && !tolerant {
 		return nil, fmt.Errorf("algoprof: internal profiling error: %w", errs[0])
 	}
 	p := FromProfilerWith(prof, cfg.GroupStrategy)
@@ -134,5 +190,7 @@ func finishProfile(prof *core.Profiler, cfg Config, machine *vm.VM) (*Profile, e
 	for _, v := range machine.Output {
 		p.Output = append(p.Output, v.String())
 	}
+	p.DegradedReasons = append(prof.DegradedReasons(), extra...)
+	p.Degraded = len(p.DegradedReasons) > 0
 	return p, nil
 }
