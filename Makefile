@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-smoke fuzz-smoke paper
+.PHONY: check build test vet race bench bench-smoke fuzz-smoke chaos-smoke paper
 
 # The tier-1 gate plus the concurrency-sensitive packages under the race
 # detector. Run before committing.
@@ -39,6 +39,12 @@ bench-smoke:
 # corpus also runs as plain fixtures in `make test` (TestFuzzCorpusRecovery).
 fuzz-smoke:
 	$(GO) test -run Fuzz -fuzz=FuzzReplay -fuzztime=10s ./internal/trace
+
+# Seeded fault-injection sweep through the whole pipeline (see
+# docs/FAULTS.md): every schedule must succeed, degrade deterministically,
+# or fail with a typed fault class — any other outcome exits non-zero.
+chaos-smoke:
+	$(GO) run ./cmd/algoprof chaos -seeds 32
 
 # Regenerate every table and figure of the paper.
 paper:

@@ -36,6 +36,7 @@ import (
 	"algoprof/internal/mj/bytecode"
 	"algoprof/internal/mj/compiler"
 	"algoprof/internal/report"
+	"algoprof/internal/verify"
 	"algoprof/internal/vm"
 )
 
@@ -117,6 +118,19 @@ type Config struct {
 	// time. The zero value imposes none; see Limits for the degradation
 	// semantics (limits degrade the profile, they do not fail the run).
 	Limits Limits
+	// Verify runs the online invariant verifier (internal/verify) as one
+	// more pipeline consumer: the event stream is checked for
+	// well-formedness while the program runs, and the repetition tree is
+	// cross-checked against the stream afterwards. Any violation fails the
+	// run with a *verify.Error (fault class: corruption) instead of
+	// returning a silently inconsistent profile.
+	Verify bool
+	// Watchdog is an extra hook composed into the VM watchdog alongside
+	// the context and Limits.Deadline checks; a non-nil error halts the VM
+	// (a *vm.Halt degrades the run cleanly, anything else fails it). Chaos
+	// harnesses inject deterministic mid-frame deadline faults through it.
+	// Never serialized.
+	Watchdog func() error `json:"-"`
 }
 
 // Point is one (input size, algorithmic steps) sample.
@@ -305,15 +319,29 @@ func RunProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config) 
 		Seed:     seedOf(cfg),
 		Input:    cfg.Input,
 		MaxSteps: cfg.MaxSteps,
-		Watchdog: watchdogFor(ctx, cfg.Limits, time.Now()),
+		Watchdog: watchdogFor(ctx, cfg.Limits, time.Now(), cfg.Watchdog),
 	}
 	var tp *pipeline.Transport
-	if cfg.Pipelined {
-		tp = pipeline.New(pipeline.Config{})
-		tp.Add("core", prof, pipeline.ConsumerOptions{HeapReader: true})
+	var chk *verify.Checker
+	if cfg.Pipelined || cfg.Verify {
+		// The verifier is a raw-tap consumer, so a non-pipelined verified
+		// run still routes events through a (synchronous) transport.
+		tp = pipeline.New(pipeline.Config{Synchronous: !cfg.Pipelined})
+		copts := pipeline.ConsumerOptions{HeapReader: true}
+		if !cfg.Pipelined {
+			copts.Plan = ins.Plan
+		}
+		tp.Add("core", prof, copts)
 		pr := tp.Producer()
 		vmCfg.Listener = pr
 		vmCfg.PreWrite = pr.Barrier
+		if cfg.Verify {
+			chk = verify.NewChecker()
+			tp.Add("verify", chk, pipeline.ConsumerOptions{})
+			// The heap journal costs nothing to check and a lot to miss:
+			// wire it so the verifier sees entity births and stores too.
+			vmCfg.Journal = pr
+		}
 	}
 	machine := vm.New(ins.Prog, vmCfg)
 	if tp != nil {
@@ -339,7 +367,30 @@ func RunProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config) 
 		}
 		return nil, runErr
 	}
-	return finishProfile(prof, cfg, machine, false, extra...)
+	// With the verifier attached, profiler-internal errors surface as
+	// typed verify violations instead of the bare internal-error wrap.
+	p, err := finishProfile(prof, cfg, machine, chk != nil, extra...)
+	if err != nil {
+		return nil, err
+	}
+	if err := runVerify(chk, prof, false); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// runVerify runs the post-run invariant checks when a checker was
+// attached: end-of-stream balance (openOK tolerates the open frames a
+// truncated trace legitimately leaves), repetition-tree invariants, and
+// stream-vs-tree agreement. Any violation is returned as a *verify.Error.
+func runVerify(chk *verify.Checker, prof *core.Profiler, openOK bool) error {
+	if chk == nil {
+		return nil
+	}
+	chk.Finish(openOK)
+	chk.Add(verify.CheckTree(prof, openOK))
+	chk.Add(verify.AgreeStream(chk, prof))
+	return chk.Err()
 }
 
 // FromProfiler assembles a Profile from a finished core profiler — used by

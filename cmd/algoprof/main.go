@@ -9,12 +9,20 @@
 //	algoprof replay [-store DIR] [-json] NAME
 //	algoprof diff   [-store DIR] OLD NEW
 //	algoprof runs   [-store DIR]
+//	algoprof chaos  [-seeds N] [-base-seed N] [-dir DIR] [-v]
+//	algoprof verify DIR
 //
 // record captures the run's full event stream to a trace store; replay
 // rebuilds the identical profile offline from the stored trace (no VM
 // execution); diff compares two stored runs' fitted cost functions and
 // exits non-zero when an algorithm's complexity class regressed (e.g.
 // n·log n → n²), as opposed to mere constant-factor drift.
+//
+// chaos sweeps seeded fault schedules through the whole pipeline (see
+// internal/chaos) and exits non-zero unless every schedule succeeds,
+// degrades deterministically, or fails with a typed fault class. verify
+// audits a stored run directory — or a whole store of them — offline and
+// exits non-zero when any artifact is damaged or inconsistent.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"algoprof"
+	"algoprof/internal/chaos"
 	"algoprof/internal/focus"
 	"algoprof/internal/trace"
 	"algoprof/internal/trace/store"
@@ -45,6 +54,12 @@ func main() {
 			return
 		case "runs":
 			cmdRuns(os.Args[2:])
+			return
+		case "chaos":
+			cmdChaos(os.Args[2:])
+			return
+		case "verify":
+			cmdVerify(os.Args[2:])
 			return
 		}
 	}
@@ -325,6 +340,77 @@ func cmdRuns(args []string) {
 			name, created, run.Manifest.Workload, len(run.Manifest.Algorithms),
 			run.Manifest.Instructions, note)
 	}
+}
+
+// cmdChaos sweeps seeded fault schedules through record/replay/verify and
+// reports the outcome trichotomy. Any contract violation — an untyped
+// error, a nondeterministic degradation, a silently wrong profile, a panic
+// — exits non-zero.
+func cmdChaos(args []string) {
+	fs := flag.NewFlagSet("algoprof chaos", flag.ExitOnError)
+	seeds := fs.Int("seeds", 16, "number of seeded fault schedules to run")
+	baseSeed := fs.Uint64("base-seed", 1, "seed of the first schedule")
+	dir := fs.String("dir", "", "scratch directory for run stores (default: a temp dir, removed afterwards)")
+	verbose := fs.Bool("v", false, "log each schedule as it completes")
+	fs.Parse(args)
+
+	scratch := *dir
+	if scratch == "" {
+		tmp, err := os.MkdirTemp("", "algoprof-chaos-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		scratch = tmp
+	}
+	cfg := chaos.Config{Seeds: *seeds, BaseSeed: *baseSeed, Dir: scratch}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Render())
+	if len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+// cmdVerify audits stored runs offline. Its argument is either one run
+// directory (it contains a manifest) or a whole store directory, in which
+// case every entry is audited — including garbage entries the run listing
+// would skip.
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("algoprof verify", flag.ExitOnError)
+	fs.Parse(args)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: algoprof verify DIR  (a run directory or a trace store)")
+		os.Exit(2)
+	}
+	dir := fs.Arg(0)
+	var findings []chaos.Finding
+	if _, err := os.Stat(filepath.Join(dir, store.ManifestName)); err == nil {
+		findings = chaos.AuditRun(dir)
+	} else {
+		var aerr error
+		findings, aerr = chaos.AuditStore(dir)
+		if aerr != nil {
+			fatal(aerr)
+		}
+	}
+	if len(findings) == 0 {
+		fmt.Println("verify: ok")
+		return
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	fmt.Fprintf(os.Stderr, "algoprof: verify found %d defect(s)\n", len(findings))
+	os.Exit(1)
 }
 
 func fatal(err error) {

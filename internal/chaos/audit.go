@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"algoprof"
+	"algoprof/internal/faultinject"
+	"algoprof/internal/mj/compiler"
+	"algoprof/internal/trace"
+	"algoprof/internal/trace/store"
+)
+
+// Finding is one audit defect in a stored run directory.
+type Finding struct {
+	// Run names the audited run directory.
+	Run string
+	// Class is the defect's fault class (Corruption for structural damage).
+	Class faultinject.FaultClass
+	// Msg describes the defect.
+	Msg string
+}
+
+// String implements fmt.Stringer.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Run, f.Class, f.Msg)
+}
+
+// AuditStore audits every entry of a store directory — including the
+// garbage entries Store.List would skip — and returns the defects found.
+// An empty result means every stored run is internally consistent.
+func AuditStore(dir string) ([]Finding, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, Finding{Run: e.Name(), Class: faultinject.Corruption,
+				Msg: "stray file in store directory"})
+			continue
+		}
+		out = append(out, AuditRun(filepath.Join(dir, e.Name()))...)
+	}
+	return out, nil
+}
+
+// AuditRun forensically audits one run directory: the manifest must parse,
+// the program must match its recorded hash and compile, the trace must
+// decode, truncation must be declared, the verified replay must pass the
+// invariant checker, and — for non-degraded runs — the replayed results
+// must equal the manifest's. Each broken link is one finding; later checks
+// that depend on it are skipped.
+func AuditRun(runDir string) []Finding {
+	name := filepath.Base(runDir)
+	var out []Finding
+	bad := func(class faultinject.FaultClass, format string, args ...any) {
+		out = append(out, Finding{Run: name, Class: class, Msg: fmt.Sprintf(format, args...)})
+	}
+	// classOr types err, defaulting structural damage to Corruption.
+	classOr := func(err error) faultinject.FaultClass {
+		if c := faultinject.ClassOf(err); c != faultinject.Unknown {
+			return c
+		}
+		return faultinject.Corruption
+	}
+
+	data, err := os.ReadFile(filepath.Join(runDir, store.ManifestName))
+	if err != nil {
+		bad(classOr(err), "manifest unreadable: %v", err)
+		return out
+	}
+	var m store.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		bad(faultinject.Corruption, "garbage manifest: %v", err)
+		return out
+	}
+
+	src, err := os.ReadFile(filepath.Join(runDir, store.ProgramName))
+	if err != nil {
+		bad(classOr(err), "program unreadable: %v", err)
+		return out
+	}
+	sum := sha256.Sum256(src)
+	if got := hex.EncodeToString(sum[:]); got != m.ProgramSHA256 {
+		bad(faultinject.Corruption, "program hash mismatch (manifest %s, file %s)", m.ProgramSHA256, got)
+		return out
+	}
+	prog, err := compiler.CompileSource(string(src))
+	if err != nil {
+		bad(faultinject.Corruption, "stored program does not compile: %v", err)
+		return out
+	}
+
+	raw, err := os.ReadFile(filepath.Join(runDir, store.TraceName))
+	if err != nil {
+		bad(classOr(err), "trace unreadable: %v", err)
+		return out
+	}
+	tr, err := trace.NewReader(raw)
+	if err != nil {
+		bad(classOr(err), "trace corrupt: %v", err)
+		return out
+	}
+	if tr.Stats().Truncated && !m.Degraded {
+		bad(faultinject.Corruption, "trace is truncated but the manifest does not declare a degraded run")
+	}
+
+	cfg := m.Config
+	cfg.Verify = true
+	prof, err := algoprof.ReplayProgram(prog, cfg, tr)
+	if err != nil {
+		bad(classOr(err), "verified replay failed: %v", err)
+		return out
+	}
+	if !m.Degraded && !prof.Degraded {
+		ok := &algoprof.Profile{Algorithms: m.Algorithms}
+		if !algosEqual(ok, prof) {
+			bad(faultinject.Corruption, "replayed cost functions differ from the manifest's")
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"algoprof"
+	"algoprof/internal/faultinject"
+	"algoprof/internal/trace"
+	"algoprof/internal/trace/store"
+)
+
+// TestChaosSweep is the smoke sweep: every schedule must classify into the
+// outcome trichotomy with zero contract violations, and the schedule
+// families must actually produce the outcomes they are designed to force.
+func TestChaosSweep(t *testing.T) {
+	rep, err := Run(Config{Seeds: 16, BaseSeed: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("chaos violations:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if got := len(rep.Results); got != 16 {
+		t.Fatalf("got %d results, want 16", got)
+	}
+	ok, degraded, failed := rep.Counts()
+	if ok == 0 {
+		t.Error("no schedule succeeded")
+	}
+	if degraded == 0 {
+		t.Error("no schedule degraded (watchdog family never halted a run)")
+	}
+	if failed == 0 {
+		t.Error("no schedule failed typed (resource family never fired)")
+	}
+	for _, res := range rep.Results {
+		if res.Outcome == Failed && res.Class == faultinject.Unknown {
+			t.Errorf("seed %d failed with an unknown fault class: %s", res.Seed, res.Err)
+		}
+	}
+	t.Log("\n" + rep.Render())
+}
+
+// TestChaosDeterministic: the same sweep configuration must reproduce the
+// same outcome sequence, fault for fault.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() []Result {
+		rep, err := Run(Config{Seeds: 8, BaseSeed: 21, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("chaos violations:\n%s", strings.Join(rep.Violations, "\n"))
+		}
+		return rep.Results
+	}
+	a, b := run(), run()
+	for i := range a {
+		// Err embeds scratch-directory paths, so determinism is asserted on
+		// the classification, not the rendered message.
+		if a[i].Outcome != b[i].Outcome || a[i].Class != b[i].Class {
+			t.Errorf("seed %d: outcome differs across identical sweeps: %+v vs %+v", a[i].Seed, a[i], b[i])
+		}
+	}
+}
+
+// recordCleanRun stores one fault-free run and returns its directory.
+func recordCleanRun(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := corpus()[0].src
+	if _, err := s.Record("run", src, "audit-test", algoprof.Config{}, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "run")
+}
+
+// TestAuditCleanRun: an intact run directory audits clean.
+func TestAuditCleanRun(t *testing.T) {
+	runDir := recordCleanRun(t)
+	if fs := AuditRun(runDir); len(fs) != 0 {
+		t.Fatalf("clean run flagged: %v", fs)
+	}
+	fs, err := AuditStore(filepath.Dir(runDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("clean store flagged: %v", fs)
+	}
+}
+
+// TestAuditFlagsCorruption: each class of deliberate damage to a run
+// directory must produce at least one finding.
+func TestAuditFlagsCorruption(t *testing.T) {
+	damage := map[string]func(t *testing.T, runDir string){
+		"garbage-manifest": func(t *testing.T, runDir string) {
+			overwrite(t, filepath.Join(runDir, store.ManifestName), []byte("{not json"))
+		},
+		"missing-trace": func(t *testing.T, runDir string) {
+			if err := os.Remove(filepath.Join(runDir, store.TraceName)); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"program-tampered": func(t *testing.T, runDir string) {
+			overwrite(t, filepath.Join(runDir, store.ProgramName), []byte("class Main { public static void main() {} }"))
+		},
+		"trace-bitflip": func(t *testing.T, runDir string) {
+			path := filepath.Join(runDir, store.TraceName)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x10
+			overwrite(t, path, data)
+		},
+	}
+	for name, corrupt := range damage {
+		t.Run(name, func(t *testing.T) {
+			runDir := recordCleanRun(t)
+			corrupt(t, runDir)
+			fs := AuditRun(runDir)
+			if len(fs) == 0 {
+				t.Fatal("damaged run audited clean")
+			}
+			for _, f := range fs {
+				if f.Class == faultinject.Unknown {
+					t.Errorf("finding with unknown class: %v", f)
+				}
+			}
+		})
+	}
+}
+
+// TestAuditStoreFlagsGarbageEntries: stray files and manifest-less
+// directories — which the store listing deliberately skips — must still be
+// flagged by the audit.
+func TestAuditStoreFlagsGarbageEntries(t *testing.T) {
+	runDir := recordCleanRun(t)
+	dir := filepath.Dir(runDir)
+	overwrite(t, filepath.Join(dir, "stray.txt"), []byte("not a run"))
+	if err := os.Mkdir(filepath.Join(dir, "empty-run"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := AuditStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("got findings %v, want exactly the stray file and the empty dir", fs)
+	}
+}
+
+func overwrite(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

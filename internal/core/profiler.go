@@ -256,6 +256,11 @@ func (n *Node) Invocations() int { return len(n.History) }
 // sampling.
 func (n *Node) Started() int { return n.started }
 
+// ActiveCount returns the number of in-flight (not yet finalized)
+// invocations. Zero for every node after a balanced run plus Finish; the
+// invariant verifier checks exactly that.
+func (n *Node) ActiveCount() int { return len(n.active) }
+
 // Totals materializes the node's aggregate cost counters (over ALL
 // invocations, independent of sampling) as a map.
 func (n *Node) Totals() map[CostKey]int64 {

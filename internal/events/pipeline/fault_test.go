@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"algoprof/internal/events"
+)
+
+// laggard is a consumer that processes records in order but slowly —
+// yielding (or sleeping) on a stride — while asserting the producer never
+// runs more than the ring capacity ahead of it. Failures are latched, not
+// raised, because the assertion runs on the consumer goroutine.
+type laggard struct {
+	events.NopListener
+	t        *Transport
+	stride   int
+	sleep    time.Duration
+	next     int64
+	ordered  atomic.Bool
+	overrun  atomic.Bool
+	received atomic.Int64
+}
+
+func (l *laggard) LoopEntry(id int) {
+	if int64(id) != l.next {
+		l.ordered.Store(true)
+	}
+	l.next++
+	n := l.received.Add(1)
+	// Bounded-memory invariant: everything published beyond this consumer
+	// must still fit in the ring, because the producer's waitSpace blocks
+	// on the slowest cursor. `n-1` records are fully processed here, so the
+	// in-flight window is published - (n-1).
+	if lag := l.t.published.Load() - (n - 1); lag > int64(len(l.t.buf)) {
+		l.overrun.Store(true)
+	}
+	if l.stride > 0 && n%int64(l.stride) == 0 {
+		time.Sleep(l.sleep)
+	}
+}
+
+// TestSlowConsumerBackpressure: a consumer that drains far slower than the
+// producer emits must not deadlock, must see every record in order, and
+// must bound the producer's lead to the ring capacity (the transport's
+// whole memory bound).
+func TestSlowConsumerBackpressure(t *testing.T) {
+	tp := New(Config{BufferSize: 8, Batch: 2})
+	slow := &laggard{t: tp, stride: 64, sleep: 100 * time.Microsecond}
+	fast := &laggard{t: tp}
+	tp.Add("slow", slow, ConsumerOptions{})
+	tp.Add("fast", fast, ConsumerOptions{})
+	pr := tp.Producer()
+	tp.Start()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		pr.LoopEntry(i)
+	}
+	if err := tp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name, l := range map[string]*laggard{"slow": slow, "fast": fast} {
+		if got := l.received.Load(); got != n {
+			t.Errorf("%s consumer got %d records, want %d", name, got, n)
+		}
+		if l.ordered.Load() {
+			t.Errorf("%s consumer saw records out of order", name)
+		}
+		if l.overrun.Load() {
+			t.Errorf("%s consumer observed the producer more than one ring ahead", name)
+		}
+	}
+}
+
+// gateListener blocks on its first record until released.
+type gateListener struct {
+	events.NopListener
+	gate     chan struct{}
+	once     atomic.Bool
+	received atomic.Int64
+}
+
+func (l *gateListener) LoopEntry(int) {
+	if l.once.CompareAndSwap(false, true) {
+		<-l.gate
+	}
+	l.received.Add(1)
+}
+
+// TestStalledConsumerNoDeadlock: with one consumer stalled hard on its
+// first record, the producer must fill the ring, publish nothing further
+// (backpressure, not unbounded buffering), and resume cleanly when the
+// consumer unsticks — delivering every record exactly once.
+func TestStalledConsumerNoDeadlock(t *testing.T) {
+	tp := New(Config{BufferSize: 8, Batch: 1})
+	stalled := &gateListener{gate: make(chan struct{})}
+	tp.Add("stalled", stalled, ConsumerOptions{})
+	pr := tp.Producer()
+	tp.Start()
+
+	const n = 1000
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			pr.LoopEntry(i)
+		}
+		done <- tp.Close()
+	}()
+
+	// The producer must wedge against the full ring: published stops within
+	// ring reach of the stalled cursor and stays there.
+	deadline := time.Now().Add(2 * time.Second)
+	for tp.published.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if pub := tp.published.Load(); pub > int64(len(tp.buf)) {
+		t.Errorf("published %d records past a stalled consumer with an %d-slot ring", pub, len(tp.buf))
+	}
+	select {
+	case <-done:
+		t.Fatal("Close returned while a consumer was stalled mid-ring")
+	default:
+	}
+
+	close(stalled.gate)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: transport did not drain after the consumer unstalled")
+	}
+	if got := stalled.received.Load(); got != n {
+		t.Errorf("stalled consumer got %d records after release, want %d", got, n)
+	}
+}
+
+// TestAbortWithSlowConsumer: aborting mid-stream with a slow consumer must
+// return promptly (discarding the buffered tail) instead of waiting for
+// the full drain, and the consumer must have seen an ordered prefix.
+func TestAbortWithSlowConsumer(t *testing.T) {
+	tp := New(Config{BufferSize: 16, Batch: 1})
+	slow := &laggard{t: tp, stride: 4, sleep: 200 * time.Microsecond}
+	tp.Add("slow", slow, ConsumerOptions{})
+	pr := tp.Producer()
+	tp.Start()
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 2000; i++ {
+			pr.LoopEntry(i)
+		}
+		done <- tp.Abort()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Abort did not return")
+	}
+	if slow.ordered.Load() {
+		t.Error("consumer saw records out of order before the abort")
+	}
+	if got := slow.received.Load(); got > 2000 {
+		t.Errorf("consumer got %d records, more than were emitted", got)
+	}
+}
+
+// TestBarrierWithSlowSibling: a heap-reading consumer fenced by Barrier
+// must be fully drained at every fence even while a slow non-heap sibling
+// lags arbitrarily — the barrier must not wait on the sibling.
+func TestBarrierWithSlowSibling(t *testing.T) {
+	tp := New(Config{BufferSize: 16, Batch: 4})
+	reader := &laggard{t: tp}
+	slow := &laggard{t: tp, stride: 16, sleep: 200 * time.Microsecond}
+	rc := tp.Add("heap-reader", reader, ConsumerOptions{HeapReader: true})
+	tp.Add("slow", slow, ConsumerOptions{})
+	pr := tp.Producer()
+	tp.Start()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		pr.LoopEntry(i)
+		if i%8 == 7 {
+			pr.Barrier()
+			// The fence guarantee: the heap reader has consumed everything
+			// emitted so far, regardless of how far the sibling lags.
+			if got := rc.pos.Load(); got != int64(i+1) {
+				t.Fatalf("after barrier at record %d the heap reader consumed %d", i+1, got)
+			}
+		}
+	}
+	if err := tp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name, l := range map[string]*laggard{"reader": reader, "slow": slow} {
+		if got := l.received.Load(); got != n {
+			t.Errorf("%s got %d records, want %d", name, got, n)
+		}
+		if l.ordered.Load() {
+			t.Errorf("%s saw records out of order", name)
+		}
+	}
+}

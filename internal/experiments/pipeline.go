@@ -14,6 +14,7 @@ import (
 	"algoprof/internal/events/pipeline"
 	"algoprof/internal/instrument"
 	"algoprof/internal/mj/compiler"
+	"algoprof/internal/verify"
 	"algoprof/internal/vm"
 	"algoprof/internal/workloads"
 )
@@ -86,14 +87,30 @@ func RunBackends(src string, seed uint64, pipelined bool) (*Backends, error) {
 	// event-dense, and on one CPU every producer stall or consumer wakeup
 	// is a context switch, so fewer/larger handoffs beat the package
 	// defaults (which stay small for lightweight probe sessions).
-	return runBackends(src, seed, pipeline.Config{
+	return runBackends(src, seed, backendsConfig(pipelined), false)
+}
+
+// RunBackendsVerified is RunBackends with the online invariant verifier
+// riding the same stream as a fourth consumer. Beyond the stream
+// well-formedness checks, the verifier cross-checks the backends against
+// each other — repetition-tree accounting against the stream's loop/method
+// events, and the CCT's call counts against the stream's method entries —
+// so a bug that desynchronizes one backend surfaces as a typed
+// *verify.Error instead of a silently inconsistent comparison. The
+// benchmark paths stay on the unverified RunBackends.
+func RunBackendsVerified(src string, seed uint64, pipelined bool) (*Backends, error) {
+	return runBackends(src, seed, backendsConfig(pipelined), true)
+}
+
+func backendsConfig(pipelined bool) pipeline.Config {
+	return pipeline.Config{
 		Synchronous: !pipelined,
 		BufferSize:  1 << 15,
 		Batch:       2048,
-	})
+	}
 }
 
-func runBackends(src string, seed uint64, tcfg pipeline.Config) (*Backends, error) {
+func runBackends(src string, seed uint64, tcfg pipeline.Config, verified bool) (*Backends, error) {
 	prog, err := compiler.CompileSource(src)
 	if err != nil {
 		return nil, err
@@ -134,6 +151,14 @@ func runBackends(src string, seed uint64, tcfg pipeline.Config) (*Backends, erro
 	// reads, so routing it through the ring would swamp the transport win
 	// without buying any isolation.
 	bb := bbprof.New(insFull.Prog)
+	var chk *verify.Checker
+	if verified {
+		// The checker taps the raw (union-plan) stream: the loop events it
+		// sees are exactly the tree's, and its method-entry counts bound the
+		// optimized tree from above while matching the CCT exactly.
+		chk = verify.NewChecker()
+		tp.Add("verify", chk, pipeline.ConsumerOptions{})
+	}
 
 	pr := tp.Producer()
 	machine := vm.New(insFull.Prog, vm.Config{
@@ -156,6 +181,15 @@ func runBackends(src string, seed uint64, tcfg pipeline.Config) (*Backends, erro
 	cctProf.Finish()
 	if errs := coreProf.Errors(); len(errs) > 0 {
 		return nil, fmt.Errorf("runbackends: internal profiling error: %w", errs[0])
+	}
+	if chk != nil {
+		chk.Finish(false)
+		chk.Add(verify.CheckTree(coreProf, false))
+		chk.Add(verify.AgreeStream(chk, coreProf))
+		chk.Add(verify.AgreeCCT(chk, cctProf.Flat()))
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	profile := algoprof.FromProfiler(coreProf)

@@ -65,13 +65,13 @@ func TestPipelinedProfileByteIdentical(t *testing.T) {
 // and asserts identical fingerprints everywhere.
 func TestMultiListenerEquivalence(t *testing.T) {
 	src := workloads.RunningExample(workloads.Random, 48, 6, 2)
-	base, err := runBackends(src, 42, pipeline.Config{Synchronous: true})
+	base, err := runBackends(src, 42, pipeline.Config{Synchronous: true}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, bufSize := range []int{8, 64, 1024} {
 		t.Run(fmt.Sprintf("buf%d", bufSize), func(t *testing.T) {
-			got, err := runBackends(src, 42, pipeline.Config{BufferSize: bufSize})
+			got, err := runBackends(src, 42, pipeline.Config{BufferSize: bufSize}, true)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,197 @@
+package faultinject
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the trace writer and run store need.
+// faultFile wraps it to inject write-path faults.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Chmod(mode os.FileMode) error
+	Name() string
+}
+
+// FS abstracts the filesystem operations the run store performs so a fault
+// plan can interpose on them. OS() is the production implementation;
+// Plan.FS wraps any FS with the plan's fs.* injection points.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	Open(name string) (io.ReadCloser, error)
+	Create(name string) (File, error)
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OS returns the real-filesystem FS.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (io.ReadCloser, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Injection point names consulted by Plan.FS. Arm any subset; unarmed
+// points are free.
+const (
+	PointMkdir      = "fs.mkdir"       // MkdirAll fails
+	PointCreate     = "fs.create"      // Create/CreateTemp fails
+	PointRename     = "fs.rename"      // Rename fails (atomic-commit seam)
+	PointRemove     = "fs.remove"      // Remove fails
+	PointReadFile   = "fs.readfile"    // ReadFile fails
+	PointReadDir    = "fs.readdir"     // ReadDir fails
+	PointWrite      = "fs.write"       // File.Write fails outright
+	PointShortWrite = "fs.short-write" // File.Write stops early (io.ErrShortWrite)
+	PointBitFlip    = "fs.bitflip"     // File.Write silently flips one bit
+	PointSync       = "fs.sync"        // File.Sync fails
+)
+
+// FS wraps base with the plan's fs.* injection points. A nil plan returns
+// base unchanged.
+func (p *Plan) FS(base FS) FS {
+	if p == nil {
+		return base
+	}
+	return &faultFS{base: base, plan: p}
+}
+
+type faultFS struct {
+	base FS
+	plan *Plan
+}
+
+func (f *faultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.plan.Point(PointMkdir).ErrFor(path, "mkdir "+path); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if err := f.plan.Point(PointRename).ErrFor(newpath, "rename "+oldpath+" -> "+newpath); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if err := f.plan.Point(PointRemove).ErrFor(name, "remove "+name); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.plan.Point(PointReadFile).ErrFor(name, "read "+name); err != nil {
+		return nil, err
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *faultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.plan.Point(PointReadDir).ErrFor(name, "readdir "+name); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(name)
+}
+
+func (f *faultFS) Stat(name string) (os.FileInfo, error) { return f.base.Stat(name) }
+
+func (f *faultFS) Open(name string) (io.ReadCloser, error) {
+	if err := f.plan.Point(PointReadFile).ErrFor(name, "open "+name); err != nil {
+		return nil, err
+	}
+	return f.base.Open(name)
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.plan.Point(PointCreate).ErrFor(dir, "create-temp "+dir); err != nil {
+		return nil, err
+	}
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, plan: f.plan}, nil
+}
+
+func (f *faultFS) Create(name string) (File, error) {
+	if err := f.plan.Point(PointCreate).ErrFor(name, "create "+name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, plan: f.plan}, nil
+}
+
+// faultFile injects write-path faults: outright write errors, short
+// writes, silent single-bit flips, and sync failures. Bit flips corrupt
+// the data without reporting an error — the reader's CRC must catch them.
+type faultFile struct {
+	File
+	plan *Plan
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	name := f.File.Name()
+	if err := f.plan.Point(PointWrite).ErrFor(name, "write "+name); err != nil {
+		return 0, err
+	}
+	if pt := f.plan.Point(PointShortWrite); pt.FireFor(name) && len(p) > 0 {
+		n := pt.Pick(len(p))
+		n, _ = f.File.Write(p[:n])
+		return n, &Fault{Class: Transient, Point: PointShortWrite, Op: "write " + name, Err: io.ErrShortWrite}
+	}
+	if pt := f.plan.Point(PointBitFlip); pt.FireFor(name) && len(p) > 0 {
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[pt.Pick(len(q))] ^= 1 << pt.Pick(8)
+		return f.File.Write(q)
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	name := f.File.Name()
+	if err := f.plan.Point(PointSync).ErrFor(name, "sync "+name); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

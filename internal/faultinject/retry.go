@@ -1,0 +1,48 @@
+package faultinject
+
+import "time"
+
+// RetryPolicy retries an operation whose failures classify as Transient,
+// with exponential backoff. Corruption, Resource, and Unknown failures
+// are returned immediately — retrying damaged bytes or a full disk only
+// wastes time and can mask the real fault.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (minimum 1).
+	Attempts int
+	// Backoff is the delay before the first retry; it doubles each retry.
+	Backoff time.Duration
+	// Sleep replaces time.Sleep in tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is the store's policy for transient I/O: three tries with
+// a short doubling backoff.
+var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 2 * time.Millisecond}
+
+// Do runs op until it succeeds, fails non-transiently, or exhausts the
+// attempt budget. It returns op's last error.
+func (r RetryPolicy) Do(op func() error) error {
+	attempts := r.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := r.Backoff
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if ClassOf(err) != Transient || i == attempts-1 {
+			return err
+		}
+		if backoff > 0 {
+			sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return err
+}

@@ -21,6 +21,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"algoprof/internal/faultinject"
 )
 
 // File layout constants.
@@ -62,9 +64,61 @@ const (
 // damaged trace from an I/O error.
 var ErrCorrupt = errors.New("trace: corrupt")
 
-func corruptf(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+// CorruptError is a decoding failure. It matches errors.Is(err, ErrCorrupt),
+// classifies as faultinject.Corruption, and carries the file offset of the
+// damaged frame when the decoder knows it (-1 otherwise) so audits can
+// report where a trace went bad.
+type CorruptError struct {
+	// Off is the file offset of the frame found damaged, -1 if unknown.
+	Off int64
+	// Msg describes the damage.
+	Msg string
 }
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Off >= 0 {
+		return fmt.Sprintf("trace: corrupt: %s (frame offset %d)", e.Msg, e.Off)
+	}
+	return "trace: corrupt: " + e.Msg
+}
+
+// Is keeps errors.Is(err, ErrCorrupt) working for pre-existing callers.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// FaultClass implements faultinject.Classifier.
+func (e *CorruptError) FaultClass() faultinject.FaultClass { return faultinject.Corruption }
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Off: -1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// corruptAt is corruptf with the file offset of the damaged frame.
+func corruptAt(off int64, format string, args ...any) error {
+	return &CorruptError{Off: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IOError wraps a raw I/O failure from the trace writer or reader with the
+// operation and the file offset at which it struck, so callers can
+// errors.Is/As through it against the fault taxonomy (the underlying error
+// keeps its own class: an injected ENOSPC stays Resource, a short write
+// stays Transient).
+type IOError struct {
+	// Op is the failed operation ("write", "read", "sync", ...).
+	Op string
+	// Off is the file offset of the failed operation.
+	Off int64
+	// Err is the underlying error.
+	Err error
+}
+
+// Error implements error.
+func (e *IOError) Error() string {
+	return fmt.Sprintf("trace: %s at offset %d: %s", e.Op, e.Off, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *IOError) Unwrap() error { return e.Err }
 
 // ---------------------------------------------------------------------------
 // Varint helpers over byte slices. All reads are bounds-checked and return

@@ -5,6 +5,7 @@ import (
 	"compress/flate"
 	"context"
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"io"
 	"os"
@@ -45,7 +46,7 @@ type Reader struct {
 func Open(path string) (*Reader, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, &IOError{Op: "read", Off: 0, Err: err}
 	}
 	return NewReader(data)
 }
@@ -154,6 +155,17 @@ func recoverReader(data []byte) (*Reader, error) {
 	return r, nil
 }
 
+// frameErr stamps the containing frame's file offset onto an in-frame
+// corruption error that lacks one, so callers learn where the file went
+// bad, not just where within a decoded payload.
+func frameErr(off int64, err error) error {
+	var ce *CorruptError
+	if errors.As(err, &ce) && ce.Off < 0 {
+		ce.Off = off
+	}
+	return err
+}
+
 func sameOffsets(a, b []int64) bool {
 	if len(a) != len(b) {
 		return false
@@ -207,34 +219,34 @@ func (r *Reader) Stats() Stats { return r.stats }
 // the frame.
 func readFrame(data []byte, off int64, compressed bool) ([]byte, int64, error) {
 	if off < 0 || off >= int64(len(data)) {
-		return nil, off, corruptf("frame offset %d out of range", off)
+		return nil, off, corruptAt(off, "frame offset out of range")
 	}
 	plen, n := binary.Uvarint(data[off:])
 	if n <= 0 || plen > maxFramePayload {
-		return nil, off, corruptf("bad frame length at %d", off)
+		return nil, off, corruptAt(off, "bad frame length")
 	}
 	pos := off + int64(n)
 	if pos+4 > int64(len(data)) {
-		return nil, off, corruptf("truncated frame header at %d", off)
+		return nil, off, corruptAt(off, "truncated frame header")
 	}
 	sum := binary.LittleEndian.Uint32(data[pos:])
 	pos += 4
 	if pos+int64(plen) > int64(len(data)) {
-		return nil, off, corruptf("truncated frame payload at %d", off)
+		return nil, off, corruptAt(off, "truncated frame payload")
 	}
 	payload := data[pos : pos+int64(plen)]
 	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, off, corruptf("frame CRC mismatch at %d", off)
+		return nil, off, corruptAt(off, "frame CRC mismatch")
 	}
 	end := pos + int64(plen)
 	if compressed {
 		fr := flate.NewReader(bytes.NewReader(payload))
 		raw, err := io.ReadAll(io.LimitReader(fr, maxFramePayload+1))
 		if err != nil {
-			return nil, off, corruptf("frame inflate at %d: %v", off, err)
+			return nil, off, corruptAt(off, "frame inflate: %v", err)
 		}
 		if len(raw) > maxFramePayload {
-			return nil, off, corruptf("inflated frame at %d exceeds limit", off)
+			return nil, off, corruptAt(off, "inflated frame exceeds limit")
 		}
 		payload = raw
 	}
@@ -278,7 +290,7 @@ func (r *Reader) ReplayContext(ctx context.Context, dispatch func(*pipeline.Reco
 				return nil
 			}
 		} else if err := replayFrame(payload, heap, dispatch); err != nil {
-			return err
+			return frameErr(off, err)
 		}
 		off = next
 	}

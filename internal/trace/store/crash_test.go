@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"algoprof"
+	"algoprof/internal/faultinject"
 	"algoprof/internal/trace"
 	"algoprof/internal/workloads"
 )
@@ -71,7 +72,7 @@ func TestProvisionalManifestBeforeRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	src := "class Main { public static void main() { check(true); } }"
-	if err := writeFileAtomic(filepath.Join(dir, programFile), []byte(src), 0o644); err != nil {
+	if err := s.writeFileAtomic(filepath.Join(dir, programFile), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	m := Manifest{
@@ -79,7 +80,7 @@ func TestProvisionalManifestBeforeRun(t *testing.T) {
 		Degraded:        true,
 		DegradedReasons: []string{interruptedReason},
 	}
-	if err := writeManifest(dir, &m); err != nil {
+	if err := s.writeManifest(dir, &m); err != nil {
 		t.Fatal(err)
 	}
 
@@ -121,10 +122,10 @@ func TestFailedRecordDoesNotList(t *testing.T) {
 func TestAtomicWriteReplaces(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "f.json")
-	if err := writeFileAtomic(path, []byte("old"), 0o644); err != nil {
+	if err := writeFileAtomicFS(faultinject.OS(), path, []byte("old"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFileAtomic(path, []byte("new"), 0o644); err != nil {
+	if err := writeFileAtomicFS(faultinject.OS(), path, []byte("new"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

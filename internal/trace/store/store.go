@@ -14,12 +14,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
 	"algoprof"
+	"algoprof/internal/faultinject"
 	"algoprof/internal/mj/compiler"
 	"algoprof/internal/trace"
 )
@@ -29,6 +31,14 @@ const (
 	manifestFile = "manifest.json"
 	programFile  = "program.mj"
 	traceFile    = "trace.bin"
+)
+
+// Artifact names inside a run directory, exported for audit tooling that
+// inspects run directories without going through the Store API.
+const (
+	ManifestName = manifestFile
+	ProgramName  = programFile
+	TraceName    = traceFile
 )
 
 // Manifest describes one stored run.
@@ -75,18 +85,64 @@ type Run struct {
 	Profile *algoprof.Profile
 }
 
-// Store is a directory of runs.
+// Store is a directory of runs. All filesystem access goes through an
+// faultinject.FS, so fault schedules can interpose on every operation;
+// transient I/O failures are retried under a bounded backoff policy, while
+// corruption and resource faults surface immediately as typed errors.
 type Store struct {
-	dir string
+	dir   string
+	fsys  faultinject.FS
+	retry faultinject.RetryPolicy
+	logf  func(format string, args ...any)
 }
 
 // Open creates the store directory if needed.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, faultinject.OS())
+}
+
+// OpenFS is Open with an explicit filesystem — the fault-injection seam.
+// Production callers use Open; chaos harnesses pass a plan-wrapped FS.
+func OpenFS(dir string, fsys faultinject.FS) (*Store, error) {
+	s := &Store{dir: dir, fsys: fsys, retry: faultinject.DefaultRetry, logf: log.Printf}
+	if err := s.retry.Do(func() error { return fsys.MkdirAll(dir, 0o755) }); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir}, nil
+	return s, nil
 }
+
+// SetRetry replaces the transient-I/O retry policy (tests shorten it).
+func (s *Store) SetRetry(p faultinject.RetryPolicy) { s.retry = p }
+
+// SetLogf replaces the logger List uses to report skipped garbage
+// entries; nil silences it.
+func (s *Store) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
+
+// CorruptRunError marks a stored run whose artifacts are damaged — an
+// unparseable manifest, a program hash mismatch, or a corrupt trace. It
+// classifies as faultinject.Corruption.
+type CorruptRunError struct {
+	// Run names the damaged run.
+	Run string
+	// Err is the underlying damage report.
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptRunError) Error() string {
+	return fmt.Sprintf("store: run %s corrupt: %s", e.Run, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CorruptRunError) Unwrap() error { return e.Err }
+
+// FaultClass implements faultinject.Classifier.
+func (e *CorruptRunError) FaultClass() faultinject.FaultClass { return faultinject.Corruption }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -98,19 +154,35 @@ func (s *Store) runDir(name string) (string, error) {
 	return filepath.Join(s.dir, name), nil
 }
 
-// List names the stored runs, sorted.
+// List names the stored runs, sorted. Unreadable or garbage entries — a
+// directory with a missing or unparseable manifest, a stray file — are
+// logged and skipped, so one damaged run never hides the rest of the
+// store.
 func (s *Store) List() ([]string, error) {
-	ents, err := os.ReadDir(s.dir)
+	var ents []os.DirEntry
+	err := s.retry.Do(func() (e error) {
+		ents, e = s.fsys.ReadDir(s.dir)
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
 	var names []string
 	for _, e := range ents {
-		if e.IsDir() {
-			if _, err := os.Stat(filepath.Join(s.dir, e.Name(), manifestFile)); err == nil {
-				names = append(names, e.Name())
-			}
+		if !e.IsDir() {
+			continue
 		}
+		data, err := s.fsys.ReadFile(filepath.Join(s.dir, e.Name(), manifestFile))
+		if err != nil {
+			s.logf("store: skipping run %s: %v", e.Name(), err)
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			s.logf("store: skipping run %s: garbage manifest: %v", e.Name(), err)
+			continue
+		}
+		names = append(names, e.Name())
 	}
 	sort.Strings(names)
 	return names, nil
@@ -141,10 +213,10 @@ func (s *Store) RecordContext(ctx context.Context, name, src, workload string, c
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.retry.Do(func() error { return s.fsys.MkdirAll(dir, 0o755) }); err != nil {
 		return nil, err
 	}
-	if err := writeFileAtomic(filepath.Join(dir, programFile), []byte(src), 0o644); err != nil {
+	if err := s.writeFileAtomic(filepath.Join(dir, programFile), []byte(src), 0o644); err != nil {
 		return nil, err
 	}
 	sum := sha256.Sum256([]byte(src))
@@ -157,10 +229,14 @@ func (s *Store) RecordContext(ctx context.Context, name, src, workload string, c
 		Degraded:        true,
 		DegradedReasons: []string{interruptedReason},
 	}
-	if err := writeManifest(dir, &m); err != nil {
+	if err := s.writeManifest(dir, &m); err != nil {
 		return nil, err
 	}
-	tf, err := os.Create(filepath.Join(dir, traceFile))
+	var tf faultinject.File
+	err = s.retry.Do(func() (e error) {
+		tf, e = s.fsys.Create(filepath.Join(dir, traceFile))
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -178,22 +254,22 @@ func (s *Store) RecordContext(ctx context.Context, name, src, workload string, c
 				fillManifest(&m, pe.Profile)
 				m.Degraded = true
 				m.DegradedReasons = append([]string{interruptedReason}, pe.Profile.DegradedReasons...)
-				writeManifest(dir, &m)
+				s.writeManifest(dir, &m)
 			}
 			return nil, runErr
 		}
 		// A genuine failure (compile error, internal error) stores nothing:
 		// drop the provisional files so the run does not list.
-		os.Remove(filepath.Join(dir, traceFile))
-		os.Remove(filepath.Join(dir, manifestFile))
-		os.Remove(filepath.Join(dir, programFile))
+		s.fsys.Remove(filepath.Join(dir, traceFile))
+		s.fsys.Remove(filepath.Join(dir, manifestFile))
+		s.fsys.Remove(filepath.Join(dir, programFile))
 		return nil, runErr
 	}
 
 	fillManifest(&m, prof)
 	m.Degraded = prof.Degraded
 	m.DegradedReasons = prof.DegradedReasons
-	if err := writeManifest(dir, &m); err != nil {
+	if err := s.writeManifest(dir, &m); err != nil {
 		return nil, err
 	}
 	return &Run{Name: name, Dir: dir, Manifest: m, Profile: prof}, nil
@@ -213,20 +289,26 @@ func fillManifest(m *Manifest, prof *algoprof.Profile) {
 	}
 }
 
-func writeManifest(dir string, m *Manifest) error {
+func (s *Store) writeManifest(dir string, m *Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(dir, manifestFile), append(data, '\n'), 0o644)
+	return s.writeFileAtomic(filepath.Join(dir, manifestFile), append(data, '\n'), 0o644)
 }
 
 // writeFileAtomic writes data to path via a temp file in the same
 // directory plus rename, so readers never observe a torn or empty file —
 // they see either the old content or the new, even across a crash.
-func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+// Transient failures retry the whole temp+write+rename sequence (the temp
+// file is removed on every failure, so a retry starts clean).
+func (s *Store) writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return s.retry.Do(func() error { return writeFileAtomicFS(s.fsys, path, data, perm) })
+}
+
+func writeFileAtomicFS(fsys faultinject.FS, path string, data []byte, perm os.FileMode) error {
 	dir, base := filepath.Split(path)
-	f, err := os.CreateTemp(dir, base+".tmp*")
+	f, err := fsys.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
@@ -234,17 +316,17 @@ func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
 	if _, err = f.Write(data); err == nil {
 		err = f.Sync()
 	}
+	if err == nil {
+		err = f.Chmod(perm)
+	}
 	if cerr := f.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Chmod(tmp, perm)
-	}
-	if err == nil {
-		err = os.Rename(tmp, path)
+		err = fsys.Rename(tmp, path)
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 	}
 	return err
 }
@@ -255,13 +337,17 @@ func (s *Store) Load(name string) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	var data []byte
+	err = s.retry.Do(func() (e error) {
+		data, e = s.fsys.ReadFile(filepath.Join(dir, manifestFile))
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
 	r := &Run{Name: name, Dir: dir}
 	if err := json.Unmarshal(data, &r.Manifest); err != nil {
-		return nil, fmt.Errorf("store: run %s: %w", name, err)
+		return nil, &CorruptRunError{Run: name, Err: err}
 	}
 	return r, nil
 }
@@ -283,22 +369,34 @@ func (s *Store) ReplayContext(ctx context.Context, name string) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	src, err := os.ReadFile(filepath.Join(r.Dir, programFile))
+	var src []byte
+	err = s.retry.Do(func() (e error) {
+		src, e = s.fsys.ReadFile(filepath.Join(r.Dir, programFile))
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
 	sum := sha256.Sum256(src)
 	if got := hex.EncodeToString(sum[:]); got != r.Manifest.ProgramSHA256 {
-		return nil, fmt.Errorf("store: run %s: program hash mismatch (manifest %s, file %s)",
-			name, r.Manifest.ProgramSHA256, got)
+		return nil, &CorruptRunError{Run: name, Err: fmt.Errorf("program hash mismatch (manifest %s, file %s)",
+			r.Manifest.ProgramSHA256, got)}
 	}
 	prog, err := compiler.CompileSource(string(src))
 	if err != nil {
 		return nil, err
 	}
-	tr, err := trace.Open(filepath.Join(r.Dir, traceFile))
+	var raw []byte
+	err = s.retry.Do(func() (e error) {
+		raw, e = s.fsys.ReadFile(filepath.Join(r.Dir, traceFile))
+		return e
+	})
 	if err != nil {
 		return nil, err
+	}
+	tr, err := trace.NewReader(raw)
+	if err != nil {
+		return nil, &CorruptRunError{Run: name, Err: err}
 	}
 	prof, err := algoprof.ReplayProgramContext(ctx, prog, r.Manifest.Config, tr)
 	if err != nil {

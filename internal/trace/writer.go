@@ -92,7 +92,9 @@ func (tw *Writer) write(p []byte) {
 	}
 	n, err := tw.w.Write(p)
 	tw.off += int64(n)
-	tw.err = err
+	if err != nil {
+		tw.err = &IOError{Op: "write", Off: tw.off, Err: err}
+	}
 }
 
 // Record implements pipeline.RecordTap: it appends one record to the

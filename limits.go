@@ -64,11 +64,11 @@ func (e *PartialError) Error() string {
 // Unwrap exposes the cause to errors.Is/As.
 func (e *PartialError) Unwrap() error { return e.Err }
 
-// watchdogFor builds the VM watchdog enforcing ctx and the wall-clock
-// deadline. Returns nil when neither can fire, keeping the interpreter's
-// hot loop free of the poll.
-func watchdogFor(ctx context.Context, lim Limits, start time.Time) func() error {
-	if !lim.active(ctx) {
+// watchdogFor builds the VM watchdog enforcing ctx, the wall-clock
+// deadline, and an optional extra hook (Config.Watchdog). Returns nil when
+// none can fire, keeping the interpreter's hot loop free of the poll.
+func watchdogFor(ctx context.Context, lim Limits, start time.Time, extra func() error) func() error {
+	if !lim.active(ctx) && extra == nil {
 		return nil
 	}
 	var deadline time.Time
@@ -76,6 +76,11 @@ func watchdogFor(ctx context.Context, lim Limits, start time.Time) func() error 
 		deadline = start.Add(lim.Deadline)
 	}
 	return func() error {
+		if extra != nil {
+			if err := extra(); err != nil {
+				return err
+			}
+		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"algoprof/internal/mj/compiler"
 	"algoprof/internal/snapshot"
 	"algoprof/internal/trace"
+	"algoprof/internal/verify"
 	"algoprof/internal/vm"
 )
 
@@ -61,6 +62,11 @@ func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 	}
 	tw := trace.NewWriter(w, topts)
 	tp.Add("trace", tw, pipeline.ConsumerOptions{})
+	var chk *verify.Checker
+	if cfg.Verify {
+		chk = verify.NewChecker()
+		tp.Add("verify", chk, pipeline.ConsumerOptions{})
+	}
 	pr := tp.Producer()
 
 	vmCfg := vm.Config{
@@ -71,7 +77,7 @@ func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 		Seed:     seedOf(cfg),
 		Input:    cfg.Input,
 		MaxSteps: cfg.MaxSteps,
-		Watchdog: watchdogFor(ctx, cfg.Limits, time.Now()),
+		Watchdog: watchdogFor(ctx, cfg.Limits, time.Now(), cfg.Watchdog),
 	}
 	machine := vm.New(ins.Prog, vmCfg)
 	pr.BindClock(&machine.InstrCount)
@@ -101,7 +107,14 @@ func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 	if tw.Truncated() {
 		extra = append(extra, "max-trace-bytes")
 	}
-	return finishProfile(prof, cfg, machine, false, extra...)
+	p, err := finishProfile(prof, cfg, machine, chk != nil, extra...)
+	if err != nil {
+		return nil, err
+	}
+	if err := runVerify(chk, prof, false); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // ReplayProgram rebuilds a profile offline from a recorded trace: the
@@ -129,13 +142,20 @@ func ReplayProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 	prof := core.NewProfiler(ins, coreOptions(cfg))
 	tp := pipeline.New(pipeline.Config{Synchronous: true})
 	tp.Add("core", prof, pipeline.ConsumerOptions{HeapReader: true, Plan: ins.Plan})
+	var chk *verify.Checker
+	if cfg.Verify {
+		chk = verify.NewChecker()
+		tp.Add("verify", chk, pipeline.ConsumerOptions{})
+	}
 	tp.Start()
 	truncated := r.Stats().Truncated
 	if err := r.ReplayContext(ctx, tp.Dispatch); err != nil {
 		return nil, err
 	}
 	prof.Finish()
-	if errs := prof.Errors(); len(errs) > 0 && !truncated {
+	if errs := prof.Errors(); len(errs) > 0 && !truncated && chk == nil {
+		// With the verifier attached, profiler errors surface through it
+		// instead, as typed corruption-class violations.
 		return nil, fmt.Errorf("algoprof: internal profiling error: %w", errs[0])
 	}
 	p := FromProfilerWith(prof, cfg.GroupStrategy)
@@ -145,6 +165,9 @@ func ReplayProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 		p.DegradedReasons = append(p.DegradedReasons, "truncated-trace")
 	}
 	p.Degraded = len(p.DegradedReasons) > 0
+	if err := runVerify(chk, prof, truncated); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
