@@ -18,10 +18,11 @@ test:
 # Concurrency-sensitive packages under the race detector: the event
 # transport (ring buffer, work-stealing barrier), the core profiler and
 # probe consuming it, the experiments worker pool that the snapshot
-# registry runs inside, and the trace subsystem (its writer runs on a
-# consumer goroutine).
+# registry runs inside, the trace subsystem (its writer runs on a
+# consumer goroutine), and the root package (the events/paths equivalence
+# suite, which stresses both frontends end to end).
 race:
-	$(GO) test -race ./internal/events/... ./internal/core ./internal/experiments/... ./internal/trace/... ./probe
+	$(GO) test -race . ./internal/events/... ./internal/core ./internal/experiments/... ./internal/trace/... ./probe
 
 # Regenerate the machine-readable perf baselines (use -j 1 timings):
 # BENCH_overhead.json (instrumentation overhead + memo ablation) and
@@ -30,15 +31,21 @@ bench:
 	$(GO) run ./cmd/paper -j 1 bench -out BENCH_overhead.json -pipeline-out BENCH_pipeline.json
 
 # One-iteration pass over every Go micro-benchmark — a fast compile-and-run
-# sanity check that the benchmarks themselves still work.
+# sanity check that the benchmarks themselves still work — followed by the
+# per-mode overhead regression gate: fail when paths-mode slowdown exceeds
+# the recorded BENCH_overhead.json baseline by more than 1.5x.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+	$(GO) run ./cmd/paper -j 1 bench -check
 
-# A short live-fuzz leg over the trace decoder's no-panic contract: the
-# reader must recover-or-refuse arbitrary bytes, never crash. The seed
-# corpus also runs as plain fixtures in `make test` (TestFuzzCorpusRecovery).
+# Short live-fuzz legs over the two decoder no-panic contracts: the trace
+# reader must recover-or-refuse arbitrary bytes, and the path-counter
+# decoder must reject arbitrary table/counter combinations without
+# crashing or miscounting. The seed corpora also run as plain fixtures in
+# `make test`.
 fuzz-smoke:
 	$(GO) test -run Fuzz -fuzz=FuzzReplay -fuzztime=10s ./internal/trace
+	$(GO) test -run Fuzz -fuzz=FuzzDecode -fuzztime=10s ./internal/pathdecode
 
 # Seeded fault-injection sweep through the whole pipeline (see
 # docs/FAULTS.md): every schedule must succeed, degrade deterministically,

@@ -38,6 +38,7 @@ import (
 	"algoprof/internal/focus"
 	"algoprof/internal/trace"
 	"algoprof/internal/trace/store"
+	"algoprof/internal/verify"
 )
 
 func main() {
@@ -69,6 +70,7 @@ func main() {
 // profFlags registers the profiling-configuration flags shared by the
 // default run mode and the record subcommand.
 type profFlags struct {
+	mode      *string
 	seed      *uint64
 	unique    *bool
 	eager     *bool
@@ -82,6 +84,7 @@ type profFlags struct {
 
 func addProfFlags(fs *flag.FlagSet) *profFlags {
 	return &profFlags{
+		mode:      fs.String("mode", algoprof.ModeEvents, "profiling mode: events (exact streaming) or paths (Ball–Larus path counters, lower overhead)"),
 		seed:      fs.Uint64("seed", 1, "seed for the rand() builtin"),
 		unique:    fs.Bool("unique", false, "use the unique-element array size strategy"),
 		eager:     fs.Bool("eager", false, "disable the deferred-identification optimization"),
@@ -95,7 +98,7 @@ func addProfFlags(fs *flag.FlagSet) *profFlags {
 }
 
 func (pf *profFlags) config() algoprof.Config {
-	cfg := algoprof.Config{Seed: *pf.seed, EagerIdentify: *pf.eager, SampleEvery: *pf.sample}
+	cfg := algoprof.Config{Mode: *pf.mode, Seed: *pf.seed, EagerIdentify: *pf.eager, SampleEvery: *pf.sample}
 	cfg.Limits = algoprof.Limits{
 		MaxEvents:    *pf.maxEvents,
 		MaxLiveBytes: *pf.maxLive,
@@ -382,14 +385,23 @@ func cmdChaos(args []string) {
 // cmdVerify audits stored runs offline. Its argument is either one run
 // directory (it contains a manifest) or a whole store directory, in which
 // case every entry is audited — including garbage entries the run listing
-// would skip.
+// would skip. With -pathdecode the argument is an MJ program instead: it
+// is profiled in both events and paths mode and the decoded profile is
+// cross-checked node-by-node against the exact one.
 func cmdVerify(args []string) {
 	fs := flag.NewFlagSet("algoprof verify", flag.ExitOnError)
+	pathdecode := fs.Bool("pathdecode", false, "treat the argument as an MJ program and cross-check paths-mode decode against events mode")
+	seed := fs.Uint64("seed", 1, "seed for the rand() builtin (with -pathdecode)")
 	fs.Parse(args)
 
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: algoprof verify DIR  (a run directory or a trace store)")
+		fmt.Fprintln(os.Stderr, "       algoprof verify -pathdecode [-seed N] prog.mj")
 		os.Exit(2)
+	}
+	if *pathdecode {
+		cmdVerifyPathDecode(fs.Arg(0), *seed)
+		return
 	}
 	dir := fs.Arg(0)
 	var findings []chaos.Finding
@@ -410,6 +422,36 @@ func cmdVerify(args []string) {
 		fmt.Println(f)
 	}
 	fmt.Fprintf(os.Stderr, "algoprof: verify found %d defect(s)\n", len(findings))
+	os.Exit(1)
+}
+
+// cmdVerifyPathDecode profiles one program under both modes with the
+// online verifier attached and cross-checks the decoded repetition tree
+// against the exact one. Exit status 1 on any disagreement.
+func cmdVerifyPathDecode(path string, seed uint64) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	ev, err := algoprof.Run(string(src), algoprof.Config{Seed: seed, Verify: true})
+	if err != nil {
+		fatal(fmt.Errorf("events mode: %w", err))
+	}
+	pt, err := algoprof.Run(string(src), algoprof.Config{Mode: algoprof.ModePaths, Seed: seed, Verify: true})
+	if err != nil {
+		fatal(fmt.Errorf("paths mode: %w", err))
+	}
+	evProf, _ := ev.Raw()
+	ptProf, _ := pt.Raw()
+	vs := verify.CheckPathDecode(evProf, ptProf)
+	if len(vs) == 0 {
+		fmt.Println("verify: path decode matches events mode")
+		return
+	}
+	for _, v := range vs {
+		fmt.Println(v)
+	}
+	fmt.Fprintf(os.Stderr, "algoprof: path decode disagrees with events mode: %d violation(s)\n", len(vs))
 	os.Exit(1)
 }
 

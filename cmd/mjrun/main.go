@@ -2,7 +2,14 @@
 //
 // Usage:
 //
-//	mjrun [-seed N] [-input "1,2,3"] [-disasm] [-maxsteps N] prog.mj
+//	mjrun [-seed N] [-input "1,2,3"] [-mode off|events|paths] [-disasm] [-maxsteps N] prog.mj
+//
+// -mode selects the instrumentation the program runs (or disassembles)
+// under without attaching any listener: off executes the plain bytecode,
+// events adds the exact probe instructions, paths rewrites counted loops
+// with Ball–Larus path-counter superinstructions. Combined with -disasm
+// this shows exactly what each profiling mode executes; combined with
+// timing it isolates the probe-dispatch cost from the listener cost.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"algoprof/internal/instrument"
 	"algoprof/internal/mj/bytecode"
 	"algoprof/internal/mj/compiler"
 	"algoprof/internal/vm"
@@ -22,6 +30,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "seed for the rand() builtin")
 	input := flag.String("input", "", "comma-separated ints fed to readInput()")
+	mode := flag.String("mode", "off", "instrumentation: off (plain), events (exact probes), paths (path-counter superinstructions)")
 	disasm := flag.Bool("disasm", false, "print the compiled bytecode instead of running")
 	maxSteps := flag.Uint64("maxsteps", 0, "instruction budget (0 = default)")
 	deadline := flag.Duration("deadline", 0, "halt execution cleanly after this wall-clock budget and print the partial output (0 = unlimited)")
@@ -40,6 +49,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	numSites := 0
+	switch *mode {
+	case "off":
+	case "events", "paths":
+		imode := instrument.Optimized
+		if *mode == "paths" {
+			imode = instrument.Paths
+		}
+		ins, err := instrument.Instrument(prog, imode)
+		if err != nil {
+			fatal(err)
+		}
+		prog = ins.Prog
+		numSites = ins.NumSites()
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want off, events, or paths)", *mode))
+	}
 	if *disasm {
 		fmt.Print(bytecode.DisassembleProgram(prog))
 		return
@@ -56,7 +82,7 @@ func main() {
 		}
 	}
 
-	cfg := vm.Config{Seed: *seed, Input: in, MaxSteps: *maxSteps}
+	cfg := vm.Config{Seed: *seed, Input: in, MaxSteps: *maxSteps, NumSites: numSites}
 	if *deadline > 0 {
 		end := time.Now().Add(*deadline)
 		cfg.Watchdog = func() error {

@@ -272,6 +272,17 @@ func overhead(w io.Writer) error {
 	for _, p := range pts {
 		fmt.Fprintf(w, "  n=%-5d %6.1fx  %6.1fx\n", p.Size, p.Slowdown(), p.NoMemoSlowdown())
 	}
+
+	fmt.Fprintln(w, "\nslowdown by profiling mode (path counters replace per-access/per-iteration events):")
+	mv, err := experiments.ModeOverhead(sweep, func() int64 { return time.Now().UnixNano() })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  plain:  %12d instructions  %10.2fms\n", mv.PlainInstrs, float64(mv.PlainNs)/1e6)
+	fmt.Fprintf(w, "  events: %12d instructions  %10.2fms  %5.2fx\n",
+		mv.EventsInstrs, float64(mv.EventsNs)/1e6, mv.EventsSlowdown())
+	fmt.Fprintf(w, "  paths:  %12d instructions  %10.2fms  %5.2fx\n",
+		mv.PathsInstrs, float64(mv.PathsNs)/1e6, mv.PathsSlowdown())
 	return nil
 }
 
@@ -377,13 +388,37 @@ func captureTrace(w io.Writer) error {
 	return nil
 }
 
+// benchHeader is the provenance header shared by every BENCH_*.json
+// writer, so generation time and GOMAXPROCS are recorded once and the
+// same way everywhere.
+type benchHeader struct {
+	GeneratedUnix int64 `json:"generated_unix"`
+	GoMaxProcs    int   `json:"go_maxprocs"`
+}
+
+func newBenchHeader() benchHeader {
+	return benchHeader{GeneratedUnix: time.Now().Unix(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+}
+
+// benchModes is the per-mode overhead section of BENCH_overhead.json: the
+// slowdown trajectory events → paths the path-counter mode exists for.
+type benchModes struct {
+	PlainNs        int64   `json:"plain_ns"`
+	EventsNs       int64   `json:"events_ns"`
+	PathsNs        int64   `json:"paths_ns"`
+	PlainInstrs    uint64  `json:"plain_instrs"`
+	EventsInstrs   uint64  `json:"events_instrs"`
+	PathsInstrs    uint64  `json:"paths_instrs"`
+	EventsSlowdown float64 `json:"events_slowdown"`
+	PathsSlowdown  float64 `json:"paths_slowdown"`
+}
+
 // benchReport is the machine-readable perf baseline written by the bench
 // subcommand — the trajectory file future changes compare against.
 type benchReport struct {
-	GeneratedUnix int64  `json:"generated_unix"`
-	GoMaxProcs    int    `json:"go_maxprocs"`
-	Parallelism   int    `json:"parallelism"`
-	Sweep         struct {
+	benchHeader
+	Parallelism int `json:"parallelism"`
+	Sweep       struct {
 		MaxSize int    `json:"max_size"`
 		Step    int    `json:"step"`
 		Reps    int    `json:"reps"`
@@ -396,6 +431,7 @@ type benchReport struct {
 		ProfiledNs     int64   `json:"profiled_ns"`
 		Slowdown       float64 `json:"slowdown"`
 	} `json:"overhead"`
+	Modes  benchModes   `json:"mode_overhead"`
 	Points []benchPoint `json:"overhead_sweep"`
 }
 
@@ -413,10 +449,9 @@ type benchPoint struct {
 // BENCH_pipeline.json: synchronous vs pipelined wall time, single- vs
 // multi-listener, across workload sizes.
 type pipelineReport struct {
-	GeneratedUnix int64           `json:"generated_unix"`
-	GoMaxProcs    int             `json:"go_maxprocs"`
-	Seed          uint64          `json:"seed"`
-	Points        []pipelinePoint `json:"points"`
+	benchHeader
+	Seed   uint64          `json:"seed"`
+	Points []pipelinePoint `json:"points"`
 }
 
 type pipelinePoint struct {
@@ -439,11 +474,16 @@ func bench(args []string) error {
 	out := fs.String("out", "BENCH_overhead.json", "output file (\"-\" = stdout, \"\" = skip)")
 	pipeOut := fs.String("pipeline-out", "BENCH_pipeline.json",
 		"pipeline benchmark output file (\"-\" = stdout, \"\" = skip)")
+	check := fs.Bool("check", false,
+		"regression gate: measure the per-mode overhead fresh and fail when paths-mode slowdown exceeds the recorded baseline by 1.5x; writes nothing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	now := func() int64 { return time.Now().UnixNano() }
+	if *check {
+		return benchCheck(*out, now)
+	}
 	if *out == "" {
 		if *pipeOut == "" {
 			return nil
@@ -451,8 +491,7 @@ func bench(args []string) error {
 		return benchPipeline(*pipeOut, now)
 	}
 	var rep benchReport
-	rep.GeneratedUnix = time.Now().Unix()
-	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.benchHeader = newBenchHeader()
 	rep.Parallelism = experiments.Parallelism()
 	rep.Sweep.MaxSize = sweep.MaxSize
 	rep.Sweep.Step = sweep.Step
@@ -468,6 +507,12 @@ func bench(args []string) error {
 	rep.Overhead.PlainNs = ov.PlainNs
 	rep.Overhead.ProfiledNs = ov.ProfiledNs
 	rep.Overhead.Slowdown = ov.Slowdown()
+
+	mv, err := experiments.ModeOverhead(sweep, now)
+	if err != nil {
+		return err
+	}
+	rep.Modes = modeSection(mv)
 
 	pts, err := experiments.OverheadSweep([]int{16, 64, 256, 512}, sweep.Seed, now)
 	if err != nil {
@@ -510,12 +555,64 @@ func bench(args []string) error {
 	return benchPipeline(*pipeOut, now)
 }
 
+// modeSection maps a measured per-mode overhead result to its report
+// section.
+func modeSection(mv *experiments.ModeOverheadResult) benchModes {
+	return benchModes{
+		PlainNs:        mv.PlainNs,
+		EventsNs:       mv.EventsNs,
+		PathsNs:        mv.PathsNs,
+		PlainInstrs:    mv.PlainInstrs,
+		EventsInstrs:   mv.EventsInstrs,
+		PathsInstrs:    mv.PathsInstrs,
+		EventsSlowdown: mv.EventsSlowdown(),
+		PathsSlowdown:  mv.PathsSlowdown(),
+	}
+}
+
+// benchCheck is the bench-smoke regression gate: it re-measures the
+// per-mode overhead and fails when the fresh paths-mode slowdown exceeds
+// the baseline recorded in the committed report by more than 1.5x (wide
+// enough for shared-runner noise, tight enough to catch the dispatch
+// regressions path mode exists to avoid). A baseline file without a mode
+// section (pre-paths format) passes with a notice so the gate can't block
+// the first regeneration.
+func benchCheck(baselinePath string, now func() int64) error {
+	mv, err := experiments.ModeOverhead(sweep, now)
+	if err != nil {
+		return err
+	}
+	fresh := mv.PathsSlowdown()
+	fmt.Printf("mode overhead: plain=%v events=%v (%.2fx) paths=%v (%.2fx)\n",
+		time.Duration(mv.PlainNs), time.Duration(mv.EventsNs), mv.EventsSlowdown(),
+		time.Duration(mv.PathsNs), fresh)
+
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench -check: no baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench -check: bad baseline %s: %w", baselinePath, err)
+	}
+	if base.Modes.PathsSlowdown == 0 {
+		fmt.Printf("bench -check: %s has no mode_overhead section; run `paper bench` to record one\n", baselinePath)
+		return nil
+	}
+	limit := base.Modes.PathsSlowdown * 1.5
+	if fresh > limit {
+		return fmt.Errorf("bench -check: paths-mode slowdown %.2fx exceeds baseline %.2fx by more than 1.5x (limit %.2fx)",
+			fresh, base.Modes.PathsSlowdown, limit)
+	}
+	fmt.Printf("bench -check: ok (paths %.2fx <= limit %.2fx)\n", fresh, limit)
+	return nil
+}
+
 // benchPipeline runs the event-transport benchmark and writes
 // BENCH_pipeline.json.
 func benchPipeline(out string, now func() int64) error {
 	var rep pipelineReport
-	rep.GeneratedUnix = time.Now().Unix()
-	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.benchHeader = newBenchHeader()
 	rep.Seed = sweep.Seed
 
 	pts, err := experiments.PipelineBench([]int{16, 64, 128, 256}, sweep.Seed, now)

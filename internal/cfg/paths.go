@@ -1,0 +1,316 @@
+// Ball–Larus path numbering for counted loops, extended across loop back
+// edges in the style of D'Elia & Demetrescu: instead of numbering the
+// acyclic paths of a whole function body, each loop's body is numbered as
+// its own DAG whose paths run from the loop header to either the back edge
+// (one finished iteration) or a loop exit. One counter bump per finished
+// path then replaces the per-back-edge and per-access probe events of
+// events mode, and the path id identifies exactly which access sites the
+// iteration executed.
+//
+// Directly nested loops collapse into supernodes: a child loop is opaque
+// from the parent's numbering (it has its own), so the parent path records
+// only that the iteration passed through the child, not what the child
+// did. Natural loops are single-entry — the header dominates every body
+// block, so any edge into the body from outside targets the header — which
+// makes the collapse sound: control enters a supernode only through the
+// child header and leaves only through the child's exit edges.
+package cfg
+
+import (
+	"sort"
+
+	"algoprof/internal/mj/bytecode"
+)
+
+// Synthetic sink nodes of a loop's path DAG.
+const (
+	sinkBack = -1 // path ends on the loop's back edge: one finished iteration
+	sinkExit = -2 // path ends on a loop exit edge
+)
+
+// PathSpec describes one numbered path of a counted loop.
+type PathSpec struct {
+	// Back reports a path terminating on the back edge.
+	Back bool
+	// AccessPCs lists the pcs of data-access instructions (getfield,
+	// putfield, aload, astore) on the path, in path order. Only
+	// instructions of blocks attributed to this loop appear; accesses
+	// inside nested loops belong to the nested loop's own numbering.
+	AccessPCs []int
+}
+
+// PathNumbering is the Ball–Larus numbering of one loop's iteration DAG.
+// All edge keys are concrete CFG edges (from-block, to-block).
+type PathNumbering struct {
+	// NumPaths is the number of distinct header-to-sink paths; path ids
+	// are [0, NumPaths).
+	NumPaths int
+	// Inc maps non-terminal edges (internal edges, edges into a nested
+	// loop's header, and edges leaving a nested loop back into this body)
+	// to their path-register increment. Zero increments are omitted.
+	Inc map[[2]int]int
+	// Back maps each back edge to its final increment: the finished path's
+	// id is register + Back[edge].
+	Back map[[2]int]int
+	// Exit maps each exit edge to its final increment.
+	Exit map[[2]int]int
+	// Paths holds one spec per path id.
+	Paths []PathSpec
+}
+
+// dagEdge is one deduplicated DAG edge: several concrete CFG edges with
+// the same DAG endpoints (e.g. the many exit edges of a collapsed child
+// loop landing on one block) share a target and therefore an increment.
+type dagEdge struct {
+	to       int // block index, super(child) id, sinkBack, or sinkExit
+	inc      int
+	concrete [][2]int
+}
+
+// NumberLoopPaths numbers the whole-iteration paths of l, or returns nil
+// when the loop cannot be path-counted and must keep classic probes:
+// bodies with throw/trap terminators or exception-handler overlap (an
+// unwind would abandon a path mid-iteration), bodies whose nested-loop
+// collapse fails (a child entered other than through its header), and
+// numberings exceeding maxPaths.
+func NumberLoopPaths(g *Graph, l *Loop, maxPaths int) *PathNumbering {
+	code := g.Fn.Code
+
+	// Irregular control flow inside the body defeats path accounting.
+	for _, b := range l.Body {
+		switch code[g.Blocks[b].End-1].Op {
+		case bytecode.OpThrow, bytecode.OpMissingReturn, bytecode.OpRet, bytecode.OpRetVal:
+			return nil
+		}
+	}
+	for _, h := range g.Fn.Handlers {
+		if l.Contains(g.BlockOf(h.Target)) {
+			return nil
+		}
+		for _, b := range l.Body {
+			blk := g.Blocks[b]
+			if blk.Start < h.To && h.From < blk.End {
+				return nil
+			}
+		}
+	}
+
+	// superOf maps body blocks inside a direct child loop to the child's
+	// index; attributed blocks (the loop's own) map to -1.
+	superOf := map[int]int{}
+	for _, b := range l.Body {
+		superOf[b] = -1
+	}
+	for ci, c := range l.Children {
+		for _, b := range c.Body {
+			superOf[b] = ci
+		}
+	}
+	backEdge := map[[2]int]bool{}
+	for _, be := range l.BackEdges {
+		backEdge[be] = true
+	}
+	superID := func(ci int) int { return len(g.Blocks) + ci }
+
+	// dagTarget maps the concrete successor of an edge leaving node `from`
+	// to its DAG node, or reports failure (child entered off-header).
+	dagTarget := func(from, succ int) (int, bool) {
+		if backEdge[[2]int{from, succ}] {
+			return sinkBack, true
+		}
+		if !l.Contains(succ) {
+			return sinkExit, true
+		}
+		if ci := superOf[succ]; ci >= 0 {
+			if succ != l.Children[ci].Header {
+				return 0, false // not single-entry; collapse unsound
+			}
+			return superID(ci), true
+		}
+		return succ, true
+	}
+
+	// Build the DAG's ordered, deduplicated out-edges per node.
+	edges := map[int][]*dagEdge{}
+	addEdge := func(from, to int, concrete [2]int) {
+		for _, e := range edges[from] {
+			if e.to == to {
+				e.concrete = append(e.concrete, concrete)
+				return
+			}
+		}
+		edges[from] = append(edges[from], &dagEdge{to: to, concrete: [][2]int{concrete}})
+	}
+	for _, b := range l.Body {
+		if superOf[b] >= 0 {
+			continue
+		}
+		for _, s := range g.Blocks[b].Succs {
+			to, ok := dagTarget(b, s)
+			if !ok {
+				return nil
+			}
+			addEdge(b, to, [2]int{b, s})
+		}
+	}
+	for ci, c := range l.Children {
+		for _, cb := range c.Body {
+			for _, s := range g.Blocks[cb].Succs {
+				if c.Contains(s) {
+					continue
+				}
+				to, ok := dagTarget(cb, s)
+				if !ok {
+					return nil
+				}
+				addEdge(superID(ci), to, [2]int{cb, s})
+			}
+		}
+	}
+
+	// Topological order by DFS from the header; a cycle (irreducible
+	// leftovers) or a dead end (a node with no way to finish the
+	// iteration, e.g. an inner loop that never exits) falls back.
+	const (
+		unvisited = 0
+		active    = 1
+		done      = 2
+	)
+	state := map[int]int{sinkBack: done, sinkExit: done}
+	var order []int
+	ok := true
+	var visit func(v int)
+	visit = func(v int) {
+		state[v] = active
+		outs := edges[v]
+		if len(outs) == 0 {
+			ok = false
+			return
+		}
+		for _, e := range outs {
+			switch state[e.to] {
+			case unvisited:
+				visit(e.to)
+				if !ok {
+					return
+				}
+			case active:
+				ok = false
+				return
+			}
+		}
+		state[v] = done
+		order = append(order, v)
+	}
+	visit(l.Header)
+	if !ok {
+		return nil
+	}
+
+	// Ball–Larus increments in reverse topological order: numPaths(sink)=1;
+	// numPaths(v) = Σ numPaths(target); inc(e_i) = Σ_{j<i} numPaths(target_j).
+	numPaths := map[int]int{sinkBack: 1, sinkExit: 1}
+	for _, v := range order { // order is already reverse-topological (post-order)
+		total := 0
+		for _, e := range edges[v] {
+			e.inc = total
+			total += numPaths[e.to]
+			if total > maxPaths {
+				return nil
+			}
+		}
+		numPaths[v] = total
+	}
+	np := numPaths[l.Header]
+	if np <= 0 || np > maxPaths {
+		return nil
+	}
+
+	pn := &PathNumbering{
+		NumPaths: np,
+		Inc:      map[[2]int]int{},
+		Back:     map[[2]int]int{},
+		Exit:     map[[2]int]int{},
+		Paths:    make([]PathSpec, np),
+	}
+	for _, outs := range edges {
+		for _, e := range outs {
+			for _, ce := range e.concrete {
+				switch e.to {
+				case sinkBack:
+					pn.Back[ce] = e.inc
+				case sinkExit:
+					pn.Exit[ce] = e.inc
+				default:
+					if e.inc != 0 {
+						pn.Inc[ce] = e.inc
+					}
+				}
+			}
+		}
+	}
+
+	// Enumerate the paths to collect each one's access sequence. A node
+	// contributes its access pcs when the path enters it; supernodes
+	// contribute nothing (their accesses belong to the child's numbering).
+	accessPCs := func(v int) []int {
+		if v >= len(g.Blocks) || superOf[v] >= 0 {
+			return nil
+		}
+		blk := g.Blocks[v]
+		var pcs []int
+		for pc := blk.Start; pc < blk.End; pc++ {
+			switch code[pc].Op {
+			case bytecode.OpGetField, bytecode.OpPutField, bytecode.OpALoad, bytecode.OpAStore:
+				pcs = append(pcs, pc)
+			}
+		}
+		return pcs
+	}
+	filled := make([]bool, np)
+	var walk func(v, id int, acc []int)
+	walk = func(v, id int, acc []int) {
+		if !ok {
+			return
+		}
+		if v == sinkBack || v == sinkExit {
+			if id < 0 || id >= np || filled[id] {
+				ok = false // numbering bug: ids must be a bijection onto [0, np)
+				return
+			}
+			filled[id] = true
+			pn.Paths[id] = PathSpec{Back: v == sinkBack, AccessPCs: append([]int(nil), acc...)}
+			return
+		}
+		for _, e := range edges[v] {
+			walk(e.to, id+e.inc, append(acc, accessPCs(e.to)...))
+		}
+	}
+	walk(l.Header, 0, accessPCs(l.Header))
+	if !ok {
+		return nil
+	}
+	for _, f := range filled {
+		if !f {
+			return nil
+		}
+	}
+	return pn
+}
+
+// AllAccessPCs returns the sorted union of every path's access pcs — the
+// loop's site set in first-static-occurrence (pc) order.
+func (pn *PathNumbering) AllAccessPCs() []int {
+	seen := map[int]bool{}
+	var pcs []int
+	for _, p := range pn.Paths {
+		for _, pc := range p.AccessPCs {
+			if !seen[pc] {
+				seen[pc] = true
+				pcs = append(pcs, pc)
+			}
+		}
+	}
+	sort.Ints(pcs)
+	return pcs
+}

@@ -1,0 +1,284 @@
+package cfg
+
+import (
+	"testing"
+
+	"algoprof/internal/mj/bytecode"
+)
+
+// numberFirstLoop builds the CFG of the named function, finds its loops,
+// and numbers the outermost one.
+func loopsOf(t *testing.T, src, qualified string) (*Graph, []*Loop) {
+	t.Helper()
+	fn := compileFn(t, src, qualified)
+	g := Build(fn)
+	return g, NaturalLoops(g, 0)
+}
+
+// checkNumbering validates the structural invariants every numbering must
+// satisfy: path ids form a bijection, every back edge and exit edge got a
+// final increment, and back-path count matches the Back flags.
+func checkNumbering(t *testing.T, g *Graph, l *Loop, pn *PathNumbering) {
+	t.Helper()
+	if pn.NumPaths != len(pn.Paths) {
+		t.Fatalf("NumPaths %d != len(Paths) %d", pn.NumPaths, len(pn.Paths))
+	}
+	for _, be := range l.BackEdges {
+		if _, ok := pn.Back[be]; !ok {
+			t.Errorf("back edge %v has no final increment", be)
+		}
+	}
+	exits := 0
+	for _, b := range l.Body {
+		for _, s := range g.Blocks[b].Succs {
+			if !l.Contains(s) {
+				exits++
+				if _, ok := pn.Exit[[2]int{b, s}]; !ok {
+					t.Errorf("exit edge %v has no final increment", [2]int{b, s})
+				}
+			}
+		}
+	}
+	if exits == 0 {
+		t.Error("loop has no exit edges")
+	}
+	backPaths := 0
+	for _, p := range pn.Paths {
+		if p.Back {
+			backPaths++
+		}
+	}
+	if backPaths == 0 {
+		t.Error("no back-terminating paths")
+	}
+}
+
+func TestNumberSimpleWhileLoop(t *testing.T) {
+	g, loops := loopsOf(t, `
+class P { int v; }
+class Main { public static void main() {
+  P p = new P();
+  int i = 0;
+  while (i < 10) { p.v = p.v + 1; i++; }
+  print(p.v);
+} }`, "Main.main")
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1", len(loops))
+	}
+	pn := NumberLoopPaths(g, loops[0], 256)
+	if pn == nil {
+		t.Fatal("simple while loop fell back")
+	}
+	checkNumbering(t, g, loops[0], pn)
+	// One body path (back) and one exit path.
+	if pn.NumPaths != 2 {
+		t.Fatalf("NumPaths = %d, want 2", pn.NumPaths)
+	}
+	var back *PathSpec
+	for i := range pn.Paths {
+		if pn.Paths[i].Back {
+			back = &pn.Paths[i]
+		}
+	}
+	// Body does one getfield and one putfield on p.
+	if len(back.AccessPCs) != 2 {
+		t.Fatalf("back path has %d access pcs, want 2: %v", len(back.AccessPCs), back.AccessPCs)
+	}
+	code := g.Fn.Code
+	if code[back.AccessPCs[0]].Op != bytecode.OpGetField || code[back.AccessPCs[1]].Op != bytecode.OpPutField {
+		t.Errorf("access pcs are %s, %s; want getfield, putfield",
+			code[back.AccessPCs[0]].Op, code[back.AccessPCs[1]].Op)
+	}
+}
+
+func TestNumberIfElseInLoop(t *testing.T) {
+	g, loops := loopsOf(t, `
+class P { int a; int b; }
+class Main { public static void main() {
+  P p = new P();
+  for (int i = 0; i < 8; i++) {
+    if (i > 3) { p.a = i; } else { p.b = i; }
+  }
+} }`, "Main.main")
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1", len(loops))
+	}
+	pn := NumberLoopPaths(g, loops[0], 256)
+	if pn == nil {
+		t.Fatal("if/else loop fell back")
+	}
+	checkNumbering(t, g, loops[0], pn)
+	// Two back paths (then / else arms, one putfield each) plus one exit.
+	if pn.NumPaths != 3 {
+		t.Fatalf("NumPaths = %d, want 3", pn.NumPaths)
+	}
+	backAccesses := map[int]int{}
+	for _, p := range pn.Paths {
+		if p.Back {
+			backAccesses[len(p.AccessPCs)]++
+		}
+	}
+	if backAccesses[1] != 2 {
+		t.Errorf("back paths by access count = %v, want two paths with 1 access", backAccesses)
+	}
+}
+
+func TestNumberNestedLoops(t *testing.T) {
+	g, loops := loopsOf(t, `
+class P { int v; }
+class Main { public static void main() {
+  P p = new P();
+  for (int i = 0; i < 4; i++) {
+    p.v = i;
+    for (int j = 0; j < i; j++) { p.v = p.v + j; }
+  }
+} }`, "Main.main")
+	if len(loops) != 2 {
+		t.Fatalf("%d loops, want 2", len(loops))
+	}
+	var outer, inner *Loop
+	for _, l := range loops {
+		if l.Parent == nil {
+			outer = l
+		} else {
+			inner = l
+		}
+	}
+	opn := NumberLoopPaths(g, outer, 256)
+	if opn == nil {
+		t.Fatal("outer loop fell back")
+	}
+	checkNumbering(t, g, outer, opn)
+	ipn := NumberLoopPaths(g, inner, 256)
+	if ipn == nil {
+		t.Fatal("inner loop fell back")
+	}
+	checkNumbering(t, g, inner, ipn)
+
+	// The outer body path passes through the collapsed inner loop; its
+	// accesses are only the outer putfield, never the inner's.
+	for _, p := range opn.Paths {
+		if !p.Back {
+			continue
+		}
+		if len(p.AccessPCs) != 1 || g.Fn.Code[p.AccessPCs[0]].Op != bytecode.OpPutField {
+			t.Errorf("outer back path accesses = %v, want exactly the outer putfield", p.AccessPCs)
+		}
+	}
+	// Inner back path: getfield + putfield.
+	for _, p := range ipn.Paths {
+		if p.Back && len(p.AccessPCs) != 2 {
+			t.Errorf("inner back path has %d accesses, want 2", len(p.AccessPCs))
+		}
+	}
+}
+
+func TestNumberLoopWithBreak(t *testing.T) {
+	g, loops := loopsOf(t, `
+class P { int v; }
+class Main { public static void main() {
+  P p = new P();
+  for (int i = 0; i < 10; i++) {
+    if (p.v > 5) { break; }
+    p.v = p.v + i;
+  }
+} }`, "Main.main")
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1", len(loops))
+	}
+	pn := NumberLoopPaths(g, loops[0], 256)
+	if pn == nil {
+		t.Fatal("break loop fell back")
+	}
+	checkNumbering(t, g, loops[0], pn)
+	// Paths: header-exit, break-exit, full-body-back.
+	backs, exits := 0, 0
+	for _, p := range pn.Paths {
+		if p.Back {
+			backs++
+		} else {
+			exits++
+		}
+	}
+	if backs != 1 || exits != 2 {
+		t.Errorf("backs=%d exits=%d, want 1 and 2", backs, exits)
+	}
+}
+
+func TestThrowEdgeCountsAsExit(t *testing.T) {
+	// A throwing block can never reach the back edge, so it is outside the
+	// natural-loop body and the edge to it is an ordinary loop exit: the
+	// iteration's partial path ends there. (The instrumenter separately
+	// refuses loops whose lexical scope contains such blocks.)
+	g, loops := loopsOf(t, `
+class Boom { }
+class Main { public static void main() {
+  int n = 0;
+  for (int i = 0; i < 3; i++) {
+    if (i == 2) { throw new Boom(); }
+    n = n + i;
+  }
+} }`, "Main.main")
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1", len(loops))
+	}
+	pn := NumberLoopPaths(g, loops[0], 256)
+	if pn == nil {
+		t.Fatal("loop with out-of-body throw fell back")
+	}
+	checkNumbering(t, g, loops[0], pn)
+	// Header exit, throw exit, and the full-iteration back path.
+	if pn.NumPaths != 3 || len(pn.Exit) != 2 {
+		t.Errorf("NumPaths=%d exits=%d, want 3 and 2", pn.NumPaths, len(pn.Exit))
+	}
+}
+
+func TestHandlerOverlapFallsBack(t *testing.T) {
+	g, loops := loopsOf(t, `
+class Boom { }
+class Main {
+  public static void main() {
+    int n = 0;
+    for (int i = 0; i < 3; i++) {
+      try { n = mightThrow(i); } catch (Boom b) { n = 0; }
+    }
+  }
+  static int mightThrow(int i) {
+    if (i == 2) { throw new Boom(); }
+    return i;
+  }
+}`, "Main.main")
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1", len(loops))
+	}
+	if pn := NumberLoopPaths(g, loops[0], 256); pn != nil {
+		t.Error("loop with handler-guarded body should fall back")
+	}
+}
+
+func TestMaxPathsCapFallsBack(t *testing.T) {
+	g, loops := loopsOf(t, `
+class P { int a; }
+class Main { public static void main() {
+  P p = new P();
+  for (int i = 0; i < 8; i++) {
+    if (i > 1) { p.a = 1; } else { p.a = 2; }
+    if (i > 2) { p.a = 3; } else { p.a = 4; }
+    if (i > 3) { p.a = 5; } else { p.a = 6; }
+  }
+} }`, "Main.main")
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1", len(loops))
+	}
+	pn := NumberLoopPaths(g, loops[0], 256)
+	if pn == nil {
+		t.Fatal("three-diamond loop fell back at 256")
+	}
+	// 2^3 back paths + 1 exit path.
+	if pn.NumPaths != 9 {
+		t.Errorf("NumPaths = %d, want 9", pn.NumPaths)
+	}
+	if capped := NumberLoopPaths(g, loops[0], 4); capped != nil {
+		t.Error("numbering above maxPaths should fall back")
+	}
+}

@@ -191,17 +191,13 @@ func (p *Profiler) newInvocation(index, parentIndex int) *invocation {
 }
 
 // recycle returns a finished invocation's storage to the free lists.
-// keepRecord says its costs/sizes were handed to the History record and
-// must not be reused; the touched-input scratch is always reclaimed.
-func (p *Profiler) recycle(inv *invocation, keepRecord bool) {
-	if keepRecord {
-		inv.costs = costVec{}
-		inv.sizes = nil
-	} else {
-		inv.costs.reset()
-		clear(inv.sizes)
-	}
+// History records take exact-size copies of the cost cells and size
+// entries, so every piece of scratch storage is reclaimed unconditionally.
+func (p *Profiler) recycle(inv *invocation) {
+	inv.costs.reset()
+	inv.sizes = inv.sizes[:0]
 	inv.touched = inv.touched[:0]
+	inv.siteRes = inv.siteRes[:0]
 	for _, g := range inv.pending {
 		g.costs.reset()
 		g.first, g.last = nil, nil

@@ -1,0 +1,185 @@
+package core
+
+// Path-counter mode (§Ball–Larus across iterations): instead of streaming
+// one event per structure access and loop iteration, the VM counts whole
+// per-iteration paths and the profiler decodes the counters at loop exit.
+// Two listener extensions carry the mode:
+//
+//   - SiteTouch fires once per access site per access epoch (a segment
+//     between loop/method boundary events). It does everything an access
+//     event does EXCEPT add costs: identify the input, note writes, take
+//     the first-access size snapshot, and remember which input (or pending
+//     group) the site resolved to.
+//   - LoopPathCount delivers one counter at loop exit; the decode charges
+//     STEP for back paths and the per-site access costs to the recorded
+//     resolutions, multiplied by the path count.
+//
+// Where decode is exact (each site resolves to one input for the whole
+// invocation), the resulting profile is identical to events mode.
+
+import (
+	"algoprof/internal/events"
+	"algoprof/internal/pathdecode"
+)
+
+var _ events.PathListener = (*Profiler)(nil)
+
+// siteMeta is the per-site dispatch metadata precomputed from the
+// instrumenter's site table and plan.
+type siteMeta struct {
+	op    CostOp
+	field int  // field id for field sites (typed-counter lookup)
+	arr   bool // array site: typed counter keyed by the entity's type
+	put   bool // write site: must NoteWriteTo before identification
+	gated bool // plan wants this site's costs (mirrors events-mode gating)
+}
+
+// buildSiteMeta translates the instrumenter's site table into dispatch
+// metadata. Gating mirrors the event-plan filter exactly, so decoded
+// totals match what events mode would have streamed.
+func buildSiteMeta(sites []pathdecode.Site, plan *events.Plan) []siteMeta {
+	if len(sites) == 0 {
+		return nil
+	}
+	metas := make([]siteMeta, len(sites))
+	for i, s := range sites {
+		m := siteMeta{field: s.Field}
+		switch s.Kind {
+		case pathdecode.SiteFieldGet:
+			m.op = OpGet
+		case pathdecode.SiteFieldPut:
+			m.op, m.put = OpPut, true
+		case pathdecode.SiteArrayLoad:
+			m.op, m.arr = OpArrLoad, true
+		case pathdecode.SiteArrayStore:
+			m.op, m.arr, m.put = OpArrStore, true, true
+		}
+		if m.arr {
+			m.gated = plan == nil || plan.Arrays
+		} else {
+			m.gated = plan == nil || plan.WantsField(s.Field)
+		}
+		metas[i] = m
+	}
+	return metas
+}
+
+// SiteTouch implements events.PathListener. It performs the non-counting
+// half of a structure access — write note, input identification, size
+// snapshot — and records the site's resolution on the current invocation
+// so LoopPathCount can charge the counted costs later. It returns true
+// once the site is resolved for this epoch (the VM then suppresses further
+// calls until the next boundary), false while identification is deferred,
+// so the pending group keeps tracking the last accessed entity exactly as
+// events mode would.
+func (p *Profiler) SiteTouch(site int, obj events.Entity) bool {
+	p.tick()
+	if site < 0 || site >= len(p.sites) {
+		p.errorf("site touch out of range: site %d of %d", site, len(p.sites))
+		return true
+	}
+	m := &p.sites[site]
+	if !m.gated {
+		return true
+	}
+	if m.put {
+		p.reg.NoteWriteTo(obj)
+	}
+	inv := p.tn.cur()
+	if inv == nil {
+		return true
+	}
+	var tid int32
+	if m.arr {
+		tid = p.entityTypeID(obj)
+	} else {
+		tid = p.fieldTypeID(m.field)
+	}
+	id := p.reg.InputOf(obj)
+	if id < 0 {
+		if p.opts.Identify == EagerIdentify {
+			obs := p.reg.Observe(obj)
+			p.recordSize(inv, obs)
+			id = obs.InputID
+		} else {
+			g := p.pendingFor(inv, obj)
+			inv.setSiteRes(site, NoInput, tid, g)
+			return false
+		}
+	}
+	inv.setSiteRes(site, id, tid, nil)
+	t := inv.touch(id)
+	t.ref = obj
+	if !t.measured {
+		obs := p.reg.Observe(obj)
+		p.recordSize(inv, obs)
+	}
+	return true
+}
+
+// LoopPathCount implements events.PathListener: the VM flushed one
+// per-iteration path counter at loop exit (before the LoopExit event).
+// Decode charges STEP for back paths and each on-path site's access costs
+// to the input (or pending group) SiteTouch resolved it to.
+func (p *Profiler) LoopPathCount(loopID, pathID int, count int64) {
+	p.tick()
+	if count <= 0 {
+		return
+	}
+	var tbl *pathdecode.LoopTable
+	if p.ins != nil {
+		tbl = p.ins.PathTables[loopID]
+	}
+	if tbl == nil || pathID < 0 || pathID >= len(tbl.Paths) {
+		p.errorf("path count for unknown loop %d path %d", loopID, pathID)
+		return
+	}
+	node := p.tn
+	if node.Kind != KindLoop || node.ID != loopID {
+		// Counters are flushed just before LoopExit, so the loop is normally
+		// the current node; fall back to the shadow stack (mirrors LoopBack).
+		node = p.findOnStack(KindLoop, loopID)
+		if node == nil {
+			p.errorf("path count for inactive loop %d", loopID)
+			return
+		}
+	}
+	inv := node.cur()
+	if inv == nil {
+		return
+	}
+	spec := &tbl.Paths[pathID]
+	if spec.Back {
+		inv.costs.add(p.stepID, count)
+	}
+	for _, ls := range spec.Sites {
+		s := &tbl.Sites[ls]
+		if s.ID < 0 || s.ID >= len(p.sites) {
+			p.errorf("path decode: loop %d site id %d out of range", loopID, s.ID)
+			continue
+		}
+		m := &p.sites[s.ID]
+		if !m.gated {
+			continue
+		}
+		r := inv.siteResFor(s.ID)
+		switch {
+		case r == nil:
+			// The path executed, so the site must have been touched; a
+			// missing resolution means events were lost (e.g. degradation).
+			// Keep the totals by charging without an input.
+			p.errorf("path decode: site %d of loop %d never resolved", s.ID, loopID)
+			inv.costs.add(p.keys.id(CostKey{Op: m.op, Input: NoInput}), count)
+		case r.group != nil:
+			r.group.costs.add(p.keys.id(CostKey{Op: m.op, Input: NoInput}), count)
+			if r.tid >= 0 {
+				r.group.costs.add(p.keys.typedID(m.op, NoInput, r.tid), count)
+			}
+		default:
+			inv.costs.add(p.keys.id(CostKey{Op: m.op, Input: r.input}), count)
+			if r.tid >= 0 {
+				inv.costs.add(p.keys.typedID(m.op, r.input, r.tid), count)
+			}
+		}
+	}
+}

@@ -85,14 +85,23 @@ type Invocation struct {
 	// active when this invocation ran; used to combine child costs into
 	// parent invocations (§2.6).
 	ParentIndex int
-	// Sizes maps input ids (non-canonical; resolve via the registry) to
-	// the maximum size measured during this invocation.
-	Sizes map[int]int
+	// Sizes lists input ids (non-canonical; resolve via the registry) with
+	// the maximum size measured during this invocation, in first-measured
+	// order. A compact pair slice instead of a map: invocations rarely
+	// measure more than a couple of inputs, and History keeps one of these
+	// per recorded invocation.
+	Sizes []SizeEntry
 
 	// costs holds the counters as a dense interned-id vector; the map view
 	// is materialized only on demand (Costs).
 	costs costVec
 	keys  *costInterner
+}
+
+// SizeEntry is one measured input size in Invocation.Sizes.
+type SizeEntry struct {
+	Input int32
+	Size  int32
 }
 
 // Costs materializes the invocation's cost counters as a map. Counters
@@ -162,7 +171,7 @@ type invocation struct {
 	parentIndex int
 
 	costs costVec
-	sizes map[int]int
+	sizes []SizeEntry
 
 	// touched tracks, per input accessed in this invocation and in
 	// first-access order, the most recently accessed entity (the starting
@@ -181,6 +190,41 @@ type invocation struct {
 	// multi-class structures split across groups re-merge in the registry
 	// through snapshot overlap.
 	pending map[string]*pendingGroup
+
+	// siteRes records, per path-counted access site touched during this
+	// invocation, what the site resolved to — an identified input or a
+	// still-pending group. The decode of the loop's path counters
+	// (LoopPathCount) charges each site's per-access costs there.
+	siteRes []siteResolution
+}
+
+// siteResolution is one site's input resolution within an invocation.
+type siteResolution struct {
+	site  int
+	input int   // resolved input id (unused when group != nil)
+	tid   int32 // interned type id for typed counters, -1 untyped
+	group *pendingGroup
+}
+
+// setSiteRes records or overwrites the invocation's resolution for a site.
+func (inv *invocation) setSiteRes(site, input int, tid int32, g *pendingGroup) {
+	for i := range inv.siteRes {
+		if inv.siteRes[i].site == site {
+			inv.siteRes[i] = siteResolution{site: site, input: input, tid: tid, group: g}
+			return
+		}
+	}
+	inv.siteRes = append(inv.siteRes, siteResolution{site: site, input: input, tid: tid, group: g})
+}
+
+// siteResFor returns the invocation's resolution for a site, or nil.
+func (inv *invocation) siteResFor(site int) *siteResolution {
+	for i := range inv.siteRes {
+		if inv.siteRes[i].site == site {
+			return &inv.siteRes[i]
+		}
+	}
+	return nil
 }
 
 // touchedInput is one input's per-invocation measurement state.
@@ -347,15 +391,21 @@ type Profiler struct {
 	tn    *Node   // current repetition tree node
 	stack []*Node // shadow stack (§3.2)
 
-	// allocatedBy maps entity ids to the repetition node active at their
-	// allocation; the classifier uses it to tell constructions from
-	// modifications.
-	allocatedBy map[uint64]*Node
+	// allocatedBy records the repetition node active at each entity's
+	// allocation in a dense base-offset slice keyed by entity id (ids are
+	// monotonic and never reused); the classifier uses it to tell
+	// constructions from modifications.
+	abBase      uint64
+	allocatedBy []*Node
 
 	// keys interns CostKeys; stepID is the pre-interned id of cost{STEP},
 	// the single hottest counter.
 	keys   *costInterner
 	stepID int32
+
+	// sites is the per-site dispatch metadata for path-counter mode
+	// (empty outside it); indexed by the instrumenter's site id.
+	sites []siteMeta
 
 	// invFree / pgFree recycle invocation and pending-group storage.
 	invFree []*invocation
@@ -392,6 +442,7 @@ var _ events.Listener = (*Profiler)(nil)
 func NewProfiler(ins *instrument.Instrumented, opts Options) *Profiler {
 	p := newProfiler(ins.RecTypes, opts)
 	p.ins = ins
+	p.sites = buildSiteMeta(ins.Sites, ins.Plan)
 	p.nameFn = func(kind NodeKind, id int) string {
 		switch kind {
 		case KindLoop:
@@ -433,11 +484,10 @@ func newProfiler(rt *rectype.Result, opts Options) *Profiler {
 		reg.SetMemoization(false)
 	}
 	p := &Profiler{
-		reg:         reg,
-		opts:        opts,
-		root:        &Node{Kind: KindRoot, ID: -1},
-		allocatedBy: map[uint64]*Node{},
-		keys:        newCostInterner(),
+		reg:  reg,
+		opts: opts,
+		root: &Node{Kind: KindRoot, ID: -1},
+		keys: newCostInterner(),
 	}
 	p.stepID = p.keys.id(CostKey{Op: OpStep, Input: NoInput})
 	p.root.active = []*invocation{{index: 0, parentIndex: 0}}
@@ -477,10 +527,29 @@ func (p *Profiler) Instrumented() *instrument.Instrumented { return p.ins }
 func (p *Profiler) Root() *Node { return p.root }
 
 // AllocatedBy returns the repetition node that allocated entity id, or nil.
-func (p *Profiler) AllocatedBy(id uint64) *Node { return p.allocatedBy[id] }
+func (p *Profiler) AllocatedBy(id uint64) *Node {
+	if p.allocatedBy == nil || id < p.abBase {
+		return nil
+	}
+	off := id - p.abBase
+	if off >= uint64(len(p.allocatedBy)) {
+		return nil
+	}
+	return p.allocatedBy[off]
+}
 
-// Allocations returns the full entity-id → allocating-node map.
-func (p *Profiler) Allocations() map[uint64]*Node { return p.allocatedBy }
+// Allocations returns the full entity-id → allocating-node relation,
+// materialized as a map. Call at report time only; profiling stores the
+// relation as a dense slice.
+func (p *Profiler) Allocations() map[uint64]*Node {
+	m := make(map[uint64]*Node, len(p.allocatedBy))
+	for off, n := range p.allocatedBy {
+		if n != nil {
+			m[p.abBase+uint64(off)] = n
+		}
+	}
+	return m
+}
 
 // Errors returns internal consistency problems detected during profiling.
 func (p *Profiler) Errors() []error { return p.errs }
@@ -610,8 +679,8 @@ func (p *Profiler) shedHistory() {
 // struct and map headers plus per-entry costs of the cost vector and size
 // map. Coarse by design — the limit check needs proportionality, not
 // accounting.
-func invBytes(costs costVec, sizes map[int]int) int64 {
-	return 96 + int64(len(costs.cells))*16 + int64(len(sizes))*56
+func invBytes(costs costVec, sizes []SizeEntry) int64 {
+	return 96 + int64(len(costs.cells))*16 + int64(len(sizes))*8
 }
 
 // begin starts a new invocation of node under the current parent context.
@@ -642,7 +711,7 @@ func (p *Profiler) finalize(node *Node) {
 	}
 	if k := p.SampleInterval(); k > 1 && inv.index%k != 0 {
 		// Sampled out: totals kept, record dropped, storage recycled.
-		p.recycle(inv, false)
+		p.recycle(inv)
 		return
 	}
 	if len(node.History) == 0 {
@@ -650,11 +719,23 @@ func (p *Profiler) finalize(node *Node) {
 		// drops it, so each node registers here exactly once.
 		p.histNodes = append(p.histNodes, node)
 	}
+	// The record gets exact-size copies of the cost cells and size entries
+	// so the invocation's scratch storage (and its grown capacity) can be
+	// recycled; abandoning the scratch to the record would force the
+	// free-listed shell to re-grow from nil on every reuse.
+	cells := inv.costs.cells
+	if len(cells) > 0 {
+		cells = append(make([]costCell, 0, len(cells)), cells...)
+	}
+	sizes := inv.sizes
+	if len(sizes) > 0 {
+		sizes = append(make([]SizeEntry, 0, len(sizes)), sizes...)
+	}
 	node.History = append(node.History, Invocation{
 		Index:       inv.index,
 		ParentIndex: inv.parentIndex,
-		Sizes:       inv.sizes,
-		costs:       inv.costs,
+		Sizes:       sizes,
+		costs:       costVec{cells: cells},
 		keys:        p.keys,
 	})
 	if p.opts.MaxLiveBytes > 0 {
@@ -663,7 +744,7 @@ func (p *Profiler) finalize(node *Node) {
 			p.degrade("max-live-bytes")
 		}
 	}
-	p.recycle(inv, true)
+	p.recycle(inv)
 }
 
 // remeasure implements RemeasureInputs (§3.4): at repetition exit, take a
@@ -711,11 +792,18 @@ func (p *Profiler) remeasure(inv *invocation) {
 }
 
 func (p *Profiler) recordSize(inv *invocation, obs snapshot.Observation) {
-	if inv.sizes == nil {
-		inv.sizes = map[int]int{}
+	found := false
+	for i := range inv.sizes {
+		if inv.sizes[i].Input == int32(obs.InputID) {
+			if int32(obs.Size) > inv.sizes[i].Size {
+				inv.sizes[i].Size = int32(obs.Size)
+			}
+			found = true
+			break
+		}
 	}
-	if obs.Size > inv.sizes[obs.InputID] {
-		inv.sizes[obs.InputID] = obs.Size
+	if !found {
+		inv.sizes = append(inv.sizes, SizeEntry{Input: int32(obs.InputID), Size: int32(obs.Size)})
 	}
 	t := inv.touch(obs.InputID)
 	t.measured = true
@@ -899,7 +987,34 @@ func (p *Profiler) Alloc(obj events.Entity, classID int) {
 			inv.costs.add(p.keys.typedID(OpNew, NoInput, tid), 1)
 		}
 	}
-	p.allocatedBy[obj.EntityID()] = p.tn
+	id := obj.EntityID()
+	if p.allocatedBy == nil {
+		p.abBase = id
+	} else if id < p.abBase {
+		shift := p.abBase - id
+		grown := make([]*Node, uint64(len(p.allocatedBy))+shift)
+		copy(grown[shift:], p.allocatedBy)
+		p.allocatedBy, p.abBase = grown, id
+	}
+	off := id - p.abBase
+	if off >= uint64(len(p.allocatedBy)) {
+		if off < uint64(cap(p.allocatedBy)) {
+			// The slice only grows, so capacity beyond len is still nil.
+			p.allocatedBy = p.allocatedBy[:off+1]
+		} else {
+			newCap := 2 * cap(p.allocatedBy)
+			if newCap < 64 {
+				newCap = 64
+			}
+			if uint64(newCap) < off+1 {
+				newCap = int(off + 1)
+			}
+			grown := make([]*Node, off+1, newCap)
+			copy(grown, p.allocatedBy)
+			p.allocatedBy = grown
+		}
+	}
+	p.allocatedBy[off] = p.tn
 }
 
 // InputRead implements events.Listener.
@@ -961,7 +1076,21 @@ func (p *Profiler) entityTypeID(e events.Entity) int32 {
 	}
 	off := id - p.etBase
 	if off >= uint64(len(p.etTIDs)) {
-		p.etTIDs = append(p.etTIDs, make([]int32, off+1-uint64(len(p.etTIDs)))...)
+		if off < uint64(cap(p.etTIDs)) {
+			// The table only grows, so capacity beyond len is still zero.
+			p.etTIDs = p.etTIDs[:off+1]
+		} else {
+			newCap := 2 * cap(p.etTIDs)
+			if newCap < 64 {
+				newCap = 64
+			}
+			if uint64(newCap) < off+1 {
+				newCap = int(off + 1)
+			}
+			grown := make([]int32, off+1, newCap)
+			copy(grown, p.etTIDs)
+			p.etTIDs = grown
+		}
 	}
 	if v := p.etTIDs[off]; v != 0 {
 		return v - 2

@@ -261,9 +261,9 @@ class Main {
 	inv := trav.History[0]
 	canonical := reg.Find(ids[0])
 	foundSize := 0
-	for id, s := range inv.Sizes {
-		if reg.Find(id) == canonical && s > foundSize {
-			foundSize = s
+	for _, e := range inv.Sizes {
+		if reg.Find(int(e.Input)) == canonical && int(e.Size) > foundSize {
+			foundSize = int(e.Size)
 		}
 	}
 	if foundSize != 8 {

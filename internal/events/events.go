@@ -34,6 +34,15 @@ type Entity interface {
 	ForEachElemKey(visit func(key ElemKey))
 }
 
+// RefBatcher is an optional Entity extension for the snapshot hot path:
+// AppendRefs appends each non-nil reference successor whose field id
+// satisfies keep to dst and returns the extended slice. Implementations
+// let a traversal collect a node's successors with one call instead of a
+// closure invocation per edge.
+type RefBatcher interface {
+	AppendRefs(keep func(fieldID int) bool, dst []Entity) []Entity
+}
+
 // ElemKey is a comparable identity key for an array element: RefKey,
 // int64, or string.
 type ElemKey any
@@ -166,6 +175,37 @@ const (
 	// slot visits its numeric value, with never-written slots visiting 0.
 	ElemModeVal
 )
+
+// PathListener extends Listener for the path-counter frontend (paths
+// mode). Counted loops do not stream per-iteration LoopBack and
+// field/array access events; instead the VM keeps one Ball–Larus path
+// counter per whole iteration and reports:
+//
+//   - SiteTouch, once per static access site per repetition segment, the
+//     first time the site executes after a repetition boundary. It lets
+//     the profiler identify (and size) the accessed input eagerly while
+//     the heap still has the shape the access saw. A true return means
+//     the site is resolved for this segment and the frontend may suppress
+//     further touches until the next boundary; false means resolution is
+//     still pending (deferred input identification) and the frontend must
+//     keep calling SiteTouch for every execution of the site so the
+//     listener sees the access that finally resolves it.
+//   - LoopPathCount, at loop exit, once per nonzero path counter. The
+//     listener decodes path ids into iteration counts and per-site access
+//     counts; this is the single source of costs for counted loops.
+//
+// A frontend only uses the path methods when its program was instrumented
+// in paths mode, so a Listener that does not implement PathListener still
+// works for events mode.
+type PathListener interface {
+	Listener
+	// SiteTouch reports the first execution of access site `site` in the
+	// current repetition segment, on entity obj.
+	SiteTouch(site int, obj Entity) bool
+	// LoopPathCount reports that the finished invocation of loop loopID
+	// executed path pathID count times.
+	LoopPathCount(loopID, pathID int, count int64)
+}
 
 // Journal receives heap-shape operations that the Listener vocabulary does
 // not carry: every entity birth (including arrays, which have no Alloc

@@ -24,6 +24,9 @@ type Producer struct {
 	batch       int64
 	sync        bool
 	heapReaders []*Consumer
+	// touchC is the consumer that answers SiteTouch calls (the first
+	// path-aware decoded consumer); bound by Transport.Start.
+	touchC *Consumer
 }
 
 // BindClock makes every subsequent record carry *counter at publication
@@ -198,6 +201,34 @@ func (p *Producer) ArrayStore(arr events.Entity, newTarget events.Entity) {
 // Alloc implements events.Listener.
 func (p *Producer) Alloc(obj events.Entity, classID int) {
 	p.emit(Record{Op: OpAlloc, ID: int32(classID), Ent: entID(obj), E1: obj})
+}
+
+// LoopPathCount implements events.PathListener: path counters ride the
+// ring like any other record, so consumers see them in stream order.
+func (p *Producer) LoopPathCount(loopID, pathID int, count int64) {
+	p.emit(Record{Op: OpPathCount, ID: int32(loopID), Ent: int64(pathID), Aux: count})
+}
+
+// SiteTouch implements events.PathListener. Unlike every other event it
+// needs an answer, so it cannot ride the ring: the producer first brings
+// the path-aware consumer up to date with all preceding records (the same
+// work-stealing drain Barrier uses — afterwards the consumer goroutine is
+// provably idle), then asks its listener directly. With no path-aware
+// consumer attached every site stays unresolved, which only costs repeat
+// calls.
+func (p *Producer) SiteTouch(site int, obj events.Entity) bool {
+	c := p.touchC
+	if c == nil || c.dead.Load() {
+		return false
+	}
+	if !p.sync {
+		p.flush()
+		p.drain(c)
+		if c.dead.Load() {
+			return false
+		}
+	}
+	return c.pathL.SiteTouch(site, obj)
 }
 
 // InputRead implements events.Listener.

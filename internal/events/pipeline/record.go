@@ -60,6 +60,10 @@ const (
 	// which need them to maintain an exact shadow heap for offline replay.
 	OpJrnlAlloc
 	OpJrnlStore
+	// OpPathCount carries one path counter of a counted loop flushed at
+	// loop exit (paths mode): ID is the loop id, Ent the path id, Aux the
+	// count. Delivered only to consumers implementing events.PathListener.
+	OpPathCount
 )
 
 // Record is one profiling event in fixed-size binary form: an op tag plus

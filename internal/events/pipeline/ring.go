@@ -68,8 +68,9 @@ type Consumer struct {
 	t          *Transport
 	name       string
 	listener   events.Listener
-	instr      InstrListener // non-nil iff listener wants OpInstr ticks
-	raw        RecordTap     // non-nil: listener takes raw records instead
+	instr      InstrListener       // non-nil iff listener wants OpInstr ticks
+	pathL      events.PathListener // non-nil iff listener wants path-counter records
+	raw        RecordTap           // non-nil: listener takes raw records instead
 	plan       *events.Plan
 	heapReader bool
 	clock      uint64
@@ -130,6 +131,9 @@ func (t *Transport) Add(name string, l events.Listener, opt ConsumerOptions) *Co
 	if il, ok := l.(InstrListener); ok {
 		c.instr = il
 	}
+	if pl, ok := l.(events.PathListener); ok {
+		c.pathL = pl
+	}
 	if rt, ok := l.(RecordTap); ok {
 		c.raw = rt
 	}
@@ -151,6 +155,12 @@ func (t *Transport) Start() {
 	for _, c := range t.consumers {
 		if c.heapReader {
 			t.prod.heapReaders = append(t.prod.heapReaders, c)
+		}
+		// The first path-aware decoded consumer answers SiteTouch calls
+		// (the producer must ask synchronously — the return value steers
+		// the VM's per-site suppression).
+		if c.pathL != nil && c.raw == nil && t.prod.touchC == nil {
+			t.prod.touchC = c
 		}
 	}
 	if t.cfg.Synchronous {
@@ -359,6 +369,10 @@ func (c *Consumer) dispatch(r *Record) {
 	case OpOutputWrite:
 		if p == nil || p.IO {
 			c.listener.OutputWrite()
+		}
+	case OpPathCount:
+		if c.pathL != nil {
+			c.pathL.LoopPathCount(int(r.ID), int(r.Ent), r.Aux)
 		}
 	}
 }

@@ -472,6 +472,81 @@ func Overhead(sw Sweep, now func() int64) (*OverheadResult, error) {
 	return res, nil
 }
 
+// ModeOverheadResult compares the profiling modes on the running example:
+// plain execution, exact events mode, and path-counter mode. This is the
+// overhead-trajectory measurement — events mode is the ~3.5x baseline the
+// path-counter rewrite bends down.
+type ModeOverheadResult struct {
+	// PlainNs / EventsNs / PathsNs are best-of-round wall-clock times.
+	PlainNs  int64
+	EventsNs int64
+	PathsNs  int64
+	// PlainInstrs / EventsInstrs / PathsInstrs are executed instruction
+	// counts (probes and superinstructions included).
+	PlainInstrs  uint64
+	EventsInstrs uint64
+	PathsInstrs  uint64
+}
+
+// EventsSlowdown is the events-mode wall-clock ratio over plain execution.
+func (m *ModeOverheadResult) EventsSlowdown() float64 {
+	if m.PlainNs == 0 {
+		return 0
+	}
+	return float64(m.EventsNs) / float64(m.PlainNs)
+}
+
+// PathsSlowdown is the paths-mode wall-clock ratio over plain execution.
+func (m *ModeOverheadResult) PathsSlowdown() float64 {
+	if m.PlainNs == 0 {
+		return 0
+	}
+	return float64(m.PathsNs) / float64(m.PlainNs)
+}
+
+// ModeOverhead measures the three modes interleaved, best-of-3 per leg
+// (single cold samples at this scale are dominated by warm-up noise).
+func ModeOverhead(sw Sweep, now func() int64) (*ModeOverheadResult, error) {
+	src := workloads.RunningExample(workloads.Random, sw.MaxSize, sw.Step, sw.Reps)
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	res := &ModeOverheadResult{}
+	for round := 0; round < 3; round++ {
+		t0 := now()
+		plain := vm.New(prog, vm.Config{Seed: sw.Seed})
+		if err := plain.Run(); err != nil {
+			return nil, err
+		}
+		if d := now() - t0; res.PlainNs == 0 || d < res.PlainNs {
+			res.PlainNs = d
+		}
+		res.PlainInstrs = plain.InstrCount
+
+		t1 := now()
+		ev, err := algoprof.RunProgram(prog, algoprof.Config{Seed: sw.Seed, Mode: algoprof.ModeEvents})
+		if err != nil {
+			return nil, err
+		}
+		if d := now() - t1; res.EventsNs == 0 || d < res.EventsNs {
+			res.EventsNs = d
+		}
+		res.EventsInstrs = ev.Instructions
+
+		t2 := now()
+		pt, err := algoprof.RunProgram(prog, algoprof.Config{Seed: sw.Seed, Mode: algoprof.ModePaths})
+		if err != nil {
+			return nil, err
+		}
+		if d := now() - t2; res.PathsNs == 0 || d < res.PathsNs {
+			res.PathsNs = d
+		}
+		res.PathsInstrs = pt.Instructions
+	}
+	return res, nil
+}
+
 // ---------------------------------------------------------------------------
 // Goldsmith baseline comparison.
 

@@ -340,10 +340,10 @@ func combine(alg *Algorithm, find func(int) int) {
 				}
 				a.costs[k] += v
 			})
-			for id, s := range inv.Sizes {
-				cid := find(id)
-				if s > a.sizes[cid] {
-					a.sizes[cid] = s
+			for _, e := range inv.Sizes {
+				cid := find(int(e.Input))
+				if int(e.Size) > a.sizes[cid] {
+					a.sizes[cid] = int(e.Size)
 				}
 			}
 		}

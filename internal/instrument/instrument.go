@@ -20,6 +20,7 @@ import (
 	"algoprof/internal/events"
 	"algoprof/internal/mj/bytecode"
 	"algoprof/internal/mj/types"
+	"algoprof/internal/pathdecode"
 	"algoprof/internal/rectype"
 )
 
@@ -34,7 +35,18 @@ const (
 	Optimized Mode = iota
 	// Full enables every probe (CCT baseline, ablations).
 	Full
+	// Paths uses the Optimized plan but replaces per-iteration loop-back
+	// and access probes of eligible ("counted") loops with Ball–Larus path
+	// counters: one register update per branch and one counter bump per
+	// finished iteration, decoded offline into the same totals. Loops the
+	// numbering cannot handle keep their classic probes.
+	Paths
 )
+
+// MaxLoopPaths caps a counted loop's number of acyclic paths. Loops with
+// more fall back to classic probes: a branchier body would need a counter
+// arena that outgrows the events it saves.
+const MaxLoopPaths = 256
 
 // LoopMeta describes one instrumented loop.
 type LoopMeta struct {
@@ -70,7 +82,18 @@ type Instrumented struct {
 	CallGraph *callgraph.Graph
 	// RecTypes is the recursive-data-type analysis.
 	RecTypes *rectype.Result
+
+	// PathTables maps each counted loop's id to its decode table (Paths
+	// mode only; loops absent from the map kept classic probes).
+	PathTables map[int]*pathdecode.LoopTable
+	// Sites lists every path-counted access site, indexed by site id. The
+	// rewriter stores id+1 in the access instruction's B operand.
+	Sites []pathdecode.Site
 }
+
+// NumSites is the number of path-counted access sites (0 outside Paths
+// mode); the VM sizes its per-site epoch table with it.
+func (ins *Instrumented) NumSites() int { return len(ins.Sites) }
 
 // LoopByID returns metadata for a loop id.
 func (ins *Instrumented) LoopByID(id int) *LoopMeta { return ins.Loops[id] }
@@ -92,9 +115,12 @@ func Instrument(p *bytecode.Program, mode Mode) (*Instrumented, error) {
 		RecTypes:  rt,
 	}
 
+	if mode == Paths {
+		out.PathTables = map[int]*pathdecode.LoopTable{}
+	}
 	nextLoopID := 0
 	for i, fn := range p.Funcs {
-		rew, metas, err := rewriteFunction(fn, nextLoopID)
+		rew, metas, err := rewriteFunction(fn, nextLoopID, mode == Paths, out)
 		if err != nil {
 			return nil, err
 		}
@@ -134,34 +160,47 @@ func MustInstrument(p *bytecode.Program, mode Mode) *Instrumented {
 	return ins
 }
 
-// edgeProbes are the probe instructions required on one CFG edge.
-type edgeProbes struct {
-	exits  []int // loop ids to exit, innermost first
-	backs  []int // loop ids whose back edge this is
-	enters []int // loop ids to enter, outermost first
+// siteKind classifies an access opcode for the decode tables.
+func siteKind(op bytecode.Op) pathdecode.SiteKind {
+	switch op {
+	case bytecode.OpGetField:
+		return pathdecode.SiteFieldGet
+	case bytecode.OpPutField:
+		return pathdecode.SiteFieldPut
+	case bytecode.OpALoad:
+		return pathdecode.SiteArrayLoad
+	default:
+		return pathdecode.SiteArrayStore
+	}
 }
 
-func (ep edgeProbes) empty() bool {
-	return len(ep.exits) == 0 && len(ep.backs) == 0 && len(ep.enters) == 0
+// edgeCode is the probe sequence required on one CFG edge: instructions
+// inserted before the transfer, plus (paths mode) whether the transfer
+// itself becomes an OpPathBump finishing a counted iteration.
+type edgeCode struct {
+	pre     []bytecode.Instr
+	bump    bool
+	bumpInc int
 }
 
-func (ep edgeProbes) instrs() []bytecode.Instr {
-	var out []bytecode.Instr
-	for _, id := range ep.exits {
-		out = append(out, bytecode.Instr{Op: bytecode.OpLoopExit, A: id})
+func (ec edgeCode) empty() bool { return len(ec.pre) == 0 && !ec.bump }
+
+// fusable reports an edge whose whole effect is a single path-register
+// increment, which a conditional branch can absorb (OpJmpTruePath /
+// OpJmpFalsePath) instead of paying a trampoline.
+func (ec edgeCode) fusable() (int, bool) {
+	if !ec.bump && len(ec.pre) == 1 && ec.pre[0].Op == bytecode.OpPathInc {
+		return ec.pre[0].A, true
 	}
-	for _, id := range ep.backs {
-		out = append(out, bytecode.Instr{Op: bytecode.OpLoopBack, A: id})
-	}
-	for _, id := range ep.enters {
-		out = append(out, bytecode.Instr{Op: bytecode.OpLoopEnter, A: id})
-	}
-	return out
+	return 0, false
 }
 
 // rewriteFunction injects loop probes into fn, assigning loop ids starting
-// at firstLoopID. It returns a new function; fn is unchanged.
-func rewriteFunction(fn *bytecode.Function, firstLoopID int) (*bytecode.Function, []*LoopMeta, error) {
+// at firstLoopID. In paths mode it additionally numbers each eligible
+// loop's iteration paths, assigns program-wide access-site ids (stored in
+// ins), and emits path-counter probes in place of classic ones. It returns
+// a new function; fn is unchanged.
+func rewriteFunction(fn *bytecode.Function, firstLoopID int, paths bool, ins *Instrumented) (*bytecode.Function, []*LoopMeta, error) {
 	g := cfg.Build(fn)
 	loops := cfg.NaturalLoops(g, firstLoopID)
 
@@ -274,29 +313,116 @@ func rewriteFunction(fn *bytecode.Function, firstLoopID int) (*bytecode.Function
 		return false
 	}
 
-	// probesFor computes the probes on edge from block u to block v.
-	probesFor := func(u, v int) edgeProbes {
-		var ep edgeProbes
+	// Paths mode: number each eligible loop and assign its access sites.
+	// A loop is counted when the numbering succeeds AND the no-return
+	// extension added nothing to its membership — an extended block means
+	// an unwind could abandon an iteration mid-path.
+	pns := map[int]*cfg.PathNumbering{} // counted loops, by id
+	siteOf := map[int]int{}             // access pc -> global site id
+	if paths {
+		members := map[int]int{}
+		for _, ids := range loopsIn {
+			for _, id := range ids {
+				members[id]++
+			}
+		}
+		for _, l := range loops {
+			if members[l.ID] != len(l.Body) {
+				continue
+			}
+			if pn := cfg.NumberLoopPaths(g, l, MaxLoopPaths); pn != nil {
+				pns[l.ID] = pn
+			}
+		}
+		// Each counted loop's table lists its own attributed accesses (a
+		// block's accesses belong to its innermost loop; inner-loop blocks
+		// are opaque supernodes in the outer numbering). Site ids are
+		// program-wide; the instruction's B operand carries id+1 so zero
+		// keeps meaning "unsited".
+		for _, l := range loops {
+			pn := pns[l.ID]
+			if pn == nil {
+				continue
+			}
+			tbl := &pathdecode.LoopTable{LoopID: l.ID, NumPaths: pn.NumPaths}
+			local := map[int]int32{}
+			for _, pc := range pn.AllAccessPCs() {
+				in := fn.Code[pc]
+				site := pathdecode.Site{ID: len(ins.Sites), Kind: siteKind(in.Op), Field: -1}
+				if in.Op == bytecode.OpGetField || in.Op == bytecode.OpPutField {
+					site.Field = in.A
+				}
+				siteOf[pc] = site.ID
+				local[pc] = int32(len(tbl.Sites))
+				ins.Sites = append(ins.Sites, site)
+				tbl.Sites = append(tbl.Sites, site)
+			}
+			for _, p := range pn.Paths {
+				sp := pathdecode.Path{Back: p.Back}
+				for _, pc := range p.AccessPCs {
+					sp.Sites = append(sp.Sites, local[pc])
+				}
+				tbl.Paths = append(tbl.Paths, sp)
+			}
+			if err := tbl.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("instrument: %s loop %d: %w", fn.Name(), l.ID, err)
+			}
+			ins.PathTables[l.ID] = tbl
+		}
+	}
+
+	// codeFor computes the probes on edge from block u to block v. Order
+	// matters for counted loops: exits restore the enclosing loop's path
+	// register before that register is incremented or read, and increments
+	// land before a nested loop saves the register on entry.
+	codeFor := func(u, v int) edgeCode {
+		var ec edgeCode
 		lu, lv := loopsIn[u], loopsIn[v]
 		// exits: in u, not in v; innermost first.
 		for i := len(lu) - 1; i >= 0; i-- {
-			if !contains(lv, lu[i]) {
-				ep.exits = append(ep.exits, lu[i])
+			id := lu[i]
+			if contains(lv, id) {
+				continue
+			}
+			if pn := pns[id]; pn != nil {
+				ec.pre = append(ec.pre, bytecode.Instr{Op: bytecode.OpPathExit, A: id, B: pn.Exit[[2]int{u, v}]})
+			} else {
+				ec.pre = append(ec.pre, bytecode.Instr{Op: bytecode.OpLoopExit, A: id})
+			}
+		}
+		// path-register increment: at most one counted loop numbers this
+		// edge as internal to its iteration DAG.
+		for _, id := range lv {
+			pn := pns[id]
+			if pn == nil || !contains(lu, id) {
+				continue
+			}
+			if inc, ok := pn.Inc[[2]int{u, v}]; ok {
+				ec.pre = append(ec.pre, bytecode.Instr{Op: bytecode.OpPathInc, A: inc})
+				break
 			}
 		}
 		// backs: v is the header and u is in the body.
 		for _, id := range lv {
 			if byID[id].Header == v && contains(lu, id) {
-				ep.backs = append(ep.backs, id)
+				if pn := pns[id]; pn != nil {
+					ec.bump, ec.bumpInc = true, pn.Back[[2]int{u, v}]
+				} else {
+					ec.pre = append(ec.pre, bytecode.Instr{Op: bytecode.OpLoopBack, A: id})
+				}
 			}
 		}
 		// enters: in v, not in u; outermost first.
 		for _, id := range lv {
 			if !contains(lu, id) {
-				ep.enters = append(ep.enters, id)
+				if pn := pns[id]; pn != nil {
+					ec.pre = append(ec.pre, bytecode.Instr{Op: bytecode.OpPathEnter, A: id, B: pn.NumPaths})
+				} else {
+					ec.pre = append(ec.pre, bytecode.Instr{Op: bytecode.OpLoopEnter, A: id})
+				}
 			}
 		}
-		return ep
+		return ec
 	}
 
 	// Assemble the new instruction stream. newIndex maps old pc -> new pc.
@@ -306,15 +432,29 @@ func rewriteFunction(fn *bytecode.Function, firstLoopID int) (*bytecode.Function
 	// Virtual entry edge: entering the function may enter loops if the
 	// entry block is inside one (function whose body starts at a header).
 	for _, id := range loopsIn[g.Entry()] {
-		newCode = append(newCode, bytecode.Instr{Op: bytecode.OpLoopEnter, A: id})
+		if pn := pns[id]; pn != nil {
+			newCode = append(newCode, bytecode.Instr{Op: bytecode.OpPathEnter, A: id, B: pn.NumPaths})
+		} else {
+			newCode = append(newCode, bytecode.Instr{Op: bytecode.OpLoopEnter, A: id})
+		}
 	}
 
 	type splitEdge struct {
 		jumpAt int // new-code index of the jump instruction to retarget
 		target int // old pc the edge goes to
-		probes edgeProbes
+		code   edgeCode
 	}
 	var splits []splitEdge
+
+	// emitEdge appends an edge's probes; a bump edge ends in OpPathBump
+	// carrying the edge's old target (remapped with the other jumps).
+	emitEdge := func(ec edgeCode, oldTarget int) (terminated bool) {
+		newCode = append(newCode, ec.pre...)
+		if ec.bump {
+			newCode = append(newCode, bytecode.Instr{Op: bytecode.OpPathBump, A: oldTarget, B: ec.bumpInc})
+		}
+		return ec.bump
+	}
 
 	for pc, in := range fn.Code {
 		b := g.BlockOf(pc)
@@ -322,12 +462,17 @@ func rewriteFunction(fn *bytecode.Function, firstLoopID int) (*bytecode.Function
 
 		// Explicit loop exits before returns inside loops (the VM also
 		// unwinds as a safety net; explicit probes keep the event stream
-		// well nested).
+		// well nested). Counted loops never appear here: a return block
+		// cannot reach a back edge, so it is outside every counted body.
 		if in.Op == bytecode.OpRet || in.Op == bytecode.OpRetVal || in.Op == bytecode.OpMissingReturn {
 			lu := loopsIn[b]
 			for i := len(lu) - 1; i >= 0; i-- {
 				newCode = append(newCode, bytecode.Instr{Op: bytecode.OpLoopExit, A: lu[i]})
 			}
+		}
+
+		if site, ok := siteOf[pc]; ok {
+			in.B = site + 1
 		}
 
 		isLast := pc == g.Blocks[b].End-1
@@ -339,37 +484,39 @@ func rewriteFunction(fn *bytecode.Function, firstLoopID int) (*bytecode.Function
 		// Last instruction of its block: handle outgoing edges.
 		switch in.Op {
 		case bytecode.OpJmp:
-			ep := probesFor(b, g.BlockOf(in.A))
-			if ep.empty() {
-				newCode = append(newCode, in)
-			} else {
-				// Inline the probes before the jump: an unconditional jump
-				// is the edge, so inline placement is exact.
-				newCode = append(newCode, ep.instrs()...)
+			// Inline the probes before the jump: an unconditional jump is
+			// the edge, so inline placement is exact. A bump edge absorbs
+			// the jump entirely.
+			ec := codeFor(b, g.BlockOf(in.A))
+			if !emitEdge(ec, in.A) {
 				newCode = append(newCode, in)
 			}
 		case bytecode.OpJmpIfFalse, bytecode.OpJmpIfTrue:
 			// Two edges: taken (to in.A) and fallthrough (to pc+1).
-			takenEP := probesFor(b, g.BlockOf(in.A))
-			jumpPos := len(newCode)
-			newCode = append(newCode, in)
-			if !takenEP.empty() {
-				splits = append(splits, splitEdge{jumpAt: jumpPos, target: in.A, probes: takenEP})
+			takenEC := codeFor(b, g.BlockOf(in.A))
+			if inc, ok := takenEC.fusable(); ok {
+				// Fuse the increment into the branch: no trampoline, no
+				// extra dispatch on the taken edge.
+				fused := bytecode.OpJmpTruePath
+				if in.Op == bytecode.OpJmpIfFalse {
+					fused = bytecode.OpJmpFalsePath
+				}
+				newCode = append(newCode, bytecode.Instr{Op: fused, A: in.A, B: inc, Line: in.Line})
+			} else {
+				jumpPos := len(newCode)
+				newCode = append(newCode, in)
+				if !takenEC.empty() {
+					splits = append(splits, splitEdge{jumpAt: jumpPos, target: in.A, code: takenEC})
+				}
 			}
 			if pc+1 < len(fn.Code) {
-				fallEP := probesFor(b, g.BlockOf(pc+1))
-				if !fallEP.empty() {
-					newCode = append(newCode, fallEP.instrs()...)
-				}
+				emitEdge(codeFor(b, g.BlockOf(pc+1)), pc+1)
 			}
 		default:
 			newCode = append(newCode, in)
 			// Plain fallthrough edge.
 			if !in.Op.IsTerminator() && pc+1 < len(fn.Code) {
-				ep := probesFor(b, g.BlockOf(pc+1))
-				if !ep.empty() {
-					newCode = append(newCode, ep.instrs()...)
-				}
+				emitEdge(codeFor(b, g.BlockOf(pc+1)), pc+1)
 			}
 		}
 	}
@@ -382,11 +529,16 @@ func rewriteFunction(fn *bytecode.Function, firstLoopID int) (*bytecode.Function
 		}
 	}
 
-	// Materialize trampolines for conditional taken-edges that need probes.
+	// Materialize trampolines for conditional taken-edges that need probes
+	// (added after the remap, so they carry final targets).
 	for _, se := range splits {
 		tramp := len(newCode)
-		newCode = append(newCode, se.probes.instrs()...)
-		newCode = append(newCode, bytecode.Instr{Op: bytecode.OpJmp, A: newIndex[se.target]})
+		newCode = append(newCode, se.code.pre...)
+		if se.code.bump {
+			newCode = append(newCode, bytecode.Instr{Op: bytecode.OpPathBump, A: newIndex[se.target], B: se.code.bumpInc})
+		} else {
+			newCode = append(newCode, bytecode.Instr{Op: bytecode.OpJmp, A: newIndex[se.target]})
+		}
 		newCode[se.jumpAt].A = tramp
 	}
 

@@ -91,6 +91,17 @@ const (
 	OpLoopEnter
 	OpLoopBack
 	OpLoopExit
+
+	// Path-counter probes (paths mode). A counted loop tracks a path
+	// register instead of streaming per-iteration events; one counter bump
+	// per finished Ball–Larus path replaces the loop-back probe and every
+	// per-access probe of the iteration.
+	OpPathEnter    // enter counted loop: A = loop id, B = number of paths
+	OpPathExit     // leave counted loop via an exit edge: A = loop id, B = final increment
+	OpPathInc      // path register += A
+	OpPathBump     // finish an iteration: count path (register + B), reset, jump to A
+	OpJmpTruePath  // fused jmp.true + path.inc B on the taken edge
+	OpJmpFalsePath // fused jmp.false + path.inc B on the taken edge
 )
 
 var opNames = [...]string{
@@ -111,6 +122,8 @@ var opNames = [...]string{
 	OpThrow:         "throw",
 	OpMissingReturn: "trap.noreturn",
 	OpLoopEnter:     "loop.enter", OpLoopBack: "loop.back", OpLoopExit: "loop.exit",
+	OpPathEnter: "path.enter", OpPathExit: "path.exit", OpPathInc: "path.inc",
+	OpPathBump: "path.bump", OpJmpTruePath: "jmp.true.path", OpJmpFalsePath: "jmp.false.path",
 }
 
 // String returns the mnemonic of the opcode.
@@ -123,17 +136,24 @@ func (o Op) String() string {
 
 // IsJump reports whether the instruction transfers control to operand A.
 func (o Op) IsJump() bool {
-	return o == OpJmp || o == OpJmpIfFalse || o == OpJmpIfTrue
+	return o == OpJmp || o == OpJmpIfFalse || o == OpJmpIfTrue ||
+		o == OpJmpTruePath || o == OpJmpFalsePath || o == OpPathBump
 }
 
 // IsTerminator reports whether control never falls through this opcode.
 func (o Op) IsTerminator() bool {
-	return o == OpJmp || o == OpRet || o == OpRetVal || o == OpMissingReturn || o == OpThrow
+	return o == OpJmp || o == OpRet || o == OpRetVal || o == OpMissingReturn ||
+		o == OpThrow || o == OpPathBump
 }
 
 // IsProbe reports whether the instruction is a profiling probe.
 func (o Op) IsProbe() bool {
-	return o == OpLoopEnter || o == OpLoopBack || o == OpLoopExit
+	switch o {
+	case OpLoopEnter, OpLoopBack, OpLoopExit,
+		OpPathEnter, OpPathExit, OpPathInc, OpPathBump, OpJmpTruePath, OpJmpFalsePath:
+		return true
+	}
+	return false
 }
 
 // Instr is one instruction.
@@ -156,10 +176,13 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%-14s %q argc=%d", in.Op, in.S, in.B)
 	case OpConstInt, OpConstBool, OpLoadLocal, OpStoreLocal, OpNewObject,
 		OpGetField, OpPutField, OpNewArray, OpJmp, OpJmpIfFalse, OpJmpIfTrue,
-		OpCallStatic, OpCallVirt, OpLoopEnter, OpLoopBack, OpLoopExit:
+		OpCallStatic, OpCallVirt, OpLoopEnter, OpLoopBack, OpLoopExit,
+		OpPathInc:
 		return fmt.Sprintf("%-14s %d", in.Op, in.A)
 	case OpNewArrayMulti, OpCallBuiltin:
 		return fmt.Sprintf("%-14s %d argc=%d", in.Op, in.A, in.B)
+	case OpPathEnter, OpPathExit, OpPathBump, OpJmpTruePath, OpJmpFalsePath:
+		return fmt.Sprintf("%-14s %d %d", in.Op, in.A, in.B)
 	}
 	return in.Op.String()
 }

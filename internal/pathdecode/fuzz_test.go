@@ -1,0 +1,85 @@
+package pathdecode
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corpusSeeds loads the checked-in seed corpus: JSON (table, counts)
+// entries exercising empty tables, exit-only loops, branchy loops, and
+// malformed shapes the decoder must refuse.
+func corpusSeeds(tb testing.TB) map[string][]byte {
+	tb.Helper()
+	dir := filepath.Join("testdata", "corpus")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds := map[string][]byte{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds[e.Name()] = data
+	}
+	if len(seeds) == 0 {
+		tb.Fatal("empty seed corpus")
+	}
+	return seeds
+}
+
+// decodeArbitrary is the fuzz property: arbitrary bytes either fail to
+// parse, fail validation, or decode deterministically with conserved
+// totals. It must never panic.
+func decodeArbitrary(tb testing.TB, data []byte) {
+	tbl, counts, err := DecodeCorpusEntry(data)
+	if err != nil {
+		return
+	}
+	got, err := Decode(tbl, counts)
+	if err != nil {
+		return
+	}
+	again, err := Decode(tbl, counts)
+	if err != nil {
+		tb.Fatalf("second decode errored after first succeeded: %v", err)
+	}
+	if got.Iterations != again.Iterations || len(got.SiteCounts) != len(again.SiteCounts) {
+		tb.Fatalf("nondeterministic decode: %+v vs %+v", got, again)
+	}
+	// Conservation: iterations are exactly the back-terminating counts, and
+	// no site can be counted more often than the total path executions.
+	var backs, total int64
+	for pid, c := range counts {
+		total += c
+		if tbl.Paths[pid].Back {
+			backs += c
+		}
+	}
+	if got.Iterations != backs {
+		tb.Fatalf("iterations %d != back-path counts %d", got.Iterations, backs)
+	}
+	for i, sc := range got.SiteCounts {
+		if sc < 0 || sc > total {
+			tb.Fatalf("site %d count %d outside [0, %d]", i, sc, total)
+		}
+	}
+}
+
+// TestFuzzCorpusDecode runs the seed corpus as plain fixtures so `go test`
+// covers it without the fuzz engine.
+func TestFuzzCorpusDecode(t *testing.T) {
+	for name, data := range corpusSeeds(t) {
+		t.Run(name, func(t *testing.T) { decodeArbitrary(t, data) })
+	}
+}
+
+// FuzzDecode fuzzes the decoder over arbitrary corpus-entry bytes.
+func FuzzDecode(f *testing.F) {
+	for _, data := range corpusSeeds(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) { decodeArbitrary(t, data) })
+}

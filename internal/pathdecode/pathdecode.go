@@ -1,0 +1,181 @@
+// Package pathdecode turns per-path execution counters back into the
+// per-event quantities the algorithmic profiler consumes. In paths mode
+// the instrumenter numbers the whole-iteration paths of each counted loop
+// (Ball–Larus acyclic-path numbering extended across loop back edges, as
+// in D'Elia & Demetrescu's multi-iteration path profiling) and the VM
+// increments one counter per finished path instead of emitting one event
+// per back edge and per data access. This package holds the path tables
+// the instrumenter builds — which access sites lie on which path, and
+// whether a path ends on the back edge or on a loop exit — and the decode
+// step that recovers iteration counts and per-site access counts from a
+// counter vector.
+//
+// Decoding is exact by construction for the quantities it covers: every
+// iteration of a counted loop executes exactly one whole-iteration path,
+// and a given access site appears at most once on any acyclic path, so
+//
+//	iterations  = Σ counts[p] over back-terminating paths p
+//	accesses(s) = Σ counts[p] over paths p containing site s
+//
+// recover precisely the event counts an exact events-mode run would have
+// delivered. What path counters cannot carry is per-event identity — which
+// concrete object a site touched — which is why the VM still streams one
+// identification event per site and segment (see events.PathListener).
+package pathdecode
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SiteKind classifies the bytecode access instruction behind a site.
+type SiteKind uint8
+
+// Site kinds.
+const (
+	SiteFieldGet SiteKind = iota
+	SiteFieldPut
+	SiteArrayLoad
+	SiteArrayStore
+)
+
+// String names the kind.
+func (k SiteKind) String() string {
+	switch k {
+	case SiteFieldGet:
+		return "getfield"
+	case SiteFieldPut:
+		return "putfield"
+	case SiteArrayLoad:
+		return "aload"
+	case SiteArrayStore:
+		return "astore"
+	}
+	return fmt.Sprintf("site(%d)", uint8(k))
+}
+
+// IsPut reports whether the site writes the structure.
+func (k SiteKind) IsPut() bool { return k == SiteFieldPut || k == SiteArrayStore }
+
+// IsArray reports whether the site is an array access.
+func (k SiteKind) IsArray() bool { return k == SiteArrayLoad || k == SiteArrayStore }
+
+// Site is one counted data-access instruction inside a counted loop.
+type Site struct {
+	// ID is the program-wide dense site id the instrumenter assigned (the
+	// VM carries it in the instruction's B operand, offset by one).
+	ID int `json:"id"`
+	// Kind is the access kind.
+	Kind SiteKind `json:"kind"`
+	// Field is the field id for field sites, -1 for array sites.
+	Field int `json:"field"`
+}
+
+// Path is one whole-iteration path of a counted loop: the header-to-sink
+// walk the Ball–Larus numbering assigned this path id.
+type Path struct {
+	// Back reports a path ending on the loop's back edge — one finished
+	// iteration. Paths with Back false end on a loop exit.
+	Back bool `json:"back,omitempty"`
+	// Sites indexes LoopTable.Sites, in path order. A site occurs at most
+	// once per acyclic path.
+	Sites []int32 `json:"sites,omitempty"`
+}
+
+// LoopTable is the decode table of one counted loop: everything needed to
+// turn that loop's counter vector back into events.
+type LoopTable struct {
+	// LoopID is the instrumenter's loop id.
+	LoopID int `json:"loop_id"`
+	// NumPaths is the counter-vector length; path ids are [0, NumPaths).
+	NumPaths int `json:"num_paths"`
+	// Sites lists the loop's access sites in first-static-occurrence order.
+	Sites []Site `json:"sites,omitempty"`
+	// Paths holds one entry per path id.
+	Paths []Path `json:"paths"`
+}
+
+// Validate checks the table's internal consistency: the path list matches
+// NumPaths and every path's site indexes are in range.
+func (t *LoopTable) Validate() error {
+	if t.NumPaths != len(t.Paths) {
+		return fmt.Errorf("pathdecode: loop %d: %d paths for num_paths %d", t.LoopID, len(t.Paths), t.NumPaths)
+	}
+	for pid, p := range t.Paths {
+		seen := make(map[int32]bool, len(p.Sites))
+		for _, s := range p.Sites {
+			if s < 0 || int(s) >= len(t.Sites) {
+				return fmt.Errorf("pathdecode: loop %d path %d: site index %d out of range [0,%d)",
+					t.LoopID, pid, s, len(t.Sites))
+			}
+			if seen[s] {
+				return fmt.Errorf("pathdecode: loop %d path %d: site index %d repeated on acyclic path",
+					t.LoopID, pid, s)
+			}
+			seen[s] = true
+		}
+	}
+	return nil
+}
+
+// Totals is the decoded view of one loop invocation's counter vector.
+type Totals struct {
+	// Iterations is the number of finished iterations (back-edge events an
+	// events-mode run would have emitted).
+	Iterations int64
+	// SiteCounts is the access count per site, parallel to LoopTable.Sites.
+	SiteCounts []int64
+}
+
+// Decode reconstructs iteration and per-site access counts from one
+// invocation's counter vector. counts must have length t.NumPaths with no
+// negative entries.
+func Decode(t *LoopTable, counts []int64) (Totals, error) {
+	if err := t.Validate(); err != nil {
+		return Totals{}, err
+	}
+	if len(counts) != t.NumPaths {
+		return Totals{}, fmt.Errorf("pathdecode: loop %d: %d counters for num_paths %d",
+			t.LoopID, len(counts), t.NumPaths)
+	}
+	out := Totals{SiteCounts: make([]int64, len(t.Sites))}
+	for pid, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if c < 0 {
+			return Totals{}, fmt.Errorf("pathdecode: loop %d path %d: negative count %d", t.LoopID, pid, c)
+		}
+		p := &t.Paths[pid]
+		if p.Back {
+			out.Iterations += c
+		}
+		for _, s := range p.Sites {
+			out.SiteCounts[s] += c
+		}
+	}
+	return out, nil
+}
+
+// corpusEntry is the JSON shape of one fuzz-corpus seed: a table plus a
+// counter vector for it.
+type corpusEntry struct {
+	Table  LoopTable `json:"table"`
+	Counts []int64   `json:"counts"`
+}
+
+// EncodeCorpusEntry serializes a (table, counts) pair for the decoder's
+// fuzz corpus.
+func EncodeCorpusEntry(t *LoopTable, counts []int64) ([]byte, error) {
+	return json.Marshal(corpusEntry{Table: *t, Counts: counts})
+}
+
+// DecodeCorpusEntry parses a fuzz-corpus seed back into a table and a
+// counter vector.
+func DecodeCorpusEntry(data []byte) (*LoopTable, []int64, error) {
+	var e corpusEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, nil, err
+	}
+	return &e.Table, e.Counts, nil
+}

@@ -1,0 +1,92 @@
+package pathdecode
+
+import (
+	"reflect"
+	"testing"
+)
+
+// twoSiteTable models a loop with an if/else body: path 0 takes the then
+// branch (sites 0 and 1) back around, path 1 takes the else branch (site 0
+// only) back around, path 2 exits from the header untouched.
+func twoSiteTable() *LoopTable {
+	return &LoopTable{
+		LoopID:   7,
+		NumPaths: 3,
+		Sites: []Site{
+			{ID: 4, Kind: SiteFieldGet, Field: 2},
+			{ID: 5, Kind: SiteFieldPut, Field: 3},
+		},
+		Paths: []Path{
+			{Back: true, Sites: []int32{0, 1}},
+			{Back: true, Sites: []int32{0}},
+			{},
+		},
+	}
+}
+
+func TestDecode(t *testing.T) {
+	tbl := twoSiteTable()
+	got, err := Decode(tbl, []int64{10, 5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Totals{Iterations: 15, SiteCounts: []int64{15, 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Decode = %+v, want %+v", got, want)
+	}
+}
+
+func TestDecodeZeroVector(t *testing.T) {
+	tbl := twoSiteTable()
+	got, err := Decode(tbl, []int64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations != 0 || got.SiteCounts[0] != 0 || got.SiteCounts[1] != 0 {
+		t.Fatalf("zero vector decoded to %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tbl := twoSiteTable()
+	if _, err := Decode(tbl, []int64{1, 2}); err == nil {
+		t.Error("short counter vector accepted")
+	}
+	if _, err := Decode(tbl, []int64{1, -2, 0}); err == nil {
+		t.Error("negative count accepted")
+	}
+
+	bad := twoSiteTable()
+	bad.Paths[0].Sites = []int32{0, 9}
+	if _, err := Decode(bad, []int64{1, 0, 0}); err == nil {
+		t.Error("out-of-range site index accepted")
+	}
+
+	rep := twoSiteTable()
+	rep.Paths[0].Sites = []int32{0, 0}
+	if _, err := Decode(rep, []int64{1, 0, 0}); err == nil {
+		t.Error("repeated site on acyclic path accepted")
+	}
+
+	mism := twoSiteTable()
+	mism.NumPaths = 4
+	if _, err := Decode(mism, []int64{1, 0, 0, 0}); err == nil {
+		t.Error("num_paths / path-list mismatch accepted")
+	}
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	tbl := twoSiteTable()
+	counts := []int64{3, 0, 1}
+	data, err := EncodeCorpusEntry(tbl, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT, gotC, err := DecodeCorpusEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotT, tbl) || !reflect.DeepEqual(gotC, counts) {
+		t.Fatalf("round trip changed entry: %+v %v", gotT, gotC)
+	}
+}

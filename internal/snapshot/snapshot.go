@@ -129,7 +129,19 @@ func (t *table[T]) idx(id uint64) int {
 	}
 	off := id - t.base
 	if off >= uint64(len(t.slots)) {
-		t.slots = append(t.slots, make([]T, off+1-uint64(len(t.slots)))...)
+		if off < uint64(cap(t.slots)) {
+			// Tables only grow, so capacity beyond len has never held
+			// data and is still zeroed.
+			t.slots = t.slots[:off+1]
+		} else {
+			newCap := 2 * cap(t.slots)
+			if uint64(newCap) < off+1 {
+				newCap = int(off + 1)
+			}
+			grown := make([]T, off+1, newCap)
+			copy(grown, t.slots)
+			t.slots = grown
+		}
 	}
 	return int(off)
 }
@@ -213,6 +225,39 @@ type Snap struct {
 
 	vs    *visitSet       // traversal de-duplication
 	stack []events.Entity // traversal scratch
+
+	// rt and the cached visitor closures exist so the traversal loops pass
+	// the same closure to every ForEachRef call: a closure literal inside
+	// the node loop escapes through the interface call and is re-allocated
+	// per node, which dominated the measured observation cost.
+	rt        *rectype.Result
+	isRec     func(fieldID int) bool // rt.IsRecursiveField, bound once per rt
+	refBuf    []events.Entity        // RefBatcher scratch
+	visitFn   func(fieldID int, target events.Entity)
+	arrRefFn  func(fieldID int, target events.Entity)
+	elemKeyFn func(key events.ElemKey)
+	arrWalkFn func(fieldID int, target events.Entity)
+
+	// Strong-connectivity detection (see Snap.symmetric): bal tracks, per
+	// visited node, its recursive-edge out-degree minus in-degree, and
+	// nzBal counts nodes whose balance is nonzero. When every node
+	// balances, the edge multiset decomposes into cycles, so every member
+	// can reach the root and therefore the whole snapshot — doubly-linked
+	// and circular shapes both qualify. curID is the object being
+	// expanded; symOK goes false on shapes the check does not cover
+	// (arrays inside the structure).
+	bal       table[balSlot]
+	balGen    uint32
+	nzBal     int
+	curID     uint64
+	symOK     bool
+	symmetric bool
+}
+
+// balSlot holds one node's generation-stamped degree balance.
+type balSlot struct {
+	gen uint32
+	d   int32
 }
 
 // Size returns the snapshot's size under the given strategy: object count
@@ -263,13 +308,63 @@ func Take(root events.Entity, rt *rectype.Result) *Snap {
 
 // take (re)fills s from root; s must be reset and own a visitSet.
 func (s *Snap) take(root events.Entity, rt *rectype.Result) {
+	if s.visitFn == nil {
+		s.initVisitors()
+	}
+	if s.rt != rt {
+		s.rt = rt
+		s.isRec = rt.IsRecursiveField
+	}
 	s.vs.begin()
+	s.symmetric = false
 	s.RootIsArray = root.IsArray()
 	if s.RootIsArray {
 		s.takeArray(root)
 	} else {
-		s.takeStructure(root, rt)
+		s.takeStructure(root)
 	}
+}
+
+// initVisitors builds the traversal closures exactly once per Snap; they
+// read traversal state through s, so the same closure values serve every
+// subsequent take.
+func (s *Snap) initVisitors() {
+	s.visitFn = func(fieldID int, target events.Entity) {
+		// Follow fields (and arrays) only through recursive links.
+		if s.rt.IsRecursiveField(fieldID) {
+			s.edge(target.EntityID())
+			s.push(target)
+		}
+	}
+	s.arrRefFn = func(_ int, target events.Entity) {
+		s.ArrayRefs++
+		s.push(target)
+	}
+	s.elemKeyFn = func(key events.ElemKey) {
+		if s.uniq[key] {
+			return
+		}
+		s.uniq[key] = true
+		if str, ok := key.(string); ok && str != "" {
+			s.StrKeys = append(s.StrKeys, str)
+		}
+	}
+	s.arrWalkFn = func(_ int, target events.Entity) {
+		if target.IsArray() {
+			s.walkArray(target)
+		} else if s.vs.add(target.EntityID()) {
+			s.IDs = append(s.IDs, target.EntityID())
+		}
+	}
+}
+
+// push marks e visited and queues it for expansion.
+func (s *Snap) push(e events.Entity) {
+	if e == nil || !s.vs.add(e.EntityID()) {
+		return
+	}
+	s.IDs = append(s.IDs, e.EntityID())
+	s.stack = append(s.stack, e)
 }
 
 // reset clears s for reuse, retaining its backing storage.
@@ -292,71 +387,91 @@ func (s *Snap) bumpType(name string) {
 	s.typeCounts = append(s.typeCounts, typeCount{name, 1})
 }
 
-func (s *Snap) takeStructure(root events.Entity, rt *rectype.Result) {
-	stack := s.stack[:0]
-	visit := func(e events.Entity) {
-		if e == nil || !s.vs.add(e.EntityID()) {
-			return
-		}
-		s.IDs = append(s.IDs, e.EntityID())
-		stack = append(stack, e)
+func (s *Snap) takeStructure(root events.Entity) {
+	s.balGen++
+	if s.balGen == 0 { // generation wrapped: slots are ambiguous, reset
+		clear(s.bal.slots)
+		s.balGen = 1
 	}
-	visit(root)
-	for len(stack) > 0 {
-		e := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	s.symOK = true
+	s.nzBal = 0
+	s.push(root)
+	for len(s.stack) > 0 {
+		e := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
 		if e.IsArray() {
 			// Arrays inside a structure: count non-null refs, continue into
 			// elements (objects or nested arrays).
-			e.ForEachRef(func(_ int, target events.Entity) {
-				s.ArrayRefs++
-				visit(target)
-			})
+			s.symOK = false
+			e.ForEachRef(s.arrRefFn)
 			continue
 		}
 		s.Objects++
 		s.bumpType(e.TypeName())
-		e.ForEachRef(func(fieldID int, target events.Entity) {
-			// Follow fields (and arrays) only through recursive links.
-			if rt.IsRecursiveField(fieldID) {
-				visit(target)
+		s.curID = e.EntityID()
+		if rb, ok := e.(events.RefBatcher); ok {
+			s.refBuf = rb.AppendRefs(s.isRec, s.refBuf[:0])
+			for _, t := range s.refBuf {
+				s.edge(t.EntityID())
+				s.push(t)
 			}
-		})
+		} else {
+			e.ForEachRef(s.visitFn)
+		}
 	}
-	s.stack = stack[:0]
+	s.symmetric = s.symOK && s.nzBal == 0
+}
+
+// edge records one recursive edge from the object being expanded, for the
+// strong-connectivity check: every traversed node's out-degree and
+// in-degree are tracked as a running balance. If all balances end at zero
+// the edge multiset decomposes into cycles, so each edge lies on a cycle
+// and every member of the snapshot can reach the root — and through it the
+// whole snapshot. That is exactly the property that lets the registry
+// reuse this snapshot's size for a later observation rooted at any member
+// (Snap.symmetric). Self-loops cannot break it and are skipped.
+func (s *Snap) edge(to uint64) {
+	if !s.symOK || to == s.curID {
+		return
+	}
+	s.bump(s.curID, 1)
+	s.bump(to, -1)
+}
+
+// bump adjusts one node's degree balance, maintaining the nonzero count.
+func (s *Snap) bump(id uint64, d int32) {
+	sl := &s.bal.slots[s.bal.idx(id)]
+	if sl.gen != s.balGen {
+		sl.gen, sl.d = s.balGen, 0
+	}
+	was := sl.d
+	sl.d += d
+	if was == 0 {
+		s.nzBal++
+	} else if sl.d == 0 {
+		s.nzBal--
+	}
 }
 
 func (s *Snap) takeArray(root events.Entity) {
 	if s.uniq == nil {
 		s.uniq = map[events.ElemKey]bool{}
 	}
-	var walk func(e events.Entity)
-	walk = func(e events.Entity) {
-		if e == nil || !s.vs.add(e.EntityID()) {
-			return
-		}
-		s.IDs = append(s.IDs, e.EntityID())
-		s.CapacitySlots += e.Capacity()
-		e.ForEachElemKey(func(key events.ElemKey) {
-			if s.uniq[key] {
-				return
-			}
-			s.uniq[key] = true
-			if str, ok := key.(string); ok && str != "" {
-				s.StrKeys = append(s.StrKeys, str)
-			}
-		})
-		// Recurse into sub-arrays (multi-dimensional arrays); element
-		// objects are recorded by id but not expanded.
-		e.ForEachRef(func(_ int, target events.Entity) {
-			if target.IsArray() {
-				walk(target)
-			} else if s.vs.add(target.EntityID()) {
-				s.IDs = append(s.IDs, target.EntityID())
-			}
-		})
+	s.walkArray(root)
+}
+
+// walkArray records one array of the snapshot: its capacity, its element
+// identity keys, and — recursing into sub-arrays of multi-dimensional
+// arrays — all reachable arrays. Element objects are recorded by id but
+// not expanded; objects are measured through structure snapshots.
+func (s *Snap) walkArray(e events.Entity) {
+	if e == nil || !s.vs.add(e.EntityID()) {
+		return
 	}
-	walk(root)
+	s.IDs = append(s.IDs, e.EntityID())
+	s.CapacitySlots += e.Capacity()
+	e.ForEachElemKey(s.elemKeyFn)
+	e.ForEachRef(s.arrWalkFn)
 }
 
 // ---------------------------------------------------------------------------
@@ -391,6 +506,19 @@ type Input struct {
 	// memo slots stamped before the floor are stale. Raised on merge,
 	// because the union's extent may differ from either cached snapshot.
 	memoFloor uint64
+
+	// Whole-structure memo: when the input's last full snapshot had a
+	// symmetric recursive-edge relation (Snap.symmetric), every member of
+	// that snapshot reaches exactly the snapshot's extent, so an
+	// observation rooted at ANY member — not just the cached root — can
+	// reuse the size until the input is next written or merged. symStamp
+	// identifies that snapshot (0 = none) and matches the members'
+	// Registry.memberStamp entries; symEpoch/symMergeStamp pin the write
+	// epoch and merge stamp it was taken at; symSize is its size.
+	symStamp      uint64
+	symEpoch      uint64
+	symMergeStamp uint64
+	symSize       int32
 }
 
 // Label renders a short description like "Node-based recursive structure"
@@ -451,10 +579,12 @@ type Registry struct {
 
 	entityOwner table[int32]    // entity id -> input id + 1 (not canonical)
 	memo        table[memoSlot] // root entity id -> cached observation
+	memberStamp table[uint64]   // entity id -> symStamp of covering snapshot
 	keyOwner    map[string]int  // string element key -> input id
 	typeOwner   map[string]int  // SameType: signature -> input id
 	writeEpoch  uint64
 	mergeStamp  uint64 // bumped per merge; see memoSlot.stamp
+	symGen      uint64 // issues Input.symStamp values
 
 	// memoOff disables the incremental snapshot memo (ablation: every
 	// Observe re-traverses, the paper's measured behaviour).
@@ -505,6 +635,7 @@ func (r *Registry) ApproxBytes() int64 {
 	)
 	b := int64(len(r.entityOwner.slots))*4 +
 		int64(len(r.memo.slots))*memoSlotBytes +
+		int64(len(r.memberStamp.slots))*8 +
 		int64(len(r.vs.marks.slots))*4 +
 		int64(len(r.parent))*8 +
 		int64(len(r.keyOwner)+len(r.typeOwner))*mapEntryBytes
@@ -615,6 +746,9 @@ func (r *Registry) Observe(e events.Entity) Observation {
 	if obs, ok := r.memoLookup(e); ok {
 		return obs
 	}
+	if obs, ok := r.symLookup(e); ok {
+		return obs
+	}
 	r.memoMisses++
 	snap := &r.snap
 	snap.reset()
@@ -658,8 +792,48 @@ func (r *Registry) Observe(e events.Entity) Observation {
 			size:  int32(size),
 			owner: int32(target) + 1,
 		}
+		if snap.symmetric {
+			// Symmetric recursive-edge relation: any member of this
+			// snapshot reaches exactly this extent, so stamp the members
+			// and let observations from any of their roots reuse the size
+			// until the input is written or merged.
+			r.symGen++
+			in.symStamp = r.symGen
+			in.symEpoch = in.lastWrite
+			in.symMergeStamp = r.mergeStamp
+			in.symSize = int32(size)
+			for _, id := range snap.IDs {
+				r.memberStamp.slots[r.memberStamp.idx(id)] = r.symGen
+			}
+		}
 	}
 	return Observation{InputID: target, Size: size}
+}
+
+// symLookup serves an observation from the whole-structure memo: the root
+// belongs to a known input whose last full snapshot was symmetric and
+// covered the root, and no write or merge has hit the input since. See
+// Input.symStamp.
+func (r *Registry) symLookup(e events.Entity) (Observation, bool) {
+	if !r.memoUsable() {
+		return Observation{}, false
+	}
+	p := r.entityOwner.peek(e.EntityID())
+	if p == nil || *p == 0 {
+		return Observation{}, false
+	}
+	target := r.Find(int(*p - 1))
+	in := r.inputs[target]
+	if in.symStamp == 0 || in.symEpoch != in.lastWrite || in.symMergeStamp < in.memoFloor {
+		return Observation{}, false
+	}
+	ms := r.memberStamp.peek(e.EntityID())
+	if ms == nil || *ms != in.symStamp {
+		return Observation{}, false
+	}
+	r.memoHits++
+	in.Observations++
+	return Observation{InputID: target, Size: int(in.symSize)}, true
 }
 
 // memoUsable reports whether the snapshot memo applies under the current

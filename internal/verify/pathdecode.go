@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"algoprof/internal/core"
+)
+
+// CheckPathDecode cross-checks a path-counter-mode profiler against an
+// events-mode profiler of the same program and config. Events mode streams
+// every access and iteration exactly, so it is the ground truth the
+// decoded counters must reproduce: the two repetition trees must have the
+// same shape, the same invocation accounting, and — node by node — the
+// same cost totals. Any disagreement means the Ball–Larus numbering, the
+// VM's counter arithmetic, or the offline decode dropped or misattributed
+// work.
+//
+// Programs outside the exactness envelope (one loop invocation walking
+// several inputs through one site) may shift per-input attribution; for
+// those, callers compare only the per-op sums via SumByOp.
+func CheckPathDecode(events, paths *core.Profiler) []Violation {
+	var vs []Violation
+	add := func(rule, format string, args ...any) {
+		vs = append(vs, violationf(rule, format, args...))
+	}
+	var walk func(path string, ev, pt *core.Node)
+	walk = func(path string, ev, pt *core.Node) {
+		name := path + events.NodeName(ev)
+		if pt.Kind != ev.Kind || pt.ID != ev.ID {
+			add("path-decode-shape", "node %s: paths-mode tree has %v/%d here", name, pt.Kind, pt.ID)
+			return
+		}
+		if ev.Started() != pt.Started() {
+			add("path-decode-accounting", "node %s: %d invocations started in events mode, %d in paths mode",
+				name, ev.Started(), pt.Started())
+		}
+		if ev.Invocations() != pt.Invocations() {
+			add("path-decode-accounting", "node %s: %d invocations recorded in events mode, %d in paths mode",
+				name, ev.Invocations(), pt.Invocations())
+		}
+		evT, ptT := ev.Totals(), pt.Totals()
+		for k, v := range evT {
+			if got := ptT[k]; got != v {
+				add("path-decode-costs", "node %s: cost %s = %d in events mode, %d decoded", name, k, v, got)
+			}
+		}
+		for k, got := range ptT {
+			if _, ok := evT[k]; !ok && got != 0 {
+				add("path-decode-costs", "node %s: decoded cost %s = %d absent from events mode", name, k, got)
+			}
+		}
+		if len(ev.Children) != len(pt.Children) {
+			add("path-decode-shape", "node %s: %d children in events mode, %d in paths mode",
+				name, len(ev.Children), len(pt.Children))
+			return
+		}
+		for i, ch := range ev.Children {
+			walk(name+"/", ch, pt.Children[i])
+		}
+	}
+	walk("", events.Root(), paths.Root())
+	return vs
+}
+
+// SumByOp folds a profiler's whole-tree cost totals down to per-operation
+// sums over all inputs — the invariant that survives even inexact decode
+// (attribution may shift between inputs; the amount of work cannot).
+func SumByOp(p *core.Profiler) map[core.CostOp]int64 {
+	out := map[core.CostOp]int64{}
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		for k, v := range n.Totals() {
+			if k.Type == "" {
+				out[k.Op] += v
+			}
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(p.Root())
+	return out
+}

@@ -1,0 +1,132 @@
+package vm
+
+import (
+	"testing"
+
+	"algoprof/internal/events"
+	"algoprof/internal/instrument"
+	"algoprof/internal/mj/bytecode"
+	"algoprof/internal/mj/compiler"
+)
+
+// benchSrc is a linked-list traversal dominated by one counted loop: a
+// Node scan with a field access per iteration. It isolates interpreter
+// dispatch cost — the loop body is a handful of instructions, so any
+// per-instruction or per-probe overhead shows directly.
+const benchSrc = `
+class Node {
+	int v;
+	Node next;
+}
+
+class Main {
+	static Node build(int n) {
+		Node head = null;
+		int i = 0;
+		while (i < n) {
+			Node x = new Node();
+			x.v = i;
+			x.next = head;
+			head = x;
+			i = i + 1;
+		}
+		return head;
+	}
+
+	static int scan(Node head) {
+		int sum = 0;
+		Node cur = head;
+		while (cur != null) {
+			sum = sum + cur.v;
+			cur = cur.next;
+		}
+		return sum;
+	}
+
+	static void main() {
+		Node head = build(200);
+		int r = 0;
+		int i = 0;
+		while (i < 50) {
+			r = scan(head);
+			i = i + 1;
+		}
+		writeOutput(r);
+	}
+}
+`
+
+func benchProgram(b *testing.B) *bytecode.Program {
+	b.Helper()
+	prog, err := compiler.CompileSource(benchSrc)
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// nopPathListener discards every event, including the path-counter ones,
+// so the benchmarks measure frontend dispatch cost alone.
+type nopPathListener struct{ events.NopListener }
+
+func (nopPathListener) SiteTouch(int, events.Entity) bool { return true }
+func (nopPathListener) LoopPathCount(int, int, int64)     {}
+
+var _ events.PathListener = nopPathListener{}
+
+// BenchmarkDispatchPlain is the baseline: un-instrumented bytecode, no
+// listener, pure interpreter dispatch.
+func BenchmarkDispatchPlain(b *testing.B) {
+	prog := benchProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(prog, Config{Seed: 1})
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchEventsProbe runs the optimized events-mode rewrite: the
+// scan loop streams a LoopBack plus a FieldGet probe per iteration.
+func BenchmarkDispatchEventsProbe(b *testing.B) {
+	prog := benchProgram(b)
+	ins, err := instrument.Instrument(prog, instrument.Optimized)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(ins.Prog, Config{Listener: nopPathListener{}, Plan: ins.Plan, Seed: 1})
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchPathBump runs the paths-mode rewrite of the same
+// program: the scan loop's per-iteration probes collapse into Ball–Larus
+// path-register updates and one counter bump per iteration, with field
+// accesses reduced to a first-touch check.
+func BenchmarkDispatchPathBump(b *testing.B) {
+	prog := benchProgram(b)
+	ins, err := instrument.Instrument(prog, instrument.Paths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ins.PathTables) == 0 {
+		b.Fatal("no counted loops: path numbering rejected the scan loop")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(ins.Prog, Config{
+			Listener: nopPathListener{},
+			Plan:     ins.Plan,
+			NumSites: ins.NumSites(),
+			Seed:     1,
+		})
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -148,6 +148,23 @@ func (o *Object) ForEachRef(visit func(fieldID int, target events.Entity)) {
 // ForEachElemKey implements events.Entity (no elements on objects).
 func (o *Object) ForEachElemKey(func(events.ElemKey)) {}
 
+// AppendRefs implements events.RefBatcher.
+func (o *Object) AppendRefs(keep func(fieldID int) bool, dst []events.Entity) []events.Entity {
+	for _, f := range o.Class.RefFields() {
+		if !keep(f.ID) {
+			continue
+		}
+		v := o.Fields[f.Slot]
+		switch v.K {
+		case ValObj:
+			dst = append(dst, v.O)
+		case ValArr:
+			dst = append(dst, v.A)
+		}
+	}
+	return dst
+}
+
 // Array is a heap-allocated array. Type is the full array type, so the
 // element type is Type.Elem.
 type Array struct {

@@ -32,6 +32,10 @@ type Config struct {
 	// rebuild an exact shadow heap offline; non-recording runs leave it
 	// nil and pay nothing.
 	Journal events.Journal
+	// NumSites is the number of path-counted access sites in the program
+	// (Instrumented.NumSites, paths mode only); it sizes the per-site
+	// first-touch table. Zero outside paths mode.
+	NumSites int
 	// Seed seeds the deterministic rand() builtin.
 	Seed uint64
 	// Input feeds the readInput() builtin; when exhausted, readInput
@@ -105,13 +109,23 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("mj runtime error: %s (at %s pc=%d)", e.Msg, e.Method, e.PC)
 }
 
+// openLoop is one active loop in a frame: a classic-probe loop (base -1)
+// or a counted loop with its block of path counters in the VM arena.
+type openLoop struct {
+	id     int
+	base   int // first arena slot of this invocation's counters; -1 = classic
+	npaths int
+	saved  int // enclosing loop's path register, restored on exit
+}
+
 type frame struct {
 	fn        *bytecode.Function
 	pc        int
 	locals    []Value
 	stack     []Value
-	loopStack []int // loop ids currently active in this frame
-	emittedME bool  // whether MethodEntry was emitted for this frame
+	loopStack []openLoop // loops currently active in this frame
+	pathReg   int        // Ball–Larus path register of the innermost counted loop
+	emittedME bool       // whether MethodEntry was emitted for this frame
 }
 
 // VM executes one compiled MJ program.
@@ -120,7 +134,12 @@ type VM struct {
 	cfg  Config
 
 	frames []*frame
-	nextID uint64
+	// framePool recycles returned frames (with their locals and operand
+	// stack capacity) across calls: per-call frame allocation was a top
+	// source of GC churn, and the induced marking phases put write
+	// barriers on the interpreter's hot value copies.
+	framePool []*frame
+	nextID    uint64
 	rng    uint64
 	inPos  int
 	wdLeft int // instructions until the next Watchdog poll
@@ -134,6 +153,17 @@ type VM struct {
 	Stdout []string
 	// Output collects writeOutput() values.
 	Output []Value
+
+	// Path-counter state (paths mode). pathArena stacks the per-invocation
+	// counter blocks of every active counted loop, across frames; each
+	// openLoop's base indexes into it. siteEpoch/accessEpoch implement
+	// once-per-segment site touches: a site fires SiteTouch only when its
+	// epoch differs from the global one, and every repetition boundary
+	// (loop or instrumented-method entry/exit) advances the global epoch.
+	pathArena   []int64
+	siteEpoch   []uint64
+	accessEpoch uint64
+	pl          events.PathListener // non-nil iff Listener is path-aware
 
 	gate   gate
 	vtable map[vtKey]*bytecode.Function
@@ -195,7 +225,7 @@ func New(prog *bytecode.Program, cfg Config) *VM {
 	if cfg.MaxDepth == 0 {
 		cfg.MaxDepth = 10_000
 	}
-	return &VM{
+	m := &VM{
 		prog: prog,
 		cfg:  cfg,
 		rng:  cfg.Seed*2862933555777941757 + 3037000493,
@@ -206,7 +236,14 @@ func New(prog *bytecode.Program, cfg Config) *VM {
 		gate:   buildGate(prog, cfg),
 		vtable: map[vtKey]*bytecode.Function{},
 		byName: map[nmKey]*types.Method{},
+		// Epoch 1 so the zero-valued siteEpoch table means "never touched".
+		accessEpoch: 1,
+		siteEpoch:   make([]uint64, cfg.NumSites),
 	}
+	if pl, ok := cfg.Listener.(events.PathListener); ok {
+		m.pl = pl
+	}
+	return m
 }
 
 // Run executes the program's main method. Go panics raised inside the
@@ -334,32 +371,90 @@ func (m *VM) call(fn *bytecode.Function, args []Value) error {
 		}
 		return &RuntimeError{Msg: "stack overflow"}
 	}
-	f := &frame{
-		fn:     fn,
-		locals: make([]Value, fn.NumLocals),
+	var f *frame
+	if n := len(m.framePool); n > 0 {
+		f = m.framePool[n-1]
+		m.framePool = m.framePool[:n-1]
+	} else {
+		f = &frame{}
 	}
+	f.fn = fn
+	f.pc = 0
+	if cap(f.locals) >= fn.NumLocals {
+		// Pooled storage was zeroed when the frame was recycled.
+		f.locals = f.locals[:fn.NumLocals]
+	} else {
+		f.locals = make([]Value, fn.NumLocals)
+	}
+	f.stack = f.stack[:0]
+	f.loopStack = f.loopStack[:0]
+	f.pathReg = 0
+	f.emittedME = false
 	copy(f.locals, args)
 	m.frames = append(m.frames, f)
 
 	if m.gate.method[fn.Method.ID] {
 		f.emittedME = true
+		m.accessEpoch++
 		m.cfg.Listener.MethodEntry(fn.Method.ID)
 	}
 
 	err := m.interpret(f)
 
-	// Unwind loop probes that are still active (early return out of loops),
-	// mirroring AlgoProf's handling of exceptional exits.
-	if m.gate.loops {
-		for i := len(f.loopStack) - 1; i >= 0; i-- {
-			m.cfg.Listener.LoopExit(f.loopStack[i])
+	// Unwind loop probes that are still active (early return out of loops,
+	// or an exception propagating past this frame), mirroring AlgoProf's
+	// handling of exceptional exits. Counted loops flush their accumulated
+	// path counters; the in-flight partial path is dropped.
+	for i := len(f.loopStack) - 1; i >= 0; i-- {
+		ol := &f.loopStack[i]
+		if ol.base >= 0 {
+			m.flushPathLoop(ol)
+		}
+		m.accessEpoch++
+		if m.gate.loops {
+			m.cfg.Listener.LoopExit(ol.id)
 		}
 	}
 	if f.emittedME {
+		m.accessEpoch++
 		m.cfg.Listener.MethodExit(fn.Method.ID)
 	}
 	m.frames = m.frames[:len(m.frames)-1]
+	// Zero the recycled storage over its full capacity: the pool must not
+	// keep dead program objects reachable, and the next call borrows the
+	// slices assuming they are zeroed.
+	f.locals = f.locals[:cap(f.locals)]
+	clear(f.locals)
+	f.stack = f.stack[:cap(f.stack)]
+	clear(f.stack)
+	m.framePool = append(m.framePool, f)
 	return err
+}
+
+// siteTouch fires the first-touch notification for a path-counted access
+// site, once per repetition segment — or repeatedly while the listener
+// reports the site's input resolution as still pending (it then keeps
+// seeing every access until one resolves).
+func (m *VM) siteTouch(site int, e events.Entity) {
+	if m.siteEpoch[site] != m.accessEpoch {
+		if m.pl.SiteTouch(site, e) {
+			m.siteEpoch[site] = m.accessEpoch
+		}
+	}
+}
+
+// flushPathLoop reports the nonzero path counters of one finished (or
+// abandoned) counted-loop invocation and releases its arena block.
+func (m *VM) flushPathLoop(ol *openLoop) {
+	counts := m.pathArena[ol.base : ol.base+ol.npaths]
+	if m.pl != nil {
+		for pid, c := range counts {
+			if c != 0 {
+				m.pl.LoopPathCount(ol.id, pid, c)
+			}
+		}
+	}
+	m.pathArena = m.pathArena[:ol.base]
 }
 
 func (m *VM) push(f *frame, v Value) { f.stack = append(f.stack, v) }
@@ -439,7 +534,11 @@ func (m *VM) interpret(f *frame) error {
 				return m.fail(f, "null dereference reading %s", fld.QualifiedName())
 			}
 			if g.field[fld.ID] {
-				listener.FieldGet(recv.O, fld.ID)
+				if in.B != 0 && m.pl != nil {
+					m.siteTouch(in.B-1, recv.O)
+				} else {
+					listener.FieldGet(recv.O, fld.ID)
+				}
 			}
 			m.push(f, recv.O.Fields[fld.Slot])
 
@@ -455,7 +554,11 @@ func (m *VM) interpret(f *frame) error {
 			}
 			recv.O.Fields[fld.Slot] = val
 			if g.field[fld.ID] {
-				listener.FieldPut(recv.O, fld.ID, val.Entity())
+				if in.B != 0 && m.pl != nil {
+					m.siteTouch(in.B-1, recv.O)
+				} else {
+					listener.FieldPut(recv.O, fld.ID, val.Entity())
+				}
 			}
 
 		case bytecode.OpGetFieldDyn:
@@ -521,7 +624,11 @@ func (m *VM) interpret(f *frame) error {
 				return m.fail(f, "array index %d out of bounds (len %d)", idx.I, len(av.A.Elems))
 			}
 			if g.arrays {
-				listener.ArrayLoad(av.A)
+				if in.B != 0 && m.pl != nil {
+					m.siteTouch(in.B-1, av.A)
+				} else {
+					listener.ArrayLoad(av.A)
+				}
 			}
 			m.push(f, av.A.Elems[idx.I])
 
@@ -544,7 +651,11 @@ func (m *VM) interpret(f *frame) error {
 				journal.ArrayStoreAt(av.A, int(idx.I), key, tgt)
 			}
 			if g.arrays {
-				listener.ArrayStore(av.A, val.Entity())
+				if in.B != 0 && m.pl != nil {
+					m.siteTouch(in.B-1, av.A)
+				} else {
+					listener.ArrayStore(av.A, val.Entity())
+				}
 			}
 
 		case bytecode.OpArrayLen:
@@ -724,7 +835,8 @@ func (m *VM) interpret(f *frame) error {
 			return m.fail(f, "method %s fell off the end without returning a value", f.fn.Name())
 
 		case bytecode.OpLoopEnter:
-			f.loopStack = append(f.loopStack, in.A)
+			f.loopStack = append(f.loopStack, openLoop{id: in.A, base: -1})
+			m.accessEpoch++
 			if g.loops {
 				listener.LoopEntry(in.A)
 			}
@@ -736,13 +848,74 @@ func (m *VM) interpret(f *frame) error {
 			// Pop the matching loop; probes are inserted so exits match the
 			// innermost active loop, but be robust to nested multi-exits.
 			for i := len(f.loopStack) - 1; i >= 0; i-- {
-				if f.loopStack[i] == in.A {
+				if f.loopStack[i].id == in.A {
 					f.loopStack = append(f.loopStack[:i], f.loopStack[i+1:]...)
 					break
 				}
 			}
+			m.accessEpoch++
 			if g.loops {
 				listener.LoopExit(in.A)
+			}
+
+		case bytecode.OpPathEnter:
+			base := len(m.pathArena)
+			for i := 0; i < in.B; i++ {
+				m.pathArena = append(m.pathArena, 0)
+			}
+			f.loopStack = append(f.loopStack, openLoop{id: in.A, base: base, npaths: in.B, saved: f.pathReg})
+			f.pathReg = 0
+			m.accessEpoch++
+			if g.loops {
+				listener.LoopEntry(in.A)
+			}
+
+		case bytecode.OpPathExit:
+			n := len(f.loopStack)
+			if n == 0 || f.loopStack[n-1].id != in.A || f.loopStack[n-1].base < 0 {
+				return m.fail(f, "path.exit %d without matching path.enter", in.A)
+			}
+			ol := f.loopStack[n-1]
+			idx := ol.base + f.pathReg + in.B
+			if idx < ol.base || idx >= ol.base+ol.npaths {
+				return m.fail(f, "path.exit %d: path id %d out of range [0,%d)", in.A, f.pathReg+in.B, ol.npaths)
+			}
+			m.pathArena[idx]++
+			f.loopStack = f.loopStack[:n-1]
+			m.flushPathLoop(&ol)
+			f.pathReg = ol.saved
+			m.accessEpoch++
+			if g.loops {
+				listener.LoopExit(in.A)
+			}
+
+		case bytecode.OpPathBump:
+			// One finished iteration: count the path, restart at the header.
+			n := len(f.loopStack)
+			if n == 0 || f.loopStack[n-1].base < 0 {
+				return m.fail(f, "path.bump outside a counted loop")
+			}
+			ol := &f.loopStack[n-1]
+			idx := ol.base + f.pathReg + in.B
+			if idx < ol.base || idx >= ol.base+ol.npaths {
+				return m.fail(f, "path.bump: path id %d out of range [0,%d)", f.pathReg+in.B, ol.npaths)
+			}
+			m.pathArena[idx]++
+			f.pathReg = 0
+			f.pc = in.A
+
+		case bytecode.OpPathInc:
+			f.pathReg += in.A
+
+		case bytecode.OpJmpTruePath:
+			if m.pop(f).I != 0 {
+				f.pathReg += in.B
+				f.pc = in.A
+			}
+		case bytecode.OpJmpFalsePath:
+			if m.pop(f).I == 0 {
+				f.pathReg += in.B
+				f.pc = in.A
 			}
 
 		default:
@@ -765,16 +938,23 @@ func (m *VM) deliver(f *frame, th *Thrown, atPC int) bool {
 			continue
 		}
 		// Pop loops the unwind abandons: everything above the handler's
-		// static loop scope.
+		// static loop scope. Abandoned counted loops flush their counters
+		// (the partial in-flight path is dropped) and restore the path
+		// register they saved.
 		inScope := map[int]bool{}
 		for _, id := range h.LoopScope {
 			inScope[id] = true
 		}
-		for len(f.loopStack) > 0 && !inScope[f.loopStack[len(f.loopStack)-1]] {
-			id := f.loopStack[len(f.loopStack)-1]
+		for len(f.loopStack) > 0 && !inScope[f.loopStack[len(f.loopStack)-1].id] {
+			ol := f.loopStack[len(f.loopStack)-1]
 			f.loopStack = f.loopStack[:len(f.loopStack)-1]
+			if ol.base >= 0 {
+				m.flushPathLoop(&ol)
+				f.pathReg = ol.saved
+			}
+			m.accessEpoch++
 			if m.cfg.Listener != nil {
-				m.cfg.Listener.LoopExit(id)
+				m.cfg.Listener.LoopExit(ol.id)
 			}
 		}
 		f.stack = f.stack[:0]

@@ -45,6 +45,12 @@ func RecordProgram(prog *bytecode.Program, cfg Config, w io.Writer, topts trace.
 // RecordProgramContext is RecordProgram with cooperative cancellation (see
 // RecordContext).
 func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config, w io.Writer, topts trace.WriterOptions) (*Profile, error) {
+	if cfg.Mode == ModePaths {
+		// The trace format carries the exact event stream; path counters
+		// elide precisely the records replay needs. Record in events mode
+		// and profile the trace under either mode's semantics offline.
+		return nil, fmt.Errorf("algoprof: trace recording requires events mode (got mode %q)", cfg.Mode)
+	}
 	ins, err := instrument.Instrument(prog, instrument.Optimized)
 	if err != nil {
 		return nil, err
@@ -111,7 +117,7 @@ func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 	if err != nil {
 		return nil, err
 	}
-	if err := runVerify(chk, prof, false); err != nil {
+	if err := runVerify(chk, prof, false, true); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -135,6 +141,9 @@ func ReplayProgram(prog *bytecode.Program, cfg Config, r *trace.Reader) (*Profil
 // (MaxEvents, MaxLiveBytes) apply during replay exactly as they did live,
 // which keeps replay-equality for degraded runs.
 func ReplayProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config, r *trace.Reader) (*Profile, error) {
+	if cfg.Mode == ModePaths {
+		return nil, fmt.Errorf("algoprof: trace replay requires events mode (got mode %q)", cfg.Mode)
+	}
 	ins, err := instrument.Instrument(prog, instrument.Optimized)
 	if err != nil {
 		return nil, err
@@ -165,7 +174,7 @@ func ReplayProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 		p.DegradedReasons = append(p.DegradedReasons, "truncated-trace")
 	}
 	p.Degraded = len(p.DegradedReasons) > 0
-	if err := runVerify(chk, prof, truncated); err != nil {
+	if err := runVerify(chk, prof, truncated, true); err != nil {
 		return nil, err
 	}
 	return p, nil
