@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-smoke fuzz-smoke chaos-smoke paper
+.PHONY: check build test vet race replay-race bench bench-smoke fuzz-smoke chaos-smoke paper
 
 # The tier-1 gate plus the concurrency-sensitive packages under the race
 # detector. Run before committing.
@@ -24,27 +24,40 @@ test:
 race:
 	$(GO) test -race . ./internal/events/... ./internal/core ./internal/experiments/... ./internal/trace/... ./probe
 
+# The parallel-replay surface under the race detector, repeated: worker
+# fan-out, chunk merging, cancellation, and the fleet differ are exactly
+# the code where a rare interleaving hides, so this leg runs them -count=3.
+replay-race:
+	$(GO) test -race -count=3 -run 'ReplayParallel|ReplayRange|Fleet|ParallelMatches' . ./internal/trace/...
+
 # Regenerate the machine-readable perf baselines (use -j 1 timings):
-# BENCH_overhead.json (instrumentation overhead + memo ablation) and
-# BENCH_pipeline.json (event-transport configurations).
+# BENCH_overhead.json (instrumentation overhead + memo ablation),
+# BENCH_pipeline.json (event-transport configurations), and
+# BENCH_replay.json (parallel trace replay + Merkle diff).
 bench:
-	$(GO) run ./cmd/paper -j 1 bench -out BENCH_overhead.json -pipeline-out BENCH_pipeline.json
+	$(GO) run ./cmd/paper -j 1 bench -out BENCH_overhead.json -pipeline-out BENCH_pipeline.json -replay-out BENCH_replay.json
 
 # One-iteration pass over every Go micro-benchmark — a fast compile-and-run
 # sanity check that the benchmarks themselves still work — followed by the
-# per-mode overhead regression gate: fail when paths-mode slowdown exceeds
-# the recorded BENCH_overhead.json baseline by more than 1.5x.
+# regression gates: per-mode overhead (fail when paths-mode slowdown
+# exceeds the recorded BENCH_overhead.json baseline by more than 1.5x) and
+# parallel replay (fail when the parallel stream diverges from sequential,
+# or is slower than sequential on a multi-core runner).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 	$(GO) run ./cmd/paper -j 1 bench -check
 
-# Short live-fuzz legs over the two decoder no-panic contracts: the trace
-# reader must recover-or-refuse arbitrary bytes, and the path-counter
+# Short live-fuzz legs over the decoder no-panic contracts: the trace
+# reader must recover-or-refuse arbitrary bytes (v1 recovery scan and the
+# v2 surface — checkpoints, range replay, parallel replay, range proofs),
+# the checkpoint decoder must reject damage typed, and the path-counter
 # decoder must reject arbitrary table/counter combinations without
 # crashing or miscounting. The seed corpora also run as plain fixtures in
 # `make test`.
 fuzz-smoke:
-	$(GO) test -run Fuzz -fuzz=FuzzReplay -fuzztime=10s ./internal/trace
+	$(GO) test -run Fuzz -fuzz='FuzzReplay$$' -fuzztime=10s ./internal/trace
+	$(GO) test -run Fuzz -fuzz=FuzzReplayV2 -fuzztime=10s ./internal/trace
+	$(GO) test -run Fuzz -fuzz=FuzzCheckpointDecode -fuzztime=10s ./internal/trace
 	$(GO) test -run Fuzz -fuzz=FuzzDecode -fuzztime=10s ./internal/pathdecode
 
 # Seeded fault-injection sweep through the whole pipeline (see

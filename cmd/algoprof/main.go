@@ -6,35 +6,47 @@
 //
 //	algoprof [-seed N] [-unique] [-eager] [-plot ALGO] prog.mj
 //	algoprof record [-store DIR] [-name NAME] [-workload LABEL] [profiling flags] prog.mj
-//	algoprof replay [-store DIR] [-json] NAME
+//	algoprof replay [-store DIR] [-json] [-j N] NAME
 //	algoprof diff   [-store DIR] OLD NEW
+//	algoprof fleetdiff [-store DIR] [-json] [-j N] BASELINE [RUN...]
 //	algoprof runs   [-store DIR]
 //	algoprof chaos  [-seeds N] [-base-seed N] [-dir DIR] [-v]
 //	algoprof verify DIR
+//	algoprof verify -range LO:HI TRACE
 //
 // record captures the run's full event stream to a trace store; replay
 // rebuilds the identical profile offline from the stored trace (no VM
-// execution); diff compares two stored runs' fitted cost functions and
+// execution — with -j N the trace decodes on N workers, same profile
+// byte-for-byte); diff compares two stored runs' fitted cost functions and
 // exits non-zero when an algorithm's complexity class regressed (e.g.
-// n·log n → n²), as opposed to mere constant-factor drift.
+// n·log n → n²), as opposed to mere constant-factor drift, and also
+// reports how the two runs' traces differ frame-by-frame via their Merkle
+// footers. fleetdiff fans that trace differ out across every run in the
+// store against a baseline.
 //
 // chaos sweeps seeded fault schedules through the whole pipeline (see
 // internal/chaos) and exits non-zero unless every schedule succeeds,
 // degrades deterministically, or fails with a typed fault class. verify
 // audits a stored run directory — or a whole store of them — offline and
-// exits non-zero when any artifact is damaged or inconsistent.
+// exits non-zero when any artifact is damaged or inconsistent; with
+// -range LO:HI it instead proves frames [LO, HI) of one trace file intact
+// against the trace's Merkle root, reading only the footer and that range.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"algoprof"
 	"algoprof/internal/chaos"
+	"algoprof/internal/experiments"
 	"algoprof/internal/focus"
 	"algoprof/internal/trace"
 	"algoprof/internal/trace/store"
@@ -52,6 +64,9 @@ func main() {
 			return
 		case "diff":
 			cmdDiff(os.Args[2:])
+			return
+		case "fleetdiff":
+			cmdFleetDiff(os.Args[2:])
 			return
 		case "runs":
 			cmdRuns(os.Args[2:])
@@ -263,10 +278,11 @@ func cmdReplay(args []string) {
 	fs := flag.NewFlagSet("algoprof replay", flag.ExitOnError)
 	dir := fs.String("store", "traces", "trace store directory")
 	jsonOut := fs.Bool("json", false, "emit the profile as JSON instead of text")
+	workers := fs.Int("j", 1, "decode trace frames on N workers (0 = all cores); the profile is byte-identical to -j 1")
 	fs.Parse(args)
 
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: algoprof replay [-store DIR] NAME")
+		fmt.Fprintln(os.Stderr, "usage: algoprof replay [-store DIR] [-j N] NAME")
 		fs.PrintDefaults()
 		os.Exit(2)
 	}
@@ -274,7 +290,12 @@ func cmdReplay(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	run, err := s.Replay(fs.Arg(0))
+	var run *store.Run
+	if *workers == 1 {
+		run, err = s.Replay(fs.Arg(0))
+	} else {
+		run, err = s.ReplayParallel(context.Background(), fs.Arg(0), *workers)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -309,8 +330,95 @@ func cmdDiff(args []string) {
 	d := store.DiffRuns(&oldRun.Manifest, &newRun.Manifest)
 	fmt.Printf("diff %s -> %s\n", oldRun.Name, newRun.Name)
 	fmt.Print(d.Render())
+	printTraceDiff(oldRun, newRun)
 	if d.HasComplexityRegression() {
 		fmt.Fprintln(os.Stderr, "algoprof: complexity regression detected")
+		os.Exit(1)
+	}
+}
+
+// printTraceDiff appends a frame-level trace comparison to a run diff.
+// Best-effort: interrupted runs have no reachable trace index, and their
+// cost-function diff above still stands on its own.
+func printTraceDiff(oldRun, newRun *store.Run) {
+	td, err := trace.DiffTraceFiles(
+		filepath.Join(oldRun.Dir, store.TraceName),
+		filepath.Join(newRun.Dir, store.TraceName))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "algoprof: trace diff unavailable: %v\n", err)
+		return
+	}
+	fmt.Print(renderTraceDiff(td))
+}
+
+// renderTraceDiff formats a frame-level trace diff.
+func renderTraceDiff(td *trace.TraceDiff) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d -> %d frames", td.OldFrames, td.NewFrames)
+	switch {
+	case td.Identical:
+		b.WriteString(", identical")
+	case td.FullScan:
+		fmt.Fprintf(&b, ", %d changed (%d records) via full scan", td.ChangedFrames, td.ChangedRecords)
+	default:
+		fmt.Fprintf(&b, ", %d changed (%d records) in %d range(s)", td.ChangedFrames, td.ChangedRecords, len(td.ChangedRanges))
+	}
+	fmt.Fprintf(&b, "; %d hash comparisons, %d bytes read\n",
+		td.HashComparisons, td.BytesReadOld+td.BytesReadNew)
+	for _, rg := range td.ChangedRanges {
+		fmt.Fprintf(&b, "    frames [%d,%d)\n", rg[0], rg[1])
+	}
+	return b.String()
+}
+
+// cmdFleetDiff compares one baseline run's trace against every other run in
+// the store (or an explicit run list), in parallel on the experiments
+// worker pool. Exit status 1 when any comparison failed.
+func cmdFleetDiff(args []string) {
+	fs := flag.NewFlagSet("algoprof fleetdiff", flag.ExitOnError)
+	dir := fs.String("store", "traces", "trace store directory")
+	jsonOut := fs.Bool("json", false, "emit the fleet report as JSON")
+	workers := fs.Int("j", 0, "bound the comparison worker pool (0 = all cores)")
+	fs.Parse(args)
+
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: algoprof fleetdiff [-store DIR] [-json] [-j N] BASELINE [RUN...]")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	experiments.SetParallelism(*workers)
+	s, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := s.FleetDiff(fs.Arg(0), fs.Args()[1:])
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	} else {
+		fmt.Printf("fleetdiff baseline=%s runs=%d identical=%d changed=%d failed=%d bytes_read=%d\n",
+			rep.Baseline, len(rep.Entries), rep.Identical, rep.Changed, rep.Failed, rep.BytesRead)
+		for _, e := range rep.Entries {
+			switch {
+			case e.Err != "":
+				fmt.Printf("  %-24s ERROR %s\n", e.Run, e.Err)
+			case e.SkippedByRoot:
+				fmt.Printf("  %-24s identical (manifest merkle root)\n", e.Run)
+			case e.Identical:
+				fmt.Printf("  %-24s identical\n", e.Run)
+			default:
+				fmt.Printf("  %-24s %s", e.Run, renderTraceDiff(e.Diff))
+			}
+		}
+	}
+	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "algoprof: fleetdiff: %d run(s) failed to compare\n", rep.Failed)
 		os.Exit(1)
 	}
 }
@@ -392,15 +500,21 @@ func cmdVerify(args []string) {
 	fs := flag.NewFlagSet("algoprof verify", flag.ExitOnError)
 	pathdecode := fs.Bool("pathdecode", false, "treat the argument as an MJ program and cross-check paths-mode decode against events mode")
 	seed := fs.Uint64("seed", 1, "seed for the rand() builtin (with -pathdecode)")
+	frameRange := fs.String("range", "", "prove frames LO:HI of a trace file against its Merkle root, reading only the footer and that range")
 	fs.Parse(args)
 
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: algoprof verify DIR  (a run directory or a trace store)")
+		fmt.Fprintln(os.Stderr, "       algoprof verify -range LO:HI TRACE  (a trace file or run directory)")
 		fmt.Fprintln(os.Stderr, "       algoprof verify -pathdecode [-seed N] prog.mj")
 		os.Exit(2)
 	}
 	if *pathdecode {
 		cmdVerifyPathDecode(fs.Arg(0), *seed)
+		return
+	}
+	if *frameRange != "" {
+		cmdVerifyRange(fs.Arg(0), *frameRange)
 		return
 	}
 	dir := fs.Arg(0)
@@ -423,6 +537,42 @@ func cmdVerify(args []string) {
 	}
 	fmt.Fprintf(os.Stderr, "algoprof: verify found %d defect(s)\n", len(findings))
 	os.Exit(1)
+}
+
+// cmdVerifyRange proves one frame range of a trace file intact against the
+// trace's Merkle root. The argument may be a trace file or a run directory
+// (then the run's trace is verified). HI may be omitted ("LO:") to mean the
+// end of the trace, and LO may be omitted (":HI") to mean the start.
+func cmdVerifyRange(path, spec string) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, store.TraceName)
+	}
+	colon := strings.IndexByte(spec, ':')
+	if colon < 0 {
+		fatal(fmt.Errorf("bad -range %q: want LO:HI", spec))
+	}
+	ix, err := trace.OpenIndex(path)
+	if err != nil {
+		fatal(err)
+	}
+	lo, hi := 0, ix.Frames
+	if s := spec[:colon]; s != "" {
+		if lo, err = strconv.Atoi(s); err != nil {
+			fatal(fmt.Errorf("bad -range %q: %w", spec, err))
+		}
+	}
+	if s := spec[colon+1:]; s != "" {
+		if hi, err = strconv.Atoi(s); err != nil {
+			fatal(fmt.Errorf("bad -range %q: %w", spec, err))
+		}
+	}
+	rc, err := trace.VerifyFileRange(path, lo, hi)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("verify: frames [%d,%d) ok — %d records, root %s\n", rc.Lo, rc.Hi, rc.Records, rc.Root)
+	fmt.Printf("verify: read %d of %d file bytes (%.1f%%)\n",
+		rc.BytesRead, rc.FileSize, 100*float64(rc.BytesRead)/float64(rc.FileSize))
 }
 
 // cmdVerifyPathDecode profiles one program under both modes with the

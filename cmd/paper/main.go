@@ -389,15 +389,21 @@ func captureTrace(w io.Writer) error {
 }
 
 // benchHeader is the provenance header shared by every BENCH_*.json
-// writer, so generation time and GOMAXPROCS are recorded once and the
-// same way everywhere.
+// writer: generation time, the actual GOMAXPROCS of the run, and the trace
+// format version the build writes, recorded once and the same way
+// everywhere.
 type benchHeader struct {
-	GeneratedUnix int64 `json:"generated_unix"`
-	GoMaxProcs    int   `json:"go_maxprocs"`
+	GeneratedUnix      int64 `json:"generated_unix"`
+	GoMaxProcs         int   `json:"go_maxprocs"`
+	TraceFormatVersion int   `json:"trace_format_version"`
 }
 
 func newBenchHeader() benchHeader {
-	return benchHeader{GeneratedUnix: time.Now().Unix(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	return benchHeader{
+		GeneratedUnix:      time.Now().Unix(),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		TraceFormatVersion: trace.Version,
+	}
 }
 
 // benchModes is the per-mode overhead section of BENCH_overhead.json: the
@@ -466,16 +472,30 @@ type pipelinePoint struct {
 	Identical       bool    `json:"identical"`
 }
 
+// replayReport is the machine-readable replay/diff throughput benchmark
+// written to BENCH_replay.json: sequential vs parallel trace replay (with
+// the byte-identity assertion), end-to-end parallel profile replay, and
+// the Merkle-indexed diff against the full scan it replaces.
+type replayReport struct {
+	benchHeader
+	Parallelism int    `json:"parallelism"`
+	Seed        uint64 `json:"seed"`
+	experiments.ReplayBenchResult
+}
+
 // bench measures overhead and the memoization ablation and writes the
 // results as JSON (the BENCH_overhead.json perf baseline), plus the event
-// transport benchmark (BENCH_pipeline.json).
+// transport benchmark (BENCH_pipeline.json) and the parallel-replay/diff
+// benchmark (BENCH_replay.json).
 func bench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("out", "BENCH_overhead.json", "output file (\"-\" = stdout, \"\" = skip)")
 	pipeOut := fs.String("pipeline-out", "BENCH_pipeline.json",
 		"pipeline benchmark output file (\"-\" = stdout, \"\" = skip)")
+	replayOut := fs.String("replay-out", "BENCH_replay.json",
+		"parallel-replay benchmark output file (\"-\" = stdout, \"\" = skip)")
 	check := fs.Bool("check", false,
-		"regression gate: measure the per-mode overhead fresh and fail when paths-mode slowdown exceeds the recorded baseline by 1.5x; writes nothing")
+		"regression gate: measure the per-mode overhead and parallel-replay speedup fresh and fail when either regressed; writes nothing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -485,10 +505,15 @@ func bench(args []string) error {
 		return benchCheck(*out, now)
 	}
 	if *out == "" {
-		if *pipeOut == "" {
-			return nil
+		if *pipeOut != "" {
+			if err := benchPipeline(*pipeOut, now); err != nil {
+				return err
+			}
 		}
-		return benchPipeline(*pipeOut, now)
+		if *replayOut != "" {
+			return benchReplay(*replayOut, now)
+		}
+		return nil
 	}
 	var rep benchReport
 	rep.benchHeader = newBenchHeader()
@@ -549,10 +574,15 @@ func bench(args []string) error {
 		fmt.Printf("wrote %s (%d sweep points)\n", *out, len(rep.Points))
 	}
 
-	if *pipeOut == "" {
-		return nil
+	if *pipeOut != "" {
+		if err := benchPipeline(*pipeOut, now); err != nil {
+			return err
+		}
 	}
-	return benchPipeline(*pipeOut, now)
+	if *replayOut != "" {
+		return benchReplay(*replayOut, now)
+	}
+	return nil
 }
 
 // modeSection maps a measured per-mode overhead result to its report
@@ -605,6 +635,42 @@ func benchCheck(baselinePath string, now func() int64) error {
 			fresh, base.Modes.PathsSlowdown, limit)
 	}
 	fmt.Printf("bench -check: ok (paths %.2fx <= limit %.2fx)\n", fresh, limit)
+	return benchCheckReplay(now)
+}
+
+// benchCheckReplay is the parallel-replay half of the bench-smoke gate: a
+// fresh quick measurement must replay byte-identically at every worker
+// count and must not be slower than sequential at the largest one. The
+// bar is 1.0x, not the committed baseline's speedup — shared runners vary
+// too much in core count for an absolute ratio — so what it catches is
+// parallelism that stopped paying at all, and any identity break.
+func benchCheckReplay(now func() int64) error {
+	res, err := experiments.ReplayBench(sweep, []int{1, 4}, now)
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		fmt.Printf("replay -j %d: %v (%.2fx, identical=%v)\n",
+			p.Workers, time.Duration(p.ReplayNs), p.Speedup, p.Identical)
+		if !p.Identical {
+			return fmt.Errorf("bench -check: parallel replay at -j %d diverged from sequential", p.Workers)
+		}
+	}
+	if !res.ProfileIdentical {
+		return fmt.Errorf("bench -check: parallel profile replay (-j %d) diverged from sequential", res.ProfileParWorkers)
+	}
+	last := res.Points[len(res.Points)-1]
+	if cores := runtime.GOMAXPROCS(0); cores < 2 {
+		// One core cannot make parallel decode pay; only identity is
+		// checkable here. The speedup bar applies on multi-core runners.
+		fmt.Printf("bench -check: ok (streams identical; GOMAXPROCS=%d, speedup bar skipped)\n", cores)
+		return nil
+	}
+	if last.Speedup < 1.0 {
+		return fmt.Errorf("bench -check: parallel replay at -j %d is slower than sequential (%.2fx < 1.0x)",
+			last.Workers, last.Speedup)
+	}
+	fmt.Printf("bench -check: ok (replay -j %d %.2fx >= 1.0x, streams identical)\n", last.Workers, last.Speedup)
 	return nil
 }
 
@@ -646,6 +712,43 @@ func benchPipeline(out string, now func() int64) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d sizes)\n", out, len(rep.Points))
+	return nil
+}
+
+// benchReplay runs the parallel-replay and Merkle-diff benchmark and
+// writes BENCH_replay.json.
+func benchReplay(out string, now func() int64) error {
+	var rep replayReport
+	rep.benchHeader = newBenchHeader()
+	rep.Parallelism = experiments.Parallelism()
+	rep.Seed = sweep.Seed
+
+	res, err := experiments.ReplayBench(sweep, []int{1, 2, 4}, now)
+	if err != nil {
+		return err
+	}
+	rep.ReplayBenchResult = *res
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	best := 0.0
+	for _, p := range res.Points {
+		if p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	fmt.Printf("wrote %s (replay speedup up to %.2fx over %d frames, diff %.1fx)\n",
+		out, best, res.Frames, res.DiffSpeedup)
 	return nil
 }
 

@@ -58,6 +58,12 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ForEachIndex exposes the sweep worker pool to other subsystems — the run
+// store's fleet differ fans out over it — with forEachIndex's contract:
+// indexed results, deterministic lowest-index error, cancellation through
+// the sweep context.
+func ForEachIndex(n int, fn func(i int) error) error { return forEachIndex(n, fn) }
+
 // forEachIndex runs fn(0) … fn(n-1) across at most Parallelism() workers
 // and waits for all of them. fn must deposit its result at its own index
 // in a pre-sized slice; ordering of results is then independent of

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -134,6 +135,22 @@ func ReplayBackends(src string, r *trace.Reader) (*Backends, error) {
 	}
 	s.tp.Start()
 	if err := r.Replay(s.tp.Dispatch); err != nil {
+		return nil, err
+	}
+	return s.finish(r.Stats().Instructions)
+}
+
+// ReplayBackendsParallel is ReplayBackends with the trace's frame decoding
+// fanned out over workers goroutines; the three backends' results are
+// byte-identical to a sequential replay's (records still bind and dispatch
+// in recorded order — see trace.Reader.ReplayParallel).
+func ReplayBackendsParallel(src string, r *trace.Reader, workers int) (*Backends, error) {
+	s, err := newBackendSetup(src)
+	if err != nil {
+		return nil, err
+	}
+	s.tp.Start()
+	if err := r.ReplayParallel(context.Background(), workers, s.tp.Dispatch); err != nil {
 		return nil, err
 	}
 	return s.finish(r.Stats().Instructions)

@@ -91,3 +91,39 @@ func TestReplayGolden(t *testing.T) {
 			got, want)
 	}
 }
+
+// TestReplayBackendsParallelMatches extends the oracle to sharded replay:
+// every backend's rendered output after a parallel replay must be byte-
+// identical to the sequential replay's (and therefore to the live run's),
+// across worker counts and workloads. Small frames force many chunks so
+// the merge path actually exercises reordering.
+func TestReplayBackendsParallelMatches(t *testing.T) {
+	srcs := map[string]string{
+		"running": workloads.RunningExample(workloads.Random, 24, 8, 2),
+		"sorts":   workloads.MergeVsInsertion(32, 8, 2),
+	}
+	for name, src := range srcs {
+		var buf bytes.Buffer
+		if _, err := RecordBackends(src, 1, &buf, trace.WriterOptions{FrameSize: 512, CheckpointEvery: 4}); err != nil {
+			t.Fatalf("%s: RecordBackends: %v", name, err)
+		}
+		r, err := trace.NewReader(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: NewReader: %v", name, err)
+		}
+		seq, err := ReplayBackends(src, r)
+		if err != nil {
+			t.Fatalf("%s: ReplayBackends: %v", name, err)
+		}
+		seqFP := BackendsFingerprint(seq)
+		for _, workers := range []int{2, 4, 8} {
+			par, err := ReplayBackendsParallel(src, r, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if fp := BackendsFingerprint(par); fp != seqFP {
+				t.Errorf("%s workers=%d: parallel replay differs from sequential", name, workers)
+			}
+		}
+	}
+}

@@ -31,8 +31,13 @@ const (
 	Magic = "ALGTRACE"
 	// TrailerMagic closes every complete trace file.
 	TrailerMagic = "ALGTRIDX"
-	// Version is the current format version. Readers reject other versions.
-	Version = 1
+	// Version is the current format version, the one writers emit. Readers
+	// accept VersionV1 traces as well: they replay sequentially and diff via
+	// the slow path, but carry no checkpoints or Merkle footer.
+	Version = 2
+	// VersionV1 is the previous format: no checkpoint frames, no Merkle
+	// section in the index.
+	VersionV1 = 1
 
 	headerSize  = 8 + 4 + 4
 	trailerSize = 8 + 8
@@ -49,6 +54,14 @@ const (
 // sequential string id of the current frame. Event tags are the raw
 // pipeline.Op values, which stay well below 0xF0.
 const tagStrDef = 0xF0
+
+// tagCheckpoint opens a checkpoint frame (format v2): a serialized snapshot
+// of the full shadow heap at a frame boundary, written every
+// WriterOptions.CheckpointEvery data frames. Checkpoint frames carry no
+// events — sequential replay skips them — and exist so a range replay can
+// seed a private shadow heap at the nearest checkpoint at-or-before its
+// first frame instead of decoding the whole prefix.
+const tagCheckpoint = 0xF1
 
 // Decoder bounds. Real traces stay far under these; they exist so a
 // corrupted or adversarial file fails with an error instead of exhausting

@@ -33,13 +33,22 @@ type Stats struct {
 
 // Reader decodes one trace file. Open validates the header, trailer, and
 // index eagerly; Replay then streams the records through a dispatch
-// function in recorded order.
+// function in recorded order. Format-v2 traces additionally expose random
+// access (ReplayRange, ReplayParallel) via their checkpoint frames and
+// integrity proofs via their Merkle footer.
 type Reader struct {
 	data     []byte // full file contents
 	flags    uint32
 	dataEnd  int64 // offset of the index frame (end of data frames)
 	stats    Stats
 	frameOff []int64
+	frameRec []uint64 // per-frame record counts from the index
+
+	// Format v2 footer state.
+	ckpts     []int  // checkpoint frame indices, ascending
+	leaves    []Hash // one Merkle leaf per frame
+	root      Hash
+	hasMerkle bool
 }
 
 // Open reads and validates a trace file.
@@ -69,7 +78,7 @@ func NewReader(data []byte) (*Reader, error) {
 }
 
 func newStrictReader(data []byte) (*Reader, error) {
-	flags, err := checkHeader(data)
+	version, flags, err := checkHeader(data)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +94,7 @@ func newStrictReader(data []byte) (*Reader, error) {
 		return nil, corruptf("index offset %d out of range", indexOff)
 	}
 	r := &Reader{data: data, flags: flags, dataEnd: int64(indexOff)}
-	r.stats.Version = Version
+	r.stats.Version = version
 	r.stats.Compressed = flags&FlagCompress != 0
 	idx, _, err := readFrame(data, int64(indexOff), false)
 	if err != nil {
@@ -97,19 +106,21 @@ func newStrictReader(data []byte) (*Reader, error) {
 	return r, nil
 }
 
-// checkHeader validates the fixed-size file header and returns the flags.
-func checkHeader(data []byte) (uint32, error) {
+// checkHeader validates the fixed-size file header and returns the format
+// version and flags. Both the current version and v1 are accepted; v1
+// traces replay sequentially but expose no checkpoints or Merkle footer.
+func checkHeader(data []byte) (uint32, uint32, error) {
 	if len(data) < headerSize {
-		return 0, corruptf("file too short (%d bytes)", len(data))
+		return 0, 0, corruptf("file too short (%d bytes)", len(data))
 	}
 	if string(data[:8]) != Magic {
-		return 0, corruptf("bad magic")
+		return 0, 0, corruptf("bad magic")
 	}
 	version := binary.LittleEndian.Uint32(data[8:12])
-	if version != Version {
-		return 0, corruptf("unsupported version %d (want %d)", version, Version)
+	if version != Version && version != VersionV1 {
+		return 0, 0, corruptf("unsupported version %d (want %d or %d)", version, VersionV1, Version)
 	}
-	return binary.LittleEndian.Uint32(data[12:16]), nil
+	return version, binary.LittleEndian.Uint32(data[12:16]), nil
 }
 
 // recoverReader reconstructs a Reader from a trace without a usable
@@ -120,7 +131,7 @@ func checkHeader(data []byte) (uint32, error) {
 // its trailer), the index's stats are restored; otherwise the frame list
 // itself is the recovered extent and the stream totals are unknown.
 func recoverReader(data []byte) (*Reader, error) {
-	flags, err := checkHeader(data)
+	version, flags, err := checkHeader(data)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +148,7 @@ func recoverReader(data []byte) (*Reader, error) {
 		off = next
 	}
 	r := &Reader{data: data, flags: flags, dataEnd: off}
-	r.stats.Version = Version
+	r.stats.Version = version
 	r.stats.Compressed = flags&FlagCompress != 0
 	r.stats.Truncated = true
 	if n := len(offs); n > 0 {
@@ -152,6 +163,7 @@ func recoverReader(data []byte) (*Reader, error) {
 		}
 	}
 	r.stats.Frames = len(offs)
+	r.frameOff = offs
 	return r, nil
 }
 
@@ -178,36 +190,107 @@ func sameOffsets(a, b []int64) bool {
 	return true
 }
 
-func (r *Reader) parseIndex(idx []byte) error {
+// indexData is a parsed index frame, shared by the full Reader and the
+// footer-only OpenIndex path.
+type indexData struct {
+	frameOff     []int64
+	frameRec     []uint64
+	records      uint64
+	finalClock   uint64
+	instructions uint64
+	ckpts        []int
+	leaves       []Hash
+	root         Hash
+	hasMerkle    bool
+}
+
+// parseIndexData decodes an index frame payload. dataEnd bounds the frame
+// offsets; version selects whether the v2 tail (checkpoints + Merkle
+// section) is required.
+func parseIndexData(idx []byte, version uint32, dataEnd int64) (*indexData, error) {
+	d := &indexData{}
 	nFrames, pos, err := readUint(idx, 0, 1<<32, "frame count")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	r.frameOff = make([]int64, 0, nFrames)
+	d.frameOff = make([]int64, 0, nFrames)
+	d.frameRec = make([]uint64, 0, nFrames)
 	for i := 0; i < nFrames; i++ {
 		var off uint64
 		off, pos, err = readUvarint(idx, pos)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if off < headerSize || int64(off) >= r.dataEnd {
-			return corruptf("frame %d offset %d out of range", i, off)
+		if off < headerSize || int64(off) >= dataEnd {
+			return nil, corruptf("frame %d offset %d out of range", i, off)
 		}
-		r.frameOff = append(r.frameOff, int64(off))
-		if _, pos, err = readUvarint(idx, pos); err != nil { // record count
-			return err
+		d.frameOff = append(d.frameOff, int64(off))
+		var recs uint64
+		if recs, pos, err = readUvarint(idx, pos); err != nil {
+			return nil, err
 		}
+		d.frameRec = append(d.frameRec, recs)
 	}
-	if r.stats.Records, pos, err = readUvarint(idx, pos); err != nil {
+	if d.records, pos, err = readUvarint(idx, pos); err != nil {
+		return nil, err
+	}
+	if d.finalClock, pos, err = readUvarint(idx, pos); err != nil {
+		return nil, err
+	}
+	if d.instructions, pos, err = readUvarint(idx, pos); err != nil {
+		return nil, err
+	}
+	if version == VersionV1 {
+		// v1 indexes end here; anything further would belong to a format
+		// this reader predates, so it is ignored, as the v1 reader did.
+		return d, nil
+	}
+	// Format v2 tail: checkpoint frame indices, one Merkle leaf per frame,
+	// and the tree root. The tail is mandatory in v2, and strictly sized.
+	nCkpts, pos, err := readUint(idx, pos, uint64(nFrames)+1, "checkpoint count")
+	if err != nil {
+		return nil, err
+	}
+	d.ckpts = make([]int, 0, nCkpts)
+	for i := 0; i < nCkpts; i++ {
+		var c int
+		if c, pos, err = readUint(idx, pos, uint64(nFrames), "checkpoint frame index"); err != nil {
+			return nil, err
+		}
+		if i > 0 && c <= d.ckpts[i-1] {
+			return nil, corruptf("checkpoint frame indices not ascending (%d after %d)", c, d.ckpts[i-1])
+		}
+		d.ckpts = append(d.ckpts, c)
+	}
+	need := (nFrames + 1) * HashSize
+	if len(idx)-pos != need {
+		return nil, corruptf("merkle section is %d bytes, want %d", len(idx)-pos, need)
+	}
+	d.leaves = make([]Hash, nFrames)
+	for i := range d.leaves {
+		copy(d.leaves[i][:], idx[pos:])
+		pos += HashSize
+	}
+	copy(d.root[:], idx[pos:])
+	d.hasMerkle = true
+	return d, nil
+}
+
+func (r *Reader) parseIndex(idx []byte) error {
+	d, err := parseIndexData(idx, r.stats.Version, r.dataEnd)
+	if err != nil {
 		return err
 	}
-	if r.stats.FinalClock, pos, err = readUvarint(idx, pos); err != nil {
-		return err
-	}
-	if r.stats.Instructions, _, err = readUvarint(idx, pos); err != nil {
-		return err
-	}
-	r.stats.Frames = nFrames
+	r.frameOff = d.frameOff
+	r.frameRec = d.frameRec
+	r.stats.Records = d.records
+	r.stats.FinalClock = d.finalClock
+	r.stats.Instructions = d.instructions
+	r.stats.Frames = len(d.frameOff)
+	r.ckpts = d.ckpts
+	r.leaves = d.leaves
+	r.root = d.root
+	r.hasMerkle = d.hasMerkle
 	return nil
 }
 
@@ -285,6 +368,12 @@ func (r *Reader) ReplayContext(ctx context.Context, dispatch func(*pipeline.Reco
 			}
 			return err
 		}
+		if len(payload) > 0 && payload[0] == tagCheckpoint {
+			// Checkpoint frames carry heap snapshots, not events; sequential
+			// replay rebuilds the heap itself, so they are skipped whole.
+			off = next
+			continue
+		}
 		if r.stats.Truncated {
 			if replayFrameAtomic(payload, heap, dispatch) != nil {
 				return nil
@@ -350,7 +439,10 @@ func replayFrame(b []byte, heap shadowHeap, dispatch func(*pipeline.Record)) err
 		pos = pos2
 		clock += delta
 		rec := pipeline.Record{Op: op, Clock: clock}
-		if pos, err = decodeBody(b, pos, &rec, heap, strs); err != nil {
+		if pos, err = parseBody(b, pos, &rec, strs); err != nil {
+			return err
+		}
+		if err := bindBody(heap, &rec); err != nil {
 			return err
 		}
 		dispatch(&rec)
@@ -358,9 +450,10 @@ func replayFrame(b []byte, heap shadowHeap, dispatch func(*pipeline.Record)) err
 	return nil
 }
 
-// decodeBody reads the op-specific fields of one event, resolving entity
-// ids against (and mutating) the shadow heap.
-func decodeBody(b []byte, pos int, rec *pipeline.Record, heap shadowHeap, strs []string) (int, error) {
+// parseBody reads the op-specific fields of one event into the record. It
+// touches no heap state, so frames can be parsed concurrently and out of
+// order; bindBody later resolves entity ids in stream order.
+func parseBody(b []byte, pos int, rec *pipeline.Record, strs []string) (int, error) {
 	var err error
 	readID := func() {
 		var v int
@@ -369,16 +462,15 @@ func decodeBody(b []byte, pos int, rec *pipeline.Record, heap shadowHeap, strs [
 			rec.ID = int32(v)
 		}
 	}
-	readEnt := func(dst *int64) *shadowEntity {
+	readEnt := func(dst *int64) {
 		if err != nil {
-			return nil
+			return
 		}
 		var v uint64
 		if v, pos, err = readUvarint(b, pos); err != nil {
-			return nil
+			return
 		}
 		*dst = int64(v)
-		return heap.get(*dst)
 	}
 	switch rec.Op {
 	case pipeline.OpLoopEntry, pipeline.OpLoopBack, pipeline.OpLoopExit,
@@ -386,38 +478,26 @@ func decodeBody(b []byte, pos int, rec *pipeline.Record, heap shadowHeap, strs [
 		readID()
 	case pipeline.OpFieldGet:
 		readID()
-		rec.E1 = ent(readEnt(&rec.Ent))
+		readEnt(&rec.Ent)
 	case pipeline.OpFieldPut:
 		readID()
-		obj := readEnt(&rec.Ent)
-		tgt := readEnt(&rec.Aux)
-		if err == nil && obj != nil {
-			obj.setLink(int(rec.ID), tgt)
-		}
-		rec.E1, rec.E2 = ent(obj), ent(tgt)
+		readEnt(&rec.Ent)
+		readEnt(&rec.Aux)
 	case pipeline.OpArrayLoad:
-		rec.E1 = ent(readEnt(&rec.Ent))
+		readEnt(&rec.Ent)
 	case pipeline.OpArrayStore:
-		rec.E1 = ent(readEnt(&rec.Ent))
-		rec.E2 = ent(readEnt(&rec.Aux))
+		readEnt(&rec.Ent)
+		readEnt(&rec.Aux)
 	case pipeline.OpAlloc, pipeline.OpInstr:
 		readID()
-		if rec.Op == pipeline.OpAlloc {
-			rec.E1 = ent(readEnt(&rec.Ent))
-		} else if err == nil {
-			var v uint64
-			if v, pos, err = readUvarint(b, pos); err == nil {
-				rec.Ent = int64(v)
-			}
-		}
+		readEnt(&rec.Ent)
 	case pipeline.OpInputRead, pipeline.OpOutputWrite:
 		// No fields.
 	case pipeline.OpJrnlAlloc:
-		var id uint64
-		if id, pos, err = readUvarint(b, pos); err != nil {
+		readEnt(&rec.Ent)
+		if err != nil {
 			return pos, err
 		}
-		rec.Ent = int64(id)
 		var classID int64
 		if classID, pos, err = readVarint(b, pos); err != nil {
 			return pos, err
@@ -439,13 +519,8 @@ func decodeBody(b []byte, pos int, rec *pipeline.Record, heap shadowHeap, strs [
 			return pos, err
 		}
 		rec.KS = strs[sid]
-		e, aerr := heap.alloc(rec.Ent, int(classID), capacity, events.ElemMode(rec.Kx), rec.KS)
-		if aerr != nil {
-			return pos, aerr
-		}
-		rec.E1 = e
 	case pipeline.OpJrnlStore:
-		arr := readEnt(&rec.Ent)
+		readEnt(&rec.Ent)
 		readID()
 		if err == nil {
 			rec.Kx, pos, err = readByte(b, pos)
@@ -453,38 +528,71 @@ func decodeBody(b []byte, pos int, rec *pipeline.Record, heap shadowHeap, strs [
 		if err != nil {
 			return pos, err
 		}
-		slot := shadowSlot{}
 		switch rec.Kx {
 		case pipeline.KeyInt:
 			if rec.KI, pos, err = readVarint(b, pos); err != nil {
 				return pos, err
 			}
-			slot = shadowSlot{kind: slotInt, i: rec.KI}
 		case pipeline.KeyStr:
 			var sid int
 			if sid, pos, err = readUint(b, pos, uint64(len(strs)), "string id"); err != nil {
 				return pos, err
 			}
 			rec.KS = strs[sid]
-			slot = shadowSlot{kind: slotStr, s: rec.KS}
 		case pipeline.KeyNone:
-			tgt := readEnt(&rec.Aux)
-			if err != nil {
-				return pos, err
-			}
+			readEnt(&rec.Aux)
+		default:
+			return pos, corruptf("bad store key kind %d", rec.Kx)
+		}
+	}
+	return pos, err
+}
+
+// bindBody resolves a parsed record's entity ids against (and mutates) the
+// shadow heap, filling E1/E2. It must run in stream order — it is the
+// replay half of the pipeline Barrier invariant: a listener processing
+// record k observes exactly the heap state the live listener saw there.
+func bindBody(heap shadowHeap, rec *pipeline.Record) error {
+	switch rec.Op {
+	case pipeline.OpFieldGet, pipeline.OpArrayLoad, pipeline.OpAlloc:
+		rec.E1 = ent(heap.get(rec.Ent))
+	case pipeline.OpFieldPut:
+		obj := heap.get(rec.Ent)
+		tgt := heap.get(rec.Aux)
+		if obj != nil {
+			obj.setLink(int(rec.ID), tgt)
+		}
+		rec.E1, rec.E2 = ent(obj), ent(tgt)
+	case pipeline.OpArrayStore:
+		rec.E1 = ent(heap.get(rec.Ent))
+		rec.E2 = ent(heap.get(rec.Aux))
+	case pipeline.OpJrnlAlloc:
+		e, err := heap.alloc(rec.Ent, int(rec.ID), int(rec.Aux), events.ElemMode(rec.Kx), rec.KS)
+		if err != nil {
+			return err
+		}
+		rec.E1 = e
+	case pipeline.OpJrnlStore:
+		arr := heap.get(rec.Ent)
+		slot := shadowSlot{}
+		switch rec.Kx {
+		case pipeline.KeyInt:
+			slot = shadowSlot{kind: slotInt, i: rec.KI}
+		case pipeline.KeyStr:
+			slot = shadowSlot{kind: slotStr, s: rec.KS}
+		default:
+			tgt := heap.get(rec.Aux)
 			if tgt != nil {
 				slot = shadowSlot{kind: slotRef, ref: tgt}
 			}
 			rec.E2 = ent(tgt)
-		default:
-			return pos, corruptf("bad store key kind %d", rec.Kx)
 		}
 		if arr != nil {
-			if serr := arr.setSlot(int(rec.ID), slot); serr != nil {
-				return pos, serr
+			if err := arr.setSlot(int(rec.ID), slot); err != nil {
+				return err
 			}
 		}
 		rec.E1 = ent(arr)
 	}
-	return pos, err
+	return nil
 }

@@ -60,10 +60,14 @@ func TestWriterMaxBytes(t *testing.T) {
 	if err := tw.Close(); err != nil {
 		t.Fatal(err)
 	}
-	fullSize := int64(full.Len())
-
+	fr, err := NewReader(full.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap at a quarter of the data extent (not the file size: the v2 index
+	// carries one hash per frame, which at FrameSize 2 dwarfs the data).
 	var capped bytes.Buffer
-	tw = NewWriter(&capped, WriterOptions{FrameSize: 2, MaxBytes: fullSize / 4})
+	tw = NewWriter(&capped, WriterOptions{FrameSize: 2, MaxBytes: fr.dataEnd / 4})
 	for i := 0; i < 200; i++ {
 		rec = pipeline.Record{Op: pipeline.OpMethodEntry, Clock: uint64(i + 1), ID: int32(i)}
 		tw.Record(&rec)

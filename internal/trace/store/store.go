@@ -22,6 +22,7 @@ import (
 
 	"algoprof"
 	"algoprof/internal/faultinject"
+	"algoprof/internal/mj/bytecode"
 	"algoprof/internal/mj/compiler"
 	"algoprof/internal/trace"
 )
@@ -43,8 +44,15 @@ const (
 
 // Manifest describes one stored run.
 type Manifest struct {
-	// FormatVersion is the trace format version the run was written with.
+	// FormatVersion is the trace format version the run was written with,
+	// read back from the stored trace file itself (not assumed from the
+	// writer's current default).
 	FormatVersion int `json:"format_version"`
+	// TraceMerkleRoot is the hex Merkle root over the trace's frames (empty
+	// for v1 and interrupted traces, which carry no Merkle footer). The
+	// differ and fleet scan compare roots to skip identical traces without
+	// reading their frames.
+	TraceMerkleRoot string `json:"trace_merkle_root,omitempty"`
 	// CreatedUnix is the recording time (Unix seconds).
 	CreatedUnix int64 `json:"created_unix"`
 	// ProgramSHA256 hashes the profiled MJ source.
@@ -269,10 +277,27 @@ func (s *Store) RecordContext(ctx context.Context, name, src, workload string, c
 	fillManifest(&m, prof)
 	m.Degraded = prof.Degraded
 	m.DegradedReasons = prof.DegradedReasons
+	s.stampTraceIndex(dir, &m)
 	if err := s.writeManifest(dir, &m); err != nil {
 		return nil, err
 	}
 	return &Run{Name: name, Dir: dir, Manifest: m, Profile: prof}, nil
+}
+
+// stampTraceIndex records what the stored trace file actually is — its
+// format version and Merkle root, read back from the file's footer — into
+// the manifest. Provenance over assumption: a manifest never claims a
+// version the bytes on disk don't carry. Best-effort: a trace whose footer
+// is unreadable (chaos FS, torn file) keeps the writer-default stamp.
+func (s *Store) stampTraceIndex(dir string, m *Manifest) {
+	ix, err := trace.OpenIndex(filepath.Join(dir, traceFile))
+	if err != nil {
+		return
+	}
+	m.FormatVersion = int(ix.Version)
+	if ix.HasMerkle {
+		m.TraceMerkleRoot = ix.Root.String()
+	}
 }
 
 // fillManifest copies a (possibly partial) profile's results into m.
@@ -365,6 +390,21 @@ func (s *Store) Replay(name string) (*Run, error) {
 // with no index or trailer) replay through the reader's recovery path and
 // come back as degraded profiles covering the captured prefix.
 func (s *Store) ReplayContext(ctx context.Context, name string) (*Run, error) {
+	return s.replayWith(ctx, name, algoprof.ReplayProgramContext)
+}
+
+// ReplayParallel is Replay with the trace's frame decoding fanned out over
+// workers goroutines (≤ 0 means GOMAXPROCS); the resulting profile is
+// byte-identical to a sequential replay's. v1 and interrupted traces fall
+// back to the sequential path automatically.
+func (s *Store) ReplayParallel(ctx context.Context, name string, workers int) (*Run, error) {
+	return s.replayWith(ctx, name, func(ctx context.Context, prog *bytecode.Program, cfg algoprof.Config, tr *trace.Reader) (*algoprof.Profile, error) {
+		return algoprof.ReplayProgramParallel(ctx, prog, cfg, tr, workers)
+	})
+}
+
+// replayWith loads a run and drives one replay strategy over its trace.
+func (s *Store) replayWith(ctx context.Context, name string, replay func(context.Context, *bytecode.Program, algoprof.Config, *trace.Reader) (*algoprof.Profile, error)) (*Run, error) {
 	r, err := s.Load(name)
 	if err != nil {
 		return nil, err
@@ -398,7 +438,7 @@ func (s *Store) ReplayContext(ctx context.Context, name string) (*Run, error) {
 	if err != nil {
 		return nil, &CorruptRunError{Run: name, Err: err}
 	}
-	prof, err := algoprof.ReplayProgramContext(ctx, prog, r.Manifest.Config, tr)
+	prof, err := replay(ctx, prog, r.Manifest.Config, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -23,7 +23,18 @@ type WriterOptions struct {
 	// Close still writes the index and trailer, so the truncated trace
 	// is a complete, replayable file covering the run's prefix.
 	MaxBytes int64
+	// CheckpointEvery is the number of data frames between heap-checkpoint
+	// frames (0 = the default, DefaultCheckpointEvery; negative disables
+	// checkpoints, which forfeits sharded replay but keeps the Merkle
+	// footer). Checkpoints are what let ReplayRange and ReplayParallel
+	// seed a shard's shadow heap without decoding the whole prefix.
+	CheckpointEvery int
 }
+
+// DefaultCheckpointEvery is the default checkpoint cadence: one heap
+// checkpoint per this many data frames (~1 MiB of raw payload at the
+// default frame size).
+const DefaultCheckpointEvery = 16
 
 // Writer streams pipeline records to a trace file. It implements both
 // events.Listener (as a no-op, so it can be added to a Transport) and
@@ -51,6 +62,15 @@ type Writer struct {
 	closed       bool
 	truncated    bool
 	dropped      uint64
+
+	// Format v2 state: the writer-side mirror of the replay shadow heap
+	// (serialized into checkpoint frames), the checkpoint cadence counter,
+	// the checkpointed frame indices, and one Merkle leaf per frame.
+	mirror    shadowHeap
+	sinceCkpt int
+	ckpts     []int
+	leaves    []Hash
+	root      Hash
 }
 
 type frameInfo struct {
@@ -64,7 +84,10 @@ func NewWriter(w io.Writer, opts WriterOptions) *Writer {
 	if opts.FrameSize <= 0 {
 		opts.FrameSize = 64 << 10
 	}
-	tw := &Writer{w: w, opts: opts, strs: map[string]int{}}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+	tw := &Writer{w: w, opts: opts, strs: map[string]int{}, mirror: shadowHeap{}}
 	var flags uint32
 	if opts.Compress {
 		flags |= FlagCompress
@@ -108,6 +131,13 @@ func (tw *Writer) Record(r *pipeline.Record) {
 		return
 	}
 	tw.encode(r)
+	// Mirror the reader's shadow-heap mutation for this record, so a
+	// checkpoint at the next frame boundary captures exactly the heap a
+	// sequential replay holds there. A record the mirror rejects (e.g. a
+	// store past the journaled capacity) is one the reader will reject at
+	// replay too, so the stream past it is unreachable either way — the
+	// writer records it verbatim and leaves the verdict to the reader.
+	_ = tw.mirror.applyRecord(r)
 	tw.frameRecords++
 	tw.totalRecords++
 	tw.finalClock = r.Clock
@@ -115,6 +145,14 @@ func (tw *Writer) Record(r *pipeline.Record) {
 		tw.flushFrame()
 		if m := tw.opts.MaxBytes; m > 0 && tw.off >= m {
 			tw.truncated = true
+			return
+		}
+		if k := tw.opts.CheckpointEvery; k > 0 {
+			tw.sinceCkpt++
+			if tw.sinceCkpt >= k {
+				tw.writeCheckpoint()
+				tw.sinceCkpt = 0
+			}
 		}
 	}
 }
@@ -195,7 +233,26 @@ func (tw *Writer) flushFrame() {
 	if tw.frameRecords == 0 {
 		return
 	}
-	payload := tw.buf
+	tw.emitFrame(tw.buf, tw.frameRecords)
+	tw.buf = tw.buf[:0]
+	tw.strs = map[string]int{}
+	tw.prevClock = 0
+	tw.frameRecords = 0
+}
+
+// writeCheckpoint serializes the mirror heap as a checkpoint frame (zero
+// records) and remembers its frame index so the reader can seed range
+// replays from it.
+func (tw *Writer) writeCheckpoint() {
+	if tw.err != nil {
+		return
+	}
+	tw.ckpts = append(tw.ckpts, len(tw.frames))
+	tw.emitFrame(encodeCheckpoint(tw.mirror), 0)
+}
+
+// emitFrame compresses (if configured), hashes, and writes one frame.
+func (tw *Writer) emitFrame(payload []byte, records uint64) {
 	if tw.opts.Compress {
 		var z bytes.Buffer
 		fw, _ := flate.NewWriter(&z, flate.DefaultCompression)
@@ -206,20 +263,21 @@ func (tw *Writer) flushFrame() {
 		}
 		payload = z.Bytes()
 	}
-	tw.frames = append(tw.frames, frameInfo{off: tw.off, records: tw.frameRecords})
+	tw.frames = append(tw.frames, frameInfo{off: tw.off, records: records})
+	tw.leaves = append(tw.leaves, leafHash(payload))
 	env := putUvarint(nil, uint64(len(payload)))
 	env = le32(env, crc32.ChecksumIEEE(payload))
 	tw.write(env)
 	tw.write(payload)
-	tw.buf = tw.buf[:0]
-	tw.strs = map[string]int{}
-	tw.prevClock = 0
-	tw.frameRecords = 0
 }
 
 // SetInstructions records the frontend's final executed-instruction count
 // in the trace index, so offline replay can report it without a VM.
 func (tw *Writer) SetInstructions(n uint64) { tw.instructions = n }
+
+// MerkleRoot returns the trace's Merkle root. Valid only after Close (an
+// aborted trace has no footer, so its root is never computed).
+func (tw *Writer) MerkleRoot() Hash { return tw.root }
 
 // Truncated reports whether the size limit stopped capture early.
 func (tw *Writer) Truncated() bool { return tw.truncated }
@@ -260,6 +318,17 @@ func (tw *Writer) Close() error {
 	idx = putUvarint(idx, tw.totalRecords)
 	idx = putUvarint(idx, tw.finalClock)
 	idx = putUvarint(idx, tw.instructions)
+	// Format v2 index tail: checkpoint frame indices, one Merkle leaf per
+	// frame, and the tree root.
+	idx = putUvarint(idx, uint64(len(tw.ckpts)))
+	for _, c := range tw.ckpts {
+		idx = putUvarint(idx, uint64(c))
+	}
+	for _, l := range tw.leaves {
+		idx = append(idx, l[:]...)
+	}
+	tw.root = merkleRoot(tw.leaves)
+	idx = append(idx, tw.root[:]...)
 	indexOff := tw.off
 	env := putUvarint(nil, uint64(len(idx)))
 	env = le32(env, crc32.ChecksumIEEE(idx))

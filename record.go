@@ -141,6 +141,24 @@ func ReplayProgram(prog *bytecode.Program, cfg Config, r *trace.Reader) (*Profil
 // (MaxEvents, MaxLiveBytes) apply during replay exactly as they did live,
 // which keeps replay-equality for degraded runs.
 func ReplayProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config, r *trace.Reader) (*Profile, error) {
+	return replayProgram(ctx, prog, cfg, r, r.ReplayContext)
+}
+
+// ReplayProgramParallel is ReplayProgramContext with the trace's per-frame
+// decode work fanned out over workers goroutines (≤ 0 means GOMAXPROCS).
+// The profile is byte-identical to a sequential replay's: records are still
+// bound and dispatched in recorded order on one shadow heap (see
+// trace.Reader.ReplayParallel). v1 and truncated traces fall back to the
+// sequential path.
+func ReplayProgramParallel(ctx context.Context, prog *bytecode.Program, cfg Config, r *trace.Reader, workers int) (*Profile, error) {
+	return replayProgram(ctx, prog, cfg, r, func(ctx context.Context, dispatch func(*pipeline.Record)) error {
+		return r.ReplayParallel(ctx, workers, dispatch)
+	})
+}
+
+// replayProgram drives one replay strategy (sequential or parallel) through
+// the shared profiler/pipeline scaffolding.
+func replayProgram(ctx context.Context, prog *bytecode.Program, cfg Config, r *trace.Reader, replay func(context.Context, func(*pipeline.Record)) error) (*Profile, error) {
 	if cfg.Mode == ModePaths {
 		return nil, fmt.Errorf("algoprof: trace replay requires events mode (got mode %q)", cfg.Mode)
 	}
@@ -158,7 +176,7 @@ func ReplayProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 	}
 	tp.Start()
 	truncated := r.Stats().Truncated
-	if err := r.ReplayContext(ctx, tp.Dispatch); err != nil {
+	if err := replay(ctx, tp.Dispatch); err != nil {
 		return nil, err
 	}
 	prof.Finish()
