@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race replay-race bench bench-smoke fuzz-smoke chaos-smoke paper
+.PHONY: check build test vet race replay-race bench bench-smoke fuzz-smoke chaos-smoke service-smoke bench-service paper
 
 # The tier-1 gate plus the concurrency-sensitive packages under the race
 # detector. Run before committing.
@@ -22,7 +22,7 @@ test:
 # consumer goroutine), and the root package (the events/paths equivalence
 # suite, which stresses both frontends end to end).
 race:
-	$(GO) test -race . ./internal/events/... ./internal/core ./internal/experiments/... ./internal/trace/... ./probe
+	$(GO) test -race . ./internal/events/... ./internal/core ./internal/experiments/... ./internal/trace/... ./internal/service ./probe
 
 # The parallel-replay surface under the race detector, repeated: worker
 # fan-out, chunk merging, cancellation, and the fleet differ are exactly
@@ -65,6 +65,25 @@ fuzz-smoke:
 # or fail with a typed fault class — any other outcome exits non-zero.
 chaos-smoke:
 	$(GO) run ./cmd/algoprof chaos -seeds 32
+	$(GO) run ./cmd/algoprof chaos -service -seeds 16
+
+# End-to-end daemon smoke (see docs/SERVICE.md): boot an in-process
+# algoprofd on an ephemeral port, submit a job over HTTP, stream its NDJSON
+# result, audit the persisted run (the same checks `algoprof verify` runs),
+# byte-compare the returned profile against the library API, then a short
+# loadgen where every job must terminate ok/degraded/typed-failed with
+# zero lost.
+service-smoke:
+	$(GO) run ./cmd/algoprofd smoke -jobs 60
+
+# Regenerate the committed BENCH_service.json baseline: a real daemon on a
+# local port hammered with 1000 concurrent jobs across 4 tenants.
+bench-service:
+	$(GO) build -o /tmp/algoprofd-bench ./cmd/algoprofd
+	/tmp/algoprofd-bench serve -addr 127.0.0.1:7171 -store /tmp/algoprofd-bench-store & \
+	APD=$$!; sleep 1; \
+	/tmp/algoprofd-bench loadgen -addr http://127.0.0.1:7171 -jobs 1000 -c 64 -tenants 4 -out BENCH_service.json -check; \
+	RC=$$?; kill -TERM $$APD; wait $$APD 2>/dev/null; rm -rf /tmp/algoprofd-bench-store; exit $$RC
 
 # Regenerate every table and figure of the paper.
 paper:

@@ -8,9 +8,9 @@
 //	algoprof record [-store DIR] [-name NAME] [-workload LABEL] [profiling flags] prog.mj
 //	algoprof replay [-store DIR] [-json] [-j N] NAME
 //	algoprof diff   [-store DIR] OLD NEW
-//	algoprof fleetdiff [-store DIR] [-json] [-j N] BASELINE [RUN...]
-//	algoprof runs   [-store DIR]
-//	algoprof chaos  [-seeds N] [-base-seed N] [-dir DIR] [-v]
+//	algoprof fleetdiff [-store DIR] [-json] [-j N] [-tenant T] BASELINE [RUN...]
+//	algoprof runs   [-store DIR] [-tenant T]
+//	algoprof chaos  [-seeds N] [-base-seed N] [-dir DIR] [-service] [-v]
 //	algoprof verify DIR
 //	algoprof verify -range LO:HI TRACE
 //
@@ -48,6 +48,7 @@ import (
 	"algoprof/internal/chaos"
 	"algoprof/internal/experiments"
 	"algoprof/internal/focus"
+	"algoprof/internal/service"
 	"algoprof/internal/trace"
 	"algoprof/internal/trace/store"
 	"algoprof/internal/verify"
@@ -379,10 +380,11 @@ func cmdFleetDiff(args []string) {
 	dir := fs.String("store", "traces", "trace store directory")
 	jsonOut := fs.Bool("json", false, "emit the fleet report as JSON")
 	workers := fs.Int("j", 0, "bound the comparison worker pool (0 = all cores)")
+	tenant := fs.String("tenant", "", "scope the fleet expansion to one tenant's runs (empty = all)")
 	fs.Parse(args)
 
 	if fs.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: algoprof fleetdiff [-store DIR] [-json] [-j N] BASELINE [RUN...]")
+		fmt.Fprintln(os.Stderr, "usage: algoprof fleetdiff [-store DIR] [-json] [-j N] [-tenant T] BASELINE [RUN...]")
 		fs.PrintDefaults()
 		os.Exit(2)
 	}
@@ -391,7 +393,7 @@ func cmdFleetDiff(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := s.FleetDiff(fs.Arg(0), fs.Args()[1:])
+	rep, err := s.FleetDiffTenant(fs.Arg(0), fs.Args()[1:], *tenant)
 	if err != nil {
 		fatal(err)
 	}
@@ -427,13 +429,14 @@ func cmdFleetDiff(args []string) {
 func cmdRuns(args []string) {
 	fs := flag.NewFlagSet("algoprof runs", flag.ExitOnError)
 	dir := fs.String("store", "traces", "trace store directory")
+	tenant := fs.String("tenant", "", "list only one tenant's runs (empty = all)")
 	fs.Parse(args)
 
 	s, err := store.Open(*dir)
 	if err != nil {
 		fatal(err)
 	}
-	names, err := s.List()
+	names, err := s.ListTenant(*tenant)
 	if err != nil {
 		fatal(err)
 	}
@@ -447,9 +450,13 @@ func cmdRuns(args []string) {
 		if run.Manifest.Degraded {
 			note = "  DEGRADED(" + strings.Join(run.Manifest.DegradedReasons, ",") + ")"
 		}
-		fmt.Printf("%-24s %s  workload=%-20q algorithms=%d  instrs=%d%s\n",
+		tn := ""
+		if run.Manifest.Tenant != "" {
+			tn = "  tenant=" + run.Manifest.Tenant
+		}
+		fmt.Printf("%-24s %s  workload=%-20q algorithms=%d  instrs=%d%s%s\n",
 			name, created, run.Manifest.Workload, len(run.Manifest.Algorithms),
-			run.Manifest.Instructions, note)
+			run.Manifest.Instructions, tn, note)
 	}
 }
 
@@ -463,6 +470,7 @@ func cmdChaos(args []string) {
 	baseSeed := fs.Uint64("base-seed", 1, "seed of the first schedule")
 	dir := fs.String("dir", "", "scratch directory for run stores (default: a temp dir, removed afterwards)")
 	verbose := fs.Bool("v", false, "log each schedule as it completes")
+	svcSweep := fs.Bool("service", false, "sweep the profiling daemon's write path (job intake, pool, persist) instead of the record pipeline")
 	fs.Parse(args)
 
 	scratch := *dir
@@ -480,7 +488,11 @@ func cmdChaos(args []string) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	rep, err := chaos.Run(cfg)
+	run := chaos.Run
+	if *svcSweep {
+		run = service.RunChaos
+	}
+	rep, err := run(cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobsInOrder(t *testing.T) {
+	p := NewPool(1, 16)
+	var got []int
+	var mu sync.Mutex
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := p.TrySubmit(func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("single-worker pool ran jobs out of order: %v", got)
+		}
+	}
+}
+
+func TestPoolQueueBound(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.TrySubmit(func() { close(started); <-block }); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started // the worker holds the blocker; the queue is empty again
+	if err := p.TrySubmit(func() {}); err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("submit over capacity: got %v, want ErrPoolFull", err)
+	}
+	close(block)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestPoolShutdownIdempotentCtxAware is the regression test for the
+// daemon-sharing contract: Shutdown may be called repeatedly and
+// concurrently, an expired context returns an error without leaking or
+// abandoning the drain, and a later call observes the completed drain.
+func TestPoolShutdownIdempotentCtxAware(t *testing.T) {
+	p := NewPool(2, 4)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var ran atomic.Int64
+	if err := p.TrySubmit(func() { close(started); <-block; ran.Add(1) }); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := p.TrySubmit(func() { ran.Add(1) }); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+
+	// Impatient shutdown while a job hangs: ctx already cancelled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("shutdown with expired ctx: got %v, want context.Canceled", err)
+	}
+	// Intake is closed from the first call on, and stays closed.
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after shutdown: got %v, want ErrPoolClosed", err)
+	}
+
+	// Concurrent second and third shutdowns with live contexts: they must
+	// all resolve once the hung job finishes, all with nil.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = p.Shutdown(context.Background())
+		}()
+	}
+	close(block)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent shutdown %d: %v", i, err)
+		}
+	}
+	if n := ran.Load(); n != 2 {
+		t.Fatalf("jobs ran %d times, want 2 (queued work must drain, not drop)", n)
+	}
+	select {
+	case <-p.Done():
+	default:
+		t.Fatal("Done() not closed after successful shutdown")
+	}
+	// Shutdown after the drain completed stays nil (idempotence).
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("repeat shutdown after drain: %v", err)
+	}
+}
+
+func TestPoolShutdownWithEmptyQueueIsImmediate(t *testing.T) {
+	p := NewPool(4, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown idle pool: %v", err)
+	}
+}

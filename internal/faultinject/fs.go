@@ -81,6 +81,22 @@ const (
 	PointSync       = "fs.sync"        // File.Sync fails
 )
 
+// Injection point names consulted by the profiling service daemon
+// (internal/service). They sit on the two seams the service adds over the
+// store: job admission and result persistence. Chaos schedules arm them to
+// prove a faulted daemon still lands every job in the ok/degraded/typed-
+// failed trichotomy and leaves the store listable.
+const (
+	// PointServiceIntake fires on job admission, after quota checks and
+	// before the job is enqueued: the submission is rejected with the
+	// point's typed fault and nothing is queued or stored.
+	PointServiceIntake = "service.intake"
+	// PointServicePersist fires on a job's result-persist path, before the
+	// run is recorded into the store: the job fails typed and the store is
+	// left untouched by it.
+	PointServicePersist = "service.persist"
+)
+
 // FS wraps base with the plan's fs.* injection points. A nil plan returns
 // base unchanged.
 func (p *Plan) FS(base FS) FS {

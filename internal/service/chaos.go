@@ -1,0 +1,249 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"algoprof/internal/chaos"
+	"algoprof/internal/faultinject"
+	"algoprof/internal/trace/store"
+	"algoprof/internal/workloads"
+)
+
+// RunChaos sweeps seeded fault schedules through the daemon's write path —
+// job intake, the worker pool, result persistence, and the store
+// underneath — and asserts the same trichotomy the record-path chaos sweep
+// does: every submission is either admitted and lands ok/degraded, or is
+// rejected/failed with a typed error; the store stays listable; persisted
+// runs pass the forensic audit or are flagged as detected (never silent)
+// corruption. `algoprof chaos -service` runs this sweep.
+func RunChaos(cfg chaos.Config) (*chaos.Report, error) {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 16
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("chaos: Config.Dir required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	rep := &chaos.Report{}
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.BaseSeed + uint64(i)
+		res := runChaosOne(cfg, seed, rep)
+		rep.Results = append(rep.Results, res)
+		cfg.Logf("chaos: seed %d %s (%s): %s", seed, res.Workload, strings.Join(res.Faults, ","), res.Outcome)
+	}
+	return rep, nil
+}
+
+// serviceSchedule is one seed's fault plan for the daemon path.
+type serviceSchedule struct {
+	names []string
+	arms  []func(*faultinject.Plan)
+}
+
+func (sc *serviceSchedule) fault(name, point string, pc faultinject.PointConfig) {
+	sc.names = append(sc.names, name)
+	sc.arms = append(sc.arms, func(p *faultinject.Plan) { p.Arm(point, pc) })
+}
+
+// newServiceSchedule derives the schedule from the seed, cycling four
+// families: clean/absorbed-transient, intake rejection, persist-path
+// resource exhaustion, and silent trace corruption under the daemon.
+func newServiceSchedule(seed uint64) serviceSchedule {
+	mix := seed*0x9e3779b97f4a7c15 + 0xd1b54a32d192ed03
+	draw := func(n uint64) uint64 {
+		mix += 0x9e3779b97f4a7c15
+		z := mix
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return (z ^ (z >> 31)) % n
+	}
+	var sc serviceSchedule
+	switch seed % 4 {
+	case 0:
+		// Clean, or a transient store fault the retry policy absorbs.
+		if draw(2) == 1 {
+			sc.fault("fsync-transient", faultinject.PointSync, faultinject.PointConfig{
+				Prob: 1, MaxFires: 1 + int(draw(2)), Class: faultinject.Transient, Errno: syscall.EINTR,
+			})
+		}
+	case 1:
+		// Intake fault: some submissions must be rejected typed, with
+		// nothing queued or stored for them.
+		sc.fault("intake-reject", faultinject.PointServiceIntake, faultinject.PointConfig{
+			Prob: 1, MaxFires: 1 + int(draw(2)), Class: faultinject.Transient, Errno: syscall.EAGAIN,
+		})
+	case 2:
+		// Persist-path resource exhaustion: admitted jobs must fail typed
+		// Resource, not vanish.
+		sc.fault("persist-enospc", faultinject.PointServicePersist, faultinject.PointConfig{
+			Prob: 1, MaxFires: 1, Class: faultinject.Resource, Errno: syscall.ENOSPC,
+		})
+	default:
+		// Silent bit flip in the stored trace: the job may report ok (the
+		// live profile is computed in memory) but the on-disk artifact must
+		// be caught by the audit's CRC, never replay to a silently wrong
+		// profile.
+		sc.fault("trace-bitflip", faultinject.PointBitFlip, faultinject.PointConfig{
+			Prob: 0.4, MaxFires: 1, PathSuffix: store.TraceName, Class: faultinject.Corruption,
+		})
+	}
+	return sc
+}
+
+// chaosWorkloads is the sweep corpus (a small slice of the record-path
+// chaos corpus: daemon schedules run several jobs per seed).
+func chaosWorkloads() []struct{ name, src string } {
+	return []struct{ name, src string }{
+		{"running", workloads.RunningExample(workloads.Random, 32, 8, 1)},
+		{"sorts", workloads.MergeVsInsertion(24, 8, 1)},
+	}
+}
+
+// runChaosOne boots a faulted daemon, pushes a few jobs through it, drains,
+// and classifies. Panics become violations.
+func runChaosOne(cfg chaos.Config, seed uint64, rep *chaos.Report) (res chaos.Result) {
+	cases := chaosWorkloads()
+	w := cases[(seed/4)%uint64(len(cases))]
+	sc := newServiceSchedule(seed)
+	res = chaos.Result{Seed: seed, Workload: w.name, Faults: sc.names}
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("seed %d: panic: %v", seed, r))
+			res.Outcome = chaos.Failed
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	violation := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("seed %d (%s): %s", seed, w.name, fmt.Sprintf(format, args...)))
+	}
+
+	plan := faultinject.NewPlan(seed)
+	for _, arm := range sc.arms {
+		arm(plan)
+	}
+	dir := filepath.Join(cfg.Dir, fmt.Sprintf("svc-seed-%d", seed))
+	svc, err := New(Config{StoreDir: dir, Workers: 2, Plan: plan})
+	if err != nil {
+		// Boot-time store faults must be typed too.
+		res.Outcome = chaos.Failed
+		res.Class = faultinject.ClassOf(err)
+		res.Err = err.Error()
+		if res.Class == faultinject.Unknown {
+			violation("untyped service boot failure: %v", err)
+		}
+		return res
+	}
+
+	// Three jobs per schedule, distinct seeds, one per tenant pair.
+	const jobs = 3
+	var ids []string
+	rejected := 0
+	for i := 0; i < jobs; i++ {
+		v, err := svc.Submit(SubmitRequest{
+			Tenant:  fmt.Sprintf("chaos-%d", i%2),
+			Program: w.src,
+			Config:  JobConfig{Seed: seed*uint64(jobs) + uint64(i) + 1},
+		})
+		if err != nil {
+			if faultinject.ClassOf(err) == faultinject.Unknown {
+				violation("untyped submission rejection: %v", err)
+			}
+			rejected++
+			continue
+		}
+		ids = append(ids, v.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	svc.Drain(ctx)
+	cancel()
+
+	// Classify: every admitted job must be terminal; failures must be
+	// typed.
+	worst := chaos.OK
+	for _, id := range ids {
+		v, ok := svc.Job(id)
+		if !ok || !v.Status.Terminal() {
+			violation("job %s lost: not terminal after drain", id)
+			continue
+		}
+		switch v.Status {
+		case StatusDegraded:
+			if worst == chaos.OK {
+				worst = chaos.Degraded
+			}
+		case StatusFailed:
+			worst = chaos.Failed
+			res.Class = faultinject.ClassOf(fmt.Errorf("%s", v.Error))
+			res.Err = v.Error
+			if v.ErrorClass == faultinject.Unknown.String() || v.ErrorKind == "" {
+				violation("job %s failed untyped: kind=%q class=%q err=%s", id, v.ErrorKind, v.ErrorClass, v.Error)
+			}
+			// Carry the job's own classification into the result.
+			res.Class = classFromName(v.ErrorClass)
+		}
+	}
+	if rejected == jobs && len(ids) == 0 && worst == chaos.OK {
+		// Everything bounced at intake, typed: a failed schedule, not a
+		// violation.
+		worst = chaos.Failed
+		res.Err = "all submissions rejected at intake (typed)"
+		res.Class = faultinject.Transient
+	}
+
+	// The store must reopen and list cleanly, and every persisted run must
+	// either pass the forensic audit or carry detected (typed) damage.
+	clean, err := store.Open(dir)
+	if err != nil {
+		violation("store unopenable after drain: %v", err)
+		res.Outcome = worst
+		return res
+	}
+	clean.SetLogf(func(string, ...any) {})
+	names, err := clean.List()
+	if err != nil {
+		violation("store unlistable after drain: %v", err)
+		res.Outcome = worst
+		return res
+	}
+	for _, name := range names {
+		findings := chaos.AuditRun(filepath.Join(dir, name))
+		if len(findings) == 0 {
+			continue
+		}
+		// Detected damage: acceptable — but it must be typed, and it turns
+		// the schedule's outcome into a failure, never a silent pass.
+		for _, f := range findings {
+			if f.Class == faultinject.Unknown {
+				violation("run %s audit finding untyped: %s", name, f.Msg)
+			}
+		}
+		worst = chaos.Failed
+		if res.Err == "" {
+			res.Err = fmt.Sprintf("run %s: %s", name, findings[0].Msg)
+			res.Class = findings[0].Class
+		}
+	}
+
+	res.Outcome = worst
+	return res
+}
+
+// classFromName maps a serialized fault-class name back to the enum.
+func classFromName(name string) faultinject.FaultClass {
+	for _, c := range []faultinject.FaultClass{
+		faultinject.Transient, faultinject.Corruption, faultinject.Resource,
+	} {
+		if c.String() == name {
+			return c
+		}
+	}
+	return faultinject.Unknown
+}

@@ -1,0 +1,32 @@
+package service
+
+import (
+	"testing"
+
+	"algoprof/internal/chaos"
+)
+
+func chaosConfigForTest(t *testing.T, seeds int) chaos.Config {
+	t.Helper()
+	return chaos.Config{Seeds: seeds, Dir: t.TempDir()}
+}
+
+// TestRunChaosNoViolations: a sweep over all four schedule families lands
+// every job in the trichotomy with zero harness violations.
+func TestRunChaosNoViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep in -short mode")
+	}
+	rep, err := RunChaos(chaosConfigForTest(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("chaos violations:\n%s", rep.Render())
+	}
+	ok, degraded, failed := rep.Counts()
+	if ok == 0 {
+		t.Errorf("no schedule succeeded:\n%s", rep.Render())
+	}
+	t.Logf("service chaos: %d ok, %d degraded, %d failed (typed)", ok, degraded, failed)
+}

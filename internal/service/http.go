@@ -1,0 +1,273 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"algoprof/internal/faultinject"
+)
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+	// Kind is the rejection kind: "invalid", "quota", "overload",
+	// "draining", "fault", "not_found", or "internal".
+	Kind string `json:"kind"`
+	// Class is the faultinject class where one applies ("resource" for
+	// quota/overload/draining — retryable capacity; "transient"/... for
+	// armed intake faults).
+	Class string `json:"class,omitempty"`
+}
+
+// SubmitResponse answers POST /v1/jobs.
+type SubmitResponse struct {
+	// Jobs are the admitted jobs, in submission order. A plain submission
+	// has exactly one; an input_sweep has one per accepted entry.
+	Jobs []*JobView `json:"jobs"`
+	// Rejected reports sweep entries that failed admission (the sweep is
+	// best-effort: earlier entries stay admitted).
+	Rejected []SweepRejection `json:"rejected,omitempty"`
+}
+
+// SweepRejection is one input_sweep entry that failed admission.
+type SweepRejection struct {
+	Index int      `json:"index"`
+	Input []int64  `json:"input"`
+	Err   apiError `json:"err"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs               submit (SubmitRequest JSON; ?wait=1 blocks
+//	                            until the job — or every sweep job — is
+//	                            terminal and returns final views)
+//	GET  /v1/jobs               list job views (?tenant= scopes)
+//	GET  /v1/jobs/{id}          one job view
+//	GET  /v1/jobs/{id}/stream   NDJSON event stream until terminal
+//	GET  /v1/stats              service + per-tenant counters
+//	GET  /v1/healthz            200 serving / 503 draining
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// writeError maps a typed service error onto status code + envelope.
+func writeError(w http.ResponseWriter, err error) {
+	e, code := classifyError(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(e)
+}
+
+func classifyError(err error) (apiError, int) {
+	var inv *InvalidJobError
+	var qe *QuotaError
+	var oe *OverloadError
+	var de *DrainingError
+	var fault *faultinject.Fault
+	switch {
+	case errors.As(err, &inv):
+		return apiError{Error: err.Error(), Kind: "invalid"}, http.StatusBadRequest
+	case errors.As(err, &qe):
+		return apiError{Error: err.Error(), Kind: "quota", Class: faultinject.Resource.String()}, http.StatusTooManyRequests
+	case errors.As(err, &oe):
+		return apiError{Error: err.Error(), Kind: "overload", Class: faultinject.Resource.String()}, http.StatusTooManyRequests
+	case errors.As(err, &de):
+		return apiError{Error: err.Error(), Kind: "draining", Class: faultinject.Resource.String()}, http.StatusServiceUnavailable
+	case errors.As(err, &fault):
+		return apiError{Error: err.Error(), Kind: "fault", Class: faultinject.ClassOf(err).String()}, http.StatusInternalServerError
+	}
+	return apiError{Error: err.Error(), Kind: "internal"}, http.StatusInternalServerError
+}
+
+// writeJSON writes compact JSON: indentation would rewrite embedded
+// RawMessage profile bytes, breaking the byte-identity contract between
+// service-returned profiles and library output.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, &InvalidJobError{Reason: "bad request body: " + err.Error()})
+		return
+	}
+	wait := r.URL.Query().Get("wait") == "1"
+
+	var resp SubmitResponse
+	if len(req.InputSweep) == 0 {
+		v, err := s.Submit(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.Jobs = []*JobView{v}
+	} else {
+		// Sweep: one job per input vector, best-effort. Entries rejected
+		// by quota or queue pressure report typed without voiding the
+		// entries already admitted.
+		sweep := req.InputSweep
+		req.InputSweep = nil
+		for i, input := range sweep {
+			req.Config.Input = input
+			v, err := s.Submit(req)
+			if err != nil {
+				e, _ := classifyError(err)
+				resp.Rejected = append(resp.Rejected, SweepRejection{Index: i, Input: input, Err: e})
+				continue
+			}
+			resp.Jobs = append(resp.Jobs, v)
+		}
+		if len(resp.Jobs) == 0 && len(resp.Rejected) > 0 {
+			// Nothing admitted: surface the first rejection as the
+			// response status rather than a hollow 202.
+			w.Header().Set("Content-Type", "application/json")
+			code := http.StatusTooManyRequests
+			if resp.Rejected[0].Err.Kind == "invalid" {
+				code = http.StatusBadRequest
+			}
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(resp)
+			return
+		}
+	}
+
+	if wait {
+		for i, v := range resp.Jobs {
+			fv, err := s.await(r.Context(), v.ID)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			resp.Jobs[i] = fv
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// await blocks until the job is terminal (or ctx ends) and returns its
+// final view.
+func (s *Service) await(ctx interface{ Done() <-chan struct{} }, id string) (*JobView, error) {
+	ch, cancel, err := s.Subscribe(id)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("service: wait for %s aborted by client", id)
+		case ev, ok := <-ch:
+			if !ok {
+				// Channel closed without us seeing the result event (slow
+				// consumer): the job table has the terminal view.
+				if v, ok := s.Job(id); ok && v.Status.Terminal() {
+					return v, nil
+				}
+				return nil, fmt.Errorf("service: stream for %s closed before terminal state", id)
+			}
+			if ev.Type == "result" {
+				return ev.Result, nil
+			}
+		}
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs(r.URL.Query().Get("tenant"))
+	if jobs == nil {
+		jobs = []*JobView{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.Job(id)
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(apiError{Error: "no job " + id, Kind: "not_found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleStream writes the job's events as NDJSON — one JSON object per
+// line, flushed per event — ending with the "result" line.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, cancel, err := s.Subscribe(id)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(apiError{Error: err.Error(), Kind: "not_found"})
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sawResult := false
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				// Dropped result (slow consumer): synthesize the terminal
+				// line from the job table so the stream always ends with
+				// the result.
+				if !sawResult {
+					if v, ok := s.Job(id); ok && v.Status.Terminal() {
+						enc.Encode(Event{Type: "result", Job: id, Status: v.Status, Result: v})
+						if flusher != nil {
+							flusher.Flush()
+						}
+					}
+				}
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ev.Type == "result" {
+				sawResult = true
+			}
+		}
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}

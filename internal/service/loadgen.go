@@ -1,0 +1,363 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"algoprof/internal/workloads"
+)
+
+// LoadConfig parameterizes a load-generation run against a live daemon.
+type LoadConfig struct {
+	// Addr is the daemon's base URL, e.g. "http://127.0.0.1:7071".
+	Addr string
+	// Jobs is the total number of jobs to complete (default 1000).
+	Jobs int
+	// Concurrency is the number of in-flight submissions (default 64).
+	Concurrency int
+	// Tenants spreads jobs round-robin over this many synthetic tenants
+	// "load-0".."load-N-1" (default 4).
+	Tenants int
+	// Program is the MJ source each job profiles (default: a small
+	// running-example sort; callers override for heavier programs).
+	Program string
+	// DegradeEvery gives every k-th job a tight MaxEvents so the run
+	// exercises the deterministic-degradation path (0 disables; default 5).
+	DegradeEvery int
+	// PathsEvery runs every k-th job in paths mode (profile-only, no
+	// persist), mixing persisted and unpersisted work (0 disables;
+	// default 7).
+	PathsEvery int
+	// Retries bounds resubmission attempts for quota/overload rejections
+	// (default 50; backpressure is typed, so retrying is the contract).
+	Retries int
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// LoadReport is the load run's result — what algoprofd loadgen writes to
+// BENCH_service.json.
+type LoadReport struct {
+	GeneratedUnix int64 `json:"generated_unix"`
+	GoMaxProcs    int   `json:"gomaxprocs"`
+
+	Jobs        int `json:"jobs"`
+	Concurrency int `json:"concurrency"`
+	Tenants     int `json:"tenants"`
+
+	// Terminal-status counts. OK+Degraded+Failed must equal Jobs: no job
+	// is lost.
+	OK       int64 `json:"ok"`
+	Degraded int64 `json:"degraded"`
+	Failed   int64 `json:"failed"`
+	// Lost counts jobs that never reached a terminal status — the gate
+	// requires 0.
+	Lost int64 `json:"lost"`
+	// UntypedFailures counts failed jobs missing an error kind or
+	// classifying unknown — the gate requires 0.
+	UntypedFailures int64 `json:"untyped_failures"`
+	// RetriedSubmits counts typed quota/overload rejections that were
+	// retried (backpressure working as designed, not an error).
+	RetriedSubmits int64 `json:"retried_submits"`
+
+	WallMs     int64   `json:"wall_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+
+	// End-to-end latency (submit to terminal response) percentiles.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	// MaxQueueDepth is the deepest /v1/stats queue observed while the
+	// run was in flight.
+	MaxQueueDepth int `json:"max_queue_depth"`
+}
+
+// jobResult is one job's client-side outcome.
+type jobResult struct {
+	status    JobStatus
+	errKind   string
+	errClass  string
+	latency   time.Duration
+	lost      bool
+	retried   int64
+}
+
+// RunLoad hammers the daemon at cfg.Addr and accounts for every job: each
+// either reaches a terminal status (ok / degraded / typed-failed) or is
+// counted lost. It returns an error only when the daemon is unreachable —
+// job-level failures land in the report for the gate to judge.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 1000
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 64
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 4
+	}
+	if cfg.Program == "" {
+		cfg.Program = defaultLoadProgram
+	}
+	if cfg.DegradeEvery == 0 {
+		cfg.DegradeEvery = 5
+	}
+	if cfg.PathsEvery == 0 {
+		cfg.PathsEvery = 7
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 50
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Fail fast when nothing is listening — a connection error per job
+	// would masquerade as 100% lost.
+	if resp, err := client.Get(cfg.Addr + "/v1/healthz"); err != nil {
+		return nil, fmt.Errorf("loadgen: daemon unreachable at %s: %v", cfg.Addr, err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// Queue-depth sampler.
+	var maxQueue atomic.Int64
+	sampleCtx, stopSampling := context.WithCancel(ctx)
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-tick.C:
+				resp, err := client.Get(cfg.Addr + "/v1/stats")
+				if err != nil {
+					continue
+				}
+				var st Stats
+				json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if d := int64(st.Queued); d > maxQueue.Load() {
+					maxQueue.Store(d)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	results := make([]jobResult, cfg.Jobs)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i] = runOneLoadJob(ctx, client, cfg, i)
+			}
+		}()
+	}
+	var done atomic.Int64
+	go func() {
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for range tick.C {
+			n := done.Load()
+			if n >= int64(cfg.Jobs) {
+				return
+			}
+			logf("loadgen: %d/%d jobs done", n, cfg.Jobs)
+		}
+	}()
+	for i := 0; i < cfg.Jobs; i++ {
+		select {
+		case indices <- i:
+			done.Add(1)
+		case <-ctx.Done():
+			break
+		}
+	}
+	close(indices)
+	wg.Wait()
+	wall := time.Since(start)
+	stopSampling()
+	samplerWG.Wait()
+
+	rep := &LoadReport{
+		Jobs:          cfg.Jobs,
+		Concurrency:   cfg.Concurrency,
+		Tenants:       cfg.Tenants,
+		WallMs:        wall.Milliseconds(),
+		MaxQueueDepth: int(maxQueue.Load()),
+	}
+	var lat []float64
+	for _, r := range results {
+		rep.RetriedSubmits += r.retried
+		if r.lost {
+			rep.Lost++
+			continue
+		}
+		lat = append(lat, float64(r.latency.Microseconds())/1000)
+		switch r.status {
+		case StatusOK:
+			rep.OK++
+		case StatusDegraded:
+			rep.Degraded++
+		case StatusFailed:
+			rep.Failed++
+			if r.errKind == "" || r.errClass == "" || r.errClass == "unknown" {
+				rep.UntypedFailures++
+			}
+		default:
+			rep.Lost++
+		}
+	}
+	if wall > 0 {
+		rep.JobsPerSec = float64(cfg.Jobs-int(rep.Lost)) / wall.Seconds()
+	}
+	sort.Float64s(lat)
+	rep.LatencyP50Ms = percentile(lat, 50)
+	rep.LatencyP95Ms = percentile(lat, 95)
+	rep.LatencyP99Ms = percentile(lat, 99)
+	return rep, nil
+}
+
+// runOneLoadJob submits job i with wait=1 and returns its outcome,
+// retrying typed capacity rejections with backoff.
+func runOneLoadJob(ctx context.Context, client *http.Client, cfg LoadConfig, i int) jobResult {
+	req := SubmitRequest{
+		Tenant:   fmt.Sprintf("load-%d", i%cfg.Tenants),
+		Workload: "loadgen",
+		Program:  cfg.Program,
+		Config: JobConfig{
+			Seed: uint64(i + 1),
+		},
+	}
+	if cfg.DegradeEvery > 0 && i%cfg.DegradeEvery == cfg.DegradeEvery-1 {
+		req.Config.MaxEvents = 500
+	}
+	if cfg.PathsEvery > 0 && i%cfg.PathsEvery == cfg.PathsEvery-1 {
+		req.Config.Mode = "paths"
+	}
+	body, _ := json.Marshal(req)
+
+	start := time.Now()
+	var res jobResult
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-ctx.Done():
+			res.lost = true
+			return res
+		default:
+		}
+		resp, err := client.Post(cfg.Addr+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			res.lost = true
+			return res
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			var sr SubmitResponse
+			if err := json.Unmarshal(data, &sr); err != nil || len(sr.Jobs) == 0 {
+				res.lost = true
+				return res
+			}
+			v := sr.Jobs[0]
+			if !v.Status.Terminal() {
+				res.lost = true
+				return res
+			}
+			res.status = v.Status
+			res.errKind = v.ErrorKind
+			res.errClass = v.ErrorClass
+			res.latency = time.Since(start)
+			return res
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Typed backpressure: retry with linear backoff.
+			if attempt >= cfg.Retries {
+				var ae apiError
+				json.Unmarshal(data, &ae)
+				res.status = StatusFailed
+				res.errKind = ae.Kind
+				res.errClass = ae.Class
+				res.latency = time.Since(start)
+				return res
+			}
+			res.retried++
+			time.Sleep(time.Duration(5*(attempt+1)) * time.Millisecond)
+		default:
+			res.lost = true
+			return res
+		}
+	}
+}
+
+// percentile returns the p-th percentile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// CheckLoadReport gates a load run the way `paper bench -check` gates the
+// perf benchmarks: structural invariants always hold, the throughput bar
+// applies only against a baseline and only off single-core runners (where
+// scheduling noise would make it flaky). It returns the violated
+// invariants, empty when the run passes.
+func CheckLoadReport(rep, baseline *LoadReport) []string {
+	var bad []string
+	if rep.Lost != 0 {
+		bad = append(bad, fmt.Sprintf("%d jobs lost (every job must terminate ok/degraded/typed-failed)", rep.Lost))
+	}
+	if rep.UntypedFailures != 0 {
+		bad = append(bad, fmt.Sprintf("%d failed jobs without a typed error kind/class", rep.UntypedFailures))
+	}
+	if got := rep.OK + rep.Degraded + rep.Failed + rep.Lost; got != int64(rep.Jobs) {
+		bad = append(bad, fmt.Sprintf("status counts sum to %d, want %d", got, rep.Jobs))
+	}
+	if rep.OK == 0 {
+		bad = append(bad, "no job succeeded")
+	}
+	if rep.LatencyP50Ms > rep.LatencyP99Ms {
+		bad = append(bad, fmt.Sprintf("p50 %.1fms > p99 %.1fms", rep.LatencyP50Ms, rep.LatencyP99Ms))
+	}
+	if baseline != nil && rep.GoMaxProcs > 1 && baseline.JobsPerSec > 0 {
+		// Generous 4x regression bar, same spirit as BENCH_replay gates.
+		if rep.JobsPerSec < baseline.JobsPerSec/4 {
+			bad = append(bad, fmt.Sprintf("throughput %.1f jobs/s < baseline %.1f/4", rep.JobsPerSec, baseline.JobsPerSec))
+		}
+	}
+	return bad
+}
+
+// defaultLoadProgram is a small running-example sort: enough structure for
+// a real profile (an algorithm, a cost fit) while fast enough to run
+// thousands of times in CI.
+var defaultLoadProgram = workloads.RunningExample(workloads.Random, 32, 8, 1)

@@ -54,6 +54,14 @@ type FleetReport struct {
 // Per-run failures are reported in their entries, not returned: one
 // truncated trace must not hide the rest of the fleet.
 func (s *Store) FleetDiff(baseline string, runs []string) (*FleetReport, error) {
+	return s.FleetDiffTenant(baseline, runs, "")
+}
+
+// FleetDiffTenant is FleetDiff scoped to one tenant: when runs is empty,
+// only stored runs whose manifests name that tenant are compared (the
+// empty tenant means no filter). An explicit runs list is taken as given —
+// the caller already chose it.
+func (s *Store) FleetDiffTenant(baseline string, runs []string, tenant string) (*FleetReport, error) {
 	baseDir, err := s.runDir(baseline)
 	if err != nil {
 		return nil, err
@@ -63,7 +71,7 @@ func (s *Store) FleetDiff(baseline string, runs []string) (*FleetReport, error) 
 		return nil, err
 	}
 	if len(runs) == 0 {
-		all, err := s.List()
+		all, err := s.ListTenant(tenant)
 		if err != nil {
 			return nil, err
 		}

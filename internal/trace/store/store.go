@@ -59,6 +59,10 @@ type Manifest struct {
 	ProgramSHA256 string `json:"program_sha256"`
 	// Workload is a caller-supplied label for what the program ran.
 	Workload string `json:"workload,omitempty"`
+	// Tenant names the tenant the run was recorded for. Empty means a
+	// legacy (or single-user) run: manifests written before the field
+	// existed parse to "" and keep listing and replaying unchanged.
+	Tenant string `json:"tenant,omitempty"`
 	// Config is the profiling configuration; replay reuses it so the
 	// offline profile matches the recorded one.
 	Config algoprof.Config `json:"config"`
@@ -166,7 +170,13 @@ func (s *Store) runDir(name string) (string, error) {
 // directory with a missing or unparseable manifest, a stray file — are
 // logged and skipped, so one damaged run never hides the rest of the
 // store.
-func (s *Store) List() ([]string, error) {
+func (s *Store) List() ([]string, error) { return s.ListTenant("") }
+
+// ListTenant is List scoped to one tenant: only runs whose manifest names
+// that tenant are returned. The empty tenant means no filter — every run
+// lists, including legacy manifests written before the tenant field
+// existed (which parse to tenant "").
+func (s *Store) ListTenant(tenant string) ([]string, error) {
 	var ents []os.DirEntry
 	err := s.retry.Do(func() (e error) {
 		ents, e = s.fsys.ReadDir(s.dir)
@@ -188,6 +198,9 @@ func (s *Store) List() ([]string, error) {
 		var m Manifest
 		if err := json.Unmarshal(data, &m); err != nil {
 			s.logf("store: skipping run %s: garbage manifest: %v", e.Name(), err)
+			continue
+		}
+		if tenant != "" && m.Tenant != tenant {
 			continue
 		}
 		names = append(names, e.Name())
@@ -217,6 +230,14 @@ func (s *Store) Record(name, src, workload string, cfg algoprof.Config, topts tr
 // manifest are kept and the *algoprof.PartialError is returned; only
 // outright setup failures remove the run directory again.
 func (s *Store) RecordContext(ctx context.Context, name, src, workload string, cfg algoprof.Config, topts trace.WriterOptions) (*Run, error) {
+	return s.RecordTenantContext(ctx, name, src, workload, "", cfg, topts)
+}
+
+// RecordTenantContext is RecordContext with the run stamped as tenant's.
+// The tenant lands in the manifest — including the provisional one, so
+// even a crashed recording stays attributable — and scopes ListTenant and
+// FleetDiffTenant.
+func (s *Store) RecordTenantContext(ctx context.Context, name, src, workload, tenant string, cfg algoprof.Config, topts trace.WriterOptions) (*Run, error) {
 	dir, err := s.runDir(name)
 	if err != nil {
 		return nil, err
@@ -233,6 +254,7 @@ func (s *Store) RecordContext(ctx context.Context, name, src, workload string, c
 		CreatedUnix:     time.Now().Unix(),
 		ProgramSHA256:   hex.EncodeToString(sum[:]),
 		Workload:        workload,
+		Tenant:          tenant,
 		Config:          cfg,
 		Degraded:        true,
 		DegradedReasons: []string{interruptedReason},

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"algoprof"
+	"algoprof/internal/trace"
+	"algoprof/internal/workloads"
+)
+
+// TestTenantScopedListing covers the tenant field end to end: runs
+// recorded for a tenant list under that tenant (and under no filter),
+// other tenants don't see them, and legacy manifests — written before the
+// field existed — keep behaving as tenant "".
+func TestTenantScopedListing(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := workloads.RunningExample(workloads.Random, 24, 8, 1)
+	ctx := t.Context()
+	if _, err := s.RecordTenantContext(ctx, "acme-1", src, "running", "acme", algoprof.Config{Seed: 1}, trace.WriterOptions{}); err != nil {
+		t.Fatalf("record acme-1: %v", err)
+	}
+	if _, err := s.RecordTenantContext(ctx, "zeta-1", src, "running", "zeta", algoprof.Config{Seed: 2}, trace.WriterOptions{}); err != nil {
+		t.Fatalf("record zeta-1: %v", err)
+	}
+	// A legacy run: recorded through the old tenantless API.
+	if _, err := s.Record("legacy-1", src, "running", algoprof.Config{Seed: 3}, trace.WriterOptions{}); err != nil {
+		t.Fatalf("record legacy-1: %v", err)
+	}
+
+	// Simulate a manifest written by an older build: strip the tenant key
+	// entirely rather than writing "" (the omitempty shape is identical,
+	// but this makes the backward-compat claim explicit).
+	legacyManifest := filepath.Join(dir, "legacy-1", ManifestName)
+	data, err := os.ReadFile(legacyManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["tenant"]; ok {
+		t.Fatal("tenantless Record wrote a tenant key; omitempty contract broken")
+	}
+	delete(raw, "tenant")
+	stripped, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legacyManifest, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(tenant string, want ...string) {
+		t.Helper()
+		got, err := s.ListTenant(tenant)
+		if err != nil {
+			t.Fatalf("ListTenant(%q): %v", tenant, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ListTenant(%q) = %v, want %v", tenant, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ListTenant(%q) = %v, want %v", tenant, got, want)
+			}
+		}
+	}
+	check("", "acme-1", "legacy-1", "zeta-1") // no filter: everything, legacy included
+	check("acme", "acme-1")
+	check("zeta", "zeta-1")
+	check("nobody")
+
+	r, err := s.Load("acme-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Manifest.Tenant != "acme" {
+		t.Fatalf("acme-1 manifest tenant = %q, want acme", r.Manifest.Tenant)
+	}
+	if r, err = s.Load("legacy-1"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Manifest.Tenant != "" {
+		t.Fatalf("legacy manifest tenant = %q, want empty", r.Manifest.Tenant)
+	}
+	// The legacy run still replays after the manifest rewrite.
+	if _, err := s.Replay("legacy-1"); err != nil {
+		t.Fatalf("legacy replay: %v", err)
+	}
+}
+
+// TestFleetDiffTenantScoped: the fleet expansion honours the tenant filter;
+// an explicit run list is taken as given.
+func TestFleetDiffTenantScoped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := workloads.RunningExample(workloads.Random, 24, 8, 1)
+	ctx := t.Context()
+	for _, r := range []struct{ name, tenant string }{
+		{"base", "acme"}, {"acme-a", "acme"}, {"acme-b", "acme"}, {"zeta-a", "zeta"},
+	} {
+		if _, err := s.RecordTenantContext(ctx, r.name, src, "running", r.tenant, algoprof.Config{Seed: 1}, trace.WriterOptions{}); err != nil {
+			t.Fatalf("record %s: %v", r.name, err)
+		}
+	}
+	rep, err := s.FleetDiffTenant("base", nil, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 2 {
+		t.Fatalf("acme fleet has %d entries, want 2 (zeta run must be filtered out)", len(rep.Entries))
+	}
+	for _, e := range rep.Entries {
+		if e.Run == "zeta-a" {
+			t.Fatal("tenant filter leaked a zeta run into the acme fleet")
+		}
+	}
+	// Unscoped fleet still sees all three.
+	rep, err = s.FleetDiff("base", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("unscoped fleet has %d entries, want 3", len(rep.Entries))
+	}
+}

@@ -59,6 +59,12 @@ type Config struct {
 // that the poll does not show up in interpreter profiles.
 const watchdogInterval = 4096
 
+// WatchdogInterval exposes the poll period to watchdog-hook composers: a
+// hook invoked n times has observed roughly n·WatchdogInterval executed
+// instructions, which is how the service daemon derives progress
+// heartbeats without touching the interpreter's hot path.
+const WatchdogInterval = watchdogInterval
+
 // Halt is the error a Watchdog returns to stop execution cleanly. It is
 // not an MJ-level failure: the run was cut short on purpose and its
 // partial results are valid as far as they go.
