@@ -16,13 +16,17 @@ test:
 	$(GO) test ./...
 
 # Concurrency-sensitive packages under the race detector: the event
-# transport (ring buffer, work-stealing barrier), the core profiler and
-# probe consuming it, the experiments worker pool that the snapshot
-# registry runs inside, the trace subsystem (its writer runs on a
-# consumer goroutine), and the root package (the events/paths equivalence
-# suite, which stresses both frontends end to end).
+# transport (ring buffer, work-stealing barrier, and the SPSC ownership
+# guard, which only arms under -race), the core profiler and probe
+# consuming it, the VM (spawn/join thread goroutines), the experiments
+# worker pool that the snapshot registry runs inside, the trace subsystem
+# (its writer runs on a consumer goroutine; the store's concurrent-record
+# reservation), and the root package (the events/paths equivalence suite
+# and the threaded transport-equivalence gate, which runs ≥2 concurrent
+# per-thread producers). Vet runs first so the leg is self-contained in CI.
 race:
-	$(GO) test -race . ./internal/events/... ./internal/core ./internal/experiments/... ./internal/trace/... ./internal/service ./probe
+	$(GO) vet ./...
+	$(GO) test -race . ./internal/events/... ./internal/core ./internal/vm ./internal/experiments/... ./internal/trace/... ./internal/service ./probe
 
 # The parallel-replay surface under the race detector, repeated: worker
 # fan-out, chunk merging, cancellation, and the fleet differ are exactly

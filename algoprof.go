@@ -209,8 +209,15 @@ type Profile struct {
 	Stdout []string
 	Output []string
 
-	// Instructions is the number of bytecode instructions executed.
+	// Instructions is the number of bytecode instructions executed, summed
+	// over the main thread and every spawned thread.
 	Instructions uint64
+
+	// Threads is the number of VM threads the program spawned (0 for a
+	// single-threaded run). Spawned threads contribute "t<tid>:"-prefixed
+	// algorithms: their repetition trees are kept per-thread in the trace
+	// and merged only at report time.
+	Threads int
 
 	// Degraded reports that a resource limit cut the run's fidelity: the
 	// profile was built from deterministically sampled invocations, a
@@ -231,6 +238,19 @@ type rawProfile struct {
 	classes  map[*group.Algorithm]*classify.AlgorithmClass
 	fits     map[*group.Algorithm]map[string]*fit.Fit
 	machine  *vm.VM
+	// threadEvents is the profiling-event total of all spawned threads'
+	// profilers, accumulated at merge time.
+	threadEvents uint64
+}
+
+// EventCount reports the profiling events consumed across all threads'
+// profilers — the number tenant event budgets charge.
+func (p *Profile) EventCount() uint64 {
+	var n uint64
+	if p.raw.profiler != nil {
+		n = p.raw.profiler.EventCount()
+	}
+	return n + p.raw.threadEvents
 }
 
 // Raw exposes the underlying analysis objects for advanced use (internal
@@ -283,9 +303,10 @@ func (p *Profile) JSON() ([]byte, error) {
 		Stdout          []string    `json:"stdout,omitempty"`
 		Output          []string    `json:"output,omitempty"`
 		Instructions    uint64      `json:"instructions"`
+		Threads         int         `json:"threads,omitempty"`
 		Degraded        bool        `json:"degraded,omitempty"`
 		DegradedReasons []string    `json:"degraded_reasons,omitempty"`
-	}{p.Algorithms, p.Stdout, p.Output, p.Instructions, p.Degraded, p.DegradedReasons}, "", "  ")
+	}{p.Algorithms, p.Stdout, p.Output, p.Instructions, p.Threads, p.Degraded, p.DegradedReasons}, "", "  ")
 }
 
 // Find returns the algorithm rooted at the named repetition.
@@ -335,14 +356,20 @@ func RunProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config) 
 
 	prof := core.NewProfiler(ins, coreOptions(cfg))
 
+	// Spawned threads each get their own profiler session: their own
+	// repetition tree, and their own single-producer ring when the run is
+	// pipelined or verified.
+	threads := newThreadSessions(ins, cfg, cfg.Pipelined)
+
 	vmCfg := vm.Config{
-		Listener: prof,
-		Plan:     ins.Plan,
-		NumSites: ins.NumSites(),
-		Seed:     seedOf(cfg),
-		Input:    cfg.Input,
-		MaxSteps: cfg.MaxSteps,
-		Watchdog: watchdogFor(ctx, cfg.Limits, time.Now(), cfg.Watchdog),
+		Listener:     prof,
+		Plan:         ins.Plan,
+		NumSites:     ins.NumSites(),
+		Seed:         seedOf(cfg),
+		Input:        cfg.Input,
+		MaxSteps:     cfg.MaxSteps,
+		Watchdog:     watchdogFor(ctx, cfg.Limits, time.Now(), cfg.Watchdog),
+		SpawnSession: threads.spawnSession,
 	}
 	var tp *pipeline.Transport
 	var chk *verify.Checker
@@ -385,6 +412,9 @@ func RunProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config) 
 		if interrupted(runErr) {
 			return nil, salvage(func() *Profile {
 				p, _ := finishProfile(prof, cfg, machine, true)
+				if p != nil {
+					_ = mergeThreadProfiles(threads, p, cfg, true)
+				}
 				return p
 			}, runErr)
 		}
@@ -394,6 +424,9 @@ func RunProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config) 
 	// typed verify violations instead of the bare internal-error wrap.
 	p, err := finishProfile(prof, cfg, machine, chk != nil, extra...)
 	if err != nil {
+		return nil, err
+	}
+	if err := mergeThreadProfiles(threads, p, cfg, false); err != nil {
 		return nil, err
 	}
 	if err := runVerify(chk, prof, false, cfg.Mode != ModePaths); err != nil {

@@ -40,7 +40,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
@@ -286,6 +285,9 @@ func cmdReplay(args []string) {
 		fmt.Fprintln(os.Stderr, "usage: algoprof replay [-store DIR] [-j N] NAME")
 		fs.PrintDefaults()
 		os.Exit(2)
+	}
+	if err := validateWorkers(*workers); err != nil {
+		fatalUsage(err)
 	}
 	s, err := store.Open(*dir)
 	if err != nil {
@@ -559,24 +561,13 @@ func cmdVerifyRange(path, spec string) {
 	if st, err := os.Stat(path); err == nil && st.IsDir() {
 		path = filepath.Join(path, store.TraceName)
 	}
-	colon := strings.IndexByte(spec, ':')
-	if colon < 0 {
-		fatal(fmt.Errorf("bad -range %q: want LO:HI", spec))
-	}
 	ix, err := trace.OpenIndex(path)
 	if err != nil {
 		fatal(err)
 	}
-	lo, hi := 0, ix.Frames
-	if s := spec[:colon]; s != "" {
-		if lo, err = strconv.Atoi(s); err != nil {
-			fatal(fmt.Errorf("bad -range %q: %w", spec, err))
-		}
-	}
-	if s := spec[colon+1:]; s != "" {
-		if hi, err = strconv.Atoi(s); err != nil {
-			fatal(fmt.Errorf("bad -range %q: %w", spec, err))
-		}
+	lo, hi, err := parseFrameRange(spec, ix.Frames)
+	if err != nil {
+		fatalUsage(err)
 	}
 	rc, err := trace.VerifyFileRange(path, lo, hi)
 	if err != nil {

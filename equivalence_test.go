@@ -36,6 +36,7 @@ var equivalenceCorpus = []struct {
 	{"arraylist-naive", workloads.ArrayListGrow(true, 48, 6, 2)},
 	{"arraylist-ideal", workloads.ArrayListGrow(false, 48, 6, 2)},
 	{"listing3", workloads.Listing3},
+	{"threaded", workloads.Threaded(2, 24)},
 	{"listing4", workloads.Listing4(40)},
 	{"listing5", workloads.Listing5},
 }

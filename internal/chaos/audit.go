@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -111,9 +112,30 @@ func AuditRun(runDir string) []Finding {
 		bad(faultinject.Corruption, "trace is truncated but the manifest does not declare a degraded run")
 	}
 
+	// A threaded run carries one trace file per spawned thread; each must
+	// decode, declare truncation, and join the replay so the merged
+	// profile is comparable to the manifest's.
+	threadTraces := make(map[int]*trace.Reader, len(m.Threads))
+	for _, tid := range m.Threads {
+		traw, err := os.ReadFile(filepath.Join(runDir, store.ThreadTraceName(tid)))
+		if err != nil {
+			bad(classOr(err), "thread %d trace unreadable: %v", tid, err)
+			return out
+		}
+		ttr, err := trace.NewReader(traw)
+		if err != nil {
+			bad(classOr(err), "thread %d trace corrupt: %v", tid, err)
+			return out
+		}
+		if ttr.Stats().Truncated && !m.Degraded {
+			bad(faultinject.Corruption, "thread %d trace is truncated but the manifest does not declare a degraded run", tid)
+		}
+		threadTraces[tid] = ttr
+	}
+
 	cfg := m.Config
 	cfg.Verify = true
-	prof, err := algoprof.ReplayProgram(prog, cfg, tr)
+	prof, err := algoprof.ReplayProgramThreadsContext(context.Background(), prog, cfg, tr, threadTraces)
 	if err != nil {
 		bad(classOr(err), "verified replay failed: %v", err)
 		return out

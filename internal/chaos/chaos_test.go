@@ -97,6 +97,62 @@ func TestAuditCleanRun(t *testing.T) {
 	}
 }
 
+// recordThreadedRun stores one fault-free threaded run (the corpus's
+// spawn/join workload) and returns its directory.
+func recordThreadedRun(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := corpus()
+	src := cases[len(cases)-1].src // threaded entry stays last
+	if _, err := s.Record("run", src, "audit-test", algoprof.Config{}, trace.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "run")
+}
+
+// TestAuditThreadedRun: a threaded run audits clean — the audit replays
+// the per-thread traces listed in the manifest, not just the main one —
+// and damage to any thread trace is a finding.
+func TestAuditThreadedRun(t *testing.T) {
+	runDir := recordThreadedRun(t)
+	if fs := AuditRun(runDir); len(fs) != 0 {
+		t.Fatalf("clean threaded run flagged: %v", fs)
+	}
+
+	t.Run("missing-thread-trace", func(t *testing.T) {
+		runDir := recordThreadedRun(t)
+		if err := os.Remove(filepath.Join(runDir, store.ThreadTraceName(1))); err != nil {
+			t.Fatal(err)
+		}
+		if fs := AuditRun(runDir); len(fs) == 0 {
+			t.Fatal("run with missing thread trace audited clean")
+		}
+	})
+	t.Run("thread-trace-bitflip", func(t *testing.T) {
+		runDir := recordThreadedRun(t)
+		path := filepath.Join(runDir, store.ThreadTraceName(2))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x10
+		overwrite(t, path, data)
+		fs := AuditRun(runDir)
+		if len(fs) == 0 {
+			t.Fatal("run with bit-flipped thread trace audited clean")
+		}
+		for _, f := range fs {
+			if f.Class == faultinject.Unknown {
+				t.Errorf("finding with unknown class: %v", f)
+			}
+		}
+	})
+}
+
 // TestAuditFlagsCorruption: each class of deliberate damage to a run
 // directory must produce at least one finding.
 func TestAuditFlagsCorruption(t *testing.T) {

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"algoprof/internal/events"
 	"algoprof/internal/instrument"
@@ -421,13 +422,18 @@ type Profiler struct {
 	etBase uint64
 	etTIDs []int32
 
-	// events counts consumed listener events; liveBytes estimates the
+	// events counts consumed listener events. It is atomic because
+	// EventCount is read from other goroutines (service stats, quota
+	// charging) while a pipelined consumer is still ticking it; everything
+	// else in the struct stays single-goroutine.
+	events atomic.Uint64
+
+	// liveBytes estimates the
 	// retained history footprint (maintained only under MaxLiveBytes).
 	// dynSample is the dynamic invocation sampling interval installed
 	// when a limit trips (0 = full fidelity); degraded lists the tripped
 	// limits in trip order. histNodes tracks nodes with recorded history
 	// so shedHistory can revisit them without walking the whole tree.
-	events    uint64
 	liveBytes int64
 	dynSample int
 	degraded  []string
@@ -587,8 +593,9 @@ func (p *Profiler) errorf(format string, args ...any) {
 // under continued memory pressure.
 const initialDynSample = 16
 
-// EventCount returns the number of listener events consumed so far.
-func (p *Profiler) EventCount() uint64 { return p.events }
+// EventCount returns the number of listener events consumed so far. Safe
+// to call from any goroutine, including while the run is in flight.
+func (p *Profiler) EventCount() uint64 { return p.events.Load() }
 
 // LiveBytes returns the approximate retained bytes of recorded invocation
 // history (excluding the registry). Maintained only when MaxLiveBytes is
@@ -617,8 +624,8 @@ func (p *Profiler) Degraded() bool { return len(p.degraded) > 0 }
 // tick counts one consumed event and trips the event limit exactly once.
 // Every events.Listener method calls it first.
 func (p *Profiler) tick() {
-	p.events++
-	if m := p.opts.MaxEvents; m > 0 && p.events == m+1 {
+	n := p.events.Add(1)
+	if m := p.opts.MaxEvents; m > 0 && n == m+1 {
 		p.degrade("max-events")
 	}
 }

@@ -1,0 +1,55 @@
+package pipeline
+
+import "fmt"
+
+// SPSCViolationError reports a Producer method invoked from a goroutine
+// other than the one that owns the producer. Producers are strictly
+// single-producer: the VM thread (or probe frontend) that first emits
+// through a producer owns it for the rest of the run, and every spawned
+// VM thread gets a ring of its own. The ownership check runs only in
+// -race builds (see debugSPSC), where it panics with this error so the
+// violating stack is unmissable in tests; release builds pay nothing.
+type SPSCViolationError struct {
+	// Owner and Caller are the owning and violating goroutine ids.
+	Owner, Caller int64
+}
+
+// Error implements error.
+func (e *SPSCViolationError) Error() string {
+	return fmt.Sprintf("pipeline: single-producer violation: producer owned by goroutine %d used from goroutine %d",
+		e.Owner, e.Caller)
+}
+
+// ownerSampleMask samples the goroutine-id verification to 1 in every
+// 512 frontend calls: the id lookup parses runtime.Stack (~5µs under
+// -race), which per-event would dominate the interpreter. Sampling still
+// catches any sustained misuse within 512 events and costs one counter
+// bump per event; a single stray cross-goroutine call can slip past the
+// typed panic, but it is still an unsynchronized access to the
+// producer's plain fields, which the race detector reports on its own.
+const ownerSampleMask = 511
+
+// checkOwner enforces the single-producer invariant in -race builds: the
+// first emitting goroutine claims the producer, and a sampled check
+// panics typed on any other caller. Compiled out entirely (debugSPSC is
+// a false constant) otherwise.
+func (p *Producer) checkOwner() {
+	if !debugSPSC {
+		return
+	}
+	p.ownerCalls++
+	if p.ownerCalls&ownerSampleMask != 1 {
+		return
+	}
+	gid := goroutineID()
+	owner := p.owner.Load()
+	if owner == 0 {
+		if p.owner.CompareAndSwap(0, gid) {
+			return
+		}
+		owner = p.owner.Load()
+	}
+	if owner != gid {
+		panic(&SPSCViolationError{Owner: owner, Caller: gid})
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package pipeline
+
+// debugSPSC disarms the producer ownership check outside -race builds;
+// checkOwner compiles down to nothing.
+const debugSPSC = false
+
+func goroutineID() int64 { return 0 }

@@ -1,0 +1,30 @@
+//go:build race
+
+package pipeline
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+)
+
+// debugSPSC arms the producer ownership check in -race builds, where the
+// goroutine-id lookup's cost is acceptable and concurrent misuse is what
+// the build is hunting for anyway.
+const debugSPSC = true
+
+// goroutineID parses the current goroutine's id from its stack header
+// ("goroutine 18 [running]:"). Debug-only: there is no supported API.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return -1
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}

@@ -1,0 +1,98 @@
+//go:build race
+
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestSPSCOwnershipGuard checks the single-producer contract enforcement
+// that -race builds arm: the first goroutine to emit through a Producer
+// owns it, and any other goroutine emitting afterwards panics with the
+// typed violation error instead of silently corrupting the ring. The
+// check is sampled (1 in ownerSampleMask+1 frontend calls), so sustained
+// misuse must loop past the interval to be guaranteed detection — spawned
+// VM threads each get their own producer precisely so this never fires
+// in legitimate runs.
+func TestSPSCOwnershipGuard(t *testing.T) {
+	tp := New(Config{})
+	tp.Add("count", &countingListener{}, ConsumerOptions{})
+	pr := tp.Producer()
+	tp.Start()
+	defer tp.Close()
+
+	// Claim ownership from a goroutine that is not the test's. The very
+	// first frontend call is always checked, so one emit claims.
+	var claim sync.WaitGroup
+	claim.Add(1)
+	go func() {
+		defer claim.Done()
+		pr.LoopBack(1)
+	}()
+	claim.Wait()
+
+	// Sustained emitting from this goroutine violates the contract; the
+	// sampled check must trip within one full sample interval.
+	var violation *SPSCViolationError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("second-goroutine emit did not panic within %d calls", 2*(ownerSampleMask+1))
+			}
+			err, ok := r.(error)
+			if !ok || !errors.As(err, &violation) {
+				t.Fatalf("panicked with %v (%T), want *SPSCViolationError", r, r)
+			}
+		}()
+		for i := 0; i < 2*(ownerSampleMask+1); i++ {
+			pr.LoopBack(2)
+		}
+	}()
+	if violation.Owner == violation.Caller {
+		t.Fatalf("violation reports owner == caller (%d)", violation.Owner)
+	}
+
+	// Barrier and SiteTouch are frontend entry points too: same guard,
+	// same sampling.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second-goroutine Barrier did not panic")
+			}
+		}()
+		for i := 0; i < 2*(ownerSampleMask+1); i++ {
+			pr.Barrier()
+		}
+	}()
+}
+
+// TestSPSCGuardAllowsOwner: the owning goroutine emits freely — the guard
+// must never fire on legal single-producer traffic, including barriers.
+func TestSPSCGuardAllowsOwner(t *testing.T) {
+	tp := New(Config{})
+	l := &countingListener{}
+	tp.Add("heap", l, ConsumerOptions{HeapReader: true})
+	pr := tp.Producer()
+	tp.Start()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			pr.LoopBack(1)
+			if i%100 == 0 {
+				pr.Barrier()
+			}
+		}
+	}()
+	wg.Wait()
+	if err := tp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.n != 1000 {
+		t.Fatalf("consumer saw %d of 1000 events", l.n)
+	}
+}

@@ -1,6 +1,10 @@
 package pipeline
 
-import "algoprof/internal/events"
+import (
+	"sync/atomic"
+
+	"algoprof/internal/events"
+)
 
 // Producer is the writing end of a Transport. It implements
 // events.Listener, so the VM (or the probe API) publishes by emitting
@@ -27,6 +31,13 @@ type Producer struct {
 	// touchC is the consumer that answers SiteTouch calls (the first
 	// path-aware decoded consumer); bound by Transport.Start.
 	touchC *Consumer
+	// owner is the id of the goroutine that first emitted through this
+	// producer; -race builds enforce it (see checkOwner), release builds
+	// never touch it. ownerCalls counts frontend calls for the sampled
+	// check — deliberately a plain field: a second goroutine bumping it
+	// is itself the data race being hunted.
+	owner      atomic.Int64
+	ownerCalls uint64
 }
 
 // BindClock makes every subsequent record carry *counter at publication
@@ -35,6 +46,7 @@ type Producer struct {
 func (p *Producer) BindClock(counter *uint64) { p.clock = counter }
 
 func (p *Producer) emit(r Record) {
+	p.checkOwner()
 	if p.clock != nil {
 		r.Clock = *p.clock
 	}
@@ -91,6 +103,7 @@ func (p *Producer) Flush() { p.flush() }
 // event. The producing frontend must call this before each heap write.
 // Consumers not marked HeapReader are not waited on.
 func (p *Producer) Barrier() {
+	p.checkOwner()
 	if p.sync || p.pos == p.drained || len(p.heapReaders) == 0 {
 		return
 	}
@@ -217,6 +230,7 @@ func (p *Producer) LoopPathCount(loopID, pathID int, count int64) {
 // consumer attached every site stays unresolved, which only costs repeat
 // calls.
 func (p *Producer) SiteTouch(site int, obj events.Entity) bool {
+	p.checkOwner()
 	c := p.touchC
 	if c == nil || c.dead.Load() {
 		return false

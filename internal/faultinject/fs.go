@@ -20,6 +20,10 @@ type File interface {
 // Plan.FS wraps any FS with the plan's fs.* injection points.
 type FS interface {
 	MkdirAll(path string, perm os.FileMode) error
+	// Mkdir creates exactly one directory and fails with fs.ErrExist if it
+	// already exists — the O_EXCL-style reservation primitive the run store
+	// uses to make run names create-once under concurrency.
+	Mkdir(path string, perm os.FileMode) error
 	CreateTemp(dir, pattern string) (File, error)
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
@@ -36,6 +40,7 @@ func OS() FS { return osFS{} }
 type osFS struct{}
 
 func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Mkdir(path string, perm os.FileMode) error    { return os.Mkdir(path, perm) }
 func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error                     { return os.Remove(name) }
 func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
@@ -116,6 +121,13 @@ func (f *faultFS) MkdirAll(path string, perm os.FileMode) error {
 		return err
 	}
 	return f.base.MkdirAll(path, perm)
+}
+
+func (f *faultFS) Mkdir(path string, perm os.FileMode) error {
+	if err := f.plan.Point(PointMkdir).ErrFor(path, "mkdir "+path); err != nil {
+		return err
+	}
+	return f.base.Mkdir(path, perm)
 }
 
 func (f *faultFS) Rename(oldpath, newpath string) error {

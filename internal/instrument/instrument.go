@@ -326,8 +326,27 @@ func rewriteFunction(fn *bytecode.Function, firstLoopID int, paths bool, ins *In
 				members[id]++
 			}
 		}
+		// A loop that spawns or joins threads keeps classic probes: path
+		// counters defer the iteration's events until the bump, but a
+		// spawned thread starts emitting its own stream immediately, so
+		// ordering against the child requires per-iteration streaming.
+		spawns := func(l *cfg.Loop) bool {
+			for _, b := range l.Body {
+				blk := g.Blocks[b]
+				for pc := blk.Start; pc < blk.End; pc++ {
+					switch fn.Code[pc].Op {
+					case bytecode.OpSpawn, bytecode.OpJoin:
+						return true
+					}
+				}
+			}
+			return false
+		}
 		for _, l := range loops {
 			if members[l.ID] != len(l.Body) {
+				continue
+			}
+			if spawns(l) {
 				continue
 			}
 			if pn := cfg.NumberLoopPaths(g, l, MaxLoopPaths); pn != nil {

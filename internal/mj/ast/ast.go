@@ -201,6 +201,13 @@ type TryCatch struct {
 	Handler   *Block
 }
 
+// Join blocks until the thread named by Handle (an int thread id returned
+// by spawn) terminates: `join h;`.
+type Join struct {
+	TokPos token.Pos
+	Handle Expr
+}
+
 // Break exits the innermost loop.
 type Break struct{ TokPos token.Pos }
 
@@ -219,6 +226,7 @@ func (r *Return) Pos() token.Pos     { return r.TokPos }
 func (s *SuperCall) Pos() token.Pos  { return s.TokPos }
 func (t *Throw) Pos() token.Pos      { return t.TokPos }
 func (t *TryCatch) Pos() token.Pos   { return t.TokPos }
+func (j *Join) Pos() token.Pos       { return j.TokPos }
 func (b *Break) Pos() token.Pos      { return b.TokPos }
 func (c *Continue) Pos() token.Pos   { return c.TokPos }
 
@@ -234,6 +242,7 @@ func (*Return) stmt()     {}
 func (*SuperCall) stmt()  {}
 func (*Throw) stmt()      {}
 func (*TryCatch) stmt()   {}
+func (*Join) stmt()       {}
 func (*Break) stmt()      {}
 func (*Continue) stmt()   {}
 
@@ -299,6 +308,14 @@ type Call struct {
 	Recv   Expr // may be nil
 	Name   string
 	Args   []Expr
+}
+
+// Spawn runs Call on a new thread: `spawn f(x)` or `spawn obj.m(x)`.
+// It evaluates the receiver and arguments on the spawning thread, then
+// starts the call concurrently and yields an int thread handle for join.
+type Spawn struct {
+	TokPos token.Pos
+	Call   *Call
 }
 
 // New allocates an object: `new T(args)`.
@@ -374,6 +391,7 @@ func (e *Ident) Pos() token.Pos       { return e.TokPos }
 func (e *FieldAccess) Pos() token.Pos { return e.TokPos }
 func (e *Index) Pos() token.Pos       { return e.TokPos }
 func (e *Call) Pos() token.Pos        { return e.TokPos }
+func (e *Spawn) Pos() token.Pos       { return e.TokPos }
 func (e *New) Pos() token.Pos         { return e.TokPos }
 func (e *NewArray) Pos() token.Pos    { return e.TokPos }
 func (e *Binary) Pos() token.Pos      { return e.TokPos }
@@ -388,6 +406,7 @@ func (*Ident) expr()       {}
 func (*FieldAccess) expr() {}
 func (*Index) expr()       {}
 func (*Call) expr()        {}
+func (*Spawn) expr()       {}
 func (*New) expr()         {}
 func (*NewArray) expr()    {}
 func (*Binary) expr()      {}

@@ -102,6 +102,13 @@ const (
 	OpPathBump     // finish an iteration: count path (register + B), reset, jump to A
 	OpJmpTruePath  // fused jmp.true + path.inc B on the taken edge
 	OpJmpFalsePath // fused jmp.false + path.inc B on the taken edge
+
+	// Threads. OpSpawn starts method id A on a new VM thread: the receiver
+	// (B != 0 for instance dispatch) and arguments are popped from the
+	// spawning thread's stack, and an int thread handle is pushed. OpJoin
+	// pops a handle and blocks until that thread terminates.
+	OpSpawn
+	OpJoin
 )
 
 var opNames = [...]string{
@@ -124,6 +131,7 @@ var opNames = [...]string{
 	OpLoopEnter:     "loop.enter", OpLoopBack: "loop.back", OpLoopExit: "loop.exit",
 	OpPathEnter: "path.enter", OpPathExit: "path.exit", OpPathInc: "path.inc",
 	OpPathBump: "path.bump", OpJmpTruePath: "jmp.true.path", OpJmpFalsePath: "jmp.false.path",
+	OpSpawn: "spawn", OpJoin: "join",
 }
 
 // String returns the mnemonic of the opcode.
@@ -181,7 +189,7 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%-14s %d", in.Op, in.A)
 	case OpNewArrayMulti, OpCallBuiltin:
 		return fmt.Sprintf("%-14s %d argc=%d", in.Op, in.A, in.B)
-	case OpPathEnter, OpPathExit, OpPathBump, OpJmpTruePath, OpJmpFalsePath:
+	case OpPathEnter, OpPathExit, OpPathBump, OpJmpTruePath, OpJmpFalsePath, OpSpawn:
 		return fmt.Sprintf("%-14s %d %d", in.Op, in.A, in.B)
 	}
 	return in.Op.String()

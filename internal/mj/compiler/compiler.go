@@ -250,6 +250,9 @@ func (fc *funcCompiler) compileStmt(s ast.Stmt) {
 		fc.handlers = append(fc.handlers, bytecode.Handler{
 			From: from, To: to, Target: target, ClassID: cls.ID, Slot: slot,
 		})
+	case *ast.Join:
+		fc.compileExpr(s.Handle)
+		fc.op(bytecode.OpJoin)
 	case *ast.Break:
 		if len(fc.loops) == 0 {
 			fc.errorf(s, "break outside loop")
@@ -410,6 +413,8 @@ func (fc *funcCompiler) compileExpr(e ast.Expr) *types.Type {
 		fc.op(bytecode.OpALoad)
 	case *ast.Call:
 		fc.compileCall(e)
+	case *ast.Spawn:
+		fc.compileSpawn(e)
 	case *ast.New:
 		cls := fc.sem.Info.NewClasses[e]
 		if cls == nil {
@@ -487,6 +492,30 @@ func (fc *funcCompiler) compileCall(e *ast.Call) {
 	default:
 		fc.errorf(e, "call %s has no target", e.Name)
 	}
+}
+
+// compileSpawn evaluates the spawned call's receiver and arguments on the
+// spawning thread, then hands them to a new VM thread. B distinguishes
+// instance dispatch (receiver under the args) from static.
+func (fc *funcCompiler) compileSpawn(e *ast.Spawn) {
+	tgt := fc.sem.Info.Calls[e.Call]
+	if tgt == nil || tgt.Method == nil {
+		fc.errorf(e, "unresolved spawn target %s", e.Call.Name)
+		return
+	}
+	virt := 0
+	if !tgt.Method.Static {
+		virt = 1
+		if e.Call.Recv != nil {
+			fc.compileExpr(e.Call.Recv)
+		} else {
+			fc.opA(bytecode.OpLoadLocal, 0)
+		}
+	}
+	for _, a := range e.Call.Args {
+		fc.compileExpr(a)
+	}
+	fc.emit(bytecode.Instr{Op: bytecode.OpSpawn, A: tgt.Method.ID, B: virt})
 }
 
 func (fc *funcCompiler) compileBinary(e *ast.Binary, t *types.Type) {

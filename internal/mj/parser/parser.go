@@ -313,6 +313,11 @@ func (p *Parser) parseStmt() ast.Stmt {
 		p.expect(token.RParen)
 		handler := p.parseBlock()
 		return &ast.TryCatch{TokPos: pos, Body: body, CatchType: ct, CatchName: cn, Handler: handler}
+	case token.KwJoin:
+		p.advance()
+		h := p.parseExpr()
+		p.expect(token.Semi)
+		return &ast.Join{TokPos: pos, Handle: h}
 	case token.KwBreak:
 		p.advance()
 		p.expect(token.Semi)
@@ -623,6 +628,15 @@ func (p *Parser) parsePrimary() ast.Expr {
 		return x
 	case token.KwNew:
 		return p.parseNew()
+	case token.KwSpawn:
+		p.advance()
+		x := p.parsePostfix()
+		call, ok := x.(*ast.Call)
+		if !ok {
+			p.errs = append(p.errs, fmt.Errorf("%s: spawn requires a method call", pos))
+			return &ast.IntLit{TokPos: pos}
+		}
+		return &ast.Spawn{TokPos: pos, Call: call}
 	case token.IDENT:
 		name := p.advance().Text
 		if p.at(token.LParen) {

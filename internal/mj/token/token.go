@@ -50,6 +50,8 @@ const (
 	KwTry
 	KwCatch
 	KwSuper
+	KwSpawn
+	KwJoin
 
 	// Operators.
 	Plus    // +
@@ -117,6 +119,8 @@ var kindNames = map[Kind]string{
 	KwTry:      "try",
 	KwCatch:    "catch",
 	KwSuper:    "super",
+	KwSpawn:    "spawn",
+	KwJoin:     "join",
 	Plus:       "+",
 	Minus:      "-",
 	Star:       "*",
@@ -184,6 +188,8 @@ var Keywords = map[string]Kind{
 	"try":      KwTry,
 	"catch":    KwCatch,
 	"super":    KwSuper,
+	"spawn":    KwSpawn,
+	"join":     KwJoin,
 }
 
 // Pos is a source position: 1-based line and column.

@@ -763,6 +763,11 @@ func (c *checker) checkStmt(s ast.Stmt) {
 		c.prog.Info.CatchSlots[s] = c.declareLocal(s, s.CatchName, ct)
 		c.checkBlock(s.Handler)
 		c.popScope()
+	case *ast.Join:
+		ht := c.checkExpr(s.Handle)
+		if ht.Kind != KInt {
+			c.errorf(s, "join needs an int thread handle, got %s", ht)
+		}
 	case *ast.Break, *ast.Continue:
 		if c.loopDepth == 0 {
 			c.errorf(s, "break/continue outside loop")
@@ -814,6 +819,12 @@ func (c *checker) checkExpr(e ast.Expr) *Type {
 		}
 	case *ast.Call:
 		return c.checkCall(e)
+	case *ast.Spawn:
+		c.checkCall(e.Call)
+		if tgt := c.prog.Info.Calls[e.Call]; tgt != nil && tgt.Method == nil {
+			c.errorf(e, "spawn requires a statically resolved method call (not a builtin or dynamic call)")
+		}
+		return c.setType(e, Int)
 	case *ast.New:
 		return c.checkNew(e)
 	case *ast.NewArray:

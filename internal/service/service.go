@@ -606,9 +606,10 @@ func (s *Service) finishLocked(j *job, prof *algoprof.Profile, run *store.Run, e
 			}
 			j.view.Profile = data
 		}
-		if coreProf, _ := prof.Raw(); coreProf != nil {
-			j.view.Events = coreProf.EventCount()
-		}
+		// EventCount sums the main profiler and every spawned thread's, and
+		// reads atomically — safe even if a salvaged run's pipeline consumer
+		// was still winding down when the profile was assembled.
+		j.view.Events = prof.EventCount()
 	}
 	if j.persist {
 		// Charge the stored trace regardless of outcome: a salvaged or

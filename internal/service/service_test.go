@@ -373,6 +373,99 @@ func TestForceDrainSalvagesAndTypes(t *testing.T) {
 	}
 }
 
+// threadedBusySrc spawns two worker threads right at the top of main and
+// joins them. The workers carry all the work, so a drain that lands
+// mid-job catches the daemon with live thread goroutines. Spawning first
+// matters: even an immediately-cancelled run executes a watchdog-interval
+// prefix, so both per-thread sessions deterministically exist by the time
+// the run is halted.
+const threadedBusySrc = `
+class Main {
+  public static void main() {
+    int h1 = spawn Main.work();
+    int h2 = spawn Main.work();
+    join h1;
+    join h2;
+  }
+  static void work() {
+    int s = 0;
+    for (int i = 0; i < 3000000; i++) { s = s + 1; }
+    check(s == 3000000);
+  }
+}`
+
+// TestForceDrainWithInFlightThreads: force-draining while a job has live
+// spawned thread goroutines salvages a degraded profile with every thread
+// accounted — the per-thread sessions are merged, not dropped, and their
+// events are charged. This is the graceful-drain vs. in-flight-spawn
+// contract from the threading model.
+func TestForceDrainWithInFlightThreads(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		v, err := s.Submit(SubmitRequest{Program: threadedBusySrc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	// Let the first job reach its spawns, then force-drain.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var salvaged int
+	for _, id := range ids {
+		v, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s lost in drain", id)
+		}
+		switch v.Status {
+		case StatusDegraded:
+			salvaged++
+			interrupted := false
+			for _, r := range v.DegradedReasons {
+				if r == "interrupted" {
+					interrupted = true
+				}
+			}
+			if !interrupted {
+				t.Errorf("salvaged job %s reasons %v, want interrupted", id, v.DegradedReasons)
+			}
+			if len(v.Profile) == 0 {
+				t.Fatalf("salvaged job %s has no profile", id)
+			}
+			var p struct {
+				Threads int `json:"threads"`
+			}
+			if err := json.Unmarshal(v.Profile, &p); err != nil {
+				t.Fatalf("salvaged profile for %s unparsable: %v", id, err)
+			}
+			if p.Threads != 2 {
+				t.Errorf("salvaged job %s accounts %d threads, want 2", id, p.Threads)
+			}
+			if v.Events == 0 {
+				t.Errorf("salvaged job %s charged zero events despite live threads", id)
+			}
+		case StatusFailed:
+			// Still-queued jobs fail typed; they never started a thread.
+			if v.ErrorClass != "resource" {
+				t.Errorf("queued job %s failed untyped: class=%q", id, v.ErrorClass)
+			}
+		case StatusOK:
+			// Legitimate if the job finished inside the race window.
+		default:
+			t.Errorf("job %s stuck in %s after drain", id, v.Status)
+		}
+	}
+	if salvaged == 0 {
+		t.Error("no job was salvaged mid-threads; the threaded workload finished too fast — raise it")
+	}
+}
+
 // TestPathsModeRunsWithoutPersist: a paths-mode job completes with a
 // profile but no stored run.
 func TestPathsModeRunsWithoutPersist(t *testing.T) {

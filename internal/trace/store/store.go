@@ -14,10 +14,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"algoprof"
@@ -41,6 +43,11 @@ const (
 	ProgramName  = programFile
 	TraceName    = traceFile
 )
+
+// ThreadTraceName is the per-thread trace file for spawned thread tid,
+// stored beside the main trace.bin; the manifest's Threads field lists
+// which ids exist.
+func ThreadTraceName(tid int) string { return fmt.Sprintf("trace-t%d.bin", tid) }
 
 // Manifest describes one stored run.
 type Manifest struct {
@@ -70,8 +77,13 @@ type Manifest struct {
 	// the event stream, so the manifest carries them across replays.
 	Stdout []string `json:"stdout,omitempty"`
 	Output []string `json:"output,omitempty"`
-	// Instructions is the executed bytecode instruction count.
+	// Instructions is the executed bytecode instruction count, summed over
+	// all threads.
 	Instructions uint64 `json:"instructions"`
+	// Threads lists the spawned thread ids whose per-thread traces
+	// (trace-t<tid>.bin) sit beside the main trace; empty for
+	// single-threaded runs. Replay merges them back into one report.
+	Threads []int `json:"threads,omitempty"`
 	// CostKeys is the run's interned cost-counter vocabulary, in dense-id
 	// order.
 	CostKeys []string `json:"cost_keys,omitempty"`
@@ -155,6 +167,20 @@ func (e *CorruptRunError) Unwrap() error { return e.Err }
 
 // FaultClass implements faultinject.Classifier.
 func (e *CorruptRunError) FaultClass() faultinject.FaultClass { return faultinject.Corruption }
+
+// RunExistsError reports a Record against a run name already present in
+// the store — either a finished run or one another recorder reserved
+// concurrently. Run directories are create-once: the recording that wins
+// the exclusive reservation owns the name, everyone else fails typed.
+type RunExistsError struct {
+	// Run names the contested run.
+	Run string
+}
+
+// Error implements error.
+func (e *RunExistsError) Error() string {
+	return fmt.Sprintf("store: run %s already exists", e.Run)
+}
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -242,7 +268,18 @@ func (s *Store) RecordTenantContext(ctx context.Context, name, src, workload, te
 	if err != nil {
 		return nil, err
 	}
-	if err := s.retry.Do(func() error { return s.fsys.MkdirAll(dir, 0o755) }); err != nil {
+	// Exclusive reservation: creating the run directory itself is the
+	// atomic claim on the name. Two concurrent recorders of the same run
+	// id race on one Mkdir; the loser fails typed instead of the two
+	// interleaving writes into one directory.
+	err = s.retry.Do(func() error {
+		merr := s.fsys.Mkdir(dir, 0o755)
+		if errors.Is(merr, os.ErrExist) {
+			return &RunExistsError{Run: name}
+		}
+		return merr
+	})
+	if err != nil {
 		return nil, err
 	}
 	if err := s.writeFileAtomic(filepath.Join(dir, programFile), []byte(src), 0o644); err != nil {
@@ -270,14 +307,37 @@ func (s *Store) RecordTenantContext(ctx context.Context, name, src, workload, te
 	if err != nil {
 		return nil, err
 	}
-	prof, runErr := algoprof.RecordContext(ctx, src, cfg, tf, topts)
+	// Spawned threads each record into their own trace-t<tid>.bin beside
+	// the main trace; the sink is called concurrently from spawning
+	// threads, so the id list is mutex-guarded.
+	var (
+		tidMu sync.Mutex
+		tids  []int
+	)
+	sink := func(tid int) (io.WriteCloser, error) {
+		var f faultinject.File
+		err := s.retry.Do(func() (e error) {
+			f, e = s.fsys.Create(filepath.Join(dir, ThreadTraceName(tid)))
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		tidMu.Lock()
+		tids = append(tids, tid)
+		tidMu.Unlock()
+		return f, nil
+	}
+	prof, runErr := algoprof.RecordSinkContext(ctx, src, cfg, tf, topts, sink)
 	if cerr := tf.Close(); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
+	sort.Ints(tids)
+	m.Threads = tids
 	if runErr != nil {
 		var pe *algoprof.PartialError
 		if errors.As(runErr, &pe) {
-			// Interrupted, not failed: keep the partial trace and fold the
+			// Interrupted, not failed: keep the partial traces and fold the
 			// salvaged profile (if any) into the still-degraded manifest so
 			// the stored run is honest about what it holds.
 			if pe.Profile != nil {
@@ -289,10 +349,15 @@ func (s *Store) RecordTenantContext(ctx context.Context, name, src, workload, te
 			return nil, runErr
 		}
 		// A genuine failure (compile error, internal error) stores nothing:
-		// drop the provisional files so the run does not list.
+		// drop the provisional files and the directory so the run does not
+		// list and the name is free to reserve again.
 		s.fsys.Remove(filepath.Join(dir, traceFile))
+		for _, tid := range tids {
+			s.fsys.Remove(filepath.Join(dir, ThreadTraceName(tid)))
+		}
 		s.fsys.Remove(filepath.Join(dir, manifestFile))
 		s.fsys.Remove(filepath.Join(dir, programFile))
+		s.fsys.Remove(dir)
 		return nil, runErr
 	}
 
@@ -412,7 +477,7 @@ func (s *Store) Replay(name string) (*Run, error) {
 // with no index or trailer) replay through the reader's recovery path and
 // come back as degraded profiles covering the captured prefix.
 func (s *Store) ReplayContext(ctx context.Context, name string) (*Run, error) {
-	return s.replayWith(ctx, name, algoprof.ReplayProgramContext)
+	return s.replayWith(ctx, name, algoprof.ReplayProgramThreadsContext)
 }
 
 // ReplayParallel is Replay with the trace's frame decoding fanned out over
@@ -420,13 +485,15 @@ func (s *Store) ReplayContext(ctx context.Context, name string) (*Run, error) {
 // byte-identical to a sequential replay's. v1 and interrupted traces fall
 // back to the sequential path automatically.
 func (s *Store) ReplayParallel(ctx context.Context, name string, workers int) (*Run, error) {
-	return s.replayWith(ctx, name, func(ctx context.Context, prog *bytecode.Program, cfg algoprof.Config, tr *trace.Reader) (*algoprof.Profile, error) {
-		return algoprof.ReplayProgramParallel(ctx, prog, cfg, tr, workers)
+	return s.replayWith(ctx, name, func(ctx context.Context, prog *bytecode.Program, cfg algoprof.Config, tr *trace.Reader, threads map[int]*trace.Reader) (*algoprof.Profile, error) {
+		return algoprof.ReplayProgramThreadsParallel(ctx, prog, cfg, tr, threads, workers)
 	})
 }
 
-// replayWith loads a run and drives one replay strategy over its trace.
-func (s *Store) replayWith(ctx context.Context, name string, replay func(context.Context, *bytecode.Program, algoprof.Config, *trace.Reader) (*algoprof.Profile, error)) (*Run, error) {
+// replayWith loads a run and drives one replay strategy over its traces:
+// the main trace plus, for threaded runs, one reader per thread id the
+// manifest lists.
+func (s *Store) replayWith(ctx context.Context, name string, replay func(context.Context, *bytecode.Program, algoprof.Config, *trace.Reader, map[int]*trace.Reader) (*algoprof.Profile, error)) (*Run, error) {
 	r, err := s.Load(name)
 	if err != nil {
 		return nil, err
@@ -460,7 +527,26 @@ func (s *Store) replayWith(ctx context.Context, name string, replay func(context
 	if err != nil {
 		return nil, &CorruptRunError{Run: name, Err: err}
 	}
-	prof, err := replay(ctx, prog, r.Manifest.Config, tr)
+	var threads map[int]*trace.Reader
+	for _, tid := range r.Manifest.Threads {
+		var traw []byte
+		err = s.retry.Do(func() (e error) {
+			traw, e = s.fsys.ReadFile(filepath.Join(r.Dir, ThreadTraceName(tid)))
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		ttr, err := trace.NewReader(traw)
+		if err != nil {
+			return nil, &CorruptRunError{Run: name, Err: fmt.Errorf("thread %d: %w", tid, err)}
+		}
+		if threads == nil {
+			threads = map[int]*trace.Reader{}
+		}
+		threads[tid] = ttr
+	}
+	prof, err := replay(ctx, prog, r.Manifest.Config, tr, threads)
 	if err != nil {
 		return nil, err
 	}

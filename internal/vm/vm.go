@@ -3,7 +3,9 @@ package vm
 import (
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"strings"
+	"sync"
 
 	"algoprof/internal/events"
 	"algoprof/internal/mj/bytecode"
@@ -51,7 +53,42 @@ type Config struct {
 	// context cancel) rather than a program failure. The halt propagates
 	// through every active frame like any error, so loop and method exit
 	// events still fire and profiling listeners observe a balanced stream.
+	// Spawned threads inherit and poll the same hook concurrently, so it
+	// must be goroutine-safe in programs that spawn.
 	Watchdog func() error
+	// SpawnSession, if non-nil, provides each spawned thread's profiling
+	// session, keyed by its deterministic thread id. A thread never shares
+	// its parent's Listener/Journal/PreWrite — those are single-goroutine
+	// by contract — so a VM with a Listener but no SpawnSession rejects
+	// OpSpawn with a runtime error rather than racing two threads through
+	// one listener. Returning a nil session runs that thread unprofiled.
+	SpawnSession func(tid int) *ThreadSession
+}
+
+// ThreadSession is the per-thread profiling harness a spawned VM thread
+// runs under: its own listener (typically a dedicated producer ring
+// feeding a per-thread profiler), journal, and heap barrier.
+type ThreadSession struct {
+	// Listener receives the thread's profiling events.
+	Listener events.Listener
+	// Plan gates the thread's method/field/alloc/io events.
+	Plan *events.Plan
+	// Journal receives the thread's entity births and element stores.
+	Journal events.Journal
+	// PreWrite is the thread's own heap barrier — the deterministic merge
+	// point: it drains the thread's published events before each of its
+	// heap mutations, so cross-ring consumers never observe a heap newer
+	// than their stream.
+	PreWrite func()
+	// NumSites sizes the thread's first-touch table (paths mode).
+	NumSites int
+	// BindClock, if non-nil, is handed the thread's instruction counter
+	// before it starts (pipeline producers stamp events with it).
+	BindClock func(clock *uint64)
+	// Close is called on the thread's own goroutine after it terminates,
+	// with all its events emitted; a per-thread transport drains and
+	// closes here. Its error surfaces as the thread's failure.
+	Close func() error
 }
 
 // watchdogInterval is how many instructions run between Watchdog polls —
@@ -115,6 +152,95 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("mj runtime error: %s (at %s pc=%d)", e.Msg, e.Method, e.PC)
 }
 
+// Thread-id encoding: a child's id appends its 1-based spawn ordinal to
+// the parent's id, so ids are deterministic functions of the program's
+// spawn structure regardless of goroutine scheduling. The main thread is
+// id 0. Each thread gets a disjoint entity-id namespace at tid<<40; the
+// main thread keeps the raw sequence, so single-threaded runs allocate
+// exactly the ids they always did.
+const (
+	spawnBits          = 8
+	maxSpawnsPerThread = 1<<spawnBits - 1
+	maxSpawnDepth      = 3
+	entityBaseShift    = 40
+)
+
+// thread is one spawned VM thread in the run's registry.
+type thread struct {
+	tid  int
+	vm   *VM
+	done chan struct{} // closed after err and stats are final
+	err  error
+
+	// joined marks the handle claimed by a join (guarded by group mu);
+	// merged marks its outputs folded into the joiner or the root.
+	joined bool
+	merged bool
+}
+
+// threadGroup is the registry shared by every VM of one run: the root and
+// all spawned threads. It tracks live threads for the run-end sweep and
+// accumulates finished threads' instruction/allocation counts.
+type threadGroup struct {
+	mu      sync.Mutex
+	threads map[int]*thread
+	instrs  uint64
+	allocs  uint64
+}
+
+func (tg *threadGroup) register(th *thread) {
+	tg.mu.Lock()
+	defer tg.mu.Unlock()
+	tg.threads[th.tid] = th
+}
+
+// claim resolves a join target and marks it claimed; a second join of the
+// same handle is a program error.
+func (tg *threadGroup) claim(tid int) (*thread, string) {
+	tg.mu.Lock()
+	defer tg.mu.Unlock()
+	th, ok := tg.threads[tid]
+	if !ok {
+		return nil, fmt.Sprintf("join of unknown thread handle %d", tid)
+	}
+	if th.joined {
+		return nil, fmt.Sprintf("thread %d already joined", tid)
+	}
+	th.joined = true
+	return th, ""
+}
+
+// claimMerge marks th's outputs as folded exactly once.
+func (tg *threadGroup) claimMerge(th *thread) bool {
+	tg.mu.Lock()
+	defer tg.mu.Unlock()
+	if th.merged {
+		return false
+	}
+	th.merged = true
+	return true
+}
+
+// finish books a terminated thread's counters.
+func (tg *threadGroup) finish(child *VM) {
+	tg.mu.Lock()
+	defer tg.mu.Unlock()
+	tg.instrs += child.InstrCount
+	tg.allocs += child.AllocCount
+}
+
+// all snapshots the registry sorted by thread id.
+func (tg *threadGroup) all() []*thread {
+	tg.mu.Lock()
+	defer tg.mu.Unlock()
+	out := make([]*thread, 0, len(tg.threads))
+	for _, th := range tg.threads {
+		out = append(out, th)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].tid < out[j].tid })
+	return out
+}
+
 // openLoop is one active loop in a frame: a classic-probe loop (base -1)
 // or a counted loop with its block of path counters in the VM arena.
 type openLoop struct {
@@ -149,6 +275,15 @@ type VM struct {
 	rng    uint64
 	inPos  int
 	wdLeft int // instructions until the next Watchdog poll
+
+	// Threading state. tid is this VM's deterministic thread id (0 for
+	// the main thread), depth its spawn nesting depth, spawnOrd its count
+	// of spawns so far; group is the run-wide thread registry, created
+	// lazily at the first spawn and shared by every thread's VM.
+	tid      int
+	depth    int
+	spawnOrd int
+	group    *threadGroup
 
 	// InstrCount is the number of executed bytecode instructions — the
 	// deterministic stand-in for wall-clock time in the CCT baseline.
@@ -256,20 +391,36 @@ func New(prog *bytecode.Program, cfg Config) *VM {
 // interpreter or its listeners are contained and returned as *PanicError,
 // so a buggy listener cannot take the whole process down.
 func (m *VM) Run() (err error) {
-	defer containPanic(&err)
-	return m.call(m.prog.Main(), nil)
+	func() {
+		defer containPanic(&err)
+		err = m.call(m.prog.Main(), nil)
+	}()
+	// Await every spawned thread even when main failed: the registry must
+	// be fully accounted (no leaked goroutines, no half-written sessions)
+	// before the caller finalizes profilers or salvages a partial run.
+	if terr := m.awaitThreads(); err == nil {
+		err = terr
+	}
+	return err
 }
 
 // CallStatic runs an arbitrary static niladic method; used by harnesses.
 // Panics are contained like Run's.
 func (m *VM) CallStatic(qualified string) (err error) {
-	defer containPanic(&err)
-	for _, fn := range m.prog.Funcs {
-		if fn.Method.QualifiedName() == qualified && fn.Method.Static && len(fn.Method.Params) == 0 {
-			return m.call(fn, nil)
+	func() {
+		defer containPanic(&err)
+		for _, fn := range m.prog.Funcs {
+			if fn.Method.QualifiedName() == qualified && fn.Method.Static && len(fn.Method.Params) == 0 {
+				err = m.call(fn, nil)
+				return
+			}
 		}
+		err = fmt.Errorf("vm: no static niladic method %q", qualified)
+	}()
+	if terr := m.awaitThreads(); err == nil {
+		err = terr
 	}
-	return fmt.Errorf("vm: no static niladic method %q", qualified)
+	return err
 }
 
 // containPanic converts an in-flight panic into a *PanicError on *err.
@@ -435,6 +586,167 @@ func (m *VM) call(fn *bytecode.Function, args []Value) error {
 	clear(f.stack)
 	m.framePool = append(m.framePool, f)
 	return err
+}
+
+// spawn starts target on a new VM thread with args already evaluated on
+// the spawning thread, returning the child's deterministic thread id. The
+// child is a separate VM sharing the immutable program and live heap: it
+// has its own frames, frame pool, rng (derived from the seed and its
+// tid), path arena, and a disjoint entity-id namespace, and it polls the
+// same watchdog. Its profiling session comes from Config.SpawnSession;
+// its Input is empty (readInput on a spawned thread yields 0).
+func (m *VM) spawn(f *frame, target *bytecode.Function, args []Value) (int, error) {
+	if m.cfg.Listener != nil && m.cfg.SpawnSession == nil {
+		return 0, m.fail(f, "spawn in a profiled run without a per-thread session provider")
+	}
+	if m.depth+1 > maxSpawnDepth {
+		return 0, m.fail(f, "spawn nesting deeper than %d", maxSpawnDepth)
+	}
+	if m.spawnOrd >= maxSpawnsPerThread {
+		return 0, m.fail(f, "thread spawned more than %d threads", maxSpawnsPerThread)
+	}
+	if m.group == nil {
+		m.group = &threadGroup{threads: map[int]*thread{}}
+	}
+	m.spawnOrd++
+	tid := m.tid<<spawnBits | m.spawnOrd
+
+	ccfg := m.cfg
+	ccfg.Listener = nil
+	ccfg.Plan = nil
+	ccfg.Journal = nil
+	ccfg.PreWrite = nil
+	ccfg.InstrHook = nil
+	ccfg.Input = nil
+	ccfg.NumSites = 0
+	ccfg.Seed = m.cfg.Seed ^ (uint64(tid)*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019)
+	var sessClose func() error
+	var bindClock func(*uint64)
+	if m.cfg.SpawnSession != nil {
+		if sess := m.cfg.SpawnSession(tid); sess != nil {
+			ccfg.Listener = sess.Listener
+			ccfg.Plan = sess.Plan
+			ccfg.Journal = sess.Journal
+			ccfg.PreWrite = sess.PreWrite
+			ccfg.NumSites = sess.NumSites
+			sessClose = sess.Close
+			bindClock = sess.BindClock
+		}
+	}
+	child := New(m.prog, ccfg)
+	child.tid = tid
+	child.depth = m.depth + 1
+	child.group = m.group
+	child.nextID = uint64(tid) << entityBaseShift
+	if bindClock != nil {
+		bindClock(&child.InstrCount)
+	}
+	th := &thread{tid: tid, vm: child, done: make(chan struct{})}
+	m.group.register(th)
+	go func() {
+		err := child.runSpawned(target, args)
+		if sessClose != nil {
+			if cerr := sessClose(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		th.err = err
+		m.group.finish(child)
+		close(th.done)
+	}()
+	return tid, nil
+}
+
+// runSpawned is a thread's body: the spawned call, with panics contained
+// like Run's.
+func (m *VM) runSpawned(fn *bytecode.Function, args []Value) (err error) {
+	defer containPanic(&err)
+	return m.call(fn, args)
+}
+
+// join blocks until thread tid terminates, folds its stdout/output into
+// the joining thread (the join is a deterministic program point, so the
+// interleaving is defined), and propagates its failure: an uncaught MJ
+// exception arrives as *Thrown and is catchable at the join site.
+func (m *VM) join(f *frame, tid int) error {
+	if m.group == nil {
+		return m.fail(f, "join of unknown thread handle %d", tid)
+	}
+	th, msg := m.group.claim(tid)
+	if th == nil {
+		return m.fail(f, "%s", msg)
+	}
+	<-th.done
+	if m.group.claimMerge(th) {
+		m.Stdout = append(m.Stdout, th.vm.Stdout...)
+		m.Output = append(m.Output, th.vm.Output...)
+	}
+	return th.err
+}
+
+// awaitThreads waits for every spawned thread (including ones spawned
+// while waiting), then folds unjoined threads' outputs into this VM in
+// thread-id order. The first unjoined failure (by tid) is returned.
+// Joined threads were already folded at their join sites: a joiner is
+// itself a thread, so by the time every thread is done, every claimed
+// join has completed its merge — the sweep cannot steal one.
+func (m *VM) awaitThreads() error {
+	if m.group == nil {
+		return nil
+	}
+	for {
+		ths := m.group.all()
+		for _, th := range ths {
+			<-th.done
+		}
+		if len(m.group.all()) == len(ths) {
+			break
+		}
+	}
+	var firstErr error
+	for _, th := range m.group.all() {
+		if m.group.claimMerge(th) {
+			m.Stdout = append(m.Stdout, th.vm.Stdout...)
+			m.Output = append(m.Output, th.vm.Output...)
+			if th.err != nil && firstErr == nil {
+				firstErr = th.err
+			}
+		}
+	}
+	return firstErr
+}
+
+// TotalInstructions is the run's executed instruction count summed over
+// the main thread and every finished spawned thread. Call after Run; for
+// single-threaded programs it equals InstrCount.
+func (m *VM) TotalInstructions() uint64 {
+	if m.group == nil {
+		return m.InstrCount
+	}
+	m.group.mu.Lock()
+	defer m.group.mu.Unlock()
+	return m.InstrCount + m.group.instrs
+}
+
+// TotalAllocs is AllocCount summed over all threads; see TotalInstructions.
+func (m *VM) TotalAllocs() uint64 {
+	if m.group == nil {
+		return m.AllocCount
+	}
+	m.group.mu.Lock()
+	defer m.group.mu.Unlock()
+	return m.AllocCount + m.group.allocs
+}
+
+// ThreadCount reports how many threads the run spawned (all of them, not
+// just live ones). Call after Run.
+func (m *VM) ThreadCount() int {
+	if m.group == nil {
+		return 0
+	}
+	m.group.mu.Lock()
+	defer m.group.mu.Unlock()
+	return len(m.group.threads)
 }
 
 // siteTouch fires the first-touch notification for a path-counted access
@@ -813,6 +1125,44 @@ func (m *VM) interpret(f *frame) error {
 
 		case bytecode.OpCallBuiltin:
 			if err := m.callBuiltin(f, types.Builtin(in.A), in.B); err != nil {
+				return err
+			}
+
+		case bytecode.OpSpawn:
+			declared := m.prog.Sem.MethodByID(in.A)
+			nargs := len(declared.Params)
+			var target *bytecode.Function
+			var args []Value
+			if in.B != 0 {
+				args = make([]Value, nargs+1)
+				for i := nargs; i >= 1; i-- {
+					args[i] = m.pop(f)
+				}
+				recvVal := m.pop(f)
+				if recvVal.K != ValObj {
+					return m.fail(f, "null dereference spawning %s", declared.QualifiedName())
+				}
+				args[0] = recvVal
+				target = m.resolveVirtual(recvVal.O, declared)
+			} else {
+				args = make([]Value, nargs)
+				for i := nargs - 1; i >= 0; i-- {
+					args[i] = m.pop(f)
+				}
+				target = m.prog.FuncByID(in.A)
+			}
+			tid, err := m.spawn(f, target, args)
+			if err != nil {
+				return err
+			}
+			m.push(f, intVal(int64(tid)))
+
+		case bytecode.OpJoin:
+			hv := m.pop(f)
+			if err := m.join(f, int(hv.I)); err != nil {
+				if th, ok := err.(*Thrown); ok && m.deliver(f, th, f.pc-1) {
+					break
+				}
 				return err
 			}
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"algoprof/internal/core"
@@ -37,14 +38,38 @@ func RecordContext(ctx context.Context, src string, cfg Config, w io.Writer, top
 	return RecordProgramContext(ctx, prog, cfg, w, topts)
 }
 
+// RecordSinkContext is RecordContext for programs that may spawn
+// threads: sink opens one trace destination per spawned thread id (see
+// RecordProgramSinkContext).
+func RecordSinkContext(ctx context.Context, src string, cfg Config, w io.Writer, topts trace.WriterOptions, sink ThreadTraceSink) (*Profile, error) {
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return RecordProgramSinkContext(ctx, prog, cfg, w, topts, sink)
+}
+
 // RecordProgram is Record for an already compiled program.
 func RecordProgram(prog *bytecode.Program, cfg Config, w io.Writer, topts trace.WriterOptions) (*Profile, error) {
 	return RecordProgramContext(context.Background(), prog, cfg, w, topts)
 }
 
 // RecordProgramContext is RecordProgram with cooperative cancellation (see
-// RecordContext).
+// RecordContext). Programs that spawn threads need a per-thread trace
+// destination and must use RecordProgramSinkContext; without a sink a
+// spawn fails the run with a typed VM error.
 func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Config, w io.Writer, topts trace.WriterOptions) (*Profile, error) {
+	return RecordProgramSinkContext(ctx, prog, cfg, w, topts, nil)
+}
+
+// RecordProgramSinkContext is RecordProgramContext for programs that may
+// spawn threads: w receives the main thread's trace, and sink opens one
+// additional destination per spawned thread id. Each thread's event
+// stream — its own heap journal included — is recorded by the thread's
+// own trace writer at its own heap barrier, so per-thread traces replay
+// independently and byte-identically; the run store names them
+// trace-t<tid>.bin and lists the ids in the manifest.
+func RecordProgramSinkContext(ctx context.Context, prog *bytecode.Program, cfg Config, w io.Writer, topts trace.WriterOptions, sink ThreadTraceSink) (*Profile, error) {
 	if cfg.Mode == ModePaths {
 		// The trace format carries the exact event stream; path counters
 		// elide precisely the records replay needs. Record in events mode
@@ -75,6 +100,10 @@ func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 	}
 	pr := tp.Producer()
 
+	threads := newThreadSessions(ins, cfg, false)
+	threads.sink = sink
+	threads.topts = topts
+
 	vmCfg := vm.Config{
 		Listener: pr,
 		Plan:     ins.Plan,
@@ -84,6 +113,9 @@ func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 		Input:    cfg.Input,
 		MaxSteps: cfg.MaxSteps,
 		Watchdog: watchdogFor(ctx, cfg.Limits, time.Now(), cfg.Watchdog),
+	}
+	if sink != nil {
+		vmCfg.SpawnSession = threads.spawnSession
 	}
 	machine := vm.New(ins.Prog, vmCfg)
 	pr.BindClock(&machine.InstrCount)
@@ -100,9 +132,15 @@ func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 		}
 		return nil, salvage(func() *Profile {
 			p, _ := finishProfile(prof, cfg, machine, true)
+			if p != nil {
+				_ = mergeThreadProfiles(threads, p, cfg, true)
+			}
 			return p
 		}, runErr)
 	}
+	// The main trace carries the main thread's own instruction count;
+	// spawned threads' traces carry theirs, and replay sums them back to
+	// the live run's total.
 	tw.SetInstructions(machine.InstrCount)
 	if werr := tw.Close(); werr != nil && runErr == nil {
 		runErr = werr
@@ -115,6 +153,9 @@ func RecordProgramContext(ctx context.Context, prog *bytecode.Program, cfg Confi
 	}
 	p, err := finishProfile(prof, cfg, machine, chk != nil, extra...)
 	if err != nil {
+		return nil, err
+	}
+	if err := mergeThreadProfiles(threads, p, cfg, false); err != nil {
 		return nil, err
 	}
 	if err := runVerify(chk, prof, false, true); err != nil {
@@ -154,6 +195,85 @@ func ReplayProgramParallel(ctx context.Context, prog *bytecode.Program, cfg Conf
 	return replayProgram(ctx, prog, cfg, r, func(ctx context.Context, dispatch func(*pipeline.Record)) error {
 		return r.ReplayParallel(ctx, workers, dispatch)
 	})
+}
+
+// replayStrategy turns one trace reader into a replay driver — sequential
+// (Reader.ReplayContext) or frame-parallel (Reader.ReplayParallel).
+type replayStrategy func(*trace.Reader) func(context.Context, func(*pipeline.Record)) error
+
+// ReplayProgramThreadsContext replays a threaded recording offline: r
+// drives the main thread's profiler and each entry of threadTraces (keyed
+// by thread id) drives a profiler of its own — the same per-thread trees
+// the live run built — before the report-time merge folds them together.
+// With the recording's Config the result is byte-identical to the live
+// threaded profile.
+func ReplayProgramThreadsContext(ctx context.Context, prog *bytecode.Program, cfg Config, r *trace.Reader, threadTraces map[int]*trace.Reader) (*Profile, error) {
+	return replayThreads(ctx, prog, cfg, r, threadTraces, func(tr *trace.Reader) func(context.Context, func(*pipeline.Record)) error {
+		return tr.ReplayContext
+	})
+}
+
+// ReplayProgramThreadsParallel is ReplayProgramThreadsContext with each
+// trace's per-frame decode fanned out over workers goroutines. Traces are
+// still replayed one at a time in thread-id order — parallelism is within
+// a trace, ordering across traces is irrelevant to the merged report.
+func ReplayProgramThreadsParallel(ctx context.Context, prog *bytecode.Program, cfg Config, r *trace.Reader, threadTraces map[int]*trace.Reader, workers int) (*Profile, error) {
+	return replayThreads(ctx, prog, cfg, r, threadTraces, func(tr *trace.Reader) func(context.Context, func(*pipeline.Record)) error {
+		return func(ctx context.Context, dispatch func(*pipeline.Record)) error {
+			return tr.ReplayParallel(ctx, workers, dispatch)
+		}
+	})
+}
+
+// replayThreads replays the main trace through replayProgram, then each
+// per-thread trace through its own profiler, and merges exactly as a live
+// threaded run does.
+func replayThreads(ctx context.Context, prog *bytecode.Program, cfg Config, r *trace.Reader, threadTraces map[int]*trace.Reader, strat replayStrategy) (*Profile, error) {
+	p, err := replayProgram(ctx, prog, cfg, r, strat(r))
+	if err != nil {
+		return nil, err
+	}
+	if len(threadTraces) == 0 {
+		return p, nil
+	}
+	ins, err := instrument.Instrument(prog, instrument.Optimized)
+	if err != nil {
+		return nil, err
+	}
+	tids := make([]int, 0, len(threadTraces))
+	for tid := range threadTraces {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	ts := &threadSessions{ins: ins, cfg: cfg}
+	var instrs uint64
+	for _, tid := range tids {
+		tr := threadTraces[tid]
+		prof := core.NewProfiler(ins, coreOptions(cfg))
+		tp := pipeline.New(pipeline.Config{Synchronous: true})
+		tp.Add("core", prof, pipeline.ConsumerOptions{HeapReader: true, Plan: ins.Plan})
+		var chk *verify.Checker
+		if cfg.Verify {
+			chk = verify.NewChecker()
+			tp.Add("verify", chk, pipeline.ConsumerOptions{})
+		}
+		tp.Start()
+		if err := strat(tr)(ctx, tp.Dispatch); err != nil {
+			return nil, fmt.Errorf("thread %d: %w", tid, err)
+		}
+		s := &threadSession{tid: tid, prof: prof, chk: chk}
+		if tr.Stats().Truncated {
+			s.openOK = true
+			s.extraReasons = []string{"truncated-trace"}
+		}
+		ts.sessions = append(ts.sessions, s)
+		instrs += tr.Stats().Instructions
+	}
+	if err := mergeThreadProfiles(ts, p, cfg, false); err != nil {
+		return nil, err
+	}
+	p.Instructions += instrs
+	return p, nil
 }
 
 // replayProgram drives one replay strategy (sequential or parallel) through
@@ -235,7 +355,7 @@ func finishProfile(prof *core.Profiler, cfg Config, machine *vm.VM, tolerant boo
 	}
 	p := FromProfilerWith(prof, cfg.GroupStrategy)
 	p.Stdout = machine.Stdout
-	p.Instructions = machine.InstrCount
+	p.Instructions = machine.TotalInstructions()
 	p.raw.machine = machine
 	for _, v := range machine.Output {
 		p.Output = append(p.Output, v.String())
