@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race replay-race bench bench-smoke fuzz-smoke chaos-smoke service-smoke bench-service paper
+.PHONY: check build test vet race replay-race bench bench-smoke fuzz-smoke chaos-smoke service-smoke dist-chaos-smoke bench-service bench-dispatch paper
 
 # The tier-1 gate plus the concurrency-sensitive packages under the race
 # detector. Run before committing.
@@ -21,12 +21,14 @@ test:
 # consuming it, the VM (spawn/join thread goroutines), the experiments
 # worker pool that the snapshot registry runs inside, the trace subsystem
 # (its writer runs on a consumer goroutine; the store's concurrent-record
-# reservation), and the root package (the events/paths equivalence suite
-# and the threaded transport-equivalence gate, which runs ≥2 concurrent
-# per-thread producers). Vet runs first so the leg is self-contained in CI.
+# reservation), the distributed dispatcher (lease timers, breaker state,
+# and worker keyed locks race against heartbeat streams), and the root
+# package (the events/paths equivalence suite and the threaded
+# transport-equivalence gate, which runs ≥2 concurrent per-thread
+# producers). Vet runs first so the leg is self-contained in CI.
 race:
 	$(GO) vet ./...
-	$(GO) test -race . ./internal/events/... ./internal/core ./internal/vm ./internal/experiments/... ./internal/trace/... ./internal/service ./probe
+	$(GO) test -race . ./internal/events/... ./internal/core ./internal/vm ./internal/experiments/... ./internal/trace/... ./internal/service ./internal/dispatch ./probe
 
 # The parallel-replay surface under the race detector, repeated: worker
 # fan-out, chunk merging, cancellation, and the fleet differ are exactly
@@ -71,6 +73,18 @@ chaos-smoke:
 	$(GO) run ./cmd/algoprof chaos -seeds 32
 	$(GO) run ./cmd/algoprof chaos -service -seeds 16
 
+# Distributed-dispatch chaos sweep under the race detector (see
+# docs/SERVICE.md "Distributed operation"): seeded worker-crash /
+# partition / slow-worker / corrupt-response schedules through a real
+# daemon routing jobs to two worker HTTP servers. Zero lost jobs, typed
+# failures only, and no damaged artifact ever ingested — any other
+# outcome exits non-zero. Then a short distributed benchmark with its
+# -check gate against a throwaway output file.
+dist-chaos-smoke:
+	$(GO) run -race ./cmd/algoprof chaos -dist -seeds 8
+	$(GO) run ./cmd/algoprofd distbench -jobs 12 -out /tmp/BENCH_dispatch_smoke.json -check
+	rm -f /tmp/BENCH_dispatch_smoke.json
+
 # End-to-end daemon smoke (see docs/SERVICE.md): boot an in-process
 # algoprofd on an ephemeral port, submit a job over HTTP, stream its NDJSON
 # result, audit the persisted run (the same checks `algoprof verify` runs),
@@ -88,6 +102,13 @@ bench-service:
 	APD=$$!; sleep 1; \
 	/tmp/algoprofd-bench loadgen -addr http://127.0.0.1:7171 -jobs 1000 -c 64 -tenants 4 -out BENCH_service.json -check; \
 	RC=$$?; kill -TERM $$APD; wait $$APD 2>/dev/null; rm -rf /tmp/algoprofd-bench-store; exit $$RC
+
+# Regenerate the committed BENCH_dispatch.json baseline: a crash-0/1/2
+# leg each pushing a batch through the distributed dispatch stack while
+# that many workers die abruptly mid-batch. The -check gate requires
+# zero lost jobs and zero untyped failures in every leg.
+bench-dispatch:
+	$(GO) run ./cmd/algoprofd distbench -out BENCH_dispatch.json -check
 
 # Regenerate every table and figure of the paper.
 paper:

@@ -10,7 +10,7 @@
 //	algoprof diff   [-store DIR] OLD NEW
 //	algoprof fleetdiff [-store DIR] [-json] [-j N] [-tenant T] BASELINE [RUN...]
 //	algoprof runs   [-store DIR] [-tenant T]
-//	algoprof chaos  [-seeds N] [-base-seed N] [-dir DIR] [-service] [-v]
+//	algoprof chaos  [-seeds N] [-base-seed N] [-dir DIR] [-service] [-dist] [-v]
 //	algoprof verify DIR
 //	algoprof verify -range LO:HI TRACE
 //
@@ -45,6 +45,7 @@ import (
 
 	"algoprof"
 	"algoprof/internal/chaos"
+	"algoprof/internal/dispatch"
 	"algoprof/internal/experiments"
 	"algoprof/internal/focus"
 	"algoprof/internal/service"
@@ -473,6 +474,7 @@ func cmdChaos(args []string) {
 	dir := fs.String("dir", "", "scratch directory for run stores (default: a temp dir, removed afterwards)")
 	verbose := fs.Bool("v", false, "log each schedule as it completes")
 	svcSweep := fs.Bool("service", false, "sweep the profiling daemon's write path (job intake, pool, persist) instead of the record pipeline")
+	distSweep := fs.Bool("dist", false, "sweep the distributed dispatch path (worker crashes, partitions, slow workers, corrupt responses)")
 	fs.Parse(args)
 
 	scratch := *dir
@@ -491,8 +493,11 @@ func cmdChaos(args []string) {
 		}
 	}
 	run := chaos.Run
-	if *svcSweep {
+	switch {
+	case *svcSweep:
 		run = service.RunChaos
+	case *distSweep:
+		run = dispatch.RunChaos
 	}
 	rep, err := run(cfg)
 	if err != nil {

@@ -10,9 +10,13 @@
 //	algoprofd serve   [-addr :7071] [-store DIR] [-workers N] [-queue N]
 //	                  [-max-active N] [-event-budget N] [-trace-budget N]
 //	                  [-deadline-ceiling D] [-drain-timeout D]
+//	                  [-remote-workers URL,URL,...] [-lease-ttl D]
+//	algoprofd worker  [-addr :7072] [-scratch DIR]
 //	algoprofd loadgen [-addr URL] [-jobs N] [-c N] [-tenants N]
 //	                  [-out BENCH_service.json] [-check] [-baseline FILE]
 //	algoprofd smoke   [-jobs N]
+//	algoprofd distbench [-jobs N] [-fleet N] [-out BENCH_dispatch.json]
+//	                  [-check]
 //
 // serve runs until SIGINT/SIGTERM, then drains: intake closes immediately
 // (typed 503s), in-flight and queued jobs get -drain-timeout to finish
@@ -30,6 +34,19 @@
 // ephemeral port, runs one end-to-end job (submit → stream → verify the
 // persisted run → byte-compare against the library API), then a short
 // loadgen, and exits non-zero if any step fails.
+//
+// worker runs the distributed execution agent: a stateless process that
+// executes jobs a daemon dispatches to it (POST /w/v1/exec) against a
+// scratch store and ships the artifacts back. Point a daemon at a fleet of
+// them with serve -remote-workers; see docs/SERVICE.md "Distributed
+// operation" for the lease/retry/quarantine semantics.
+//
+// distbench benchmarks the dispatch layer: an in-process daemon plus a
+// worker fleet push a job batch through three legs — 0, 1, and 2 abrupt
+// worker crashes mid-batch — and write throughput, latency percentiles,
+// and the retry/revocation/fallback counters to BENCH_dispatch.json.
+// -check gates on the distributed invariant: zero lost jobs, all failures
+// typed, in every leg.
 package main
 
 import (
@@ -51,6 +68,7 @@ import (
 
 	"algoprof"
 	"algoprof/internal/chaos"
+	"algoprof/internal/dispatch"
 	"algoprof/internal/service"
 	"algoprof/internal/trace"
 	"algoprof/internal/workloads"
@@ -62,15 +80,21 @@ func main() {
 		case "serve":
 			cmdServe(os.Args[2:])
 			return
+		case "worker":
+			cmdWorker(os.Args[2:])
+			return
 		case "loadgen":
 			cmdLoadgen(os.Args[2:])
 			return
 		case "smoke":
 			cmdSmoke(os.Args[2:])
 			return
+		case "distbench":
+			cmdDistbench(os.Args[2:])
+			return
 		}
 	}
-	fmt.Fprintln(os.Stderr, "usage: algoprofd serve|loadgen|smoke [flags]")
+	fmt.Fprintln(os.Stderr, "usage: algoprofd serve|worker|loadgen|smoke|distbench [flags]")
 	os.Exit(2)
 }
 
@@ -90,10 +114,12 @@ func cmdServe(args []string) {
 	traceBudget := fs.Int64("trace-budget", 0, "default per-tenant aggregate trace-byte budget (0 = unlimited)")
 	deadlineCeiling := fs.Duration("deadline-ceiling", 0, "default per-tenant per-job deadline ceiling (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain window after SIGTERM before in-flight jobs are cancelled (salvaged as degraded)")
+	remoteWorkers := fs.String("remote-workers", "", "comma-separated worker base URLs (algoprofd worker processes); jobs dispatch to them with local execution as fallback")
+	leaseTTL := fs.Duration("lease-ttl", dispatch.DefaultLeaseTTL, "per-job worker lease: a worker silent this long is revoked and the job re-dispatched")
 	fs.Parse(args)
 
 	logf := log.New(os.Stderr, "algoprofd: ", log.LstdFlags).Printf
-	svc, err := service.New(service.Config{
+	cfg := service.Config{
 		StoreDir:   *storeDir,
 		Workers:    *workers,
 		QueueDepth: *queue,
@@ -104,7 +130,20 @@ func cmdServe(args []string) {
 			DeadlineCeiling: *deadlineCeiling,
 		},
 		Logf: logf,
-	})
+	}
+	if *remoteWorkers != "" {
+		urls := strings.Split(*remoteWorkers, ",")
+		for i := range urls {
+			urls[i] = strings.TrimRight(strings.TrimSpace(urls[i]), "/")
+		}
+		cfg.MakeExecutor = dispatch.MakeExecutor(dispatch.Config{
+			Workers:  urls,
+			LeaseTTL: *leaseTTL,
+			Logf:     logf,
+		})
+		logf("dispatching to %d remote worker(s): %s", len(urls), strings.Join(urls, ", "))
+	}
+	svc, err := service.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -133,6 +172,115 @@ func cmdServe(args []string) {
 
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fatal(err)
+	}
+}
+
+// cmdWorker runs the distributed execution agent until SIGINT/SIGTERM.
+func cmdWorker(args []string) {
+	fs := flag.NewFlagSet("algoprofd worker", flag.ExitOnError)
+	addr := fs.String("addr", ":7072", "listen address")
+	scratch := fs.String("scratch", "", "scratch store directory (default: a temp dir, removed on exit)")
+	fs.Parse(args)
+
+	logf := log.New(os.Stderr, "algoprofd-worker: ", log.LstdFlags).Printf
+	dir := *scratch
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "algoprofd-worker-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	w, err := dispatch.NewWorker(dir, logf)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: w.Handler()}
+	logf("worker serving on %s, scratch %s", ln.Addr(), dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		// Workers are stateless: in-flight jobs are revoked by the daemon's
+		// lease machinery and re-dispatched, so shutdown is just closing.
+		logf("caught %s, shutting down (%d jobs executed)", s, w.Executed())
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+// dispatchBench is the BENCH_dispatch.json shape: provenance header plus
+// the per-leg crash benchmark.
+type dispatchBench struct {
+	GeneratedUnix      int64 `json:"generated_unix"`
+	GoMaxProcs         int   `json:"gomaxprocs"`
+	TraceFormatVersion int   `json:"trace_format_version"`
+
+	Dispatch dispatch.BenchReport `json:"dispatch"`
+}
+
+// cmdDistbench runs the worker-crash benchmark legs and writes
+// BENCH_dispatch.json.
+func cmdDistbench(args []string) {
+	fs := flag.NewFlagSet("algoprofd distbench", flag.ExitOnError)
+	jobs := fs.Int("jobs", 24, "jobs per leg")
+	fleet := fs.Int("fleet", 3, "workers per leg")
+	seed := fs.Uint64("seed", 1, "workload seed base")
+	out := fs.String("out", "BENCH_dispatch.json", "benchmark output file (empty = skip write)")
+	check := fs.Bool("check", false, "gate the run: zero lost jobs and zero untyped failures per leg")
+	fs.Parse(args)
+
+	scratch, err := os.MkdirTemp("", "algoprofd-distbench-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+	rep, err := dispatch.RunBench(dispatch.BenchConfig{
+		Dir:     scratch,
+		Workers: *fleet,
+		Jobs:    *jobs,
+		Seed:    *seed,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, leg := range rep.Legs {
+		fmt.Printf("distbench %s: %.1f jobs/s, p50=%.1fms p95=%.1fms, %d ok/%d degraded/%d failed/%d lost, %d retries, %d revocations, %d quarantines, %d fallbacks\n",
+			leg.Name, leg.ThroughputJobsPerSec, leg.P50LatencyMs, leg.P95LatencyMs,
+			leg.OK, leg.Degraded, leg.Failed, leg.Lost,
+			leg.Retries, leg.LeaseRevocations, leg.Quarantines, leg.Fallbacks)
+	}
+	if *out != "" {
+		bench := dispatchBench{
+			GeneratedUnix:      time.Now().Unix(),
+			GoMaxProcs:         runtime.GOMAXPROCS(0),
+			TraceFormatVersion: trace.Version,
+			Dispatch:           *rep,
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *check {
+		if bad := rep.Check(); len(bad) > 0 {
+			fatal(fmt.Errorf("distbench -check failed:\n  %s", strings.Join(bad, "\n  ")))
+		}
+		fmt.Println("distbench -check: ok")
 	}
 }
 

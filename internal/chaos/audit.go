@@ -42,6 +42,13 @@ func AuditStore(dir string) ([]Finding, error) {
 	var out []Finding
 	for _, e := range ents {
 		if !e.IsDir() {
+			// The daemon's write-ahead job journal is a legitimate
+			// store-level file, and a torn tail line after a crash is its
+			// normal operating condition, not damage — the journal reader
+			// declares and skips damaged lines itself.
+			if e.Name() == store.JournalName {
+				continue
+			}
 			out = append(out, Finding{Run: e.Name(), Class: faultinject.Corruption,
 				Msg: "stray file in store directory"})
 			continue

@@ -205,6 +205,9 @@ func TestAuditStoreFlagsGarbageEntries(t *testing.T) {
 	if err := os.Mkdir(filepath.Join(dir, "empty-run"), 0o755); err != nil {
 		t.Fatal(err)
 	}
+	// The daemon's job journal is a legitimate store-level file — even
+	// with a torn tail line, which is its normal post-crash state.
+	overwrite(t, filepath.Join(dir, store.JournalName), []byte(`{"op":"enqueue","id":"j1"}`+"\n"+`{"op":"term`))
 	fs, err := AuditStore(dir)
 	if err != nil {
 		t.Fatal(err)

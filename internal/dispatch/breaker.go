@@ -1,0 +1,74 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-worker circuit breaker over consecutive transport
+// failures. Closed, it admits everything. After threshold consecutive
+// failures it opens for cooldown — the dispatcher routes around the
+// worker instead of burning its retry budget against a host that keeps
+// failing. Past the cooldown the next pick is the half-open probe: a
+// success closes the breaker, another failure re-opens it for a fresh
+// cooldown immediately.
+//
+// Quarantine (permanent exclusion on corruption) is deliberately not a
+// breaker state: a breaker measures a host's recent reliability and
+// forgives; corruption is never forgiven. The dispatcher tracks it
+// separately.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+	opens       int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether the worker may be picked: closed, or open with the
+// cooldown elapsed (the half-open probe).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive < b.threshold || !time.Now().Before(b.openUntil)
+}
+
+// open reports whether the breaker currently rejects picks.
+func (b *breaker) open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive >= b.threshold && time.Now().Before(b.openUntil)
+}
+
+// success closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+}
+
+// failure records one failure; crossing the threshold (re-)opens the
+// breaker for a cooldown.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+		b.opens++
+	}
+}
+
+// openCount returns how many times the breaker has opened.
+func (b *breaker) openCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,283 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"algoprof/internal/chaos"
+	"algoprof/internal/faultinject"
+	"algoprof/internal/service"
+	"algoprof/internal/trace/store"
+	"algoprof/internal/workloads"
+)
+
+// RunChaos sweeps seeded distributed-failure schedules through the full
+// dispatch stack — a real daemon (admission, quotas, journal) routing jobs
+// to two in-process worker HTTP servers — and asserts the distributed
+// robustness contract: zero lost jobs (every admitted job terminal exactly
+// once), every failure typed, the daemon store listable with every
+// persisted run passing the forensic audit. The four schedule families, by
+// seed % 4: abrupt worker crash, network partition, slow worker against a
+// short lease, and silent response corruption. `algoprof chaos -dist` runs
+// this sweep.
+func RunChaos(cfg chaos.Config) (*chaos.Report, error) {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 16
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("dispatch chaos: Config.Dir required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	rep := &chaos.Report{}
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.BaseSeed + uint64(i)
+		res := runChaosOne(cfg, seed, rep)
+		rep.Results = append(rep.Results, res)
+		cfg.Logf("dist-chaos: seed %d %s (%s): %s", seed, res.Workload, strings.Join(res.Faults, ","), res.Outcome)
+	}
+	return rep, nil
+}
+
+// chaosWorker is one in-process worker server the sweep can crash.
+type chaosWorker struct {
+	worker *Worker
+	srv    *http.Server
+	url    string
+	host   string
+}
+
+// startChaosWorker boots a worker on a loopback listener.
+func startChaosWorker(dir string) (*chaosWorker, error) {
+	w, err := NewWorker(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	cw := &chaosWorker{
+		worker: w,
+		srv:    &http.Server{Handler: w.Handler()},
+		url:    "http://" + ln.Addr().String(),
+		host:   ln.Addr().String(),
+	}
+	go cw.srv.Serve(ln)
+	return cw, nil
+}
+
+// crash kills the worker abruptly: the listener and every active
+// connection close immediately, mid-stream — no drain, no goodbye.
+func (cw *chaosWorker) crash() { cw.srv.Close() }
+
+// distSchedule is one seed's fault plan: armed net points plus an optional
+// crash of worker 1 and the lease TTL the family wants.
+type distSchedule struct {
+	names    []string
+	arms     []func(*faultinject.Plan)
+	crash    bool
+	leaseTTL time.Duration
+}
+
+// newDistSchedule derives the schedule from the seed, targeting worker 1
+// (host1) and leaving worker 2 as the healthy escape route.
+func newDistSchedule(seed uint64, host1 string) distSchedule {
+	mix := seed*0x9e3779b97f4a7c15 + 0xd1b54a32d192ed03
+	draw := func(n uint64) uint64 {
+		mix += 0x9e3779b97f4a7c15
+		z := mix
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return (z ^ (z >> 31)) % n
+	}
+	sc := distSchedule{leaseTTL: time.Second}
+	fault := func(name, point string, pc faultinject.PointConfig) {
+		sc.names = append(sc.names, name)
+		sc.arms = append(sc.arms, func(p *faultinject.Plan) { p.Arm(point, pc) })
+	}
+	switch seed % 4 {
+	case 0:
+		// Abrupt worker crash mid-batch: in-flight streams sever (transient),
+		// the lease machinery and retry move everything to worker 2.
+		sc.names = append(sc.names, "worker-crash")
+		sc.crash = true
+	case 1:
+		// Network partition: worker 1 unreachable until the fire budget
+		// heals the link.
+		fault("partition", faultinject.PointNetPartition, faultinject.PointConfig{
+			Prob: 1, MaxFires: 2 + int(draw(4)), Class: faultinject.Transient,
+			PathSuffix: host1,
+		})
+	case 2:
+		// Slow worker under a short lease: injected delays up to
+		// faultinject.NetDelayMax against a 50ms TTL force revocations and
+		// re-dispatch; delays under the TTL are merely slow.
+		sc.leaseTTL = 50 * time.Millisecond
+		fault("slow-worker", faultinject.PointNetDelay, faultinject.PointConfig{
+			Prob: 1, MaxFires: 1 + int(draw(3)), Class: faultinject.Transient,
+			PathSuffix: host1,
+		})
+	default:
+		// Silent wire corruption: bit-flipped responses from worker 1 must
+		// be detected (digest/stream checks), quarantine it, and re-execute
+		// on worker 2 — never ingest damaged bytes.
+		fault("corrupt-response", faultinject.PointNetCorrupt, faultinject.PointConfig{
+			Prob: 1, MaxFires: 1 + int(draw(3)), Class: faultinject.Corruption,
+			PathSuffix: host1,
+		})
+	}
+	return sc
+}
+
+// distChaosWorkloads is the sweep corpus.
+func distChaosWorkloads() []struct{ name, src string } {
+	return []struct{ name, src string }{
+		{"running", workloads.RunningExample(workloads.Random, 32, 8, 1)},
+		{"sorts", workloads.MergeVsInsertion(24, 8, 1)},
+	}
+}
+
+// runChaosOne boots a daemon plus two workers, runs one faulted schedule,
+// and classifies. Panics become violations.
+func runChaosOne(cfg chaos.Config, seed uint64, rep *chaos.Report) (res chaos.Result) {
+	cases := distChaosWorkloads()
+	wl := cases[(seed/4)%uint64(len(cases))]
+	res = chaos.Result{Seed: seed, Workload: wl.name}
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("seed %d: panic: %v", seed, r))
+			res.Outcome = chaos.Failed
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	violation := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("seed %d (%s): %s", seed, wl.name, fmt.Sprintf(format, args...)))
+	}
+
+	base := filepath.Join(cfg.Dir, fmt.Sprintf("dist-seed-%d", seed))
+	w1, err := startChaosWorker(filepath.Join(base, "w1"))
+	if err != nil {
+		violation("worker 1 boot: %v", err)
+		res.Outcome = chaos.Failed
+		res.Err = err.Error()
+		return res
+	}
+	defer w1.crash()
+	w2, err := startChaosWorker(filepath.Join(base, "w2"))
+	if err != nil {
+		violation("worker 2 boot: %v", err)
+		res.Outcome = chaos.Failed
+		res.Err = err.Error()
+		return res
+	}
+	defer w2.crash()
+
+	sc := newDistSchedule(seed, w1.host)
+	res.Faults = sc.names
+	plan := faultinject.NewPlan(seed)
+	for _, arm := range sc.arms {
+		arm(plan)
+	}
+	dcfg := Config{
+		Workers:   []string{w1.url, w2.url},
+		LeaseTTL:  sc.leaseTTL,
+		Retry:     faultinject.RetryPolicy{Attempts: 4, Backoff: 2 * time.Millisecond, Jitter: 0.5, Seed: seed},
+		Transport: plan.Transport(nil),
+	}
+	svc, err := service.New(service.Config{
+		StoreDir:     filepath.Join(base, "store"),
+		Workers:      2,
+		MakeExecutor: MakeExecutor(dcfg),
+	})
+	if err != nil {
+		res.Outcome = chaos.Failed
+		res.Class = faultinject.ClassOf(err)
+		res.Err = err.Error()
+		if res.Class == faultinject.Unknown {
+			violation("untyped daemon boot failure: %v", err)
+		}
+		return res
+	}
+
+	const jobs = 4
+	var ids []string
+	for i := 0; i < jobs; i++ {
+		v, err := svc.Submit(service.SubmitRequest{
+			Tenant:  fmt.Sprintf("dist-%d", i%2),
+			Program: wl.src,
+			Config:  service.JobConfig{Seed: seed*jobs + uint64(i) + 1},
+		})
+		if err != nil {
+			if faultinject.ClassOf(err) == faultinject.Unknown {
+				violation("untyped submission rejection: %v", err)
+			}
+			continue
+		}
+		ids = append(ids, v.ID)
+	}
+	if sc.crash {
+		// Let the batch reach worker 1, then kill it mid-flight.
+		time.Sleep(10 * time.Millisecond)
+		w1.crash()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	svc.Drain(ctx)
+	cancel()
+
+	// The distributed invariant: zero lost jobs — every admitted job is
+	// terminal — and every failure typed.
+	worst := chaos.OK
+	for _, id := range ids {
+		v, ok := svc.Job(id)
+		if !ok || !v.Status.Terminal() {
+			violation("job %s lost: not terminal after drain", id)
+			continue
+		}
+		switch v.Status {
+		case service.StatusDegraded:
+			if worst == chaos.OK {
+				worst = chaos.Degraded
+			}
+		case service.StatusFailed:
+			worst = chaos.Failed
+			res.Err = v.Error
+			res.Class = classFromName(v.ErrorClass)
+			if v.ErrorClass == faultinject.Unknown.String() || v.ErrorKind == "" {
+				violation("job %s failed untyped: kind=%q class=%q err=%s", id, v.ErrorKind, v.ErrorClass, v.Error)
+			}
+		}
+	}
+
+	// The daemon store must reopen, list cleanly, and hold only
+	// audit-clean runs — a quarantined worker's damaged bytes must never
+	// have been ingested.
+	storeDir := filepath.Join(base, "store")
+	clean, err := store.Open(storeDir)
+	if err != nil {
+		violation("store unopenable after drain: %v", err)
+		res.Outcome = worst
+		return res
+	}
+	clean.SetLogf(func(string, ...any) {})
+	names, err := clean.List()
+	if err != nil {
+		violation("store unlistable after drain: %v", err)
+		res.Outcome = worst
+		return res
+	}
+	for _, name := range names {
+		for _, f := range chaos.AuditRun(filepath.Join(storeDir, name)) {
+			violation("ingested run %s failed audit: %s", name, f.Msg)
+		}
+	}
+	res.Outcome = worst
+	return res
+}

@@ -1,0 +1,31 @@
+package dispatch
+
+import (
+	"testing"
+
+	"algoprof/internal/chaos"
+)
+
+// TestDistChaosSweep runs two full cycles of the four distributed fault
+// families (worker crash, partition, slow worker, corrupt response) and
+// requires a violation-free report: no lost jobs, no untyped failures, no
+// damaged artifacts ingested.
+func TestDistChaosSweep(t *testing.T) {
+	rep, err := RunChaos(chaos.Config{
+		Seeds:    8,
+		BaseSeed: 400,
+		Dir:      t.TempDir(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("distributed chaos sweep violations:\n%s", rep.Violations)
+	}
+	ok, degraded, failed := rep.Counts()
+	t.Logf("dist chaos: %d ok / %d degraded / %d failed (all typed)", ok, degraded, failed)
+	if ok == 0 {
+		t.Fatal("no schedule succeeded — the harness is not exercising the healthy path")
+	}
+}

@@ -25,6 +25,10 @@ type FS interface {
 	// uses to make run names create-once under concurrency.
 	Mkdir(path string, perm os.FileMode) error
 	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens (creating if absent) a file for appending — the
+	// write-ahead journal's primitive. Appends go through the same
+	// write-path faults as Create'd files.
+	OpenAppend(name string) (File, error)
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	ReadFile(name string) ([]byte, error)
@@ -65,6 +69,14 @@ func (osFS) Open(name string) (io.ReadCloser, error) {
 
 func (osFS) Create(name string) (File, error) {
 	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +195,17 @@ func (f *faultFS) Create(name string) (File, error) {
 		return nil, err
 	}
 	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, plan: f.plan}, nil
+}
+
+func (f *faultFS) OpenAppend(name string) (File, error) {
+	if err := f.plan.Point(PointCreate).ErrFor(name, "open-append "+name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenAppend(name)
 	if err != nil {
 		return nil, err
 	}

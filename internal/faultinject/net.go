@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+// Injection point names consulted by Plan.Transport — the network-layer
+// counterpart of the fs.* points. The dispatch layer (internal/dispatch)
+// routes all daemon→worker HTTP through a plan-wrapped transport, so a
+// seeded schedule can fail, delay, sever, or silently damage the remote
+// execution path. Path filtering (PointConfig.PathSuffix) matches the
+// request's host:port, so a schedule can target one worker and leave the
+// rest of the fleet healthy.
+const (
+	// PointNetDial fails the request before it reaches the peer
+	// (connection refused / reset on send). Transient: nothing executed.
+	PointNetDial = "net.dial"
+	// PointNetDelay stalls the request for a deterministic duration drawn
+	// from the point's stream (up to NetDelayMax) before forwarding it —
+	// the slow-worker / congested-link fault. The delay alone is not an
+	// error; lease TTLs decide whether it becomes one.
+	PointNetDelay = "net.delay"
+	// PointNetDrop delivers the request but loses the response: the peer
+	// did the work, the caller sees a transient failure — the
+	// retry-idempotency fault.
+	PointNetDrop = "net.drop"
+	// PointNetPartition severs the link in both directions: every matching
+	// request fails transiently until the point's MaxFires budget heals
+	// the partition.
+	PointNetPartition = "net.partition"
+	// PointNetCorrupt flips one bit in the response body without raising
+	// an error — the silent wire-corruption fault. Content digests on the
+	// dispatch wire format must catch it.
+	PointNetCorrupt = "net.corrupt"
+)
+
+// NetDelayMax bounds the deterministic delay PointNetDelay draws.
+const NetDelayMax = 500 * time.Millisecond
+
+// Transport wraps base with the plan's net.* injection points. A nil plan
+// returns base unchanged; a nil base wraps http.DefaultTransport.
+func (p *Plan) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if p == nil {
+		return base
+	}
+	return &faultTransport{base: base, plan: p}
+}
+
+type faultTransport struct {
+	base http.RoundTripper
+	plan *Plan
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	op := req.Method + " " + req.URL.String()
+	if err := t.plan.Point(PointNetPartition).ErrFor(host, "partitioned "+op); err != nil {
+		// The request never leaves: close the body like a real transport
+		// failure would.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, err
+	}
+	if err := t.plan.Point(PointNetDial).ErrFor(host, "dial "+op); err != nil {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, err
+	}
+	if pt := t.plan.Point(PointNetDelay); pt.FireFor(host) {
+		d := time.Duration(pt.Pick(int(NetDelayMax/time.Millisecond))+1) * time.Millisecond
+		select {
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, &Fault{Class: Transient, Point: PointNetDelay, Op: "delay " + op, Err: req.Context().Err()}
+		case <-time.After(d):
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if pt := t.plan.Point(PointNetDrop); pt.FireFor(host) {
+		// The peer processed the request; the caller never learns.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &Fault{Class: Transient, Point: PointNetDrop, Op: "response dropped " + op, Err: syscall.ECONNRESET}
+	}
+	if pt := t.plan.Point(PointNetCorrupt); pt.FireFor(host) {
+		// Flip one bit somewhere in the first corruptWindow bytes of the
+		// body, silently. Offset and bit come from the point's stream.
+		resp.Body = &corruptBody{
+			ReadCloser: resp.Body,
+			offset:     int64(pt.Pick(corruptWindow)),
+			bit:        byte(pt.Pick(8)),
+		}
+	}
+	return resp, nil
+}
+
+// corruptWindow bounds the offset draw for a net.corrupt bit flip. The
+// drawn offset is reduced modulo the first chunk actually read, so every
+// non-empty response is guaranteed to take exactly one flip — a corrupt
+// fault that fires always damages the payload, deterministically.
+const corruptWindow = 1 << 16
+
+// corruptBody flips one bit in the first chunk read from the stream.
+type corruptBody struct {
+	io.ReadCloser
+	offset  int64
+	bit     byte
+	flipped bool
+}
+
+func (c *corruptBody) Read(p []byte) (int, error) {
+	n, err := c.ReadCloser.Read(p)
+	if n > 0 && !c.flipped {
+		p[c.offset%int64(n)] ^= 1 << c.bit
+		c.flipped = true
+	}
+	return n, err
+}
+
+// NetFault builds a transport-level transient fault for real (non-injected)
+// network errors, so the dispatch layer classifies injected and genuine
+// connection failures identically.
+func NetFault(point, op string, err error) *Fault {
+	return &Fault{Class: Transient, Point: point, Op: op, Err: err}
+}

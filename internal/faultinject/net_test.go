@@ -1,0 +1,187 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetryJitterDeterministic: the jittered delays are a pure function
+// of (policy, attempt) — the seeded-determinism contract chaos schedules
+// rely on — and doubling still dominates the schedule.
+func TestRetryJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, Backoff: 8 * time.Millisecond, Jitter: 0.5, Seed: 42}
+	for i := 0; i < 4; i++ {
+		if a, b := p.Delay(i), p.Delay(i); a != b {
+			t.Fatalf("Delay(%d) nondeterministic: %v vs %v", i, a, b)
+		}
+		base := p.Backoff << uint(i)
+		d := p.Delay(i)
+		if d < base/2 || d > base {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v]", i, d, base/2, base)
+		}
+	}
+	if p.Delay(1) <= p.Delay(0)/2 {
+		t.Fatalf("doubling lost under jitter: Delay(0)=%v Delay(1)=%v", p.Delay(0), p.Delay(1))
+	}
+}
+
+// TestRetryJitterDesynchronizes: distinct seeds draw distinct delays, so
+// many jobs hitting the same transient fault do not retry in lockstep.
+func TestRetryJitterDesynchronizes(t *testing.T) {
+	seen := map[time.Duration]bool{}
+	for seed := uint64(0); seed < 16; seed++ {
+		p := RetryPolicy{Attempts: 3, Backoff: 10 * time.Millisecond, Jitter: 0.5, Seed: seed}
+		seen[p.Delay(0)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("16 seeds produced only %d distinct first delays", len(seen))
+	}
+}
+
+// TestRetryZeroJitterKeepsDoubling: Jitter 0 reproduces the original
+// deterministic doubling schedule exactly.
+func TestRetryZeroJitterKeepsDoubling(t *testing.T) {
+	p := RetryPolicy{Attempts: 4, Backoff: 3 * time.Millisecond}
+	for i, want := range []time.Duration{3, 6, 12} {
+		if got := p.Delay(i); got != want*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+}
+
+// TestRetryDoUsesJitteredDelays: Do sleeps exactly the policy's Delay
+// sequence.
+func TestRetryDoUsesJitteredDelays(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Backoff: 4 * time.Millisecond, Jitter: 0.5, Seed: 7}
+	var slept []time.Duration
+	p.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		return &Fault{Class: Transient, Point: "test"}
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("Do: err=%v calls=%d", err, calls)
+	}
+	if len(slept) != 2 || slept[0] != p.Delay(0) || slept[1] != p.Delay(1) {
+		t.Fatalf("slept %v, want [%v %v]", slept, p.Delay(0), p.Delay(1))
+	}
+}
+
+func netTestServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestTransportPartitionAndHeal: a path-filtered net.partition fails only
+// the matching host, transiently, until MaxFires heals it.
+func TestTransportPartitionAndHeal(t *testing.T) {
+	srv := netTestServer(t, "hello")
+	other := netTestServer(t, "other")
+	plan := NewPlan(1)
+	plan.Arm(PointNetPartition, PointConfig{
+		Prob: 1, MaxFires: 2, Class: Transient, PathSuffix: strings.TrimPrefix(srv.URL, "http://"),
+	})
+	client := &http.Client{Transport: plan.Transport(nil)}
+
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(srv.URL); err == nil {
+			t.Fatalf("request %d through partition succeeded", i)
+		} else if ClassOf(err) != Transient {
+			t.Fatalf("partition fault class = %v, want transient", ClassOf(err))
+		}
+	}
+	// The unfiltered host never saw the partition.
+	if resp, err := client.Get(other.URL); err != nil {
+		t.Fatalf("non-partitioned host failed: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	// Healed: the fire budget is spent.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request after heal failed: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(data) != "hello" {
+		t.Fatalf("healed response = %q", data)
+	}
+}
+
+// TestTransportDropIsTransient: net.drop delivers the request (the server
+// handler runs) but the caller sees a typed transient failure.
+func TestTransportDropIsTransient(t *testing.T) {
+	served := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		io.WriteString(w, "done")
+	}))
+	defer srv.Close()
+	plan := NewPlan(2)
+	plan.Arm(PointNetDrop, PointConfig{Prob: 1, MaxFires: 1, Class: Transient})
+	client := &http.Client{Transport: plan.Transport(nil)}
+	if _, err := client.Get(srv.URL); ClassOf(err) != Transient {
+		t.Fatalf("dropped response: err=%v", err)
+	}
+	if served != 1 {
+		t.Fatalf("server handled %d requests, want 1 (drop loses the response, not the request)", served)
+	}
+}
+
+// TestTransportCorruptFlipsOneBit: net.corrupt silently flips exactly one
+// bit of the response body.
+func TestTransportCorruptFlipsOneBit(t *testing.T) {
+	// As long as the corruption window, so the drawn offset always lands
+	// inside the body and exactly one bit must flip.
+	body := strings.Repeat("abcdefgh", corruptWindow/8)
+	srv := netTestServer(t, body)
+	plan := NewPlan(3)
+	plan.Arm(PointNetCorrupt, PointConfig{Prob: 1, MaxFires: 1, Class: Corruption})
+	client := &http.Client{Transport: plan.Transport(nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("corrupt fetch: %v", err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(got) != len(body) {
+		t.Fatalf("corrupt body length %d, want %d", len(got), len(body))
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^body[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt flipped %d bits, want 1 (body %q)", diff, got)
+	}
+}
+
+// TestTransportDelayHonorsContext: a delayed request still respects its
+// context, failing transiently instead of stalling forever.
+func TestTransportDelayHonorsContext(t *testing.T) {
+	srv := netTestServer(t, "slow")
+	plan := NewPlan(4)
+	plan.Arm(PointNetDelay, PointConfig{Prob: 1, Class: Transient})
+	client := &http.Client{Transport: plan.Transport(nil), Timeout: 5 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("delayed request inside a 5ms budget succeeded")
+	}
+	if time.Since(start) > NetDelayMax {
+		t.Fatalf("delay ignored the context: took %v", time.Since(start))
+	}
+}

@@ -3,21 +3,60 @@ package faultinject
 import "time"
 
 // RetryPolicy retries an operation whose failures classify as Transient,
-// with exponential backoff. Corruption, Resource, and Unknown failures
-// are returned immediately — retrying damaged bytes or a full disk only
-// wastes time and can mask the real fault.
+// with jittered exponential backoff. Corruption, Resource, and Unknown
+// failures are returned immediately — retrying damaged bytes or a full
+// disk only wastes time and can mask the real fault.
 type RetryPolicy struct {
 	// Attempts is the total number of tries (minimum 1).
 	Attempts int
-	// Backoff is the delay before the first retry; it doubles each retry.
+	// Backoff is the full delay before the first retry; it doubles each
+	// retry (before jitter).
 	Backoff time.Duration
+	// Jitter in [0, 1] spreads each delay: delay i is drawn uniformly from
+	// [backoff_i*(1-Jitter), backoff_i], where backoff_i is the doubled
+	// base. 0 keeps the exact doubling schedule — but when many callers
+	// hit the same transient fault at once, a deterministic schedule
+	// synchronizes their retries into herds, so concurrent layers (the
+	// dispatch path, the store under a busy daemon) want Jitter > 0.
+	Jitter float64
+	// Seed selects the deterministic splitmix64 stream the jitter draws
+	// from: the same (Seed, attempt) always yields the same delay, so
+	// seeded fault schedules stay reproducible operation for operation.
+	Seed uint64
 	// Sleep replaces time.Sleep in tests; nil means time.Sleep.
 	Sleep func(time.Duration)
 }
 
 // DefaultRetry is the store's policy for transient I/O: three tries with
-// a short doubling backoff.
-var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 2 * time.Millisecond}
+// a short doubling backoff, half-jittered so a fleet of writers hitting
+// the same fault desynchronizes.
+var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 2 * time.Millisecond, Jitter: 0.5}
+
+// Delay returns the jittered backoff before retry attempt (0-based: the
+// delay after the first failure is Delay(0)). It is a pure function of
+// the policy and the attempt index.
+func (r RetryPolicy) Delay(attempt int) time.Duration {
+	if r.Backoff <= 0 || attempt < 0 {
+		return 0
+	}
+	backoff := r.Backoff << uint(attempt)
+	if backoff <= 0 { // shift overflow
+		backoff = r.Backoff
+	}
+	j := r.Jitter
+	if j <= 0 {
+		return backoff
+	}
+	if j > 1 {
+		j = 1
+	}
+	// One draw per attempt from the policy's own splitmix64 stream,
+	// independent of call interleaving — the same discipline as Plan
+	// points.
+	u := float64(splitmix64(r.Seed^0xa076_1d64_78bd_642f+uint64(attempt))>>11) / float64(1<<53)
+	scale := 1 - j*u // in (1-j, 1]
+	return time.Duration(float64(backoff) * scale)
+}
 
 // Do runs op until it succeeds, fails non-transiently, or exhausts the
 // attempt budget. It returns op's last error.
@@ -30,7 +69,6 @@ func (r RetryPolicy) Do(op func() error) error {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
-	backoff := r.Backoff
 	var err error
 	for i := 0; i < attempts; i++ {
 		if err = op(); err == nil {
@@ -39,9 +77,8 @@ func (r RetryPolicy) Do(op func() error) error {
 		if ClassOf(err) != Transient || i == attempts-1 {
 			return err
 		}
-		if backoff > 0 {
-			sleep(backoff)
-			backoff *= 2
+		if d := r.Delay(i); d > 0 {
+			sleep(d)
 		}
 	}
 	return err

@@ -47,7 +47,9 @@ type SweepRejection struct {
 //	GET  /v1/jobs/{id}          one job view
 //	GET  /v1/jobs/{id}/stream   NDJSON event stream until terminal
 //	GET  /v1/stats              service + per-tenant counters
-//	GET  /v1/healthz            200 serving / 503 draining
+//	GET  /v1/healthz            liveness: 200 while the process serves
+//	GET  /v1/readyz             readiness: 200 accepting work / 503 while
+//	                            draining or replaying the job journal
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -56,6 +58,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -262,12 +265,30 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz is liveness: the process is up and handling requests. A
+// draining daemon is still alive — it is finishing its backlog and
+// answering status queries — so liveness stays 200 until the process
+// exits. Orchestrators that restart on failed liveness must not kill a
+// drain in progress; readiness is the signal to stop routing new work.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 503 while draining (stop sending jobs here)
+// and while journal-recovered jobs are still replaying after a restart
+// (the daemon is consistent but busy re-establishing state).
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 		return
 	}
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+		return
+	}
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintln(w, "ready")
 }

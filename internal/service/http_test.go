@@ -239,18 +239,26 @@ func TestHTTPErrors(t *testing.T) {
 		resp.Body.Close()
 	}
 
-	// Health flips to 503 once draining.
-	hr, err := http.Get(srv.URL + "/v1/healthz")
-	if err != nil || hr.StatusCode != http.StatusOK {
-		t.Fatalf("healthz before drain: %v %v", hr.StatusCode, err)
+	// Readiness flips to 503 once draining; liveness stays 200 the whole
+	// way — the process is still up, finishing its backlog.
+	for _, path := range []string{"/v1/healthz", "/v1/readyz"} {
+		hr, err := http.Get(srv.URL + path)
+		if err != nil || hr.StatusCode != http.StatusOK {
+			t.Fatalf("%s before drain: %v %v", path, hr.StatusCode, err)
+		}
+		hr.Body.Close()
 	}
-	hr.Body.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	s.Drain(ctx)
-	hr, err = http.Get(srv.URL + "/v1/healthz")
+	hr, err := http.Get(srv.URL + "/v1/readyz")
 	if err != nil || hr.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz after drain: %v %v", hr.StatusCode, err)
+		t.Fatalf("readyz after drain: %v %v", hr.StatusCode, err)
+	}
+	hr.Body.Close()
+	hr, err = http.Get(srv.URL + "/v1/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after drain (liveness must survive a drain): %v %v", hr.StatusCode, err)
 	}
 	hr.Body.Close()
 

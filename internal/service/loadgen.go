@@ -66,8 +66,16 @@ type LoadReport struct {
 	// classifying unknown — the gate requires 0.
 	UntypedFailures int64 `json:"untyped_failures"`
 	// RetriedSubmits counts typed quota/overload rejections that were
-	// retried (backpressure working as designed, not an error).
+	// retried (backpressure working as designed, not an error). A retried
+	// job still counts exactly once in Jobs and JobsPerSec — retries are
+	// attempts, not extra work completed.
 	RetriedSubmits int64 `json:"retried_submits"`
+	// SubmitAttempts is the total number of submission attempts across all
+	// jobs (first tries plus retries): Jobs + RetriedSubmits when nothing
+	// is lost. MaxSubmitAttempts is the worst single job's attempt count —
+	// how deep backpressure pushed one submitter.
+	SubmitAttempts    int64 `json:"submit_attempts"`
+	MaxSubmitAttempts int64 `json:"max_submit_attempts"`
 
 	WallMs     int64   `json:"wall_ms"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
@@ -84,12 +92,14 @@ type LoadReport struct {
 
 // jobResult is one job's client-side outcome.
 type jobResult struct {
-	status    JobStatus
-	errKind   string
-	errClass  string
-	latency   time.Duration
-	lost      bool
-	retried   int64
+	status   JobStatus
+	errKind  string
+	errClass string
+	latency  time.Duration
+	lost     bool
+	// attempts is how many submissions this job took (1 = accepted first
+	// try); attempts-1 of them were typed-backpressure retries.
+	attempts int64
 }
 
 // RunLoad hammers the daemon at cfg.Addr and accounts for every job: each
@@ -165,16 +175,20 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	results := make([]jobResult, cfg.Jobs)
 	indices := make(chan int)
 	var wg sync.WaitGroup
+	var done atomic.Int64
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range indices {
 				results[i] = runOneLoadJob(ctx, client, cfg, i)
+				// Count completion here — not at dispatch — so the progress
+				// log reports jobs actually terminal, not merely handed to a
+				// submitter goroutine.
+				done.Add(1)
 			}
 		}()
 	}
-	var done atomic.Int64
 	go func() {
 		tick := time.NewTicker(2 * time.Second)
 		defer tick.Stop()
@@ -189,7 +203,6 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	for i := 0; i < cfg.Jobs; i++ {
 		select {
 		case indices <- i:
-			done.Add(1)
 		case <-ctx.Done():
 			break
 		}
@@ -209,7 +222,13 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	var lat []float64
 	for _, r := range results {
-		rep.RetriedSubmits += r.retried
+		if r.attempts > 1 {
+			rep.RetriedSubmits += r.attempts - 1
+		}
+		rep.SubmitAttempts += r.attempts
+		if r.attempts > rep.MaxSubmitAttempts {
+			rep.MaxSubmitAttempts = r.attempts
+		}
 		if r.lost {
 			rep.Lost++
 			continue
@@ -267,6 +286,7 @@ func runOneLoadJob(ctx context.Context, client *http.Client, cfg LoadConfig, i i
 			return res
 		default:
 		}
+		res.attempts++
 		resp, err := client.Post(cfg.Addr+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
 		if err != nil {
 			res.lost = true
@@ -302,7 +322,6 @@ func runOneLoadJob(ctx context.Context, client *http.Client, cfg LoadConfig, i i
 				res.latency = time.Since(start)
 				return res
 			}
-			res.retried++
 			time.Sleep(time.Duration(5*(attempt+1)) * time.Millisecond)
 		default:
 			res.lost = true
@@ -344,6 +363,10 @@ func CheckLoadReport(rep, baseline *LoadReport) []string {
 	}
 	if rep.OK == 0 {
 		bad = append(bad, "no job succeeded")
+	}
+	if rep.Lost == 0 && rep.SubmitAttempts != int64(rep.Jobs)+rep.RetriedSubmits {
+		bad = append(bad, fmt.Sprintf("submit attempts %d != jobs %d + retries %d (retried jobs must count once)",
+			rep.SubmitAttempts, rep.Jobs, rep.RetriedSubmits))
 	}
 	if rep.LatencyP50Ms > rep.LatencyP99Ms {
 		bad = append(bad, fmt.Sprintf("p50 %.1fms > p99 %.1fms", rep.LatencyP50Ms, rep.LatencyP99Ms))

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"algoprof"
+	"algoprof/internal/trace/store"
+)
+
+// seedJournal writes raw entries into a store dir's journal, simulating
+// what a daemon that crashed mid-batch leaves behind.
+func seedJournal(t *testing.T, dir string, entries []store.JournalEntry) {
+	t.Helper()
+	j, _, err := store.OpenJournal(filepath.Join(dir, store.JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func enqueueEntry(spec ExecSpec) store.JournalEntry {
+	return store.JournalEntry{
+		Op: store.JournalEnqueue, ID: spec.ID, Tenant: spec.Tenant,
+		Key: spec.Key, Persist: spec.Persist, Spec: marshalSpec(spec),
+	}
+}
+
+// waitIdle polls until the service has no queued, running, or recovering
+// jobs.
+func waitIdle(t *testing.T, s *Service) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Queued == 0 && st.Running == 0 && st.Recovering == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never went idle: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRecoveryReexecutesPendingJobs: jobs a crashed daemon admitted but
+// never finished re-execute on restart and land terminal, with quota
+// charges matching the deterministic library run — and charges already
+// journaled before the crash re-apply exactly once.
+func TestRecoveryReexecutesPendingJobs(t *testing.T) {
+	dir := t.TempDir()
+	specs := make([]ExecSpec, 3)
+	var entries []store.JournalEntry
+	for i := range specs {
+		cfg := algoprof.Config{Mode: algoprof.ModeEvents, Seed: uint64(i + 1)}
+		specs[i] = ExecSpec{
+			ID: "j100-00000" + string(rune('1'+i)), Tenant: "rec",
+			Key: JobKey("rec", "w", smallSrc, cfg), Workload: "w",
+			Program: smallSrc, Config: cfg, Persist: true,
+		}
+		entries = append(entries, enqueueEntry(specs[i]))
+	}
+	// One job finished before the crash: enqueue + terminal. Its charge
+	// must re-apply exactly once and it must NOT re-execute.
+	doneCfg := algoprof.Config{Mode: algoprof.ModeEvents, Seed: 9}
+	doneSpec := ExecSpec{ID: "j100-000009", Tenant: "rec", Program: smallSrc, Config: doneCfg, Persist: false}
+	entries = append(entries, enqueueEntry(doneSpec),
+		store.JournalEntry{Op: store.JournalTerminal, ID: doneSpec.ID, Tenant: "rec", Status: "ok", Events: 77, TraceBytes: 10})
+	seedJournal(t, dir, entries)
+
+	s := newTestService(t, Config{StoreDir: dir, Workers: 2, Logf: t.Logf})
+	waitIdle(t, s)
+
+	wantEvents := uint64(77)
+	for _, spec := range specs {
+		v, ok := s.Job(spec.ID)
+		if !ok || v.Status != StatusOK {
+			t.Fatalf("recovered job %s: ok=%v view=%+v", spec.ID, ok, v)
+		}
+		prof, err := algoprof.Run(spec.Program, spec.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Events != prof.EventCount() {
+			t.Fatalf("job %s events %d, want library's %d", spec.ID, v.Events, prof.EventCount())
+		}
+		wantEvents += v.Events
+		if _, err := s.Store().Replay(spec.ID); err != nil {
+			t.Fatalf("recovered run %s not replayable: %v", spec.ID, err)
+		}
+	}
+	if _, ok := s.Job(doneSpec.ID); ok {
+		t.Fatalf("pre-crash terminal job %s re-materialized", doneSpec.ID)
+	}
+	ts := s.Stats().Tenants["rec"]
+	if ts.EventsUsed != wantEvents {
+		t.Fatalf("tenant events %d, want %d (exactly-once charges)", ts.EventsUsed, wantEvents)
+	}
+	if !s.Ready() {
+		t.Fatal("service not ready after recovery finished")
+	}
+
+	// New job IDs mint in a later epoch than anything recovered.
+	v, err := s.Submit(SubmitRequest{Tenant: "rec", Program: smallSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochOf(v.ID) <= 100 {
+		t.Fatalf("new job id %s does not outrank recovered epoch 100", v.ID)
+	}
+	awaitJob(t, s, v.ID)
+}
+
+// TestRecoveryChargesSurviveSecondRestart: a restart compacts terminal
+// history into charge summaries; another restart re-applies the summaries
+// — never the individual terminals again — so aggregate quota accounting
+// is stable across any number of restarts.
+func TestRecoveryChargesSurviveSecondRestart(t *testing.T) {
+	dir := t.TempDir()
+	seedJournal(t, dir, []store.JournalEntry{
+		{Op: store.JournalTerminal, ID: "j5-000001", Tenant: "a", Status: "ok", Events: 100, TraceBytes: 50},
+		{Op: store.JournalTerminal, ID: "j5-000002", Tenant: "a", Status: "degraded", Events: 40},
+		{Op: store.JournalTerminal, ID: "j5-000003", Tenant: "b", Status: "failed", Events: 0, TraceBytes: 7},
+	})
+	for restart := 0; restart < 2; restart++ {
+		s, err := New(Config{StoreDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := s.Stats()
+		if got := stats.Tenants["a"].EventsUsed; got != 140 {
+			t.Fatalf("restart %d: tenant a events %d, want 140", restart, got)
+		}
+		if got := stats.Tenants["a"].TraceUsed; got != 50 {
+			t.Fatalf("restart %d: tenant a trace bytes %d, want 50", restart, got)
+		}
+		if got := stats.Tenants["b"].TraceUsed; got != 7 {
+			t.Fatalf("restart %d: tenant b trace bytes %d, want 7", restart, got)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		s.Drain(ctx)
+		cancel()
+	}
+}
+
+// TestRecoveryBudgetEnforcedAfterRestart: a tenant whose event budget was
+// spent before the crash stays over budget after the restart — restarting
+// the daemon is not a quota reset.
+func TestRecoveryBudgetEnforcedAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	seedJournal(t, dir, []store.JournalEntry{
+		{Op: store.JournalTerminal, ID: "j5-000001", Tenant: "capped", Status: "ok", Events: 1000},
+	})
+	s := newTestService(t, Config{
+		StoreDir: dir,
+		Quotas:   map[string]Quota{"capped": {EventBudget: 500}},
+	})
+	_, err := s.Submit(SubmitRequest{Tenant: "capped", Program: smallSrc})
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Limit != "event-budget" {
+		t.Fatalf("over-budget tenant admitted after restart: %v", err)
+	}
+}
+
+// TestReadyzDuringDrainWindow: in the window where a drain has begun but
+// jobs are still finishing, readiness is 503 (route new work elsewhere)
+// while liveness stays 200 (do not kill the draining process). This is
+// the regression test for the drain window.
+func TestReadyzDuringDrainWindow(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	v, err := s.Submit(SubmitRequest{Program: busySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelDrain()
+	done := make(chan struct{})
+	go func() { s.Drain(drainCtx); close(done) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Mid-drain: the busy job may still be running.
+	if code := getStatus(t, srv.URL+"/v1/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz mid-drain = %d, want 503", code)
+	}
+	if code := getStatus(t, srv.URL+"/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz mid-drain = %d, want 200 (liveness survives the drain window)", code)
+	}
+	<-done
+	if fv, ok := s.Job(v.ID); !ok || !fv.Status.Terminal() {
+		t.Fatalf("drained job not terminal: %+v", fv)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -1,0 +1,200 @@
+package service
+
+// Daemon restart recovery, end to end: a real daemon process is SIGKILLed
+// mid-batch — no drain, no cleanup, exactly the crash the write-ahead
+// journal exists for — and a fresh daemon on the same store must land
+// every acknowledged job in a terminal state exactly once, with tenant
+// quota charges matching the deterministic library-run event counts.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"algoprof"
+	"algoprof/internal/trace/store"
+)
+
+// TestHelperDaemonProcess is not a test: it is the daemon child process
+// for TestDaemonKillRecovery, guarded by environment variables and run
+// via the test binary re-exec pattern.
+func TestHelperDaemonProcess(t *testing.T) {
+	if os.Getenv("ALGOPROF_DAEMON_HELPER") != "1" {
+		t.Skip("helper process for TestDaemonKillRecovery")
+	}
+	s, err := New(Config{StoreDir: os.Getenv("ALGOPROF_DAEMON_STORE"), Workers: 1})
+	if err != nil {
+		fmt.Printf("DERR %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("DERR %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("DADDR %s\n", ln.Addr())
+	http.Serve(ln, s.Handler())
+}
+
+// killSrc runs ~100ms: slow enough that a SIGKILL 150ms into a 6-job
+// single-worker batch lands mid-batch — some jobs terminal, one
+// mid-flight, the rest queued.
+const killSrc = `
+class Main {
+  public static void main() {
+    int s = 0;
+    for (int i = 0; i < 250000; i++) { s = s + 1; }
+    check(s == 250000);
+  }
+}`
+
+func TestDaemonKillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperDaemonProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), "ALGOPROF_DAEMON_HELPER=1", "ALGOPROF_DAEMON_STORE="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	var addr string
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if a, ok := strings.CutPrefix(line, "DADDR "); ok {
+			addr = a
+			break
+		}
+		if e, ok := strings.CutPrefix(line, "DERR "); ok {
+			t.Fatalf("daemon helper failed to boot: %s", e)
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon helper never printed its address")
+	}
+	go func() {
+		// Keep the pipe drained so the child never blocks on stdout.
+		for scanner.Scan() {
+		}
+	}()
+
+	// Submit a batch of slow jobs onto a single worker: some finish, one
+	// is mid-flight, the rest are queued when the SIGKILL lands.
+	const jobCount = 6
+	var acked []string
+	for i := 0; i < jobCount; i++ {
+		body, _ := json.Marshal(SubmitRequest{
+			Tenant: "crash", Workload: "kill9", Program: killSrc,
+			Config: JobConfig{Seed: uint64(i + 1)},
+		})
+		resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		var sr SubmitResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if err != nil || len(sr.Jobs) != 1 {
+			t.Fatalf("submit %d: decode %v %+v", i, err, sr)
+		}
+		acked = append(acked, sr.Jobs[0].ID)
+	}
+
+	// Let part of the batch complete, then kill -9 the daemon.
+	time.Sleep(100 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Every acknowledged job must be on the journal, crash or not.
+	j, entries, err := store.OpenJournal(filepath.Join(dir, store.JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	enqueued := map[string]bool{}
+	preTerminal := map[string]bool{}
+	for _, e := range entries {
+		switch e.Op {
+		case store.JournalEnqueue:
+			enqueued[e.ID] = true
+		case store.JournalTerminal:
+			if preTerminal[e.ID] {
+				t.Fatalf("job %s journaled terminal twice before the crash", e.ID)
+			}
+			preTerminal[e.ID] = true
+		}
+	}
+	for _, id := range acked {
+		if !enqueued[id] {
+			t.Fatalf("acknowledged job %s missing from journal after kill -9", id)
+		}
+	}
+	t.Logf("kill -9 landed with %d/%d jobs terminal", len(preTerminal), len(acked))
+
+	// Restart on the same store: pending jobs re-execute, terminal charges
+	// re-apply exactly once.
+	s := newTestService(t, Config{StoreDir: dir, Workers: 2, Logf: t.Logf})
+	waitIdle(t, s)
+	for _, id := range acked {
+		if preTerminal[id] {
+			continue
+		}
+		v, ok := s.Job(id)
+		if !ok || !v.Status.Terminal() {
+			t.Fatalf("recovered job %s not terminal: ok=%v view=%+v", id, ok, v)
+		}
+		if v.Status != StatusOK {
+			t.Fatalf("recovered job %s = %s (%s), want ok", id, v.Status, v.Error)
+		}
+	}
+
+	// Exactly-once accounting: the deterministic VM means every job —
+	// finished before the crash or re-executed after it — charges the
+	// library run's event count, once.
+	prof, err := algoprof.Run(killSrc, algoprof.Config{Mode: algoprof.ModeEvents, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prof.EventCount() * uint64(len(acked))
+	if got := s.Stats().Tenants["crash"].EventsUsed; got != want {
+		t.Fatalf("tenant events after recovery = %d, want %d (= %d jobs x %d events, charged exactly once)",
+			got, want, len(acked), prof.EventCount())
+	}
+
+	// Every job's run landed in the store exactly once and replays.
+	names, err := s.Store().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := map[string]bool{}
+	for _, n := range names {
+		runs[n] = true
+	}
+	for _, id := range acked {
+		if !runs[id] {
+			t.Fatalf("job %s has no stored run after recovery (store: %v)", id, names)
+		}
+		if _, err := s.Store().Replay(id); err != nil {
+			t.Fatalf("recovered run %s does not replay: %v", id, err)
+		}
+	}
+}

@@ -16,25 +16,22 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"algoprof"
 	"algoprof/internal/experiments"
 	"algoprof/internal/faultinject"
 	"algoprof/internal/mj/compiler"
-	"algoprof/internal/trace"
 	"algoprof/internal/trace/store"
-	"algoprof/internal/vm"
 )
 
 // JobStatus is a job's lifecycle state.
@@ -187,6 +184,12 @@ type JobView struct {
 
 	Backends *BackendSummary `json:"backends,omitempty"`
 
+	// Worker names the remote worker that executed the job (distributed
+	// dispatch only) and DispatchAttempts counts the dispatch attempts it
+	// took (1 = first try; 0 = executed locally, no dispatch layer).
+	Worker           string `json:"worker,omitempty"`
+	DispatchAttempts int    `json:"dispatch_attempts,omitempty"`
+
 	// Profile is the profile's JSON (algorithms, cost functions, outputs)
 	// for ok and degraded jobs — byte-identical to the same program and
 	// config run through the library API.
@@ -217,8 +220,11 @@ type Stats struct {
 	Degraded  int64 `json:"degraded"`
 	Failed    int64 `json:"failed"`
 	Draining  bool  `json:"draining"`
-	Workers   int   `json:"workers"`
-	QueueCap  int   `json:"queue_cap"`
+	// Recovering counts journal-recovered jobs still re-executing after a
+	// restart; the service reports not-ready until it reaches zero.
+	Recovering int `json:"recovering,omitempty"`
+	Workers    int `json:"workers"`
+	QueueCap   int `json:"queue_cap"`
 
 	Tenants map[string]TenantStats `json:"tenants"`
 }
@@ -240,6 +246,11 @@ type Config struct {
 	// service.intake and service.persist points plus the store's fs.*
 	// points all draw from it.
 	Plan *faultinject.Plan
+	// MakeExecutor, when set, wraps the local executor — the seam the
+	// dispatch layer (internal/dispatch) hooks to route jobs to remote
+	// workers. Called once in New, before journal recovery, so recovered
+	// jobs also flow through it.
+	MakeExecutor func(local Executor, st *store.Store) Executor
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -252,14 +263,13 @@ const progressEveryPolls = 16
 var tenantRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 
 // job is the service-internal job state. All fields after construction are
-// guarded by Service.mu except src/cfg/persist (immutable once admitted).
+// guarded by Service.mu except spec (immutable once admitted).
 type job struct {
-	view       JobView
-	src        string
-	cfg        algoprof.Config
-	persist    bool
-	backends   bool
-	noCompress bool
+	view JobView
+	spec ExecSpec
+	// recovered marks a job re-enqueued from the write-ahead journal after
+	// a restart; the service reports not-ready until all such jobs land.
+	recovered bool
 
 	submittedAt time.Time
 	startedAt   time.Time
@@ -267,15 +277,17 @@ type job struct {
 	subs []chan Event
 }
 
-// Service is the daemon core. One Service owns one run store, one worker
-// pool, and the job table.
+// Service is the daemon core. One Service owns one run store, one job
+// pool, one executor, one write-ahead journal, and the job table.
 type Service struct {
-	cfg    Config
-	store  *store.Store
-	pool   *experiments.Pool
-	plan   *faultinject.Plan
-	logf   func(string, ...any)
-	epoch  int64 // job-ID namespace: distinct across daemon restarts on one store
+	cfg     Config
+	store   *store.Store
+	pool    experiments.JobPool
+	exec    Executor
+	journal *store.Journal
+	plan    *faultinject.Plan
+	logf    func(string, ...any)
+	epoch   int64 // job-ID namespace: distinct across daemon restarts on one store
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -287,6 +299,7 @@ type Service struct {
 	seq        int64
 	queued     int
 	running    int
+	recovering int
 	completed  int64
 	okCount    int64
 	degCount   int64
@@ -298,7 +311,9 @@ type Service struct {
 	drainDone chan struct{}
 }
 
-// New opens the store and starts the worker pool.
+// New opens the store, replays the write-ahead journal (re-executing jobs
+// a previous daemon admitted but never finished and re-applying their
+// quota charges exactly once), and starts the worker pool.
 func New(cfg Config) (*Service, error) {
 	if cfg.StoreDir == "" {
 		return nil, fmt.Errorf("service: Config.StoreDir required")
@@ -310,26 +325,179 @@ func New(cfg Config) (*Service, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	st, err := store.OpenFS(cfg.StoreDir, cfg.Plan.FS(faultinject.OS()))
+	fsys := cfg.Plan.FS(faultinject.OS())
+	st, err := store.OpenFS(cfg.StoreDir, fsys)
 	if err != nil {
 		return nil, err
 	}
 	st.SetLogf(logf)
+	journal, entries, err := store.OpenJournalFS(
+		filepath.Join(cfg.StoreDir, store.JournalName), fsys, faultinject.DefaultRetry, logf)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:       cfg,
 		store:     st,
 		pool:      experiments.NewPool(cfg.Workers, cfg.QueueDepth),
+		journal:   journal,
 		plan:      cfg.Plan,
 		logf:      logf,
-		epoch:     time.Now().Unix(),
+		epoch:     nextEpoch(entries),
 		runCtx:    ctx,
 		runCancel: cancel,
 		jobs:      map[string]*job{},
 		tenants:   newTenants(cfg.DefaultQuota, cfg.Quotas),
 		drainDone: make(chan struct{}),
 	}
+	local := NewLocalExecutor(st, logf)
+	s.exec = local
+	if cfg.MakeExecutor != nil {
+		s.exec = cfg.MakeExecutor(local, st)
+	}
+	if err := s.recoverJournal(entries); err != nil {
+		cancel()
+		return nil, err
+	}
 	return s, nil
+}
+
+// nextEpoch picks a job-ID epoch strictly newer than anything in the
+// journal, so a restart within the same wall-clock second cannot mint IDs
+// that collide with recovered jobs.
+func nextEpoch(entries []store.JournalEntry) int64 {
+	epoch := time.Now().Unix()
+	for _, e := range entries {
+		if n := epochOf(e.ID); n >= epoch {
+			epoch = n + 1
+		}
+	}
+	return epoch
+}
+
+// epochOf parses the epoch out of a "j<epoch>-<seq>" job ID (0 if the ID
+// has another shape).
+func epochOf(id string) int64 {
+	if !strings.HasPrefix(id, "j") {
+		return 0
+	}
+	head, _, ok := strings.Cut(id[1:], "-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(head, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// recoverJournal turns the previous epoch's journal into live state:
+// terminal and charge entries re-apply tenant quota charges exactly once,
+// pending entries (admitted, never finished) re-enqueue for execution,
+// and the journal compacts to per-tenant charge summaries plus the
+// surviving pending entries. Safe because runs are deterministic:
+// re-executing a pending job reproduces byte-identical artifacts.
+func (s *Service) recoverJournal(entries []store.JournalEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	st := store.ReduceJournal(entries)
+
+	// Re-apply aggregate charges: prior compaction summaries plus this
+	// journal's terminal entries, each exactly once.
+	folded := map[string]*store.JournalEntry{}
+	var tenantOrder []string
+	for _, e := range append(append([]store.JournalEntry{}, st.Charges...), st.Terminal...) {
+		tenant := tenantOr(e.Tenant)
+		s.tenants.get(tenant).charge(e.Events, e.TraceBytes)
+		f := folded[tenant]
+		if f == nil {
+			f = &store.JournalEntry{Op: store.JournalCharge, Tenant: tenant}
+			folded[tenant] = f
+			tenantOrder = append(tenantOrder, tenant)
+		}
+		f.Events += e.Events
+		f.TraceBytes += e.TraceBytes
+		f.Jobs += max64(e.Jobs, 1)
+	}
+	compact := make([]store.JournalEntry, 0, len(tenantOrder)+len(st.Pending))
+	for _, tenant := range tenantOrder {
+		compact = append(compact, *folded[tenant])
+	}
+
+	// Re-admit pending jobs without re-running quota admission: they were
+	// admitted by the previous daemon and their Limits are already clamped.
+	var recovered []*job
+	for _, e := range st.Pending {
+		var spec ExecSpec
+		if err := json.Unmarshal(e.Spec, &spec); err != nil || spec.ID == "" {
+			s.logf("service: journal: dropping unreadable pending job %s: %v", e.ID, err)
+			continue
+		}
+		if spec.Persist {
+			// Clear the partial artifacts of the interrupted attempt so
+			// re-execution can reserve the run name again.
+			if err := s.store.Discard(spec.ID); err != nil {
+				s.logf("service: journal: discard partial run %s: %v", spec.ID, err)
+			}
+		}
+		now := time.Now()
+		j := &job{
+			view: JobView{
+				ID:              spec.ID,
+				Tenant:          spec.Tenant,
+				Workload:        spec.Workload,
+				Status:          StatusQueued,
+				Persist:         spec.Persist,
+				Mode:            modeName(spec.Config.Mode),
+				SubmittedUnixMs: now.UnixMilli(),
+				EffectiveLimits: spec.Config.Limits,
+			},
+			spec:        spec,
+			recovered:   true,
+			submittedAt: now,
+		}
+		ts := s.tenants.get(spec.Tenant)
+		ts.active++
+		ts.submitted++
+		s.jobs[spec.ID] = j
+		s.order = append(s.order, spec.ID)
+		s.queued++
+		s.recovering++
+		compact = append(compact, e)
+		recovered = append(recovered, j)
+	}
+
+	if err := s.journal.Compact(compact); err != nil {
+		return fmt.Errorf("service: compact journal: %w", err)
+	}
+	if n := len(recovered); n > 0 {
+		s.logf("service: journal: recovering %d pending job(s), %d terminal charge(s) re-applied", n, len(st.Terminal))
+	}
+	for _, j := range recovered {
+		j := j
+		if err := s.pool.TrySubmit(func() { s.execute(j) }); err != nil {
+			// Never lose a recovered job to queue pressure: run it off-pool.
+			go s.execute(j)
+		}
+	}
+	return nil
+}
+
+func tenantOr(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Store exposes the service's run store (read-side tooling, tests).
@@ -376,6 +544,17 @@ func (s *Service) Submit(req SubmitRequest) (*JobView, error) {
 	s.seq++
 	id := fmt.Sprintf("j%d-%06d", s.epoch, s.seq)
 	now := time.Now()
+	spec := ExecSpec{
+		ID:         id,
+		Tenant:     tenant,
+		Key:        JobKey(tenant, req.Workload, req.Program, cfg),
+		Workload:   req.Workload,
+		Program:    req.Program,
+		Config:     cfg,
+		Persist:    persist,
+		Backends:   req.Config.AllBackends,
+		NoCompress: req.Config.NoCompress,
+	}
 	j := &job{
 		view: JobView{
 			ID:              id,
@@ -387,11 +566,7 @@ func (s *Service) Submit(req SubmitRequest) (*JobView, error) {
 			SubmittedUnixMs: now.UnixMilli(),
 			EffectiveLimits: cfg.Limits,
 		},
-		src:         req.Program,
-		cfg:         cfg,
-		persist:     persist,
-		backends:    req.Config.AllBackends,
-		noCompress:  req.Config.NoCompress,
+		spec:        spec,
 		submittedAt: now,
 	}
 	if err := s.pool.TrySubmit(func() { s.execute(j) }); err != nil {
@@ -403,12 +578,38 @@ func (s *Service) Submit(req SubmitRequest) (*JobView, error) {
 		}
 		return nil, &OverloadError{Depth: s.pool.QueueCap()}
 	}
+	// Write-ahead entry: once this lands, a crashed daemon re-executes the
+	// job on restart. The append comes after the enqueue so a full queue
+	// never leaves a stale journal entry; the window where a crash loses a
+	// queued-but-unjournaled job closes before the client sees an ack.
+	s.appendJournal(store.JournalEntry{
+		Op: store.JournalEnqueue, ID: id, Tenant: tenant, Key: spec.Key,
+		Workload: req.Workload, Persist: persist, Spec: marshalSpec(spec),
+	})
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.queued++
 	s.publishLocked(j, Event{Type: "status", Status: StatusQueued})
 	v := j.view
 	return &v, nil
+}
+
+// marshalSpec serializes a spec for its journal entry.
+func marshalSpec(spec ExecSpec) json.RawMessage {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// appendJournal appends a write-ahead entry, absorbing (and loudly
+// logging) persistent journal failures: durability degrades before
+// availability does — the daemon keeps serving on a dead journal disk.
+func (s *Service) appendJournal(e store.JournalEntry) {
+	if err := s.journal.Append(e); err != nil {
+		s.logf("service: journal append %s %s: %v", e.Op, e.ID, err)
+	}
 }
 
 // buildConfig maps a JobConfig to an algoprof.Config and decides whether
@@ -456,7 +657,7 @@ func (s *Service) execute(j *job) {
 		// The queue is being torn down: accepted-but-unstarted work fails
 		// typed rather than silently evaporating.
 		s.queued--
-		s.finishLocked(j, nil, nil, &DrainingError{}, "draining")
+		s.finishLocked(j, nil, &DrainingError{}, "draining")
 		s.mu.Unlock()
 		return
 	}
@@ -471,62 +672,18 @@ func (s *Service) execute(j *job) {
 	ctx := s.runCtx
 	s.mu.Unlock()
 
-	// Progress heartbeats ride the VM watchdog poll: every poll is
-	// ~vm.WatchdogInterval instructions, so the counter approximates
-	// executed instructions with no extra interpreter work.
-	var polls atomic.Int64
-	cfg := j.cfg
-	cfg.Watchdog = func() error {
-		if n := polls.Add(1); n%progressEveryPolls == 0 {
-			s.progress(j, uint64(n)*vm.WatchdogInterval)
-		}
-		return nil
-	}
-
 	if err := s.plan.Point(faultinject.PointServicePersist).Err("persist " + j.view.ID); err != nil {
 		s.mu.Lock()
-		s.finishLocked(j, nil, nil, err, "persist")
+		s.finishLocked(j, nil, err, "persist")
 		s.mu.Unlock()
 		return
 	}
 
-	var run *store.Run
-	var prof *algoprof.Profile
-	var err error
-	if j.persist {
-		run, err = s.store.RecordTenantContext(ctx, j.view.ID, j.src, j.view.Workload, j.view.Tenant, cfg,
-			trace.WriterOptions{Compress: !j.noCompress})
-		if run != nil {
-			prof = run.Profile
-		}
-	} else {
-		prof, err = algoprof.RunContext(ctx, j.src, cfg)
-	}
-
-	var backends *BackendSummary
-	if err == nil && j.backends {
-		if b, berr := experiments.RunBackendsVerified(j.src, seedOf(cfg.Seed), true); berr == nil {
-			backends = &BackendSummary{
-				Fingerprint:   experiments.BackendsFingerprint(b),
-				HottestMethod: b.HottestExclusive(),
-				TopBlock:      b.TopBlock(),
-			}
-		} else {
-			s.logf("service: job %s all-backends pass failed: %v", j.view.ID, berr)
-		}
-	}
+	out, err := s.exec.Execute(ctx, j.spec, func(instructions uint64) { s.progress(j, instructions) })
 
 	s.mu.Lock()
-	j.view.Backends = backends
-	s.finishLocked(j, prof, run, err, "")
+	s.finishLocked(j, out, err, "")
 	s.mu.Unlock()
-}
-
-func seedOf(seed uint64) uint64 {
-	if seed == 0 {
-		return 1
-	}
-	return seed
 }
 
 // progress publishes a heartbeat.
@@ -544,23 +701,12 @@ func (s *Service) progress(j *job, instructions uint64) {
 }
 
 // finishLocked lands a job in its terminal status, charges quotas,
-// publishes the result event, and closes the job's subscriber channels.
-// Caller holds s.mu. kind overrides the error-kind derivation when set.
-func (s *Service) finishLocked(j *job, prof *algoprof.Profile, run *store.Run, err error, kind string) {
+// journals the terminal entry, publishes the result event, and closes the
+// job's subscriber channels. Caller holds s.mu. kind overrides the
+// error-kind derivation when set.
+func (s *Service) finishLocked(j *job, out *ExecOutcome, err error, kind string) {
 	wasRunning := j.view.Status == StatusRunning
 	ts := s.tenants.get(j.view.Tenant)
-
-	if err != nil {
-		var pe *algoprof.PartialError
-		if errors.As(err, &pe) && pe.Profile != nil {
-			// PR 4 semantics: an interrupted run with a salvaged profile is
-			// a degraded result, never a dropped job.
-			prof = pe.Profile
-			err = nil
-			j.view.Degraded = true
-			j.view.DegradedReasons = prof.DegradedReasons
-		}
-	}
 
 	switch {
 	case err != nil:
@@ -583,10 +729,8 @@ func (s *Service) finishLocked(j *job, prof *algoprof.Profile, run *store.Run, e
 		}
 		j.view.ErrorClass = class.String()
 		s.failCount++
-	case prof.Degraded || j.view.Degraded:
+	case out != nil && out.Degraded:
 		j.view.Status = StatusDegraded
-		j.view.Degraded = true
-		j.view.DegradedReasons = prof.DegradedReasons
 		s.degCount++
 	default:
 		j.view.Status = StatusOK
@@ -594,29 +738,16 @@ func (s *Service) finishLocked(j *job, prof *algoprof.Profile, run *store.Run, e
 	}
 	s.completed++
 
-	if prof != nil {
-		j.view.Instructions = prof.Instructions
-		if data, jerr := prof.JSON(); jerr == nil {
-			// Compact form: JSON envelopes pass compact RawMessage bytes
-			// through verbatim, so the profile a client reads off the wire
-			// is byte-identical to the compacted library output.
-			var buf bytes.Buffer
-			if json.Compact(&buf, data) == nil {
-				data = buf.Bytes()
-			}
-			j.view.Profile = data
-		}
-		// EventCount sums the main profiler and every spawned thread's, and
-		// reads atomically — safe even if a salvaged run's pipeline consumer
-		// was still winding down when the profile was assembled.
-		j.view.Events = prof.EventCount()
-	}
-	if j.persist {
-		// Charge the stored trace regardless of outcome: a salvaged or
-		// failed recording may still have landed bytes in the store.
-		if fi, serr := os.Stat(filepath.Join(s.store.Dir(), j.view.ID, store.TraceName)); serr == nil {
-			j.view.TraceBytes = fi.Size()
-		}
+	if out != nil {
+		j.view.Profile = out.ProfileJSON
+		j.view.Instructions = out.Instructions
+		j.view.Events = out.Events
+		j.view.TraceBytes = out.TraceBytes
+		j.view.Degraded = out.Degraded
+		j.view.DegradedReasons = out.DegradedReasons
+		j.view.Backends = out.Backends
+		j.view.Worker = out.Worker
+		j.view.DispatchAttempts = out.DispatchAttempts
 	}
 	ts.charge(j.view.Events, j.view.TraceBytes)
 
@@ -626,6 +757,17 @@ func (s *Service) finishLocked(j *job, prof *algoprof.Profile, run *store.Run, e
 		j.view.RunMs = time.Since(j.startedAt).Milliseconds()
 	}
 	ts.active--
+	if j.recovered {
+		s.recovering--
+	}
+
+	// Terminal entry: a restart must not re-execute this job, and must
+	// re-apply exactly these charges.
+	s.appendJournal(store.JournalEntry{
+		Op: store.JournalTerminal, ID: j.view.ID, Tenant: j.view.Tenant, Key: j.spec.Key,
+		Status: string(j.view.Status), Error: j.view.Error, ErrorKind: j.view.ErrorKind,
+		ErrorClass: j.view.ErrorClass, Events: j.view.Events, TraceBytes: j.view.TraceBytes,
+	})
 
 	v := j.view
 	s.publishLocked(j, Event{Type: "result", Status: v.Status, Result: &v})
@@ -725,16 +867,17 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Queued:    s.queued,
-		Running:   s.running,
-		Completed: s.completed,
-		OK:        s.okCount,
-		Degraded:  s.degCount,
-		Failed:    s.failCount,
-		Draining:  s.draining,
-		Workers:   s.pool.Workers(),
-		QueueCap:  s.pool.QueueCap(),
-		Tenants:   s.tenants.snapshot(),
+		Queued:     s.queued,
+		Running:    s.running,
+		Completed:  s.completed,
+		OK:         s.okCount,
+		Degraded:   s.degCount,
+		Failed:     s.failCount,
+		Draining:   s.draining,
+		Recovering: s.recovering,
+		Workers:    s.pool.Workers(),
+		QueueCap:   s.pool.QueueCap(),
+		Tenants:    s.tenants.snapshot(),
 	}
 }
 
@@ -743,6 +886,17 @@ func (s *Service) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// Ready reports whether the service accepts and promptly serves new work:
+// false while draining and while journal-recovered jobs are still
+// re-executing after a restart. Liveness (the process is up and handling
+// requests) is a separate, weaker property — see /v1/healthz vs
+// /v1/readyz.
+func (s *Service) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && s.recovering == 0
 }
 
 // Drain shuts the service down without losing a job. Intake closes
@@ -803,4 +957,7 @@ drained:
 		s.logf("service: pool shutdown: %v", err)
 	}
 	s.runCancel()
+	if err := s.journal.Close(); err != nil {
+		s.logf("service: journal close: %v", err)
+	}
 }

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Discard removes a run directory and everything in it, through the
+// store's (fault-injectable) filesystem. Recovery uses it to clear the
+// partial artifacts of a recording that was running when the daemon died,
+// before re-executing the job under the same name.
+func (s *Store) Discard(name string) error {
+	dir, err := s.runDir(name)
+	if err != nil {
+		return err
+	}
+	ents, err := s.fsys.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range ents {
+		if err := s.fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return s.fsys.Remove(dir)
+}
+
+// IngestRun lands a remotely recorded run — the artifact files a dispatch
+// worker shipped back — into the store as name, with the same durability
+// discipline as a local recording: the directory itself is the exclusive
+// name reservation, every file is written via temp+rename, and the
+// manifest lands last so the run never lists half-ingested.
+//
+// Ingestion is idempotent by content: if the name already exists with
+// byte-identical files (a re-dispatched job whose first result landed
+// just before the daemon crashed), IngestRun succeeds without rewriting.
+// If it exists with different content, the existing directory is the
+// partial debris of an interrupted attempt — the journal had no terminal
+// entry, or the content would have matched — so it is discarded and
+// replaced. It returns the size of the stored main trace (the
+// trace-byte-budget charge).
+func (s *Store) IngestRun(name string, files map[string][]byte) (int64, error) {
+	dir, err := s.runDir(name)
+	if err != nil {
+		return 0, err
+	}
+	manifest, ok := files[ManifestName]
+	if !ok {
+		return 0, &CorruptRunError{Run: name, Err: fmt.Errorf("ingest without %s", ManifestName)}
+	}
+	var m Manifest
+	if err := json.Unmarshal(manifest, &m); err != nil {
+		return 0, &CorruptRunError{Run: name, Err: fmt.Errorf("garbage ingested manifest: %w", err)}
+	}
+
+	err = s.retry.Do(func() error {
+		merr := s.fsys.Mkdir(dir, 0o755)
+		if errors.Is(merr, os.ErrExist) {
+			return &RunExistsError{Run: name}
+		}
+		return merr
+	})
+	if err != nil {
+		var exists *RunExistsError
+		if !errors.As(err, &exists) {
+			return 0, err
+		}
+		if s.sameContent(dir, files) {
+			// Conflict verified identical: the previous attempt's result
+			// already landed. Exactly-once by content.
+			return int64(len(files[TraceName])), nil
+		}
+		s.logf("store: ingest %s: replacing partial previous attempt", name)
+		if err := s.Discard(name); err != nil {
+			return 0, err
+		}
+		err = s.retry.Do(func() error { return s.fsys.Mkdir(dir, 0o755) })
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Deterministic order, manifest last: a crash mid-ingest leaves a
+	// directory the listing skips (no manifest) instead of a run that
+	// looks complete.
+	names := make([]string, 0, len(files))
+	for fn := range files {
+		if fn != ManifestName {
+			names = append(names, fn)
+		}
+	}
+	sort.Strings(names)
+	names = append(names, ManifestName)
+	for _, fn := range names {
+		if fn != filepath.Base(fn) {
+			return 0, &CorruptRunError{Run: name, Err: fmt.Errorf("ingest file name %q escapes the run directory", fn)}
+		}
+		if err := s.writeFileAtomic(filepath.Join(dir, fn), files[fn], 0o644); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(files[TraceName])), nil
+}
+
+// sameContent reports whether the run directory holds exactly the given
+// files, byte for byte.
+func (s *Store) sameContent(dir string, files map[string][]byte) bool {
+	ents, err := s.fsys.ReadDir(dir)
+	if err != nil || len(ents) != len(files) {
+		return false
+	}
+	for _, e := range ents {
+		want, ok := files[e.Name()]
+		if !ok {
+			return false
+		}
+		got, err := s.fsys.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil || !bytes.Equal(got, want) {
+			return false
+		}
+	}
+	return true
+}

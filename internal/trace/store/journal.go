@@ -1,0 +1,255 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"algoprof/internal/faultinject"
+)
+
+// JournalName is the write-ahead job journal the profiling daemon keeps
+// beside its run directories. It is a plain file, so the run listing
+// (which only considers directories) never mistakes it for a run.
+const JournalName = "journal.ndjson"
+
+// JournalOp tags one journal entry.
+type JournalOp string
+
+// Journal operations. An admitted job appends an enqueue entry before it
+// is acknowledged; landing in a terminal status appends a terminal entry.
+// Startup compaction folds a previous epoch's terminal entries into one
+// charge summary per tenant, so aggregate quota accounting survives
+// restarts without the journal growing with daemon lifetime.
+const (
+	JournalEnqueue  JournalOp = "enqueue"
+	JournalTerminal JournalOp = "terminal"
+	JournalCharge   JournalOp = "charge"
+)
+
+// JournalEntry is one NDJSON line of the write-ahead job journal. The
+// store treats the daemon-level job spec as opaque bytes; only the fields
+// recovery needs are first-class.
+type JournalEntry struct {
+	Op JournalOp `json:"op"`
+	// ID is the job id (enqueue, terminal).
+	ID     string `json:"id,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// Key is the deterministic job key — SHA-256 over tenant, workload,
+	// program, and configuration — used to deduplicate re-dispatched work.
+	Key      string `json:"key,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// Program and Spec reconstruct the job on recovery: the MJ source and
+	// the daemon's JSON job configuration, opaque to the store.
+	Program string          `json:"program,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Persist bool            `json:"persist,omitempty"`
+	// Terminal outcome: the status plus what was charged against the
+	// tenant's budgets — recovery re-applies charges exactly once.
+	Status     string `json:"status,omitempty"`
+	Error      string `json:"error,omitempty"`
+	ErrorKind  string `json:"error_kind,omitempty"`
+	ErrorClass string `json:"error_class,omitempty"`
+	Events     uint64 `json:"events,omitempty"`
+	TraceBytes int64  `json:"trace_bytes,omitempty"`
+	// Jobs counts the terminal entries folded into a charge summary.
+	Jobs int64 `json:"jobs,omitempty"`
+}
+
+// Journal is a crash-safe append-only job journal: every entry is one
+// JSON line followed by an fsync, so `kill -9` at any instant loses at
+// most the entry being written — and a torn tail line is dropped (never
+// misparsed) on the next open. Compaction rewrites the file through the
+// store's atomic temp+rename path.
+type Journal struct {
+	path  string
+	fsys  faultinject.FS
+	retry faultinject.RetryPolicy
+	logf  func(format string, args ...any)
+
+	mu sync.Mutex
+	f  faultinject.File
+}
+
+// OpenJournal opens (creating if absent) the journal at path and returns
+// the entries already on disk, in order. Unparseable lines — a torn tail
+// after a crash, a damaged middle line — are counted, logged, and
+// skipped: one bad line never hides the rest of the log.
+func OpenJournal(path string) (*Journal, []JournalEntry, error) {
+	return OpenJournalFS(path, faultinject.OS(), faultinject.DefaultRetry, nil)
+}
+
+// OpenJournalFS is OpenJournal with an explicit filesystem and retry
+// policy — the fault-injection seam.
+func OpenJournalFS(path string, fsys faultinject.FS, retry faultinject.RetryPolicy, logf func(string, ...any)) (*Journal, []JournalEntry, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	j := &Journal{path: path, fsys: fsys, retry: retry, logf: logf}
+	entries := j.read()
+	var f faultinject.File
+	err := retry.Do(func() (e error) {
+		f, e = fsys.OpenAppend(path)
+		return e
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	j.f = f
+	return j, entries, nil
+}
+
+// read parses whatever is on disk, skipping damaged lines.
+func (j *Journal) read() []JournalEntry {
+	var data []byte
+	err := j.retry.Do(func() (e error) {
+		data, e = j.fsys.ReadFile(j.path)
+		return e
+	})
+	if err != nil {
+		// Absent journal = empty journal (first boot).
+		return nil
+	}
+	var entries []JournalEntry
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			j.logf("store: journal %s: skipping damaged line %d: %v", j.path, i+1, err)
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably appends one entry: a single write of the full line, then
+// fsync, both under the transient-retry policy. When Append returns nil
+// the entry survives kill -9.
+func (j *Journal) Append(e JournalEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: journal entry: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal %s is closed", j.path)
+	}
+	return j.retry.Do(func() error {
+		if _, err := j.f.Write(data); err != nil {
+			return err
+		}
+		return j.f.Sync()
+	})
+}
+
+// Compact atomically replaces the journal's contents with entries (temp
+// file + rename, like every other store write) and reopens the append
+// handle. The daemon compacts at startup, folding the previous epoch's
+// terminal history into charge summaries.
+func (j *Journal) Compact(entries []JournalEntry) error {
+	var buf bytes.Buffer
+	for _, e := range entries {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("store: journal entry: %w", err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	if err := j.retry.Do(func() error { return writeFileAtomicFS(j.fsys, j.path, buf.Bytes(), 0o644) }); err != nil {
+		return err
+	}
+	var f faultinject.File
+	err := j.retry.Do(func() (e error) {
+		f, e = j.fsys.OpenAppend(j.path)
+		return e
+	})
+	if err != nil {
+		return fmt.Errorf("store: reopen journal after compact: %w", err)
+	}
+	j.f = f
+	return nil
+}
+
+// Close syncs and closes the append handle. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// JournalState is the reduction of a journal: what a restarting daemon
+// must act on.
+type JournalState struct {
+	// Pending are enqueued jobs with no terminal entry — work the crashed
+	// daemon admitted but never finished. Recovery re-executes them; the
+	// deterministic record→replay contract makes re-execution safe.
+	Pending []JournalEntry
+	// Terminal are this journal's terminal entries, first-wins per job id,
+	// in append order.
+	Terminal []JournalEntry
+	// Charges are prior compaction summaries (one per tenant per epoch).
+	Charges []JournalEntry
+}
+
+// ReduceJournal folds raw journal entries into recovery state. A
+// duplicate terminal entry for one job id (possible only if a crash split
+// an append across epochs) keeps the first — terminal is exactly-once.
+func ReduceJournal(entries []JournalEntry) JournalState {
+	var st JournalState
+	terminal := map[string]bool{}
+	enqueued := map[string]int{} // id -> index into st.Pending
+	for _, e := range entries {
+		switch e.Op {
+		case JournalEnqueue:
+			if _, dup := enqueued[e.ID]; dup || terminal[e.ID] {
+				continue
+			}
+			enqueued[e.ID] = len(st.Pending)
+			st.Pending = append(st.Pending, e)
+		case JournalTerminal:
+			if terminal[e.ID] {
+				continue
+			}
+			terminal[e.ID] = true
+			st.Terminal = append(st.Terminal, e)
+			if i, ok := enqueued[e.ID]; ok {
+				// Mark the pending slot consumed; compacted below.
+				st.Pending[i].Op = ""
+			}
+		case JournalCharge:
+			st.Charges = append(st.Charges, e)
+		}
+	}
+	live := st.Pending[:0]
+	for _, e := range st.Pending {
+		if e.Op == JournalEnqueue {
+			live = append(live, e)
+		}
+	}
+	st.Pending = live
+	return st
+}

@@ -1,0 +1,271 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"algoprof"
+	"algoprof/internal/faultinject"
+	"algoprof/internal/trace"
+)
+
+func openTestJournal(t *testing.T, dir string) (*Journal, []JournalEntry) {
+	t.Helper()
+	j, entries, err := OpenJournal(filepath.Join(dir, JournalName))
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, entries
+}
+
+// TestJournalAppendReadBack: appended entries come back in order on the
+// next open.
+func TestJournalAppendReadBack(t *testing.T) {
+	dir := t.TempDir()
+	j, entries := openTestJournal(t, dir)
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(entries))
+	}
+	want := []JournalEntry{
+		{Op: JournalEnqueue, ID: "j1", Tenant: "a", Program: "class C{}", Persist: true},
+		{Op: JournalEnqueue, ID: "j2", Tenant: "b"},
+		{Op: JournalTerminal, ID: "j1", Status: "ok", Events: 123, TraceBytes: 456},
+	}
+	for _, e := range want {
+		if err := j.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	_, got := openTestJournal(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("read back %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].ID != want[i].ID || got[i].Events != want[i].Events {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalTornTailRecovered: a crash mid-append leaves a torn last
+// line; reopening drops it and keeps everything before it.
+func TestJournalTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, JournalName)
+	j, _ := openTestJournal(t, dir)
+	j.Append(JournalEntry{Op: JournalEnqueue, ID: "j1"})
+	j.Append(JournalEntry{Op: JournalTerminal, ID: "j1", Status: "ok"})
+	j.Close()
+
+	// Simulate kill -9 mid-write: half a JSON line at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"enqueue","id":"j2","progr`)
+	f.Close()
+
+	_, entries := openTestJournal(t, dir)
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d entries, want 2 (torn tail dropped)", len(entries))
+	}
+	if entries[1].ID != "j1" || entries[1].Op != JournalTerminal {
+		t.Fatalf("unexpected surviving entries: %+v", entries)
+	}
+}
+
+// TestJournalCompactAndReopen: compaction atomically rewrites the file
+// and appends keep working afterwards.
+func TestJournalCompactAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTestJournal(t, dir)
+	for i := 0; i < 5; i++ {
+		j.Append(JournalEntry{Op: JournalEnqueue, ID: string(rune('a' + i))})
+	}
+	if err := j.Compact([]JournalEntry{{Op: JournalCharge, Tenant: "a", Events: 99, Jobs: 5}}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := j.Append(JournalEntry{Op: JournalEnqueue, ID: "post"}); err != nil {
+		t.Fatalf("Append after compact: %v", err)
+	}
+	j.Close()
+	_, entries := openTestJournal(t, dir)
+	if len(entries) != 2 || entries[0].Op != JournalCharge || entries[1].ID != "post" {
+		t.Fatalf("after compact: %+v", entries)
+	}
+}
+
+// TestJournalTransientFaultsRetried: transient write faults are absorbed
+// by the retry policy; the entry still lands durably.
+func TestJournalTransientFaultsRetried(t *testing.T) {
+	dir := t.TempDir()
+	plan := faultinject.NewPlan(7)
+	plan.Arm(faultinject.PointWrite, faultinject.PointConfig{
+		Prob: 1, MaxFires: 1, Class: faultinject.Transient, Errno: syscall.EINTR,
+	})
+	retry := faultinject.RetryPolicy{Attempts: 3, Jitter: 0.5, Seed: 7}
+	j, _, err := OpenJournalFS(filepath.Join(dir, JournalName), plan.FS(faultinject.OS()), retry, nil)
+	if err != nil {
+		t.Fatalf("OpenJournalFS: %v", err)
+	}
+	if err := j.Append(JournalEntry{Op: JournalEnqueue, ID: "j1"}); err != nil {
+		t.Fatalf("Append under transient fault: %v", err)
+	}
+	j.Close()
+	_, entries := openTestJournal(t, dir)
+	if len(entries) != 1 || entries[0].ID != "j1" {
+		t.Fatalf("entry lost under transient fault: %+v", entries)
+	}
+}
+
+// TestReduceJournal: pending = enqueued minus terminal; duplicate
+// terminals are exactly-once; charges pass through.
+func TestReduceJournal(t *testing.T) {
+	st := ReduceJournal([]JournalEntry{
+		{Op: JournalCharge, Tenant: "old", Events: 10},
+		{Op: JournalEnqueue, ID: "a"},
+		{Op: JournalEnqueue, ID: "b"},
+		{Op: JournalEnqueue, ID: "c"},
+		{Op: JournalTerminal, ID: "b", Status: "ok"},
+		{Op: JournalTerminal, ID: "b", Status: "failed"}, // duplicate: dropped
+		{Op: JournalTerminal, ID: "ghost", Status: "ok"}, // terminal without enqueue
+	})
+	if len(st.Pending) != 2 || st.Pending[0].ID != "a" || st.Pending[1].ID != "c" {
+		t.Fatalf("pending = %+v", st.Pending)
+	}
+	if len(st.Terminal) != 2 || st.Terminal[0].Status != "ok" || st.Terminal[1].ID != "ghost" {
+		t.Fatalf("terminal = %+v", st.Terminal)
+	}
+	if len(st.Charges) != 1 || st.Charges[0].Tenant != "old" {
+		t.Fatalf("charges = %+v", st.Charges)
+	}
+}
+
+// ingestFixture records a real run into a scratch store and returns its
+// files, so ingestion tests move genuine artifacts.
+func ingestFixture(t *testing.T, seed uint64) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Record("fix", smallSrc(), "ingest-test", algoprof.Config{Seed: seed}, trace.WriterOptions{}); err != nil {
+		t.Fatalf("Record fixture: %v", err)
+	}
+	files := map[string][]byte{}
+	ents, err := os.ReadDir(filepath.Join(dir, "fix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, "fix", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = data
+	}
+	return files
+}
+
+// TestIngestRunRoundTrip: an ingested run lists, loads, and replays like
+// a locally recorded one.
+func TestIngestRunRoundTrip(t *testing.T) {
+	files := ingestFixture(t, 3)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := st.IngestRun("remote-1", files)
+	if err != nil {
+		t.Fatalf("IngestRun: %v", err)
+	}
+	if n != int64(len(files[TraceName])) {
+		t.Fatalf("trace bytes %d, want %d", n, len(files[TraceName]))
+	}
+	names, err := st.List()
+	if err != nil || len(names) != 1 || names[0] != "remote-1" {
+		t.Fatalf("List after ingest: %v %v", names, err)
+	}
+	run, err := st.Replay("remote-1")
+	if err != nil {
+		t.Fatalf("Replay ingested run: %v", err)
+	}
+	if run.Profile == nil || len(run.Manifest.Algorithms) == 0 {
+		t.Fatal("ingested run replayed empty")
+	}
+}
+
+// TestIngestRunIdempotentOnIdenticalContent: re-ingesting the same result
+// (a re-dispatched job whose first attempt landed) succeeds without
+// touching the directory; different content replaces the partial debris.
+func TestIngestRunIdempotentOnIdenticalContent(t *testing.T) {
+	files := ingestFixture(t, 3)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetLogf(nil)
+	if _, err := st.IngestRun("r", files); err != nil {
+		t.Fatalf("first ingest: %v", err)
+	}
+	if _, err := st.IngestRun("r", files); err != nil {
+		t.Fatalf("identical re-ingest not idempotent: %v", err)
+	}
+
+	// Partial debris: same name, truncated trace. A conflicting ingest
+	// replaces it.
+	if err := os.WriteFile(filepath.Join(dir, "r", TraceName), files[TraceName][:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.IngestRun("r", files); err != nil {
+		t.Fatalf("conflicting ingest: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "r", TraceName))
+	if err != nil || len(got) != len(files[TraceName]) {
+		t.Fatalf("trace not replaced: %d bytes, want %d (%v)", len(got), len(files[TraceName]), err)
+	}
+}
+
+// TestIngestRunRejectsGarbage: a missing or unparseable manifest and
+// path-escaping file names are typed corruption, and nothing lands.
+func TestIngestRunRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []map[string][]byte{
+		{TraceName: []byte("x")},                                  // no manifest
+		{ManifestName: []byte("{")},                               // garbage manifest
+		{ManifestName: mustManifest(t), "../escape": []byte("x")}, // path escape
+	}
+	for i, files := range cases {
+		if _, err := st.IngestRun("bad", files); err == nil {
+			t.Fatalf("case %d: garbage ingest accepted", i)
+		} else if faultinject.ClassOf(err) != faultinject.Corruption {
+			t.Fatalf("case %d: class %v, want corruption (%v)", i, faultinject.ClassOf(err), err)
+		}
+	}
+	names, _ := st.List()
+	if len(names) != 0 {
+		t.Fatalf("garbage ingest left runs: %v", names)
+	}
+}
+
+func mustManifest(t *testing.T) []byte {
+	t.Helper()
+	data, err := json.Marshal(Manifest{FormatVersion: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
